@@ -1,0 +1,74 @@
+//! B3: Pauli-frame machinery throughput — the record/frame operations a
+//! hardware Pauli Frame Unit would implement (Section 3.5.2), the
+//! arbiter dispatch path, and the frame layer's circuit transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qpdo_circuit::{Gate, Operation};
+use qpdo_core::arch::PauliArbiter;
+use qpdo_core::testbench::random_circuit;
+use qpdo_core::{Layer, LayerContext, PauliFrameLayer};
+use qpdo_pauli::{Pauli, PauliFrame, PauliRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn record_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_mapping");
+    group.bench_function("cnot_table_all_pairs", |b| {
+        b.iter(|| {
+            for a in PauliRecord::ALL {
+                for t in PauliRecord::ALL {
+                    black_box(PauliRecord::conjugate_cnot(a, t));
+                }
+            }
+        });
+    });
+    group.bench_function("frame_pauli_updates_17q", |b| {
+        let mut frame = PauliFrame::new(17);
+        b.iter(|| {
+            for q in 0..17 {
+                frame.apply_pauli(q, Pauli::X);
+                frame.apply_pauli(q, Pauli::Z);
+            }
+            black_box(&frame);
+        });
+    });
+    group.finish();
+}
+
+fn arbiter_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_dispatch");
+    let pauli_op = Operation::gate(Gate::X, &[3]);
+    let clifford_op = Operation::gate(Gate::Cnot, &[3, 7]);
+    group.bench_function("pauli_gate", |b| {
+        let mut arbiter = PauliArbiter::new(17);
+        b.iter(|| black_box(arbiter.dispatch(&pauli_op)));
+    });
+    group.bench_function("clifford_gate", |b| {
+        let mut arbiter = PauliArbiter::new(17);
+        b.iter(|| black_box(arbiter.dispatch(&clifford_op)));
+    });
+    group.finish();
+}
+
+fn frame_layer_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_layer_transform");
+    let mut rng = StdRng::seed_from_u64(1);
+    let circuit = random_circuit(10, 1000, &mut rng);
+    group.bench_function("random_1000_gates_10q", |b| {
+        let mut layer = PauliFrameLayer::new();
+        layer.on_create_qubits(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut ctx = LayerContext {
+                rng: &mut rng,
+                bypass: false,
+            };
+            black_box(layer.process_circuit(circuit.clone(), &mut ctx));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, record_mapping, arbiter_dispatch, frame_layer_transform);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! B4–B6: the QEC pipeline — ESM generation, decoding, and full
+//! error-correction windows with and without a Pauli frame (the
+//! end-to-end cost behind every LER data point, and the ablation that
+//! shows the frame's filtering does not slow the classical pipeline).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qpdo_core::{ChpCore, ControlStack, DepolarizingModel, PauliFrameLayer};
+use qpdo_surface::{CheckKind, MatchingDecoder, RotatedSurfaceCode};
+use qpdo_surface17::{esm_circuit, DanceMode, LutDecoder, NinjaStar, Rotation, StarLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn esm_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("esm_generation");
+    let layout = StarLayout::standard(0);
+    group.bench_function("sc17", |b| {
+        b.iter(|| black_box(esm_circuit(&layout, Rotation::Normal, DanceMode::All)));
+    });
+    for d in [5usize, 9] {
+        let code = RotatedSurfaceCode::new(d);
+        group.bench_function(format!("rotated_d{d}"), |b| {
+            b.iter(|| black_box(code.esm_circuit()));
+        });
+    }
+    group.finish();
+}
+
+fn decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoders");
+    group.bench_function("sc17_lut_build", |b| {
+        let checks = StarLayout::z_check_supports(Rotation::Normal);
+        b.iter(|| black_box(LutDecoder::for_checks(&checks)));
+    });
+    group.bench_function("sc17_lut_decode_all_patterns", |b| {
+        let lut = LutDecoder::for_checks(&StarLayout::z_check_supports(Rotation::Normal));
+        b.iter(|| {
+            for pattern in 0u8..16 {
+                black_box(lut.decode(pattern));
+            }
+        });
+    });
+    for d in [5usize, 7] {
+        let code = RotatedSurfaceCode::new(d);
+        let decoder = MatchingDecoder::new(&code, CheckKind::X);
+        let mut rng = StdRng::seed_from_u64(3);
+        let syndromes: Vec<Vec<bool>> = (0..64)
+            .map(|_| {
+                let errors: Vec<usize> = (0..3)
+                    .map(|_| rng.gen_range(0..code.num_data_qubits()))
+                    .collect();
+                code.syndrome_of(&errors, CheckKind::X)
+            })
+            .collect();
+        group.bench_function(format!("matching_d{d}_weight3"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let s = &syndromes[i % syndromes.len()];
+                i += 1;
+                black_box(decoder.decode(s));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn window_setup(with_pf: bool, p: f64, seed: u64) -> (ControlStack<ChpCore>, NinjaStar) {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+    if with_pf {
+        stack.push_layer(PauliFrameLayer::new());
+    }
+    stack.set_error_model(DepolarizingModel::new(p));
+    stack.create_qubits(17).expect("register");
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).expect("init");
+    (stack, star)
+}
+
+fn full_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_windows");
+    group.sample_size(20);
+    for (label, with_pf) in [("no_frame", false), ("with_frame", true)] {
+        group.bench_function(format!("sc17_window_p1e-3_{label}"), |b| {
+            b.iter_batched(
+                || window_setup(with_pf, 1e-3, 11),
+                |(mut stack, mut star)| {
+                    for _ in 0..10 {
+                        black_box(star.run_window(&mut stack).expect("window"));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, esm_generation, decoders, full_windows);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! B1–B2: throughput of the two simulation back-ends — the substrate
+//! performance that makes the Monte Carlo LER sweeps feasible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qpdo_stabilizer::StabilizerSim;
+use qpdo_statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn tableau_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_gates");
+    for n in [17usize, 49, 97] {
+        group.bench_function(format!("cnot_chain_n{n}"), |b| {
+            let mut sim = StabilizerSim::new(n);
+            b.iter(|| {
+                for q in 0..n - 1 {
+                    sim.cnot(q, q + 1);
+                }
+                black_box(&sim);
+            });
+        });
+        group.bench_function(format!("h_layer_n{n}"), |b| {
+            let mut sim = StabilizerSim::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    sim.h(q);
+                }
+                black_box(&sim);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn tableau_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_measurement");
+    for n in [17usize, 49] {
+        group.bench_function(format!("measure_ghz_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = StabilizerSim::new(n);
+                    sim.h(0);
+                    for q in 0..n - 1 {
+                        sim.cnot(q, q + 1);
+                    }
+                    (sim, StdRng::seed_from_u64(7))
+                },
+                |(mut sim, mut rng)| {
+                    for q in 0..n {
+                        black_box(sim.measure(q, &mut rng));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn statevector_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gates");
+    for n in [10usize, 17] {
+        group.bench_function(format!("h_layer_n{n}"), |b| {
+            let mut sv = StateVector::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    sv.h(q);
+                }
+                black_box(&sv);
+            });
+        });
+        group.bench_function(format!("cnot_chain_n{n}"), |b| {
+            let mut sv = StateVector::new(n);
+            b.iter(|| {
+                for q in 0..n - 1 {
+                    sv.cnot(q, q + 1);
+                }
+                black_box(&sv);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    tableau_gates,
+    tableau_measurement,
+    statevector_gates
+);
+criterion_main!(benches);

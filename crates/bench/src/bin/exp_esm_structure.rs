@@ -1,0 +1,106 @@
+//! E6: the Error Syndrome Measurement circuit structure of Table 5.8,
+//! regenerated from the implementation for both orientations and both
+//! dance modes, plus the generic-distance generalization.
+
+use qpdo_bench::{render_table, HarnessArgs};
+use qpdo_circuit::{Gate, OperationKind};
+use qpdo_surface::RotatedSurfaceCode;
+use qpdo_surface17::{esm_circuit, DanceMode, Rotation, StarLayout};
+
+fn describe_slot(slot: &qpdo_circuit::TimeSlot) -> String {
+    let mut preps = 0;
+    let mut hs = 0;
+    let mut cnots = 0;
+    let mut measures = 0;
+    for op in slot {
+        match op.kind() {
+            OperationKind::Prep => preps += 1,
+            OperationKind::Measure => measures += 1,
+            OperationKind::Gate(Gate::H) => hs += 1,
+            OperationKind::Gate(Gate::Cnot) => cnots += 1,
+            OperationKind::Gate(g) => panic!("unexpected {g} in an ESM round"),
+        }
+    }
+    let mut parts = Vec::new();
+    if preps > 0 {
+        parts.push(format!("reset x{preps}"));
+    }
+    if hs > 0 {
+        parts.push(format!("H x{hs}"));
+    }
+    if cnots > 0 {
+        parts.push(format!("CNOT x{cnots}"));
+    }
+    if measures > 0 {
+        parts.push(format!("measure x{measures}"));
+    }
+    parts.join(" + ")
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let layout = StarLayout::standard(0);
+
+    let circuit = esm_circuit(&layout, Rotation::Normal, DanceMode::All);
+    let mut rows = Vec::new();
+    for (i, slot) in circuit.slots().iter().enumerate() {
+        rows.push(vec![
+            (i + 1).to_string(),
+            slot.len().to_string(),
+            describe_slot(slot),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 5.8: the SC17 ESM circuit (normal orientation, full dance)",
+            &["time slot", "# operations", "operations"],
+            &rows,
+        )
+    );
+    println!(
+        "total: {} operations over {} time slots (paper: 48 over 8)",
+        circuit.operation_count(),
+        circuit.slot_count()
+    );
+    assert_eq!(circuit.operation_count(), 48);
+    assert_eq!(circuit.slot_count(), 8);
+
+    println!();
+    let rotated = esm_circuit(&layout, Rotation::Rotated, DanceMode::All);
+    println!(
+        "rotated orientation: {} operations over {} slots (identical structure, ancilla roles swapped)",
+        rotated.operation_count(),
+        rotated.slot_count()
+    );
+    let partial = esm_circuit(&layout, Rotation::Normal, DanceMode::ZOnly);
+    println!(
+        "z_only dance (after logical measurement): {} operations over {} slots",
+        partial.operation_count(),
+        partial.slot_count()
+    );
+
+    println!();
+    let distances: &[usize] = if args.full { &[3, 5, 7, 9, 11] } else { &[3, 5, 7] };
+    let mut rows = Vec::new();
+    for &d in distances {
+        let code = RotatedSurfaceCode::new(d);
+        let esm = code.esm_circuit();
+        rows.push(vec![
+            d.to_string(),
+            code.num_qubits().to_string(),
+            esm.slot_count().to_string(),
+            esm.operation_count().to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "generalized ESM rounds (rotated surface code, qpdo-surface)",
+            &["distance", "qubits", "time slots", "operations"],
+            &rows,
+        )
+    );
+    println!("every distance keeps the 8-slot structure; ts_ESM = 8 as used by Eq 5.12");
+    let _ = args;
+}

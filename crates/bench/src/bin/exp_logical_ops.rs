@@ -1,0 +1,272 @@
+//! E1–E3: verification of the SC17 logical operations (Section 5.1).
+//!
+//! - Listings 5.1–5.2: the exact nine-qubit quantum states of `|0⟩_L`
+//!   and `|1⟩_L` on the universal back-end, dumped in the QX style.
+//! - Table 5.5: the logical CNOT truth table over two ninja stars.
+//! - Table 5.6: the logical CZ truth table. The `−|1110⟩_L` phase of the
+//!   paper's table is a global phase; it is demonstrated relationally by
+//!   a control-interference experiment (`CZ_L` on `|+⟩_L|1⟩_L` flips the
+//!   control to `|−⟩_L`).
+
+use qpdo_bench::{render_table, HarnessArgs};
+use qpdo_core::{ChpCore, ControlStack, SvCore};
+use qpdo_pauli::{Pauli, PauliString};
+use qpdo_statevector::StateVector;
+use qpdo_surface17::{logical_cnot, logical_cz, NinjaStar, StarLayout};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    listings(&args);
+    cnot_truth_table(&args);
+    cz_truth_table(&args);
+    cz_phase_interference(&args);
+    hadamard_verification(&args);
+}
+
+fn dump_data_state(stack: &ControlStack<SvCore>) -> String {
+    let sim = stack.core().simulator().expect("qubits allocated");
+    let data: Vec<usize> = (0..9).collect();
+    let amps = sim
+        .partial_state(&data, 1e-9)
+        .expect("data qubits factor out");
+    StateVector::format_amplitudes(&amps, 9, 1e-6)
+}
+
+fn listings(args: &HarnessArgs) {
+    println!("== Listing 5.1: |0>_L after initialization (9 data qubits, qubit 0 rightmost) ==");
+    let mut stack = ControlStack::with_seed(SvCore::new(), args.seed);
+    stack.create_qubits(17).expect("17-qubit register");
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).expect("initialization");
+    print!("{}", dump_data_state(&stack));
+
+    println!();
+    println!("== Listing 5.2: |1>_L after a logical X ==");
+    star.apply_logical_x(&mut stack).expect("X_L");
+    print!("{}", dump_data_state(&stack));
+    println!();
+    println!("both states: 16 basis states, uniform amplitude 0.25, even/odd parity respectively");
+
+    let iterations = if args.full { 100 } else { 10 };
+    let mut all_match = true;
+    for i in 0..iterations {
+        let mut stack = ControlStack::with_seed(SvCore::new(), args.seed + 1 + i);
+        stack.create_qubits(17).expect("register");
+        let mut star = NinjaStar::new(StarLayout::standard(0));
+        star.initialize_zero(&mut stack).expect("init");
+        let sim = stack.core().simulator().expect("qubits");
+        let data: Vec<usize> = (0..9).collect();
+        let amps = sim.partial_state(&data, 1e-9).expect("factorizes");
+        let ok = amps
+            .iter()
+            .enumerate()
+            .all(|(idx, a)| {
+                let in_support = (a.norm() - 0.25).abs() < 1e-9;
+                let zero = a.norm() < 1e-9;
+                let even_parity = (idx.count_ones() % 2) == 0;
+                (in_support && even_parity) || zero
+            });
+        all_match &= ok;
+    }
+    println!(
+        "initialization repeated {iterations} times: resulting state always |0>_L: {}",
+        if all_match { "PASS" } else { "FAIL" }
+    );
+}
+
+const N2: usize = 26;
+
+fn two_stars(seed: u64) -> (ControlStack<ChpCore>, NinjaStar, NinjaStar) {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+    stack.create_qubits(N2).expect("26-qubit register");
+    let a = NinjaStar::new(StarLayout::with_shared_ancillas(0, 18));
+    let b = NinjaStar::new(StarLayout::with_shared_ancillas(9, 18));
+    (stack, a, b)
+}
+
+fn logical_z_of(stack: &mut ControlStack<ChpCore>, star: &NinjaStar) -> Option<bool> {
+    let mut obs = PauliString::identity(N2);
+    for q in star.logical_z_qubits() {
+        obs.set_op(q, Pauli::Z);
+    }
+    stack
+        .core_mut()
+        .simulator_mut()
+        .expect("qubits")
+        .expectation(&obs)
+}
+
+fn basis_label(a: bool, b: bool) -> String {
+    format!("|{}{}00>_L", u8::from(a), u8::from(b))
+}
+
+fn cnot_truth_table(args: &HarnessArgs) {
+    let expected = [
+        ((false, false), (false, false)),
+        ((true, false), (true, true)),
+        ((false, true), (false, true)),
+        ((true, true), (true, false)),
+    ];
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for (i, ((ca, cb), (ea, eb))) in expected.into_iter().enumerate() {
+        let (mut stack, mut a, mut b) = two_stars(args.seed + 40 + i as u64);
+        a.initialize_zero(&mut stack).expect("init A");
+        b.initialize_zero(&mut stack).expect("init B");
+        if ca {
+            a.apply_logical_x(&mut stack).expect("X_L A");
+        }
+        if cb {
+            b.apply_logical_x(&mut stack).expect("X_L B");
+        }
+        let circuit = logical_cnot(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit).expect("CNOT_L");
+        let ra = logical_z_of(&mut stack, &a).expect("deterministic");
+        let rb = logical_z_of(&mut stack, &b).expect("deterministic");
+        all_ok &= ra == ea && rb == eb;
+        rows.push(vec![
+            basis_label(ca, cb),
+            basis_label(ea, eb),
+            basis_label(ra, rb),
+            if ra == ea && rb == eb { "ok" } else { "MISMATCH" }.into(),
+        ]);
+    }
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Table 5.5: logical CNOT (star 0 control, star 1 target)",
+            &["initial", "expected", "simulated", ""],
+            &rows,
+        )
+    );
+    println!("Table 5.5 verification: {}", if all_ok { "PASS" } else { "FAIL" });
+}
+
+fn cz_truth_table(args: &HarnessArgs) {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for (i, (ca, cb)) in [(false, false), (true, false), (false, true), (true, true)]
+        .into_iter()
+        .enumerate()
+    {
+        let (mut stack, mut a, mut b) = two_stars(args.seed + 50 + i as u64);
+        a.initialize_zero(&mut stack).expect("init A");
+        b.initialize_zero(&mut stack).expect("init B");
+        if ca {
+            a.apply_logical_x(&mut stack).expect("X_L A");
+        }
+        if cb {
+            b.apply_logical_x(&mut stack).expect("X_L B");
+        }
+        let circuit = logical_cz(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit).expect("CZ_L");
+        let ra = logical_z_of(&mut stack, &a).expect("deterministic");
+        let rb = logical_z_of(&mut stack, &b).expect("deterministic");
+        all_ok &= ra == ca && rb == cb;
+        let phase_note = if ca && cb { " (x -1 global phase)" } else { "" };
+        rows.push(vec![
+            basis_label(ca, cb),
+            format!("{}{}", basis_label(ca, cb), phase_note),
+            basis_label(ra, rb),
+            if ra == ca && rb == cb { "ok" } else { "MISMATCH" }.into(),
+        ]);
+    }
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Table 5.6: logical CZ (diagonal; the -1 on |11>_L is global phase)",
+            &["initial", "expected", "simulated", ""],
+            &rows,
+        )
+    );
+    println!("Table 5.6 verification: {}", if all_ok { "PASS" } else { "FAIL" });
+}
+
+/// Demonstrates the `−1` of Table 5.6 relationally: `CZ_L` on
+/// `|+⟩_L |1⟩_L` sends the control to `|−⟩_L` (the phase is kicked back
+/// onto the superposed control), while on `|+⟩_L |0⟩_L` it does nothing.
+fn cz_phase_interference(args: &HarnessArgs) {
+    println!();
+    println!("== CZ_L phase kick-back (the -1 of Table 5.6, observably) ==");
+    for target_one in [false, true] {
+        let (mut stack, mut a, mut b) = two_stars(args.seed + 60 + u64::from(target_one));
+        a.initialize_plus(&mut stack).expect("init |+>_L");
+        b.initialize_zero(&mut stack).expect("init |0>_L");
+        if target_one {
+            b.apply_logical_x(&mut stack).expect("X_L");
+        }
+        let circuit = logical_cz(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit).expect("CZ_L");
+        // X_L expectation of the control: +1 = |+>_L, -1 = |->_L.
+        let mut obs = PauliString::identity(N2);
+        for q in a.logical_x_qubits() {
+            obs.set_op(q, Pauli::X);
+        }
+        let x_value = stack
+            .core_mut()
+            .simulator_mut()
+            .expect("qubits")
+            .expectation(&obs)
+            .expect("deterministic");
+        let control_state = if x_value { "|->_L" } else { "|+>_L" };
+        let expected = if target_one { "|->_L" } else { "|+>_L" };
+        println!(
+            "CZ_L on |+>_L |{}>_L: control becomes {control_state} (expected {expected}) {}",
+            u8::from(target_one),
+            if control_state == expected { "ok" } else { "MISMATCH" }
+        );
+    }
+}
+
+fn hadamard_verification(args: &HarnessArgs) {
+    println!();
+    println!("== H_L verification (Section 5.1.4) ==");
+    // H_L|0>_L behaves like |+>_L: X_L-measurement deterministic +1,
+    // Z_L|+>_L = |->_L detectable, lattice rotated.
+    let mut stack = ControlStack::with_seed(ChpCore::new(), args.seed + 70);
+    stack.create_qubits(17).expect("register");
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).expect("init");
+    star.apply_logical_h(&mut stack).expect("H_L");
+    let mut obs = PauliString::identity(17);
+    for q in star.logical_x_qubits() {
+        obs.set_op(q, Pauli::X);
+    }
+    let x_val = stack
+        .core_mut()
+        .simulator_mut()
+        .expect("qubits")
+        .expectation(&obs);
+    println!(
+        "H_L|0>_L is a +1 eigenstate of the (rotated) X_L: {}",
+        if x_val == Some(false) { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "lattice orientation after H_L: {} (XL support now {:?})",
+        star.properties().rotation,
+        star.logical_x_qubits()
+    );
+    star.apply_logical_h(&mut stack).expect("H_L");
+    let back = star.measure_logical(&mut stack).expect("M_ZL");
+    println!(
+        "H_L H_L |0>_L measures +1 again: {}",
+        if !back { "PASS" } else { "FAIL" }
+    );
+}

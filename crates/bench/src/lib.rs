@@ -1,0 +1,216 @@
+//! Shared harness for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (see `DESIGN.md` §4 for
+//! the experiment index).
+//!
+//! Every binary accepts:
+//!
+//! - `--full` — paper-scale parameters (long; the default is a quick
+//!   mode with the same structure at reduced statistics),
+//! - `--out <dir>` — where CSV series are written (default `results/`),
+//! - `--seed <n>` — base RNG seed (default 2016).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Run at paper-scale statistics.
+    pub full: bool,
+    /// Output directory for CSV series.
+    pub out_dir: PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with usage on errors.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            full: false,
+            out_dir: PathBuf::from("results"),
+            seed: 2016,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => args.full = true,
+                "--quick" => args.full = false,
+                "--out" => {
+                    args.out_dir = PathBuf::from(
+                        iter.next().unwrap_or_else(|| usage("--out needs a directory")),
+                    );
+                }
+                "--seed" => {
+                    args.seed = iter
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            usage("--seed needs an integer");
+                        });
+                }
+                "--help" | "-h" => {
+                    usage("");
+                }
+                other => usage(&format!("unknown option {other:?}")),
+            }
+        }
+        args
+    }
+
+    /// Writes a CSV series into the output directory, creating it on
+    /// demand. Returns the path written.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (experiment binaries want loud failures).
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) -> PathBuf {
+        fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path = self.out_dir.join(name);
+        let mut text = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        let _ = writeln!(text, "{header}");
+        for row in rows {
+            let _ = writeln!(text, "{row}");
+        }
+        fs::write(&path, text).expect("write CSV");
+        path
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: <experiment> [--full] [--out DIR] [--seed N]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+/// `n` logarithmically spaced points over `[lo, hi]`, inclusive.
+///
+/// # Panics
+///
+/// Panics if `lo <= 0`, `hi <= lo`, or `n < 2`.
+#[must_use]
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2, "invalid log-space request");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Renders an aligned text table with a title, for terminal output that
+/// mirrors the paper's tables.
+#[must_use]
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    let rule_len = header_line.join("  ").len();
+    let _ = writeln!(out, "{}", "-".repeat(rule_len));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+/// Formats a float in the compact scientific style the paper's axes use.
+#[must_use]
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Estimates where a sampled curve crosses `y = x` (the pseudo-threshold
+/// of Section 2.5.1) by log-log interpolation. Returns `None` when the
+/// samples never cross.
+#[must_use]
+pub fn pseudo_threshold(points: &[(f64, f64)]) -> Option<f64> {
+    let mut sorted: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for pair in sorted.windows(2) {
+        let (x1, y1) = pair[0];
+        let (x2, y2) = pair[1];
+        let f1 = (y1 / x1).ln();
+        let f2 = (y2 / x2).ln();
+        if f1 <= 0.0 && f2 > 0.0 || f1 >= 0.0 && f2 < 0.0 {
+            // Interpolate ln(y/x) = 0 in ln(x).
+            let t = f1 / (f1 - f2);
+            return Some((x1.ln() + t * (x2.ln() - x1.ln())).exp());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_space_endpoints() {
+        let pts = log_space(1e-4, 1e-2, 5);
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0] - 1e-4).abs() < 1e-12);
+        assert!((pts[4] - 1e-2).abs() < 1e-9);
+        assert!((pts[2] - 1e-3).abs() < 1e-9); // geometric midpoint
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let table = render_table(
+            "demo",
+            &["p", "LER"],
+            &[vec!["0.001".into(), "0.003".into()]],
+        );
+        assert!(table.contains("demo"));
+        assert!(table.contains("LER"));
+        assert!(table.contains("0.003"));
+    }
+
+    #[test]
+    fn pseudo_threshold_interpolation() {
+        // LER = 1000·p²: crosses y = x at p = 1e-3.
+        let points: Vec<(f64, f64)> = log_space(1e-4, 1e-2, 9)
+            .into_iter()
+            .map(|p| (p, 1000.0 * p * p))
+            .collect();
+        let pth = pseudo_threshold(&points).unwrap();
+        assert!((pth - 1e-3).abs() / 1e-3 < 0.05, "pth = {pth}");
+        // A curve entirely above y=x has no crossing.
+        assert!(pseudo_threshold(&[(1e-3, 1e-2), (1e-2, 1e-1)]).is_none());
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(0.0), "0");
+        assert!(sci(3.05e-3).starts_with("3.05"));
+    }
+}

@@ -1,0 +1,227 @@
+use std::fmt;
+
+/// The quantum gates supported by the QPDO platform.
+///
+/// This is the union of the gate sets used throughout the paper: the Pauli
+/// group generators, the Clifford generators and companions
+/// (`H`, `S`, `S†`, `CNOT`, `CZ`, `SWAP`), and the non-Clifford gates used
+/// by the random-circuit verification and universality discussions
+/// (`T`, `T†`, Toffoli).
+///
+/// # Example
+///
+/// ```
+/// use qpdo_circuit::{Gate, GateKind};
+///
+/// assert_eq!(Gate::X.kind(), GateKind::Pauli);
+/// assert_eq!(Gate::Cnot.kind(), GateKind::Clifford);
+/// assert_eq!(Gate::Toffoli.kind(), GateKind::NonClifford);
+/// assert_eq!(Gate::Cnot.arity(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Gate {
+    /// Identity (an explicit idle step; still counts as an operation for
+    /// the error model, per Section 5.3.1).
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate, `RZ(π/2)`.
+    S,
+    /// Inverse phase gate, `RZ(-π/2)`.
+    Sdg,
+    /// `RZ(π/4)` — non-Clifford.
+    T,
+    /// `RZ(-π/4)` — non-Clifford.
+    Tdg,
+    /// Controlled-NOT (control first).
+    Cnot,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Qubit exchange.
+    Swap,
+    /// Controlled-controlled-NOT — non-Clifford.
+    Toffoli,
+}
+
+/// The gate-group classification of Section 2.3.3, used by the Pauli
+/// arbiter to dispatch operations (Table 3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Member of the Pauli group: tracked in the frame, never executed.
+    Pauli,
+    /// Clifford (but not Pauli): maps records, still executed.
+    Clifford,
+    /// Non-Clifford: forces a frame flush before execution.
+    NonClifford,
+}
+
+impl Gate {
+    /// Every supported gate.
+    pub const ALL: [Gate; 13] = [
+        Gate::I,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::Cnot,
+        Gate::Cz,
+        Gate::Swap,
+        Gate::Toffoli,
+    ];
+
+    /// The number of qubits the gate acts on.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::Cnot | Gate::Cz | Gate::Swap => 2,
+            Gate::Toffoli => 3,
+            _ => 1,
+        }
+    }
+
+    /// The gate-group classification (Section 2.3.3).
+    #[must_use]
+    pub fn kind(self) -> GateKind {
+        match self {
+            Gate::I | Gate::X | Gate::Y | Gate::Z => GateKind::Pauli,
+            Gate::H | Gate::S | Gate::Sdg | Gate::Cnot | Gate::Cz | Gate::Swap => {
+                GateKind::Clifford
+            }
+            Gate::T | Gate::Tdg | Gate::Toffoli => GateKind::NonClifford,
+        }
+    }
+
+    /// `true` for members of the Pauli group.
+    #[must_use]
+    pub fn is_pauli(self) -> bool {
+        self.kind() == GateKind::Pauli
+    }
+
+    /// `true` for members of the Clifford group (which contains the Pauli
+    /// group).
+    #[must_use]
+    pub fn is_clifford(self) -> bool {
+        self.kind() != GateKind::NonClifford
+    }
+
+    /// `true` for non-Clifford gates.
+    #[must_use]
+    pub fn is_non_clifford(self) -> bool {
+        self.kind() == GateKind::NonClifford
+    }
+
+    /// The inverse gate (all supported gates have their inverse in the
+    /// set).
+    #[must_use]
+    pub fn inverse(self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            other => other, // all remaining gates are self-inverse
+        }
+    }
+
+    /// The lowercase mnemonic used by the text format (e.g. `"cnot"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::I => "i",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Cnot => "cnot",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Toffoli => "toffoli",
+        }
+    }
+
+    /// Parses the mnemonic produced by [`name`](Gate::name)
+    /// (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Gate> {
+        let lower = name.to_ascii_lowercase();
+        Gate::ALL.into_iter().find(|g| g.name() == lower)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper_groups() {
+        assert_eq!(Gate::I.kind(), GateKind::Pauli);
+        assert_eq!(Gate::X.kind(), GateKind::Pauli);
+        assert_eq!(Gate::Y.kind(), GateKind::Pauli);
+        assert_eq!(Gate::Z.kind(), GateKind::Pauli);
+        for g in [Gate::H, Gate::S, Gate::Sdg, Gate::Cnot, Gate::Cz, Gate::Swap] {
+            assert_eq!(g.kind(), GateKind::Clifford, "{g}");
+        }
+        for g in [Gate::T, Gate::Tdg, Gate::Toffoli] {
+            assert_eq!(g.kind(), GateKind::NonClifford, "{g}");
+        }
+    }
+
+    #[test]
+    fn pauli_gates_are_clifford_too() {
+        // The Pauli group is a subgroup of the Clifford group.
+        for g in Gate::ALL {
+            if g.is_pauli() {
+                assert!(g.is_clifford());
+            }
+        }
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(Gate::H.arity(), 1);
+        assert_eq!(Gate::Cnot.arity(), 2);
+        assert_eq!(Gate::Cz.arity(), 2);
+        assert_eq!(Gate::Swap.arity(), 2);
+        assert_eq!(Gate::Toffoli.arity(), 3);
+    }
+
+    #[test]
+    fn inverses() {
+        for g in Gate::ALL {
+            assert_eq!(g.inverse().inverse(), g);
+        }
+        assert_eq!(Gate::S.inverse(), Gate::Sdg);
+        assert_eq!(Gate::T.inverse(), Gate::Tdg);
+        assert_eq!(Gate::H.inverse(), Gate::H);
+        assert_eq!(Gate::Cnot.inverse(), Gate::Cnot);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for g in Gate::ALL {
+            assert_eq!(Gate::from_name(g.name()), Some(g));
+            assert_eq!(Gate::from_name(&g.name().to_ascii_uppercase()), Some(g));
+        }
+        assert_eq!(Gate::from_name("bogus"), None);
+    }
+}

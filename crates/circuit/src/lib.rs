@@ -1,0 +1,38 @@
+//! Circuit intermediate representation for the QPDO platform.
+//!
+//! Implements the shared data structures of Section 4.2.2 of *Pauli Frames
+//! for Quantum Computer Architectures*: a [`Circuit`] is a sequence of
+//! [`TimeSlot`]s, each holding [`Operation`]s that execute in parallel
+//! (every qubit participates in at most one operation per slot — Fig 4.4).
+//!
+//! Operations are qubit initialization ([`Operation::prep`]), measurement
+//! ([`Operation::measure`]) and [`Gate`]s. Gates are classified into the
+//! groups of Section 2.3.3 — Pauli, (other) Clifford, and non-Clifford —
+//! which is exactly the classification the Pauli arbiter dispatches on
+//! (Table 3.1).
+//!
+//! # Example
+//!
+//! ```
+//! use qpdo_circuit::{Circuit, Gate, GateKind};
+//!
+//! let mut bell = Circuit::new();
+//! bell.prep(0).prep(1).h(0).cnot(0, 1).measure_all(2);
+//! assert_eq!(bell.slot_count(), 4); // [prep,prep] [h] [cnot] [m,m]
+//! assert_eq!(Gate::T.kind(), GateKind::NonClifford);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod gate;
+mod operation;
+mod slot;
+mod text;
+
+pub use builder::{Circuit, CircuitCensus};
+pub use gate::{Gate, GateKind};
+pub use operation::{Operation, OperationKind};
+pub use slot::TimeSlot;
+pub use text::ParseCircuitError;

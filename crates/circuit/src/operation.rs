@@ -1,0 +1,201 @@
+use std::fmt;
+
+use crate::{Gate, GateKind};
+
+/// What an [`Operation`] does: initialization, measurement or a gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OperationKind {
+    /// Reset the qubit to `|0⟩` in the computational basis.
+    Prep,
+    /// Measure the qubit in the computational basis.
+    Measure,
+    /// Apply a quantum gate.
+    Gate(Gate),
+}
+
+/// A single scheduled operation: a kind plus the qubits it acts on.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_circuit::{Gate, Operation};
+///
+/// let op = Operation::gate(Gate::Cnot, &[0, 1]);
+/// assert_eq!(op.qubits(), &[0, 1]);
+/// assert!(!op.is_pauli_gate());
+/// assert_eq!(op.to_string(), "cnot q0,q1");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Operation {
+    kind: OperationKind,
+    qubits: Vec<usize>,
+}
+
+impl Operation {
+    /// A qubit initialization to `|0⟩`.
+    #[must_use]
+    pub fn prep(q: usize) -> Self {
+        Operation {
+            kind: OperationKind::Prep,
+            qubits: vec![q],
+        }
+    }
+
+    /// A computational-basis measurement.
+    #[must_use]
+    pub fn measure(q: usize) -> Self {
+        Operation {
+            kind: OperationKind::Measure,
+            qubits: vec![q],
+        }
+    }
+
+    /// A gate on the given qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the gate arity or if
+    /// the same qubit appears twice.
+    #[must_use]
+    pub fn gate(gate: Gate, qubits: &[usize]) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "gate {gate} takes {} qubit(s), got {:?}",
+            gate.arity(),
+            qubits
+        );
+        for (i, a) in qubits.iter().enumerate() {
+            for b in &qubits[i + 1..] {
+                assert_ne!(a, b, "gate {gate} repeats qubit {a}");
+            }
+        }
+        Operation {
+            kind: OperationKind::Gate(gate),
+            qubits: qubits.to_vec(),
+        }
+    }
+
+    /// The operation kind.
+    #[must_use]
+    pub fn kind(&self) -> OperationKind {
+        self.kind
+    }
+
+    /// The qubits the operation acts on, in gate-operand order (e.g.
+    /// control before target for `CNOT`).
+    #[must_use]
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The gate, if this operation is a gate.
+    #[must_use]
+    pub fn as_gate(&self) -> Option<Gate> {
+        match self.kind {
+            OperationKind::Gate(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// `true` if the operation is a qubit initialization.
+    #[must_use]
+    pub fn is_prep(&self) -> bool {
+        self.kind == OperationKind::Prep
+    }
+
+    /// `true` if the operation is a measurement.
+    #[must_use]
+    pub fn is_measure(&self) -> bool {
+        self.kind == OperationKind::Measure
+    }
+
+    /// `true` if the operation is a Pauli-group gate (trackable by a Pauli
+    /// frame without touching the qubit).
+    #[must_use]
+    pub fn is_pauli_gate(&self) -> bool {
+        matches!(self.kind, OperationKind::Gate(g) if g.kind() == GateKind::Pauli)
+    }
+
+    /// `true` if the operation is a non-Clifford gate (forces a frame
+    /// flush).
+    #[must_use]
+    pub fn is_non_clifford_gate(&self) -> bool {
+        matches!(self.kind, OperationKind::Gate(g) if g.kind() == GateKind::NonClifford)
+    }
+
+    /// The largest qubit index the operation touches.
+    #[must_use]
+    pub fn max_qubit(&self) -> usize {
+        *self.qubits.iter().max().expect("operations touch >=1 qubit")
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mnemonic = match self.kind {
+            OperationKind::Prep => "prep_z",
+            OperationKind::Measure => "measure",
+            OperationKind::Gate(g) => g.name(),
+        };
+        write!(f, "{mnemonic} ")?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "q{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = Operation::prep(3);
+        assert!(p.is_prep());
+        assert_eq!(p.qubits(), &[3]);
+        assert_eq!(p.as_gate(), None);
+
+        let m = Operation::measure(0);
+        assert!(m.is_measure());
+
+        let g = Operation::gate(Gate::Toffoli, &[0, 2, 4]);
+        assert_eq!(g.as_gate(), Some(Gate::Toffoli));
+        assert_eq!(g.max_qubit(), 4);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Operation::gate(Gate::X, &[0]).is_pauli_gate());
+        assert!(!Operation::gate(Gate::H, &[0]).is_pauli_gate());
+        assert!(Operation::gate(Gate::T, &[0]).is_non_clifford_gate());
+        assert!(!Operation::measure(0).is_pauli_gate());
+        assert!(!Operation::prep(0).is_non_clifford_gate());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Operation::prep(1).to_string(), "prep_z q1");
+        assert_eq!(Operation::measure(2).to_string(), "measure q2");
+        assert_eq!(
+            Operation::gate(Gate::Cnot, &[0, 7]).to_string(),
+            "cnot q0,q7"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 qubit(s)")]
+    fn wrong_arity_panics() {
+        let _ = Operation::gate(Gate::Cnot, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats qubit")]
+    fn repeated_qubit_panics() {
+        let _ = Operation::gate(Gate::Cz, &[1, 1]);
+    }
+}

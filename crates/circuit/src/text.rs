@@ -1,0 +1,192 @@
+//! A QASM-like plain-text format for circuits.
+//!
+//! One line per time slot; operations separated by `;`; qubit operands
+//! written `q<N>` and separated by `,`. Blank lines and `#` comments are
+//! ignored. This mirrors the textual interface the paper used to drive the
+//! QX Simulator over QASM.
+//!
+//! ```text
+//! # odd Bell state
+//! prep_z q0; prep_z q1
+//! h q0
+//! cnot q0,q1
+//! x q0
+//! measure q0; measure q1
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Circuit, Gate, Operation, TimeSlot};
+
+/// Error returned when parsing circuit text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    line: usize,
+    message: String,
+}
+
+impl ParseCircuitError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseCircuitError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line of the failure.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCircuitError {}
+
+fn parse_qubit(token: &str, line: usize) -> Result<usize, ParseCircuitError> {
+    let digits = token
+        .strip_prefix('q')
+        .ok_or_else(|| ParseCircuitError::new(line, format!("expected qubit operand, got {token:?}")))?;
+    digits
+        .parse()
+        .map_err(|_| ParseCircuitError::new(line, format!("invalid qubit index {digits:?}")))
+}
+
+fn parse_operation(text: &str, line: usize) -> Result<Operation, ParseCircuitError> {
+    let text = text.trim();
+    let (mnemonic, operands) = text
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| ParseCircuitError::new(line, format!("missing operands in {text:?}")))?;
+    let qubits = operands
+        .split(',')
+        .map(|tok| parse_qubit(tok.trim(), line))
+        .collect::<Result<Vec<_>, _>>()?;
+    let single = |qubits: &[usize]| -> Result<usize, ParseCircuitError> {
+        if qubits.len() == 1 {
+            Ok(qubits[0])
+        } else {
+            Err(ParseCircuitError::new(
+                line,
+                format!("{mnemonic} takes exactly one qubit"),
+            ))
+        }
+    };
+    match mnemonic {
+        "prep_z" => Ok(Operation::prep(single(&qubits)?)),
+        "measure" => Ok(Operation::measure(single(&qubits)?)),
+        name => {
+            let gate = Gate::from_name(name).ok_or_else(|| {
+                ParseCircuitError::new(line, format!("unknown mnemonic {name:?}"))
+            })?;
+            if qubits.len() != gate.arity() {
+                return Err(ParseCircuitError::new(
+                    line,
+                    format!("{name} takes {} qubit(s), got {}", gate.arity(), qubits.len()),
+                ));
+            }
+            Ok(Operation::gate(gate, &qubits))
+        }
+    }
+}
+
+impl FromStr for Circuit {
+    type Err = ParseCircuitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut circuit = Circuit::new();
+        for (idx, raw_line) in s.lines().enumerate() {
+            let line_no = idx + 1;
+            let content = raw_line.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut slot = TimeSlot::new();
+            for op_text in content.split(';') {
+                let op = parse_operation(op_text, line_no)?;
+                if !slot.try_push(op) {
+                    return Err(ParseCircuitError::new(
+                        line_no,
+                        "qubit used twice in one time slot",
+                    ));
+                }
+            }
+            circuit.push_slot(slot);
+        }
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let text = "\
+prep_z q0; prep_z q1
+h q0
+cnot q0,q1
+measure q0; measure q1
+";
+        let circuit: Circuit = text.parse().unwrap();
+        assert_eq!(circuit.slot_count(), 4);
+        assert_eq!(circuit.operation_count(), 6);
+        let reparsed: Circuit = circuit.to_string().parse().unwrap();
+        assert_eq!(reparsed, circuit);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nh q0  # trailing comment\n";
+        let circuit: Circuit = text.parse().unwrap();
+        assert_eq!(circuit.operation_count(), 1);
+    }
+
+    #[test]
+    fn all_gates_parse() {
+        let text = "\
+i q0
+x q0
+y q0
+z q0
+h q0
+s q0
+sdg q0
+t q0
+tdg q0
+cnot q0,q1
+cz q0,q1
+swap q0,q1
+toffoli q0,q1,q2
+";
+        let circuit: Circuit = text.parse().unwrap();
+        assert_eq!(circuit.operation_count(), 13);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = "h q0\nbogus q1\n".parse::<Circuit>().unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn error_on_missing_operand() {
+        assert!("h".parse::<Circuit>().is_err());
+        assert!("h 0".parse::<Circuit>().is_err());
+        assert!("cnot q0".parse::<Circuit>().is_err());
+        assert!("measure q0,q1".parse::<Circuit>().is_err());
+    }
+
+    #[test]
+    fn error_on_slot_conflict() {
+        let err = "h q0; x q0".parse::<Circuit>().unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+}

@@ -1,0 +1,211 @@
+use qpdo_circuit::{Gate, Operation};
+use qpdo_pauli::Pauli;
+
+use super::{PauliFrameUnit, PfuOutcome};
+
+/// A command emitted by the [`PauliArbiter`] to the Physical Execution
+/// Layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PelCommand {
+    /// Execute this operation on the physical qubits.
+    Execute(Operation),
+}
+
+/// Counters of how the arbiter dispatched its operation stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Reset operations (forwarded to PFU **and** PEL).
+    pub resets: u64,
+    /// Measurement operations (forwarded to PEL; result path via PFU).
+    pub measurements: u64,
+    /// Pauli gates absorbed by the PFU (never reach the PEL).
+    pub tracked_paulis: u64,
+    /// Clifford gates (records mapped, gate forwarded).
+    pub cliffords: u64,
+    /// Non-Clifford gates (stream stalled, records flushed first).
+    pub non_cliffords: u64,
+    /// Pauli gates emitted by flushes.
+    pub flush_gates: u64,
+}
+
+impl ArbiterStats {
+    /// Total operations received from the execution controller.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.resets + self.measurements + self.tracked_paulis + self.cliffords
+            + self.non_cliffords
+    }
+
+    /// Total operations forwarded to the PEL.
+    #[must_use]
+    pub fn forwarded(&self) -> u64 {
+        self.resets + self.measurements + self.cliffords + self.non_cliffords
+            + self.flush_gates
+    }
+}
+
+/// The Pauli arbiter of Figs 3.11–3.12: sits between the execution
+/// controller and the Physical Execution Layer, consulting the
+/// [`PauliFrameUnit`] to decide which operations are executed physically
+/// and which are tracked classically.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::arch::PauliArbiter;
+/// use qpdo_circuit::{Gate, Operation};
+///
+/// let mut arbiter = PauliArbiter::new(17);
+/// // A Pauli gate produces no PEL traffic at all:
+/// assert!(arbiter.dispatch(&Operation::gate(Gate::Z, &[4])).is_empty());
+/// // A Clifford gate is forwarded:
+/// assert_eq!(arbiter.dispatch(&Operation::gate(Gate::H, &[4])).len(), 1);
+/// assert_eq!(arbiter.stats().tracked_paulis, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PauliArbiter {
+    pfu: PauliFrameUnit,
+    stats: ArbiterStats,
+}
+
+impl PauliArbiter {
+    /// An arbiter (with embedded PFU) over `n` physical qubits.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PauliArbiter {
+            pfu: PauliFrameUnit::new(n),
+            stats: ArbiterStats::default(),
+        }
+    }
+
+    /// The embedded Pauli Frame Unit.
+    #[must_use]
+    pub fn pfu(&self) -> &PauliFrameUnit {
+        &self.pfu
+    }
+
+    /// Dispatch statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ArbiterStats {
+        self.stats
+    }
+
+    /// Processes one operation from the execution controller, returning
+    /// the PEL commands it generates, in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation references qubits outside the unit.
+    pub fn dispatch(&mut self, op: &Operation) -> Vec<PelCommand> {
+        match self.pfu.process(op) {
+            PfuOutcome::Reset => {
+                self.stats.resets += 1;
+                vec![PelCommand::Execute(op.clone())]
+            }
+            PfuOutcome::Measure { .. } => {
+                self.stats.measurements += 1;
+                vec![PelCommand::Execute(op.clone())]
+            }
+            PfuOutcome::Tracked => {
+                self.stats.tracked_paulis += 1;
+                Vec::new()
+            }
+            PfuOutcome::Mapped => {
+                self.stats.cliffords += 1;
+                vec![PelCommand::Execute(op.clone())]
+            }
+            PfuOutcome::Flushed { pauli_gates } => {
+                self.stats.non_cliffords += 1;
+                self.stats.flush_gates += pauli_gates.len() as u64;
+                let mut commands: Vec<PelCommand> = pauli_gates
+                    .into_iter()
+                    .map(|(q, p)| {
+                        let gate = match p {
+                            Pauli::X => Gate::X,
+                            Pauli::Y => Gate::Y,
+                            Pauli::Z => Gate::Z,
+                            Pauli::I => Gate::I,
+                        };
+                        PelCommand::Execute(Operation::gate(gate, &[q]))
+                    })
+                    .collect();
+                commands.push(PelCommand::Execute(op.clone()));
+                commands
+            }
+        }
+    }
+
+    /// Maps a raw measurement result arriving from the PEL (step 4–5 of
+    /// Fig 3.12b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn map_measurement(&self, q: usize, raw: bool) -> bool {
+        self.pfu.map_measurement(q, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_pauli::PauliRecord;
+
+    #[test]
+    fn pauli_gates_produce_no_pel_traffic() {
+        let mut arb = PauliArbiter::new(2);
+        assert!(arb.dispatch(&Operation::gate(Gate::X, &[0])).is_empty());
+        assert!(arb.dispatch(&Operation::gate(Gate::Y, &[1])).is_empty());
+        assert_eq!(arb.stats().tracked_paulis, 2);
+        assert_eq!(arb.stats().forwarded(), 0);
+    }
+
+    #[test]
+    fn reset_and_measure_forwarded() {
+        let mut arb = PauliArbiter::new(1);
+        assert_eq!(arb.dispatch(&Operation::prep(0)).len(), 1);
+        assert_eq!(arb.dispatch(&Operation::measure(0)).len(), 1);
+        assert_eq!(arb.stats().resets, 1);
+        assert_eq!(arb.stats().measurements, 1);
+    }
+
+    #[test]
+    fn non_clifford_stalls_and_flushes() {
+        let mut arb = PauliArbiter::new(1);
+        arb.dispatch(&Operation::gate(Gate::X, &[0]));
+        let commands = arb.dispatch(&Operation::gate(Gate::T, &[0]));
+        assert_eq!(
+            commands,
+            vec![
+                PelCommand::Execute(Operation::gate(Gate::X, &[0])),
+                PelCommand::Execute(Operation::gate(Gate::T, &[0])),
+            ]
+        );
+        assert_eq!(arb.pfu().record(0), PauliRecord::I);
+        assert_eq!(arb.stats().flush_gates, 1);
+    }
+
+    #[test]
+    fn measurement_mapping_via_record() {
+        let mut arb = PauliArbiter::new(1);
+        arb.dispatch(&Operation::gate(Gate::X, &[0]));
+        assert!(arb.map_measurement(0, false));
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut arb = PauliArbiter::new(2);
+        arb.dispatch(&Operation::prep(0));
+        arb.dispatch(&Operation::gate(Gate::Z, &[0]));
+        arb.dispatch(&Operation::gate(Gate::H, &[0]));
+        arb.dispatch(&Operation::gate(Gate::T, &[0]));
+        arb.dispatch(&Operation::measure(0));
+        let s = arb.stats();
+        assert_eq!(s.received(), 5);
+        // prep + h + t + flush(1: the Z mapped to X by H... still one
+        // record) + measure
+        assert_eq!(s.non_cliffords, 1);
+        assert!(s.forwarded() >= 4);
+    }
+}

@@ -1,0 +1,255 @@
+use std::fmt;
+
+use qpdo_circuit::{Gate, Operation, OperationKind};
+use qpdo_pauli::{Pauli, PauliFrame, PauliRecord};
+
+/// What the Pauli Frame Unit did with one operation (the five flows of
+/// Fig 3.12).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PfuOutcome {
+    /// Reset forwarded; the record was set to `I` (Fig 3.12a).
+    Reset,
+    /// Measurement forwarded; the eventual raw result must be inverted if
+    /// `invert` is set (Fig 3.12b).
+    Measure {
+        /// Whether the raw result must be inverted (record held `X`/`XZ`).
+        invert: bool,
+    },
+    /// A Pauli gate was absorbed; nothing reaches the PEL (Fig 3.12c).
+    Tracked,
+    /// A Clifford gate: records mapped, gate forwarded (Fig 3.12d).
+    Mapped,
+    /// A non-Clifford gate: the returned Pauli gates must execute on the
+    /// PEL *before* the gate itself (Fig 3.12e).
+    Flushed {
+        /// `(qubit, gate)` pairs to execute ahead of the gate.
+        pauli_gates: Vec<(usize, Pauli)>,
+    },
+}
+
+/// The Pauli Frame Unit of Fig 3.11: `PF data` (2 bits per qubit) plus
+/// `PF logic` (the mapping tables of Tables 3.2–3.5).
+///
+/// For a single SC17 logical qubit this is `2 × 17 = 34` bits of memory
+/// (see [`memory_bits`](PauliFrameUnit::memory_bits)).
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::arch::{PauliFrameUnit, PfuOutcome};
+/// use qpdo_circuit::{Gate, Operation};
+///
+/// let mut pfu = PauliFrameUnit::new(17);
+/// assert_eq!(pfu.memory_bits(), 34);
+/// let outcome = pfu.process(&Operation::gate(Gate::X, &[3]));
+/// assert_eq!(outcome, PfuOutcome::Tracked);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PauliFrameUnit {
+    frame: PauliFrame,
+}
+
+impl PauliFrameUnit {
+    /// A PFU over `n` physical qubits, all records `I`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PauliFrameUnit {
+            frame: PauliFrame::new(n),
+        }
+    }
+
+    /// The number of qubits covered.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// The classical memory footprint in bits (`2n`, Section 3.5.2).
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        2 * self.frame.len()
+    }
+
+    /// The stored Pauli frame.
+    #[must_use]
+    pub fn frame(&self) -> &PauliFrame {
+        &self.frame
+    }
+
+    /// The record of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn record(&self, q: usize) -> PauliRecord {
+        self.frame.record(q)
+    }
+
+    /// Processes one operation through the PF logic, per Table 3.1 /
+    /// Fig 3.12. The caller (the arbiter) decides what to forward based
+    /// on the returned [`PfuOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation references qubits outside the unit.
+    pub fn process(&mut self, op: &Operation) -> PfuOutcome {
+        let q = op.qubits();
+        match op.kind() {
+            OperationKind::Prep => {
+                self.frame.reset(q[0]);
+                PfuOutcome::Reset
+            }
+            OperationKind::Measure => PfuOutcome::Measure {
+                invert: self.frame.measurement_flipped(q[0]),
+            },
+            OperationKind::Gate(gate) => match gate {
+                Gate::I => PfuOutcome::Tracked,
+                Gate::X => {
+                    self.frame.apply_pauli(q[0], Pauli::X);
+                    PfuOutcome::Tracked
+                }
+                Gate::Y => {
+                    self.frame.apply_pauli(q[0], Pauli::Y);
+                    PfuOutcome::Tracked
+                }
+                Gate::Z => {
+                    self.frame.apply_pauli(q[0], Pauli::Z);
+                    PfuOutcome::Tracked
+                }
+                Gate::H => {
+                    self.frame.apply_h(q[0]);
+                    PfuOutcome::Mapped
+                }
+                Gate::S => {
+                    self.frame.apply_s(q[0]);
+                    PfuOutcome::Mapped
+                }
+                Gate::Sdg => {
+                    self.frame.apply_sdg(q[0]);
+                    PfuOutcome::Mapped
+                }
+                Gate::Cnot => {
+                    self.frame.apply_cnot(q[0], q[1]);
+                    PfuOutcome::Mapped
+                }
+                Gate::Cz => {
+                    self.frame.apply_cz(q[0], q[1]);
+                    PfuOutcome::Mapped
+                }
+                Gate::Swap => {
+                    self.frame.apply_swap(q[0], q[1]);
+                    PfuOutcome::Mapped
+                }
+                Gate::T | Gate::Tdg | Gate::Toffoli => {
+                    let mut pauli_gates = Vec::new();
+                    for &qubit in q {
+                        for p in self.frame.flush(qubit) {
+                            pauli_gates.push((qubit, p));
+                        }
+                    }
+                    PfuOutcome::Flushed { pauli_gates }
+                }
+            },
+        }
+    }
+
+    /// Maps a raw measurement result of qubit `q` through its record
+    /// (step 4 of Fig 3.12b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn map_measurement(&self, q: usize, raw: bool) -> bool {
+        self.frame.map_measurement(q, raw)
+    }
+}
+
+impl fmt::Display for PauliFrameUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Pauli Frame Unit: {} qubits, {} bits of PF data",
+            self.num_qubits(),
+            self.memory_bits()
+        )?;
+        write!(f, "{}", self.frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_flow() {
+        let mut pfu = PauliFrameUnit::new(2);
+        pfu.process(&Operation::gate(Gate::X, &[0]));
+        assert_eq!(pfu.record(0), PauliRecord::X);
+        assert_eq!(pfu.process(&Operation::prep(0)), PfuOutcome::Reset);
+        assert_eq!(pfu.record(0), PauliRecord::I);
+    }
+
+    #[test]
+    fn measure_flow_reports_inversion() {
+        let mut pfu = PauliFrameUnit::new(1);
+        assert_eq!(
+            pfu.process(&Operation::measure(0)),
+            PfuOutcome::Measure { invert: false }
+        );
+        pfu.process(&Operation::gate(Gate::X, &[0]));
+        assert_eq!(
+            pfu.process(&Operation::measure(0)),
+            PfuOutcome::Measure { invert: true }
+        );
+        assert!(pfu.map_measurement(0, false));
+    }
+
+    #[test]
+    fn pauli_flow_never_reaches_pel() {
+        let mut pfu = PauliFrameUnit::new(1);
+        for gate in [Gate::I, Gate::X, Gate::Y, Gate::Z] {
+            assert_eq!(
+                pfu.process(&Operation::gate(gate, &[0])),
+                PfuOutcome::Tracked
+            );
+        }
+    }
+
+    #[test]
+    fn clifford_flow_maps_and_forwards() {
+        let mut pfu = PauliFrameUnit::new(2);
+        pfu.process(&Operation::gate(Gate::X, &[0]));
+        assert_eq!(
+            pfu.process(&Operation::gate(Gate::H, &[0])),
+            PfuOutcome::Mapped
+        );
+        assert_eq!(pfu.record(0), PauliRecord::Z);
+        assert_eq!(
+            pfu.process(&Operation::gate(Gate::Cnot, &[0, 1])),
+            PfuOutcome::Mapped
+        );
+    }
+
+    #[test]
+    fn non_clifford_flow_flushes() {
+        let mut pfu = PauliFrameUnit::new(1);
+        pfu.process(&Operation::gate(Gate::Y, &[0]));
+        let outcome = pfu.process(&Operation::gate(Gate::T, &[0]));
+        assert_eq!(
+            outcome,
+            PfuOutcome::Flushed {
+                pauli_gates: vec![(0, Pauli::X), (0, Pauli::Z)]
+            }
+        );
+        assert_eq!(pfu.record(0), PauliRecord::I);
+    }
+
+    #[test]
+    fn memory_footprint() {
+        assert_eq!(PauliFrameUnit::new(17).memory_bits(), 34);
+        let shown = PauliFrameUnit::new(3).to_string();
+        assert!(shown.contains("6 bits"));
+    }
+}

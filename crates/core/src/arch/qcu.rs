@@ -1,0 +1,401 @@
+use std::collections::BTreeMap;
+
+use qpdo_circuit::Operation;
+
+use super::{PauliArbiter, PelCommand};
+
+/// The QEC Cycle Generator callback installed into a QCU.
+pub type EsmGenerator = Box<dyn FnMut(&QSymbolTable) -> Vec<Operation>>;
+
+/// One entry of the Q Symbol Table: where a logical qubit lives and
+/// whether it is still allocated (Section 3.5.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogicalQubitEntry {
+    /// Physical data-qubit addresses backing the logical qubit.
+    pub data_qubits: Vec<usize>,
+    /// Physical ancilla-qubit addresses used by its ESM.
+    pub ancilla_qubits: Vec<usize>,
+    /// Whether the logical qubit is alive.
+    pub alive: bool,
+}
+
+/// The Q Symbol Table: compiler-visible (virtual) qubit addresses mapped
+/// to physical locations, consulted by the Q-Address Translation module.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::arch::QSymbolTable;
+///
+/// let mut table = QSymbolTable::new();
+/// table.allocate(0, (0..9).collect(), (9..17).collect());
+/// assert_eq!(table.entry(0).unwrap().data_qubits.len(), 9);
+/// assert_eq!(table.translate(0, 4), Some(4));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QSymbolTable {
+    entries: BTreeMap<usize, LogicalQubitEntry>,
+}
+
+impl QSymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        QSymbolTable::default()
+    }
+
+    /// Registers logical qubit `logical` over the given physical qubits.
+    pub fn allocate(
+        &mut self,
+        logical: usize,
+        data_qubits: Vec<usize>,
+        ancilla_qubits: Vec<usize>,
+    ) {
+        self.entries.insert(
+            logical,
+            LogicalQubitEntry {
+                data_qubits,
+                ancilla_qubits,
+                alive: true,
+            },
+        );
+    }
+
+    /// Marks a logical qubit as deallocated. Returns whether it existed.
+    pub fn deallocate(&mut self, logical: usize) -> bool {
+        match self.entries.get_mut(&logical) {
+            Some(e) => {
+                e.alive = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The entry for a logical qubit, if alive.
+    #[must_use]
+    pub fn entry(&self, logical: usize) -> Option<&LogicalQubitEntry> {
+        self.entries.get(&logical).filter(|e| e.alive)
+    }
+
+    /// Translates virtual data-qubit index `virtual_idx` of `logical` to
+    /// its physical address.
+    #[must_use]
+    pub fn translate(&self, logical: usize, virtual_idx: usize) -> Option<usize> {
+        self.entry(logical)?.data_qubits.get(virtual_idx).copied()
+    }
+
+    /// Logical qubits currently alive, in index order.
+    #[must_use]
+    pub fn alive(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.alive)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+/// The Logic Measurement Unit (Section 3.5.1): collects data-qubit
+/// measurement results and combines their parity into a logical
+/// measurement result (`+1`/`-1` encoded as `false`/`true`).
+#[derive(Clone, Debug, Default)]
+pub struct LogicMeasurementUnit {
+    pending: BTreeMap<usize, PendingLogicalMeasurement>,
+}
+
+#[derive(Clone, Debug)]
+struct PendingLogicalMeasurement {
+    awaiting: Vec<usize>,
+    parity: bool,
+}
+
+impl LogicMeasurementUnit {
+    /// A unit with no pending measurements.
+    #[must_use]
+    pub fn new() -> Self {
+        LogicMeasurementUnit::default()
+    }
+
+    /// Arms a logical measurement of `logical` awaiting results from the
+    /// given physical data qubits.
+    pub fn arm(&mut self, logical: usize, data_qubits: Vec<usize>) {
+        self.pending.insert(
+            logical,
+            PendingLogicalMeasurement {
+                awaiting: data_qubits,
+                parity: false,
+            },
+        );
+    }
+
+    /// Feeds one physical measurement result. Returns `Some((logical,
+    /// outcome))` when this completes a pending logical measurement —
+    /// `outcome` is `true` for logical `|1⟩` (odd parity, i.e. product
+    /// `-1`).
+    pub fn feed(&mut self, physical_qubit: usize, result: bool) -> Option<(usize, bool)> {
+        let logical = *self.pending.iter().find(|(_, p)| {
+            p.awaiting.contains(&physical_qubit)
+        })?.0;
+        let entry = self.pending.get_mut(&logical).expect("just found");
+        entry.awaiting.retain(|&q| q != physical_qubit);
+        entry.parity ^= result;
+        if entry.awaiting.is_empty() {
+            let outcome = entry.parity;
+            self.pending.remove(&logical);
+            Some((logical, outcome))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a logical measurement of `logical` is still awaiting
+    /// results.
+    #[must_use]
+    pub fn is_pending(&self, logical: usize) -> bool {
+        self.pending.contains_key(&logical)
+    }
+}
+
+/// An instruction decoded by the QCU's Execution Controller
+/// (Section 3.5.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QcuInstruction {
+    /// A physical gate / measurement / reset, already address-translated.
+    Physical(Operation),
+    /// Trigger the QEC Cycle Generator for one ESM round over the whole
+    /// qubit plane (the "QEC slot" instruction).
+    QecSlot,
+    /// Begin a logical measurement of a logical qubit.
+    LogicalMeasure {
+        /// The logical qubit index.
+        logical: usize,
+    },
+    /// Deallocate a logical qubit in the symbol table.
+    Deallocate {
+        /// The logical qubit index.
+        logical: usize,
+    },
+}
+
+/// A functional model of the Quantum Control Unit of Fig 3.10: the
+/// execution controller plus the Pauli arbiter/PFU, the Q Symbol Table
+/// and the Logic Measurement Unit.
+///
+/// The QEC Cycle Generator is supplied by the QEC code layer (e.g. the
+/// SC17 crate) as a closure producing ESM operations at `QecSlot`
+/// instructions.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::arch::{PelCommand, QcuInstruction, QuantumControlUnit};
+/// use qpdo_circuit::{Gate, Operation};
+///
+/// let mut qcu = QuantumControlUnit::new(17);
+/// qcu.symbol_table_mut().allocate(0, (0..9).collect(), (9..17).collect());
+/// // Pauli gates vanish into the frame:
+/// let pel = qcu.issue(QcuInstruction::Physical(Operation::gate(Gate::X, &[2])));
+/// assert!(pel.is_empty());
+/// ```
+pub struct QuantumControlUnit {
+    arbiter: PauliArbiter,
+    symbol_table: QSymbolTable,
+    lmu: LogicMeasurementUnit,
+    esm_generator: Option<EsmGenerator>,
+    logical_results: BTreeMap<usize, bool>,
+}
+
+impl std::fmt::Debug for QuantumControlUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantumControlUnit")
+            .field("arbiter", &self.arbiter)
+            .field("symbol_table", &self.symbol_table)
+            .field("has_esm_generator", &self.esm_generator.is_some())
+            .field("logical_results", &self.logical_results)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QuantumControlUnit {
+    /// A QCU over `n` physical qubits, with no ESM generator installed.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        QuantumControlUnit {
+            arbiter: PauliArbiter::new(n),
+            symbol_table: QSymbolTable::new(),
+            lmu: LogicMeasurementUnit::new(),
+            esm_generator: None,
+            logical_results: BTreeMap::new(),
+        }
+    }
+
+    /// Installs the QEC Cycle Generator: called at every `QecSlot`
+    /// instruction with the symbol table, returning the ESM operations
+    /// for the live qubit plane.
+    pub fn set_esm_generator(
+        &mut self,
+        generator: impl FnMut(&QSymbolTable) -> Vec<Operation> + 'static,
+    ) {
+        self.esm_generator = Some(Box::new(generator));
+    }
+
+    /// The Pauli arbiter (and through it, the PFU).
+    #[must_use]
+    pub fn arbiter(&self) -> &PauliArbiter {
+        &self.arbiter
+    }
+
+    /// The Q Symbol Table.
+    #[must_use]
+    pub fn symbol_table(&self) -> &QSymbolTable {
+        &self.symbol_table
+    }
+
+    /// Mutable access to the Q Symbol Table (allocation, updates after
+    /// logical Hadamard, …).
+    pub fn symbol_table_mut(&mut self) -> &mut QSymbolTable {
+        &mut self.symbol_table
+    }
+
+    /// Decodes and executes one instruction, returning the PEL commands
+    /// it generates.
+    pub fn issue(&mut self, instruction: QcuInstruction) -> Vec<PelCommand> {
+        match instruction {
+            QcuInstruction::Physical(op) => self.arbiter.dispatch(&op),
+            QcuInstruction::QecSlot => {
+                let ops = match &mut self.esm_generator {
+                    Some(generator) => generator(&self.symbol_table),
+                    None => Vec::new(),
+                };
+                ops.iter().flat_map(|op| self.arbiter.dispatch(op)).collect()
+            }
+            QcuInstruction::LogicalMeasure { logical } => {
+                let Some(entry) = self.symbol_table.entry(logical) else {
+                    return Vec::new();
+                };
+                let data = entry.data_qubits.clone();
+                self.lmu.arm(logical, data.clone());
+                data.iter()
+                    .flat_map(|&q| self.arbiter.dispatch(&Operation::measure(q)))
+                    .collect()
+            }
+            QcuInstruction::Deallocate { logical } => {
+                self.symbol_table.deallocate(logical);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Feeds a raw physical measurement result back from the PEL: the PFU
+    /// maps it, then the Logic Measurement Unit folds it into any pending
+    /// logical measurement. Returns the frame-corrected physical result.
+    pub fn return_measurement(&mut self, physical_qubit: usize, raw: bool) -> bool {
+        let mapped = self.arbiter.map_measurement(physical_qubit, raw);
+        if let Some((logical, outcome)) = self.lmu.feed(physical_qubit, mapped) {
+            self.logical_results.insert(logical, outcome);
+        }
+        mapped
+    }
+
+    /// The latest completed logical measurement result for `logical`
+    /// (`true` = logical `|1⟩`).
+    #[must_use]
+    pub fn logical_result(&self, logical: usize) -> Option<bool> {
+        self.logical_results.get(&logical).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_circuit::Gate;
+
+    #[test]
+    fn symbol_table_allocation() {
+        let mut t = QSymbolTable::new();
+        t.allocate(0, vec![0, 1, 2], vec![3, 4]);
+        t.allocate(1, vec![5, 6, 7], vec![8]);
+        assert_eq!(t.alive(), vec![0, 1]);
+        assert_eq!(t.translate(1, 2), Some(7));
+        assert_eq!(t.translate(1, 9), None);
+        assert!(t.deallocate(0));
+        assert!(t.entry(0).is_none());
+        assert_eq!(t.alive(), vec![1]);
+        assert!(!t.deallocate(9));
+    }
+
+    #[test]
+    fn lmu_parity_combination() {
+        let mut lmu = LogicMeasurementUnit::new();
+        lmu.arm(0, vec![0, 1, 2]);
+        assert!(lmu.is_pending(0));
+        assert_eq!(lmu.feed(0, true), None);
+        assert_eq!(lmu.feed(1, false), None);
+        // Odd parity (one '1') -> logical |1>.
+        assert_eq!(lmu.feed(2, false), Some((0, true)));
+        assert!(!lmu.is_pending(0));
+        // Results for unknown qubits are ignored.
+        assert_eq!(lmu.feed(5, true), None);
+    }
+
+    #[test]
+    fn qcu_logical_measurement_flow() {
+        let mut qcu = QuantumControlUnit::new(4);
+        qcu.symbol_table_mut().allocate(0, vec![0, 1, 2], vec![3]);
+        let pel = qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
+        assert_eq!(pel.len(), 3); // three physical measurements
+        // Return raw results: even parity -> logical |0>.
+        qcu.return_measurement(0, true);
+        qcu.return_measurement(1, true);
+        assert_eq!(qcu.logical_result(0), None);
+        qcu.return_measurement(2, false);
+        assert_eq!(qcu.logical_result(0), Some(false));
+    }
+
+    #[test]
+    fn qcu_pfu_maps_logical_results() {
+        let mut qcu = QuantumControlUnit::new(3);
+        qcu.symbol_table_mut().allocate(0, vec![0, 1, 2], vec![]);
+        // Track an X on data qubit 1: its measurement result inverts,
+        // flipping the logical parity.
+        qcu.issue(QcuInstruction::Physical(Operation::gate(Gate::X, &[1])));
+        qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
+        qcu.return_measurement(0, false);
+        qcu.return_measurement(1, false); // mapped to 1 by the record
+        qcu.return_measurement(2, false);
+        assert_eq!(qcu.logical_result(0), Some(true));
+    }
+
+    #[test]
+    fn qec_slot_uses_generator() {
+        let mut qcu = QuantumControlUnit::new(2);
+        qcu.symbol_table_mut().allocate(0, vec![0], vec![1]);
+        qcu.set_esm_generator(|table| {
+            let mut ops = Vec::new();
+            for logical in table.alive() {
+                let entry = table.entry(logical).unwrap();
+                for &a in &entry.ancilla_qubits {
+                    ops.push(Operation::prep(a));
+                    ops.push(Operation::measure(a));
+                }
+            }
+            ops
+        });
+        let pel = qcu.issue(QcuInstruction::QecSlot);
+        assert_eq!(pel.len(), 2);
+        // Without a generator nothing happens.
+        let mut bare = QuantumControlUnit::new(1);
+        assert!(bare.issue(QcuInstruction::QecSlot).is_empty());
+    }
+
+    #[test]
+    fn deallocate_stops_logical_ops() {
+        let mut qcu = QuantumControlUnit::new(2);
+        qcu.symbol_table_mut().allocate(0, vec![0, 1], vec![]);
+        qcu.issue(QcuInstruction::Deallocate { logical: 0 });
+        assert!(qcu
+            .issue(QcuInstruction::LogicalMeasure { logical: 0 })
+            .is_empty());
+    }
+}

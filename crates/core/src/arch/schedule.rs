@@ -1,0 +1,137 @@
+/// The window timing model of Figs 3.3 and 5.9 and the analytic bound of
+/// Eq 5.12.
+///
+/// A *window* executes `d - 1` rounds of Error Syndrome Measurement (the
+/// decoder consumes `d` rounds, reusing one from the previous window) and,
+/// without a Pauli frame, one extra time slot to apply corrections. A
+/// Pauli frame removes exactly that correction slot (Fig 3.3b), which
+/// bounds the relative LER improvement it can ever deliver (Eq 5.12).
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::arch::WindowSchedule;
+///
+/// let sched = WindowSchedule::new(8, 3); // ts_ESM = 8, distance 3
+/// assert_eq!(sched.window_slots_without_frame(), 17);
+/// assert_eq!(sched.window_slots_with_frame(), 16);
+/// let bound = sched.relative_improvement_upper_bound();
+/// assert!((bound - 1.0 / 17.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSchedule {
+    ts_esm: usize,
+    distance: usize,
+}
+
+impl WindowSchedule {
+    /// A schedule for ESM circuits of `ts_esm` time slots and code
+    /// distance `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts_esm == 0` or `distance < 2`.
+    #[must_use]
+    pub fn new(ts_esm: usize, distance: usize) -> Self {
+        assert!(ts_esm > 0, "an ESM round needs at least one time slot");
+        assert!(distance >= 2, "window model needs distance >= 2");
+        WindowSchedule { ts_esm, distance }
+    }
+
+    /// Time slots of one ESM round (8 for the paper's SC17 ESM,
+    /// Table 5.8).
+    #[must_use]
+    pub fn ts_esm(&self) -> usize {
+        self.ts_esm
+    }
+
+    /// The code distance.
+    #[must_use]
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// ESM rounds per window: `d - 1` (one round is shared with the
+    /// previous window, Fig 5.9).
+    #[must_use]
+    pub fn rounds_per_window(&self) -> usize {
+        self.distance - 1
+    }
+
+    /// Time slots of the ESM rounds of one window (Eq 5.7).
+    #[must_use]
+    pub fn ts_rounds(&self) -> usize {
+        self.rounds_per_window() * self.ts_esm
+    }
+
+    /// Window length in time slots **without** a Pauli frame: ESM rounds
+    /// plus the correction slot (Eq 5.6 with `ts_corrections = 1`).
+    #[must_use]
+    pub fn window_slots_without_frame(&self) -> usize {
+        self.ts_rounds() + 1
+    }
+
+    /// Window length in time slots **with** a Pauli frame: the correction
+    /// slot disappears (`ts_corrections = 0`).
+    #[must_use]
+    pub fn window_slots_with_frame(&self) -> usize {
+        self.ts_rounds()
+    }
+
+    /// Eq 5.12: the upper bound on the relative LER improvement a Pauli
+    /// frame can deliver, `1 / ((d-1)·ts_ESM + 1)`.
+    ///
+    /// Converges to zero for large distance or long ESM rounds — the
+    /// paper's argument for why no improvement is observed (or expected).
+    #[must_use]
+    pub fn relative_improvement_upper_bound(&self) -> f64 {
+        1.0 / self.window_slots_without_frame() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc17_numbers() {
+        // The paper's SC17 experiment: ts_ESM = 8, d = 3 → windows of
+        // 2·8 = 16 slots (+1 correction slot without a frame).
+        let s = WindowSchedule::new(8, 3);
+        assert_eq!(s.rounds_per_window(), 2);
+        assert_eq!(s.ts_rounds(), 16);
+        assert_eq!(s.window_slots_without_frame(), 17);
+        assert_eq!(s.window_slots_with_frame(), 16);
+        // 1/17 ≈ 5.9% — the ~6% savings ceiling quoted in Section 5.3.2.
+        let b = s.relative_improvement_upper_bound();
+        assert!((b - 1.0 / 17.0).abs() < 1e-12);
+        assert!(b < 0.06 && b > 0.058);
+    }
+
+    #[test]
+    fn bound_decreases_with_distance() {
+        let bounds: Vec<f64> = (3..=11)
+            .step_by(2)
+            .map(|d| WindowSchedule::new(8, d).relative_improvement_upper_bound())
+            .collect();
+        for pair in bounds.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+        // Fig 5.27: ~3% at d = 5, below 3% from d = 7 on.
+        assert!((bounds[1] - 1.0 / 33.0).abs() < 1e-12);
+        assert!(bounds[2] < 0.03);
+    }
+
+    #[test]
+    fn bound_decreases_with_ts_esm() {
+        let a = WindowSchedule::new(4, 3).relative_improvement_upper_bound();
+        let b = WindowSchedule::new(16, 3).relative_improvement_upper_bound();
+        assert!(b < a);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn rejects_distance_one() {
+        let _ = WindowSchedule::new(8, 1);
+    }
+}

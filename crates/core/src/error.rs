@@ -1,0 +1,76 @@
+use std::fmt;
+
+use qpdo_circuit::Gate;
+
+/// Errors produced by control stacks and simulation cores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The back-end cannot execute this gate (e.g. `T` on a stabilizer
+    /// core).
+    UnsupportedGate(Gate),
+    /// An operation referenced a qubit outside the allocated register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The number of allocated qubits.
+        allocated: usize,
+    },
+    /// No qubits have been allocated yet.
+    NoQubits,
+    /// The back-end cannot produce the requested quantum-state dump.
+    QuantumStateUnavailable,
+    /// Qubit deallocation was requested in an unsupported form.
+    UnsupportedDeallocation(String),
+    /// The requested register exceeds the back-end's capacity.
+    RegisterTooLarge {
+        /// Total qubits requested.
+        requested: usize,
+        /// The back-end's maximum.
+        maximum: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsupportedGate(g) => {
+                write!(f, "back-end does not support the {g} gate")
+            }
+            CoreError::QubitOutOfRange { qubit, allocated } => {
+                write!(f, "qubit {qubit} out of range ({allocated} allocated)")
+            }
+            CoreError::NoQubits => write!(f, "no qubits allocated"),
+            CoreError::QuantumStateUnavailable => {
+                write!(f, "back-end cannot report a quantum state")
+            }
+            CoreError::UnsupportedDeallocation(msg) => {
+                write!(f, "unsupported deallocation: {msg}")
+            }
+            CoreError::RegisterTooLarge { requested, maximum } => {
+                write!(f, "requested {requested} qubits, back-end maximum is {maximum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::UnsupportedGate(Gate::T).to_string(),
+            "back-end does not support the t gate"
+        );
+        assert!(CoreError::QubitOutOfRange {
+            qubit: 9,
+            allocated: 4
+        }
+        .to_string()
+        .contains("qubit 9"));
+        assert!(!CoreError::NoQubits.to_string().is_empty());
+    }
+}

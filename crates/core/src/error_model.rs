@@ -1,0 +1,218 @@
+use qpdo_pauli::Pauli;
+use rand::Rng;
+
+/// Counters of injected errors, readable after an experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ErrorCounts {
+    /// Pauli errors injected after single-qubit operations (incl. idles).
+    pub single_qubit: u64,
+    /// Two-qubit Pauli error events injected after two-qubit gates.
+    pub two_qubit: u64,
+    /// X errors injected before measurements.
+    pub measurement: u64,
+    /// Idle (identity-slot) errors, included in `single_qubit` as well.
+    pub idle: u64,
+}
+
+impl ErrorCounts {
+    /// Total number of error events injected.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.single_qubit + self.two_qubit + self.measurement
+    }
+}
+
+/// The symmetric depolarizing error model of Section 5.3.1.
+///
+/// For physical error rate `p`:
+///
+/// - every single-qubit operation (gates, resets, **and idling for one
+///   time slot**) suffers `X`, `Y` or `Z`, each with probability `p/3`;
+/// - a measurement suffers an `X` error (result and state flip) with
+///   probability `p`;
+/// - a two-qubit gate suffers one of the 15 non-identity Pauli pairs from
+///   `{I,X,Y,Z}² \ {(I,I)}`, each with probability `p/15`.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::DepolarizingModel;
+/// use rand::SeedableRng;
+///
+/// let mut model = DepolarizingModel::new(0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut hits = 0;
+/// for _ in 0..1000 {
+///     if model.sample_single(&mut rng).is_some() {
+///         hits += 1;
+///     }
+/// }
+/// assert!((400..600).contains(&hits)); // ~p = 0.5
+/// ```
+#[derive(Clone, Debug)]
+pub struct DepolarizingModel {
+    p: f64,
+    counts: ErrorCounts,
+}
+
+impl DepolarizingModel {
+    /// Creates a model with physical error rate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "error rate must be in [0, 1]");
+        DepolarizingModel {
+            p,
+            counts: ErrorCounts::default(),
+        }
+    }
+
+    /// The physical error rate.
+    #[must_use]
+    pub fn physical_error_rate(&self) -> f64 {
+        self.p
+    }
+
+    /// The error counters accumulated so far.
+    #[must_use]
+    pub fn counts(&self) -> ErrorCounts {
+        self.counts
+    }
+
+    /// Resets the error counters.
+    pub fn reset_counts(&mut self) {
+        self.counts = ErrorCounts::default();
+    }
+
+    /// Samples the error after a single-qubit operation: `Some(X|Y|Z)`
+    /// with probability `p/3` each.
+    pub fn sample_single<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Pauli> {
+        if rng.gen::<f64>() >= self.p {
+            return None;
+        }
+        self.counts.single_qubit += 1;
+        Some(match rng.gen_range(0..3u8) {
+            0 => Pauli::X,
+            1 => Pauli::Y,
+            _ => Pauli::Z,
+        })
+    }
+
+    /// Samples the error for an idle qubit over one time slot (same
+    /// distribution as [`sample_single`](Self::sample_single), tracked
+    /// separately).
+    pub fn sample_idle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Pauli> {
+        let err = self.sample_single(rng)?;
+        self.counts.idle += 1;
+        Some(err)
+    }
+
+    /// Samples the correlated error after a two-qubit gate: one of the 15
+    /// non-identity pairs with probability `p/15` each. At least one
+    /// element of a returned pair is non-identity.
+    pub fn sample_two<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<(Pauli, Pauli)> {
+        if rng.gen::<f64>() >= self.p {
+            return None;
+        }
+        self.counts.two_qubit += 1;
+        // Index 1..=15 over the 4x4 grid skips (I, I) at index 0.
+        let idx = rng.gen_range(1..16u8);
+        Some((Pauli::ALL[(idx / 4) as usize], Pauli::ALL[(idx % 4) as usize]))
+    }
+
+    /// Samples whether a measurement suffers an X error (probability `p`).
+    pub fn sample_measurement_flip<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if rng.gen::<f64>() < self.p {
+            self.counts.measurement += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_never_errors() {
+        let mut model = DepolarizingModel::new(0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(model.sample_single(&mut rng).is_none());
+            assert!(model.sample_two(&mut rng).is_none());
+            assert!(!model.sample_measurement_flip(&mut rng));
+        }
+        assert_eq!(model.counts().total(), 0);
+    }
+
+    #[test]
+    fn unit_rate_always_errors() {
+        let mut model = DepolarizingModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(model.sample_single(&mut rng).is_some());
+            let (a, b) = model.sample_two(&mut rng).unwrap();
+            assert!(a != Pauli::I || b != Pauli::I);
+            assert!(model.sample_measurement_flip(&mut rng));
+        }
+        assert_eq!(model.counts().single_qubit, 100);
+        assert_eq!(model.counts().two_qubit, 100);
+        assert_eq!(model.counts().measurement, 100);
+    }
+
+    #[test]
+    fn single_errors_uniform_over_xyz() {
+        let mut model = DepolarizingModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..3000 {
+            let p = model.sample_single(&mut rng).unwrap();
+            counts[match p {
+                Pauli::I => 0,
+                Pauli::X => 1,
+                Pauli::Y => 2,
+                Pauli::Z => 3,
+            }] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for c in &counts[1..] {
+            assert!((800..1200).contains(c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn two_qubit_errors_cover_all_15_pairs() {
+        let mut model = DepolarizingModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(model.sample_two(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 15);
+        assert!(!seen.contains(&(Pauli::I, Pauli::I)));
+    }
+
+    #[test]
+    fn idle_tracked_separately() {
+        let mut model = DepolarizingModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        model.sample_idle(&mut rng);
+        assert_eq!(model.counts().idle, 1);
+        assert_eq!(model.counts().single_qubit, 1);
+        model.reset_counts();
+        assert_eq!(model.counts(), ErrorCounts::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn invalid_rate_panics() {
+        let _ = DepolarizingModel::new(1.5);
+    }
+}

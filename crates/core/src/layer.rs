@@ -1,0 +1,100 @@
+use std::any::Any;
+
+use qpdo_circuit::Circuit;
+use rand::rngs::StdRng;
+
+/// Execution context handed to layers while a circuit travels down the
+/// stack.
+pub struct LayerContext<'a> {
+    /// The stack's random number generator.
+    pub rng: &'a mut StdRng,
+    /// `true` while a diagnostic circuit runs in the paper's *bypass mode*
+    /// (Section 5.3.1): instrumentation layers must not count, and the
+    /// stack injects no errors.
+    pub bypass: bool,
+}
+
+/// A layer in a QPDO control stack (Fig 4.3a).
+///
+/// Layers sit between the top-level experiment and the simulation core.
+/// Every circuit headed for the core passes through
+/// [`process_circuit`](Layer::process_circuit) top-to-bottom; every raw
+/// measurement outcome produced by the core passes through
+/// [`process_measurement`](Layer::process_measurement) bottom-to-top.
+///
+/// All layers share this one interface, which is what lets stacks be
+/// assembled freely (Pauli frames at any level, counters anywhere,
+/// concatenated QEC layers, …).
+pub trait Layer: Any {
+    /// A short layer name for logs and reports.
+    fn name(&self) -> &str;
+
+    /// Called when the stack allocates `n` more qubits.
+    fn on_create_qubits(&mut self, _n: usize) {}
+
+    /// Transforms a circuit on its way down to the core.
+    fn process_circuit(&mut self, circuit: Circuit, ctx: &mut LayerContext<'_>) -> Circuit;
+
+    /// Maps a raw measurement result on its way up from the core.
+    fn process_measurement(&mut self, _qubit: usize, raw: bool) -> bool {
+        raw
+    }
+
+    /// Hands back any operations the layer withheld and must now execute
+    /// on the layers below (e.g. a Pauli-frame flush). Returns `None` when
+    /// there is nothing pending.
+    fn drain_flush(&mut self) -> Option<Circuit> {
+        None
+    }
+
+    /// Upcast for stack introspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for stack introspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Passthrough;
+
+    impl Layer for Passthrough {
+        fn name(&self) -> &str {
+            "passthrough"
+        }
+        fn process_circuit(
+            &mut self,
+            circuit: Circuit,
+            _ctx: &mut LayerContext<'_>,
+        ) -> Circuit {
+            circuit
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_methods() {
+        use rand::SeedableRng;
+        let mut layer = Passthrough;
+        assert!(layer.process_measurement(0, true));
+        assert!(!layer.process_measurement(3, false));
+        assert!(layer.drain_flush().is_none());
+        layer.on_create_qubits(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = LayerContext {
+            rng: &mut rng,
+            bypass: false,
+        };
+        let mut c = Circuit::new();
+        c.h(0);
+        let out = layer.process_circuit(c.clone(), &mut ctx);
+        assert_eq!(out, c);
+    }
+}

@@ -1,0 +1,234 @@
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use qpdo_circuit::{Circuit, GateKind, OperationKind, TimeSlot};
+
+use crate::{Layer, LayerContext};
+
+/// Shared counters recorded by a [`CounterLayer`].
+///
+/// Handles are cheap clones around atomics, so an experiment can keep one
+/// and read it while (or after) the layer sits boxed inside a stack.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    inner: Arc<CounterCells>,
+}
+
+#[derive(Debug, Default)]
+struct CounterCells {
+    time_slots: AtomicU64,
+    operations: AtomicU64,
+    preps: AtomicU64,
+    measures: AtomicU64,
+    pauli_gates: AtomicU64,
+    clifford_gates: AtomicU64,
+    non_clifford_gates: AtomicU64,
+}
+
+impl Counters {
+    /// A fresh zeroed handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Time slots that passed the layer.
+    #[must_use]
+    pub fn time_slots(&self) -> u64 {
+        self.inner.time_slots.load(Ordering::Relaxed)
+    }
+
+    /// Total operations that passed the layer.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.inner.operations.load(Ordering::Relaxed)
+    }
+
+    /// Qubit initializations.
+    #[must_use]
+    pub fn preps(&self) -> u64 {
+        self.inner.preps.load(Ordering::Relaxed)
+    }
+
+    /// Measurements.
+    #[must_use]
+    pub fn measures(&self) -> u64 {
+        self.inner.measures.load(Ordering::Relaxed)
+    }
+
+    /// Pauli-group gates.
+    #[must_use]
+    pub fn pauli_gates(&self) -> u64 {
+        self.inner.pauli_gates.load(Ordering::Relaxed)
+    }
+
+    /// Clifford (non-Pauli) gates.
+    #[must_use]
+    pub fn clifford_gates(&self) -> u64 {
+        self.inner.clifford_gates.load(Ordering::Relaxed)
+    }
+
+    /// Non-Clifford gates.
+    #[must_use]
+    pub fn non_clifford_gates(&self) -> u64 {
+        self.inner.non_clifford_gates.load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for cell in [
+            &self.inner.time_slots,
+            &self.inner.operations,
+            &self.inner.preps,
+            &self.inner.measures,
+            &self.inner.pauli_gates,
+            &self.inner.clifford_gates,
+            &self.inner.non_clifford_gates,
+        ] {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn record_slot(&self, slot: &TimeSlot) {
+        self.inner.time_slots.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .operations
+            .fetch_add(slot.len() as u64, Ordering::Relaxed);
+        for op in slot {
+            let cell = match op.kind() {
+                OperationKind::Prep => &self.inner.preps,
+                OperationKind::Measure => &self.inner.measures,
+                OperationKind::Gate(g) => match g.kind() {
+                    GateKind::Pauli => &self.inner.pauli_gates,
+                    GateKind::Clifford => &self.inner.clifford_gates,
+                    GateKind::NonClifford => &self.inner.non_clifford_gates,
+                },
+            };
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A diagnostic layer that counts every time slot and operation flowing
+/// past its position in the stack without modifying anything — the
+/// instrumentation of Fig 5.8 used to measure what the Pauli frame saves
+/// (Figs 5.25–5.26).
+///
+/// Diagnostic circuits in bypass mode are not counted, exactly as the
+/// paper requires.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::{ChpCore, ControlStack, CounterLayer};
+/// use qpdo_circuit::Circuit;
+///
+/// let counter = CounterLayer::new();
+/// let counts = counter.counters();
+/// let mut stack = ControlStack::with_seed(ChpCore::new(), 1);
+/// stack.push_layer(counter);
+/// stack.create_qubits(1).unwrap();
+/// let mut c = Circuit::new();
+/// c.h(0).measure(0);
+/// stack.add(c).unwrap();
+/// stack.execute().unwrap();
+/// assert_eq!(counts.operations(), 2);
+/// assert_eq!(counts.time_slots(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct CounterLayer {
+    counters: Counters,
+}
+
+impl CounterLayer {
+    /// A counter layer with fresh counters.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterLayer::default()
+    }
+
+    /// A cheap handle to the counters that stays valid after the layer is
+    /// pushed onto a stack.
+    #[must_use]
+    pub fn counters(&self) -> Counters {
+        self.counters.clone()
+    }
+}
+
+impl Layer for CounterLayer {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn process_circuit(&mut self, circuit: Circuit, ctx: &mut LayerContext<'_>) -> Circuit {
+        if !ctx.bypass {
+            for slot in circuit.slots() {
+                self.counters.record_slot(slot);
+            }
+        }
+        circuit
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx(rng: &mut StdRng, bypass: bool) -> LayerContext<'_> {
+        LayerContext { rng, bypass }
+    }
+
+    #[test]
+    fn counts_by_category() {
+        let mut layer = CounterLayer::new();
+        let counts = layer.counters();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new();
+        c.prep(0).x(0).h(0).t(0).measure(0);
+        let out = layer.process_circuit(c.clone(), &mut ctx(&mut rng, false));
+        assert_eq!(out, c); // untouched
+        assert_eq!(counts.time_slots(), 5);
+        assert_eq!(counts.operations(), 5);
+        assert_eq!(counts.preps(), 1);
+        assert_eq!(counts.pauli_gates(), 1);
+        assert_eq!(counts.clifford_gates(), 1);
+        assert_eq!(counts.non_clifford_gates(), 1);
+        assert_eq!(counts.measures(), 1);
+    }
+
+    #[test]
+    fn bypass_mode_not_counted() {
+        let mut layer = CounterLayer::new();
+        let counts = layer.counters();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new();
+        c.h(0);
+        layer.process_circuit(c, &mut ctx(&mut rng, true));
+        assert_eq!(counts.operations(), 0);
+        assert_eq!(counts.time_slots(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut layer = CounterLayer::new();
+        let counts = layer.counters();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new();
+        c.h(0).h(1);
+        layer.process_circuit(c, &mut ctx(&mut rng, false));
+        assert!(counts.operations() > 0);
+        counts.reset();
+        assert_eq!(counts.operations(), 0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Reusable stack layers: the Pauli-frame layer and instrumentation.
+
+pub mod counter;
+pub mod pauli_frame;

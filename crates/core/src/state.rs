@@ -1,0 +1,240 @@
+use std::fmt;
+
+use qpdo_pauli::PauliString;
+use qpdo_statevector::Complex;
+
+/// The classical view of one qubit, per Section 4.2.2: `0`, `1`, or `x`
+/// (unknown — the qubit was touched by a gate since its last
+/// measurement/reset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BitState {
+    /// Known `|0⟩` (after reset or a 0 measurement).
+    Zero,
+    /// Known `|1⟩` (after a 1 measurement).
+    One,
+    /// Unknown (`x` in the paper).
+    #[default]
+    Unknown,
+}
+
+impl BitState {
+    /// The boolean value for known states, `None` for `x`.
+    #[must_use]
+    pub fn known(self) -> Option<bool> {
+        match self {
+            BitState::Zero => Some(false),
+            BitState::One => Some(true),
+            BitState::Unknown => None,
+        }
+    }
+}
+
+impl From<bool> for BitState {
+    fn from(b: bool) -> Self {
+        if b {
+            BitState::One
+        } else {
+            BitState::Zero
+        }
+    }
+}
+
+impl fmt::Display for BitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            BitState::Zero => '0',
+            BitState::One => '1',
+            BitState::Unknown => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The binary state of every qubit in a control stack (the paper's
+/// `State` shared data structure).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct State {
+    bits: Vec<BitState>,
+}
+
+impl State {
+    /// A state of `n` qubits, all unknown.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        State {
+            bits: vec![BitState::Unknown; n],
+        }
+    }
+
+    /// The number of qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the state covers zero qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Grows by `n` unknown qubits.
+    pub fn grow(&mut self, n: usize) {
+        self.bits.resize(self.bits.len() + n, BitState::Unknown);
+    }
+
+    /// The state of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn bit(&self, q: usize) -> BitState {
+        self.bits[q]
+    }
+
+    /// Overwrites the state of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_bit(&mut self, q: usize, b: BitState) {
+        self.bits[q] = b;
+    }
+
+    /// Iterates over the per-qubit states.
+    pub fn iter(&self) -> impl Iterator<Item = BitState> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// The measured bits of `qubits` as a ket label like `"|01⟩"`
+    /// (first listed qubit leftmost), or `None` if any is unknown.
+    #[must_use]
+    pub fn ket_label(&self, qubits: &[usize]) -> Option<String> {
+        let mut label = String::from("|");
+        for &q in qubits {
+            match self.bits.get(q)?.known()? {
+                false => label.push('0'),
+                true => label.push('1'),
+            }
+        }
+        label.push('>');
+        Some(label)
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Qubit 0 rightmost, like basis-state labels.
+        for b in self.bits.iter().rev() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A quantum-state dump from a simulation core, when supported
+/// (the paper's `getquantumstate()`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantumState {
+    /// Full complex amplitudes (state-vector back-end), qubit 0 =
+    /// least-significant bit.
+    Amplitudes(Vec<Complex>),
+    /// Canonical stabilizer generators (stabilizer back-end).
+    Stabilizers(Vec<PauliString>),
+}
+
+impl QuantumState {
+    /// The amplitudes, if this is a state-vector dump.
+    #[must_use]
+    pub fn amplitudes(&self) -> Option<&[Complex]> {
+        match self {
+            QuantumState::Amplitudes(a) => Some(a),
+            QuantumState::Stabilizers(_) => None,
+        }
+    }
+
+    /// The stabilizer generators, if this is a stabilizer dump.
+    #[must_use]
+    pub fn stabilizers(&self) -> Option<&[PauliString]> {
+        match self {
+            QuantumState::Stabilizers(s) => Some(s),
+            QuantumState::Amplitudes(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for QuantumState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantumState::Amplitudes(amps) => {
+                let n = amps.len().trailing_zeros() as usize;
+                f.write_str(&qpdo_statevector::StateVector::format_amplitudes(
+                    amps, n, 1e-9,
+                ))
+            }
+            QuantumState::Stabilizers(gens) => {
+                for g in gens {
+                    writeln!(f, "{g}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitstate_conversions() {
+        assert_eq!(BitState::from(true), BitState::One);
+        assert_eq!(BitState::from(false), BitState::Zero);
+        assert_eq!(BitState::One.known(), Some(true));
+        assert_eq!(BitState::Unknown.known(), None);
+    }
+
+    #[test]
+    fn state_accessors() {
+        let mut s = State::new(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bit(0), BitState::Unknown);
+        s.set_bit(1, BitState::One);
+        assert_eq!(s.bit(1), BitState::One);
+        s.grow(2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.bit(4), BitState::Unknown);
+    }
+
+    #[test]
+    fn display_qubit0_rightmost() {
+        let mut s = State::new(3);
+        s.set_bit(0, BitState::One);
+        s.set_bit(1, BitState::Zero);
+        assert_eq!(s.to_string(), "x01");
+    }
+
+    #[test]
+    fn ket_label() {
+        let mut s = State::new(2);
+        s.set_bit(0, BitState::Zero);
+        s.set_bit(1, BitState::One);
+        assert_eq!(s.ket_label(&[0, 1]).unwrap(), "|01>");
+        assert_eq!(s.ket_label(&[1, 0]).unwrap(), "|10>");
+        s.set_bit(0, BitState::Unknown);
+        assert_eq!(s.ket_label(&[0, 1]), None);
+        assert_eq!(s.ket_label(&[5]), None);
+    }
+
+    #[test]
+    fn quantum_state_accessors() {
+        let amp = QuantumState::Amplitudes(vec![Complex::ONE, Complex::ZERO]);
+        assert!(amp.amplitudes().is_some());
+        assert!(amp.stabilizers().is_none());
+        let stab = QuantumState::Stabilizers(vec!["+Z".parse().unwrap()]);
+        assert!(stab.stabilizers().is_some());
+        assert!(stab.to_string().contains("+1·Z"));
+        assert!(amp.to_string().contains("|0>"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based cross-validation of the two simulation back-ends: for
+//! random Clifford circuits, the stabilizer tableau (CHP) and the
+//! state-vector simulator (QX) must agree on every Pauli expectation
+//! value and every single-qubit measurement probability.
+//!
+//! This is the strongest internal consistency check the platform has:
+//! the two simulators share no code beyond the Pauli algebra, so any
+//! agreement bug in either would show up here.
+
+use proptest::prelude::*;
+use qpdo_pauli::{Pauli, PauliString};
+use qpdo_stabilizer::StabilizerSim;
+use qpdo_statevector::{Complex, StateVector};
+
+const N: usize = 4;
+
+#[derive(Clone, Debug)]
+enum CliffordOp {
+    H(usize),
+    S(usize),
+    Sdg(usize),
+    X(usize),
+    Y(usize),
+    Z(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+}
+
+fn arb_op() -> impl Strategy<Value = CliffordOp> {
+    let q = 0..N;
+    let pair = (0..N, 0..N - 1).prop_map(|(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (a, b)
+    });
+    prop_oneof![
+        q.clone().prop_map(CliffordOp::H),
+        q.clone().prop_map(CliffordOp::S),
+        q.clone().prop_map(CliffordOp::Sdg),
+        q.clone().prop_map(CliffordOp::X),
+        q.clone().prop_map(CliffordOp::Y),
+        q.prop_map(CliffordOp::Z),
+        pair.clone().prop_map(|(a, b)| CliffordOp::Cnot(a, b)),
+        pair.clone().prop_map(|(a, b)| CliffordOp::Cz(a, b)),
+        pair.prop_map(|(a, b)| CliffordOp::Swap(a, b)),
+    ]
+}
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z),
+    ]
+}
+
+fn apply_all(ops: &[CliffordOp]) -> (StabilizerSim, StateVector) {
+    let mut tab = StabilizerSim::new(N);
+    let mut sv = StateVector::new(N);
+    for op in ops {
+        match *op {
+            CliffordOp::H(q) => {
+                tab.h(q);
+                sv.h(q);
+            }
+            CliffordOp::S(q) => {
+                tab.s(q);
+                sv.s(q);
+            }
+            CliffordOp::Sdg(q) => {
+                tab.sdg(q);
+                sv.sdg(q);
+            }
+            CliffordOp::X(q) => {
+                tab.x(q);
+                sv.x(q);
+            }
+            CliffordOp::Y(q) => {
+                tab.y(q);
+                sv.y(q);
+            }
+            CliffordOp::Z(q) => {
+                tab.z(q);
+                sv.z(q);
+            }
+            CliffordOp::Cnot(a, b) => {
+                tab.cnot(a, b);
+                sv.cnot(a, b);
+            }
+            CliffordOp::Cz(a, b) => {
+                tab.cz(a, b);
+                sv.cz(a, b);
+            }
+            CliffordOp::Swap(a, b) => {
+                tab.swap(a, b);
+                sv.swap(a, b);
+            }
+        }
+    }
+    (tab, sv)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every Pauli expectation agrees: the tableau reports ±1 (in the
+    /// group) or "random" (0); the state vector must say the same.
+    #[test]
+    fn expectations_agree(
+        ops in prop::collection::vec(arb_op(), 0..40),
+        paulis in prop::collection::vec(arb_pauli(), N),
+    ) {
+        let (mut tab, sv) = apply_all(&ops);
+        let observable = PauliString::new(qpdo_pauli::Phase::PlusOne, paulis);
+        let sv_value = sv.pauli_expectation(&observable);
+        prop_assert!(sv_value.im.abs() < 1e-9, "Hermitian expectation is real");
+        match tab.expectation(&observable) {
+            Some(false) => prop_assert!(
+                sv_value.approx_eq(Complex::ONE, 1e-9),
+                "tableau says +1, state vector says {sv_value}"
+            ),
+            Some(true) => prop_assert!(
+                sv_value.approx_eq(-Complex::ONE, 1e-9),
+                "tableau says -1, state vector says {sv_value}"
+            ),
+            None => prop_assert!(
+                sv_value.approx_eq(Complex::ZERO, 1e-9),
+                "tableau says random, state vector says {sv_value}"
+            ),
+        }
+    }
+
+    /// Measurement probabilities agree: stabilizer states only ever have
+    /// per-qubit probabilities 0, 1/2 or 1, and the tableau's
+    /// deterministic-outcome report matches.
+    #[test]
+    fn measurement_probabilities_agree(
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        let (mut tab, sv) = apply_all(&ops);
+        for q in 0..N {
+            let p1 = sv.prob_one(q);
+            match tab.peek_deterministic(q) {
+                Some(false) => prop_assert!(p1.abs() < 1e-9, "q{q}: p1 = {p1}"),
+                Some(true) => prop_assert!((p1 - 1.0).abs() < 1e-9, "q{q}: p1 = {p1}"),
+                None => prop_assert!((p1 - 0.5).abs() < 1e-9, "q{q}: p1 = {p1}"),
+            }
+        }
+    }
+
+    /// Collapsing measurements agree when driven by the same coin: after
+    /// forcing the tableau's random outcomes onto the state vector via
+    /// post-selection-by-comparison, the two remain consistent.
+    #[test]
+    fn collapse_chains_stay_consistent(
+        ops in prop::collection::vec(arb_op(), 0..30),
+        more_ops in prop::collection::vec(arb_op(), 0..15),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let (mut tab, mut sv) = apply_all(&ops);
+        // Measure every qubit on the tableau with a seeded RNG; replay
+        // the SAME outcome on the state vector by measuring with a
+        // matched RNG stream is not guaranteed, so assert consistency
+        // via probabilities instead: after the tableau collapses, apply
+        // the same projective outcome to the state vector by hand.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for q in 0..N {
+            let outcome = tab.measure(q, &mut rng);
+            let p1 = sv.prob_one(q);
+            // The tableau outcome must have non-zero probability.
+            let p_outcome = if outcome { p1 } else { 1.0 - p1 };
+            prop_assert!(p_outcome > 1e-9, "impossible outcome sampled");
+            // Project the state vector onto the same outcome (retry with
+            // fresh RNG seeds until the sampled branch matches; the
+            // outcome has probability >= 1/2 - eps so this terminates).
+            let mut attempt = 0u64;
+            loop {
+                let mut forced = rand::rngs::StdRng::seed_from_u64(1000 + attempt);
+                let mut trial = sv.clone();
+                if trial.measure(q, &mut forced) == outcome {
+                    sv = trial;
+                    break;
+                }
+                attempt += 1;
+                prop_assert!(attempt < 256, "projection retry runaway");
+            }
+        }
+        // Continue with more unitaries; expectations must still agree.
+        for op in &more_ops {
+            match *op {
+                CliffordOp::H(q) => { tab.h(q); sv.h(q); }
+                CliffordOp::S(q) => { tab.s(q); sv.s(q); }
+                CliffordOp::Sdg(q) => { tab.sdg(q); sv.sdg(q); }
+                CliffordOp::X(q) => { tab.x(q); sv.x(q); }
+                CliffordOp::Y(q) => { tab.y(q); sv.y(q); }
+                CliffordOp::Z(q) => { tab.z(q); sv.z(q); }
+                CliffordOp::Cnot(a, b) => { tab.cnot(a, b); sv.cnot(a, b); }
+                CliffordOp::Cz(a, b) => { tab.cz(a, b); sv.cz(a, b); }
+                CliffordOp::Swap(a, b) => { tab.swap(a, b); sv.swap(a, b); }
+            }
+        }
+        for q in 0..N {
+            let p1 = sv.prob_one(q);
+            match tab.peek_deterministic(q) {
+                Some(false) => prop_assert!(p1.abs() < 1e-9),
+                Some(true) => prop_assert!((p1 - 1.0).abs() < 1e-9),
+                None => prop_assert!((p1 - 0.5).abs() < 1e-9),
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's Section 5.2 verification at test scale: executing random
+//! circuits with and without a Pauli-frame layer yields the same final
+//! quantum state up to global phase, and the same measurement statistics.
+
+use qpdo_circuit::Circuit;
+use qpdo_core::testbench::random_circuit;
+use qpdo_core::{ControlStack, PauliFrameLayer, SvCore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn compare_up_to_global_phase(
+    a: &[qpdo_statevector::Complex],
+    b: &[qpdo_statevector::Complex],
+    tol: f64,
+) -> bool {
+    assert_eq!(a.len(), b.len());
+    let (anchor, _) = a
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.norm_sqr().total_cmp(&y.1.norm_sqr()))
+        .unwrap();
+    let ra = a[anchor];
+    let rb = b[anchor];
+    if ra.norm() < tol || rb.norm() < tol {
+        return false;
+    }
+    let phase = (rb * ra.conj()).scale(1.0 / ra.norm_sqr());
+    a.iter().zip(b).all(|(&x, &y)| (x * phase).approx_eq(y, tol))
+}
+
+#[test]
+fn random_circuits_equivalent_with_and_without_frame() {
+    // Scaled-down version of the paper's 100 × (10 qubits, 1000 gates):
+    // the experiment binary runs the full size; tests stay quick.
+    for trial in 0..20u64 {
+        let mut workload_rng = StdRng::seed_from_u64(1000 + trial);
+        let circuit = random_circuit(5, 60, &mut workload_rng);
+
+        // Reference: no Pauli frame.
+        let mut reference = ControlStack::with_seed(SvCore::new(), 7 * trial);
+        reference.create_qubits(5).unwrap();
+        reference.execute_now(circuit.clone()).unwrap();
+
+        // With a Pauli frame, then flushed.
+        let mut framed = ControlStack::with_seed(SvCore::new(), 7 * trial);
+        framed.push_layer(PauliFrameLayer::new());
+        framed.create_qubits(5).unwrap();
+        framed.execute_now(circuit).unwrap();
+        framed.flush_pauli_frames().unwrap();
+
+        let ref_dump = reference.quantum_state().unwrap();
+        let framed_dump = framed.quantum_state().unwrap();
+        assert!(
+            compare_up_to_global_phase(
+                ref_dump.amplitudes().unwrap(),
+                framed_dump.amplitudes().unwrap(),
+                1e-9,
+            ),
+            "trial {trial}: states differ beyond global phase"
+        );
+    }
+}
+
+#[test]
+fn frame_really_filters_gates() {
+    let mut workload_rng = StdRng::seed_from_u64(99);
+    let circuit = random_circuit(4, 200, &mut workload_rng);
+    let paulis = circuit.census().pauli_gates as u64;
+    assert!(paulis > 0, "random circuit should contain Pauli gates");
+
+    let mut framed = ControlStack::with_seed(SvCore::new(), 99);
+    framed.push_layer(PauliFrameLayer::new());
+    framed.create_qubits(4).unwrap();
+    framed.execute_now(circuit).unwrap();
+    let pf: &PauliFrameLayer = framed.find_layer().unwrap();
+    assert_eq!(pf.filtered_gates(), paulis);
+}
+
+#[test]
+fn deterministic_measurements_agree() {
+    // Measure after a deterministic Clifford prefix: outcomes match
+    // between the framed and unframed stacks bit for bit.
+    for trial in 0..10u64 {
+        let mut circuit = Circuit::new();
+        circuit.prep_all(3);
+        circuit.x(0).h(1).h(1).y(2).z(0);
+        circuit.cnot(0, 1).cnot(0, 2);
+        circuit.measure_all(3);
+
+        let mut reference = ControlStack::with_seed(SvCore::new(), trial);
+        reference.create_qubits(3).unwrap();
+        reference.execute_now(circuit.clone()).unwrap();
+
+        let mut framed = ControlStack::with_seed(SvCore::new(), trial);
+        framed.push_layer(PauliFrameLayer::new());
+        framed.create_qubits(3).unwrap();
+        framed.execute_now(circuit).unwrap();
+
+        for q in 0..3 {
+            assert_eq!(
+                reference.state().bit(q),
+                framed.state().bit(q),
+                "trial {trial}, qubit {q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Control-stack semantics under the paper's `Core` interface
+//! (Table 4.1): queueing, error propagation, bypass isolation, and the
+//! quantum-state dumps of both back-ends.
+
+use qpdo_circuit::{Circuit, Gate, Operation};
+use qpdo_core::{
+    BitState, ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel,
+    PauliFrameLayer, QuantumState, SvCore,
+};
+
+#[test]
+fn queued_circuits_execute_in_order() {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 1);
+    stack.create_qubits(1).unwrap();
+    let mut flip = Circuit::new();
+    flip.x(0);
+    let mut measure = Circuit::new();
+    measure.measure(0);
+    // add() queues; nothing runs until execute().
+    stack.add(flip).unwrap();
+    stack.add(measure).unwrap();
+    assert_eq!(stack.state().bit(0), BitState::Unknown);
+    stack.execute().unwrap();
+    assert_eq!(stack.state().bit(0), BitState::One);
+}
+
+#[test]
+fn unsupported_gate_surfaces_as_an_error() {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 2);
+    stack.create_qubits(1).unwrap();
+    let mut c = Circuit::new();
+    c.t(0);
+    let err = stack.execute_now(c).unwrap_err();
+    assert_eq!(err, CoreError::UnsupportedGate(Gate::T));
+}
+
+#[test]
+fn frame_layer_makes_pauli_gates_free_even_on_clifford_cores() {
+    // A circuit of only Pauli gates executes on a stabilizer core even
+    // through... trivially; the interesting case: a tracked Y on a
+    // Clifford core never materializes as a gate at all.
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 3);
+    stack.push_layer(PauliFrameLayer::new());
+    stack.create_qubits(1).unwrap();
+    let mut c = Circuit::new();
+    c.prep(0).y(0).measure(0);
+    stack.execute_now(c).unwrap();
+    assert_eq!(stack.state().bit(0), BitState::One);
+}
+
+#[test]
+fn quantum_state_dump_kinds_match_cores() {
+    let mut chp = ControlStack::with_seed(ChpCore::new(), 4);
+    chp.create_qubits(2).unwrap();
+    assert!(matches!(
+        chp.quantum_state().unwrap(),
+        QuantumState::Stabilizers(_)
+    ));
+    let mut sv = ControlStack::with_seed(SvCore::new(), 4);
+    sv.create_qubits(2).unwrap();
+    assert!(matches!(
+        sv.quantum_state().unwrap(),
+        QuantumState::Amplitudes(_)
+    ));
+    let empty = ControlStack::with_seed(ChpCore::new(), 4);
+    assert_eq!(empty.quantum_state().unwrap_err(), CoreError::NoQubits);
+}
+
+#[test]
+fn diagnostic_circuits_do_not_leak_into_counters_or_errors() {
+    let counter = CounterLayer::new();
+    let counts = counter.counters();
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 5);
+    stack.push_layer(counter);
+    stack.set_error_model(DepolarizingModel::new(1.0));
+    stack.create_qubits(2).unwrap();
+
+    let mut diag = Circuit::new();
+    diag.prep(0).cnot(0, 1).measure(1);
+    stack.execute_diagnostic(diag).unwrap();
+    assert_eq!(counts.operations(), 0);
+    assert_eq!(stack.error_counts().unwrap().total(), 0);
+    // The diagnostic still executed: qubit 1 was measured.
+    assert_ne!(stack.state().bit(1), BitState::Unknown);
+
+    // A normal circuit afterwards is counted and noisy.
+    let mut noisy = Circuit::new();
+    noisy.measure(0);
+    stack.execute_now(noisy).unwrap();
+    assert_eq!(counts.operations(), 1);
+    assert_eq!(stack.error_counts().unwrap().measurement, 1);
+}
+
+#[test]
+fn push_layer_after_qubits_sizes_the_layer() {
+    // Layers added late still learn the register size.
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 6);
+    stack.create_qubits(3).unwrap();
+    stack.push_layer(PauliFrameLayer::new());
+    let mut c = Circuit::new();
+    c.prep(2).x(2).measure(2);
+    stack.execute_now(c).unwrap();
+    assert_eq!(stack.state().bit(2), BitState::One);
+}
+
+#[test]
+fn idle_error_accounting_scales_with_register() {
+    // One single-op slot on an n-qubit register idles n-1 qubits.
+    for n in [2usize, 5, 9] {
+        let mut stack = ControlStack::with_seed(ChpCore::new(), 7);
+        stack.set_error_model(DepolarizingModel::new(1.0));
+        stack.create_qubits(n).unwrap();
+        let mut c = Circuit::new();
+        c.push_into_new_slot(Operation::gate(Gate::H, &[0]));
+        stack.execute_now(c).unwrap();
+        assert_eq!(stack.error_counts().unwrap().idle, (n - 1) as u64);
+    }
+}
+
+#[test]
+fn error_model_can_be_swapped_mid_run() {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 8);
+    stack.create_qubits(1).unwrap();
+    let mut c = Circuit::new();
+    c.measure(0);
+    stack.execute_now(c.clone()).unwrap();
+    assert!(stack.error_counts().is_none());
+    stack.set_error_model(DepolarizingModel::new(1.0));
+    stack.execute_now(c.clone()).unwrap();
+    assert_eq!(stack.error_counts().unwrap().measurement, 1);
+    stack.clear_error_model();
+    stack.execute_now(c).unwrap();
+    assert!(stack.error_counts().is_none());
+}

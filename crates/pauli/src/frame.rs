@@ -1,0 +1,377 @@
+use std::fmt;
+
+use crate::{Pauli, PauliRecord};
+
+/// A Pauli frame: one [`PauliRecord`] per qubit.
+///
+/// This is the classical data structure of Section 3.2 — `2n` bits of
+/// memory for an `n`-qubit system. Pauli gates merge into the frame without
+/// touching the qubits; Clifford gates map the records and still execute;
+/// non-Clifford gates require [`flush`](PauliFrame::flush) first;
+/// measurement results pass through
+/// [`map_measurement`](PauliFrame::map_measurement).
+///
+/// # Example
+///
+/// ```
+/// use qpdo_pauli::{PauliFrame, PauliRecord, Pauli};
+///
+/// let mut frame = PauliFrame::new(3);
+/// frame.apply_pauli(1, Pauli::X);
+/// frame.apply_cnot(1, 2);                    // X propagates to the target
+/// assert_eq!(frame.record(2), PauliRecord::X);
+/// assert!(frame.map_measurement(2, false));  // X flips the 0 outcome to 1
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct PauliFrame {
+    records: Vec<PauliRecord>,
+}
+
+impl PauliFrame {
+    /// Creates a frame of `n` empty (`I`) records.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        PauliFrame {
+            records: vec![PauliRecord::I; n],
+        }
+    }
+
+    /// The number of qubits tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the frame tracks zero qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Grows the frame by `n` additional empty records (qubit allocation).
+    pub fn grow(&mut self, n: usize) {
+        self.records
+            .resize(self.records.len() + n, PauliRecord::I);
+    }
+
+    /// Shrinks the frame by `n` records from the end (qubit deallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the current length.
+    pub fn shrink(&mut self, n: usize) {
+        let len = self.records.len();
+        assert!(n <= len, "cannot shrink frame of {len} records by {n}");
+        self.records.truncate(len - n);
+    }
+
+    /// The record of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn record(&self, q: usize) -> PauliRecord {
+        self.records[q]
+    }
+
+    /// Overwrites the record of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_record(&mut self, q: usize, r: PauliRecord) {
+        self.records[q] = r;
+    }
+
+    /// Iterates over the records in qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = PauliRecord> + '_ {
+        self.records.iter().copied()
+    }
+
+    /// Resets the record of qubit `q` to `I` (used on qubit initialization
+    /// to `|0⟩` — element 1 of the working principles, Section 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn reset(&mut self, q: usize) {
+        self.records[q] = PauliRecord::I;
+    }
+
+    /// Resets every record to `I`.
+    pub fn reset_all(&mut self) {
+        self.records.fill(PauliRecord::I);
+    }
+
+    /// Merges a Pauli gate on qubit `q` into the frame (Table 3.3). The
+    /// gate never reaches the qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_pauli(&mut self, q: usize, p: Pauli) {
+        self.records[q] = self.records[q].apply_pauli(p);
+    }
+
+    /// Maps the record of `q` through a Hadamard (the gate itself still
+    /// executes on the qubit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_h(&mut self, q: usize) {
+        self.records[q] = self.records[q].conjugate_h();
+    }
+
+    /// Maps the record of `q` through the phase gate `S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_s(&mut self, q: usize) {
+        self.records[q] = self.records[q].conjugate_s();
+    }
+
+    /// Maps the record of `q` through `S†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_sdg(&mut self, q: usize) {
+        self.records[q] = self.records[q].conjugate_sdg();
+    }
+
+    /// Maps the records of control `c` and target `t` through a `CNOT`
+    /// (Table 3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn apply_cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "CNOT requires distinct qubits");
+        let (rc, rt) = PauliRecord::conjugate_cnot(self.records[c], self.records[t]);
+        self.records[c] = rc;
+        self.records[t] = rt;
+    }
+
+    /// Maps the records of `a` and `b` through a `CZ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "CZ requires distinct qubits");
+        let (ra, rb) = PauliRecord::conjugate_cz(self.records[a], self.records[b]);
+        self.records[a] = ra;
+        self.records[b] = rb;
+    }
+
+    /// Maps the records of `a` and `b` through a `SWAP` (they exchange).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "SWAP requires distinct qubits");
+        self.records.swap(a, b);
+    }
+
+    /// Whether a computational-basis measurement of qubit `q` must have its
+    /// result inverted (Table 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn measurement_flipped(&self, q: usize) -> bool {
+        self.records[q].flips_measurement()
+    }
+
+    /// Maps a raw measurement result of qubit `q` through the frame,
+    /// returning the corrected result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn map_measurement(&self, q: usize, raw: bool) -> bool {
+        raw ^ self.measurement_flipped(q)
+    }
+
+    /// Flushes the record of qubit `q`: returns the Pauli gates that must
+    /// now execute on the physical qubit and resets the record to `I`.
+    ///
+    /// This is step 1 of non-Clifford handling in Table 3.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn flush(&mut self, q: usize) -> Vec<Pauli> {
+        let gates = self.records[q].flush_gates();
+        self.records[q] = PauliRecord::I;
+        gates
+    }
+
+    /// Flushes every record, returning `(qubit, gate)` pairs in qubit order.
+    #[must_use]
+    pub fn flush_all(&mut self) -> Vec<(usize, Pauli)> {
+        let mut out = Vec::new();
+        for q in 0..self.records.len() {
+            for gate in self.flush(q) {
+                out.push((q, gate));
+            }
+        }
+        out
+    }
+
+    /// The number of qubits with a non-`I` record.
+    #[must_use]
+    pub fn tracked_count(&self) -> usize {
+        self.records.iter().filter(|r| **r != PauliRecord::I).count()
+    }
+}
+
+impl fmt::Display for PauliFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Pauli frame with {} records:", self.records.len())?;
+        for (q, r) in self.records.iter().enumerate() {
+            writeln!(f, "  {q}: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_clean() {
+        let frame = PauliFrame::new(5);
+        assert_eq!(frame.len(), 5);
+        assert!(frame.iter().all(|r| r == PauliRecord::I));
+        assert_eq!(frame.tracked_count(), 0);
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let mut frame = PauliFrame::new(2);
+        frame.apply_pauli(1, Pauli::Z);
+        frame.grow(3);
+        assert_eq!(frame.len(), 5);
+        assert_eq!(frame.record(1), PauliRecord::Z);
+        assert_eq!(frame.record(4), PauliRecord::I);
+        frame.shrink(4);
+        assert_eq!(frame.len(), 1);
+    }
+
+    #[test]
+    fn paper_example_section_3_4() {
+        // The worked ninja-star example of Section 3.4 on the 9 data qubits.
+        let mut frame = PauliFrame::new(9);
+
+        // Fig 3.6: X error detected on D2, Z error on D4.
+        frame.apply_pauli(2, Pauli::X);
+        frame.apply_pauli(4, Pauli::Z);
+        assert_eq!(frame.record(2), PauliRecord::X);
+        assert_eq!(frame.record(4), PauliRecord::Z);
+
+        // Fig 3.7: a combined X and Z error on D4; the X record was already
+        // X... wait — in the paper D4 held X and the new XZ maps it to Z.
+        // Reproduce exactly: reset D4 to X first.
+        frame.set_record(4, PauliRecord::X);
+        frame.apply_pauli(4, Pauli::X);
+        frame.apply_pauli(4, Pauli::Z);
+        assert_eq!(frame.record(4), PauliRecord::Z);
+
+        // Fig 3.8: logical Hadamard = H on every data qubit. X entries map
+        // to Z entries.
+        for q in 0..9 {
+            frame.apply_h(q);
+        }
+        assert_eq!(frame.record(2), PauliRecord::Z);
+        assert_eq!(frame.record(4), PauliRecord::X);
+
+        // Fig 3.9 measures everything; in the paper's variant the frame at
+        // this point held only I and Z records, so no result flips. Our D4
+        // ended as X because we replayed the intermediate state; check both
+        // behaviours explicitly instead.
+        assert!(!frame.measurement_flipped(2));
+        assert!(frame.measurement_flipped(4));
+    }
+
+    #[test]
+    fn cnot_propagates_x_to_target_z_to_control() {
+        let mut frame = PauliFrame::new(2);
+        frame.apply_pauli(0, Pauli::X);
+        frame.apply_cnot(0, 1);
+        assert_eq!(frame.record(0), PauliRecord::X);
+        assert_eq!(frame.record(1), PauliRecord::X);
+
+        let mut frame = PauliFrame::new(2);
+        frame.apply_pauli(1, Pauli::Z);
+        frame.apply_cnot(0, 1);
+        assert_eq!(frame.record(0), PauliRecord::Z);
+        assert_eq!(frame.record(1), PauliRecord::Z);
+    }
+
+    #[test]
+    fn measurement_mapping() {
+        let mut frame = PauliFrame::new(1);
+        assert!(!frame.map_measurement(0, false));
+        assert!(frame.map_measurement(0, true));
+        frame.apply_pauli(0, Pauli::X);
+        assert!(frame.map_measurement(0, false));
+        assert!(!frame.map_measurement(0, true));
+        frame.apply_pauli(0, Pauli::Z); // record XZ still flips
+        assert!(frame.map_measurement(0, false));
+    }
+
+    #[test]
+    fn flush_returns_pending_gates_and_clears() {
+        let mut frame = PauliFrame::new(2);
+        frame.apply_pauli(0, Pauli::X);
+        frame.apply_pauli(0, Pauli::Z);
+        frame.apply_pauli(1, Pauli::Z);
+        assert_eq!(frame.flush(0), vec![Pauli::X, Pauli::Z]);
+        assert_eq!(frame.record(0), PauliRecord::I);
+        assert_eq!(frame.flush_all(), vec![(1, Pauli::Z)]);
+        assert_eq!(frame.tracked_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_record() {
+        let mut frame = PauliFrame::new(1);
+        frame.apply_pauli(0, Pauli::Y);
+        assert_eq!(frame.record(0), PauliRecord::XZ);
+        frame.reset(0);
+        assert_eq!(frame.record(0), PauliRecord::I);
+    }
+
+    #[test]
+    fn swap_exchanges_records() {
+        let mut frame = PauliFrame::new(2);
+        frame.apply_pauli(0, Pauli::X);
+        frame.apply_swap(0, 1);
+        assert_eq!(frame.record(0), PauliRecord::I);
+        assert_eq!(frame.record(1), PauliRecord::X);
+    }
+
+    #[test]
+    fn display_lists_records() {
+        let mut frame = PauliFrame::new(2);
+        frame.apply_pauli(1, Pauli::X);
+        let shown = frame.to_string();
+        assert!(shown.contains("0: I"));
+        assert!(shown.contains("1: X"));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn cnot_same_qubit_panics() {
+        let mut frame = PauliFrame::new(2);
+        frame.apply_cnot(1, 1);
+    }
+}

@@ -1,0 +1,261 @@
+use std::fmt;
+
+use crate::Phase;
+
+/// A single-qubit Pauli operator: `I`, `X`, `Y` or `Z`.
+///
+/// Multiplication follows the usual algebra (`X·Z = -i·Y`, `X² = I`, …) and
+/// is exposed through [`Pauli::mul_with_phase`], which returns both the
+/// resulting operator and the accumulated [`Phase`].
+///
+/// Internally a Pauli is the pair of symplectic bits `(x, z)` with
+/// `Y = i·X·Z`; this is the representation used throughout stabilizer
+/// simulation and Pauli-frame tracking.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_pauli::{Pauli, Phase};
+///
+/// let (phase, op) = Pauli::X.mul_with_phase(Pauli::Z);
+/// assert_eq!(op, Pauli::Y);
+/// assert_eq!(phase, Phase::MinusI); // X·Z = -i·Y
+/// assert!(!Pauli::X.commutes_with(Pauli::Z));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Pauli {
+    /// The identity.
+    #[default]
+    I,
+    /// The bit-flip operator.
+    X,
+    /// The combined bit- and phase-flip operator (`Y = i·X·Z`).
+    Y,
+    /// The phase-flip operator.
+    Z,
+}
+
+impl Pauli {
+    /// All four Pauli operators, `I, X, Y, Z`.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Builds a Pauli from its symplectic bits `(x, z)` where `Y = i·X·Z`.
+    #[must_use]
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// The symplectic bits `(x, z)` of this operator.
+    #[must_use]
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// `true` if this operator has an `X` component (`X` or `Y`).
+    ///
+    /// Operators with an `X` component flip computational-basis measurement
+    /// results (Eq. 3.2 of the paper).
+    #[must_use]
+    pub fn anticommutes_with_z(self) -> bool {
+        self.bits().0
+    }
+
+    /// `true` if this operator has a `Z` component (`Z` or `Y`).
+    #[must_use]
+    pub fn anticommutes_with_x(self) -> bool {
+        self.bits().1
+    }
+
+    /// Whether two Pauli operators commute.
+    ///
+    /// Two Paulis either commute or anti-commute; they commute exactly when
+    /// their symplectic product is zero.
+    #[must_use]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        let (x1, z1) = self.bits();
+        let (x2, z2) = other.bits();
+        (((x1 && z2) as u8 + (z1 && x2) as u8) & 1) == 0
+    }
+
+    /// Multiplies two Paulis, returning the phase and the resulting operator.
+    ///
+    /// The phase convention follows `Y = i·X·Z`, so for example
+    /// `X·Z = -i·Y` and `Z·X = +i·Y`.
+    #[must_use]
+    pub fn mul_with_phase(self, rhs: Pauli) -> (Phase, Pauli) {
+        // Working in the symplectic representation: i^k X^x Z^z with
+        // self = i^0 X^{x1} Z^{z1}, rhs = i^0 X^{x2} Z^{z2}, but the enum's
+        // Y carries an implicit +i (Y = i X Z). Commuting Z^{z1} past
+        // X^{x2} contributes (-1)^{z1·x2}.
+        let (x1, z1) = self.bits();
+        let (x2, z2) = rhs.bits();
+        // Phases contributed by the implicit i in each Y.
+        let mut exp: u8 = 0;
+        if x1 && z1 {
+            exp += 1; // self = i·XZ
+        }
+        if x2 && z2 {
+            exp += 1; // rhs = i·XZ
+        }
+        // Reorder (X^{x1} Z^{z1})(X^{x2} Z^{z2}) -> X^{x1+x2} Z^{z1+z2}.
+        if z1 && x2 {
+            exp += 2; // Z X = -X Z
+        }
+        let x = x1 ^ x2;
+        let z = z1 ^ z2;
+        // The result, if it is a Y, absorbs an i back out of the phase.
+        if x && z {
+            exp += 3; // X Z = -i·Y, i.e. divide by i
+        }
+        (Phase::from_exponent(exp), Pauli::from_bits(x, z))
+    }
+
+    /// One-character name of the operator.
+    #[must_use]
+    pub fn symbol(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Parses a Pauli from its one-character name (case-insensitive).
+    ///
+    /// Returns `None` for anything other than `I`, `X`, `Y`, `Z`.
+    #[must_use]
+    pub fn from_symbol(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.bits();
+            assert_eq!(Pauli::from_bits(x, z), p);
+        }
+    }
+
+    #[test]
+    fn squares_are_identity() {
+        for p in Pauli::ALL {
+            let (phase, r) = p.mul_with_phase(p);
+            assert_eq!(r, Pauli::I);
+            assert_eq!(phase, Phase::PlusOne, "{p}² should be +I");
+        }
+    }
+
+    #[test]
+    fn xz_algebra() {
+        // X·Z = -i·Y
+        assert_eq!(
+            Pauli::X.mul_with_phase(Pauli::Z),
+            (Phase::MinusI, Pauli::Y)
+        );
+        // Z·X = +i·Y
+        assert_eq!(Pauli::Z.mul_with_phase(Pauli::X), (Phase::PlusI, Pauli::Y));
+        // X·Y = i·Z
+        assert_eq!(Pauli::X.mul_with_phase(Pauli::Y), (Phase::PlusI, Pauli::Z));
+        // Y·X = -i·Z
+        assert_eq!(
+            Pauli::Y.mul_with_phase(Pauli::X),
+            (Phase::MinusI, Pauli::Z)
+        );
+        // Y·Z = i·X
+        assert_eq!(Pauli::Y.mul_with_phase(Pauli::Z), (Phase::PlusI, Pauli::X));
+        // Z·Y = -i·X
+        assert_eq!(
+            Pauli::Z.mul_with_phase(Pauli::Y),
+            (Phase::MinusI, Pauli::X)
+        );
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::I.mul_with_phase(p), (Phase::PlusOne, p));
+            assert_eq!(p.mul_with_phase(Pauli::I), (Phase::PlusOne, p));
+        }
+    }
+
+    #[test]
+    fn commutation_structure() {
+        // Distinct non-identity Paulis anti-commute; everything commutes
+        // with itself and with I.
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let expected = a == Pauli::I || b == Pauli::I || a == b;
+                assert_eq!(a.commutes_with(b), expected, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_associative_up_to_phase() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                for c in Pauli::ALL {
+                    let (p1, ab) = a.mul_with_phase(b);
+                    let (p2, ab_c) = ab.mul_with_phase(c);
+                    let left = (p1 * p2, ab_c);
+
+                    let (q1, bc) = b.mul_with_phase(c);
+                    let (q2, a_bc) = a.mul_with_phase(bc);
+                    let right = (q1 * q2, a_bc);
+
+                    assert_eq!(left, right, "({a}{b}){c} != {a}({b}{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anticommutation_flags() {
+        assert!(Pauli::X.anticommutes_with_z());
+        assert!(Pauli::Y.anticommutes_with_z());
+        assert!(!Pauli::Z.anticommutes_with_z());
+        assert!(Pauli::Z.anticommutes_with_x());
+        assert!(Pauli::Y.anticommutes_with_x());
+        assert!(!Pauli::X.anticommutes_with_x());
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_symbol(p.symbol()), Some(p));
+            assert_eq!(
+                Pauli::from_symbol(p.symbol().to_ascii_lowercase()),
+                Some(p)
+            );
+        }
+        assert_eq!(Pauli::from_symbol('Q'), None);
+    }
+}

@@ -1,0 +1,199 @@
+use std::fmt;
+use std::ops::{Mul, MulAssign};
+
+/// A global phase from the cyclic group `{+1, +i, -1, -i}`.
+///
+/// Pauli multiplication only ever produces fourth roots of unity as phases
+/// (e.g. `X·Z = -i·Y`), so this group is closed under everything this crate
+/// does. The phase is represented as the exponent `k` in `i^k`.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_pauli::Phase;
+///
+/// assert_eq!(Phase::PlusI * Phase::PlusI, Phase::MinusOne);
+/// assert_eq!(Phase::MinusI.inverse(), Phase::PlusI);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Phase {
+    /// `+1` (`i^0`).
+    #[default]
+    PlusOne,
+    /// `+i` (`i^1`).
+    PlusI,
+    /// `-1` (`i^2`).
+    MinusOne,
+    /// `-i` (`i^3`).
+    MinusI,
+}
+
+impl Phase {
+    /// All four phases in exponent order `+1, +i, -1, -i`.
+    pub const ALL: [Phase; 4] = [
+        Phase::PlusOne,
+        Phase::PlusI,
+        Phase::MinusOne,
+        Phase::MinusI,
+    ];
+
+    /// Builds a phase from the exponent `k` of `i^k` (taken modulo 4).
+    #[must_use]
+    pub fn from_exponent(k: u8) -> Self {
+        match k % 4 {
+            0 => Phase::PlusOne,
+            1 => Phase::PlusI,
+            2 => Phase::MinusOne,
+            _ => Phase::MinusI,
+        }
+    }
+
+    /// Returns the exponent `k` such that this phase equals `i^k`.
+    #[must_use]
+    pub fn exponent(self) -> u8 {
+        match self {
+            Phase::PlusOne => 0,
+            Phase::PlusI => 1,
+            Phase::MinusOne => 2,
+            Phase::MinusI => 3,
+        }
+    }
+
+    /// The multiplicative inverse (`i^k -> i^(4-k)`).
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        Phase::from_exponent(4 - self.exponent())
+    }
+
+    /// `true` if this phase is real (`+1` or `-1`).
+    #[must_use]
+    pub fn is_real(self) -> bool {
+        matches!(self, Phase::PlusOne | Phase::MinusOne)
+    }
+
+    /// The sign of the phase as `+1` / `-1` if it is real.
+    ///
+    /// Returns `None` for the imaginary phases.
+    #[must_use]
+    pub fn sign(self) -> Option<i8> {
+        match self {
+            Phase::PlusOne => Some(1),
+            Phase::MinusOne => Some(-1),
+            _ => None,
+        }
+    }
+
+    /// Negates the phase (multiplies by `-1`).
+    #[must_use]
+    pub fn negated(self) -> Self {
+        self * Phase::MinusOne
+    }
+
+    /// The phase as a complex number `(re, im)`.
+    #[must_use]
+    pub fn to_complex(self) -> (f64, f64) {
+        match self {
+            Phase::PlusOne => (1.0, 0.0),
+            Phase::PlusI => (0.0, 1.0),
+            Phase::MinusOne => (-1.0, 0.0),
+            Phase::MinusI => (0.0, -1.0),
+        }
+    }
+}
+
+impl Mul for Phase {
+    type Output = Phase;
+
+    // Multiplying powers of i adds their exponents.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn mul(self, rhs: Phase) -> Phase {
+        Phase::from_exponent(self.exponent() + rhs.exponent())
+    }
+}
+
+impl MulAssign for Phase {
+    fn mul_assign(&mut self, rhs: Phase) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::PlusOne => "+1",
+            Phase::PlusI => "+i",
+            Phase::MinusOne => "-1",
+            Phase::MinusI => "-i",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_identity() {
+        for p in Phase::ALL {
+            assert_eq!(p * Phase::PlusOne, p);
+            assert_eq!(Phase::PlusOne * p, p);
+        }
+    }
+
+    #[test]
+    fn group_inverse() {
+        for p in Phase::ALL {
+            assert_eq!(p * p.inverse(), Phase::PlusOne);
+        }
+    }
+
+    #[test]
+    fn group_associativity() {
+        for a in Phase::ALL {
+            for b in Phase::ALL {
+                for c in Phase::ALL {
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Phase::PlusI * Phase::PlusI, Phase::MinusOne);
+        assert_eq!(Phase::MinusI * Phase::MinusI, Phase::MinusOne);
+        assert_eq!(Phase::PlusI * Phase::MinusI, Phase::PlusOne);
+    }
+
+    #[test]
+    fn exponent_roundtrip() {
+        for k in 0..8 {
+            assert_eq!(Phase::from_exponent(k).exponent(), k % 4);
+        }
+    }
+
+    #[test]
+    fn real_and_sign() {
+        assert!(Phase::PlusOne.is_real());
+        assert!(Phase::MinusOne.is_real());
+        assert!(!Phase::PlusI.is_real());
+        assert_eq!(Phase::PlusOne.sign(), Some(1));
+        assert_eq!(Phase::MinusOne.sign(), Some(-1));
+        assert_eq!(Phase::PlusI.sign(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let shown: Vec<String> = Phase::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(shown, ["+1", "+i", "-1", "-i"]);
+    }
+
+    #[test]
+    fn complex_values_are_unit() {
+        for p in Phase::ALL {
+            let (re, im) = p.to_complex();
+            assert!((re * re + im * im - 1.0).abs() < 1e-12);
+        }
+    }
+}

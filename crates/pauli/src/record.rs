@@ -1,0 +1,408 @@
+use std::fmt;
+
+use crate::{Pauli, Phase, PauliString};
+
+/// A compressed per-qubit Pauli record: one of `I`, `X`, `Z` or `XZ`.
+///
+/// Section 3.1 of the paper shows that any accumulated product of tracked
+/// Pauli operators on a qubit compresses — after dropping global phase — to
+/// at most one `X` and one `Z`, i.e. a two-bit value. `PauliRecord` is that
+/// value, together with the mapping tables of Tables 3.2–3.5:
+///
+/// - [`apply_pauli`](PauliRecord::apply_pauli) — Table 3.3 (Pauli gates
+///   merge into the record; nothing reaches the qubit),
+/// - [`conjugate_h`](PauliRecord::conjugate_h) /
+///   [`conjugate_s`](PauliRecord::conjugate_s) — Table 3.4,
+/// - [`conjugate_cnot`](PauliRecord::conjugate_cnot) — Table 3.5,
+/// - [`flips_measurement`](PauliRecord::flips_measurement) — Table 3.2.
+///
+/// The record denotes the operator `X^x · Z^z` (global phase ignored).
+///
+/// # Example
+///
+/// ```
+/// use qpdo_pauli::{PauliRecord, Pauli};
+///
+/// let r = PauliRecord::I.apply_pauli(Pauli::X); // track an X
+/// assert_eq!(r, PauliRecord::X);
+/// assert_eq!(r.apply_pauli(Pauli::X), PauliRecord::I); // X·X cancels
+/// assert_eq!(r.conjugate_h(), PauliRecord::Z);          // H X H = Z
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum PauliRecord {
+    /// Nothing tracked.
+    #[default]
+    I,
+    /// An `X` is pending.
+    X,
+    /// A `Z` is pending.
+    Z,
+    /// Both an `X` and a `Z` are pending (`X·Z`, equal to `Y` up to phase).
+    XZ,
+}
+
+impl PauliRecord {
+    /// All four record values.
+    pub const ALL: [PauliRecord; 4] = [
+        PauliRecord::I,
+        PauliRecord::X,
+        PauliRecord::Z,
+        PauliRecord::XZ,
+    ];
+
+    /// Builds a record from its `(x, z)` bits.
+    #[must_use]
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => PauliRecord::I,
+            (true, false) => PauliRecord::X,
+            (false, true) => PauliRecord::Z,
+            (true, true) => PauliRecord::XZ,
+        }
+    }
+
+    /// The `(x, z)` bits of the record.
+    #[must_use]
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            PauliRecord::I => (false, false),
+            PauliRecord::X => (true, false),
+            PauliRecord::Z => (false, true),
+            PauliRecord::XZ => (true, true),
+        }
+    }
+
+    /// The two-bit hardware encoding of the record (`zx` order, `0..=3`).
+    ///
+    /// This is the encoding a hardware Pauli Frame Unit would store: a
+    /// system with `n` qubits needs `2n` bits of Pauli-frame memory.
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        let (x, z) = self.bits();
+        (z as u8) << 1 | x as u8
+    }
+
+    /// Decodes the two-bit hardware encoding produced by
+    /// [`encode`](PauliRecord::encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    #[must_use]
+    pub fn decode(bits: u8) -> Self {
+        assert!(bits <= 3, "Pauli record encoding must be two bits");
+        PauliRecord::from_bits(bits & 1 != 0, bits & 2 != 0)
+    }
+
+    /// Merges a tracked Pauli gate into the record (Table 3.3).
+    ///
+    /// `Y` merges as `X·Z` — the `i` is global phase and is dropped.
+    #[must_use]
+    pub fn apply_pauli(self, p: Pauli) -> Self {
+        let (x, z) = self.bits();
+        let (px, pz) = p.bits();
+        PauliRecord::from_bits(x ^ px, z ^ pz)
+    }
+
+    /// Maps the record through a Hadamard: `X↔Z` (Table 3.4).
+    #[must_use]
+    pub fn conjugate_h(self) -> Self {
+        let (x, z) = self.bits();
+        PauliRecord::from_bits(z, x)
+    }
+
+    /// Maps the record through the phase gate `S` (Table 3.4).
+    ///
+    /// `S X S† = i·X·Z`, so the `X` bit toggles the `Z` bit.
+    #[must_use]
+    pub fn conjugate_s(self) -> Self {
+        let (x, z) = self.bits();
+        PauliRecord::from_bits(x, z ^ x)
+    }
+
+    /// Maps the record through `S†`.
+    ///
+    /// Identical to [`conjugate_s`](PauliRecord::conjugate_s) at the record
+    /// level — the two differ only in the sign of the image of `X`, which is
+    /// global phase.
+    #[must_use]
+    pub fn conjugate_sdg(self) -> Self {
+        self.conjugate_s()
+    }
+
+    /// Maps a control/target record pair through a `CNOT` (Table 3.5).
+    ///
+    /// `X` propagates control→target and `Z` propagates target→control.
+    #[must_use]
+    pub fn conjugate_cnot(control: Self, target: Self) -> (Self, Self) {
+        let (xc, zc) = control.bits();
+        let (xt, zt) = target.bits();
+        (
+            PauliRecord::from_bits(xc, zc ^ zt),
+            PauliRecord::from_bits(xt ^ xc, zt),
+        )
+    }
+
+    /// Maps a record pair through a `CZ`.
+    ///
+    /// An `X` on either side deposits a `Z` on the other side.
+    #[must_use]
+    pub fn conjugate_cz(a: Self, b: Self) -> (Self, Self) {
+        let (xa, za) = a.bits();
+        let (xb, zb) = b.bits();
+        (
+            PauliRecord::from_bits(xa, za ^ xb),
+            PauliRecord::from_bits(xb, zb ^ xa),
+        )
+    }
+
+    /// Maps a record pair through a `SWAP`: the records exchange.
+    #[must_use]
+    pub fn conjugate_swap(a: Self, b: Self) -> (Self, Self) {
+        (b, a)
+    }
+
+    /// Whether a computational-basis measurement result must be inverted
+    /// (Table 3.2). Only records containing an `X` flip the outcome.
+    #[must_use]
+    pub fn flips_measurement(self) -> bool {
+        self.bits().0
+    }
+
+    /// The Pauli gates to execute on the physical qubit to flush this
+    /// record, in execution order. Empty for `I`; `[X]`, `[Z]` or `[X, Z]`
+    /// otherwise (`X`/`Z` commute up to global phase, so order is free).
+    #[must_use]
+    pub fn flush_gates(self) -> Vec<Pauli> {
+        let (x, z) = self.bits();
+        let mut gates = Vec::with_capacity(2);
+        if x {
+            gates.push(Pauli::X);
+        }
+        if z {
+            gates.push(Pauli::Z);
+        }
+        gates
+    }
+
+    /// The record as a single-qubit [`PauliString`] factor (`X·Z` keeps its
+    /// exact `-i·Y` phase so symbolic cross-checks stay faithful).
+    #[must_use]
+    pub fn to_string_factor(self) -> PauliString {
+        match self {
+            PauliRecord::I => PauliString::single(1, 0, Pauli::I),
+            PauliRecord::X => PauliString::single(1, 0, Pauli::X),
+            PauliRecord::Z => PauliString::single(1, 0, Pauli::Z),
+            PauliRecord::XZ => {
+                // X·Z = -i·Y
+                let mut s = PauliString::single(1, 0, Pauli::Y);
+                s.set_phase(Phase::MinusI);
+                s
+            }
+        }
+    }
+
+    /// Compresses a single-qubit Pauli string back to a record, dropping
+    /// global phase.
+    #[must_use]
+    pub fn from_string_factor(s: &PauliString) -> Self {
+        assert_eq!(s.len(), 1, "record factors are single-qubit");
+        let (x, z) = s.op(0).bits();
+        PauliRecord::from_bits(x, z)
+    }
+}
+
+impl fmt::Display for PauliRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PauliRecord::I => "I",
+            PauliRecord::X => "X",
+            PauliRecord::Z => "Z",
+            PauliRecord::XZ => "XZ",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3.3 of the paper, verbatim.
+    #[test]
+    fn table_3_3_pauli_generator_mappings() {
+        use PauliRecord as R;
+        let table = [
+            (R::I, Pauli::X, R::X),
+            (R::I, Pauli::Z, R::Z),
+            (R::X, Pauli::X, R::I),
+            (R::X, Pauli::Z, R::XZ),
+            (R::Z, Pauli::X, R::XZ),
+            (R::Z, Pauli::Z, R::I),
+            (R::XZ, Pauli::X, R::Z),
+            (R::XZ, Pauli::Z, R::X),
+        ];
+        for (input, gate, output) in table {
+            assert_eq!(input.apply_pauli(gate), output, "{input} + {gate}");
+        }
+    }
+
+    /// Table 3.4 of the paper, verbatim.
+    #[test]
+    fn table_3_4_clifford_generator_mappings() {
+        use PauliRecord as R;
+        let table = [
+            (R::I, R::I, R::I),     // (input, after H, after S)
+            (R::X, R::Z, R::XZ),
+            (R::Z, R::X, R::Z),
+            (R::XZ, R::XZ, R::X),
+        ];
+        for (input, after_h, after_s) in table {
+            assert_eq!(input.conjugate_h(), after_h, "H on {input}");
+            assert_eq!(input.conjugate_s(), after_s, "S on {input}");
+        }
+    }
+
+    /// Table 3.5 of the paper, all 16 rows verbatim.
+    #[test]
+    fn table_3_5_cnot_mappings() {
+        use PauliRecord as R;
+        let table = [
+            ((R::I, R::I), (R::I, R::I)),
+            ((R::I, R::X), (R::I, R::X)),
+            ((R::I, R::Z), (R::Z, R::Z)),
+            ((R::I, R::XZ), (R::Z, R::XZ)),
+            ((R::X, R::I), (R::X, R::X)),
+            ((R::X, R::X), (R::X, R::I)),
+            ((R::X, R::Z), (R::XZ, R::XZ)),
+            ((R::X, R::XZ), (R::XZ, R::Z)),
+            ((R::Z, R::I), (R::Z, R::I)),
+            ((R::Z, R::X), (R::Z, R::X)),
+            ((R::Z, R::Z), (R::I, R::Z)),
+            ((R::Z, R::XZ), (R::I, R::XZ)),
+            ((R::XZ, R::I), (R::XZ, R::X)),
+            ((R::XZ, R::X), (R::XZ, R::I)),
+            ((R::XZ, R::Z), (R::X, R::XZ)),
+            ((R::XZ, R::XZ), (R::X, R::Z)),
+        ];
+        for ((rc, rt), expected) in table {
+            assert_eq!(
+                PauliRecord::conjugate_cnot(rc, rt),
+                expected,
+                "CNOT on ({rc}, {rt})"
+            );
+        }
+    }
+
+    /// Table 3.2 of the paper: only X-containing records flip measurements.
+    #[test]
+    fn table_3_2_measurement_flips() {
+        assert!(!PauliRecord::I.flips_measurement());
+        assert!(PauliRecord::X.flips_measurement());
+        assert!(!PauliRecord::Z.flips_measurement());
+        assert!(PauliRecord::XZ.flips_measurement());
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for r in PauliRecord::ALL {
+            let (x, z) = r.bits();
+            assert_eq!(PauliRecord::from_bits(x, z), r);
+            assert_eq!(PauliRecord::decode(r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn y_merges_as_xz() {
+        assert_eq!(PauliRecord::I.apply_pauli(Pauli::Y), PauliRecord::XZ);
+        assert_eq!(PauliRecord::XZ.apply_pauli(Pauli::Y), PauliRecord::I);
+    }
+
+    #[test]
+    fn h_is_involution_s_has_order_two_on_records() {
+        for r in PauliRecord::ALL {
+            assert_eq!(r.conjugate_h().conjugate_h(), r);
+            // S² = Z maps records like applying Z, which never changes the
+            // x/z membership pattern beyond what two S's do:
+            assert_eq!(r.conjugate_s().conjugate_s(), r);
+            assert_eq!(r.conjugate_sdg(), r.conjugate_s());
+        }
+    }
+
+    #[test]
+    fn cz_symmetric_and_involutive() {
+        for a in PauliRecord::ALL {
+            for b in PauliRecord::ALL {
+                let (a1, b1) = PauliRecord::conjugate_cz(a, b);
+                let (b2, a2) = PauliRecord::conjugate_cz(b, a);
+                assert_eq!((a1, b1), (a2, b2), "CZ asymmetric on ({a},{b})");
+                let (a3, b3) = PauliRecord::conjugate_cz(a1, b1);
+                assert_eq!((a3, b3), (a, b), "CZ not involutive on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_gates_match_bits() {
+        assert!(PauliRecord::I.flush_gates().is_empty());
+        assert_eq!(PauliRecord::X.flush_gates(), [Pauli::X]);
+        assert_eq!(PauliRecord::Z.flush_gates(), [Pauli::Z]);
+        assert_eq!(PauliRecord::XZ.flush_gates(), [Pauli::X, Pauli::Z]);
+    }
+
+    #[test]
+    fn string_factor_roundtrip() {
+        for r in PauliRecord::ALL {
+            assert_eq!(PauliRecord::from_string_factor(&r.to_string_factor()), r);
+        }
+    }
+
+    /// The record-level conjugations agree with symbolic PauliString
+    /// conjugation for every record and every supported gate.
+    #[test]
+    fn records_match_symbolic_conjugation() {
+        for r in PauliRecord::ALL {
+            // H
+            let mut s = r.to_string_factor();
+            s.conjugate_h(0);
+            assert_eq!(PauliRecord::from_string_factor(&s), r.conjugate_h());
+            // S
+            let mut s = r.to_string_factor();
+            s.conjugate_s(0);
+            assert_eq!(PauliRecord::from_string_factor(&s), r.conjugate_s());
+        }
+        // CNOT and CZ across all pairs.
+        for rc in PauliRecord::ALL {
+            for rt in PauliRecord::ALL {
+                let mut s = two_qubit_string(rc, rt);
+                s.conjugate_cnot(0, 1);
+                let expected = PauliRecord::conjugate_cnot(rc, rt);
+                assert_eq!(split_two_qubit(&s), expected, "CNOT ({rc},{rt})");
+
+                let mut s = two_qubit_string(rc, rt);
+                s.conjugate_cz(0, 1);
+                let expected = PauliRecord::conjugate_cz(rc, rt);
+                assert_eq!(split_two_qubit(&s), expected, "CZ ({rc},{rt})");
+            }
+        }
+    }
+
+    fn two_qubit_string(a: PauliRecord, b: PauliRecord) -> PauliString {
+        let fa = a.to_string_factor();
+        let fb = b.to_string_factor();
+        let mut s = PauliString::identity(2);
+        s.set_op(0, fa.op(0));
+        s.set_op(1, fb.op(0));
+        s.set_phase(fa.phase() * fb.phase());
+        s
+    }
+
+    fn split_two_qubit(s: &PauliString) -> (PauliRecord, PauliRecord) {
+        let (xa, za) = s.op(0).bits();
+        let (xb, zb) = s.op(1).bits();
+        (
+            PauliRecord::from_bits(xa, za),
+            PauliRecord::from_bits(xb, zb),
+        )
+    }
+}

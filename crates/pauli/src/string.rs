@@ -1,0 +1,541 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Pauli, Phase};
+
+/// An `n`-qubit Pauli operator with an explicit phase, e.g. `-i·X⊗I⊗Z`.
+///
+/// `PauliString` is the symbolic ground truth for the fast, compressed
+/// representations elsewhere in QPDO: the stabilizer tableau and the
+/// [`PauliRecord`](crate::PauliRecord) mapping tables are both cross-checked
+/// against string conjugation in tests.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_pauli::{PauliString, Pauli, Phase};
+///
+/// let mut s: PauliString = "+XZ".parse().unwrap();
+/// s.conjugate_h(0); // H X H = Z
+/// assert_eq!(s.op(0), Pauli::Z);
+/// assert_eq!(s.op(1), Pauli::Z);
+/// assert_eq!(s.phase(), Phase::PlusOne);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    phase: Phase,
+    ops: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits with phase `+1`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            phase: Phase::PlusOne,
+            ops: vec![Pauli::I; n],
+        }
+    }
+
+    /// Builds a string from a phase and per-qubit operators.
+    #[must_use]
+    pub fn new(phase: Phase, ops: Vec<Pauli>) -> Self {
+        PauliString { phase, ops }
+    }
+
+    /// A string that is `op` on qubit `q` and identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    #[must_use]
+    pub fn single(n: usize, q: usize, op: Pauli) -> Self {
+        assert!(q < n, "qubit index {q} out of range for {n} qubits");
+        let mut s = PauliString::identity(n);
+        s.ops[q] = op;
+        s
+    }
+
+    /// The number of qubits the string acts on.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the string acts on zero qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The phase prefactor.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Overwrites the phase prefactor.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The operator acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn op(&self, q: usize) -> Pauli {
+        self.ops[q]
+    }
+
+    /// Sets the operator acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_op(&mut self, q: usize, op: Pauli) {
+        self.ops[q] = op;
+    }
+
+    /// Iterates over the per-qubit operators in qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// The number of qubits on which the string acts non-trivially.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|p| **p != Pauli::I).count()
+    }
+
+    /// The qubit indices on which the string acts non-trivially.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != Pauli::I)
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// `true` if every per-qubit operator is the identity (any phase).
+    #[must_use]
+    pub fn is_identity_op(&self) -> bool {
+        self.ops.iter().all(|p| *p == Pauli::I)
+    }
+
+    /// Multiplies two strings of equal length, tracking the phase exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different lengths.
+    #[must_use]
+    pub fn mul(&self, rhs: &PauliString) -> PauliString {
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "cannot multiply Pauli strings of different lengths"
+        );
+        let mut phase = self.phase * rhs.phase;
+        let ops = self
+            .ops
+            .iter()
+            .zip(&rhs.ops)
+            .map(|(&a, &b)| {
+                let (p, r) = a.mul_with_phase(b);
+                phase *= p;
+                r
+            })
+            .collect();
+        PauliString { phase, ops }
+    }
+
+    /// Whether two strings commute as operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different lengths.
+    #[must_use]
+    pub fn commutes_with(&self, rhs: &PauliString) -> bool {
+        assert_eq!(self.len(), rhs.len());
+        let anticommuting = self
+            .ops
+            .iter()
+            .zip(&rhs.ops)
+            .filter(|(&a, &b)| !a.commutes_with(b))
+            .count();
+        anticommuting % 2 == 0
+    }
+
+    /// Conjugates by a Hadamard on qubit `q`: `X↔Z`, `Y→-Y`.
+    pub fn conjugate_h(&mut self, q: usize) {
+        match self.ops[q] {
+            Pauli::I => {}
+            Pauli::X => self.ops[q] = Pauli::Z,
+            Pauli::Z => self.ops[q] = Pauli::X,
+            Pauli::Y => self.phase = self.phase.negated(),
+        }
+    }
+
+    /// Conjugates by the phase gate `S` on qubit `q`: `X→Y`, `Y→-X`.
+    pub fn conjugate_s(&mut self, q: usize) {
+        match self.ops[q] {
+            Pauli::X => self.ops[q] = Pauli::Y,
+            Pauli::Y => {
+                self.ops[q] = Pauli::X;
+                self.phase = self.phase.negated();
+            }
+            _ => {}
+        }
+    }
+
+    /// Conjugates by `S†` on qubit `q`: `X→-Y`, `Y→X`.
+    pub fn conjugate_sdg(&mut self, q: usize) {
+        match self.ops[q] {
+            Pauli::X => {
+                self.ops[q] = Pauli::Y;
+                self.phase = self.phase.negated();
+            }
+            Pauli::Y => self.ops[q] = Pauli::X,
+            _ => {}
+        }
+    }
+
+    /// Conjugates by a Pauli `p` on qubit `q` (sign flip on anticommute).
+    pub fn conjugate_pauli(&mut self, q: usize, p: Pauli) {
+        if !self.ops[q].commutes_with(p) {
+            self.phase = self.phase.negated();
+        }
+    }
+
+    /// Conjugates by `CNOT` with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn conjugate_cnot(&mut self, c: usize, t: usize) {
+        // Images of the generators, each with phase +1:
+        //   X_c -> X_c X_t,  Z_c -> Z_c,  X_t -> X_t,  Z_t -> Z_c Z_t
+        self.conjugate_two_qubit(
+            c,
+            t,
+            [(Pauli::X, Pauli::X), (Pauli::Z, Pauli::I)],
+            [(Pauli::I, Pauli::X), (Pauli::Z, Pauli::Z)],
+        );
+    }
+
+    /// Conjugates by `CZ` on qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn conjugate_cz(&mut self, a: usize, b: usize) {
+        // X_a -> X_a Z_b,  Z_a -> Z_a,  X_b -> Z_a X_b,  Z_b -> Z_b
+        self.conjugate_two_qubit(
+            a,
+            b,
+            [(Pauli::X, Pauli::Z), (Pauli::Z, Pauli::I)],
+            [(Pauli::Z, Pauli::X), (Pauli::I, Pauli::Z)],
+        );
+    }
+
+    /// Conjugates by `SWAP` on qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn conjugate_swap(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "SWAP requires two distinct qubits");
+        self.ops.swap(a, b);
+    }
+
+    /// Shared machinery for two-qubit Clifford conjugation.
+    ///
+    /// `imgs_a[0]`/`imgs_a[1]` are the images of `X_a`/`Z_a` as `(op on a,
+    /// op on b)` pairs with implicit `+1` phase, and likewise for `imgs_b`.
+    /// The input operators are decomposed as `i^y · X^x Z^z` per qubit and
+    /// the images multiplied with exact phase tracking.
+    fn conjugate_two_qubit(
+        &mut self,
+        a: usize,
+        b: usize,
+        imgs_a: [(Pauli, Pauli); 2],
+        imgs_b: [(Pauli, Pauli); 2],
+    ) {
+        assert_ne!(a, b, "two-qubit gate requires two distinct qubits");
+        let (xa, za) = self.ops[a].bits();
+        let (xb, zb) = self.ops[b].bits();
+
+        // i^y factors from decomposing each Y as i·X·Z.
+        let mut phase = Phase::from_exponent((xa && za) as u8 + (xb && zb) as u8);
+        let mut acc = (Pauli::I, Pauli::I);
+        let mut absorb = |factor: (Pauli, Pauli), acc: &mut (Pauli, Pauli)| {
+            let (p0, r0) = acc.0.mul_with_phase(factor.0);
+            let (p1, r1) = acc.1.mul_with_phase(factor.1);
+            *acc = (r0, r1);
+            phase = phase * p0 * p1;
+        };
+        if xa {
+            absorb(imgs_a[0], &mut acc);
+        }
+        if za {
+            absorb(imgs_a[1], &mut acc);
+        }
+        if xb {
+            absorb(imgs_b[0], &mut acc);
+        }
+        if zb {
+            absorb(imgs_b[1], &mut acc);
+        }
+
+        self.ops[a] = acc.0;
+        self.ops[b] = acc.1;
+        self.phase *= phase;
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}·", self.phase)?;
+        for p in &self.ops {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`PauliString`] from text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePauliStringError {
+    offending: String,
+}
+
+impl fmt::Display for ParsePauliStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Pauli string syntax: {:?}", self.offending)
+    }
+}
+
+impl std::error::Error for ParsePauliStringError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliStringError;
+
+    /// Parses strings like `"XIZ"`, `"+XIZ"`, `"-YY"`, `"+iX"`, `"-iZZ"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePauliStringError {
+            offending: s.to_owned(),
+        };
+        let mut rest = s;
+        let mut phase = Phase::PlusOne;
+        if let Some(r) = rest.strip_prefix("+i") {
+            phase = Phase::PlusI;
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix("-i") {
+            phase = Phase::MinusI;
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('+') {
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('-') {
+            phase = Phase::MinusOne;
+            rest = r;
+        }
+        if rest.is_empty() {
+            return Err(err());
+        }
+        let ops = rest
+            .chars()
+            .map(Pauli::from_symbol)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(err)?;
+        Ok(PauliString { phase, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(ps("XIZ").to_string(), "+1·XIZ");
+        assert_eq!(ps("-YY").to_string(), "-1·YY");
+        assert_eq!(ps("+iX").phase(), Phase::PlusI);
+        assert_eq!(ps("-iZZ").phase(), Phase::MinusI);
+        assert!("".parse::<PauliString>().is_err());
+        assert!("+".parse::<PauliString>().is_err());
+        assert!("XQ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn multiplication_tracks_phase() {
+        // (X)(Z) = -i·Y per qubit
+        assert_eq!(ps("X").mul(&ps("Z")), ps("-iY"));
+        // (XZ)(ZX): qubit0 X·Z = -iY, qubit1 Z·X = +iY -> +YY
+        assert_eq!(ps("XZ").mul(&ps("ZX")), ps("YY"));
+        // phases multiply
+        assert_eq!(ps("-X").mul(&ps("-Z")), ps("-iY"));
+    }
+
+    #[test]
+    fn commutation() {
+        assert!(ps("XX").commutes_with(&ps("ZZ"))); // two anticommuting sites
+        assert!(!ps("XI").commutes_with(&ps("ZI")));
+        assert!(ps("XI").commutes_with(&ps("IZ")));
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let s = ps("IXIZ");
+        assert_eq!(s.weight(), 2);
+        assert_eq!(s.support(), vec![1, 3]);
+        assert!(!s.is_identity_op());
+        assert!(PauliString::identity(3).is_identity_op());
+    }
+
+    #[test]
+    fn hadamard_conjugation() {
+        let mut s = ps("X");
+        s.conjugate_h(0);
+        assert_eq!(s, ps("Z"));
+        let mut s = ps("Y");
+        s.conjugate_h(0);
+        assert_eq!(s, ps("-Y"));
+    }
+
+    #[test]
+    fn s_gate_conjugation() {
+        let mut s = ps("X");
+        s.conjugate_s(0);
+        assert_eq!(s, ps("Y"));
+        let mut s = ps("Y");
+        s.conjugate_s(0);
+        assert_eq!(s, ps("-X"));
+        // S then S† is the identity map.
+        for sym in ["X", "Y", "Z"] {
+            let orig = ps(sym);
+            let mut s = orig.clone();
+            s.conjugate_s(0);
+            s.conjugate_sdg(0);
+            assert_eq!(s, orig);
+        }
+    }
+
+    #[test]
+    fn cnot_conjugation_generators() {
+        let cases = [
+            ("XI", "XX"),
+            ("IX", "IX"),
+            ("ZI", "ZI"),
+            ("IZ", "ZZ"),
+            ("YI", "YX"),
+            ("IY", "ZY"),
+        ];
+        for (input, expected) in cases {
+            let mut s = ps(input);
+            s.conjugate_cnot(0, 1);
+            assert_eq!(s, ps(expected), "CNOT on {input}");
+        }
+    }
+
+    #[test]
+    fn cz_conjugation_generators() {
+        let cases = [
+            ("XI", "XZ"),
+            ("IX", "ZX"),
+            ("ZI", "ZI"),
+            ("IZ", "IZ"),
+            ("YI", "YZ"),
+            ("IY", "ZY"),
+            ("YY", "XX"), // (Y_a Z_b)(Z_a Y_b) = +X_a X_b
+        ];
+        for (input, expected) in cases {
+            let mut s = ps(input);
+            s.conjugate_cz(0, 1);
+            assert_eq!(s, ps(expected), "CZ on {input}");
+        }
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let mut s1 = PauliString::identity(2);
+                s1.set_op(0, a);
+                s1.set_op(1, b);
+                let mut s2 = s1.clone();
+                s1.conjugate_cz(0, 1);
+                s2.conjugate_cz(1, 0);
+                assert_eq!(s1, s2, "CZ asymmetric on {a}{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_is_involution() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let mut s = PauliString::identity(2);
+                s.set_op(0, a);
+                s.set_op(1, b);
+                let orig = s.clone();
+                s.conjugate_cnot(0, 1);
+                s.conjugate_cnot(0, 1);
+                assert_eq!(s, orig, "CNOT² not identity on {a}{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_conjugation() {
+        let mut s = ps("XZ");
+        s.conjugate_swap(0, 1);
+        assert_eq!(s, ps("ZX"));
+    }
+
+    #[test]
+    fn pauli_conjugation_signs() {
+        let mut s = ps("Z");
+        s.conjugate_pauli(0, Pauli::X);
+        assert_eq!(s, ps("-Z"));
+        let mut s = ps("Z");
+        s.conjugate_pauli(0, Pauli::Z);
+        assert_eq!(s, ps("Z"));
+    }
+
+    #[test]
+    fn conjugation_preserves_products() {
+        // C(PQ)C† = (CPC†)(CQC†) for CNOT across all 16 pairs.
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let p = PauliString::new(Phase::PlusOne, vec![a, Pauli::I]);
+                let q = PauliString::new(Phase::PlusOne, vec![Pauli::I, b]);
+                let mut pq = p.mul(&q);
+                pq.conjugate_cnot(0, 1);
+                let mut cp = p.clone();
+                cp.conjugate_cnot(0, 1);
+                let mut cq = q.clone();
+                cq.conjugate_cnot(0, 1);
+                assert_eq!(pq, cp.mul(&cq));
+            }
+        }
+    }
+
+    #[test]
+    fn single_constructor() {
+        let s = PauliString::single(3, 1, Pauli::Y);
+        assert_eq!(s, ps("IYI"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range_panics() {
+        let _ = PauliString::single(2, 5, Pauli::X);
+    }
+}

@@ -1,0 +1,35 @@
+//! CHP-style stabilizer simulator for the QPDO platform.
+//!
+//! This crate reimplements, from the published algorithm, the simulator the
+//! paper used as its fast back-end: CHP by Aaronson & Gottesman
+//! (*Improved simulation of stabilizer circuits*, Phys. Rev. A 70, 052328,
+//! 2004). The quantum state of `n` qubits is stored as a tableau of `2n`
+//! Pauli strings — `n` destabilizers and `n` stabilizers — over bit-packed
+//! `(x, z)` symplectic rows plus a sign bit.
+//!
+//! Supported operations are exactly the stabilizer operations the paper's
+//! experiments need: `H`, `S`, `S†`, the Paulis, `CNOT`, `CZ`, `SWAP`,
+//! reset to `|0⟩` and computational-basis measurement (both random and
+//! deterministic outcomes, per the original algorithm).
+//!
+//! # Example
+//!
+//! ```
+//! use qpdo_stabilizer::StabilizerSim;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+//! let mut sim = StabilizerSim::new(2);
+//! sim.h(0);
+//! sim.cnot(0, 1);                    // Bell state
+//! let a = sim.measure(0, &mut rng);
+//! let b = sim.measure(1, &mut rng);
+//! assert_eq!(a, b);                  // perfectly correlated
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tableau;
+
+pub use tableau::StabilizerSim;

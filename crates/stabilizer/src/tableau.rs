@@ -1,0 +1,815 @@
+use std::fmt;
+
+use qpdo_pauli::{Pauli, PauliString, Phase};
+use rand::Rng;
+
+/// The Aaronson–Gottesman stabilizer tableau simulator.
+///
+/// Rows `0..n` hold the destabilizer generators, rows `n..2n` the
+/// stabilizer generators, and one scratch row supports deterministic
+/// measurement. Each row stores its `x` and `z` symplectic bits packed in
+/// `u64` words plus a sign bit `r` (`true` = the generator carries a `-1`).
+///
+/// See the crate docs for an example.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StabilizerSim {
+    n: usize,
+    words: usize,
+    /// `x[row * words + w]`: x-bits of `row`, rows `0..=2n` (last = scratch).
+    x: Vec<u64>,
+    /// Same layout for z-bits.
+    z: Vec<u64>,
+    /// Sign bits, one per row.
+    r: Vec<bool>,
+}
+
+impl StabilizerSim {
+    /// Creates a simulator with all `n` qubits in `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "simulator needs at least one qubit");
+        let words = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut sim = StabilizerSim {
+            n,
+            words,
+            x: vec![0; rows * words],
+            z: vec![0; rows * words],
+            r: vec![false; rows],
+        };
+        for q in 0..n {
+            sim.set_x(q, q, true); // destabilizer q = X_q
+            sim.set_z(n + q, q, true); // stabilizer q = Z_q
+        }
+        sim
+    }
+
+    /// The number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Extends the register with `k` fresh qubits in `|0⟩`.
+    ///
+    /// Existing stabilizers are untouched; the new qubits join as a tensor
+    /// factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn grow(&mut self, k: usize) {
+        assert!(k > 0, "grow requires at least one new qubit");
+        let old_n = self.n;
+        let new_n = old_n + k;
+        let mut grown = StabilizerSim::new(new_n);
+        // Old destabilizer rows map to the same indices; old stabilizer
+        // rows shift by k. The fresh default rows for qubits old_n..new_n
+        // (X_q destabilizers, Z_q stabilizers) are already correct.
+        for row in 0..old_n {
+            for q in 0..old_n {
+                grown.set_x(row, q, self.x_bit(row, q));
+                grown.set_z(row, q, self.z_bit(row, q));
+            }
+            grown.r[row] = self.r[row];
+            let (src, dst) = (old_n + row, new_n + row);
+            for q in 0..old_n {
+                grown.set_x(dst, q, self.x_bit(src, q));
+                grown.set_z(dst, q, self.z_bit(src, q));
+            }
+            grown.r[dst] = self.r[src];
+        }
+        *self = grown;
+    }
+
+    #[inline]
+    fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.words + q / 64] >> (q % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn z_bit(&self, row: usize, q: usize) -> bool {
+        self.z[row * self.words + q / 64] >> (q % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / 64;
+        let mask = 1u64 << (q % 64);
+        if v {
+            self.x[idx] |= mask;
+        } else {
+            self.x[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / 64;
+        let mask = 1u64 << (q % 64);
+        if v {
+            self.z[idx] |= mask;
+        } else {
+            self.z[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn check_qubit(&self, q: usize) {
+        assert!(q < self.n, "qubit index {q} out of range ({} qubits)", self.n);
+    }
+
+    /// Left-multiplies row `h` by row `i` (the `rowsum(h, i)` of the
+    /// original paper), updating the sign with the exact `i^k` bookkeeping.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        // Accumulate the sum of the g() phase function over all columns.
+        let (hw, iw) = (h * self.words, i * self.words);
+        let mut plus = 0u32;
+        let mut minus = 0u32;
+        for w in 0..self.words {
+            let x1 = self.x[iw + w];
+            let z1 = self.z[iw + w];
+            let x2 = self.x[hw + w];
+            let z2 = self.z[hw + w];
+            let y1 = x1 & z1;
+            let x_only = x1 & !z1;
+            let z_only = !x1 & z1;
+            // g = +1 cases
+            let p = (y1 & z2 & !x2) | (x_only & x2 & z2) | (z_only & x2 & !z2);
+            // g = -1 cases
+            let m = (y1 & x2 & !z2) | (x_only & z2 & !x2) | (z_only & x2 & z2);
+            plus += p.count_ones();
+            minus += m.count_ones();
+        }
+        let total = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64) + plus as i64
+            - minus as i64;
+        // Stabilizer and scratch rows always multiply to real signs;
+        // destabilizer rows may not, but their signs carry no meaning in
+        // the Aaronson–Gottesman algorithm and are never read back.
+        debug_assert!(
+            h < self.n || total.rem_euclid(2) == 0,
+            "rowsum phase must be real on stabilizer rows"
+        );
+        self.r[h] = total.rem_euclid(4) == 2;
+        for w in 0..self.words {
+            self.x[hw + w] ^= self.x[iw + w];
+            self.z[hw + w] ^= self.z[iw + w];
+        }
+    }
+
+    /// Applies a Hadamard on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn h(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let x = self.x_bit(row, q);
+            let z = self.z_bit(row, q);
+            self.r[row] ^= x && z;
+            self.set_x(row, q, z);
+            self.set_z(row, q, x);
+        }
+    }
+
+    /// Applies the phase gate `S` on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn s(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let x = self.x_bit(row, q);
+            let z = self.z_bit(row, q);
+            self.r[row] ^= x && z;
+            self.set_z(row, q, x ^ z);
+        }
+    }
+
+    /// Applies `S†` on qubit `q` (as `S·S·S`, which is exact for Cliffords).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Applies a Pauli-X on qubit `q` (flips signs of Z-type rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn x(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.z_bit(row, q);
+        }
+    }
+
+    /// Applies a Pauli-Y on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn y(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.x_bit(row, q) ^ self.z_bit(row, q);
+        }
+    }
+
+    /// Applies a Pauli-Z on qubit `q` (flips signs of X-type rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn z(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.x_bit(row, q);
+        }
+    }
+
+    /// Applies a `CNOT` with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c);
+        self.check_qubit(t);
+        assert_ne!(c, t, "CNOT requires distinct qubits");
+        for row in 0..2 * self.n {
+            let xc = self.x_bit(row, c);
+            let zc = self.z_bit(row, c);
+            let xt = self.x_bit(row, t);
+            let zt = self.z_bit(row, t);
+            self.r[row] ^= xc && zt && (xt == zc);
+            self.set_x(row, t, xt ^ xc);
+            self.set_z(row, c, zc ^ zt);
+        }
+    }
+
+    /// Applies a `CZ` on qubits `a` and `b` (`H_b · CNOT_{a,b} · H_b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Applies a `SWAP` on qubits `a` and `b` (column exchange).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert_ne!(a, b, "SWAP requires distinct qubits");
+        for row in 0..2 * self.n {
+            let xa = self.x_bit(row, a);
+            let xb = self.x_bit(row, b);
+            self.set_x(row, a, xb);
+            self.set_x(row, b, xa);
+            let za = self.z_bit(row, a);
+            let zb = self.z_bit(row, b);
+            self.set_z(row, a, zb);
+            self.set_z(row, b, za);
+        }
+    }
+
+    /// Measures qubit `q` in the computational basis.
+    ///
+    /// Returns `true` for outcome `|1⟩`. Random outcomes draw one bit from
+    /// `rng`; deterministic outcomes never touch it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        self.check_qubit(q);
+        let n = self.n;
+        // A random outcome occurs iff some stabilizer anticommutes with Z_q.
+        let p = (n..2 * n).find(|&row| self.x_bit(row, q));
+        match p {
+            Some(p) => {
+                let outcome: bool = rng.gen();
+                for row in 0..2 * n {
+                    if row != p && self.x_bit(row, q) {
+                        self.rowsum(row, p);
+                    }
+                }
+                // Destabilizer p-n becomes the old stabilizer row p.
+                self.copy_row(p - n, p);
+                self.clear_row(p);
+                self.set_z(p, q, true);
+                self.r[p] = outcome;
+                outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// Returns the outcome of measuring `q` if it is deterministic, without
+    /// disturbing the state; `None` if the outcome would be random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn peek_deterministic(&mut self, q: usize) -> Option<bool> {
+        self.check_qubit(q);
+        if (self.n..2 * self.n).any(|row| self.x_bit(row, q)) {
+            None
+        } else {
+            Some(self.deterministic_outcome(q))
+        }
+    }
+
+    /// Computes a deterministic outcome through the scratch row.
+    fn deterministic_outcome(&mut self, q: usize) -> bool {
+        let n = self.n;
+        let scratch = 2 * n;
+        self.clear_row(scratch);
+        for i in 0..n {
+            if self.x_bit(i, q) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        self.r[scratch]
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure, then flip on outcome `|1⟩`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng) {
+            self.x(q);
+        }
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        let (d, s) = (dst * self.words, src * self.words);
+        for w in 0..self.words {
+            self.x[d + w] = self.x[s + w];
+            self.z[d + w] = self.z[s + w];
+        }
+        self.r[dst] = self.r[src];
+    }
+
+    fn clear_row(&mut self, row: usize) {
+        let base = row * self.words;
+        for w in 0..self.words {
+            self.x[base + w] = 0;
+            self.z[base + w] = 0;
+        }
+        self.r[row] = false;
+    }
+
+    fn row_string(&self, row: usize) -> PauliString {
+        let ops = (0..self.n)
+            .map(|q| Pauli::from_bits(self.x_bit(row, q), self.z_bit(row, q)))
+            .collect();
+        let phase = if self.r[row] {
+            Phase::MinusOne
+        } else {
+            Phase::PlusOne
+        };
+        PauliString::new(phase, ops)
+    }
+
+    /// The current stabilizer generators as signed Pauli strings.
+    ///
+    /// `Y` entries are reported as the enum `Y`; the tableau's internal
+    /// `X·Z` bookkeeping keeps signs real, matching the CHP convention.
+    #[must_use]
+    pub fn stabilizers(&self) -> Vec<PauliString> {
+        (self.n..2 * self.n).map(|row| self.row_string(row)).collect()
+    }
+
+    /// The current destabilizer generators as Pauli strings.
+    ///
+    /// Destabilizer *signs* are bookkeeping artifacts of the
+    /// Aaronson–Gottesman algorithm and carry no physical meaning; only
+    /// the operator parts are significant.
+    #[must_use]
+    pub fn destabilizers(&self) -> Vec<PauliString> {
+        (0..self.n).map(|row| self.row_string(row)).collect()
+    }
+
+    /// A canonical (row-reduced) generating set for the stabilizer group,
+    /// suitable for comparing two simulators for state equality.
+    ///
+    /// Two `StabilizerSim`s represent the same quantum state exactly when
+    /// their canonical stabilizers are equal.
+    #[must_use]
+    pub fn canonical_stabilizers(&self) -> Vec<PauliString> {
+        // Work on a copy of the stabilizer half only; row-multiplication
+        // reuses rowsum on a cloned simulator so signs stay exact.
+        let mut work = self.clone();
+        let n = work.n;
+        let rows: Vec<usize> = (n..2 * n).collect();
+        let mut pivot_row = 0usize;
+        // X block first (X before Z per column), then Z block: the standard
+        // symplectic Gaussian elimination.
+        for pass in 0..2 {
+            for q in 0..n {
+                let bit = |w: &StabilizerSim, row: usize| {
+                    if pass == 0 {
+                        w.x_bit(row, q)
+                    } else {
+                        !w.x_bit(row, q) && w.z_bit(row, q)
+                    }
+                };
+                let Some(found) =
+                    (pivot_row..n).find(|&i| bit(&work, rows[i]))
+                else {
+                    continue;
+                };
+                // Swap generator rows (full row swap including signs).
+                if found != pivot_row {
+                    work.swap_rows(rows[found], rows[pivot_row]);
+                }
+                for i in 0..n {
+                    if i != pivot_row && bit(&work, rows[i]) {
+                        work.rowsum(rows[i], rows[pivot_row]);
+                    }
+                }
+                pivot_row += 1;
+            }
+        }
+        let mut gens = work.stabilizers();
+        gens.sort_by_key(|g| {
+            let bits: Vec<(bool, bool)> = g.iter().map(Pauli::bits).collect();
+            bits
+        });
+        gens
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        let (aw, bw) = (a * self.words, b * self.words);
+        for w in 0..self.words {
+            self.x.swap(aw + w, bw + w);
+            self.z.swap(aw + w, bw + w);
+        }
+        self.r.swap(a, b);
+    }
+
+    /// Measures the sign of an `n`-qubit Pauli-product observable when it
+    /// is in the stabilizer group, e.g. the `Z₀Z₄Z₈` check of Table 2.2.
+    ///
+    /// Returns `Some(false)` for expectation `+1`, `Some(true)` for `-1`,
+    /// and `None` when the observable is not (±) in the stabilizer group
+    /// (outcome would be random).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observable.len() != num_qubits()`.
+    #[must_use]
+    pub fn expectation(&mut self, observable: &PauliString) -> Option<bool> {
+        assert_eq!(
+            observable.len(),
+            self.n,
+            "observable must act on all {} qubits",
+            self.n
+        );
+        // Measure via an auxiliary approach: the observable commutes with
+        // every stabilizer iff its outcome is deterministic. Reduce it
+        // against the destabilizer/stabilizer pairs like a deterministic
+        // measurement.
+        let n = self.n;
+        for row in n..2 * n {
+            if !self.commutes_with_row(observable, row) {
+                return None;
+            }
+        }
+        let scratch = 2 * n;
+        self.clear_row(scratch);
+        // Seed the scratch row phase from the observable's own phase.
+        debug_assert!(observable.phase().is_real());
+        // Express observable = product of stabilizers: for each qubit q,
+        // destabilizer d_i anticommutes only with stabilizer s_i, so the
+        // coefficient of s_i is whether observable anticommutes with d_i.
+        for i in 0..n {
+            if !self.commutes_with_row(observable, i) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        // scratch now equals the observable up to sign; compare signs.
+        let scratch_string = self.row_string(scratch);
+        let mut obs = observable.clone();
+        obs.set_phase(Phase::PlusOne);
+        let mut scr = scratch_string.clone();
+        scr.set_phase(Phase::PlusOne);
+        assert_eq!(
+            obs, scr,
+            "observable commutes with all stabilizers but is not in the group"
+        );
+        let obs_negative = observable.phase() == Phase::MinusOne;
+        Some(self.r[scratch] != obs_negative)
+    }
+
+    fn commutes_with_row(&self, observable: &PauliString, row: usize) -> bool {
+        let mut anti = 0usize;
+        for q in 0..self.n {
+            let p = Pauli::from_bits(self.x_bit(row, q), self.z_bit(row, q));
+            if !p.commutes_with(observable.op(q)) {
+                anti += 1;
+            }
+        }
+        anti.is_multiple_of(2)
+    }
+}
+
+impl fmt::Display for StabilizerSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stabilizers of {} qubit(s):", self.n)?;
+        for s in self.stabilizers() {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn fresh_state_measures_zero() {
+        let mut sim = StabilizerSim::new(3);
+        let mut rng = rng();
+        for q in 0..3 {
+            assert!(!sim.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut sim = StabilizerSim::new(1);
+        sim.x(0);
+        assert_eq!(sim.peek_deterministic(0), Some(true));
+        sim.x(0);
+        assert_eq!(sim.peek_deterministic(0), Some(false));
+    }
+
+    #[test]
+    fn y_flips_measurement() {
+        let mut sim = StabilizerSim::new(1);
+        sim.y(0);
+        assert_eq!(sim.peek_deterministic(0), Some(true));
+    }
+
+    #[test]
+    fn z_preserves_zero_state() {
+        let mut sim = StabilizerSim::new(1);
+        sim.z(0);
+        assert_eq!(sim.peek_deterministic(0), Some(false));
+    }
+
+    #[test]
+    fn hadamard_gives_random_then_repeatable() {
+        let mut rng = rng();
+        let mut seen = [false; 2];
+        for seed in 0..32u64 {
+            let mut sim = StabilizerSim::new(1);
+            sim.h(0);
+            assert_eq!(sim.peek_deterministic(0), None);
+            let mut local = StdRng::seed_from_u64(seed);
+            let first = sim.measure(0, &mut local);
+            seen[first as usize] = true;
+            // Once collapsed, the outcome repeats.
+            assert_eq!(sim.measure(0, &mut rng), first);
+            assert_eq!(sim.peek_deterministic(0), Some(first));
+        }
+        assert!(seen[0] && seen[1], "both outcomes must occur");
+    }
+
+    #[test]
+    fn hxh_equals_z() {
+        let mut a = StabilizerSim::new(1);
+        a.h(0);
+        a.x(0);
+        a.h(0);
+        let mut b = StabilizerSim::new(1);
+        b.z(0);
+        assert_eq!(a.canonical_stabilizers(), b.canonical_stabilizers());
+    }
+
+    #[test]
+    fn s_squared_equals_z() {
+        let mut a = StabilizerSim::new(1);
+        a.h(0); // move off the Z eigenbasis so S acts non-trivially
+        a.s(0);
+        a.s(0);
+        let mut b = StabilizerSim::new(1);
+        b.h(0);
+        b.z(0);
+        assert_eq!(a.canonical_stabilizers(), b.canonical_stabilizers());
+    }
+
+    #[test]
+    fn sdg_inverts_s() {
+        let mut a = StabilizerSim::new(1);
+        a.h(0);
+        a.s(0);
+        a.sdg(0);
+        let mut b = StabilizerSim::new(1);
+        b.h(0);
+        assert_eq!(a.canonical_stabilizers(), b.canonical_stabilizers());
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut sim = StabilizerSim::new(2);
+        sim.h(0);
+        sim.cnot(0, 1);
+        let gens = sim.canonical_stabilizers();
+        let expected: Vec<PauliString> =
+            vec!["+XX".parse().unwrap(), "+ZZ".parse().unwrap()];
+        let mut expected_sorted = expected;
+        expected_sorted.sort_by_key(|g| {
+            let bits: Vec<(bool, bool)> = g.iter().map(Pauli::bits).collect();
+            bits
+        });
+        assert_eq!(gens, expected_sorted);
+    }
+
+    #[test]
+    fn bell_state_correlation() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sim = StabilizerSim::new(2);
+            sim.h(0);
+            sim.cnot(0, 1);
+            let a = sim.measure(0, &mut rng);
+            let b = sim.measure(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn odd_bell_state_anticorrelation() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sim = StabilizerSim::new(2);
+            sim.h(0);
+            sim.cnot(0, 1);
+            sim.x(0);
+            let a = sim.measure(0, &mut rng);
+            let b = sim.measure(1, &mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn cz_matches_h_cnot_h() {
+        let mut a = StabilizerSim::new(2);
+        a.h(0);
+        a.h(1);
+        a.cz(0, 1);
+        let mut b = StabilizerSim::new(2);
+        b.h(0);
+        b.h(1);
+        b.h(1);
+        b.cnot(0, 1);
+        b.h(1);
+        assert_eq!(a.canonical_stabilizers(), b.canonical_stabilizers());
+    }
+
+    #[test]
+    fn swap_exchanges_states() {
+        let mut sim = StabilizerSim::new(2);
+        sim.x(0);
+        sim.swap(0, 1);
+        assert_eq!(sim.peek_deterministic(0), Some(false));
+        assert_eq!(sim.peek_deterministic(1), Some(true));
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let mut rng = rng();
+        let mut sim = StabilizerSim::new(2);
+        sim.h(0);
+        sim.cnot(0, 1);
+        sim.reset(0, &mut rng);
+        assert_eq!(sim.peek_deterministic(0), Some(false));
+    }
+
+    #[test]
+    fn ghz_parity() {
+        // GHZ state: all three measurements agree.
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sim = StabilizerSim::new(3);
+            sim.h(0);
+            sim.cnot(0, 1);
+            sim.cnot(1, 2);
+            let a = sim.measure(0, &mut rng);
+            assert_eq!(sim.measure(1, &mut rng), a);
+            assert_eq!(sim.measure(2, &mut rng), a);
+        }
+    }
+
+    #[test]
+    fn expectation_of_stabilizer_observables() {
+        let mut sim = StabilizerSim::new(2);
+        sim.h(0);
+        sim.cnot(0, 1);
+        assert_eq!(sim.expectation(&"+ZZ".parse().unwrap()), Some(false));
+        assert_eq!(sim.expectation(&"+XX".parse().unwrap()), Some(false));
+        assert_eq!(sim.expectation(&"-ZZ".parse().unwrap()), Some(true));
+        // ZI anticommutes with stabilizer XX -> random
+        assert_eq!(sim.expectation(&"+ZI".parse().unwrap()), None);
+        // Odd Bell state: ZZ has expectation -1.
+        sim.x(0);
+        assert_eq!(sim.expectation(&"+ZZ".parse().unwrap()), Some(true));
+    }
+
+    #[test]
+    fn measurement_collapse_updates_entangled_partner() {
+        let mut rng = rng();
+        let mut sim = StabilizerSim::new(2);
+        sim.h(0);
+        sim.cnot(0, 1);
+        let a = sim.measure(0, &mut rng);
+        assert_eq!(sim.peek_deterministic(1), Some(a));
+    }
+
+    #[test]
+    fn many_qubits_cross_word_boundary() {
+        // 70 qubits spans two u64 words per row half.
+        let mut rng = rng();
+        let mut sim = StabilizerSim::new(70);
+        sim.h(0);
+        sim.cnot(0, 69);
+        let a = sim.measure(0, &mut rng);
+        assert_eq!(sim.measure(69, &mut rng), a);
+        sim.x(65);
+        assert_eq!(sim.peek_deterministic(65), Some(true));
+    }
+
+    #[test]
+    fn grow_preserves_state_and_adds_zeros() {
+        let mut rng = rng();
+        let mut sim = StabilizerSim::new(2);
+        sim.h(0);
+        sim.cnot(0, 1);
+        sim.grow(2);
+        assert_eq!(sim.num_qubits(), 4);
+        // New qubits start in |0>.
+        assert_eq!(sim.peek_deterministic(2), Some(false));
+        assert_eq!(sim.peek_deterministic(3), Some(false));
+        // Old entanglement survives.
+        let a = sim.measure(0, &mut rng);
+        assert_eq!(sim.measure(1, &mut rng), a);
+        // New qubits remain usable.
+        sim.x(3);
+        assert_eq!(sim.peek_deterministic(3), Some(true));
+    }
+
+    #[test]
+    fn grow_preserves_signs() {
+        let mut sim = StabilizerSim::new(1);
+        sim.x(0); // stabilizer -Z0
+        sim.grow(1);
+        assert_eq!(sim.peek_deterministic(0), Some(true));
+        let gens = sim.stabilizers();
+        assert!(gens.iter().any(|g| g.to_string() == "-1·ZI"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut sim = StabilizerSim::new(2);
+        sim.h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn cnot_same_qubit_panics() {
+        let mut sim = StabilizerSim::new(2);
+        sim.cnot(0, 0);
+    }
+}

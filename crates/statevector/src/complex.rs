@@ -1,0 +1,178 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A double-precision complex number.
+///
+/// Deliberately minimal — only the operations a state-vector simulator
+/// needs — to keep the workspace free of external numeric dependencies.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_statevector::Complex;
+///
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// assert!((Complex::new(3.0, 4.0).norm_sqr() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Builds a complex number from real and imaginary parts.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The squared magnitude `re² + im²`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// `true` when both parts are within `tol` of the other value's.
+    #[must_use]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    /// Formats like the QX Simulator state dumps: `(0.25+0j)`,
+    /// `(-0.353553-0.353553j)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_part(v: f64) -> String {
+            if v == 0.0 {
+                "0".to_owned()
+            } else {
+                let s = format!("{v:.6}");
+                let s = s.trim_end_matches('0').trim_end_matches('.');
+                s.to_owned()
+            }
+        }
+        let re = fmt_part(self.re);
+        let im = fmt_part(self.im.abs());
+        let sign = if self.im < 0.0 { '-' } else { '+' };
+        write!(f, "({re}{sign}{im}j)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!(((a * a.conj()).re - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_unit() {
+        let q = Complex::from_polar_unit(std::f64::consts::FRAC_PI_2);
+        assert!(q.approx_eq(Complex::I, 1e-12));
+    }
+
+    #[test]
+    fn display_matches_qx_style() {
+        assert_eq!(Complex::new(0.25, 0.0).to_string(), "(0.25+0j)");
+        assert_eq!(
+            Complex::new(-0.353553, -0.353553).to_string(),
+            "(-0.353553-0.353553j)"
+        );
+        assert_eq!(Complex::new(0.0, 0.5).to_string(), "(0+0.5j)");
+        assert_eq!(Complex::new(0.0, -0.5).to_string(), "(0-0.5j)");
+    }
+}

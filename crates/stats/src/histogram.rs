@@ -1,0 +1,148 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A labelled frequency histogram, as used for the odd-Bell-state
+/// measurement results of Fig 5.7.
+///
+/// Labels are kept in sorted order so rendered histograms are stable.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record("|01>");
+/// h.record("|10>");
+/// h.record("|01>");
+/// assert_eq!(h.count("|01>"), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Increments the count for `label`.
+    pub fn record(&mut self, label: impl Into<String>) {
+        *self.counts.entry(label.into()).or_insert(0) += 1;
+    }
+
+    /// Registers a label with count zero if absent (so empty bins render).
+    pub fn ensure_bin(&mut self, label: impl Into<String>) {
+        self.counts.entry(label.into()).or_insert(0);
+    }
+
+    /// The count for `label` (0 if never recorded).
+    #[must_use]
+    pub fn count(&self, label: &str) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded events.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The relative frequency of `label` (0 for an empty histogram).
+    #[must_use]
+    pub fn frequency(&self, label: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(label) as f64 / total as f64
+        }
+    }
+
+    /// Iterates over `(label, count)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The number of distinct labels.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Renders an ASCII bar chart, one row per label.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.values().copied().max().unwrap_or(0);
+        let width = 50u64;
+        for (label, &count) in &self.counts {
+            let bar_len = (count * width).checked_div(max).unwrap_or(0);
+            let bar: String = std::iter::repeat_n('#', bar_len as usize).collect();
+            writeln!(f, "{label:>8} | {bar} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = Histogram::new();
+        h.record("a");
+        h.record("a");
+        h.record("b");
+        assert_eq!(h.count("a"), 2);
+        assert_eq!(h.count("b"), 1);
+        assert_eq!(h.count("c"), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bins(), 2);
+    }
+
+    #[test]
+    fn frequencies() {
+        let mut h = Histogram::new();
+        assert_eq!(h.frequency("x"), 0.0);
+        h.record("x");
+        h.record("y");
+        assert!((h.frequency("x") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensure_bin_keeps_zero() {
+        let mut h = Histogram::new();
+        h.ensure_bin("|00>");
+        h.record("|11>");
+        let labels: Vec<&str> = h.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["|00>", "|11>"]);
+        assert_eq!(h.count("|00>"), 0);
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let mut h = Histogram::new();
+        h.record("|01>");
+        h.record("|01>");
+        h.record("|10>");
+        let s = h.to_string();
+        assert!(s.contains("|01>"));
+        assert!(s.contains("##"));
+        assert!(s.contains(" 2"));
+    }
+
+    #[test]
+    fn sorted_iteration() {
+        let mut h = Histogram::new();
+        h.record("b");
+        h.record("a");
+        let labels: Vec<&str> = h.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["a", "b"]);
+    }
+}

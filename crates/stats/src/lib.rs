@@ -1,0 +1,37 @@
+//! Statistics for the QPDO evaluation.
+//!
+//! Implements exactly the statistical machinery Chapter 5 of the paper
+//! uses, with no external numeric dependencies:
+//!
+//! - [`Summary`] — mean, sample standard deviation and the coefficient of
+//!   variation (relative standard deviation) used in Figs 5.17–5.20.
+//! - [`independent_t_test`] / [`paired_t_test`] — the two Student t-tests
+//!   of Figs 5.21–5.24, with exact two-tailed p-values computed through
+//!   the regularized incomplete beta function.
+//! - [`Histogram`] — the measurement-outcome histograms of Fig 5.7.
+//!
+//! # Example
+//!
+//! ```
+//! use qpdo_stats::{independent_t_test, Summary};
+//!
+//! let a = [5.0, 5.1, 4.9, 5.05, 4.95];
+//! let b = [5.02, 5.08, 4.93, 5.01, 4.96];
+//! let test = independent_t_test(&a, &b).unwrap();
+//! assert!(test.p_value > 0.05); // not significantly different
+//! let s = Summary::from_slice(&a).unwrap();
+//! assert!((s.mean - 5.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descriptive;
+mod histogram;
+mod special;
+mod ttest;
+
+pub use descriptive::Summary;
+pub use histogram::Histogram;
+pub use special::{ln_gamma, regularized_incomplete_beta};
+pub use ttest::{independent_t_test, paired_t_test, student_t_two_tailed_p, TTest, TTestError};

@@ -1,0 +1,237 @@
+use std::fmt;
+
+use crate::special::regularized_incomplete_beta;
+use crate::Summary;
+
+/// The result of a Student t-test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value (the "ρ-value" of Figs 5.21–5.24).
+    pub p_value: f64,
+}
+
+/// Error returned when a t-test cannot be computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TTestError {
+    /// A sample had fewer than two observations.
+    TooFewSamples,
+    /// Paired test received samples of different lengths.
+    UnequalLengths,
+    /// Both samples have zero variance and equal means (t is 0/0).
+    DegenerateVariance,
+}
+
+impl fmt::Display for TTestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            TTestError::TooFewSamples => "each sample needs at least two observations",
+            TTestError::UnequalLengths => "paired samples must have equal lengths",
+            TTestError::DegenerateVariance => {
+                "zero variance in both samples with equal means"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for TTestError {}
+
+/// Two-tailed p-value of a Student t statistic with `df` degrees of
+/// freedom: `p = I_{df/(df+t²)}(df/2, 1/2)`.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `t` is not finite.
+#[must_use]
+pub fn student_t_two_tailed_p(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    assert!(t.is_finite(), "t statistic must be finite");
+    regularized_incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
+}
+
+/// Independent (unpaired) two-sample Student t-test with pooled variance.
+///
+/// This matches the classic equal-variance `ttest_ind` the paper applies
+/// to the with-/without-Pauli-frame LER samples (Figs 5.21, 5.23).
+///
+/// # Errors
+///
+/// Returns an error if either sample has fewer than two observations, or
+/// if both samples are constant with equal means.
+pub fn independent_t_test(a: &[f64], b: &[f64]) -> Result<TTest, TTestError> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(TTestError::TooFewSamples);
+    }
+    let sa = Summary::from_slice(a).expect("non-empty");
+    let sb = Summary::from_slice(b).expect("non-empty");
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let df = na + nb - 2.0;
+    let pooled_var =
+        ((na - 1.0) * sa.variance + (nb - 1.0) * sb.variance) / df;
+    let denom = (pooled_var * (1.0 / na + 1.0 / nb)).sqrt();
+    let diff = sa.mean - sb.mean;
+    if denom == 0.0 {
+        if diff == 0.0 {
+            return Err(TTestError::DegenerateVariance);
+        }
+        // Identical constants vs different constant: infinitely significant.
+        return Ok(TTest {
+            t: f64::INFINITY.copysign(diff),
+            df,
+            p_value: 0.0,
+        });
+    }
+    let t = diff / denom;
+    Ok(TTest {
+        t,
+        df,
+        p_value: student_t_two_tailed_p(t, df),
+    })
+}
+
+/// Paired two-sample Student t-test (`ttest_rel`): a one-sample test on
+/// the per-index differences (Figs 5.22, 5.24).
+///
+/// # Errors
+///
+/// Returns an error if the samples differ in length, have fewer than two
+/// pairs, or if the differences are identically zero.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTest, TTestError> {
+    if a.len() != b.len() {
+        return Err(TTestError::UnequalLengths);
+    }
+    if a.len() < 2 {
+        return Err(TTestError::TooFewSamples);
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let s = Summary::from_slice(&diffs).expect("non-empty");
+    let n = diffs.len() as f64;
+    let df = n - 1.0;
+    let denom = s.std_dev / n.sqrt();
+    if denom == 0.0 {
+        if s.mean == 0.0 {
+            return Err(TTestError::DegenerateVariance);
+        }
+        return Ok(TTest {
+            t: f64::INFINITY.copysign(s.mean),
+            df,
+            p_value: 0.0,
+        });
+    }
+    let t = s.mean / denom;
+    Ok(TTest {
+        t,
+        df,
+        p_value: student_t_two_tailed_p(t, df),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn p_value_analytic_df1() {
+        // df = 1 is the Cauchy distribution: p = 1 - 2·atan(t)/π.
+        for t in [0.0f64, 0.5, 1.0, 2.0, 10.0] {
+            let expected = 1.0 - 2.0 * t.atan() / std::f64::consts::PI;
+            assert_close(student_t_two_tailed_p(t, 1.0), expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn p_value_analytic_df2() {
+        // df = 2: p = 1 - t/√(t²+2).
+        for t in [0.0f64, 1.0, 3.0] {
+            let expected = 1.0 - t / (t * t + 2.0).sqrt();
+            assert_close(student_t_two_tailed_p(t, 2.0), expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn p_value_symmetric_in_t() {
+        assert_close(
+            student_t_two_tailed_p(-1.7, 9.0),
+            student_t_two_tailed_p(1.7, 9.0),
+            1e-14,
+        );
+    }
+
+    #[test]
+    fn p_value_zero_t_is_one() {
+        for df in [1.0, 5.0, 30.0] {
+            assert_close(student_t_two_tailed_p(0.0, df), 1.0, 1e-14);
+        }
+    }
+
+    #[test]
+    fn independent_test_known_case() {
+        // Reference values computed from the analytic pooled-t formula:
+        // a: mean 30.1, b: mean 20.1, classic textbook case.
+        let a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+        let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+        let r = independent_t_test(&a, &b).unwrap();
+        assert_eq!(r.df, 10.0);
+        // scipy.stats.ttest_ind gives t = 1.959, p = 0.0805 for this data.
+        assert_close(r.t, 1.959, 5e-3);
+        assert_close(r.p_value, 0.0805, 5e-3);
+    }
+
+    #[test]
+    fn paired_test_known_case() {
+        let a = [12.0, 14.0, 11.0, 16.0, 13.0];
+        let b = [10.0, 13.0, 10.0, 15.0, 11.0];
+        // diffs = [2, 1, 1, 1, 2]; mean=1.4, sd=0.5477; t = 1.4/(0.5477/√5)
+        let r = paired_t_test(&a, &b).unwrap();
+        assert_eq!(r.df, 4.0);
+        assert_close(r.t, 5.715, 5e-3);
+        // scipy.stats.ttest_rel gives p ≈ 0.00464.
+        assert_close(r.p_value, 0.00464, 5e-4);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = independent_t_test(&a, &a).unwrap();
+        assert_close(r.t, 0.0, 1e-14);
+        assert_close(r.p_value, 1.0, 1e-12);
+        assert_eq!(paired_t_test(&a, &a), Err(TTestError::DegenerateVariance));
+    }
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b = [9.0, 9.1, 8.9, 9.05, 8.95];
+        let r = independent_t_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-10);
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            independent_t_test(&[1.0], &[1.0, 2.0]),
+            Err(TTestError::TooFewSamples)
+        );
+        assert_eq!(
+            paired_t_test(&[1.0, 2.0], &[1.0]),
+            Err(TTestError::UnequalLengths)
+        );
+    }
+
+    #[test]
+    fn constant_but_different_samples() {
+        let r = independent_t_test(&[2.0, 2.0, 2.0], &[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.t.is_infinite() && r.t < 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+use qpdo_circuit::{Circuit, Gate, Operation, TimeSlot};
+use qpdo_pauli::{Pauli, PauliString};
+
+/// The three check supports of the `[7,4,3]` Hamming code, ordered so
+/// that the syndrome bits (check 0 = bit 0) of a single error on data
+/// qubit `q` read `q + 1` in binary:
+///
+/// - check 0: `{0, 2, 4, 6}` (qubits whose index has bit 0 set, +1),
+/// - check 1: `{1, 2, 5, 6}`,
+/// - check 2: `{3, 4, 5, 6}`.
+///
+/// Both the X and the Z stabilizers use these same supports (the code is
+/// self-dual).
+pub const CHECK_SUPPORTS: [[usize; 4]; 3] = [[0, 2, 4, 6], [1, 2, 5, 6], [3, 4, 5, 6]];
+
+/// The weight-3 logical operator support, `{0, 1, 2}` (a Hamming
+/// codeword), shared by `X_L` and `Z_L`.
+pub const LOGICAL_SUPPORT: [usize; 3] = [0, 1, 2];
+
+/// Classical Hamming decode of 7 measured bits: computes the syndrome,
+/// flips the indicated bit (if any), and returns the corrected parity of
+/// the logical support — the fault-tolerant `M_ZL` post-processing.
+#[must_use]
+pub fn hamming_decode_bit(bits: &[bool; 7]) -> bool {
+    let mut corrected = *bits;
+    let mut syndrome = 0usize;
+    for (bit, support) in CHECK_SUPPORTS.iter().enumerate() {
+        let parity = support.iter().filter(|&&q| corrected[q]).count() % 2;
+        if parity == 1 {
+            syndrome |= 1 << bit;
+        }
+    }
+    if syndrome != 0 {
+        corrected[syndrome - 1] = !corrected[syndrome - 1];
+    }
+    LOGICAL_SUPPORT
+        .iter()
+        .fold(false, |acc, &q| acc ^ corrected[q])
+}
+
+/// Physical-qubit assignment of one Steane block: 7 data qubits plus
+/// 3 X-check and 3 Z-check ancillas (13 qubits total).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SteaneLayout {
+    /// Physical addresses of data qubits `0..7`.
+    pub data: [usize; 7],
+    /// Physical addresses of the X-check ancillas (check order).
+    pub x_ancillas: [usize; 3],
+    /// Physical addresses of the Z-check ancillas (check order).
+    pub z_ancillas: [usize; 3],
+}
+
+impl SteaneLayout {
+    /// The standard packing: data at `base..base+7`, X ancillas at
+    /// `base+7..base+10`, Z ancillas at `base+10..base+13`.
+    #[must_use]
+    pub fn standard(base: usize) -> Self {
+        let mut data = [0; 7];
+        for (i, d) in data.iter_mut().enumerate() {
+            *d = base + i;
+        }
+        SteaneLayout {
+            data,
+            x_ancillas: [base + 7, base + 8, base + 9],
+            z_ancillas: [base + 10, base + 11, base + 12],
+        }
+    }
+
+    /// The highest physical index used, plus one.
+    #[must_use]
+    pub fn required_register(&self) -> usize {
+        1 + *self
+            .data
+            .iter()
+            .chain(&self.x_ancillas)
+            .chain(&self.z_ancillas)
+            .max()
+            .expect("layout non-empty")
+    }
+
+    /// The six stabilizer generators over the 7 **virtual** data qubits,
+    /// X checks first.
+    #[must_use]
+    pub fn stabilizer_strings() -> Vec<PauliString> {
+        let mut gens = Vec::with_capacity(6);
+        for p in [Pauli::X, Pauli::Z] {
+            for support in CHECK_SUPPORTS {
+                let mut s = PauliString::identity(7);
+                for q in support {
+                    s.set_op(q, p);
+                }
+                gens.push(s);
+            }
+        }
+        gens
+    }
+}
+
+/// The conflict-free 4-slot CNOT schedule for one check family: entry
+/// `[check][slot]` is the data qubit visited. (A proper edge colouring
+/// of the check/data bipartite graph; data qubit 6 sits in all three
+/// checks, so four slots are necessary and sufficient.)
+const CNOT_SCHEDULE: [[usize; 4]; 3] = [
+    [0, 6, 2, 4], // check 0: {0, 2, 4, 6}
+    [1, 2, 6, 5], // check 1: {1, 2, 5, 6}
+    [3, 4, 5, 6], // check 2: {3, 4, 5, 6}
+];
+
+/// One Steane ESM round: the X-check phase (prepare, `H`, 4 CNOT slots,
+/// `H`) followed by a combined measure-X/prepare-Z slot and the Z-check
+/// phase (4 CNOT slots, measure) — 13 time slots, 42 operations.
+#[must_use]
+pub fn esm_circuit(layout: &SteaneLayout) -> Circuit {
+    let mut circuit = Circuit::new();
+
+    // X-check phase.
+    let mut slot = TimeSlot::new();
+    for &a in &layout.x_ancillas {
+        slot.push(Operation::prep(a));
+    }
+    circuit.push_slot(slot);
+    let mut slot = TimeSlot::new();
+    for &a in &layout.x_ancillas {
+        slot.push(Operation::gate(Gate::H, &[a]));
+    }
+    circuit.push_slot(slot);
+    for step in 0..4 {
+        let mut slot = TimeSlot::new();
+        for (schedule, &ancilla) in CNOT_SCHEDULE.iter().zip(&layout.x_ancillas) {
+            let data = layout.data[schedule[step]];
+            slot.push(Operation::gate(Gate::Cnot, &[ancilla, data]));
+        }
+        circuit.push_slot(slot);
+    }
+    let mut slot = TimeSlot::new();
+    for &a in &layout.x_ancillas {
+        slot.push(Operation::gate(Gate::H, &[a]));
+    }
+    circuit.push_slot(slot);
+
+    // Measure X ancillas while preparing the Z ancillas.
+    let mut slot = TimeSlot::new();
+    for &a in &layout.x_ancillas {
+        slot.push(Operation::measure(a));
+    }
+    for &a in &layout.z_ancillas {
+        slot.push(Operation::prep(a));
+    }
+    circuit.push_slot(slot);
+
+    // Z-check phase.
+    for step in 0..4 {
+        let mut slot = TimeSlot::new();
+        for (schedule, &ancilla) in CNOT_SCHEDULE.iter().zip(&layout.z_ancillas) {
+            let data = layout.data[schedule[step]];
+            slot.push(Operation::gate(Gate::Cnot, &[data, ancilla]));
+        }
+        circuit.push_slot(slot);
+    }
+    let mut slot = TimeSlot::new();
+    for &a in &layout.z_ancillas {
+        slot.push(Operation::measure(a));
+    }
+    circuit.push_slot(slot);
+
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn syndromes_index_qubits() {
+        // Single error on qubit q fires exactly the checks whose bit is
+        // set in q+1.
+        for q in 0..7 {
+            let mut syndrome = 0usize;
+            for (bit, support) in CHECK_SUPPORTS.iter().enumerate() {
+                if support.contains(&q) {
+                    syndrome |= 1 << bit;
+                }
+            }
+            assert_eq!(syndrome, q + 1, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute_and_logicals_are_valid() {
+        let gens = SteaneLayout::stabilizer_strings();
+        assert_eq!(gens.len(), 6);
+        for (i, a) in gens.iter().enumerate() {
+            for b in &gens[i + 1..] {
+                assert!(a.commutes_with(b), "{a} vs {b}");
+            }
+        }
+        let mut xl = PauliString::identity(7);
+        let mut zl = PauliString::identity(7);
+        for q in LOGICAL_SUPPORT {
+            xl.set_op(q, Pauli::X);
+            zl.set_op(q, Pauli::Z);
+        }
+        for g in &gens {
+            assert!(xl.commutes_with(g));
+            assert!(zl.commutes_with(g));
+        }
+        assert!(!xl.commutes_with(&zl));
+    }
+
+    #[test]
+    fn hamming_decode_corrects_single_flips() {
+        // Start from any codeword-ish pattern: all-zero (logical 0).
+        let zero = [false; 7];
+        assert!(!hamming_decode_bit(&zero));
+        for q in 0..7 {
+            let mut flipped = zero;
+            flipped[q] = true;
+            assert!(!hamming_decode_bit(&flipped), "flip on {q} not repaired");
+        }
+        // A logical-support codeword reads 1 even under any single flip.
+        let mut one = [false; 7];
+        for q in LOGICAL_SUPPORT {
+            one[q] = true;
+        }
+        // {0,1,2} is itself a codeword: syndrome zero.
+        assert!(hamming_decode_bit(&one));
+        for q in 0..7 {
+            let mut flipped = one;
+            flipped[q] = !flipped[q];
+            assert!(hamming_decode_bit(&flipped), "flip on {q} not repaired");
+        }
+    }
+
+    #[test]
+    fn cnot_schedule_covers_supports_without_conflicts() {
+        for (check, schedule) in CNOT_SCHEDULE.iter().enumerate() {
+            let visited: HashSet<usize> = schedule.iter().copied().collect();
+            let expected: HashSet<usize> = CHECK_SUPPORTS[check].iter().copied().collect();
+            assert_eq!(visited, expected, "check {check}");
+        }
+        for slot in 0..4 {
+            let used: HashSet<usize> = CNOT_SCHEDULE
+                .iter()
+                .map(|schedule| schedule[slot])
+                .collect();
+            assert_eq!(used.len(), 3, "slot {slot} reuses a data qubit");
+        }
+    }
+
+    #[test]
+    fn esm_structure() {
+        let circuit = esm_circuit(&SteaneLayout::standard(0));
+        assert_eq!(circuit.slot_count(), 13);
+        assert_eq!(circuit.operation_count(), 42);
+        let census = circuit.census();
+        assert_eq!(census.preps, 6);
+        assert_eq!(census.measures, 6);
+        assert_eq!(census.clifford_gates, 30); // 24 CNOTs + 6 H
+        assert_eq!(census.pauli_gates, 0);
+        // No time slot reuses a qubit.
+        for slot in circuit.slots() {
+            let mut seen = HashSet::new();
+            for op in slot {
+                for &q in op.qubits() {
+                    assert!(seen.insert(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_uses_13_qubits() {
+        assert_eq!(SteaneLayout::standard(0).required_register(), 13);
+        assert_eq!(SteaneLayout::standard(5).required_register(), 18);
+    }
+}

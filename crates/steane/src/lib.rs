@@ -1,0 +1,58 @@
+//! The Steane `[[7,1,3]]` code layer — the paper's `SteaneLayer`
+//! (Section 4.2.3: "Two QEC layers have been implemented: the
+//! SteaneLayer and the NinjastarLayer").
+//!
+//! The Steane code is the CSS code built from two copies of the `[7,4,3]`
+//! Hamming code. It is self-dual — the X and Z checks share the same
+//! three supports — which makes the transversal Hadamard a logical
+//! Hadamard with **no** lattice-rotation bookkeeping, and it is a
+//! *perfect* code: every non-zero 3-bit syndrome points at exactly one
+//! data qubit (the syndrome value, read as binary, is the qubit index
+//! plus one).
+//!
+//! Fault-tolerant logical operations (all transversal):
+//!
+//! | operation | implementation |
+//! |---|---|
+//! | `X_L`, `Z_L` | weight-3 chains on qubits `{0, 1, 2}` |
+//! | `H_L` | `H` on all 7 qubits (self-duality) |
+//! | `S_L` | `S†` on all 7 qubits (transversal `S` gives `S_L†`) |
+//! | `CNOT_L` | qubit-wise `CNOT` between two blocks |
+//! | `M_ZL` | measure all 7, classical Hamming decode, parity of `{0,1,2}` |
+//!
+//! # Fault-tolerance caveat
+//!
+//! Syndrome extraction here uses one bare ancilla per check, as the
+//! paper's functional simulations do. For the Steane code that is *not*
+//! fully fault tolerant: an ancilla fault between the CNOTs of a
+//! weight-4 check propagates to two data qubits, and every weight-2
+//! error of one type miscorrects into a weight-3 Hamming codeword — a
+//! logical operator. The layer is therefore exact for logical-operation
+//! verification and Pauli-frame experiments, but its memory LER scales
+//! linearly in `p` (Shor- or flag-qubit extraction would restore the
+//! quadratic suppression; the surface-code crates get it from their
+//! hook-benign CNOT schedules instead).
+//!
+//! # Example
+//!
+//! ```
+//! use qpdo_core::{ChpCore, ControlStack};
+//! use qpdo_steane::{SteaneLayout, SteaneQubit};
+//!
+//! let mut stack = ControlStack::with_seed(ChpCore::new(), 7);
+//! stack.create_qubits(13).unwrap();
+//! let mut qubit = SteaneQubit::new(SteaneLayout::standard(0));
+//! qubit.initialize_zero(&mut stack).unwrap();
+//! qubit.apply_logical_x(&mut stack).unwrap();
+//! assert!(qubit.measure_logical(&mut stack).unwrap()); // |1>_L
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+pub mod experiment;
+mod qubit;
+
+pub use code::{esm_circuit, hamming_decode_bit, SteaneLayout, CHECK_SUPPORTS};
+pub use qubit::{SteaneQubit, SteaneTracker, SteaneWindowReport};

@@ -1,0 +1,325 @@
+//! The distance-scaling LER experiment — the ablation the paper's
+//! Chapter 6 calls for: does a Pauli frame change the logical error rate
+//! for `d > 3`?
+//!
+//! The protocol follows Listing 5.7 with the natural `d`-generalizations:
+//! each window runs `d − 1` ESM rounds; per-check majority voting over
+//! the rounds filters measurement errors; the matching decoder corrects
+//! the voted syndrome; and the correction goes through the stack — where
+//! a Pauli-frame layer absorbs it without touching the qubits.
+
+use qpdo_core::{
+    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
+    PauliFrameLayer,
+};
+use qpdo_pauli::{Pauli, PauliString};
+
+use crate::{CheckKind, MatchingDecoder, RotatedSurfaceCode};
+use qpdo_circuit::{Circuit, Gate, Operation, TimeSlot};
+
+/// Configuration of a distance-scaling LER run (always watches for
+/// logical X errors on `|0⟩_L`, the representative case).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistanceLerConfig {
+    /// Code distance (odd, ≥ 3).
+    pub distance: usize,
+    /// Physical error rate.
+    pub physical_error_rate: f64,
+    /// Whether the stack includes a Pauli-frame layer.
+    pub with_pauli_frame: bool,
+    /// Stop after this many logical errors.
+    pub target_logical_errors: u64,
+    /// Safety cap on windows.
+    pub max_windows: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The result of a distance-scaling LER run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistanceLerOutcome {
+    /// Windows executed.
+    pub windows: u64,
+    /// Logical errors counted.
+    pub logical_errors: u64,
+    /// Operations entering the stack above the frame.
+    pub ops_above_frame: u64,
+    /// Operations reaching the core below the frame.
+    pub ops_below_frame: u64,
+    /// Time slots entering above the frame.
+    pub slots_above_frame: u64,
+    /// Time slots reaching below the frame.
+    pub slots_below_frame: u64,
+    /// Injected physical errors.
+    pub injected: ErrorCounts,
+}
+
+impl DistanceLerOutcome {
+    /// The logical error rate `m / R`.
+    #[must_use]
+    pub fn ler(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.logical_errors as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Runs one distance-`d` LER experiment.
+///
+/// # Errors
+///
+/// Propagates stack errors.
+///
+/// # Panics
+///
+/// Panics on invalid distance or error rate.
+pub fn run_distance_ler(config: &DistanceLerConfig) -> Result<DistanceLerOutcome, CoreError> {
+    let code = RotatedSurfaceCode::new(config.distance);
+    let x_decoder = MatchingDecoder::new(&code, CheckKind::X); // Z-check syndromes
+    let z_decoder = MatchingDecoder::new(&code, CheckKind::Z); // X-check syndromes
+
+    let below = CounterLayer::new();
+    let below_counts = below.counters();
+    let above = CounterLayer::new();
+    let above_counts = above.counters();
+
+    let mut stack = ControlStack::with_seed(ChpCore::new(), config.seed);
+    stack.push_layer(below);
+    if config.with_pauli_frame {
+        stack.push_layer(PauliFrameLayer::new());
+    }
+    stack.push_layer(above);
+    stack.set_error_model(DepolarizingModel::new(config.physical_error_rate));
+    stack.create_qubits(code.num_qubits())?;
+
+    initialize_zero(&mut stack, &code, &z_decoder)?;
+    above_counts.reset();
+    below_counts.reset();
+
+    let mut reference = logical_z_value(&mut stack, &code)
+        .expect("fresh |0>_L has a deterministic logical value");
+    let rounds = code.distance() - 1;
+    let mut windows = 0u64;
+    let mut logical_errors = 0u64;
+
+    while logical_errors < config.target_logical_errors && windows < config.max_windows {
+        // One window: d-1 rounds processed as (d-1)/2 decode cycles of
+        // two rounds each — the SC17 scheme repeated. A syndrome pattern
+        // is decoded only when it is identical in both rounds of a cycle
+        // (whole-pattern stability — see qpdo-surface17's SyndromeTracker
+        // for why per-check rules turn single mid-round faults into
+        // logical errors); an unstable pattern defers to the next cycle.
+        for _ in 0..rounds / 2 {
+            let mut pair: Vec<(Vec<bool>, Vec<bool>)> = Vec::with_capacity(2);
+            for _ in 0..2 {
+                stack.execute_now(code.esm_circuit())?;
+                pair.push(read_syndromes(&stack, &code));
+            }
+            let stable = |a: &Vec<bool>, b: &Vec<bool>| -> Vec<bool> {
+                if a == b {
+                    a.clone()
+                } else {
+                    vec![false; a.len()]
+                }
+            };
+            // Stable Z-check patterns (X errors) decode to X corrections,
+            // stable X-check patterns to Z corrections.
+            let x_corrections = x_decoder.decode(&stable(&pair[0].1, &pair[1].1));
+            let z_corrections = z_decoder.decode(&stable(&pair[0].0, &pair[1].0));
+            if let Some(slot) = correction_slot(&x_corrections, &z_corrections) {
+                let mut circuit = Circuit::new();
+                circuit.push_slot(slot);
+                stack.execute_now(circuit)?;
+            }
+        }
+        windows += 1;
+
+        if !has_observable_error(&mut stack, &code)? {
+            if let Some(value) = logical_z_value(&mut stack, &code) {
+                if value != reference {
+                    logical_errors += 1;
+                    reference = value;
+                }
+            }
+        }
+    }
+
+    Ok(DistanceLerOutcome {
+        windows,
+        logical_errors,
+        ops_above_frame: above_counts.operations(),
+        ops_below_frame: below_counts.operations(),
+        slots_above_frame: above_counts.time_slots(),
+        slots_below_frame: below_counts.time_slots(),
+        injected: stack.error_counts().expect("error model installed"),
+    })
+}
+
+/// Fault-tolerant `|0⟩_L` initialization (diagnostic mode): reset data,
+/// one gauge-fixing ESM round decoded with the matching decoder, then
+/// confirmation rounds.
+fn initialize_zero(
+    stack: &mut ControlStack<ChpCore>,
+    code: &RotatedSurfaceCode,
+    z_decoder: &MatchingDecoder,
+) -> Result<(), CoreError> {
+    let mut circuit = Circuit::new();
+    for q in 0..code.num_data_qubits() {
+        circuit.prep(q);
+    }
+    stack.execute_diagnostic(circuit)?;
+
+    stack.execute_diagnostic(code.esm_circuit())?;
+    let (x_synd, z_synd) = read_syndromes(stack, code);
+    debug_assert!(z_synd.iter().all(|s| !s), "Z checks deterministic on |0..0>");
+    // Gauge-fix the random first-round X checks with Z chains.
+    let corrections = z_decoder.decode(&x_synd);
+    if !corrections.is_empty() {
+        let mut slot = TimeSlot::new();
+        for q in corrections {
+            slot.push(Operation::gate(Gate::Z, &[q]));
+        }
+        let mut circuit = Circuit::new();
+        circuit.push_slot(slot);
+        stack.execute_diagnostic(circuit)?;
+    }
+    for _ in 0..code.distance() - 1 {
+        stack.execute_diagnostic(code.esm_circuit())?;
+        let (x_synd, z_synd) = read_syndromes(stack, code);
+        debug_assert!(x_synd.iter().all(|s| !s), "gauge fixed");
+        debug_assert!(z_synd.iter().all(|s| !s), "error-free initialization");
+    }
+    Ok(())
+}
+
+/// Reads the `(x_checks, z_checks)` syndromes from the classical state.
+fn read_syndromes(
+    stack: &ControlStack<ChpCore>,
+    code: &RotatedSurfaceCode,
+) -> (Vec<bool>, Vec<bool>) {
+    let read = |kind: CheckKind| -> Vec<bool> {
+        code.checks_of(kind)
+            .map(|ch| stack.state().bit(ch.ancilla).known().unwrap_or(false))
+            .collect()
+    };
+    (read(CheckKind::X), read(CheckKind::Z))
+}
+
+fn has_observable_error(
+    stack: &mut ControlStack<ChpCore>,
+    code: &RotatedSurfaceCode,
+) -> Result<bool, CoreError> {
+    stack.execute_diagnostic(code.esm_circuit())?;
+    let (x_synd, z_synd) = read_syndromes(stack, code);
+    Ok(x_synd.iter().any(|s| *s) || z_synd.iter().any(|s| *s))
+}
+
+/// The logical Z value seen through the Pauli frame: the physical `Z_L`
+/// expectation adjusted by tracked X components on its support.
+fn logical_z_value(stack: &mut ControlStack<ChpCore>, code: &RotatedSurfaceCode) -> Option<bool> {
+    let mut observable = PauliString::identity(stack.num_qubits());
+    for q in code.logical_z_support() {
+        observable.set_op(q, Pauli::Z);
+    }
+    let mut flip = false;
+    if let Some(pf) = stack.find_layer::<PauliFrameLayer>() {
+        for q in code.logical_z_support() {
+            flip ^= pf.record(q).bits().0;
+        }
+    }
+    let physical = stack
+        .core_mut()
+        .simulator_mut()
+        .expect("qubits allocated")
+        .expectation(&observable)?;
+    Some(physical ^ flip)
+}
+
+/// One correction time slot from X- and Z-correction sets (merged to `Y`
+/// where they overlap).
+fn correction_slot(x_corrections: &[usize], z_corrections: &[usize]) -> Option<TimeSlot> {
+    if x_corrections.is_empty() && z_corrections.is_empty() {
+        return None;
+    }
+    let mut all: Vec<usize> = x_corrections
+        .iter()
+        .chain(z_corrections)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    let mut slot = TimeSlot::new();
+    for q in all {
+        let gate = match (x_corrections.contains(&q), z_corrections.contains(&q)) {
+            (true, true) => Gate::Y,
+            (true, false) => Gate::X,
+            (false, true) => Gate::Z,
+            (false, false) => unreachable!("q came from one of the sets"),
+        };
+        slot.push(Operation::gate(gate, &[q]));
+    }
+    Some(slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(d: usize, p: f64, with_pf: bool, seed: u64) -> DistanceLerConfig {
+        DistanceLerConfig {
+            distance: d,
+            physical_error_rate: p,
+            with_pauli_frame: with_pf,
+            target_logical_errors: 3,
+            max_windows: 400,
+            seed,
+        }
+    }
+
+    #[test]
+    fn noiseless_runs_stay_clean() {
+        for d in [3, 5] {
+            for with_pf in [false, true] {
+                let mut config = quick(d, 0.0, with_pf, 1);
+                config.max_windows = 10;
+                let outcome = run_distance_ler(&config).unwrap();
+                assert_eq!(outcome.windows, 10);
+                assert_eq!(outcome.logical_errors, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_runs_produce_errors_at_high_p() {
+        let outcome = run_distance_ler(&quick(3, 0.02, false, 2)).unwrap();
+        assert!(outcome.logical_errors > 0);
+        assert!(outcome.ler() > 0.0);
+    }
+
+    #[test]
+    fn distance_five_runs_complete() {
+        let outcome = run_distance_ler(&quick(5, 0.02, true, 3)).unwrap();
+        assert!(outcome.windows > 0);
+        // The frame filtered the corrections.
+        assert!(outcome.ops_below_frame <= outcome.ops_above_frame);
+    }
+
+    #[test]
+    fn frame_savings_respect_the_cycle_bound() {
+        // The experiment decodes every two rounds, so each (d-1)/2-cycle
+        // window can shed at most one slot per 17-slot cycle — the SC17
+        // bound applies at every distance.
+        for d in [3, 5] {
+            let outcome = run_distance_ler(&quick(d, 0.03, true, 4)).unwrap();
+            let saving = (outcome.slots_above_frame - outcome.slots_below_frame) as f64
+                / outcome.slots_above_frame as f64;
+            assert!(saving > 0.0, "d={d}: the frame saved nothing at p=0.03");
+            assert!(
+                saving <= 1.0 / 17.0 + 1e-9,
+                "d={d}: saving {saving} above the per-cycle bound"
+            );
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The rule-based lookup-table decoder of the paper's LER experiments
+//! (Section 5.3.1, after Tomita & Svore and the implementation of [37]).
+//!
+//! The SC17 has four X-parity and four Z-parity checks, so a syndrome per
+//! check family is a 4-bit pattern. [`LutDecoder`] maps every pattern to
+//! a minimum-weight data-qubit correction, built programmatically from
+//! the check supports (which makes it orientation-aware for free).
+//!
+//! [`SyndromeTracker`] implements the windowing of Fig 5.9: a window uses
+//! the last syndrome round of the previous window plus its own two
+//! rounds. A check flip is *confirmed* — and corrected — only when it
+//! appears in the first round of the window and persists in the second;
+//! a flip in the second round alone is deferred to the next window
+//! (it may be a measurement error).
+
+/// A lookup table from 4-bit syndrome patterns to minimum-weight
+/// corrections on virtual data qubits `0..9`.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_surface17::{LutDecoder, Rotation, StarLayout};
+///
+/// // Decoder for X errors: built over the Z-parity check supports.
+/// let lut = LutDecoder::for_checks(&StarLayout::z_check_supports(Rotation::Normal));
+/// // Flipping only Z3Z4Z6Z7 (bit 2) is a single X on D6 (or D7, same coset).
+/// assert_eq!(lut.decode(0b0100), &[6]);
+/// // Flipping Z0Z3 and Z3Z4Z6Z7 together is an X on D3.
+/// assert_eq!(lut.decode(0b0101), &[3]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LutDecoder {
+    checks: [Vec<usize>; 4],
+    table: [Vec<usize>; 16],
+}
+
+impl LutDecoder {
+    /// Builds the decoder for the given four check supports (sets of
+    /// virtual data qubits).
+    ///
+    /// Every single-qubit error pattern and every two-qubit combination
+    /// is enumerated; each of the 16 syndrome patterns gets the lowest
+    /// weight (then lexicographically first) correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some syndrome pattern is not reachable by a weight ≤ 2
+    /// error (impossible for valid SC17 check families).
+    #[must_use]
+    pub fn for_checks(checks: &[Vec<usize>; 4]) -> Self {
+        let syndrome_of = |qubits: &[usize]| -> u8 {
+            let mut pattern = 0u8;
+            for (bit, check) in checks.iter().enumerate() {
+                let parity = qubits.iter().filter(|q| check.contains(q)).count() % 2;
+                if parity == 1 {
+                    pattern |= 1 << bit;
+                }
+            }
+            pattern
+        };
+
+        let mut table: [Option<Vec<usize>>; 16] = Default::default();
+        table[0] = Some(Vec::new());
+        // Weight-1 corrections first, then weight-2.
+        for q in 0..9 {
+            let pattern = syndrome_of(&[q]) as usize;
+            if table[pattern].is_none() {
+                table[pattern] = Some(vec![q]);
+            }
+        }
+        for a in 0..9 {
+            for b in a + 1..9 {
+                let pattern = syndrome_of(&[a, b]) as usize;
+                if table[pattern].is_none() {
+                    table[pattern] = Some(vec![a, b]);
+                }
+            }
+        }
+        let table = table.map(|entry| {
+            entry.expect("every SC17 syndrome pattern is reachable by weight <= 2")
+        });
+        LutDecoder {
+            checks: checks.clone(),
+            table,
+        }
+    }
+
+    /// The check supports the decoder was built for.
+    #[must_use]
+    pub fn checks(&self) -> &[Vec<usize>; 4] {
+        &self.checks
+    }
+
+    /// The correction (virtual data qubits) for a 4-bit syndrome pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern > 15`.
+    #[must_use]
+    pub fn decode(&self, pattern: u8) -> &[usize] {
+        assert!(pattern < 16, "SC17 syndromes are 4 bits");
+        &self.table[pattern as usize]
+    }
+
+    /// The syndrome pattern the given correction itself would produce —
+    /// used to update references after applying it.
+    #[must_use]
+    pub fn syndrome_of_correction(&self, correction: &[usize]) -> u8 {
+        let mut pattern = 0u8;
+        for (bit, check) in self.checks.iter().enumerate() {
+            let parity = correction.iter().filter(|q| check.contains(q)).count() % 2;
+            if parity == 1 {
+                pattern |= 1 << bit;
+            }
+        }
+        pattern
+    }
+}
+
+/// The decoder's decision for one window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowDecision {
+    /// The confirmed detection-event pattern (bit per check).
+    pub confirmed: u8,
+    /// Virtual data qubits to correct.
+    pub corrections: Vec<usize>,
+}
+
+/// Per-check-family windowing state: the syndrome knowledge carried over
+/// from the previous window (Fig 5.9) plus the confirm-then-correct rule.
+///
+/// The tracker holds the *expected* (error-free) syndrome, fixed to all
+/// `+1` by the initialization decode. A round's *deviation* is its XOR
+/// against the expectation; a window's deviations are confirmed — and
+/// corrected — only when the **whole pattern** is identical in both
+/// rounds (the correction restores the physical syndrome to the
+/// expectation, so the expectation persists). Anything else is deferred
+/// to the next window, which sees the settled pattern in both of its
+/// rounds; this is the one-round-of-history reuse of Fig 5.9.
+///
+/// Whole-pattern stability (rather than per-check persistence) matters:
+/// an error striking *between the CNOT slots* of round one shows a
+/// partial syndrome in round one and the full syndrome in round two.
+/// Decoding the partial intersection would pair the error with the wrong
+/// boundary and complete a logical operator from a single fault; the
+/// stability rule defers instead, keeping the logical error rate
+/// quadratic in `p` below threshold.
+#[derive(Clone, Debug)]
+pub struct SyndromeTracker {
+    decoder: LutDecoder,
+    /// Expected syndrome of any round if the state is error-free.
+    reference: [bool; 4],
+}
+
+impl SyndromeTracker {
+    /// A tracker over the given check supports with an all-`+1`
+    /// reference.
+    #[must_use]
+    pub fn new(checks: &[Vec<usize>; 4]) -> Self {
+        SyndromeTracker {
+            decoder: LutDecoder::for_checks(checks),
+            reference: [false; 4],
+        }
+    }
+
+    /// The embedded lookup table.
+    #[must_use]
+    pub fn decoder(&self) -> &LutDecoder {
+        &self.decoder
+    }
+
+    /// The current reference syndrome (`true` = expect `-1`).
+    #[must_use]
+    pub fn reference(&self) -> [bool; 4] {
+        self.reference
+    }
+
+    /// Overwrites the reference (used right after initialization).
+    pub fn set_reference(&mut self, reference: [bool; 4]) {
+        self.reference = reference;
+    }
+
+    /// Processes one window of two fresh syndrome rounds, returning the
+    /// confirmed corrections (see the type-level description of the
+    /// confirm/defer rule).
+    pub fn process_window(&mut self, round1: [bool; 4], round2: [bool; 4]) -> WindowDecision {
+        let mut dev1 = 0u8;
+        let mut dev2 = 0u8;
+        for i in 0..4 {
+            if round1[i] != self.reference[i] {
+                dev1 |= 1 << i;
+            }
+            if round2[i] != self.reference[i] {
+                dev2 |= 1 << i;
+            }
+        }
+        // Confirm only a deviation pattern that is stable across both
+        // rounds; a changing pattern (fresh error or measurement error)
+        // is deferred to the next window.
+        let confirmed = if dev1 == dev2 { dev1 } else { 0 };
+        let corrections = self.decoder.decode(confirmed).to_vec();
+        debug_assert_eq!(
+            self.decoder.syndrome_of_correction(&corrections),
+            confirmed,
+            "the LUT is syndrome-exact"
+        );
+        WindowDecision {
+            confirmed,
+            corrections,
+        }
+    }
+
+    /// Decodes a single round directly against the all-`+1` reference —
+    /// the initialization decode (`-1` readings become detection events),
+    /// returning the corrections and resetting the reference to `+1`.
+    pub fn decode_initialization(&mut self, round: [bool; 4]) -> Vec<usize> {
+        let mut pattern = 0u8;
+        for (i, &flipped) in round.iter().enumerate() {
+            if flipped {
+                pattern |= 1 << i;
+            }
+        }
+        self.reference = [false; 4];
+        self.decoder.decode(pattern).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rotation, StarLayout};
+
+    fn z_lut() -> LutDecoder {
+        // Detects X errors.
+        LutDecoder::for_checks(&StarLayout::z_check_supports(Rotation::Normal))
+    }
+
+    fn x_lut() -> LutDecoder {
+        // Detects Z errors.
+        LutDecoder::for_checks(&StarLayout::x_check_supports(Rotation::Normal))
+    }
+
+    #[test]
+    fn single_x_errors_decode_to_equivalent_corrections() {
+        let lut = z_lut();
+        let checks = StarLayout::z_check_supports(Rotation::Normal);
+        // For every single X error, the decoded correction combined with
+        // the error must be invisible to every Z check (same syndrome).
+        for q in 0..9 {
+            let mut pattern = 0u8;
+            for (bit, check) in checks.iter().enumerate() {
+                if check.contains(&q) {
+                    pattern |= 1 << bit;
+                }
+            }
+            let correction = lut.decode(pattern);
+            let mut combined: Vec<usize> = correction.to_vec();
+            combined.push(q);
+            assert_eq!(
+                lut.syndrome_of_correction(&combined),
+                0,
+                "error on D{q} not cancelled by {correction:?}"
+            );
+            assert!(correction.len() <= 1, "single error needs weight-1 fix");
+        }
+    }
+
+    #[test]
+    fn all_16_patterns_have_corrections() {
+        for lut in [z_lut(), x_lut()] {
+            for pattern in 0u8..16 {
+                let correction = lut.decode(pattern);
+                // Correction must reproduce exactly the syndrome pattern.
+                assert_eq!(lut.syndrome_of_correction(correction), pattern);
+                assert!(correction.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_degeneracy_choices() {
+        // D1 and D2 are equivalent for Z checks (they differ by the X1X2
+        // stabilizer): the LUT picks the lower index.
+        let lut = z_lut();
+        assert_eq!(lut.decode(0b0010), &[1]);
+        // D6/D7 equivalent via X6X7.
+        assert_eq!(lut.decode(0b0100), &[6]);
+        // For X checks, D0/D3 are equivalent via Z0Z3.
+        let lut = x_lut();
+        assert_eq!(lut.decode(0b0001), &[0]);
+    }
+
+    #[test]
+    fn empty_pattern_decodes_to_nothing() {
+        assert!(z_lut().decode(0).is_empty());
+    }
+
+    #[test]
+    fn tracker_confirms_persistent_flips() {
+        let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
+        // An X on D4 flips checks 1 and 2, persisting across both rounds.
+        let flipped = [false, true, true, false];
+        let decision = tracker.process_window(flipped, flipped);
+        assert_eq!(decision.confirmed, 0b0110);
+        assert_eq!(decision.corrections, vec![4]);
+        // Reference returns to all-clear: the correction undoes the flip.
+        assert_eq!(tracker.reference(), [false; 4]);
+    }
+
+    #[test]
+    fn tracker_ignores_measurement_blips() {
+        let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
+        // Check 1 flips in round 1 but returns in round 2: measurement
+        // error, no correction.
+        let decision =
+            tracker.process_window([false, true, false, false], [false; 4]);
+        assert_eq!(decision.confirmed, 0);
+        assert!(decision.corrections.is_empty());
+        assert_eq!(tracker.reference(), [false; 4]);
+    }
+
+    #[test]
+    fn tracker_defers_second_round_flips() {
+        let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
+        // An error striking between the two rounds flips only round 2:
+        // deferred, no correction yet.
+        let decision =
+            tracker.process_window([false; 4], [true, false, false, false]);
+        assert_eq!(decision.confirmed, 0);
+        assert!(decision.corrections.is_empty());
+        // The error persists, so the next window sees the deviation in
+        // both rounds and corrects it.
+        let flipped = [true, false, false, false];
+        let decision = tracker.process_window(flipped, flipped);
+        assert_eq!(decision.confirmed, 0b0001);
+        assert_eq!(decision.corrections, vec![0]);
+        assert_eq!(tracker.reference(), [false; 4]);
+    }
+
+    #[test]
+    fn tracker_defers_mid_round_partial_syndromes() {
+        // An X on D4 between the CNOT slots of round 1: round 1 sees only
+        // check 1 fire, round 2 the full {1, 2}. Decoding the stable
+        // intersection {1} would correct X1 and eventually complete the
+        // logical X1·X4·X6; the stability rule must defer instead.
+        let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
+        let decision = tracker.process_window(
+            [false, true, false, false],
+            [false, true, true, false],
+        );
+        assert_eq!(decision.confirmed, 0);
+        assert!(decision.corrections.is_empty());
+        // Next window sees the settled pattern and corrects the real
+        // error location.
+        let settled = [false, true, true, false];
+        let decision = tracker.process_window(settled, settled);
+        assert_eq!(decision.confirmed, 0b0110);
+        assert_eq!(decision.corrections, vec![4]);
+    }
+
+    #[test]
+    fn initialization_decode() {
+        let mut tracker = SyndromeTracker::new(&StarLayout::x_check_supports(Rotation::Normal));
+        // X1X2 (check 1) read -1 at initialization: fix with Z on D2.
+        let corrections = tracker.decode_initialization([false, true, false, false]);
+        assert_eq!(corrections, vec![2]);
+        assert_eq!(tracker.reference(), [false; 4]);
+    }
+
+    #[test]
+    fn rotated_decoder_uses_swapped_supports() {
+        let rotated = LutDecoder::for_checks(&StarLayout::z_check_supports(Rotation::Rotated));
+        // Rotated Z checks live on the former X plaquettes: flipping only
+        // the {D1, D2} check is an X on D2 (D1 would also flip the
+        // {D0, D1, D3, D4} check).
+        assert_eq!(rotated.decode(0b0010), &[2]);
+        // Check 0 is now {D0, D1, D3, D4}: flipping checks 0 alone is a
+        // boundary error.
+        let c = rotated.decode(0b0001);
+        assert_eq!(rotated.syndrome_of_correction(c), 0b0001);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 bits")]
+    fn pattern_out_of_range_panics() {
+        let _ = z_lut().decode(16);
+    }
+}

@@ -1,0 +1,298 @@
+//! Error Syndrome Measurement circuit generation (Figs 2.2–2.3,
+//! Table 5.8).
+//!
+//! A full ESM round is exactly the 8-slot, 48-gate circuit of Table 5.8:
+//!
+//! | slot | operations |
+//! |---|---|
+//! | 1 | reset the 4 X-parity ancillas |
+//! | 2 | reset the 4 Z-parity ancillas + `H` on the X-parity ancillas |
+//! | 3–6 | the 24 `CNOT`s (6 per slot) |
+//! | 7 | `H` on the X-parity ancillas |
+//! | 8 | measure all 8 ancillas |
+//!
+//! X-parity checks interact with their neighbours in the order
+//! NE, NW, SE, SW (the pattern of Fig 2.2) with the ancilla as control;
+//! Z-parity checks use NE, SE, NW, SW (Fig 2.3) with the data qubit as
+//! control. Using *different* patterns for the two check kinds is what
+//! prevents error insertion into the logical state (Section 2.5.1); the
+//! resulting schedule never touches a data qubit twice in one slot, in
+//! either lattice orientation.
+
+use qpdo_circuit::{Circuit, Gate, Operation, TimeSlot};
+
+use crate::layout::{Plaquette, X_PLAQUETTES, Z_PLAQUETTES};
+use crate::{CheckKind, DanceMode, Rotation, StarLayout};
+
+/// The neighbour-visit order for a check kind: compass positions by CNOT
+/// slot index.
+fn interaction_position(kind: CheckKind, slot: usize, p: &Plaquette) -> Option<usize> {
+    match (kind, slot) {
+        (CheckKind::X, 0) | (CheckKind::Z, 0) => p.ne,
+        (CheckKind::X, 1) => p.nw,
+        (CheckKind::X, 2) => p.se,
+        (CheckKind::X, 3) | (CheckKind::Z, 3) => p.sw,
+        (CheckKind::Z, 1) => p.se,
+        (CheckKind::Z, 2) => p.nw,
+        _ => unreachable!("4 CNOT slots only"),
+    }
+}
+
+/// The physical ancillas serving the current X-parity and Z-parity checks
+/// `(x_parity, z_parity)`, each in Table 2.1 check order.
+///
+/// Under rotation the plaquettes keep their ancillas but swap check
+/// kinds, so the arrays swap.
+#[must_use]
+pub fn esm_ancillas(layout: &StarLayout, rotation: Rotation) -> ([usize; 4], [usize; 4]) {
+    match rotation {
+        Rotation::Normal => (layout.x_ancillas, layout.z_ancillas),
+        Rotation::Rotated => (layout.z_ancillas, layout.x_ancillas),
+    }
+}
+
+/// The plaquettes hosting the current X-parity and Z-parity checks.
+fn esm_plaquettes(rotation: Rotation) -> (&'static [Plaquette; 4], &'static [Plaquette; 4]) {
+    match rotation {
+        Rotation::Normal => (&X_PLAQUETTES, &Z_PLAQUETTES),
+        Rotation::Rotated => (&Z_PLAQUETTES, &X_PLAQUETTES),
+    }
+}
+
+/// Builds one ESM round for a ninja star in the given orientation and
+/// dance mode.
+///
+/// `DanceMode::All` produces the full Table 5.8 circuit; `DanceMode::ZOnly`
+/// activates only the Z-parity ancillas (6 slots: reset, 4 CNOT slots,
+/// measure), the partial ESM run after a logical measurement.
+#[must_use]
+pub fn esm_circuit(layout: &StarLayout, rotation: Rotation, dance: DanceMode) -> Circuit {
+    let (x_ancillas, z_ancillas) = esm_ancillas(layout, rotation);
+    let (x_plaquettes, z_plaquettes) = esm_plaquettes(rotation);
+    let include_x = dance == DanceMode::All;
+
+    let mut circuit = Circuit::new();
+
+    // Slot 1: reset X-parity ancillas (full mode only).
+    if include_x {
+        let mut slot = TimeSlot::new();
+        for &a in &x_ancillas {
+            slot.push(Operation::prep(a));
+        }
+        circuit.push_slot(slot);
+    }
+
+    // Slot 2: reset Z-parity ancillas; H on X-parity ancillas.
+    {
+        let mut slot = TimeSlot::new();
+        for &a in &z_ancillas {
+            slot.push(Operation::prep(a));
+        }
+        if include_x {
+            for &a in &x_ancillas {
+                slot.push(Operation::gate(Gate::H, &[a]));
+            }
+        }
+        circuit.push_slot(slot);
+    }
+
+    // Slots 3-6: the CNOT schedule.
+    for cnot_slot in 0..4 {
+        let mut slot = TimeSlot::new();
+        if include_x {
+            for (i, plaquette) in x_plaquettes.iter().enumerate() {
+                if let Some(d) = interaction_position(CheckKind::X, cnot_slot, plaquette) {
+                    // X check: ancilla controls, data targets (Fig 2.2).
+                    slot.push(Operation::gate(
+                        Gate::Cnot,
+                        &[x_ancillas[i], layout.data[d]],
+                    ));
+                }
+            }
+        }
+        for (i, plaquette) in z_plaquettes.iter().enumerate() {
+            if let Some(d) = interaction_position(CheckKind::Z, cnot_slot, plaquette) {
+                // Z check: data controls, ancilla targets (Fig 2.3).
+                slot.push(Operation::gate(
+                    Gate::Cnot,
+                    &[layout.data[d], z_ancillas[i]],
+                ));
+            }
+        }
+        circuit.push_slot(slot);
+    }
+
+    // Slot 7: H on X-parity ancillas (full mode only).
+    if include_x {
+        let mut slot = TimeSlot::new();
+        for &a in &x_ancillas {
+            slot.push(Operation::gate(Gate::H, &[a]));
+        }
+        circuit.push_slot(slot);
+    }
+
+    // Slot 8: measure the active ancillas.
+    {
+        let mut slot = TimeSlot::new();
+        if include_x {
+            for &a in &x_ancillas {
+                slot.push(Operation::measure(a));
+            }
+        }
+        for &a in &z_ancillas {
+            slot.push(Operation::measure(a));
+        }
+        circuit.push_slot(slot);
+    }
+
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_circuit::OperationKind;
+    use std::collections::HashSet;
+
+    fn layout() -> StarLayout {
+        StarLayout::standard(0)
+    }
+
+    /// Table 5.8, verbatim: 8 slots, 48 gates, with the stated structure.
+    #[test]
+    fn full_esm_matches_table_5_8() {
+        for rotation in [Rotation::Normal, Rotation::Rotated] {
+            let c = esm_circuit(&layout(), rotation, DanceMode::All);
+            assert_eq!(c.slot_count(), 8, "{rotation}: 8 time slots");
+            assert_eq!(c.operation_count(), 48, "{rotation}: 48 operations");
+            let slots = c.slots();
+            // Slot 1: 4 resets.
+            assert_eq!(slots[0].len(), 4);
+            assert!(slots[0].iter().all(|op| op.is_prep()));
+            // Slot 2: 4 resets + 4 H.
+            assert_eq!(slots[1].len(), 8);
+            assert_eq!(slots[1].iter().filter(|op| op.is_prep()).count(), 4);
+            assert_eq!(
+                slots[1]
+                    .iter()
+                    .filter(|op| op.as_gate() == Some(Gate::H))
+                    .count(),
+                4
+            );
+            // Slots 3-6: 6 CNOTs each, 24 total.
+            for slot in &slots[2..6] {
+                assert_eq!(slot.len(), 6);
+                assert!(slot.iter().all(|op| op.as_gate() == Some(Gate::Cnot)));
+            }
+            // Slot 7: 4 H.
+            assert_eq!(slots[6].len(), 4);
+            // Slot 8: 8 measurements.
+            assert_eq!(slots[7].len(), 8);
+            assert!(slots[7].iter().all(|op| op.is_measure()));
+        }
+    }
+
+    #[test]
+    fn cnot_slots_never_reuse_a_qubit() {
+        for rotation in [Rotation::Normal, Rotation::Rotated] {
+            let c = esm_circuit(&layout(), rotation, DanceMode::All);
+            for slot in c.slots() {
+                let mut seen = HashSet::new();
+                for op in slot {
+                    for &q in op.qubits() {
+                        assert!(seen.insert(q), "{rotation}: qubit {q} reused");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_check_touches_its_full_support() {
+        let c = esm_circuit(&layout(), Rotation::Normal, DanceMode::All);
+        // Collect CNOT partners per ancilla.
+        let mut partners: Vec<HashSet<usize>> = vec![HashSet::new(); 17];
+        for op in c.operations() {
+            if op.as_gate() == Some(Gate::Cnot) {
+                let q = op.qubits();
+                let (anc, data) = if q[0] >= 9 { (q[0], q[1]) } else { (q[1], q[0]) };
+                partners[anc].insert(data);
+            }
+        }
+        let l = layout();
+        for (i, p) in X_PLAQUETTES.iter().enumerate() {
+            let expected: HashSet<usize> = p.data_qubits().into_iter().collect();
+            assert_eq!(partners[l.x_ancillas[i]], expected, "X check {i}");
+        }
+        for (i, p) in Z_PLAQUETTES.iter().enumerate() {
+            let expected: HashSet<usize> = p.data_qubits().into_iter().collect();
+            assert_eq!(partners[l.z_ancillas[i]], expected, "Z check {i}");
+        }
+    }
+
+    #[test]
+    fn cnot_directions_follow_check_kind() {
+        let c = esm_circuit(&layout(), Rotation::Normal, DanceMode::All);
+        let l = layout();
+        for op in c.operations() {
+            if op.as_gate() == Some(Gate::Cnot) {
+                let q = op.qubits();
+                if l.x_ancillas.contains(&q[0]) {
+                    // X check: ancilla is the control.
+                    assert!(q[1] < 9);
+                } else {
+                    // Z check: data is the control, ancilla the target.
+                    assert!(q[0] < 9, "unexpected control {}", q[0]);
+                    assert!(l.z_ancillas.contains(&q[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_only_mode_runs_half_the_dance() {
+        let c = esm_circuit(&layout(), Rotation::Normal, DanceMode::ZOnly);
+        assert_eq!(c.slot_count(), 6); // reset, 4 CNOT slots, measure
+        // 4 resets + 12 CNOTs + 4 measurements.
+        assert_eq!(c.operation_count(), 20);
+        let census = c.census();
+        assert_eq!(census.preps, 4);
+        assert_eq!(census.measures, 4);
+        assert_eq!(census.clifford_gates, 12);
+        // No Hadamards at all.
+        assert!(c
+            .operations()
+            .all(|op| op.as_gate() != Some(Gate::H)));
+    }
+
+    #[test]
+    fn rotated_esm_swaps_ancilla_roles() {
+        let l = layout();
+        let (x_norm, z_norm) = esm_ancillas(&l, Rotation::Normal);
+        let (x_rot, z_rot) = esm_ancillas(&l, Rotation::Rotated);
+        assert_eq!(x_norm, z_rot);
+        assert_eq!(z_norm, x_rot);
+        // In the rotated circuit, the H gates land on the *former green*
+        // ancillas.
+        let c = esm_circuit(&l, Rotation::Rotated, DanceMode::All);
+        for op in c.operations() {
+            if op.as_gate() == Some(Gate::H) {
+                assert!(l.z_ancillas.contains(&op.qubits()[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn esm_contains_no_pauli_gates() {
+        // A Pauli frame can therefore only ever filter correction gates
+        // (Section 5.3.2).
+        let c = esm_circuit(&layout(), Rotation::Normal, DanceMode::All);
+        assert_eq!(c.census().pauli_gates, 0);
+        for op in c.operations() {
+            assert!(!matches!(
+                op.kind(),
+                OperationKind::Gate(g) if g.is_pauli()
+            ));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The logical-error-rate experiment of Section 5.3 (Listing 5.7).
+//!
+//! An idling SC17 logical qubit is initialized, then error-correction
+//! windows run until a target number of logical errors is counted:
+//!
+//! ```text
+//! while logical_error_count < MAX_LOGICAL_ERROR:
+//!     execute_window()
+//!     window_count += 1
+//!     if no_observable_errors():
+//!         if logical_error_happened():
+//!             logical_error_count += 1
+//! logical_error_rate = logical_error_count / window_count
+//! ```
+//!
+//! The control stack is the one of Fig 5.8: a CHP (stabilizer) core, the
+//! symmetric depolarizing error layer, an optional Pauli-frame layer, and
+//! counter layers around the frame so the experiment can report exactly
+//! what the frame saved (Figs 5.25–5.26).
+
+use qpdo_core::{
+    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
+    PauliFrameLayer,
+};
+use qpdo_pauli::{Pauli, PauliString};
+
+use crate::{NinjaStar, StarLayout};
+
+/// Which logical error the experiment watches for — and hence which
+/// state it prepares (`X_L` errors flip `|0⟩_L`; `Z_L` errors flip
+/// `|+⟩_L`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LogicalErrorKind {
+    /// Watch for logical X errors on `|0⟩_L` (tracks `Z0Z4Z8`).
+    XL,
+    /// Watch for logical Z errors on `|+⟩_L` (tracks `X2X4X6`).
+    ZL,
+}
+
+/// Configuration of one LER run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LerConfig {
+    /// The physical error rate `p` of the depolarizing model.
+    pub physical_error_rate: f64,
+    /// Which logical error to watch for.
+    pub kind: LogicalErrorKind,
+    /// Whether the stack includes a Pauli-frame layer.
+    pub with_pauli_frame: bool,
+    /// Stop after counting this many logical errors (50 in the paper).
+    pub target_logical_errors: u64,
+    /// Safety cap on windows (needed at very low `p`).
+    pub max_windows: u64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl LerConfig {
+    /// A configuration with the paper's stopping rule (50 logical
+    /// errors) and a generous window cap.
+    #[must_use]
+    pub fn paper_default(
+        physical_error_rate: f64,
+        kind: LogicalErrorKind,
+        with_pauli_frame: bool,
+        seed: u64,
+    ) -> Self {
+        LerConfig {
+            physical_error_rate,
+            kind,
+            with_pauli_frame,
+            target_logical_errors: 50,
+            max_windows: 50_000_000,
+            seed,
+        }
+    }
+}
+
+/// The result of one LER run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LerOutcome {
+    /// Windows executed (`R` in Eq 5.1).
+    pub windows: u64,
+    /// Logical errors counted (`m` in Eq 5.1).
+    pub logical_errors: u64,
+    /// Operations that entered the stack above the Pauli frame.
+    pub ops_above_frame: u64,
+    /// Time slots that entered the stack above the Pauli frame.
+    pub slots_above_frame: u64,
+    /// Operations that reached the error layer / core below the frame.
+    pub ops_below_frame: u64,
+    /// Time slots that reached the error layer / core below the frame.
+    pub slots_below_frame: u64,
+    /// Injected physical errors.
+    pub injected: ErrorCounts,
+}
+
+impl LerOutcome {
+    /// The logical error rate `P_L = m / R` (Eq 5.1).
+    #[must_use]
+    pub fn ler(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.logical_errors as f64 / self.windows as f64
+        }
+    }
+
+    /// The fraction of gates the Pauli frame filtered out (Fig 5.25a).
+    #[must_use]
+    pub fn saved_operations(&self) -> f64 {
+        if self.ops_above_frame == 0 {
+            0.0
+        } else {
+            (self.ops_above_frame - self.ops_below_frame) as f64
+                / self.ops_above_frame as f64
+        }
+    }
+
+    /// The fraction of time slots the Pauli frame removed (Fig 5.25b).
+    #[must_use]
+    pub fn saved_time_slots(&self) -> f64 {
+        if self.slots_above_frame == 0 {
+            0.0
+        } else {
+            (self.slots_above_frame - self.slots_below_frame) as f64
+                / self.slots_above_frame as f64
+        }
+    }
+}
+
+/// Runs one LER experiment per Listing 5.7 on the Fig 5.8 stack.
+///
+/// # Errors
+///
+/// Propagates stack errors (none are expected for valid configurations).
+///
+/// # Panics
+///
+/// Panics if `physical_error_rate` is outside `[0, 1]`.
+pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
+    let below = CounterLayer::new();
+    let below_counts = below.counters();
+    let above = CounterLayer::new();
+    let above_counts = above.counters();
+
+    let mut stack = ControlStack::with_seed(ChpCore::new(), config.seed);
+    stack.push_layer(below);
+    if config.with_pauli_frame {
+        stack.push_layer(PauliFrameLayer::new());
+    }
+    stack.push_layer(above);
+    stack.set_error_model(DepolarizingModel::new(config.physical_error_rate));
+    stack.create_qubits(17)?;
+
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    match config.kind {
+        LogicalErrorKind::XL => star.initialize_zero(&mut stack)?,
+        LogicalErrorKind::ZL => star.initialize_plus(&mut stack)?,
+    }
+    // Initialization runs in bypass mode but frame-filtered gauge fixes
+    // may have registered on the counters' bypass-exempt paths; reset so
+    // the statistics cover exactly the counted windows.
+    above_counts.reset();
+    below_counts.reset();
+
+    let mut reference = logical_value(&mut stack, &star, config.kind)
+        .expect("freshly initialized state has a deterministic logical value");
+    let mut windows = 0u64;
+    let mut logical_errors = 0u64;
+
+    while logical_errors < config.target_logical_errors && windows < config.max_windows {
+        star.run_window(&mut stack)?;
+        windows += 1;
+        if !star.has_observable_error(&mut stack)? {
+            if let Some(value) = logical_value(&mut stack, &star, config.kind) {
+                if value != reference {
+                    logical_errors += 1;
+                    reference = value;
+                }
+            }
+        }
+    }
+
+    Ok(LerOutcome {
+        windows,
+        logical_errors,
+        ops_above_frame: above_counts.operations(),
+        slots_above_frame: above_counts.time_slots(),
+        ops_below_frame: below_counts.operations(),
+        slots_below_frame: below_counts.time_slots(),
+        injected: stack.error_counts().expect("error model installed"),
+    })
+}
+
+/// The current logical value seen through the Pauli frame: the physical
+/// expectation of the logical-state stabilizer (Table 2.2), corrected by
+/// the tracked records on its support.
+///
+/// Returns `None` when the observable is not deterministic (an
+/// uncorrected error chain crosses it) — such windows are skipped, which
+/// the observable-error gate in the caller already guarantees.
+fn logical_value(
+    stack: &mut ControlStack<ChpCore>,
+    star: &NinjaStar,
+    kind: LogicalErrorKind,
+) -> Option<bool> {
+    let n = stack.num_qubits();
+    let (support, pauli) = match kind {
+        LogicalErrorKind::XL => (star.logical_z_qubits(), Pauli::Z),
+        LogicalErrorKind::ZL => (star.logical_x_qubits(), Pauli::X),
+    };
+    let mut observable = PauliString::identity(n);
+    for &q in &support {
+        observable.set_op(q, pauli);
+    }
+    // The frame adjustment: tracked X components flip Z-type readouts,
+    // tracked Z components flip X-type readouts.
+    let mut flip = false;
+    if let Some(pf) = stack.find_layer::<PauliFrameLayer>() {
+        for &q in &support {
+            let (x, z) = pf.record(q).bits();
+            flip ^= match pauli {
+                Pauli::Z => x,
+                Pauli::X => z,
+                _ => unreachable!("logical observables are X- or Z-type"),
+            };
+        }
+    }
+    let physical = stack
+        .core_mut()
+        .simulator_mut()
+        .expect("qubits allocated")
+        .expectation(&observable)?;
+    Some(physical ^ flip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(p: f64, with_pf: bool, kind: LogicalErrorKind, seed: u64) -> LerConfig {
+        LerConfig {
+            physical_error_rate: p,
+            kind,
+            with_pauli_frame: with_pf,
+            target_logical_errors: 4,
+            max_windows: 3000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn zero_noise_never_errs() {
+        for with_pf in [false, true] {
+            let mut config = quick(0.0, with_pf, LogicalErrorKind::XL, 1);
+            config.max_windows = 50;
+            let outcome = run_ler(&config).unwrap();
+            assert_eq!(outcome.windows, 50);
+            assert_eq!(outcome.logical_errors, 0);
+            assert_eq!(outcome.ler(), 0.0);
+            assert_eq!(outcome.injected.total(), 0);
+        }
+    }
+
+    #[test]
+    fn high_noise_produces_logical_errors() {
+        for kind in [LogicalErrorKind::XL, LogicalErrorKind::ZL] {
+            let outcome = run_ler(&quick(0.02, false, kind, 2)).unwrap();
+            assert!(outcome.logical_errors > 0, "{kind:?}: no logical errors");
+            assert!(outcome.ler() > 0.0);
+            assert!(outcome.injected.total() > 0);
+        }
+    }
+
+    #[test]
+    fn frame_filters_corrections_only() {
+        let with_pf = run_ler(&quick(0.02, true, LogicalErrorKind::XL, 3)).unwrap();
+        // Something was filtered...
+        assert!(with_pf.ops_below_frame < with_pf.ops_above_frame);
+        assert!(with_pf.saved_operations() > 0.0);
+        // ...but bounded by the correction-slot budget (1 of 17 slots,
+        // Section 5.3.2).
+        assert!(with_pf.saved_time_slots() <= 1.0 / 17.0 + 1e-9);
+
+        let without = run_ler(&quick(0.02, false, LogicalErrorKind::XL, 3)).unwrap();
+        assert_eq!(without.ops_above_frame, without.ops_below_frame);
+        assert_eq!(without.saved_operations(), 0.0);
+    }
+
+    #[test]
+    fn ler_comparable_with_and_without_frame() {
+        // Not a statistical claim at this scale — just that both stacks
+        // complete and produce sane rates.
+        let a = run_ler(&quick(0.01, false, LogicalErrorKind::XL, 4)).unwrap();
+        let b = run_ler(&quick(0.01, true, LogicalErrorKind::XL, 4)).unwrap();
+        for outcome in [a, b] {
+            assert!(outcome.windows > 0);
+            assert!(outcome.ler() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn window_cap_respected() {
+        let mut config = quick(1e-4, false, LogicalErrorKind::XL, 5);
+        config.max_windows = 40;
+        let outcome = run_ler(&config).unwrap();
+        assert!(outcome.windows <= 40);
+    }
+
+    #[test]
+    fn paper_default_stopping_rule() {
+        let config = LerConfig::paper_default(0.001, LogicalErrorKind::XL, true, 6);
+        assert_eq!(config.target_logical_errors, 50);
+        assert!(config.with_pauli_frame);
+    }
+}

@@ -1,0 +1,387 @@
+use qpdo_pauli::{Pauli, PauliString};
+
+use crate::Rotation;
+
+/// Whether a parity check measures X parity or Z parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// X-parity check (detects Z errors); red ancillas in Fig 2.1.
+    X,
+    /// Z-parity check (detects X errors); green ancillas in Fig 2.1.
+    Z,
+}
+
+impl CheckKind {
+    /// The other kind.
+    #[must_use]
+    pub fn other(self) -> Self {
+        match self {
+            CheckKind::X => CheckKind::Z,
+            CheckKind::Z => CheckKind::X,
+        }
+    }
+}
+
+/// One plaquette of the ninja star: the (up to four) data qubits around
+/// an ancilla, by compass position. Entries are *virtual* data indices
+/// `0..9` (`D0..D8` of Fig 2.1); boundary plaquettes have absent corners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Plaquette {
+    /// North-west data qubit.
+    pub nw: Option<usize>,
+    /// North-east data qubit.
+    pub ne: Option<usize>,
+    /// South-west data qubit.
+    pub sw: Option<usize>,
+    /// South-east data qubit.
+    pub se: Option<usize>,
+}
+
+impl Plaquette {
+    const fn new(
+        nw: Option<usize>,
+        ne: Option<usize>,
+        sw: Option<usize>,
+        se: Option<usize>,
+    ) -> Self {
+        Plaquette { nw, ne, sw, se }
+    }
+
+    /// The data qubits of the plaquette, in NW, NE, SW, SE order.
+    #[must_use]
+    pub fn data_qubits(&self) -> Vec<usize> {
+        [self.nw, self.ne, self.sw, self.se]
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// The weight of the check (2 on boundaries, 4 in the bulk).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.data_qubits().len()
+    }
+}
+
+/// The plaquettes whose ancillas are *red* (X checks) in the normal
+/// orientation, in the order of the stabilizers of Table 2.1:
+/// `X0X1X3X4`, `X1X2`, `X4X5X7X8`, `X6X7`.
+pub(crate) const X_PLAQUETTES: [Plaquette; 4] = [
+    Plaquette::new(Some(0), Some(1), Some(3), Some(4)),
+    Plaquette::new(None, None, Some(1), Some(2)),
+    Plaquette::new(Some(4), Some(5), Some(7), Some(8)),
+    Plaquette::new(Some(6), Some(7), None, None),
+];
+
+/// The plaquettes whose ancillas are *green* (Z checks) in the normal
+/// orientation, in Table 2.1 order: `Z0Z3`, `Z1Z2Z4Z5`, `Z3Z4Z6Z7`,
+/// `Z5Z8`.
+pub(crate) const Z_PLAQUETTES: [Plaquette; 4] = [
+    Plaquette::new(None, Some(0), None, Some(3)),
+    Plaquette::new(Some(1), Some(2), Some(4), Some(5)),
+    Plaquette::new(Some(3), Some(4), Some(6), Some(7)),
+    Plaquette::new(Some(5), None, Some(8), None),
+];
+
+/// The physical-qubit assignment of one ninja star: 9 data qubits plus
+/// 4 + 4 ancillas (Fig 2.1).
+///
+/// Ancilla arrays are indexed by plaquette: `x_ancillas[i]` serves
+/// `X_PLAQUETTES[i]` (red in the normal orientation), `z_ancillas[i]`
+/// serves `Z_PLAQUETTES[i]` (green).
+///
+/// # Example
+///
+/// ```
+/// use qpdo_surface17::StarLayout;
+///
+/// let layout = StarLayout::standard(0);
+/// assert_eq!(layout.num_qubits(), 17);
+/// assert_eq!(layout.data[4], 4);       // D4 is physical qubit 4
+/// assert_eq!(layout.x_ancillas[0], 9); // first red ancilla
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StarLayout {
+    /// Physical addresses of `D0..D8`.
+    pub data: [usize; 9],
+    /// Physical addresses of the four red (X-check) ancillas.
+    pub x_ancillas: [usize; 4],
+    /// Physical addresses of the four green (Z-check) ancillas.
+    pub z_ancillas: [usize; 4],
+}
+
+impl StarLayout {
+    /// The standard packing: data at `base..base+9`, X ancillas at
+    /// `base+9..base+13`, Z ancillas at `base+13..base+17`.
+    #[must_use]
+    pub fn standard(base: usize) -> Self {
+        let mut data = [0; 9];
+        for (i, d) in data.iter_mut().enumerate() {
+            *d = base + i;
+        }
+        let mut x_ancillas = [0; 4];
+        let mut z_ancillas = [0; 4];
+        for i in 0..4 {
+            x_ancillas[i] = base + 9 + i;
+            z_ancillas[i] = base + 13 + i;
+        }
+        StarLayout {
+            data,
+            x_ancillas,
+            z_ancillas,
+        }
+    }
+
+    /// A layout whose 9 data qubits start at `data_base` but which shares
+    /// the 8 ancillas at `ancilla_base` — the paper's trick of sharing one
+    /// set of ancilla qubits over all ninja stars to reduce the simulated
+    /// register (Section 5.1.3).
+    #[must_use]
+    pub fn with_shared_ancillas(data_base: usize, ancilla_base: usize) -> Self {
+        let mut layout = StarLayout::standard(0);
+        for (i, d) in layout.data.iter_mut().enumerate() {
+            *d = data_base + i;
+        }
+        for i in 0..4 {
+            layout.x_ancillas[i] = ancilla_base + i;
+            layout.z_ancillas[i] = ancilla_base + 4 + i;
+        }
+        layout
+    }
+
+    /// The total number of distinct physical qubits (17 for a standard
+    /// layout).
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        let mut all: Vec<usize> = self
+            .data
+            .iter()
+            .chain(&self.x_ancillas)
+            .chain(&self.z_ancillas)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// The highest physical qubit index used, plus one.
+    #[must_use]
+    pub fn required_register(&self) -> usize {
+        1 + *self
+            .data
+            .iter()
+            .chain(&self.x_ancillas)
+            .chain(&self.z_ancillas)
+            .max()
+            .expect("layout is non-empty")
+    }
+
+    /// All eight ancillas, X checks first.
+    #[must_use]
+    pub fn all_ancillas(&self) -> Vec<usize> {
+        self.x_ancillas
+            .iter()
+            .chain(&self.z_ancillas)
+            .copied()
+            .collect()
+    }
+
+    /// The virtual data-qubit support of the logical X operator under the
+    /// given orientation: the chain `D2, D4, D6` normally, rotating to
+    /// `D0, D4, D8` (Figs 2.4–2.5).
+    #[must_use]
+    pub fn logical_x_support(rotation: Rotation) -> [usize; 3] {
+        match rotation {
+            Rotation::Normal => [2, 4, 6],
+            Rotation::Rotated => [0, 4, 8],
+        }
+    }
+
+    /// The virtual data-qubit support of the logical Z operator:
+    /// `D0, D4, D8` normally, rotating to `D2, D4, D6`.
+    #[must_use]
+    pub fn logical_z_support(rotation: Rotation) -> [usize; 3] {
+        match rotation {
+            Rotation::Normal => [0, 4, 8],
+            Rotation::Rotated => [2, 4, 6],
+        }
+    }
+
+    /// The data-qubit sets of the current X-parity checks (Table 2.1
+    /// order). Under rotation the *plaquettes* keep their positions but
+    /// swap check kinds, so the X checks live on the green plaquettes.
+    #[must_use]
+    pub fn x_check_supports(rotation: Rotation) -> [Vec<usize>; 4] {
+        let plaquettes = match rotation {
+            Rotation::Normal => &X_PLAQUETTES,
+            Rotation::Rotated => &Z_PLAQUETTES,
+        };
+        [
+            plaquettes[0].data_qubits(),
+            plaquettes[1].data_qubits(),
+            plaquettes[2].data_qubits(),
+            plaquettes[3].data_qubits(),
+        ]
+    }
+
+    /// The data-qubit sets of the current Z-parity checks (Table 2.1
+    /// order).
+    #[must_use]
+    pub fn z_check_supports(rotation: Rotation) -> [Vec<usize>; 4] {
+        let plaquettes = match rotation {
+            Rotation::Normal => &Z_PLAQUETTES,
+            Rotation::Rotated => &X_PLAQUETTES,
+        };
+        [
+            plaquettes[0].data_qubits(),
+            plaquettes[1].data_qubits(),
+            plaquettes[2].data_qubits(),
+            plaquettes[3].data_qubits(),
+        ]
+    }
+
+    /// The eight stabilizer generators of Table 2.1 as Pauli strings over
+    /// the 9 **virtual** data qubits (normal orientation), X checks first.
+    #[must_use]
+    pub fn stabilizer_strings() -> Vec<PauliString> {
+        let mut gens = Vec::with_capacity(8);
+        for p in &X_PLAQUETTES {
+            let mut s = PauliString::identity(9);
+            for q in p.data_qubits() {
+                s.set_op(q, Pauli::X);
+            }
+            gens.push(s);
+        }
+        for p in &Z_PLAQUETTES {
+            let mut s = PauliString::identity(9);
+            for q in p.data_qubits() {
+                s.set_op(q, Pauli::Z);
+            }
+            gens.push(s);
+        }
+        gens
+    }
+
+    /// The `Z0Z4Z8` logical-state stabilizer of Table 2.2 over the 9
+    /// virtual data qubits.
+    #[must_use]
+    pub fn logical_z_string() -> PauliString {
+        let mut s = PauliString::identity(9);
+        for q in [0, 4, 8] {
+            s.set_op(q, Pauli::Z);
+        }
+        s
+    }
+
+    /// The `X2X4X6` logical-state stabilizer of Table 2.2.
+    #[must_use]
+    pub fn logical_x_string() -> PauliString {
+        let mut s = PauliString::identity(9);
+        for q in [2, 4, 6] {
+            s.set_op(q, Pauli::X);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_uses_17_qubits() {
+        let l = StarLayout::standard(0);
+        assert_eq!(l.num_qubits(), 17);
+        assert_eq!(l.required_register(), 17);
+        let l5 = StarLayout::standard(5);
+        assert_eq!(l5.data[0], 5);
+        assert_eq!(l5.required_register(), 22);
+    }
+
+    #[test]
+    fn shared_ancilla_layout() {
+        let a = StarLayout::with_shared_ancillas(0, 18);
+        let b = StarLayout::with_shared_ancillas(9, 18);
+        assert_eq!(a.x_ancillas, b.x_ancillas);
+        assert_ne!(a.data, b.data);
+        assert_eq!(a.num_qubits(), 17);
+        // Two stars + shared ancillas = 26 qubits.
+        assert_eq!(b.required_register(), 26);
+    }
+
+    #[test]
+    fn plaquette_weights_match_table_2_1() {
+        let x_weights: Vec<usize> = X_PLAQUETTES.iter().map(Plaquette::weight).collect();
+        let z_weights: Vec<usize> = Z_PLAQUETTES.iter().map(Plaquette::weight).collect();
+        assert_eq!(x_weights, [4, 2, 4, 2]);
+        assert_eq!(z_weights, [2, 4, 4, 2]);
+    }
+
+    #[test]
+    fn stabilizers_match_table_2_1() {
+        let gens = StarLayout::stabilizer_strings();
+        let expected = [
+            "XXIXXIIII", // X0X1X3X4
+            "IXXIIIIII", // X1X2
+            "IIIIXXIXX", // X4X5X7X8
+            "IIIIIIXXI", // X6X7
+            "ZIIZIIIII", // Z0Z3
+            "IZZIZZIII", // Z1Z2Z4Z5
+            "IIIZZIZZI", // Z3Z4Z6Z7
+            "IIIIIZIIZ", // Z5Z8
+        ];
+        for (g, e) in gens.iter().zip(expected) {
+            assert_eq!(g, &e.parse().unwrap());
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        let gens = StarLayout::stabilizer_strings();
+        for (i, a) in gens.iter().enumerate() {
+            for b in &gens[i + 1..] {
+                assert!(a.commutes_with(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_operators_commute_with_stabilizers_anticommute_mutually() {
+        let zl = StarLayout::logical_z_string();
+        let xl = StarLayout::logical_x_string();
+        for g in StarLayout::stabilizer_strings() {
+            assert!(zl.commutes_with(&g));
+            assert!(xl.commutes_with(&g));
+        }
+        assert!(!zl.commutes_with(&xl));
+    }
+
+    #[test]
+    fn logical_supports_rotate() {
+        assert_eq!(StarLayout::logical_x_support(Rotation::Normal), [2, 4, 6]);
+        assert_eq!(StarLayout::logical_x_support(Rotation::Rotated), [0, 4, 8]);
+        assert_eq!(
+            StarLayout::logical_z_support(Rotation::Normal),
+            StarLayout::logical_x_support(Rotation::Rotated)
+        );
+    }
+
+    #[test]
+    fn check_supports_swap_under_rotation() {
+        assert_eq!(
+            StarLayout::x_check_supports(Rotation::Rotated),
+            StarLayout::z_check_supports(Rotation::Normal)
+        );
+        assert_eq!(
+            StarLayout::z_check_supports(Rotation::Rotated),
+            StarLayout::x_check_supports(Rotation::Normal)
+        );
+    }
+
+    #[test]
+    fn check_kind_other() {
+        assert_eq!(CheckKind::X.other(), CheckKind::Z);
+        assert_eq!(CheckKind::Z.other(), CheckKind::X);
+    }
+}

@@ -1,0 +1,160 @@
+use std::fmt;
+
+/// The lattice orientation of a ninja star (Table 5.2).
+///
+/// A logical Hadamard swaps the roles of the red (X) and green (Z)
+/// ancillas, which is interpreted as a 90° rotation of the lattice
+/// (Fig 2.5). Qubit addressing does not change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Rotation {
+    /// The as-fabricated orientation.
+    #[default]
+    Normal,
+    /// Rotated by 90° after an odd number of logical Hadamards.
+    Rotated,
+}
+
+impl Rotation {
+    /// The orientation after one more logical Hadamard.
+    #[must_use]
+    pub fn toggled(self) -> Self {
+        match self {
+            Rotation::Normal => Rotation::Rotated,
+            Rotation::Rotated => Rotation::Normal,
+        }
+    }
+}
+
+impl fmt::Display for Rotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rotation::Normal => "normal",
+            Rotation::Rotated => "rotated",
+        })
+    }
+}
+
+/// Which ancillas participate in the next ESM rounds (Table 5.2).
+///
+/// After a transversal logical measurement only the Z-parity ancillas run
+/// (`z_only`), enough to catch X errors that struck during the data-qubit
+/// readout (Section 5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DanceMode {
+    /// Full ESM: every ancilla participates.
+    All,
+    /// Only Z-parity ancillas participate.
+    #[default]
+    ZOnly,
+}
+
+impl fmt::Display for DanceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DanceMode::All => "all",
+            DanceMode::ZOnly => "z_only",
+        })
+    }
+}
+
+/// The classical view of the logical qubit's value (Table 5.2): `0`, `1`
+/// or `x` (unknown).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum LogicalState {
+    /// Known logical `|0⟩` (measurement returned `+1`).
+    Zero,
+    /// Known logical `|1⟩` (measurement returned `-1`).
+    One,
+    /// Unknown.
+    #[default]
+    Unknown,
+}
+
+impl LogicalState {
+    /// The boolean value for known states (`true` = logical `|1⟩`).
+    #[must_use]
+    pub fn known(self) -> Option<bool> {
+        match self {
+            LogicalState::Zero => Some(false),
+            LogicalState::One => Some(true),
+            LogicalState::Unknown => None,
+        }
+    }
+}
+
+impl From<bool> for LogicalState {
+    fn from(b: bool) -> Self {
+        if b {
+            LogicalState::One
+        } else {
+            LogicalState::Zero
+        }
+    }
+}
+
+impl fmt::Display for LogicalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LogicalState::Zero => "0",
+            LogicalState::One => "1",
+            LogicalState::Unknown => "x",
+        })
+    }
+}
+
+/// The run-time properties of a ninja star (Table 5.2) with their paper
+/// defaults: rotation `normal`, dance mode `z_only`, state `x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct StarProperties {
+    /// Current lattice orientation.
+    pub rotation: Rotation,
+    /// Which ancillas the next ESM activates.
+    pub dance_mode: DanceMode,
+    /// The classical view of the logical value.
+    pub state: LogicalState,
+}
+
+impl fmt::Display for StarProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rotation={} dancemode={} state={}",
+            self.rotation, self.dance_mode, self.state
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_initial_values() {
+        // Table 5.2: initial values at system start-up.
+        let p = StarProperties::default();
+        assert_eq!(p.rotation, Rotation::Normal);
+        assert_eq!(p.dance_mode, DanceMode::ZOnly);
+        assert_eq!(p.state, LogicalState::Unknown);
+    }
+
+    #[test]
+    fn rotation_toggles() {
+        assert_eq!(Rotation::Normal.toggled(), Rotation::Rotated);
+        assert_eq!(Rotation::Rotated.toggled(), Rotation::Normal);
+        assert_eq!(Rotation::Normal.toggled().toggled(), Rotation::Normal);
+    }
+
+    #[test]
+    fn logical_state_conversions() {
+        assert_eq!(LogicalState::from(true), LogicalState::One);
+        assert_eq!(LogicalState::from(false), LogicalState::Zero);
+        assert_eq!(LogicalState::One.known(), Some(true));
+        assert_eq!(LogicalState::Unknown.known(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = StarProperties::default();
+        assert_eq!(p.to_string(), "rotation=normal dancemode=z_only state=x");
+    }
+}

@@ -1,0 +1,182 @@
+//! Transversal two-qubit logical gates (Section 2.6.1).
+//!
+//! `CNOT_L` and `CZ_L` are applied transversally between the data qubits
+//! of two ninja stars. The data-qubit pairing depends on the two lattice
+//! orientations:
+//!
+//! - `CNOT_L`: **same** orientation → straight pairs `(A_Dn, B_Dn)`;
+//!   **different** orientation → the rotated pairing.
+//! - `CZ_L`: exactly the opposite convention (different → straight,
+//!   same → rotated).
+
+use qpdo_circuit::{Circuit, Gate, Operation, TimeSlot};
+
+use crate::{Rotation, StarLayout};
+
+/// The rotated transversal pairing of Section 2.6.1:
+/// `{(A0,B6), (A1,B3), (A2,B0), (A3,B7), (A4,B4), (A5,B1), (A6,B8),
+/// (A7,B5), (A8,B2)}`.
+const ROTATED_PAIRING: [usize; 9] = [6, 3, 0, 7, 4, 1, 8, 5, 2];
+
+/// The virtual data-qubit pairing `(A_Di, B_pair[i])` for a transversal
+/// gate between stars with the given orientations.
+///
+/// `use_rotated_when_same` distinguishes `CZ_L` (rotated pairing when the
+/// orientations are the *same*) from `CNOT_L` (rotated when *different*).
+#[must_use]
+pub fn transversal_pairs(
+    rotation_a: Rotation,
+    rotation_b: Rotation,
+    use_rotated_when_same: bool,
+) -> [usize; 9] {
+    let same = rotation_a == rotation_b;
+    let rotated = if use_rotated_when_same { same } else { !same };
+    if rotated {
+        ROTATED_PAIRING
+    } else {
+        [0, 1, 2, 3, 4, 5, 6, 7, 8]
+    }
+}
+
+/// Builds the transversal `CNOT_L` circuit between two ninja stars
+/// (control first), one time slot of nine physical `CNOT`s.
+///
+/// # Panics
+///
+/// Panics if the layouts share data qubits.
+#[must_use]
+pub fn logical_cnot(
+    control: &StarLayout,
+    control_rotation: Rotation,
+    target: &StarLayout,
+    target_rotation: Rotation,
+) -> Circuit {
+    transversal_gate(
+        Gate::Cnot,
+        control,
+        target,
+        transversal_pairs(control_rotation, target_rotation, false),
+    )
+}
+
+/// Builds the transversal `CZ_L` circuit between two ninja stars, one
+/// time slot of nine physical `CZ`s.
+///
+/// # Panics
+///
+/// Panics if the layouts share data qubits.
+#[must_use]
+pub fn logical_cz(
+    a: &StarLayout,
+    a_rotation: Rotation,
+    b: &StarLayout,
+    b_rotation: Rotation,
+) -> Circuit {
+    transversal_gate(
+        Gate::Cz,
+        a,
+        b,
+        transversal_pairs(a_rotation, b_rotation, true),
+    )
+}
+
+fn transversal_gate(
+    gate: Gate,
+    a: &StarLayout,
+    b: &StarLayout,
+    pairs: [usize; 9],
+) -> Circuit {
+    let mut slot = TimeSlot::new();
+    for (i, &j) in pairs.iter().enumerate() {
+        slot.push(Operation::gate(gate, &[a.data[i], b.data[j]]));
+    }
+    let mut circuit = Circuit::new();
+    circuit.push_slot(slot);
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnot_pairing_convention() {
+        // Same orientation: straight.
+        assert_eq!(
+            transversal_pairs(Rotation::Normal, Rotation::Normal, false),
+            [0, 1, 2, 3, 4, 5, 6, 7, 8]
+        );
+        assert_eq!(
+            transversal_pairs(Rotation::Rotated, Rotation::Rotated, false),
+            [0, 1, 2, 3, 4, 5, 6, 7, 8]
+        );
+        // Different: rotated.
+        assert_eq!(
+            transversal_pairs(Rotation::Normal, Rotation::Rotated, false),
+            ROTATED_PAIRING
+        );
+    }
+
+    #[test]
+    fn cz_pairing_convention_is_opposite() {
+        assert_eq!(
+            transversal_pairs(Rotation::Normal, Rotation::Normal, true),
+            ROTATED_PAIRING
+        );
+        assert_eq!(
+            transversal_pairs(Rotation::Normal, Rotation::Rotated, true),
+            [0, 1, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn rotated_pairing_is_a_quarter_turn() {
+        // The pairing is the 90° lattice rotation: a permutation of order
+        // four with the centre D4 fixed.
+        assert_eq!(ROTATED_PAIRING[4], 4);
+        let mut perm: Vec<usize> = (0..9).collect();
+        for _ in 0..4 {
+            perm = perm.iter().map(|&i| ROTATED_PAIRING[i]).collect();
+        }
+        assert_eq!(perm, (0..9).collect::<Vec<_>>());
+        // And it is a bijection.
+        let mut sorted = ROTATED_PAIRING;
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn rotated_pairing_matches_paper_list() {
+        let expected = [
+            (0, 6),
+            (1, 3),
+            (2, 0),
+            (3, 7),
+            (4, 4),
+            (5, 1),
+            (6, 8),
+            (7, 5),
+            (8, 2),
+        ];
+        for (i, j) in expected {
+            assert_eq!(ROTATED_PAIRING[i], j);
+        }
+    }
+
+    #[test]
+    fn circuits_are_single_slot_transversal() {
+        let a = StarLayout::standard(0);
+        let b = StarLayout::standard(17);
+        let c = logical_cnot(&a, Rotation::Normal, &b, Rotation::Normal);
+        assert_eq!(c.slot_count(), 1);
+        assert_eq!(c.operation_count(), 9);
+        for op in c.operations() {
+            assert_eq!(op.as_gate(), Some(Gate::Cnot));
+            let q = op.qubits();
+            assert!(q[0] < 9 && (17..26).contains(&q[1]));
+        }
+        let c = logical_cz(&a, Rotation::Normal, &b, Rotation::Rotated);
+        assert_eq!(c.operation_count(), 9);
+        assert!(c.operations().all(|op| op.as_gate() == Some(Gate::Cz)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Exhaustive single-fault injection: the defining property of a
+//! distance-3 fault-tolerant memory is that **no single fault causes a
+//! logical error** — including "hook" faults on ancilla qubits between
+//! the CNOT slots of an ESM round (the reason the paper uses different
+//! interaction patterns for the red and green ancillas, Section 2.5.1).
+//!
+//! Every Pauli fault (X, Y, Z) on every physical qubit (9 data + 8
+//! ancilla) at every slot boundary of an ESM round is injected into an
+//! otherwise noise-free run; after at most three follow-up windows the
+//! state must be observable-error-free with its logical value intact.
+
+use qpdo_core::{ChpCore, ControlStack};
+use qpdo_pauli::{Pauli, PauliString};
+use qpdo_surface17::{esm_circuit, DanceMode, NinjaStar, Rotation, StarLayout};
+
+fn logical_value(
+    stack: &mut ControlStack<ChpCore>,
+    support: [usize; 3],
+    pauli: Pauli,
+) -> Option<bool> {
+    let mut obs = PauliString::identity(17);
+    for q in support {
+        obs.set_op(q, pauli);
+    }
+    stack.core_mut().simulator_mut().unwrap().expectation(&obs)
+}
+
+fn inject(stack: &mut ControlStack<ChpCore>, q: usize, p: Pauli) {
+    let sim = stack.core_mut().simulator_mut().unwrap();
+    match p {
+        Pauli::X => sim.x(q),
+        Pauli::Y => sim.y(q),
+        Pauli::Z => sim.z(q),
+        Pauli::I => {}
+    }
+}
+
+/// Runs one fault scenario; returns `(recovered, logical_flipped)`.
+fn run_scenario(
+    plus_basis: bool,
+    fault_qubit: usize,
+    fault_pauli: Pauli,
+    inject_before_slot: usize, // 0..=8: boundary within round 1
+    seed: u64,
+) -> (bool, bool) {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+    stack.create_qubits(17).unwrap();
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    if plus_basis {
+        star.initialize_plus(&mut stack).unwrap();
+    } else {
+        star.initialize_zero(&mut stack).unwrap();
+    }
+    let (support, observable) = if plus_basis {
+        (star.logical_x_qubits(), Pauli::X)
+    } else {
+        (star.logical_z_qubits(), Pauli::Z)
+    };
+    let reference =
+        logical_value(&mut stack, support, observable).expect("fresh state deterministic");
+
+    // Round 1 with the fault injected at the chosen slot boundary.
+    let esm = esm_circuit(star.layout(), Rotation::Normal, DanceMode::All);
+    let slots = esm.slots();
+    let mut prefix = qpdo_circuit::Circuit::new();
+    for slot in &slots[..inject_before_slot] {
+        prefix.push_slot(slot.clone());
+    }
+    if !prefix.is_empty() {
+        stack.execute_now(prefix).unwrap();
+    }
+    inject(&mut stack, fault_qubit, fault_pauli);
+    let mut suffix = qpdo_circuit::Circuit::new();
+    for slot in &slots[inject_before_slot..] {
+        suffix.push_slot(slot.clone());
+    }
+    stack.execute_now(suffix).unwrap();
+    let first = {
+        // Read ancilla outcomes exactly as the star would.
+        let read = |ancillas: [usize; 4]| {
+            let mut out = [false; 4];
+            for (i, &a) in ancillas.iter().enumerate() {
+                out[i] = stack.state().bit(a).known().unwrap_or(false);
+            }
+            out
+        };
+        let (x_anc, z_anc) = qpdo_surface17::esm_ancillas(star.layout(), Rotation::Normal);
+        (read(x_anc), read(z_anc))
+    };
+    // Round 2 clean, then the decode.
+    let second = star.run_esm_round(&mut stack).unwrap();
+    star.apply_window_decisions(&mut stack, first, second)
+        .unwrap();
+
+    // Up to three follow-up clean windows to flush deferred events.
+    let mut recovered = !star.has_observable_error(&mut stack).unwrap();
+    for _ in 0..3 {
+        if recovered {
+            break;
+        }
+        star.run_window(&mut stack).unwrap();
+        recovered = !star.has_observable_error(&mut stack).unwrap();
+    }
+    let flipped = match logical_value(&mut stack, support, observable) {
+        Some(value) => value != reference,
+        None => true, // non-deterministic logical value = corrupted state
+    };
+    (recovered, flipped)
+}
+
+/// As `run_scenario`, but injects a correlated two-qubit Pauli pair on
+/// the operands of one specific CNOT, right after its slot executes —
+/// the error class a faulty two-qubit gate produces (p/15 each in the
+/// Section 5.3.1 model).
+fn run_gate_fault_scenario(
+    plus_basis: bool,
+    slot_index: usize,
+    gate_in_slot: usize,
+    pair: (Pauli, Pauli),
+    seed: u64,
+) -> Option<(bool, bool)> {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+    stack.create_qubits(17).unwrap();
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    if plus_basis {
+        star.initialize_plus(&mut stack).unwrap();
+    } else {
+        star.initialize_zero(&mut stack).unwrap();
+    }
+    let (support, observable) = if plus_basis {
+        (star.logical_x_qubits(), Pauli::X)
+    } else {
+        (star.logical_z_qubits(), Pauli::Z)
+    };
+    let reference = logical_value(&mut stack, support, observable)?;
+
+    let esm = esm_circuit(star.layout(), Rotation::Normal, DanceMode::All);
+    let slots = esm.slots();
+    let target = slots[slot_index].operations().get(gate_in_slot)?.clone();
+    let mut prefix = qpdo_circuit::Circuit::new();
+    for slot in &slots[..=slot_index] {
+        prefix.push_slot(slot.clone());
+    }
+    stack.execute_now(prefix).unwrap();
+    inject(&mut stack, target.qubits()[0], pair.0);
+    inject(&mut stack, target.qubits()[1], pair.1);
+    let mut suffix = qpdo_circuit::Circuit::new();
+    for slot in &slots[slot_index + 1..] {
+        suffix.push_slot(slot.clone());
+    }
+    stack.execute_now(suffix).unwrap();
+    let first = {
+        let read = |ancillas: [usize; 4]| {
+            let mut out = [false; 4];
+            for (i, &a) in ancillas.iter().enumerate() {
+                out[i] = stack.state().bit(a).known().unwrap_or(false);
+            }
+            out
+        };
+        let (x_anc, z_anc) = qpdo_surface17::esm_ancillas(star.layout(), Rotation::Normal);
+        (read(x_anc), read(z_anc))
+    };
+    let second = star.run_esm_round(&mut stack).unwrap();
+    star.apply_window_decisions(&mut stack, first, second)
+        .unwrap();
+    let mut recovered = !star.has_observable_error(&mut stack).unwrap();
+    for _ in 0..3 {
+        if recovered {
+            break;
+        }
+        star.run_window(&mut stack).unwrap();
+        recovered = !star.has_observable_error(&mut stack).unwrap();
+    }
+    let flipped = match logical_value(&mut stack, support, observable) {
+        Some(value) => value != reference,
+        None => true,
+    };
+    Some((recovered, flipped))
+}
+
+#[test]
+fn no_single_two_qubit_gate_fault_causes_a_logical_error() {
+    let pairs: Vec<(Pauli, Pauli)> = Pauli::ALL
+        .iter()
+        .flat_map(|&a| Pauli::ALL.iter().map(move |&b| (a, b)))
+        .filter(|&(a, b)| !(a == Pauli::I && b == Pauli::I))
+        .collect();
+    let mut failures = Vec::new();
+    let mut cases = 0u32;
+    for plus_basis in [false, true] {
+        for slot_index in 2..6 {
+            for gate_in_slot in 0..6 {
+                for &pair in &pairs {
+                    cases += 1;
+                    let Some((recovered, flipped)) = run_gate_fault_scenario(
+                        plus_basis,
+                        slot_index,
+                        gate_in_slot,
+                        pair,
+                        0xFB_0000 + u64::from(cases),
+                    ) else {
+                        continue;
+                    };
+                    if !recovered || flipped {
+                        failures.push(format!(
+                            "basis={} slot {slot_index} gate {gate_in_slot} pair {:?}: \
+                             recovered={recovered} flipped={flipped}",
+                            if plus_basis { "|+>" } else { "|0>" },
+                            pair,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {cases} gate-fault scenarios broke fault tolerance:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn no_single_fault_causes_a_logical_error() {
+    let mut cases = 0u32;
+    let mut failures = Vec::new();
+    for plus_basis in [false, true] {
+        for fault_qubit in 0..17 {
+            for fault_pauli in [Pauli::X, Pauli::Y, Pauli::Z] {
+                for boundary in 0..=8 {
+                    cases += 1;
+                    let (recovered, flipped) = run_scenario(
+                        plus_basis,
+                        fault_qubit,
+                        fault_pauli,
+                        boundary,
+                        0xFA_0000 + u64::from(cases),
+                    );
+                    if !recovered || flipped {
+                        failures.push(format!(
+                            "basis={} fault={fault_pauli} q{fault_qubit} before slot {boundary}: \
+                             recovered={recovered} flipped={flipped}",
+                            if plus_basis { "|+>" } else { "|0>" },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {cases} single-fault scenarios broke fault tolerance:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

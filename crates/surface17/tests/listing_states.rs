@@ -1,0 +1,137 @@
+//! Reproduction of Listings 5.1–5.2 at test scale: the exact nine-qubit
+//! quantum states of `|0⟩_L` and `|1⟩_L` on the universal (state-vector)
+//! back-end, extracted from the 17-qubit register after initialization.
+
+use qpdo_core::{ControlStack, SvCore};
+use qpdo_statevector::Complex;
+use qpdo_surface17::{NinjaStar, StarLayout};
+
+/// The X-stabilizer generator bit masks over the 9 data qubits.
+const X_GENERATOR_MASKS: [usize; 4] = [
+    0b000011011, // X0X1X3X4
+    0b000000110, // X1X2
+    0b110110000, // X4X5X7X8
+    0b011000000, // X6X7
+];
+
+/// The 16 basis states of the `|b⟩_L` superposition: the orbit of the
+/// X-stabilizer group over `|b · (D2 D4 D6 ... pattern)⟩`.
+fn expected_support(logical_one: bool) -> Vec<usize> {
+    let seed = if logical_one { 0b001010100 } else { 0 }; // X2X4X6 applied
+    let mut support = Vec::with_capacity(16);
+    for combo in 0..16usize {
+        let mut mask = seed;
+        for (bit, gen) in X_GENERATOR_MASKS.iter().enumerate() {
+            if combo >> bit & 1 != 0 {
+                mask ^= gen;
+            }
+        }
+        support.push(mask);
+    }
+    support.sort_unstable();
+    support.dedup();
+    support
+}
+
+fn data_state_of(stack: &ControlStack<SvCore>) -> Vec<Complex> {
+    let sim = stack.core().simulator().unwrap();
+    sim.partial_state(&(0..9).collect::<Vec<_>>(), 1e-9)
+        .expect("data qubits factor out after ancilla collapse")
+}
+
+fn assert_uniform_over(amps: &[Complex], support: &[usize]) {
+    assert_eq!(amps.len(), 512);
+    let expected_amp = 0.25;
+    for (idx, amp) in amps.iter().enumerate() {
+        if support.contains(&idx) {
+            assert!(
+                (amp.norm() - expected_amp).abs() < 1e-9,
+                "basis {idx:09b}: |amp| = {}",
+                amp.norm()
+            );
+        } else {
+            assert!(amp.norm() < 1e-9, "unexpected amplitude at {idx:09b}");
+        }
+    }
+    // All 16 amplitudes share one phase (the listing shows +0.25 each).
+    let anchor = amps[support[0]];
+    for &idx in support {
+        assert!(
+            (amps[idx] * anchor.conj()).im.abs() < 1e-9
+                && (amps[idx] * anchor.conj()).re > 0.0,
+            "phase mismatch at {idx:09b}"
+        );
+    }
+}
+
+/// Listing 5.1: the post-initialization `|0⟩_L` state is the uniform
+/// 16-term superposition with amplitude 0.25.
+#[test]
+fn listing_5_1_zero_state() {
+    let mut stack = ControlStack::with_seed(SvCore::new(), 51);
+    stack.create_qubits(17).unwrap();
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).unwrap();
+    let data = data_state_of(&stack);
+    let support = expected_support(false);
+    assert_eq!(support.len(), 16);
+    assert_uniform_over(&data, &support);
+}
+
+/// Listing 5.2: applying `X_L` yields the `|1⟩_L` 16-term superposition.
+#[test]
+fn listing_5_2_one_state() {
+    let mut stack = ControlStack::with_seed(SvCore::new(), 52);
+    stack.create_qubits(17).unwrap();
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).unwrap();
+    star.apply_logical_x(&mut stack).unwrap();
+    let data = data_state_of(&stack);
+    let support = expected_support(true);
+    assert_uniform_over(&data, &support);
+    // The two supports are disjoint: orthogonal logical states.
+    let zero_support = expected_support(false);
+    assert!(support.iter().all(|s| !zero_support.contains(s)));
+}
+
+/// Initialization is reproducible over many random gauge outcomes
+/// (the paper repeated it for 100 iterations; we use 12 distinct seeds).
+#[test]
+fn initialization_always_reaches_the_same_state() {
+    let support = expected_support(false);
+    for seed in 0..12 {
+        let mut stack = ControlStack::with_seed(SvCore::new(), 1000 + seed);
+        stack.create_qubits(17).unwrap();
+        let mut star = NinjaStar::new(StarLayout::standard(0));
+        star.initialize_zero(&mut stack).unwrap();
+        let data = data_state_of(&stack);
+        assert_uniform_over(&data, &support);
+    }
+}
+
+/// `H_L |0⟩_L` has uniform support over the *Z-orbit* instead: 16 states
+/// of the `|+⟩_L`-like rotated state.
+#[test]
+fn hadamard_state_support() {
+    let mut stack = ControlStack::with_seed(SvCore::new(), 53);
+    stack.create_qubits(17).unwrap();
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).unwrap();
+    star.apply_logical_h(&mut stack).unwrap();
+    let data = data_state_of(&stack);
+    // H on every qubit of a uniform X-orbit state gives a state whose
+    // support is the dual group: all 512 amplitudes have magnitude
+    // |⟨x|H⊗9|ψ⟩| ∈ {0, 1/√32}; exactly 256 are non-zero (the even-parity
+    // overlap condition halves the space... verified numerically instead:
+    // count non-zero amplitudes and check normalization).
+    let nonzero: Vec<f64> = data
+        .iter()
+        .map(|a| a.norm())
+        .filter(|n| *n > 1e-9)
+        .collect();
+    let total: f64 = data.iter().map(|a| a.norm_sqr()).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // All non-zero amplitudes share one magnitude.
+    let first = nonzero[0];
+    assert!(nonzero.iter().all(|n| (n - first).abs() < 1e-9));
+}

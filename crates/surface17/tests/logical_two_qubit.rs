@@ -1,0 +1,224 @@
+//! Verification of the transversal logical two-qubit gates
+//! (Tables 5.5–5.6) on the stabilizer back-end, including entangling
+//! behaviour that the truth tables alone cannot show.
+
+use qpdo_core::{ChpCore, ControlStack};
+use qpdo_pauli::{Pauli, PauliString};
+use qpdo_surface17::{logical_cnot, logical_cz, NinjaStar, StarLayout};
+
+const N: usize = 26; // two stars sharing one set of ancillas
+
+fn two_star_stack(seed: u64) -> (ControlStack<ChpCore>, NinjaStar, NinjaStar) {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+    stack.create_qubits(N).unwrap();
+    // Star A: data 0..9; star B: data 9..18; shared ancillas 18..26.
+    let a = NinjaStar::new(StarLayout::with_shared_ancillas(0, 18));
+    let b = NinjaStar::new(StarLayout::with_shared_ancillas(9, 18));
+    (stack, a, b)
+}
+
+/// Logical value of a star through a stabilizer expectation of its
+/// (rotation-aware) Z chain.
+fn logical_z(stack: &mut ControlStack<ChpCore>, star: &NinjaStar) -> Option<bool> {
+    let mut obs = PauliString::identity(N);
+    for q in star.logical_z_qubits() {
+        obs.set_op(q, Pauli::Z);
+    }
+    stack.core_mut().simulator_mut().unwrap().expectation(&obs)
+}
+
+fn joint_expectation(
+    stack: &mut ControlStack<ChpCore>,
+    ops: &[(usize, Pauli)],
+) -> Option<bool> {
+    let mut obs = PauliString::identity(N);
+    for &(q, p) in ops {
+        obs.set_op(q, p);
+    }
+    stack.core_mut().simulator_mut().unwrap().expectation(&obs)
+}
+
+fn prepare_basis(
+    stack: &mut ControlStack<ChpCore>,
+    a: &mut NinjaStar,
+    b: &mut NinjaStar,
+    bit_a: bool,
+    bit_b: bool,
+) {
+    a.initialize_zero(stack).unwrap();
+    b.initialize_zero(stack).unwrap();
+    if bit_a {
+        a.apply_logical_x(stack).unwrap();
+    }
+    if bit_b {
+        b.apply_logical_x(stack).unwrap();
+    }
+}
+
+/// Table 5.5: the logical CNOT truth table (star A control, star B
+/// target).
+#[test]
+fn table_5_5_cnot_truth_table() {
+    let cases = [
+        ((false, false), (false, false)), // |00> -> |00>
+        ((true, false), (true, true)),    // |10> -> |11>
+        ((false, true), (false, true)),   // |01> -> |01>
+        ((true, true), (true, false)),    // |11> -> |10>
+    ];
+    for (seed, ((ca, cb), (ea, eb))) in cases.into_iter().enumerate() {
+        let (mut stack, mut a, mut b) = two_star_stack(seed as u64);
+        prepare_basis(&mut stack, &mut a, &mut b, ca, cb);
+        let circuit = logical_cnot(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit).unwrap();
+        assert_eq!(logical_z(&mut stack, &a), Some(ea), "control after CNOT");
+        assert_eq!(logical_z(&mut stack, &b), Some(eb), "target after CNOT");
+    }
+}
+
+/// Table 5.6: the logical CZ truth table (diagonal — computational basis
+/// states are preserved; the −1 phase on |11⟩ is global and verified by
+/// the state-vector experiment binary instead).
+#[test]
+fn table_5_6_cz_preserves_computational_basis() {
+    for (seed, (ca, cb)) in [(false, false), (true, false), (false, true), (true, true)]
+        .into_iter()
+        .enumerate()
+    {
+        let (mut stack, mut a, mut b) = two_star_stack(100 + seed as u64);
+        prepare_basis(&mut stack, &mut a, &mut b, ca, cb);
+        let circuit = logical_cz(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit).unwrap();
+        assert_eq!(logical_z(&mut stack, &a), Some(ca));
+        assert_eq!(logical_z(&mut stack, &b), Some(cb));
+    }
+}
+
+/// CNOT_L on |+0⟩_L creates the logical Bell state: X_L X_L and Z_L Z_L
+/// are +1 stabilizers of the pair.
+#[test]
+fn cnot_entangles_logical_bell_state() {
+    let (mut stack, mut a, mut b) = two_star_stack(200);
+    a.initialize_plus(&mut stack).unwrap();
+    b.initialize_zero(&mut stack).unwrap();
+    let circuit = logical_cnot(
+        a.layout(),
+        a.properties().rotation,
+        b.layout(),
+        b.properties().rotation,
+    );
+    stack.execute_now(circuit).unwrap();
+
+    let xx: Vec<(usize, Pauli)> = a
+        .logical_x_qubits()
+        .into_iter()
+        .chain(b.logical_x_qubits())
+        .map(|q| (q, Pauli::X))
+        .collect();
+    assert_eq!(joint_expectation(&mut stack, &xx), Some(false));
+    let zz: Vec<(usize, Pauli)> = a
+        .logical_z_qubits()
+        .into_iter()
+        .chain(b.logical_z_qubits())
+        .map(|q| (q, Pauli::Z))
+        .collect();
+    assert_eq!(joint_expectation(&mut stack, &zz), Some(false));
+    // Individual logical Z values are now random (entangled).
+    assert_eq!(logical_z(&mut stack, &a), None);
+}
+
+/// CZ_L on |++⟩_L creates the logical cluster state: X_L ⊗ Z_L and
+/// Z_L ⊗ X_L are +1 stabilizers.
+#[test]
+fn cz_entangles_logical_cluster_state() {
+    let (mut stack, mut a, mut b) = two_star_stack(300);
+    a.initialize_plus(&mut stack).unwrap();
+    b.initialize_plus(&mut stack).unwrap();
+    let circuit = logical_cz(
+        a.layout(),
+        a.properties().rotation,
+        b.layout(),
+        b.properties().rotation,
+    );
+    stack.execute_now(circuit).unwrap();
+
+    let xz: Vec<(usize, Pauli)> = a
+        .logical_x_qubits()
+        .into_iter()
+        .map(|q| (q, Pauli::X))
+        .chain(b.logical_z_qubits().into_iter().map(|q| (q, Pauli::Z)))
+        .collect();
+    assert_eq!(joint_expectation(&mut stack, &xz), Some(false));
+    let zx: Vec<(usize, Pauli)> = a
+        .logical_z_qubits()
+        .into_iter()
+        .map(|q| (q, Pauli::Z))
+        .chain(b.logical_x_qubits().into_iter().map(|q| (q, Pauli::X)))
+        .collect();
+    assert_eq!(joint_expectation(&mut stack, &zx), Some(false));
+}
+
+/// The rotated pairing: after H_L on one star, CNOT_L still implements a
+/// correct logical CNOT (orientation-aware transversal pairing).
+#[test]
+fn cnot_with_mixed_orientations() {
+    let (mut stack, mut a, mut b) = two_star_stack(400);
+    // |+0⟩ prepared as H_L|0⟩ so star A is in the rotated orientation.
+    a.initialize_zero(&mut stack).unwrap();
+    a.apply_logical_h(&mut stack).unwrap();
+    b.initialize_zero(&mut stack).unwrap();
+    assert_ne!(a.properties().rotation, b.properties().rotation);
+
+    let circuit = logical_cnot(
+        a.layout(),
+        a.properties().rotation,
+        b.layout(),
+        b.properties().rotation,
+    );
+    stack.execute_now(circuit).unwrap();
+    // Bell state again: X_L X_L and Z_L Z_L stabilize the pair.
+    let xx: Vec<(usize, Pauli)> = a
+        .logical_x_qubits()
+        .into_iter()
+        .chain(b.logical_x_qubits())
+        .map(|q| (q, Pauli::X))
+        .collect();
+    assert_eq!(joint_expectation(&mut stack, &xx), Some(false));
+    let zz: Vec<(usize, Pauli)> = a
+        .logical_z_qubits()
+        .into_iter()
+        .chain(b.logical_z_qubits())
+        .map(|q| (q, Pauli::Z))
+        .collect();
+    assert_eq!(joint_expectation(&mut stack, &zz), Some(false));
+}
+
+/// Measuring both stars after CNOT_L gives perfectly correlated logical
+/// outcomes over repeated Bell-state preparations.
+#[test]
+fn bell_state_logical_measurements_correlate() {
+    for seed in 0..6 {
+        let (mut stack, mut a, mut b) = two_star_stack(500 + seed);
+        a.initialize_plus(&mut stack).unwrap();
+        b.initialize_zero(&mut stack).unwrap();
+        let circuit = logical_cnot(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit).unwrap();
+        let ma = a.measure_logical(&mut stack).unwrap();
+        let mb = b.measure_logical(&mut stack).unwrap();
+        assert_eq!(ma, mb, "seed {seed}");
+    }
+}

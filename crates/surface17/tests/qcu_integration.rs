@@ -1,0 +1,197 @@
+//! Driving a ninja star through the *hardware* path of Section 3.5: the
+//! Quantum Control Unit decodes instructions, the QEC Cycle Generator
+//! emits ESM operations, the Pauli arbiter filters them through the PFU,
+//! and the resulting PEL commands execute on a raw stabilizer simulator
+//! whose measurement results feed back through the PFU and the Logic
+//! Measurement Unit.
+//!
+//! This is the same physics as the layered `ControlStack` path, executed
+//! through the architecture model instead — the two must agree.
+
+use qpdo_circuit::{Gate, Operation, OperationKind};
+use qpdo_core::arch::{PelCommand, QcuInstruction, QuantumControlUnit};
+use qpdo_pauli::{Pauli, PauliString};
+use qpdo_stabilizer::StabilizerSim;
+use qpdo_surface17::{esm_circuit, DanceMode, Rotation, StarLayout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Physical Execution Layer stand-in: applies PEL commands to the
+/// simulator and returns raw measurement results as `(qubit, value)`.
+fn execute_pel(
+    sim: &mut StabilizerSim,
+    rng: &mut StdRng,
+    commands: &[PelCommand],
+) -> Vec<(usize, bool)> {
+    let mut results = Vec::new();
+    for PelCommand::Execute(op) in commands {
+        let q = op.qubits();
+        match op.kind() {
+            OperationKind::Prep => sim.reset(q[0], rng),
+            OperationKind::Measure => results.push((q[0], sim.measure(q[0], rng))),
+            OperationKind::Gate(gate) => match gate {
+                Gate::I => {}
+                Gate::X => sim.x(q[0]),
+                Gate::Y => sim.y(q[0]),
+                Gate::Z => sim.z(q[0]),
+                Gate::H => sim.h(q[0]),
+                Gate::S => sim.s(q[0]),
+                Gate::Sdg => sim.sdg(q[0]),
+                Gate::Cnot => sim.cnot(q[0], q[1]),
+                Gate::Cz => sim.cz(q[0], q[1]),
+                Gate::Swap => sim.swap(q[0], q[1]),
+                other => panic!("PEL cannot execute {other}"),
+            },
+        }
+    }
+    results
+}
+
+fn build_qcu() -> QuantumControlUnit {
+    let mut qcu = QuantumControlUnit::new(17);
+    let layout = StarLayout::standard(0);
+    qcu.symbol_table_mut()
+        .allocate(0, layout.data.to_vec(), layout.all_ancillas());
+    // The QEC Cycle Generator: one full ESM round for every live logical
+    // qubit, flattened to an operation stream.
+    qcu.set_esm_generator(move |table| {
+        let mut ops = Vec::new();
+        for logical in table.alive() {
+            let entry = table.entry(logical).expect("alive");
+            let mut star_layout = StarLayout::standard(0);
+            star_layout.data.copy_from_slice(&entry.data_qubits);
+            for (i, &a) in entry.ancilla_qubits[..4].iter().enumerate() {
+                star_layout.x_ancillas[i] = a;
+            }
+            for (i, &a) in entry.ancilla_qubits[4..].iter().enumerate() {
+                star_layout.z_ancillas[i] = a;
+            }
+            let circuit = esm_circuit(&star_layout, Rotation::Normal, DanceMode::All);
+            for slot in circuit.slots() {
+                ops.extend(slot.iter().cloned());
+            }
+        }
+        ops
+    });
+    qcu
+}
+
+/// Plain |0..0> initialization: after a QEC slot, gauge-fix the random
+/// X-check outcomes by *tracking* Z corrections in the PFU (the whole
+/// point of the architecture: corrections never reach the PEL).
+fn initialize_logical(
+    qcu: &mut QuantumControlUnit,
+    sim: &mut StabilizerSim,
+    rng: &mut StdRng,
+) {
+    let layout = StarLayout::standard(0);
+    for &d in &layout.data {
+        let commands = qcu.issue(QcuInstruction::Physical(Operation::prep(d)));
+        execute_pel(sim, rng, &commands);
+    }
+    let commands = qcu.issue(QcuInstruction::QecSlot);
+    let results = execute_pel(sim, rng, &commands);
+    let mut x_syndromes = [false; 4];
+    for (q, raw) in results {
+        let mapped = qcu.return_measurement(q, raw);
+        if let Some(i) = layout.x_ancillas.iter().position(|&a| a == q) {
+            x_syndromes[i] = mapped;
+        }
+    }
+    // Decode -1 X checks with the LUT and feed the Z corrections as
+    // *instructions*: the arbiter will absorb them into the PFU.
+    let lut = qpdo_surface17::LutDecoder::for_checks(&StarLayout::x_check_supports(
+        Rotation::Normal,
+    ));
+    let mut pattern = 0u8;
+    for (i, &fired) in x_syndromes.iter().enumerate() {
+        if fired {
+            pattern |= 1 << i;
+        }
+    }
+    for &d in lut.decode(pattern) {
+        let commands = qcu.issue(QcuInstruction::Physical(Operation::gate(
+            Gate::Z,
+            &[layout.data[d]],
+        )));
+        assert!(commands.is_empty(), "Pauli corrections never reach the PEL");
+    }
+}
+
+#[test]
+fn qcu_runs_esm_and_filters_corrections() {
+    let mut rng = StdRng::seed_from_u64(35);
+    let mut sim = StabilizerSim::new(17);
+    let mut qcu = build_qcu();
+    initialize_logical(&mut qcu, &mut sim, &mut rng);
+
+    // Two more QEC slots: with the PFU holding the gauge corrections as
+    // records, the frame-mapped syndromes must read all +1.
+    for _ in 0..2 {
+        let commands = qcu.issue(QcuInstruction::QecSlot);
+        let results = execute_pel(&mut sim, &mut rng, &commands);
+        for (q, raw) in results {
+            let mapped = qcu.return_measurement(q, raw);
+            assert!(
+                !mapped,
+                "syndrome on ancilla {q} should read +1 through the frame"
+            );
+        }
+    }
+    let stats = qcu.arbiter().stats();
+    assert!(stats.tracked_paulis <= 2, "at most one X and one Z record");
+    assert_eq!(stats.flush_gates, 0);
+}
+
+#[test]
+fn qcu_logical_measurement_through_the_lmu() {
+    let mut rng = StdRng::seed_from_u64(36);
+    let mut sim = StabilizerSim::new(17);
+    let mut qcu = build_qcu();
+    initialize_logical(&mut qcu, &mut sim, &mut rng);
+
+    // Apply a logical X as three *tracked* Pauli instructions.
+    let layout = StarLayout::standard(0);
+    for d in [2usize, 4, 6] {
+        let commands = qcu.issue(QcuInstruction::Physical(Operation::gate(
+            Gate::X,
+            &[layout.data[d]],
+        )));
+        assert!(commands.is_empty(), "X_L chain is absorbed by the PFU");
+    }
+
+    // Logical measurement: the LMU collects the 9 frame-corrected data
+    // results and reports odd parity = logical |1>.
+    let commands = qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
+    assert_eq!(commands.len(), 9);
+    let results = execute_pel(&mut sim, &mut rng, &commands);
+    for (q, raw) in results {
+        qcu.return_measurement(q, raw);
+    }
+    assert_eq!(qcu.logical_result(0), Some(true));
+
+    // Cross-check against the physical state: the data qubits were never
+    // touched by the X_L chain, yet the logical result is correct —
+    // because the frame flipped the measurement results classically.
+    let mut z_l = PauliString::identity(17);
+    for q in [0usize, 4, 8] {
+        z_l.set_op(q, Pauli::Z);
+    }
+    // (The state collapsed under measurement; nothing more to check on
+    // the simulator side — the assertion above is the result.)
+    let _ = z_l;
+}
+
+#[test]
+fn qcu_deallocation_stops_qec() {
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut sim = StabilizerSim::new(17);
+    let mut qcu = build_qcu();
+    initialize_logical(&mut qcu, &mut sim, &mut rng);
+    qcu.issue(QcuInstruction::Deallocate { logical: 0 });
+    let commands = qcu.issue(QcuInstruction::QecSlot);
+    assert!(
+        commands.is_empty(),
+        "the cycle generator skips deallocated logical qubits"
+    );
+}

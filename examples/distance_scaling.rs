@@ -1,0 +1,50 @@
+//! The future-work extension: larger-distance rotated surface codes and
+//! the Eq 5.12 bound on what a Pauli frame could ever buy.
+//!
+//! ```sh
+//! cargo run --release --example distance_scaling
+//! ```
+
+use qpdo::core::arch::WindowSchedule;
+use qpdo::surface::experiment::{run_distance_ler, DistanceLerConfig};
+use qpdo::surface::RotatedSurfaceCode;
+
+fn main() {
+    println!("code geometry:");
+    for d in [3usize, 5, 7] {
+        let code = RotatedSurfaceCode::new(d);
+        println!(
+            "  d = {d}: {} data + {} ancilla qubits, ESM = {} ops / 8 slots",
+            code.num_data_qubits(),
+            code.checks().len(),
+            code.esm_circuit().operation_count(),
+        );
+    }
+
+    println!("\nEq 5.12 bound on the frame's relative LER improvement (ts_ESM = 8):");
+    for d in (3..=11).step_by(2) {
+        let bound = WindowSchedule::new(8, d).relative_improvement_upper_bound();
+        println!("  d = {d:>2}: {:.2} %", 100.0 * bound);
+    }
+
+    println!("\nmini LER comparison at p = 3e-3 (10 logical errors per run):");
+    for d in [3usize, 5] {
+        for with_pf in [false, true] {
+            let config = DistanceLerConfig {
+                distance: d,
+                physical_error_rate: 3e-3,
+                with_pauli_frame: with_pf,
+                target_logical_errors: 10,
+                max_windows: 100_000,
+                seed: 7,
+            };
+            let outcome = run_distance_ler(&config).expect("LER run");
+            println!(
+                "  d = {d}, frame = {with_pf:<5}: LER = {:.3e} over {} windows",
+                outcome.ler(),
+                outcome.windows
+            );
+        }
+    }
+    println!("\nexpectation (paper Ch. 6): no LER benefit from the frame at any distance");
+}

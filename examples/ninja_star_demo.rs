@@ -1,0 +1,71 @@
+//! A full Surface Code 17 logical-qubit lifecycle: initialization, error
+//! injection and correction windows, logical gates, and fault-tolerant
+//! measurement — with a Pauli frame watching the corrections go by.
+//!
+//! ```sh
+//! cargo run --example ninja_star_demo
+//! ```
+
+use qpdo::core::{ChpCore, ControlStack, PauliFrameLayer};
+use qpdo::surface17::{NinjaStar, StarLayout};
+
+fn main() {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 17);
+    stack.push_layer(PauliFrameLayer::new());
+    stack.create_qubits(17).expect("one ninja star");
+
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    println!("fresh star properties: {}", star.properties());
+
+    star.initialize_zero(&mut stack).expect("FT initialization");
+    println!("after initialization:  {}", star.properties());
+
+    // Idle error correction: windows of two ESM rounds + decode.
+    println!("\nrunning 3 clean windows:");
+    for i in 0..3 {
+        let report = star.run_window(&mut stack).expect("window");
+        println!(
+            "  window {i}: confirmed X events {:04b}, Z events {:04b}, corrections {}",
+            report.confirmed_x, report.confirmed_z, report.corrections_applied
+        );
+    }
+
+    // Inject a physical error behind the architecture's back and watch
+    // the next window catch it.
+    println!("\ninjecting a physical X error on data qubit D3...");
+    stack
+        .core_mut()
+        .simulator_mut()
+        .expect("simulator")
+        .x(3);
+    let report = star.run_window(&mut stack).expect("window");
+    println!(
+        "  window: confirmed Z-check events {:04b} -> {} correction gate(s)",
+        report.confirmed_z, report.corrections_applied
+    );
+    let pf: &PauliFrameLayer = stack.find_layer().expect("frame layer");
+    println!(
+        "  the correction was absorbed by the Pauli frame (D3 record: {})",
+        pf.record(3)
+    );
+    println!(
+        "  observable errors after the window: {}",
+        star.has_observable_error(&mut stack).expect("diagnostic")
+    );
+
+    // Logical operations.
+    star.apply_logical_x(&mut stack).expect("X_L");
+    println!("\nafter X_L: {}", star.properties());
+    star.apply_logical_h(&mut stack).expect("H_L");
+    println!("after H_L: {} (lattice rotated)", star.properties());
+    star.apply_logical_h(&mut stack).expect("H_L");
+
+    // Fault-tolerant measurement.
+    let outcome = star.measure_logical(&mut stack).expect("M_ZL");
+    println!(
+        "\nlogical measurement: {} (the injected error never touched the logical state)",
+        if outcome { "-1 (|1>_L)" } else { "+1 (|0>_L)" }
+    );
+    println!("final properties: {}", star.properties());
+    assert!(outcome, "|0>_L flipped by X_L measures -1");
+}

@@ -1,0 +1,88 @@
+//! The worked Pauli-frame example of Section 3.4, plus the hardware view
+//! of Section 3.5: the Pauli arbiter deciding, per operation, what
+//! reaches the Physical Execution Layer.
+//!
+//! ```sh
+//! cargo run --example pauli_frame_tracking
+//! ```
+
+use qpdo::circuit::{Gate, Operation};
+use qpdo::core::arch::{PauliArbiter, PelCommand};
+use qpdo::pauli::{Pauli, PauliFrame};
+
+fn show(frame: &PauliFrame) {
+    let records: Vec<String> = frame
+        .iter()
+        .enumerate()
+        .map(|(q, r)| format!("D{q}:{r}"))
+        .collect();
+    println!("    frame: {}", records.join(" "));
+}
+
+fn main() {
+    println!("== Section 3.4: tracking errors on the ninja star's data qubits ==");
+    let mut frame = PauliFrame::new(9);
+
+    println!("[Fig 3.5] initialize: all records reset to I");
+    frame.reset_all();
+    show(&frame);
+
+    println!("[Fig 3.6] decoder reports an X error on D2 and a Z error on D4;");
+    println!("          corrections are *tracked*, not applied:");
+    frame.apply_pauli(2, Pauli::X);
+    frame.apply_pauli(4, Pauli::Z);
+    show(&frame);
+
+    println!("[Fig 3.7] a combined X and Z error on D4: the Xs cancel, Z remains tracked");
+    frame.apply_pauli(4, Pauli::X);
+    frame.apply_pauli(4, Pauli::Z);
+    show(&frame);
+
+    println!("[Fig 3.8] logical Hadamard: H on every data qubit maps X records to Z");
+    for q in 0..9 {
+        frame.apply_h(q);
+    }
+    show(&frame);
+
+    println!("[Fig 3.9] measure all data qubits: Z records never flip results");
+    for q in 0..9 {
+        let flip = frame.measurement_flipped(q);
+        print!("m{q}{} ", if flip { "(flip)" } else { "" });
+    }
+    println!("\n");
+
+    println!("== Section 3.5: the Pauli arbiter's five dispatch flows (Fig 3.12) ==");
+    let mut arbiter = PauliArbiter::new(17);
+    let script = [
+        ("reset", Operation::prep(0)),
+        ("Pauli gate", Operation::gate(Gate::X, &[0])),
+        ("Clifford gate", Operation::gate(Gate::H, &[0])),
+        ("Pauli gate", Operation::gate(Gate::X, &[0])),
+        ("non-Clifford gate", Operation::gate(Gate::T, &[0])),
+        ("measurement", Operation::measure(0)),
+    ];
+    for (label, op) in script {
+        let commands = arbiter.dispatch(&op);
+        let pel: Vec<String> = commands
+            .iter()
+            .map(|PelCommand::Execute(op)| op.to_string())
+            .collect();
+        println!(
+            "{label:<18} {op:<12} -> PEL: [{}]  (record on q0: {})",
+            pel.join(", "),
+            arbiter.pfu().record(0),
+        );
+    }
+    let stats = arbiter.stats();
+    println!(
+        "\narbiter statistics: {} received, {} forwarded, {} Paulis tracked, {} flush gates",
+        stats.received(),
+        stats.forwarded(),
+        stats.tracked_paulis,
+        stats.flush_gates,
+    );
+    println!(
+        "PFU memory for one ninja star: {} bits (2 bits per qubit, Section 3.5.2)",
+        arbiter.pfu().memory_bits()
+    );
+}

@@ -1,0 +1,49 @@
+//! QPDO — Quantum Platform Development framewOrk.
+//!
+//! A production-quality Rust reproduction of *Pauli Frames for Quantum
+//! Computer Architectures* (Riesebos et al., DAC 2017 / TU Delft
+//! CE-MS-2016). This meta-crate re-exports every subsystem so downstream
+//! users (and the examples and integration tests in this repository) can
+//! depend on a single crate:
+//!
+//! - [`pauli`] — Pauli operators, strings, records and frames.
+//! - [`circuit`] — the circuit IR of time slots and operations.
+//! - [`stabilizer`] — the CHP-style Aaronson–Gottesman tableau simulator.
+//! - [`statevector`] — the QX-style universal state-vector simulator.
+//! - [`core`] — the layered control-stack framework, Pauli-frame layer,
+//!   error layer and the Quantum Control Unit / Pauli Frame Unit model.
+//! - [`surface17`] — the Surface Code 17 ("ninja star") logical-qubit
+//!   layer and its rule-based lookup-table decoder.
+//! - [`steane`] — the Steane `[[7,1,3]]` code layer (the paper's
+//!   `SteaneLayer`).
+//! - [`surface`] — generic distance-`d` rotated surface codes with a
+//!   matching decoder (the paper's future-work extension).
+//! - [`stats`] — the statistics used by the evaluation (t-tests,
+//!   coefficients of variation, histograms).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qpdo::core::{ControlStack, PauliFrameLayer, SvCore};
+//! use qpdo::circuit::Circuit;
+//!
+//! let mut stack = ControlStack::with_seed(SvCore::new(), 2017);
+//! stack.push_layer(PauliFrameLayer::new());
+//! stack.create_qubits(2).unwrap();
+//!
+//! let mut circuit = Circuit::new();
+//! circuit.h(0).cnot(0, 1).measure_all(2);
+//! stack.add(circuit).unwrap();
+//! stack.execute().unwrap();
+//! assert_eq!(stack.state().bit(0), stack.state().bit(1)); // Bell correlation
+//! ```
+
+pub use qpdo_circuit as circuit;
+pub use qpdo_core as core;
+pub use qpdo_pauli as pauli;
+pub use qpdo_stabilizer as stabilizer;
+pub use qpdo_statevector as statevector;
+pub use qpdo_stats as stats;
+pub use qpdo_steane as steane;
+pub use qpdo_surface as surface;
+pub use qpdo_surface17 as surface17;

@@ -1,0 +1,151 @@
+//! End-to-end integration tests across every crate, through the public
+//! `qpdo` meta-crate exactly as a downstream user would drive it.
+
+use qpdo::circuit::Circuit;
+use qpdo::core::testbench::{BellStateHistoTb, GateSupportTb};
+use qpdo::core::{
+    ChpCore, ControlStack, CounterLayer, DepolarizingModel, PauliFrameLayer, SvCore,
+};
+use qpdo::pauli::PauliRecord;
+use qpdo::surface17::{NinjaStar, StarLayout};
+
+#[test]
+fn fully_instrumented_stack_runs_a_star() {
+    // The Fig 5.8 stack: counters around a Pauli frame over a noisy CHP
+    // core, driving a ninja star through windows.
+    let below = CounterLayer::new();
+    let below_counts = below.counters();
+    let above = CounterLayer::new();
+    let above_counts = above.counters();
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 99);
+    stack.push_layer(below);
+    stack.push_layer(PauliFrameLayer::new());
+    stack.push_layer(above);
+    stack.set_error_model(DepolarizingModel::new(5e-3));
+    stack.create_qubits(17).unwrap();
+
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).unwrap();
+    // Initialization runs in bypass mode: its gauge corrections are
+    // absorbed by the frame but invisible to the counters.
+    let baseline = stack
+        .find_layer::<PauliFrameLayer>()
+        .unwrap()
+        .filtered_gates();
+    for _ in 0..30 {
+        star.run_window(&mut stack).unwrap();
+        let _ = star.has_observable_error(&mut stack).unwrap();
+    }
+
+    // The frame only ever filters; it never invents work.
+    assert!(below_counts.operations() <= above_counts.operations());
+    assert!(below_counts.time_slots() <= above_counts.time_slots());
+    // Whatever was filtered was Pauli gates.
+    let filtered = above_counts.operations() - below_counts.operations();
+    let pf: &PauliFrameLayer = stack.find_layer().unwrap();
+    assert_eq!(pf.filtered_gates() - baseline, filtered);
+    // The slot saving respects the 1/17 schedule bound of Section 5.3.2.
+    let slot_saving = (above_counts.time_slots() - below_counts.time_slots()) as f64
+        / above_counts.time_slots() as f64;
+    assert!(slot_saving <= 1.0 / 17.0 + 1e-9, "saving {slot_saving}");
+}
+
+#[test]
+fn frame_state_stays_consistent_under_noise() {
+    // After any number of noisy windows, flushing the frame onto the
+    // physical qubits must leave every record I and diagnostics clean or
+    // dirty exactly as before (flush commutes with the tracked view).
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 123);
+    stack.push_layer(PauliFrameLayer::new());
+    stack.set_error_model(DepolarizingModel::new(3e-3));
+    stack.create_qubits(17).unwrap();
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).unwrap();
+    for _ in 0..20 {
+        star.run_window(&mut stack).unwrap();
+    }
+    let before = star.has_observable_error(&mut stack).unwrap();
+    stack.clear_error_model();
+    stack.flush_pauli_frames().unwrap();
+    let pf: &PauliFrameLayer = stack.find_layer().unwrap();
+    assert!(pf.frame().iter().all(|r| r == PauliRecord::I));
+    let after = star.has_observable_error(&mut stack).unwrap();
+    assert_eq!(before, after, "flushing must not change observable status");
+}
+
+#[test]
+fn test_benches_run_on_layered_stacks() {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), 5);
+    stack.push_layer(CounterLayer::new());
+    stack.push_layer(PauliFrameLayer::new());
+    stack.create_qubits(3).unwrap();
+    let report = GateSupportTb.run(&mut stack).unwrap();
+    // The frame layer absorbs Pauli gates, so they are "supported" even
+    // on the Clifford-only core; T flushes then fails at the core.
+    let t_row = report
+        .iter()
+        .find(|r| r.gate == qpdo::circuit::Gate::T)
+        .unwrap();
+    assert!(!t_row.supported);
+    let x_row = report
+        .iter()
+        .find(|r| r.gate == qpdo::circuit::Gate::X)
+        .unwrap();
+    assert!(x_row.supported);
+
+    let mut stack = ControlStack::with_seed(SvCore::new(), 6);
+    stack.push_layer(PauliFrameLayer::new());
+    stack.create_qubits(2).unwrap();
+    let histo = BellStateHistoTb { shots: 32, odd: true }.run(&mut stack).unwrap();
+    assert_eq!(histo.count("|00>") + histo.count("|11>"), 0);
+}
+
+#[test]
+fn circuit_text_roundtrip_through_execution() {
+    let text = "\
+prep_z q0; prep_z q1; prep_z q2
+h q0
+cnot q0,q1
+cnot q1,q2
+x q0
+measure q0; measure q1; measure q2
+";
+    let circuit: Circuit = text.parse().unwrap();
+    for seed in 0..8 {
+        // Individual outcomes are random coin flips and the frame maps
+        // raw coins through the tracked X, so only the *correlations* are
+        // comparable: q0 opposite to q1 = q2 in every stack.
+        let mut plain = ControlStack::with_seed(ChpCore::new(), seed);
+        plain.create_qubits(3).unwrap();
+        plain.execute_now(circuit.clone()).unwrap();
+        assert_ne!(plain.state().bit(0), plain.state().bit(1));
+        assert_eq!(plain.state().bit(1), plain.state().bit(2));
+
+        let mut framed = ControlStack::with_seed(ChpCore::new(), seed);
+        framed.push_layer(PauliFrameLayer::new());
+        framed.create_qubits(3).unwrap();
+        framed.execute_now(circuit.clone()).unwrap();
+        assert_ne!(framed.state().bit(0), framed.state().bit(1));
+        assert_eq!(framed.state().bit(1), framed.state().bit(2));
+    }
+}
+
+#[test]
+fn two_backends_agree_on_logical_init() {
+    // The same ninja-star initialization on CHP and the state-vector
+    // core ends in states with the same logical value and clean
+    // syndromes.
+    let mut chp = ControlStack::with_seed(ChpCore::new(), 77);
+    chp.create_qubits(17).unwrap();
+    let mut star_chp = NinjaStar::new(StarLayout::standard(0));
+    star_chp.initialize_zero(&mut chp).unwrap();
+    assert!(!star_chp.has_observable_error(&mut chp).unwrap());
+    assert!(!star_chp.measure_logical(&mut chp).unwrap());
+
+    let mut sv = ControlStack::with_seed(SvCore::new(), 77);
+    sv.create_qubits(17).unwrap();
+    let mut star_sv = NinjaStar::new(StarLayout::standard(0));
+    star_sv.initialize_zero(&mut sv).unwrap();
+    assert!(!star_sv.has_observable_error(&mut sv).unwrap());
+    assert!(!star_sv.measure_logical(&mut sv).unwrap());
+}

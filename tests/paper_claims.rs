@@ -1,0 +1,97 @@
+//! The paper's headline claims, asserted end-to-end at test scale.
+
+use qpdo::core::arch::WindowSchedule;
+use qpdo::stats::independent_t_test;
+use qpdo::surface17::experiment::{run_ler, LerConfig, LogicalErrorKind};
+
+fn ler_samples(p: f64, with_pf: bool, reps: u64) -> Vec<f64> {
+    (0..reps)
+        .map(|rep| {
+            let config = LerConfig {
+                physical_error_rate: p,
+                kind: LogicalErrorKind::XL,
+                with_pauli_frame: with_pf,
+                target_logical_errors: 8,
+                max_windows: 60_000,
+                seed: 31 + rep,
+            };
+            run_ler(&config).expect("LER run").ler()
+        })
+        .collect()
+}
+
+/// Claim 1 (Chapter 6): "a Pauli frame does not improve the LER of a
+/// SC17 logical qubit". At test scale: the two samples are not
+/// significantly different.
+#[test]
+fn pauli_frame_does_not_change_the_ler() {
+    let without = ler_samples(4e-3, false, 5);
+    let with = ler_samples(4e-3, true, 5);
+    let t = independent_t_test(&without, &with).expect("t-test");
+    assert!(
+        t.p_value > 0.05,
+        "unexpectedly significant difference: rho = {}, {:?} vs {:?}",
+        t.p_value,
+        without,
+        with
+    );
+}
+
+/// Claim 2 (Section 3.3 / Fig 3.3): the frame removes correction slots,
+/// relaxing the schedule — bounded by one slot per window.
+#[test]
+fn frame_saves_schedule_time_within_the_bound() {
+    let config = LerConfig {
+        physical_error_rate: 8e-3,
+        kind: LogicalErrorKind::XL,
+        with_pauli_frame: true,
+        target_logical_errors: 10,
+        max_windows: 30_000,
+        seed: 90,
+    };
+    let outcome = run_ler(&config).expect("LER run");
+    let saved = outcome.saved_time_slots();
+    assert!(saved > 0.0, "the frame saved nothing at a high error rate");
+    assert!(saved <= 1.0 / 17.0 + 1e-9, "saving {saved} above the bound");
+    assert!(outcome.saved_operations() > 0.0);
+    assert!(outcome.ops_below_frame < outcome.ops_above_frame);
+}
+
+/// Claim 3 (Eq 5.12 / Fig 5.27): the bound on the relative improvement
+/// converges to zero with distance, so larger codes gain nothing either.
+#[test]
+fn improvement_bound_vanishes_with_distance() {
+    let bounds: Vec<f64> = (3..=15)
+        .step_by(2)
+        .map(|d| WindowSchedule::new(8, d).relative_improvement_upper_bound())
+        .collect();
+    assert!((bounds[0] - 1.0 / 17.0).abs() < 1e-12);
+    for pair in bounds.windows(2) {
+        assert!(pair[1] < pair[0]);
+    }
+    assert!(*bounds.last().unwrap() < 0.01);
+}
+
+/// Claim 4 (Section 5.3.2): the LER grows superlinearly in `p` below the
+/// pseudo-threshold — halving `p` more than halves the LER.
+#[test]
+fn ler_scales_superlinearly_below_threshold() {
+    let sample = |p: f64| -> f64 {
+        let config = LerConfig {
+            physical_error_rate: p,
+            kind: LogicalErrorKind::XL,
+            with_pauli_frame: false,
+            target_logical_errors: 12,
+            max_windows: 400_000,
+            seed: 300,
+        };
+        run_ler(&config).expect("LER run").ler()
+    };
+    let high = sample(2e-3);
+    let low = sample(5e-4);
+    // Quadratic scaling predicts a factor 16; demand well beyond linear.
+    assert!(
+        high / low > 6.0,
+        "LER(2e-3) = {high:.3e}, LER(5e-4) = {low:.3e}: scaling looks linear"
+    );
+}
