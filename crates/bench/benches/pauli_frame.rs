@@ -2,17 +2,17 @@
 //! hardware Pauli Frame Unit would implement (Section 3.5.2), the
 //! arbiter dispatch path, and the frame layer's circuit transform.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qpdo_bench::harness::Harness;
 use qpdo_circuit::{Gate, Operation};
 use qpdo_core::arch::PauliArbiter;
 use qpdo_core::testbench::random_circuit;
 use qpdo_core::{Layer, LayerContext, PauliFrameLayer};
 use qpdo_pauli::{Pauli, PauliFrame, PauliRecord};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
 use std::hint::black_box;
 
-fn record_mapping(c: &mut Criterion) {
+fn record_mapping(c: &mut Harness) {
     let mut group = c.benchmark_group("record_mapping");
     group.bench_function("cnot_table_all_pairs", |b| {
         b.iter(|| {
@@ -36,7 +36,7 @@ fn record_mapping(c: &mut Criterion) {
     group.finish();
 }
 
-fn arbiter_dispatch(c: &mut Criterion) {
+fn arbiter_dispatch(c: &mut Harness) {
     let mut group = c.benchmark_group("arbiter_dispatch");
     let pauli_op = Operation::gate(Gate::X, &[3]);
     let clifford_op = Operation::gate(Gate::Cnot, &[3, 7]);
@@ -51,7 +51,7 @@ fn arbiter_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-fn frame_layer_transform(c: &mut Criterion) {
+fn frame_layer_transform(c: &mut Harness) {
     let mut group = c.benchmark_group("frame_layer_transform");
     let mut rng = StdRng::seed_from_u64(1);
     let circuit = random_circuit(10, 1000, &mut rng);
@@ -70,5 +70,10 @@ fn frame_layer_transform(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, record_mapping, arbiter_dispatch, frame_layer_transform);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    record_mapping(&mut harness);
+    arbiter_dispatch(&mut harness);
+    frame_layer_transform(&mut harness);
+    harness.finish();
+}

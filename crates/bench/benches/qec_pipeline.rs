@@ -3,15 +3,15 @@
 //! end-to-end cost behind every LER data point, and the ablation that
 //! shows the frame's filtering does not slow the classical pipeline).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qpdo_bench::harness::{BatchSize, Harness};
 use qpdo_core::{ChpCore, ControlStack, DepolarizingModel, PauliFrameLayer};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
 use qpdo_surface::{CheckKind, MatchingDecoder, RotatedSurfaceCode};
 use qpdo_surface17::{esm_circuit, DanceMode, LutDecoder, NinjaStar, Rotation, StarLayout};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn esm_generation(c: &mut Criterion) {
+fn esm_generation(c: &mut Harness) {
     let mut group = c.benchmark_group("esm_generation");
     let layout = StarLayout::standard(0);
     group.bench_function("sc17", |b| {
@@ -26,7 +26,7 @@ fn esm_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn decoders(c: &mut Criterion) {
+fn decoders(c: &mut Harness) {
     let mut group = c.benchmark_group("decoders");
     group.bench_function("sc17_lut_build", |b| {
         let checks = StarLayout::z_check_supports(Rotation::Normal);
@@ -76,7 +76,7 @@ fn window_setup(with_pf: bool, p: f64, seed: u64) -> (ControlStack<ChpCore>, Nin
     (stack, star)
 }
 
-fn full_windows(c: &mut Criterion) {
+fn full_windows(c: &mut Harness) {
     let mut group = c.benchmark_group("full_windows");
     group.sample_size(20);
     for (label, with_pf) in [("no_frame", false), ("with_frame", true)] {
@@ -95,5 +95,10 @@ fn full_windows(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, esm_generation, decoders, full_windows);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    esm_generation(&mut harness);
+    decoders(&mut harness);
+    full_windows(&mut harness);
+    harness.finish();
+}

@@ -1,14 +1,14 @@
 //! B1–B2: throughput of the two simulation back-ends — the substrate
 //! performance that makes the Monte Carlo LER sweeps feasible.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qpdo_bench::harness::{BatchSize, Harness};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
 use qpdo_stabilizer::StabilizerSim;
 use qpdo_statevector::StateVector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn tableau_gates(c: &mut Criterion) {
+fn tableau_gates(c: &mut Harness) {
     let mut group = c.benchmark_group("tableau_gates");
     for n in [17usize, 49, 97] {
         group.bench_function(format!("cnot_chain_n{n}"), |b| {
@@ -33,7 +33,7 @@ fn tableau_gates(c: &mut Criterion) {
     group.finish();
 }
 
-fn tableau_measurement(c: &mut Criterion) {
+fn tableau_measurement(c: &mut Harness) {
     let mut group = c.benchmark_group("tableau_measurement");
     for n in [17usize, 49] {
         group.bench_function(format!("measure_ghz_n{n}"), |b| {
@@ -58,7 +58,7 @@ fn tableau_measurement(c: &mut Criterion) {
     group.finish();
 }
 
-fn statevector_gates(c: &mut Criterion) {
+fn statevector_gates(c: &mut Harness) {
     let mut group = c.benchmark_group("statevector_gates");
     for n in [10usize, 17] {
         group.bench_function(format!("h_layer_n{n}"), |b| {
@@ -83,10 +83,10 @@ fn statevector_gates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    tableau_gates,
-    tableau_measurement,
-    statevector_gates
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    tableau_gates(&mut harness);
+    tableau_measurement(&mut harness);
+    statevector_gates(&mut harness);
+    harness.finish();
+}

@@ -36,10 +36,7 @@ fn main() {
                         with_pauli_frame: with_pf,
                         target_logical_errors: target,
                         max_windows,
-                        seed: args.seed
-                            + 10_000 * d as u64
-                            + 100 * rep as u64
-                            + u64::from(with_pf),
+                        seed: args.seed + 10_000 * d as u64 + 100 * rep as u64 + u64::from(with_pf),
                     };
                     let outcome: DistanceLerOutcome =
                         run_distance_ler(&config).expect("distance LER run");

@@ -81,7 +81,11 @@ fn main() {
     );
 
     println!();
-    let distances: &[usize] = if args.full { &[3, 5, 7, 9, 11] } else { &[3, 5, 7] };
+    let distances: &[usize] = if args.full {
+        &[3, 5, 7, 9, 11]
+    } else {
+        &[3, 5, 7]
+    };
     let mut rows = Vec::new();
     for &d in distances {
         let code = RotatedSurfaceCode::new(d);

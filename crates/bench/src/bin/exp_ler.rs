@@ -56,7 +56,11 @@ fn main() {
         sci(points[points.len() - 1]),
         reps,
         target,
-        if args.full { " (paper scale)" } else { " (quick)" },
+        if args.full {
+            " (paper scale)"
+        } else {
+            " (quick)"
+        },
     );
 
     let mut sweep: Vec<SweepPoint> = Vec::new();

@@ -57,15 +57,12 @@ fn listings(args: &HarnessArgs) {
         let sim = stack.core().simulator().expect("qubits");
         let data: Vec<usize> = (0..9).collect();
         let amps = sim.partial_state(&data, 1e-9).expect("factorizes");
-        let ok = amps
-            .iter()
-            .enumerate()
-            .all(|(idx, a)| {
-                let in_support = (a.norm() - 0.25).abs() < 1e-9;
-                let zero = a.norm() < 1e-9;
-                let even_parity = (idx.count_ones() % 2) == 0;
-                (in_support && even_parity) || zero
-            });
+        let ok = amps.iter().enumerate().all(|(idx, a)| {
+            let in_support = (a.norm() - 0.25).abs() < 1e-9;
+            let zero = a.norm() < 1e-9;
+            let even_parity = (idx.count_ones() % 2) == 0;
+            (in_support && even_parity) || zero
+        });
         all_match &= ok;
     }
     println!(
@@ -133,7 +130,12 @@ fn cnot_truth_table(args: &HarnessArgs) {
             basis_label(ca, cb),
             basis_label(ea, eb),
             basis_label(ra, rb),
-            if ra == ea && rb == eb { "ok" } else { "MISMATCH" }.into(),
+            if ra == ea && rb == eb {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .into(),
         ]);
     }
     println!();
@@ -145,7 +147,10 @@ fn cnot_truth_table(args: &HarnessArgs) {
             &rows,
         )
     );
-    println!("Table 5.5 verification: {}", if all_ok { "PASS" } else { "FAIL" });
+    println!(
+        "Table 5.5 verification: {}",
+        if all_ok { "PASS" } else { "FAIL" }
+    );
 }
 
 fn cz_truth_table(args: &HarnessArgs) {
@@ -179,7 +184,12 @@ fn cz_truth_table(args: &HarnessArgs) {
             basis_label(ca, cb),
             format!("{}{}", basis_label(ca, cb), phase_note),
             basis_label(ra, rb),
-            if ra == ca && rb == cb { "ok" } else { "MISMATCH" }.into(),
+            if ra == ca && rb == cb {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .into(),
         ]);
     }
     println!();
@@ -191,7 +201,10 @@ fn cz_truth_table(args: &HarnessArgs) {
             &rows,
         )
     );
-    println!("Table 5.6 verification: {}", if all_ok { "PASS" } else { "FAIL" });
+    println!(
+        "Table 5.6 verification: {}",
+        if all_ok { "PASS" } else { "FAIL" }
+    );
 }
 
 /// Demonstrates the `−1` of Table 5.6 relationally: `CZ_L` on
@@ -230,7 +243,11 @@ fn cz_phase_interference(args: &HarnessArgs) {
         println!(
             "CZ_L on |+>_L |{}>_L: control becomes {control_state} (expected {expected}) {}",
             u8::from(target_one),
-            if control_state == expected { "ok" } else { "MISMATCH" }
+            if control_state == expected {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

@@ -21,7 +21,9 @@ fn run(shots: u64, with_frame: bool, seed: u64) -> Histogram {
         if with_frame {
             stack.push_layer(PauliFrameLayer::new());
         }
-        stack.create_qubits(26).expect("two stars + shared ancillas");
+        stack
+            .create_qubits(26)
+            .expect("two stars + shared ancillas");
         let mut a = NinjaStar::new(StarLayout::with_shared_ancillas(0, 18));
         let mut b = NinjaStar::new(StarLayout::with_shared_ancillas(9, 18));
         // |+>_L |0>_L, then CNOT_L, then X_L on the control (Fig 5.6).

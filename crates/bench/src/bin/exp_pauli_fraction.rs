@@ -10,8 +10,8 @@
 use qpdo_bench::{render_table, HarnessArgs};
 use qpdo_circuit::Circuit;
 use qpdo_core::testbench::random_circuit;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
 
 /// A block of "useful computation": a dense Clifford+T kernel on four
 /// qubits (the dominant content of compiled programs).
@@ -26,7 +26,9 @@ fn compute_block(c: &mut Circuit, base: usize, layers: usize, rng: &mut StdRng) 
                 _ => c.sdg(q),
             };
         }
-        c.cnot(base, base + 1).cnot(base + 2, base + 3).cnot(base + 1, base + 2);
+        c.cnot(base, base + 1)
+            .cnot(base + 2, base + 3)
+            .cnot(base + 1, base + 2);
     }
 }
 
@@ -115,8 +117,7 @@ fn main() {
     let mut csv_rows = Vec::new();
     for (name, circuit) in &workloads {
         let census = circuit.census();
-        let gates =
-            census.pauli_gates + census.clifford_gates + census.non_clifford_gates;
+        let gates = census.pauli_gates + census.clifford_gates + census.non_clifford_gates;
         let fraction = 100.0 * circuit.pauli_gate_fraction();
         rows.push(vec![
             (*name).to_owned(),

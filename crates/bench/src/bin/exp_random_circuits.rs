@@ -10,9 +10,9 @@
 use qpdo_bench::HarnessArgs;
 use qpdo_core::testbench::random_circuit;
 use qpdo_core::{ControlStack, PauliFrameLayer, SvCore};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
 use qpdo_statevector::{Complex, StateVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn state_dump(stack: &ControlStack<SvCore>) -> String {
     let dump = stack.quantum_state().expect("quantum state");
@@ -90,9 +90,7 @@ fn main() {
         (25u64, 5usize, 200usize)
     };
     println!();
-    println!(
-        "== test bench: {iterations} random circuits, {qubits} qubits, {gates} gates each =="
-    );
+    println!("== test bench: {iterations} random circuits, {qubits} qubits, {gates} gates each ==");
     let mut matches = 0u64;
     let mut filtered_total = 0u64;
     for i in 0..iterations {
@@ -129,14 +127,14 @@ fn main() {
             matches += 1;
         }
     }
-    println!(
-        "{matches}/{iterations} circuits: framed state equals reference up to global phase"
-    );
-    println!(
-        "{filtered_total} Pauli gates were tracked classically instead of being executed"
-    );
+    println!("{matches}/{iterations} circuits: framed state equals reference up to global phase");
+    println!("{filtered_total} Pauli gates were tracked classically instead of being executed");
     println!(
         "Pauli frame working mechanism: {}",
-        if matches == iterations { "VERIFIED (matches Section 5.2.2)" } else { "FAILED" }
+        if matches == iterations {
+            "VERIFIED (matches Section 5.2.2)"
+        } else {
+            "FAILED"
+        }
     );
 }

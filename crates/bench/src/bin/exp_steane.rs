@@ -60,8 +60,7 @@ fn verify_logical_ops(args: &HarnessArgs) {
         .expect("CNOT_L");
     checks.push((
         "CNOT_L |10>_L -> |11>_L",
-        a.measure_logical(&mut stack).expect("A")
-            && b.measure_logical(&mut stack).expect("B"),
+        a.measure_logical(&mut stack).expect("A") && b.measure_logical(&mut stack).expect("B"),
     ));
 
     let mut all_ok = true;
@@ -101,8 +100,7 @@ fn ler_comparison(args: &HarnessArgs) {
                 samples[idx].push(outcome.ler());
                 if with_pf && outcome.slots_above_frame > 0 {
                     saved.push(
-                        100.0 * (outcome.slots_above_frame - outcome.slots_below_frame)
-                            as f64
+                        100.0 * (outcome.slots_above_frame - outcome.slots_below_frame) as f64
                             / outcome.slots_above_frame as f64,
                     );
                 }
@@ -131,7 +129,11 @@ fn ler_comparison(args: &HarnessArgs) {
             &rows,
         )
     );
-    args.write_csv("steane_ler.csv", "per,ler_no_pf,ler_pf,slots_saved_pct", &csv_rows);
+    args.write_csv(
+        "steane_ler.csv",
+        "per,ler_no_pf,ler_pf,slots_saved_pct",
+        &csv_rows,
+    );
     println!(
         "note: bare-ancilla Steane extraction is not hook-fault-tolerant (LER ~ p, see the \
          qpdo-steane docs); the with/without-frame comparison is unaffected"

@@ -26,7 +26,12 @@ fn main() {
         "{}",
         render_table(
             "Fig 5.27: upper bound on the relative LER improvement (ts_ESM = 8)",
-            &["distance", "window slots (no PF)", "window slots (PF)", "bound"],
+            &[
+                "distance",
+                "window slots (no PF)",
+                "window slots (PF)",
+                "bound"
+            ],
             &rows,
         )
     );

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -43,16 +45,14 @@ impl HarnessArgs {
                 "--quick" => args.full = false,
                 "--out" => {
                     args.out_dir = PathBuf::from(
-                        iter.next().unwrap_or_else(|| usage("--out needs a directory")),
+                        iter.next()
+                            .unwrap_or_else(|| usage("--out needs a directory")),
                     );
                 }
                 "--seed" => {
-                    args.seed = iter
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            usage("--seed needs an integer");
-                        });
+                    args.seed = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        usage("--seed needs an integer");
+                    });
                 }
                 "--help" | "-h" => {
                     usage("");

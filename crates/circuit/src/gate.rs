@@ -178,7 +178,14 @@ mod tests {
         assert_eq!(Gate::X.kind(), GateKind::Pauli);
         assert_eq!(Gate::Y.kind(), GateKind::Pauli);
         assert_eq!(Gate::Z.kind(), GateKind::Pauli);
-        for g in [Gate::H, Gate::S, Gate::Sdg, Gate::Cnot, Gate::Cz, Gate::Swap] {
+        for g in [
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::Swap,
+        ] {
             assert_eq!(g.kind(), GateKind::Clifford, "{g}");
         }
         for g in [Gate::T, Gate::Tdg, Gate::Toffoli] {

@@ -127,7 +127,11 @@ impl Operation {
     /// The largest qubit index the operation touches.
     #[must_use]
     pub fn max_qubit(&self) -> usize {
-        *self.qubits.iter().max().expect("operations touch >=1 qubit")
+        *self
+            .qubits
+            .iter()
+            .max()
+            .expect("operations touch >=1 qubit")
     }
 }
 

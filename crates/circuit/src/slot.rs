@@ -53,9 +53,7 @@ impl TimeSlot {
     /// Whether any operation in the slot touches qubit `q`.
     #[must_use]
     pub fn uses_qubit(&self, q: usize) -> bool {
-        self.operations
-            .iter()
-            .any(|op| op.qubits().contains(&q))
+        self.operations.iter().any(|op| op.qubits().contains(&q))
     }
 
     /// Whether `op` can be added without violating the one-op-per-qubit

@@ -50,9 +50,9 @@ impl fmt::Display for ParseCircuitError {
 impl std::error::Error for ParseCircuitError {}
 
 fn parse_qubit(token: &str, line: usize) -> Result<usize, ParseCircuitError> {
-    let digits = token
-        .strip_prefix('q')
-        .ok_or_else(|| ParseCircuitError::new(line, format!("expected qubit operand, got {token:?}")))?;
+    let digits = token.strip_prefix('q').ok_or_else(|| {
+        ParseCircuitError::new(line, format!("expected qubit operand, got {token:?}"))
+    })?;
     digits
         .parse()
         .map_err(|_| ParseCircuitError::new(line, format!("invalid qubit index {digits:?}")))
@@ -87,7 +87,11 @@ fn parse_operation(text: &str, line: usize) -> Result<Operation, ParseCircuitErr
             if qubits.len() != gate.arity() {
                 return Err(ParseCircuitError::new(
                     line,
-                    format!("{name} takes {} qubit(s), got {}", gate.arity(), qubits.len()),
+                    format!(
+                        "{name} takes {} qubit(s), got {}",
+                        gate.arity(),
+                        qubits.len()
+                    ),
                 ));
             }
             Ok(Operation::gate(gate, &qubits))

@@ -32,15 +32,13 @@ impl ArbiterStats {
     /// Total operations received from the execution controller.
     #[must_use]
     pub fn received(&self) -> u64 {
-        self.resets + self.measurements + self.tracked_paulis + self.cliffords
-            + self.non_cliffords
+        self.resets + self.measurements + self.tracked_paulis + self.cliffords + self.non_cliffords
     }
 
     /// Total operations forwarded to the PEL.
     #[must_use]
     pub fn forwarded(&self) -> u64 {
-        self.resets + self.measurements + self.cliffords + self.non_cliffords
-            + self.flush_gates
+        self.resets + self.measurements + self.cliffords + self.non_cliffords + self.flush_gates
     }
 }
 

@@ -21,8 +21,8 @@ mod qcu;
 mod schedule;
 
 pub use arbiter::{ArbiterStats, PauliArbiter, PelCommand};
-pub use pfu::{PfuOutcome, PauliFrameUnit};
+pub use pfu::{PauliFrameUnit, PfuOutcome};
 pub use qcu::{
-    LogicMeasurementUnit, LogicalQubitEntry, QcuInstruction, QSymbolTable, QuantumControlUnit,
+    LogicMeasurementUnit, LogicalQubitEntry, QSymbolTable, QcuInstruction, QuantumControlUnit,
 };
 pub use schedule::WindowSchedule;

@@ -134,9 +134,11 @@ impl LogicMeasurementUnit {
     /// `outcome` is `true` for logical `|1⟩` (odd parity, i.e. product
     /// `-1`).
     pub fn feed(&mut self, physical_qubit: usize, result: bool) -> Option<(usize, bool)> {
-        let logical = *self.pending.iter().find(|(_, p)| {
-            p.awaiting.contains(&physical_qubit)
-        })?.0;
+        let logical = *self
+            .pending
+            .iter()
+            .find(|(_, p)| p.awaiting.contains(&physical_qubit))?
+            .0;
         let entry = self.pending.get_mut(&logical).expect("just found");
         entry.awaiting.retain(|&q| q != physical_qubit);
         entry.parity ^= result;
@@ -268,7 +270,9 @@ impl QuantumControlUnit {
                     Some(generator) => generator(&self.symbol_table),
                     None => Vec::new(),
                 };
-                ops.iter().flat_map(|op| self.arbiter.dispatch(op)).collect()
+                ops.iter()
+                    .flat_map(|op| self.arbiter.dispatch(op))
+                    .collect()
             }
             QcuInstruction::LogicalMeasure { logical } => {
                 let Some(entry) = self.symbol_table.entry(logical) else {
@@ -345,7 +349,7 @@ mod tests {
         qcu.symbol_table_mut().allocate(0, vec![0, 1, 2], vec![3]);
         let pel = qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
         assert_eq!(pel.len(), 3); // three physical measurements
-        // Return raw results: even parity -> logical |0>.
+                                  // Return raw results: even parity -> logical |0>.
         qcu.return_measurement(0, true);
         qcu.return_measurement(1, true);
         assert_eq!(qcu.logical_result(0), None);

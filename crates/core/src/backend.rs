@@ -1,7 +1,7 @@
 use qpdo_circuit::{Gate, Operation, OperationKind};
+use qpdo_rng::RngCore;
 use qpdo_stabilizer::StabilizerSim;
 use qpdo_statevector::StateVector;
-use rand::RngCore;
 
 use crate::{CoreError, QuantumState};
 
@@ -39,11 +39,7 @@ pub trait Core {
     /// # Errors
     ///
     /// Returns an error for unsupported gates or out-of-range qubits.
-    fn apply(
-        &mut self,
-        op: &Operation,
-        rng: &mut dyn RngCore,
-    ) -> Result<Option<bool>, CoreError>;
+    fn apply(&mut self, op: &Operation, rng: &mut dyn RngCore) -> Result<Option<bool>, CoreError>;
 
     /// The quantum-state dump, if the back-end supports one.
     ///
@@ -132,11 +128,7 @@ impl Core for ChpCore {
         !gate.is_non_clifford()
     }
 
-    fn apply(
-        &mut self,
-        op: &Operation,
-        rng: &mut dyn RngCore,
-    ) -> Result<Option<bool>, CoreError> {
+    fn apply(&mut self, op: &Operation, rng: &mut dyn RngCore) -> Result<Option<bool>, CoreError> {
         let allocated = self.num_qubits();
         check_qubits(op, allocated)?;
         let sim = self.sim.as_mut().ok_or(CoreError::NoQubits)?;
@@ -246,11 +238,7 @@ impl Core for SvCore {
         true
     }
 
-    fn apply(
-        &mut self,
-        op: &Operation,
-        rng: &mut dyn RngCore,
-    ) -> Result<Option<bool>, CoreError> {
+    fn apply(&mut self, op: &Operation, rng: &mut dyn RngCore) -> Result<Option<bool>, CoreError> {
         let allocated = self.num_qubits();
         check_qubits(op, allocated)?;
         let sim = self.sim.as_mut().ok_or(CoreError::NoQubits)?;
@@ -291,8 +279,8 @@ impl Core for SvCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
@@ -306,7 +294,8 @@ mod tests {
         core.create_qubits(2).unwrap();
         assert_eq!(core.num_qubits(), 2);
         let mut rng = rng();
-        core.apply(&Operation::gate(Gate::X, &[0]), &mut rng).unwrap();
+        core.apply(&Operation::gate(Gate::X, &[0]), &mut rng)
+            .unwrap();
         let m = core
             .apply(&Operation::measure(0), &mut rng)
             .unwrap()
@@ -341,9 +330,7 @@ mod tests {
     fn out_of_range_reported() {
         let mut core = ChpCore::new();
         core.create_qubits(2).unwrap();
-        let err = core
-            .apply(&Operation::measure(5), &mut rng())
-            .unwrap_err();
+        let err = core.apply(&Operation::measure(5), &mut rng()).unwrap_err();
         assert_eq!(
             err,
             CoreError::QubitOutOfRange {
@@ -385,7 +372,8 @@ mod tests {
         let mut rng = rng();
         let mut chp = ChpCore::new();
         chp.create_qubits(1).unwrap();
-        chp.apply(&Operation::gate(Gate::H, &[0]), &mut rng).unwrap();
+        chp.apply(&Operation::gate(Gate::H, &[0]), &mut rng)
+            .unwrap();
         let dump = chp.quantum_state().unwrap();
         assert!(dump.stabilizers().is_some());
 

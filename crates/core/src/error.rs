@@ -47,7 +47,10 @@ impl fmt::Display for CoreError {
                 write!(f, "unsupported deallocation: {msg}")
             }
             CoreError::RegisterTooLarge { requested, maximum } => {
-                write!(f, "requested {requested} qubits, back-end maximum is {maximum}")
+                write!(
+                    f,
+                    "requested {requested} qubits, back-end maximum is {maximum}"
+                )
             }
         }
     }

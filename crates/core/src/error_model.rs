@@ -1,5 +1,5 @@
 use qpdo_pauli::Pauli;
-use rand::Rng;
+use qpdo_rng::Rng;
 
 /// Counters of injected errors, readable after an experiment.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,10 +37,10 @@ impl ErrorCounts {
 ///
 /// ```
 /// use qpdo_core::DepolarizingModel;
-/// use rand::SeedableRng;
+/// use qpdo_rng::SeedableRng;
 ///
 /// let mut model = DepolarizingModel::new(0.5);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = qpdo_rng::rngs::StdRng::seed_from_u64(1);
 /// let mut hits = 0;
 /// for _ in 0..1000 {
 ///     if model.sample_single(&mut rng).is_some() {
@@ -120,7 +120,10 @@ impl DepolarizingModel {
         self.counts.two_qubit += 1;
         // Index 1..=15 over the 4x4 grid skips (I, I) at index 0.
         let idx = rng.gen_range(1..16u8);
-        Some((Pauli::ALL[(idx / 4) as usize], Pauli::ALL[(idx % 4) as usize]))
+        Some((
+            Pauli::ALL[(idx / 4) as usize],
+            Pauli::ALL[(idx % 4) as usize],
+        ))
     }
 
     /// Samples whether a measurement suffers an X error (probability `p`).
@@ -137,8 +140,8 @@ impl DepolarizingModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     #[test]
     fn zero_rate_never_errors() {

@@ -1,7 +1,7 @@
 use std::any::Any;
 
 use qpdo_circuit::Circuit;
-use rand::rngs::StdRng;
+use qpdo_rng::rngs::StdRng;
 
 /// Execution context handed to layers while a circuit travels down the
 /// stack.
@@ -64,11 +64,7 @@ mod tests {
         fn name(&self) -> &str {
             "passthrough"
         }
-        fn process_circuit(
-            &mut self,
-            circuit: Circuit,
-            _ctx: &mut LayerContext<'_>,
-        ) -> Circuit {
+        fn process_circuit(&mut self, circuit: Circuit, _ctx: &mut LayerContext<'_>) -> Circuit {
             circuit
         }
         fn as_any(&self) -> &dyn Any {
@@ -81,7 +77,7 @@ mod tests {
 
     #[test]
     fn default_methods() {
-        use rand::SeedableRng;
+        use qpdo_rng::SeedableRng;
         let mut layer = Passthrough;
         assert!(layer.process_measurement(0, true));
         assert!(!layer.process_measurement(3, false));

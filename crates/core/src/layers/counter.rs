@@ -182,8 +182,8 @@ impl Layer for CounterLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     fn ctx(rng: &mut StdRng, bypass: bool) -> LayerContext<'_> {
         LayerContext { rng, bypass }

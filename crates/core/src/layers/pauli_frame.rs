@@ -150,9 +150,7 @@ impl PauliFrameLayer {
                         self.frame.apply_swap(q[0], q[1]);
                         (Vec::new(), true)
                     }
-                    Gate::T | Gate::Tdg | Gate::Toffoli => {
-                        (self.flush_slots(q), true)
-                    }
+                    Gate::T | Gate::Tdg | Gate::Toffoli => (self.flush_slots(q), true),
                 }
             }
         }
@@ -259,8 +257,8 @@ impl Layer for PauliFrameLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     fn process(layer: &mut PauliFrameLayer, circuit: Circuit) -> Circuit {
         let mut rng = StdRng::seed_from_u64(0);

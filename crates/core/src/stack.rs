@@ -1,11 +1,11 @@
 use qpdo_circuit::{Circuit, Gate, Operation, OperationKind, TimeSlot};
 use qpdo_pauli::Pauli;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
 
 use crate::{
-    BitState, Core, CoreError, DepolarizingModel, ErrorCounts, Layer, LayerContext,
-    QuantumState, State,
+    BitState, Core, CoreError, DepolarizingModel, ErrorCounts, Layer, LayerContext, QuantumState,
+    State,
 };
 
 /// A QPDO control stack: a simulation [`Core`] plus stacked [`Layer`]s
@@ -411,7 +411,11 @@ impl<C: Core> std::fmt::Debug for ControlStack<C> {
             .field("core", &self.core.name())
             .field(
                 "layers",
-                &self.layers.iter().map(|l| l.name().to_owned()).collect::<Vec<_>>(),
+                &self
+                    .layers
+                    .iter()
+                    .map(|l| l.name().to_owned())
+                    .collect::<Vec<_>>(),
             )
             .field("queued", &self.queued.len())
             .field("qubits", &self.num_qubits())

@@ -5,8 +5,8 @@
 //! core and layers the stack contains, exactly as in the paper.
 
 use qpdo_circuit::{Circuit, Gate, Operation};
+use qpdo_rng::Rng;
 use qpdo_stats::Histogram;
-use rand::Rng;
 
 use crate::{BitState, ControlStack, Core, CoreError};
 
@@ -167,8 +167,8 @@ pub fn measure_all<C: Core>(
 mod tests {
     use super::*;
     use crate::{ChpCore, PauliFrameLayer, SvCore};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     #[test]
     fn random_circuit_respects_size() {
@@ -193,9 +193,12 @@ mod tests {
     fn bell_tb_even_outcomes() {
         let mut stack = ControlStack::with_seed(ChpCore::new(), 22);
         stack.create_qubits(2).unwrap();
-        let histo = BellStateHistoTb { shots: 64, odd: false }
-            .run(&mut stack)
-            .unwrap();
+        let histo = BellStateHistoTb {
+            shots: 64,
+            odd: false,
+        }
+        .run(&mut stack)
+        .unwrap();
         assert_eq!(histo.total(), 64);
         assert_eq!(histo.count("|01>"), 0);
         assert_eq!(histo.count("|10>"), 0);
@@ -209,9 +212,12 @@ mod tests {
         let mut stack = ControlStack::with_seed(ChpCore::new(), 23);
         stack.push_layer(PauliFrameLayer::new());
         stack.create_qubits(2).unwrap();
-        let histo = BellStateHistoTb { shots: 64, odd: true }
-            .run(&mut stack)
-            .unwrap();
+        let histo = BellStateHistoTb {
+            shots: 64,
+            odd: true,
+        }
+        .run(&mut stack)
+        .unwrap();
         assert_eq!(histo.count("|00>"), 0);
         assert_eq!(histo.count("|11>"), 0);
         assert_eq!(histo.count("|01>") + histo.count("|10>"), 64);

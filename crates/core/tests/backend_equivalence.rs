@@ -6,15 +6,22 @@
 //! This is the strongest internal consistency check the platform has:
 //! the two simulators share no code beyond the Pauli algebra, so any
 //! agreement bug in either would show up here.
+//!
+//! Formerly a `proptest` suite; now deterministic seeded property loops
+//! over `qpdo-rng` with the same case count (96), fixed seeds, and
+//! counterexample reporting in every assertion message (no shrinking,
+//! but fully reproducible).
 
-use proptest::prelude::*;
 use qpdo_pauli::{Pauli, PauliString};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
 use qpdo_stabilizer::StabilizerSim;
 use qpdo_statevector::{Complex, StateVector};
 
 const N: usize = 4;
+const CASES: usize = 96;
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum CliffordOp {
     H(usize),
     S(usize),
@@ -27,186 +34,218 @@ enum CliffordOp {
     Swap(usize, usize),
 }
 
-fn arb_op() -> impl Strategy<Value = CliffordOp> {
-    let q = 0..N;
-    let pair = (0..N, 0..N - 1).prop_map(|(a, b)| {
-        let b = if b >= a { b + 1 } else { b };
-        (a, b)
-    });
-    prop_oneof![
-        q.clone().prop_map(CliffordOp::H),
-        q.clone().prop_map(CliffordOp::S),
-        q.clone().prop_map(CliffordOp::Sdg),
-        q.clone().prop_map(CliffordOp::X),
-        q.clone().prop_map(CliffordOp::Y),
-        q.prop_map(CliffordOp::Z),
-        pair.clone().prop_map(|(a, b)| CliffordOp::Cnot(a, b)),
-        pair.clone().prop_map(|(a, b)| CliffordOp::Cz(a, b)),
-        pair.prop_map(|(a, b)| CliffordOp::Swap(a, b)),
-    ]
+fn rand_pair(rng: &mut StdRng) -> (usize, usize) {
+    let a = rng.gen_range(0..N);
+    let b = rng.gen_range(0..N - 1);
+    let b = if b >= a { b + 1 } else { b };
+    (a, b)
 }
 
-fn arb_pauli() -> impl Strategy<Value = Pauli> {
-    prop_oneof![
-        Just(Pauli::I),
-        Just(Pauli::X),
-        Just(Pauli::Y),
-        Just(Pauli::Z),
-    ]
+fn rand_op(rng: &mut StdRng) -> CliffordOp {
+    match rng.gen_range(0..9u8) {
+        0 => CliffordOp::H(rng.gen_range(0..N)),
+        1 => CliffordOp::S(rng.gen_range(0..N)),
+        2 => CliffordOp::Sdg(rng.gen_range(0..N)),
+        3 => CliffordOp::X(rng.gen_range(0..N)),
+        4 => CliffordOp::Y(rng.gen_range(0..N)),
+        5 => CliffordOp::Z(rng.gen_range(0..N)),
+        6 => {
+            let (a, b) = rand_pair(rng);
+            CliffordOp::Cnot(a, b)
+        }
+        7 => {
+            let (a, b) = rand_pair(rng);
+            CliffordOp::Cz(a, b)
+        }
+        _ => {
+            let (a, b) = rand_pair(rng);
+            CliffordOp::Swap(a, b)
+        }
+    }
+}
+
+fn rand_ops(rng: &mut StdRng, max_len: usize) -> Vec<CliffordOp> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rand_op(rng)).collect()
+}
+
+fn rand_pauli(rng: &mut StdRng) -> Pauli {
+    Pauli::ALL[rng.gen_range(0..4)]
+}
+
+fn apply_one(op: CliffordOp, tab: &mut StabilizerSim, sv: &mut StateVector) {
+    match op {
+        CliffordOp::H(q) => {
+            tab.h(q);
+            sv.h(q);
+        }
+        CliffordOp::S(q) => {
+            tab.s(q);
+            sv.s(q);
+        }
+        CliffordOp::Sdg(q) => {
+            tab.sdg(q);
+            sv.sdg(q);
+        }
+        CliffordOp::X(q) => {
+            tab.x(q);
+            sv.x(q);
+        }
+        CliffordOp::Y(q) => {
+            tab.y(q);
+            sv.y(q);
+        }
+        CliffordOp::Z(q) => {
+            tab.z(q);
+            sv.z(q);
+        }
+        CliffordOp::Cnot(a, b) => {
+            tab.cnot(a, b);
+            sv.cnot(a, b);
+        }
+        CliffordOp::Cz(a, b) => {
+            tab.cz(a, b);
+            sv.cz(a, b);
+        }
+        CliffordOp::Swap(a, b) => {
+            tab.swap(a, b);
+            sv.swap(a, b);
+        }
+    }
 }
 
 fn apply_all(ops: &[CliffordOp]) -> (StabilizerSim, StateVector) {
     let mut tab = StabilizerSim::new(N);
     let mut sv = StateVector::new(N);
     for op in ops {
-        match *op {
-            CliffordOp::H(q) => {
-                tab.h(q);
-                sv.h(q);
-            }
-            CliffordOp::S(q) => {
-                tab.s(q);
-                sv.s(q);
-            }
-            CliffordOp::Sdg(q) => {
-                tab.sdg(q);
-                sv.sdg(q);
-            }
-            CliffordOp::X(q) => {
-                tab.x(q);
-                sv.x(q);
-            }
-            CliffordOp::Y(q) => {
-                tab.y(q);
-                sv.y(q);
-            }
-            CliffordOp::Z(q) => {
-                tab.z(q);
-                sv.z(q);
-            }
-            CliffordOp::Cnot(a, b) => {
-                tab.cnot(a, b);
-                sv.cnot(a, b);
-            }
-            CliffordOp::Cz(a, b) => {
-                tab.cz(a, b);
-                sv.cz(a, b);
-            }
-            CliffordOp::Swap(a, b) => {
-                tab.swap(a, b);
-                sv.swap(a, b);
-            }
-        }
+        apply_one(*op, &mut tab, &mut sv);
     }
     (tab, sv)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every Pauli expectation agrees: the tableau reports ±1 (in the
-    /// group) or "random" (0); the state vector must say the same.
-    #[test]
-    fn expectations_agree(
-        ops in prop::collection::vec(arb_op(), 0..40),
-        paulis in prop::collection::vec(arb_pauli(), N),
-    ) {
+/// Every Pauli expectation agrees: the tableau reports ±1 (in the
+/// group) or "random" (0); the state vector must say the same.
+#[test]
+fn expectations_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBE01);
+    for case in 0..CASES {
+        let ops = rand_ops(&mut rng, 40);
+        let paulis: Vec<Pauli> = (0..N).map(|_| rand_pauli(&mut rng)).collect();
         let (mut tab, sv) = apply_all(&ops);
         let observable = PauliString::new(qpdo_pauli::Phase::PlusOne, paulis);
         let sv_value = sv.pauli_expectation(&observable);
-        prop_assert!(sv_value.im.abs() < 1e-9, "Hermitian expectation is real");
+        assert!(
+            sv_value.im.abs() < 1e-9,
+            "case {case}: Hermitian expectation must be real; ops={ops:?} obs={observable}"
+        );
         match tab.expectation(&observable) {
-            Some(false) => prop_assert!(
+            Some(false) => assert!(
                 sv_value.approx_eq(Complex::ONE, 1e-9),
-                "tableau says +1, state vector says {sv_value}"
+                "case {case}: tableau says +1, state vector says {sv_value}; ops={ops:?} obs={observable}"
             ),
-            Some(true) => prop_assert!(
+            Some(true) => assert!(
                 sv_value.approx_eq(-Complex::ONE, 1e-9),
-                "tableau says -1, state vector says {sv_value}"
+                "case {case}: tableau says -1, state vector says {sv_value}; ops={ops:?} obs={observable}"
             ),
-            None => prop_assert!(
+            None => assert!(
                 sv_value.approx_eq(Complex::ZERO, 1e-9),
-                "tableau says random, state vector says {sv_value}"
+                "case {case}: tableau says random, state vector says {sv_value}; ops={ops:?} obs={observable}"
             ),
         }
     }
+}
 
-    /// Measurement probabilities agree: stabilizer states only ever have
-    /// per-qubit probabilities 0, 1/2 or 1, and the tableau's
-    /// deterministic-outcome report matches.
-    #[test]
-    fn measurement_probabilities_agree(
-        ops in prop::collection::vec(arb_op(), 0..40),
-    ) {
+/// Measurement probabilities agree: stabilizer states only ever have
+/// per-qubit probabilities 0, 1/2 or 1, and the tableau's
+/// deterministic-outcome report matches.
+#[test]
+fn measurement_probabilities_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBE02);
+    for case in 0..CASES {
+        let ops = rand_ops(&mut rng, 40);
         let (mut tab, sv) = apply_all(&ops);
         for q in 0..N {
             let p1 = sv.prob_one(q);
             match tab.peek_deterministic(q) {
-                Some(false) => prop_assert!(p1.abs() < 1e-9, "q{q}: p1 = {p1}"),
-                Some(true) => prop_assert!((p1 - 1.0).abs() < 1e-9, "q{q}: p1 = {p1}"),
-                None => prop_assert!((p1 - 0.5).abs() < 1e-9, "q{q}: p1 = {p1}"),
+                Some(false) => {
+                    assert!(p1.abs() < 1e-9, "case {case}: q{q}: p1 = {p1}; ops={ops:?}");
+                }
+                Some(true) => assert!(
+                    (p1 - 1.0).abs() < 1e-9,
+                    "case {case}: q{q}: p1 = {p1}; ops={ops:?}"
+                ),
+                None => assert!(
+                    (p1 - 0.5).abs() < 1e-9,
+                    "case {case}: q{q}: p1 = {p1}; ops={ops:?}"
+                ),
             }
         }
     }
+}
 
-    /// Collapsing measurements agree when driven by the same coin: after
-    /// forcing the tableau's random outcomes onto the state vector via
-    /// post-selection-by-comparison, the two remain consistent.
-    #[test]
-    fn collapse_chains_stay_consistent(
-        ops in prop::collection::vec(arb_op(), 0..30),
-        more_ops in prop::collection::vec(arb_op(), 0..15),
-        seed in 0u64..1000,
-    ) {
-        use rand::SeedableRng;
+/// Collapsing measurements agree when driven by the same coin: after
+/// forcing the tableau's random outcomes onto the state vector via
+/// post-selection-by-comparison, the two remain consistent.
+#[test]
+fn collapse_chains_stay_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xBE03);
+    for case in 0..CASES {
+        let ops = rand_ops(&mut rng, 30);
+        let more_ops = rand_ops(&mut rng, 15);
+        let seed = rng.gen_range(0u64..1000);
         let (mut tab, mut sv) = apply_all(&ops);
-        // Measure every qubit on the tableau with a seeded RNG; replay
+        // Measure every qubit on the tableau with a seeded RNG; replaying
         // the SAME outcome on the state vector by measuring with a
         // matched RNG stream is not guaranteed, so assert consistency
         // via probabilities instead: after the tableau collapses, apply
         // the same projective outcome to the state vector by hand.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut measure_rng = StdRng::seed_from_u64(seed);
         for q in 0..N {
-            let outcome = tab.measure(q, &mut rng);
+            let outcome = tab.measure(q, &mut measure_rng);
             let p1 = sv.prob_one(q);
             // The tableau outcome must have non-zero probability.
             let p_outcome = if outcome { p1 } else { 1.0 - p1 };
-            prop_assert!(p_outcome > 1e-9, "impossible outcome sampled");
+            assert!(
+                p_outcome > 1e-9,
+                "case {case}: impossible outcome sampled; q{q} ops={ops:?} seed={seed}"
+            );
             // Project the state vector onto the same outcome (retry with
             // fresh RNG seeds until the sampled branch matches; the
             // outcome has probability >= 1/2 - eps so this terminates).
             let mut attempt = 0u64;
             loop {
-                let mut forced = rand::rngs::StdRng::seed_from_u64(1000 + attempt);
+                let mut forced = StdRng::seed_from_u64(1000 + attempt);
                 let mut trial = sv.clone();
                 if trial.measure(q, &mut forced) == outcome {
                     sv = trial;
                     break;
                 }
                 attempt += 1;
-                prop_assert!(attempt < 256, "projection retry runaway");
+                assert!(
+                    attempt < 256,
+                    "case {case}: projection retry runaway; q{q} ops={ops:?} seed={seed}"
+                );
             }
         }
         // Continue with more unitaries; expectations must still agree.
         for op in &more_ops {
-            match *op {
-                CliffordOp::H(q) => { tab.h(q); sv.h(q); }
-                CliffordOp::S(q) => { tab.s(q); sv.s(q); }
-                CliffordOp::Sdg(q) => { tab.sdg(q); sv.sdg(q); }
-                CliffordOp::X(q) => { tab.x(q); sv.x(q); }
-                CliffordOp::Y(q) => { tab.y(q); sv.y(q); }
-                CliffordOp::Z(q) => { tab.z(q); sv.z(q); }
-                CliffordOp::Cnot(a, b) => { tab.cnot(a, b); sv.cnot(a, b); }
-                CliffordOp::Cz(a, b) => { tab.cz(a, b); sv.cz(a, b); }
-                CliffordOp::Swap(a, b) => { tab.swap(a, b); sv.swap(a, b); }
-            }
+            apply_one(*op, &mut tab, &mut sv);
         }
         for q in 0..N {
             let p1 = sv.prob_one(q);
             match tab.peek_deterministic(q) {
-                Some(false) => prop_assert!(p1.abs() < 1e-9),
-                Some(true) => prop_assert!((p1 - 1.0).abs() < 1e-9),
-                None => prop_assert!((p1 - 0.5).abs() < 1e-9),
+                Some(false) => assert!(
+                    p1.abs() < 1e-9,
+                    "case {case}: q{q}: p1 = {p1}; ops={ops:?} more={more_ops:?} seed={seed}"
+                ),
+                Some(true) => assert!(
+                    (p1 - 1.0).abs() < 1e-9,
+                    "case {case}: q{q}: p1 = {p1}; ops={ops:?} more={more_ops:?} seed={seed}"
+                ),
+                None => assert!(
+                    (p1 - 0.5).abs() < 1e-9,
+                    "case {case}: q{q}: p1 = {p1}; ops={ops:?} more={more_ops:?} seed={seed}"
+                ),
             }
         }
     }

@@ -5,8 +5,8 @@
 use qpdo_circuit::Circuit;
 use qpdo_core::testbench::random_circuit;
 use qpdo_core::{ControlStack, PauliFrameLayer, SvCore};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
 
 fn compare_up_to_global_phase(
     a: &[qpdo_statevector::Complex],
@@ -25,7 +25,9 @@ fn compare_up_to_global_phase(
         return false;
     }
     let phase = (rb * ra.conj()).scale(1.0 / ra.norm_sqr());
-    a.iter().zip(b).all(|(&x, &y)| (x * phase).approx_eq(y, tol))
+    a.iter()
+        .zip(b)
+        .all(|(&x, &y)| (x * phase).approx_eq(y, tol))
 }
 
 #[test]

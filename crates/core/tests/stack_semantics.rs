@@ -4,8 +4,8 @@
 
 use qpdo_circuit::{Circuit, Gate, Operation};
 use qpdo_core::{
-    BitState, ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel,
-    PauliFrameLayer, QuantumState, SvCore,
+    BitState, ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, PauliFrameLayer,
+    QuantumState, SvCore,
 };
 
 #[test]

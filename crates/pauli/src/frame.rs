@@ -50,8 +50,7 @@ impl PauliFrame {
 
     /// Grows the frame by `n` additional empty records (qubit allocation).
     pub fn grow(&mut self, n: usize) {
-        self.records
-            .resize(self.records.len() + n, PauliRecord::I);
+        self.records.resize(self.records.len() + n, PauliRecord::I);
     }
 
     /// Shrinks the frame by `n` records from the end (qubit deallocation).
@@ -229,7 +228,10 @@ impl PauliFrame {
     /// The number of qubits with a non-`I` record.
     #[must_use]
     pub fn tracked_count(&self) -> usize {
-        self.records.iter().filter(|r| **r != PauliRecord::I).count()
+        self.records
+            .iter()
+            .filter(|r| **r != PauliRecord::I)
+            .count()
     }
 }
 

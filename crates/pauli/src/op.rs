@@ -176,26 +176,17 @@ mod tests {
     #[test]
     fn xz_algebra() {
         // X·Z = -i·Y
-        assert_eq!(
-            Pauli::X.mul_with_phase(Pauli::Z),
-            (Phase::MinusI, Pauli::Y)
-        );
+        assert_eq!(Pauli::X.mul_with_phase(Pauli::Z), (Phase::MinusI, Pauli::Y));
         // Z·X = +i·Y
         assert_eq!(Pauli::Z.mul_with_phase(Pauli::X), (Phase::PlusI, Pauli::Y));
         // X·Y = i·Z
         assert_eq!(Pauli::X.mul_with_phase(Pauli::Y), (Phase::PlusI, Pauli::Z));
         // Y·X = -i·Z
-        assert_eq!(
-            Pauli::Y.mul_with_phase(Pauli::X),
-            (Phase::MinusI, Pauli::Z)
-        );
+        assert_eq!(Pauli::Y.mul_with_phase(Pauli::X), (Phase::MinusI, Pauli::Z));
         // Y·Z = i·X
         assert_eq!(Pauli::Y.mul_with_phase(Pauli::Z), (Phase::PlusI, Pauli::X));
         // Z·Y = -i·X
-        assert_eq!(
-            Pauli::Z.mul_with_phase(Pauli::Y),
-            (Phase::MinusI, Pauli::X)
-        );
+        assert_eq!(Pauli::Z.mul_with_phase(Pauli::Y), (Phase::MinusI, Pauli::X));
     }
 
     #[test]
@@ -251,10 +242,7 @@ mod tests {
     fn symbol_roundtrip() {
         for p in Pauli::ALL {
             assert_eq!(Pauli::from_symbol(p.symbol()), Some(p));
-            assert_eq!(
-                Pauli::from_symbol(p.symbol().to_ascii_lowercase()),
-                Some(p)
-            );
+            assert_eq!(Pauli::from_symbol(p.symbol().to_ascii_lowercase()), Some(p));
         }
         assert_eq!(Pauli::from_symbol('Q'), None);
     }

@@ -30,12 +30,7 @@ pub enum Phase {
 
 impl Phase {
     /// All four phases in exponent order `+1, +i, -1, -i`.
-    pub const ALL: [Phase; 4] = [
-        Phase::PlusOne,
-        Phase::PlusI,
-        Phase::MinusOne,
-        Phase::MinusI,
-    ];
+    pub const ALL: [Phase; 4] = [Phase::PlusOne, Phase::PlusI, Phase::MinusOne, Phase::MinusI];
 
     /// Builds a phase from the exponent `k` of `i^k` (taken modulo 4).
     #[must_use]

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{Pauli, Phase, PauliString};
+use crate::{Pauli, PauliString, Phase};
 
 /// A compressed per-qubit Pauli record: one of `I`, `X`, `Z` or `XZ`.
 ///
@@ -252,7 +252,7 @@ mod tests {
     fn table_3_4_clifford_generator_mappings() {
         use PauliRecord as R;
         let table = [
-            (R::I, R::I, R::I),     // (input, after H, after S)
+            (R::I, R::I, R::I), // (input, after H, after S)
             (R::X, R::Z, R::XZ),
             (R::Z, R::X, R::Z),
             (R::XZ, R::XZ, R::X),

@@ -1,137 +1,193 @@
 //! Property-based tests for the Pauli algebra invariants.
+//!
+//! Formerly a `proptest` suite; now deterministic seeded property loops
+//! over `qpdo-rng` so the workspace stays dependency-free. Same case
+//! count as the proptest default (256 per property), fixed per-property
+//! seeds, and every assertion carries the sampled inputs so a failure
+//! reports its counterexample (no shrinking, but fully reproducible).
 
-use proptest::prelude::*;
 use qpdo_pauli::{Pauli, PauliFrame, PauliRecord, PauliString, Phase};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
 
-fn arb_pauli() -> impl Strategy<Value = Pauli> {
-    prop_oneof![
-        Just(Pauli::I),
-        Just(Pauli::X),
-        Just(Pauli::Y),
-        Just(Pauli::Z),
-    ]
+const CASES: usize = 256;
+
+fn rand_pauli(rng: &mut StdRng) -> Pauli {
+    Pauli::ALL[rng.gen_range(0..4)]
 }
 
-fn arb_record() -> impl Strategy<Value = PauliRecord> {
-    prop_oneof![
-        Just(PauliRecord::I),
-        Just(PauliRecord::X),
-        Just(PauliRecord::Z),
-        Just(PauliRecord::XZ),
-    ]
+fn rand_record(rng: &mut StdRng) -> PauliRecord {
+    PauliRecord::ALL[rng.gen_range(0..4)]
 }
 
-fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
-    (
-        prop::collection::vec(arb_pauli(), n),
-        prop_oneof![
-            Just(Phase::PlusOne),
-            Just(Phase::PlusI),
-            Just(Phase::MinusOne),
-            Just(Phase::MinusI),
-        ],
-    )
-        .prop_map(|(ops, phase)| PauliString::new(phase, ops))
+fn rand_phase(rng: &mut StdRng) -> Phase {
+    [Phase::PlusOne, Phase::PlusI, Phase::MinusOne, Phase::MinusI][rng.gen_range(0..4)]
 }
 
-proptest! {
-    /// Pauli multiplication is associative including phases.
-    #[test]
-    fn string_mul_associative(
-        a in arb_string(4),
-        b in arb_string(4),
-        c in arb_string(4),
-    ) {
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+fn rand_string(rng: &mut StdRng, n: usize) -> PauliString {
+    let ops = (0..n).map(|_| rand_pauli(rng)).collect();
+    PauliString::new(rand_phase(rng), ops)
+}
+
+/// Pauli multiplication is associative including phases.
+#[test]
+fn string_mul_associative() {
+    let mut rng = StdRng::seed_from_u64(0x9A01);
+    for case in 0..CASES {
+        let a = rand_string(&mut rng, 4);
+        let b = rand_string(&mut rng, 4);
+        let c = rand_string(&mut rng, 4);
+        assert_eq!(
+            a.mul(&b).mul(&c),
+            a.mul(&b.mul(&c)),
+            "case {case}: a={a} b={b} c={c}"
+        );
     }
+}
 
-    /// Every Pauli string squares to ±1·I (phase² × identity).
-    #[test]
-    fn string_squares_to_identity_op(s in arb_string(5)) {
+/// Every Pauli string squares to ±1·I (phase² × identity).
+#[test]
+fn string_squares_to_identity_op() {
+    let mut rng = StdRng::seed_from_u64(0x9A02);
+    for case in 0..CASES {
+        let s = rand_string(&mut rng, 5);
         let sq = s.mul(&s);
-        prop_assert!(sq.is_identity_op());
-        prop_assert!(sq.phase().is_real());
+        assert!(sq.is_identity_op(), "case {case}: s={s} squared to {sq}");
+        assert!(sq.phase().is_real(), "case {case}: s={s} squared to {sq}");
     }
+}
 
-    /// ab = ±ba: strings either commute or anticommute.
-    #[test]
-    fn strings_commute_or_anticommute(a in arb_string(4), b in arb_string(4)) {
+/// ab = ±ba: strings either commute or anticommute.
+#[test]
+fn strings_commute_or_anticommute() {
+    let mut rng = StdRng::seed_from_u64(0x9A03);
+    for case in 0..CASES {
+        let a = rand_string(&mut rng, 4);
+        let b = rand_string(&mut rng, 4);
         let ab = a.mul(&b);
         let ba = b.mul(&a);
         if a.commutes_with(&b) {
-            prop_assert_eq!(ab, ba);
+            assert_eq!(ab, ba, "case {case}: a={a} b={b}");
         } else {
             let mut neg = ba.clone();
             neg.set_phase(ba.phase().negated());
-            prop_assert_eq!(ab, neg);
+            assert_eq!(ab, neg, "case {case}: a={a} b={b}");
         }
     }
+}
 
-    /// Clifford conjugation preserves commutation relations.
-    #[test]
-    fn conjugation_preserves_commutation(
-        a in arb_string(3),
-        b in arb_string(3),
-        gates in prop::collection::vec(0usize..5, 0..12),
-    ) {
-        let mut a = a;
-        let mut b = b;
+/// Clifford conjugation preserves commutation relations.
+#[test]
+fn conjugation_preserves_commutation() {
+    let mut rng = StdRng::seed_from_u64(0x9A04);
+    for case in 0..CASES {
+        let mut a = rand_string(&mut rng, 3);
+        let mut b = rand_string(&mut rng, 3);
+        let gates: Vec<usize> = {
+            let len = rng.gen_range(0..12);
+            (0..len).map(|_| rng.gen_range(0..5usize)).collect()
+        };
+        let (orig_a, orig_b) = (a.clone(), b.clone());
         let before = a.commutes_with(&b);
-        for g in gates {
+        for &g in &gates {
             match g {
-                0 => { a.conjugate_h(0); b.conjugate_h(0); }
-                1 => { a.conjugate_s(1); b.conjugate_s(1); }
-                2 => { a.conjugate_cnot(0, 1); b.conjugate_cnot(0, 1); }
-                3 => { a.conjugate_cz(1, 2); b.conjugate_cz(1, 2); }
-                _ => { a.conjugate_swap(0, 2); b.conjugate_swap(0, 2); }
+                0 => {
+                    a.conjugate_h(0);
+                    b.conjugate_h(0);
+                }
+                1 => {
+                    a.conjugate_s(1);
+                    b.conjugate_s(1);
+                }
+                2 => {
+                    a.conjugate_cnot(0, 1);
+                    b.conjugate_cnot(0, 1);
+                }
+                3 => {
+                    a.conjugate_cz(1, 2);
+                    b.conjugate_cz(1, 2);
+                }
+                _ => {
+                    a.conjugate_swap(0, 2);
+                    b.conjugate_swap(0, 2);
+                }
             }
         }
-        prop_assert_eq!(a.commutes_with(&b), before);
-    }
-
-    /// H, S, CNOT, CZ conjugations are invertible (H² = CZ² = CNOT² = id,
-    /// S then S† = id) on strings.
-    #[test]
-    fn conjugations_invertible(s in arb_string(2)) {
-        let orig = s.clone();
-        let mut t = s.clone();
-        t.conjugate_h(0); t.conjugate_h(0);
-        prop_assert_eq!(&t, &orig);
-        let mut t = s.clone();
-        t.conjugate_s(0); t.conjugate_sdg(0);
-        prop_assert_eq!(&t, &orig);
-        let mut t = s.clone();
-        t.conjugate_cnot(0, 1); t.conjugate_cnot(0, 1);
-        prop_assert_eq!(&t, &orig);
-        let mut t = s;
-        t.conjugate_cz(0, 1); t.conjugate_cz(0, 1);
-        prop_assert_eq!(&t, &orig);
-    }
-
-    /// Record arithmetic forms a group under Pauli application: applying
-    /// the same Pauli twice is the identity.
-    #[test]
-    fn record_pauli_involution(r in arb_record(), p in arb_pauli()) {
-        prop_assert_eq!(r.apply_pauli(p).apply_pauli(p), r);
-    }
-
-    /// Record application commutes (the record group is abelian).
-    #[test]
-    fn record_application_commutes(
-        r in arb_record(),
-        p in arb_pauli(),
-        q in arb_pauli(),
-    ) {
-        prop_assert_eq!(
-            r.apply_pauli(p).apply_pauli(q),
-            r.apply_pauli(q).apply_pauli(p)
+        assert_eq!(
+            a.commutes_with(&b),
+            before,
+            "case {case}: a={orig_a} b={orig_b} gates={gates:?}"
         );
     }
+}
 
-    /// Frame flushing always leaves a clean frame, and the flushed gates
-    /// replayed into a fresh frame reproduce the original records.
-    #[test]
-    fn flush_roundtrip(records in prop::collection::vec(arb_record(), 1..16)) {
+/// H, S, CNOT, CZ conjugations are invertible (H² = CZ² = CNOT² = id,
+/// S then S† = id) on strings.
+#[test]
+fn conjugations_invertible() {
+    let mut rng = StdRng::seed_from_u64(0x9A05);
+    for case in 0..CASES {
+        let s = rand_string(&mut rng, 2);
+        let orig = s.clone();
+        let mut t = s.clone();
+        t.conjugate_h(0);
+        t.conjugate_h(0);
+        assert_eq!(&t, &orig, "case {case}: H·H on {orig}");
+        let mut t = s.clone();
+        t.conjugate_s(0);
+        t.conjugate_sdg(0);
+        assert_eq!(&t, &orig, "case {case}: S·S† on {orig}");
+        let mut t = s.clone();
+        t.conjugate_cnot(0, 1);
+        t.conjugate_cnot(0, 1);
+        assert_eq!(&t, &orig, "case {case}: CNOT² on {orig}");
+        let mut t = s;
+        t.conjugate_cz(0, 1);
+        t.conjugate_cz(0, 1);
+        assert_eq!(&t, &orig, "case {case}: CZ² on {orig}");
+    }
+}
+
+/// Record arithmetic forms a group under Pauli application: applying
+/// the same Pauli twice is the identity.
+#[test]
+fn record_pauli_involution() {
+    let mut rng = StdRng::seed_from_u64(0x9A06);
+    for case in 0..CASES {
+        let r = rand_record(&mut rng);
+        let p = rand_pauli(&mut rng);
+        assert_eq!(
+            r.apply_pauli(p).apply_pauli(p),
+            r,
+            "case {case}: r={r} p={p}"
+        );
+    }
+}
+
+/// Record application commutes (the record group is abelian).
+#[test]
+fn record_application_commutes() {
+    let mut rng = StdRng::seed_from_u64(0x9A07);
+    for case in 0..CASES {
+        let r = rand_record(&mut rng);
+        let p = rand_pauli(&mut rng);
+        let q = rand_pauli(&mut rng);
+        assert_eq!(
+            r.apply_pauli(p).apply_pauli(q),
+            r.apply_pauli(q).apply_pauli(p),
+            "case {case}: r={r} p={p} q={q}"
+        );
+    }
+}
+
+/// Frame flushing always leaves a clean frame, and the flushed gates
+/// replayed into a fresh frame reproduce the original records.
+#[test]
+fn flush_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9A08);
+    for case in 0..CASES {
+        let len = rng.gen_range(1..16);
+        let records: Vec<PauliRecord> = (0..len).map(|_| rand_record(&mut rng)).collect();
         let mut frame = PauliFrame::new(records.len());
         for (q, r) in records.iter().enumerate() {
             frame.set_record(q, *r);
@@ -140,35 +196,48 @@ proptest! {
         for (q, gate) in frame.flush_all() {
             replay.apply_pauli(q, gate);
         }
-        prop_assert_eq!(frame.tracked_count(), 0);
+        assert_eq!(frame.tracked_count(), 0, "case {case}: records={records:?}");
         for (q, r) in records.iter().enumerate() {
-            prop_assert_eq!(replay.record(q), *r);
+            assert_eq!(
+                replay.record(q),
+                *r,
+                "case {case}: records={records:?} q={q}"
+            );
         }
     }
+}
 
-    /// Record-level CNOT agrees with two independent single-qubit frames
-    /// joined into one two-qubit frame.
-    #[test]
-    fn frame_cnot_matches_record_table(a in arb_record(), b in arb_record()) {
+/// Record-level CNOT agrees with two independent single-qubit frames
+/// joined into one two-qubit frame.
+#[test]
+fn frame_cnot_matches_record_table() {
+    let mut rng = StdRng::seed_from_u64(0x9A09);
+    for case in 0..CASES {
+        let a = rand_record(&mut rng);
+        let b = rand_record(&mut rng);
         let mut frame = PauliFrame::new(2);
         frame.set_record(0, a);
         frame.set_record(1, b);
         frame.apply_cnot(0, 1);
         let (ra, rb) = PauliRecord::conjugate_cnot(a, b);
-        prop_assert_eq!(frame.record(0), ra);
-        prop_assert_eq!(frame.record(1), rb);
+        assert_eq!(frame.record(0), ra, "case {case}: a={a} b={b}");
+        assert_eq!(frame.record(1), rb, "case {case}: a={a} b={b}");
     }
+}
 
-    /// Measurement flip status survives Z-type tracking but toggles with
-    /// X-type tracking.
-    #[test]
-    fn measurement_flip_follows_x_bit(r in arb_record()) {
+/// Measurement flip status survives Z-type tracking but toggles with
+/// X-type tracking.
+#[test]
+fn measurement_flip_follows_x_bit() {
+    let mut rng = StdRng::seed_from_u64(0x9A0A);
+    for case in 0..CASES {
+        let r = rand_record(&mut rng);
         let mut frame = PauliFrame::new(1);
         frame.set_record(0, r);
         let flipped = frame.measurement_flipped(0);
         frame.apply_pauli(0, Pauli::Z);
-        prop_assert_eq!(frame.measurement_flipped(0), flipped);
+        assert_eq!(frame.measurement_flipped(0), flipped, "case {case}: r={r}");
         frame.apply_pauli(0, Pauli::X);
-        prop_assert_eq!(frame.measurement_flipped(0), !flipped);
+        assert_eq!(frame.measurement_flipped(0), !flipped, "case {case}: r={r}");
     }
 }

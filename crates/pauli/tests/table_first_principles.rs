@@ -1,0 +1,303 @@
+//! The paper's Pauli mapping tables (Tables 3.2–3.5) verified from
+//! first principles: every record × gate combination is checked against
+//! explicit complex-matrix arithmetic — unitary conjugation `G·P·G†`
+//! for Clifford gates, operator products for merged Pauli gates, and
+//! anticommutation with `Z` for measurement flips — with no shared code
+//! beyond the record tables under test. A bug in the table logic cannot
+//! hide here, because the reference side is literal linear algebra.
+
+use qpdo_pauli::{Pauli, PauliRecord};
+
+/// A complex number as `(re, im)` — enough arithmetic for 4×4 unitaries.
+type C = (f64, f64);
+
+const ZERO: C = (0.0, 0.0);
+const ONE: C = (1.0, 0.0);
+
+fn cadd(a: C, b: C) -> C {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn cmul(a: C, b: C) -> C {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cconj(a: C) -> C {
+    (a.0, -a.1)
+}
+
+fn capprox(a: C, b: C) -> bool {
+    (a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12
+}
+
+/// A square matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+struct Mat {
+    n: usize,
+    a: Vec<C>,
+}
+
+impl Mat {
+    fn new(n: usize, entries: &[C]) -> Self {
+        assert_eq!(entries.len(), n * n);
+        Mat {
+            n,
+            a: entries.to_vec(),
+        }
+    }
+
+    fn at(&self, r: usize, c: usize) -> C {
+        self.a[r * self.n + c]
+    }
+
+    fn mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = vec![ZERO; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = ZERO;
+                for k in 0..n {
+                    acc = cadd(acc, cmul(self.at(r, k), other.at(k, c)));
+                }
+                out[r * n + c] = acc;
+            }
+        }
+        Mat { n, a: out }
+    }
+
+    fn dagger(&self) -> Mat {
+        let n = self.n;
+        let mut out = vec![ZERO; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                out[r * n + c] = cconj(self.at(c, r));
+            }
+        }
+        Mat { n, a: out }
+    }
+
+    fn kron(&self, other: &Mat) -> Mat {
+        let (n, m) = (self.n, other.n);
+        let size = n * m;
+        let mut out = vec![ZERO; size * size];
+        for r1 in 0..n {
+            for c1 in 0..n {
+                for r2 in 0..m {
+                    for c2 in 0..m {
+                        out[(r1 * m + r2) * size + (c1 * m + c2)] =
+                            cmul(self.at(r1, c1), other.at(r2, c2));
+                    }
+                }
+            }
+        }
+        Mat { n: size, a: out }
+    }
+
+    fn scaled(&self, s: C) -> Mat {
+        Mat {
+            n: self.n,
+            a: self.a.iter().map(|&e| cmul(s, e)).collect(),
+        }
+    }
+
+    fn approx_eq(&self, other: &Mat) -> bool {
+        self.n == other.n && self.a.iter().zip(&other.a).all(|(&x, &y)| capprox(x, y))
+    }
+
+    /// Whether `self = phase · other` for some global phase in
+    /// `{1, i, −1, −i}` (the only phases the single-qubit Pauli/Clifford
+    /// group generates on Pauli operators).
+    fn proportional(&self, other: &Mat) -> bool {
+        [ONE, (0.0, 1.0), (-1.0, 0.0), (0.0, -1.0)]
+            .iter()
+            .any(|&phase| self.approx_eq(&other.scaled(phase)))
+    }
+}
+
+fn mat_i() -> Mat {
+    Mat::new(2, &[ONE, ZERO, ZERO, ONE])
+}
+
+fn mat_x() -> Mat {
+    Mat::new(2, &[ZERO, ONE, ONE, ZERO])
+}
+
+fn mat_y() -> Mat {
+    Mat::new(2, &[ZERO, (0.0, -1.0), (0.0, 1.0), ZERO])
+}
+
+fn mat_z() -> Mat {
+    Mat::new(2, &[ONE, ZERO, ZERO, (-1.0, 0.0)])
+}
+
+fn mat_h() -> Mat {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    Mat::new(2, &[(s, 0.0), (s, 0.0), (s, 0.0), (-s, 0.0)])
+}
+
+fn mat_s() -> Mat {
+    Mat::new(2, &[ONE, ZERO, ZERO, (0.0, 1.0)])
+}
+
+fn mat_sdg() -> Mat {
+    Mat::new(2, &[ONE, ZERO, ZERO, (0.0, -1.0)])
+}
+
+/// CNOT with qubit 0 (the **left** Kronecker factor) as control.
+fn mat_cnot() -> Mat {
+    let mut a = vec![ZERO; 16];
+    for (r, c) in [(0, 0), (1, 1), (2, 3), (3, 2)] {
+        a[r * 4 + c] = ONE;
+    }
+    Mat { n: 4, a }
+}
+
+fn mat_cz() -> Mat {
+    let mut a = vec![ZERO; 16];
+    for r in 0..4 {
+        a[r * 4 + r] = if r == 3 { (-1.0, 0.0) } else { ONE };
+    }
+    Mat { n: 4, a }
+}
+
+fn mat_swap() -> Mat {
+    let mut a = vec![ZERO; 16];
+    for (r, c) in [(0, 0), (1, 2), (2, 1), (3, 3)] {
+        a[r * 4 + c] = ONE;
+    }
+    Mat { n: 4, a }
+}
+
+fn pauli_mat(p: Pauli) -> Mat {
+    match p {
+        Pauli::I => mat_i(),
+        Pauli::X => mat_x(),
+        Pauli::Y => mat_y(),
+        Pauli::Z => mat_z(),
+    }
+}
+
+/// The operator a record denotes: `X^x · Z^z`.
+fn record_mat(r: PauliRecord) -> Mat {
+    let (x, z) = r.bits();
+    let xm = if x { mat_x() } else { mat_i() };
+    let zm = if z { mat_z() } else { mat_i() };
+    xm.mul(&zm)
+}
+
+/// Table 3.3: merging a Pauli gate into the record is operator
+/// multiplication up to global phase — for every record × Pauli combo,
+/// `op(record.apply_pauli(p)) ∝ mat(p) · op(record)`.
+#[test]
+fn table_3_3_matches_operator_products() {
+    for r in PauliRecord::ALL {
+        for p in Pauli::ALL {
+            let merged = record_mat(r.apply_pauli(p));
+            let product = pauli_mat(p).mul(&record_mat(r));
+            assert!(
+                merged.proportional(&product),
+                "record {r}, Pauli {p}: table says {}, matrices disagree",
+                r.apply_pauli(p)
+            );
+        }
+    }
+}
+
+/// Table 3.2: a record flips a computational-basis measurement exactly
+/// when its operator anticommutes with `Z`.
+#[test]
+fn table_3_2_matches_z_anticommutation() {
+    for r in PauliRecord::ALL {
+        let p = record_mat(r);
+        let pz = p.mul(&mat_z());
+        let zp = mat_z().mul(&p);
+        let anticommutes = pz.approx_eq(&zp.scaled((-1.0, 0.0)));
+        let commutes = pz.approx_eq(&zp);
+        assert!(
+            anticommutes ^ commutes,
+            "record {r}: operator must either commute or anticommute with Z"
+        );
+        assert_eq!(
+            r.flips_measurement(),
+            anticommutes,
+            "record {r}: measurement-flip table disagrees with Z anticommutation"
+        );
+    }
+}
+
+/// Table 3.4: the H and S (and S†) record mappings are unitary
+/// conjugation — for every record × gate combo,
+/// `op(record.conjugate_g()) ∝ G · op(record) · G†`.
+#[test]
+fn table_3_4_matches_unitary_conjugation() {
+    let gates: [(&str, Mat, fn(PauliRecord) -> PauliRecord); 3] = [
+        ("H", mat_h(), PauliRecord::conjugate_h),
+        ("S", mat_s(), PauliRecord::conjugate_s),
+        ("S†", mat_sdg(), PauliRecord::conjugate_sdg),
+    ];
+    for (name, g, table) in gates {
+        for r in PauliRecord::ALL {
+            let conjugated = g.mul(&record_mat(r)).mul(&g.dagger());
+            let expected = record_mat(table(r));
+            assert!(
+                expected.proportional(&conjugated),
+                "{name} on record {r}: table says {}, matrices disagree",
+                table(r)
+            );
+        }
+    }
+}
+
+/// Table 3.5 (and the CZ and SWAP analogues): the two-qubit record
+/// mappings are 4×4 unitary conjugation — for all 16 record pairs per
+/// gate, `op(a') ⊗ op(b') ∝ U · (op(a) ⊗ op(b)) · U†`.
+#[test]
+fn table_3_5_matches_two_qubit_conjugation() {
+    let gates: [(
+        &str,
+        Mat,
+        fn(PauliRecord, PauliRecord) -> (PauliRecord, PauliRecord),
+    ); 3] = [
+        ("CNOT", mat_cnot(), PauliRecord::conjugate_cnot),
+        ("CZ", mat_cz(), PauliRecord::conjugate_cz),
+        ("SWAP", mat_swap(), PauliRecord::conjugate_swap),
+    ];
+    for (name, u, table) in gates {
+        for a in PauliRecord::ALL {
+            for b in PauliRecord::ALL {
+                let input = record_mat(a).kron(&record_mat(b));
+                let conjugated = u.mul(&input).mul(&u.dagger());
+                let (a2, b2) = table(a, b);
+                let expected = record_mat(a2).kron(&record_mat(b2));
+                assert!(
+                    expected.proportional(&conjugated),
+                    "{name} on ({a}, {b}): table says ({a2}, {b2}), matrices disagree"
+                );
+            }
+        }
+    }
+}
+
+/// The matrix scaffolding itself is sound: the gate matrices are
+/// unitary, so conjugation in the tests above preserves the Pauli group.
+#[test]
+fn reference_matrices_are_unitary() {
+    let two: [(&str, Mat); 4] = [
+        ("H", mat_h()),
+        ("S", mat_s()),
+        ("S†", mat_sdg()),
+        ("X", mat_x()),
+    ];
+    for (name, m) in two {
+        assert!(
+            m.mul(&m.dagger()).approx_eq(&mat_i()),
+            "{name} is not unitary"
+        );
+    }
+    let id4 = mat_i().kron(&mat_i());
+    let four: [(&str, Mat); 3] = [("CNOT", mat_cnot()), ("CZ", mat_cz()), ("SWAP", mat_swap())];
+    for (name, m) in four {
+        assert!(m.mul(&m.dagger()).approx_eq(&id4), "{name} is not unitary");
+    }
+}

@@ -1,0 +1,128 @@
+use crate::uniform::{SampleRange, SampleUniform, Standard};
+
+/// The raw generator interface: a source of uniform `u64`s.
+///
+/// Object-safe, so heterogeneous layers can share one generator through
+/// `&mut dyn RngCore` (the control stack hands its RNG down to back-ends
+/// this way).
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// A generator whose stream is fully determined by `seed`.
+    ///
+    /// This is the reproducibility anchor: experiment CSVs record the
+    /// seed, and replaying it reproduces every sample exactly.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// A generator seeded from ambient process entropy (wall clock plus
+    /// a process-wide counter). **Not** reproducible — prefer
+    /// [`seed_from_u64`](Self::seed_from_u64) everywhere an experiment
+    /// might need replaying.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn entropy_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    // Distinct per call even within one clock tick, and mixed through
+    // SplitMix64's finalizer downstream so consecutive seeds decorrelate.
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    nanos ^ count.rotate_left(32) ^ (std::process::id() as u64).rotate_left(48)
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+///
+/// Blanket-implemented, so `&mut dyn RngCore`, `&mut StdRng` and
+/// generics like `R: Rng + ?Sized` all work at call sites exactly as
+/// they did under `rand`.
+pub trait Rng: RngCore {
+    /// A uniform sample of type `T` (`bool`: fair coin; floats: `[0, 1)`;
+    /// integers: full range).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (`low..high` or `low..=high`).
+    ///
+    /// Integer sampling is unbiased (Lemire rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,136 @@
+use std::ops::{Range, RangeInclusive};
+
+use crate::traits::RngCore;
+
+/// Types with a canonical "uniform over the whole type" distribution,
+/// sampled by [`Rng::gen`](crate::Rng::gen).
+///
+/// `bool` is a fair coin, floats are uniform over `[0, 1)` (53 / 24
+/// explicit mantissa bits), integers cover their full range.
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits scaled into [0, 1): every representable value
+        // in the output set is hit with equal probability.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Standard for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased sampling from `[0, span)` for `span ≥ 1` via Lemire's
+/// multiply-shift rejection (*Fast Random Integer Generation in an
+/// Interval*, ACM TOMS 2019): one 128-bit multiply per accepted draw,
+/// rejection probability below `span / 2⁶⁴`.
+fn lemire<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    if (m as u64) < span {
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types [`Rng::gen_range`](crate::Rng::gen_range) can sample uniformly
+/// from a range of.
+pub trait SampleUniform: Copy {
+    /// Uniform over `low..high`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform over `low..=high`. Panics if the range is empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty => $uty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let span = high.wrapping_sub(low) as $uty as u64;
+                low.wrapping_add(lemire(rng, span) as $ty)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                let span = (high.wrapping_sub(low) as $uty as u64).wrapping_add(1);
+                if span == 0 {
+                    // low..=high covers the whole 64-bit type.
+                    return rng.next_u64() as $ty;
+                }
+                low.wrapping_add(lemire(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range {low}..{high}");
+        let unit: f64 = Standard::sample(rng);
+        let sample = low + (high - low) * unit;
+        // Guard against rounding up onto the excluded endpoint.
+        if sample < high {
+            sample
+        } else {
+            low
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty range {low}..={high}");
+        let unit: f64 = Standard::sample(rng);
+        low + (high - low) * unit
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}

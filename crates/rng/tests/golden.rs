@@ -1,0 +1,234 @@
+//! Known-answer tests locking `qpdo-rng`'s output streams.
+//!
+//! The golden vectors were generated from an independent big-integer
+//! reference implementation of the public-domain algorithms; the
+//! xoshiro256** `seed_from_u64(0)` stream also matches the published
+//! `rand_xoshiro` test vector, confirming the SplitMix64 seeding
+//! procedure is the standard one. If any of these tests ever fails, a
+//! code change has silently broken every recorded experiment seed.
+
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, RngCore, SeedableRng, SplitMix64, Xoshiro256StarStar};
+
+#[test]
+fn splitmix64_golden_vectors() {
+    let cases: [(u64, [u64; 5]); 3] = [
+        (
+            0,
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+                0x1B39_896A_51A8_749B,
+            ],
+        ),
+        (
+            1,
+            [
+                0x910A_2DEC_8902_5CC1,
+                0xBEEB_8DA1_658E_EC67,
+                0xF893_A2EE_FB32_555E,
+                0x71C1_8690_EE42_C90B,
+                0x71BB_54D8_D101_B5B9,
+            ],
+        ),
+        (
+            0xDEAD_BEEF,
+            [
+                0x4ADF_B90F_68C9_EB9B,
+                0xDE58_6A31_41A1_0922,
+                0x021F_BC2F_8E1C_FC1D,
+                0x7466_CE73_7BE1_6790,
+                0x3BFA_8764_F685_BD1C,
+            ],
+        ),
+    ];
+    for (seed, expected) in cases {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for (i, want) in expected.into_iter().enumerate() {
+            assert_eq!(rng.next_u64(), want, "SplitMix64 seed {seed}, draw {i}");
+        }
+    }
+}
+
+#[test]
+fn xoshiro256starstar_golden_vectors() {
+    let cases: [(u64, [u64; 8]); 3] = [
+        (
+            0,
+            [
+                0x99EC_5F36_CB75_F2B4,
+                0xBF6E_1F78_4956_452A,
+                0x1A5F_849D_4933_E6E0,
+                0x6AA5_94F1_262D_2D2C,
+                0xBBA5_AD4A_1F84_2E59,
+                0xFFEF_8375_D9EB_CACA,
+                0x6C16_0DEE_D2F5_4C98,
+                0x8920_AD64_8FC3_0A3F,
+            ],
+        ),
+        (
+            42,
+            [
+                0x1578_0B2E_0C2E_C716,
+                0x6104_D986_6D11_3A7E,
+                0xAE17_5332_39E4_99A1,
+                0xECB8_AD47_03B3_60A1,
+                0xFDE6_DC7F_E2EC_5E64,
+                0xC50D_A531_0179_5238,
+                0xB821_5485_5A65_DDB2,
+                0xD99A_2743_EBE6_0087,
+            ],
+        ),
+        (
+            2016, // the experiment harness's default base seed
+            [
+                0x2783_899F_312C_A7A0,
+                0x0624_859D_A8FD_69E2,
+                0xB6D2_3129_6DD6_A35B,
+                0xD160_CD43_7036_B5F1,
+                0xA25B_C637_6E6C_9BBC,
+                0xC15E_01F8_0AEF_96D0,
+                0x839F_EE18_0945_02D2,
+                0xD5D5_542B_85D2_A9CA,
+            ],
+        ),
+    ];
+    for (seed, expected) in cases {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for (i, want) in expected.into_iter().enumerate() {
+            assert_eq!(rng.next_u64(), want, "xoshiro256** seed {seed}, draw {i}");
+        }
+    }
+}
+
+#[test]
+fn stdrng_is_xoshiro256starstar() {
+    let mut a = StdRng::seed_from_u64(7);
+    let mut b = Xoshiro256StarStar::seed_from_u64(7);
+    for _ in 0..64 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn fill_bytes_matches_next_u64_le() {
+    let mut a = StdRng::seed_from_u64(9);
+    let mut b = StdRng::seed_from_u64(9);
+    let mut buf = [0u8; 20];
+    a.fill_bytes(&mut buf);
+    let mut expected = Vec::new();
+    for _ in 0..3 {
+        expected.extend_from_slice(&b.next_u64().to_le_bytes());
+    }
+    assert_eq!(buf[..16], expected[..16]);
+    assert_eq!(buf[16..20], expected[16..20]);
+}
+
+#[test]
+fn next_u32_is_upper_half() {
+    let mut a = StdRng::seed_from_u64(11);
+    let mut b = StdRng::seed_from_u64(11);
+    for _ in 0..32 {
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+}
+
+#[test]
+fn gen_range_respects_bounds_and_covers_values() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut seen = [false; 7];
+    for _ in 0..10_000 {
+        let v = rng.gen_range(3..10usize);
+        assert!((3..10).contains(&v), "half-open sample {v} out of bounds");
+        seen[v - 3] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "7 buckets × 10k draws must all be hit"
+    );
+
+    let mut seen_edge = (false, false);
+    for _ in 0..10_000 {
+        let v = rng.gen_range(-2i64..=2);
+        assert!((-2..=2).contains(&v), "inclusive sample {v} out of bounds");
+        seen_edge.0 |= v == -2;
+        seen_edge.1 |= v == 2;
+    }
+    assert!(
+        seen_edge.0 && seen_edge.1,
+        "inclusive endpoints must be reachable"
+    );
+}
+
+#[test]
+fn gen_range_is_roughly_uniform() {
+    let mut rng = StdRng::seed_from_u64(5150);
+    const BUCKETS: usize = 16;
+    const DRAWS: usize = 160_000;
+    let mut counts = [0usize; BUCKETS];
+    for _ in 0..DRAWS {
+        counts[rng.gen_range(0..BUCKETS)] += 1;
+    }
+    let expected = (DRAWS / BUCKETS) as f64;
+    for (bucket, &count) in counts.iter().enumerate() {
+        let dev = (count as f64 - expected).abs() / expected;
+        // Binomial σ/µ ≈ 1.2% here; 5% is > 4σ per bucket.
+        assert!(
+            dev < 0.05,
+            "bucket {bucket}: {count} vs expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn gen_bool_frequency_tracks_probability() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for p in [0.1, 0.5, 0.9] {
+        let hits = (0..100_000).filter(|_| rng.gen_bool(p)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!(
+            (freq - p).abs() < 0.01,
+            "gen_bool({p}) frequency {freq} off by more than 1%"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(778);
+    assert!(
+        (0..1000).all(|_| !rng.gen_bool(0.0)),
+        "p = 0 must never hit"
+    );
+    let mut rng = StdRng::seed_from_u64(779);
+    assert!(
+        (0..1000).all(|_| rng.gen_bool(1.0)),
+        "p = 1 must always hit"
+    );
+}
+
+#[test]
+fn gen_f64_stays_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    for _ in 0..100_000 {
+        let v: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&v), "f64 sample {v} outside [0, 1)");
+    }
+}
+
+#[test]
+fn dyn_rngcore_samples_like_concrete() {
+    let mut concrete = StdRng::seed_from_u64(21);
+    let mut boxed: Box<dyn RngCore> = Box::new(StdRng::seed_from_u64(21));
+    let dynamic: &mut dyn RngCore = boxed.as_mut();
+    for _ in 0..16 {
+        assert_eq!(dynamic.next_u64(), concrete.next_u64());
+    }
+}
+
+#[test]
+fn from_entropy_produces_distinct_streams() {
+    let mut a = StdRng::from_entropy();
+    let mut b = StdRng::from_entropy();
+    let a8: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+    let b8: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+    assert_ne!(a8, b8, "entropy seeding must not repeat across instances");
+}

@@ -16,9 +16,9 @@
 //!
 //! ```
 //! use qpdo_stabilizer::StabilizerSim;
-//! use rand::SeedableRng;
+//! use qpdo_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+//! let mut rng = qpdo_rng::rngs::StdRng::seed_from_u64(17);
 //! let mut sim = StabilizerSim::new(2);
 //! sim.h(0);
 //! sim.cnot(0, 1);                    // Bell state

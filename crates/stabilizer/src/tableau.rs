@@ -1,7 +1,7 @@
 use std::fmt;
 
 use qpdo_pauli::{Pauli, PauliString, Phase};
-use rand::Rng;
+use qpdo_rng::Rng;
 
 /// The Aaronson–Gottesman stabilizer tableau simulator.
 ///
@@ -120,7 +120,11 @@ impl StabilizerSim {
 
     #[inline]
     fn check_qubit(&self, q: usize) {
-        assert!(q < self.n, "qubit index {q} out of range ({} qubits)", self.n);
+        assert!(
+            q < self.n,
+            "qubit index {q} out of range ({} qubits)",
+            self.n
+        );
     }
 
     /// Left-multiplies row `h` by row `i` (the `rowsum(h, i)` of the
@@ -145,8 +149,7 @@ impl StabilizerSim {
             plus += p.count_ones();
             minus += m.count_ones();
         }
-        let total = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64) + plus as i64
-            - minus as i64;
+        let total = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64) + plus as i64 - minus as i64;
         // Stabilizer and scratch rows always multiply to real signs;
         // destabilizer rows may not, but their signs carry no meaning in
         // the Aaronson–Gottesman algorithm and are never read back.
@@ -399,7 +402,9 @@ impl StabilizerSim {
     /// `X·Z` bookkeeping keeps signs real, matching the CHP convention.
     #[must_use]
     pub fn stabilizers(&self) -> Vec<PauliString> {
-        (self.n..2 * self.n).map(|row| self.row_string(row)).collect()
+        (self.n..2 * self.n)
+            .map(|row| self.row_string(row))
+            .collect()
     }
 
     /// The current destabilizer generators as Pauli strings.
@@ -436,9 +441,7 @@ impl StabilizerSim {
                         !w.x_bit(row, q) && w.z_bit(row, q)
                     }
                 };
-                let Some(found) =
-                    (pivot_row..n).find(|&i| bit(&work, rows[i]))
-                else {
+                let Some(found) = (pivot_row..n).find(|&i| bit(&work, rows[i])) else {
                     continue;
                 };
                 // Swap generator rows (full row swap including signs).
@@ -549,8 +552,8 @@ impl fmt::Display for StabilizerSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xC0FFEE)
@@ -646,8 +649,7 @@ mod tests {
         sim.h(0);
         sim.cnot(0, 1);
         let gens = sim.canonical_stabilizers();
-        let expected: Vec<PauliString> =
-            vec!["+XX".parse().unwrap(), "+ZZ".parse().unwrap()];
+        let expected: Vec<PauliString> = vec!["+XX".parse().unwrap(), "+ZZ".parse().unwrap()];
         let mut expected_sorted = expected;
         expected_sorted.sort_by_key(|g| {
             let bits: Vec<(bool, bool)> = g.iter().map(Pauli::bits).collect();

@@ -1,7 +1,7 @@
 use std::fmt;
 
 use qpdo_pauli::{Pauli, PauliString};
-use rand::Rng;
+use qpdo_rng::Rng;
 
 use crate::Complex;
 
@@ -50,7 +50,10 @@ impl StateVector {
     /// Panics if `k == 0` or the total would exceed 30 qubits.
     pub fn grow(&mut self, k: usize) {
         assert!(k > 0, "grow requires at least one new qubit");
-        assert!(self.n + k <= 30, "state-vector simulation limited to 30 qubits");
+        assert!(
+            self.n + k <= 30,
+            "state-vector simulation limited to 30 qubits"
+        );
         self.n += k;
         self.amps.resize(1 << self.n, Complex::ZERO);
     }
@@ -69,7 +72,11 @@ impl StateVector {
 
     #[inline]
     fn check_qubit(&self, q: usize) {
-        assert!(q < self.n, "qubit index {q} out of range ({} qubits)", self.n);
+        assert!(
+            q < self.n,
+            "qubit index {q} out of range ({} qubits)",
+            self.n
+        );
     }
 
     /// Applies an arbitrary single-qubit unitary `[[m00, m01], [m10, m11]]`.
@@ -251,7 +258,10 @@ impl StateVector {
         self.check_qubit(c1);
         self.check_qubit(c2);
         self.check_qubit(t);
-        assert!(c1 != c2 && c1 != t && c2 != t, "Toffoli requires distinct qubits");
+        assert!(
+            c1 != c2 && c1 != t && c2 != t,
+            "Toffoli requires distinct qubits"
+        );
         let cmask = (1usize << c1) | (1usize << c2);
         let tb = 1usize << t;
         for base in 0..self.amps.len() {
@@ -541,8 +551,8 @@ impl fmt::Display for StateVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(2016)
@@ -780,9 +790,8 @@ mod tests {
         let mut sv = StateVector::new(1);
         sv.h(0);
         sv.s(0);
-        let expect = |s: &str, sv: &StateVector| -> Complex {
-            sv.pauli_expectation(&s.parse().unwrap())
-        };
+        let expect =
+            |s: &str, sv: &StateVector| -> Complex { sv.pauli_expectation(&s.parse().unwrap()) };
         assert!(expect("Y", &sv).approx_eq(Complex::ONE, 1e-12));
         assert!(expect("X", &sv).approx_eq(Complex::ZERO, 1e-12));
         assert!(expect("Z", &sv).approx_eq(Complex::ZERO, 1e-12));

@@ -30,9 +30,7 @@ impl fmt::Display for TTestError {
         let msg = match self {
             TTestError::TooFewSamples => "each sample needs at least two observations",
             TTestError::UnequalLengths => "paired samples must have equal lengths",
-            TTestError::DegenerateVariance => {
-                "zero variance in both samples with equal means"
-            }
+            TTestError::DegenerateVariance => "zero variance in both samples with equal means",
         };
         f.write_str(msg)
     }
@@ -70,8 +68,7 @@ pub fn independent_t_test(a: &[f64], b: &[f64]) -> Result<TTest, TTestError> {
     let sb = Summary::from_slice(b).expect("non-empty");
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let df = na + nb - 2.0;
-    let pooled_var =
-        ((na - 1.0) * sa.variance + (nb - 1.0) * sb.variance) / df;
+    let pooled_var = ((na - 1.0) * sa.variance + (nb - 1.0) * sb.variance) / df;
     let denom = (pooled_var * (1.0 / na + 1.0 / nb)).sqrt();
     let diff = sa.mean - sb.mean;
     if denom == 0.0 {

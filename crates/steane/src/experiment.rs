@@ -3,8 +3,7 @@
 //! relaxes timing without changing logical fidelity.
 
 use qpdo_core::{
-    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
-    PauliFrameLayer,
+    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts, PauliFrameLayer,
 };
 use qpdo_pauli::{Pauli, PauliString};
 
@@ -82,8 +81,7 @@ pub fn run_steane_ler(config: &SteaneLerConfig) -> Result<SteaneLerOutcome, Core
     above_counts.reset();
     below_counts.reset();
 
-    let mut reference =
-        logical_z_value(&mut stack, &qubit).expect("fresh |0>_L is deterministic");
+    let mut reference = logical_z_value(&mut stack, &qubit).expect("fresh |0>_L is deterministic");
     let mut windows = 0u64;
     let mut logical_errors = 0u64;
     while logical_errors < config.target_logical_errors && windows < config.max_windows {
@@ -191,6 +189,10 @@ mod tests {
         assert!(high > low, "LER must grow with p");
         // Linear regime: the ratio tracks the p ratio (4x), far from the
         // 16x a distance-3 FT scheme would show.
-        assert!(high / low > 2.0 && high / low < 10.0, "ratio {}", high / low);
+        assert!(
+            high / low > 2.0 && high / low < 10.0,
+            "ratio {}",
+            high / low
+        );
     }
 }

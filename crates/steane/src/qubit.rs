@@ -387,11 +387,7 @@ mod tests {
         s
     }
 
-    fn expectation(
-        stack: &mut ControlStack<ChpCore>,
-        support: &[usize],
-        p: Pauli,
-    ) -> Option<bool> {
+    fn expectation(stack: &mut ControlStack<ChpCore>, support: &[usize], p: Pauli) -> Option<bool> {
         let n = stack.num_qubits();
         let mut obs = PauliString::identity(n);
         for &q in support {

@@ -394,7 +394,11 @@ mod tests {
         for op in c.operations() {
             if op.as_gate() == Some(Gate::Cnot) {
                 let q = op.qubits();
-                let (anc, data) = if q[0] >= 25 { (q[0], q[1]) } else { (q[1], q[0]) };
+                let (anc, data) = if q[0] >= 25 {
+                    (q[0], q[1])
+                } else {
+                    (q[1], q[0])
+                };
                 partners.entry(anc).or_default().push(data);
             }
         }

@@ -151,8 +151,8 @@ impl MatchingDecoder {
                 let second = others.trailing_zeros() as usize;
                 others &= others - 1;
                 let remaining = rest & !(1 << second);
-                let cost = best[remaining]
-                    .saturating_add(self.pair_cost(defects[first], defects[second]));
+                let cost =
+                    best[remaining].saturating_add(self.pair_cost(defects[first], defects[second]));
                 if cost < best[set] {
                     best[set] = cost;
                     choice[set] = Some(Pairing::Together(first, second));
@@ -335,8 +335,8 @@ fn dedup_xor(qubits: &mut Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::{Rng, SeedableRng};
 
     fn syndrome_matches(code: &RotatedSurfaceCode, kind: CheckKind, errors: &[usize]) -> bool {
         let decoder = MatchingDecoder::new(code, kind);
@@ -349,7 +349,9 @@ mod tests {
     fn empty_syndrome_decodes_to_nothing() {
         let code = RotatedSurfaceCode::new(5);
         let decoder = MatchingDecoder::new(&code, CheckKind::X);
-        assert!(decoder.decode(&vec![false; decoder.syndrome_len()]).is_empty());
+        assert!(decoder
+            .decode(&vec![false; decoder.syndrome_len()])
+            .is_empty());
     }
 
     #[test]
@@ -376,10 +378,7 @@ mod tests {
                     };
                     let mut combined = correction;
                     combined.push(q);
-                    let overlap = combined
-                        .iter()
-                        .filter(|x| logical.contains(x))
-                        .count();
+                    let overlap = combined.iter().filter(|x| logical.contains(x)).count();
                     assert_eq!(overlap % 2, 0, "d={d} {kind:?} error on {q}");
                 }
             }

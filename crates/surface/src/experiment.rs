@@ -9,8 +9,7 @@
 //! a Pauli-frame layer absorbs it without touching the qubits.
 
 use qpdo_core::{
-    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
-    PauliFrameLayer,
+    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts, PauliFrameLayer,
 };
 use qpdo_pauli::{Pauli, PauliString};
 
@@ -98,8 +97,8 @@ pub fn run_distance_ler(config: &DistanceLerConfig) -> Result<DistanceLerOutcome
     above_counts.reset();
     below_counts.reset();
 
-    let mut reference = logical_z_value(&mut stack, &code)
-        .expect("fresh |0>_L has a deterministic logical value");
+    let mut reference =
+        logical_z_value(&mut stack, &code).expect("fresh |0>_L has a deterministic logical value");
     let rounds = code.distance() - 1;
     let mut windows = 0u64;
     let mut logical_errors = 0u64;
@@ -173,7 +172,10 @@ fn initialize_zero(
 
     stack.execute_diagnostic(code.esm_circuit())?;
     let (x_synd, z_synd) = read_syndromes(stack, code);
-    debug_assert!(z_synd.iter().all(|s| !s), "Z checks deterministic on |0..0>");
+    debug_assert!(
+        z_synd.iter().all(|s| !s),
+        "Z checks deterministic on |0..0>"
+    );
     // Gauge-fix the random first-round X checks with Z chains.
     let corrections = z_decoder.decode(&x_synd);
     if !corrections.is_empty() {
@@ -243,11 +245,7 @@ fn correction_slot(x_corrections: &[usize], z_corrections: &[usize]) -> Option<T
     if x_corrections.is_empty() && z_corrections.is_empty() {
         return None;
     }
-    let mut all: Vec<usize> = x_corrections
-        .iter()
-        .chain(z_corrections)
-        .copied()
-        .collect();
+    let mut all: Vec<usize> = x_corrections.iter().chain(z_corrections).copied().collect();
     all.sort_unstable();
     all.dedup();
     let mut slot = TimeSlot::new();

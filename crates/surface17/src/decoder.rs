@@ -76,9 +76,8 @@ impl LutDecoder {
                 }
             }
         }
-        let table = table.map(|entry| {
-            entry.expect("every SC17 syndrome pattern is reachable by weight <= 2")
-        });
+        let table = table
+            .map(|entry| entry.expect("every SC17 syndrome pattern is reachable by weight <= 2"));
         LutDecoder {
             checks: checks.clone(),
             table,
@@ -312,8 +311,7 @@ mod tests {
         let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
         // Check 1 flips in round 1 but returns in round 2: measurement
         // error, no correction.
-        let decision =
-            tracker.process_window([false, true, false, false], [false; 4]);
+        let decision = tracker.process_window([false, true, false, false], [false; 4]);
         assert_eq!(decision.confirmed, 0);
         assert!(decision.corrections.is_empty());
         assert_eq!(tracker.reference(), [false; 4]);
@@ -324,8 +322,7 @@ mod tests {
         let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
         // An error striking between the two rounds flips only round 2:
         // deferred, no correction yet.
-        let decision =
-            tracker.process_window([false; 4], [true, false, false, false]);
+        let decision = tracker.process_window([false; 4], [true, false, false, false]);
         assert_eq!(decision.confirmed, 0);
         assert!(decision.corrections.is_empty());
         // The error persists, so the next window sees the deviation in
@@ -344,10 +341,8 @@ mod tests {
         // intersection {1} would correct X1 and eventually complete the
         // logical X1·X4·X6; the stability rule must defer instead.
         let mut tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
-        let decision = tracker.process_window(
-            [false, true, false, false],
-            [false, true, true, false],
-        );
+        let decision =
+            tracker.process_window([false, true, false, false], [false, true, true, false]);
         assert_eq!(decision.confirmed, 0);
         assert!(decision.corrections.is_empty());
         // Next window sees the settled pattern and corrects the real

@@ -215,7 +215,11 @@ mod tests {
         for op in c.operations() {
             if op.as_gate() == Some(Gate::Cnot) {
                 let q = op.qubits();
-                let (anc, data) = if q[0] >= 9 { (q[0], q[1]) } else { (q[1], q[0]) };
+                let (anc, data) = if q[0] >= 9 {
+                    (q[0], q[1])
+                } else {
+                    (q[1], q[0])
+                };
                 partners[anc].insert(data);
             }
         }
@@ -253,16 +257,14 @@ mod tests {
     fn z_only_mode_runs_half_the_dance() {
         let c = esm_circuit(&layout(), Rotation::Normal, DanceMode::ZOnly);
         assert_eq!(c.slot_count(), 6); // reset, 4 CNOT slots, measure
-        // 4 resets + 12 CNOTs + 4 measurements.
+                                       // 4 resets + 12 CNOTs + 4 measurements.
         assert_eq!(c.operation_count(), 20);
         let census = c.census();
         assert_eq!(census.preps, 4);
         assert_eq!(census.measures, 4);
         assert_eq!(census.clifford_gates, 12);
         // No Hadamards at all.
-        assert!(c
-            .operations()
-            .all(|op| op.as_gate() != Some(Gate::H)));
+        assert!(c.operations().all(|op| op.as_gate() != Some(Gate::H)));
     }
 
     #[test]

@@ -19,8 +19,7 @@
 //! what the frame saved (Figs 5.25–5.26).
 
 use qpdo_core::{
-    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
-    PauliFrameLayer,
+    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts, PauliFrameLayer,
 };
 use qpdo_pauli::{Pauli, PauliString};
 
@@ -111,8 +110,7 @@ impl LerOutcome {
         if self.ops_above_frame == 0 {
             0.0
         } else {
-            (self.ops_above_frame - self.ops_below_frame) as f64
-                / self.ops_above_frame as f64
+            (self.ops_above_frame - self.ops_below_frame) as f64 / self.ops_above_frame as f64
         }
     }
 
@@ -122,8 +120,7 @@ impl LerOutcome {
         if self.slots_above_frame == 0 {
             0.0
         } else {
-            (self.slots_above_frame - self.slots_below_frame) as f64
-                / self.slots_above_frame as f64
+            (self.slots_above_frame - self.slots_below_frame) as f64 / self.slots_above_frame as f64
         }
     }
 }

@@ -115,10 +115,8 @@ impl NinjaStar {
     ) -> Result<(), CoreError> {
         // Reset rebuilds the star in the normal orientation (Table 5.3).
         self.props.rotation = Rotation::Normal;
-        self.x_tracker =
-            SyndromeTracker::new(&StarLayout::x_check_supports(Rotation::Normal));
-        self.z_tracker =
-            SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
+        self.x_tracker = SyndromeTracker::new(&StarLayout::x_check_supports(Rotation::Normal));
+        self.z_tracker = SyndromeTracker::new(&StarLayout::z_check_supports(Rotation::Normal));
 
         // Step 1: reset all data qubits (and the basis rotation for |+>).
         let mut circuit = Circuit::new();
@@ -541,11 +539,7 @@ mod tests {
         for q in [0, 4, 8] {
             obs.set_op(q, Pauli::Z);
         }
-        stack
-            .core_mut()
-            .simulator_mut()
-            .unwrap()
-            .expectation(&obs)
+        stack.core_mut().simulator_mut().unwrap().expectation(&obs)
     }
 
     #[test]

@@ -80,12 +80,7 @@ pub fn logical_cz(
     )
 }
 
-fn transversal_gate(
-    gate: Gate,
-    a: &StarLayout,
-    b: &StarLayout,
-    pairs: [usize; 9],
-) -> Circuit {
+fn transversal_gate(gate: Gate, a: &StarLayout, b: &StarLayout, pairs: [usize; 9]) -> Circuit {
     let mut slot = TimeSlot::new();
     for (i, &j) in pairs.iter().enumerate() {
         slot.push(Operation::gate(gate, &[a.data[i], b.data[j]]));

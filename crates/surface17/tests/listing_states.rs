@@ -57,8 +57,7 @@ fn assert_uniform_over(amps: &[Complex], support: &[usize]) {
     let anchor = amps[support[0]];
     for &idx in support {
         assert!(
-            (amps[idx] * anchor.conj()).im.abs() < 1e-9
-                && (amps[idx] * anchor.conj()).re > 0.0,
+            (amps[idx] * anchor.conj()).im.abs() < 1e-9 && (amps[idx] * anchor.conj()).re > 0.0,
             "phase mismatch at {idx:09b}"
         );
     }

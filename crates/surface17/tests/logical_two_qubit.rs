@@ -27,10 +27,7 @@ fn logical_z(stack: &mut ControlStack<ChpCore>, star: &NinjaStar) -> Option<bool
     stack.core_mut().simulator_mut().unwrap().expectation(&obs)
 }
 
-fn joint_expectation(
-    stack: &mut ControlStack<ChpCore>,
-    ops: &[(usize, Pauli)],
-) -> Option<bool> {
+fn joint_expectation(stack: &mut ControlStack<ChpCore>, ops: &[(usize, Pauli)]) -> Option<bool> {
     let mut obs = PauliString::identity(N);
     for &(q, p) in ops {
         obs.set_op(q, p);

@@ -11,10 +11,10 @@
 use qpdo_circuit::{Gate, Operation, OperationKind};
 use qpdo_core::arch::{PelCommand, QcuInstruction, QuantumControlUnit};
 use qpdo_pauli::{Pauli, PauliString};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
 use qpdo_stabilizer::StabilizerSim;
 use qpdo_surface17::{esm_circuit, DanceMode, Rotation, StarLayout};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The Physical Execution Layer stand-in: applies PEL commands to the
 /// simulator and returns raw measurement results as `(qubit, value)`.
@@ -79,11 +79,7 @@ fn build_qcu() -> QuantumControlUnit {
 /// Plain |0..0> initialization: after a QEC slot, gauge-fix the random
 /// X-check outcomes by *tracking* Z corrections in the PFU (the whole
 /// point of the architecture: corrections never reach the PEL).
-fn initialize_logical(
-    qcu: &mut QuantumControlUnit,
-    sim: &mut StabilizerSim,
-    rng: &mut StdRng,
-) {
+fn initialize_logical(qcu: &mut QuantumControlUnit, sim: &mut StabilizerSim, rng: &mut StdRng) {
     let layout = StarLayout::standard(0);
     for &d in &layout.data {
         let commands = qcu.issue(QcuInstruction::Physical(Operation::prep(d)));
@@ -100,9 +96,8 @@ fn initialize_logical(
     }
     // Decode -1 X checks with the LUT and feed the Z corrections as
     // *instructions*: the arbiter will absorb them into the PFU.
-    let lut = qpdo_surface17::LutDecoder::for_checks(&StarLayout::x_check_supports(
-        Rotation::Normal,
-    ));
+    let lut =
+        qpdo_surface17::LutDecoder::for_checks(&StarLayout::x_check_supports(Rotation::Normal));
     let mut pattern = 0u8;
     for (i, &fired) in x_syndromes.iter().enumerate() {
         if fired {

@@ -33,11 +33,7 @@ fn main() {
     // Inject a physical error behind the architecture's back and watch
     // the next window catch it.
     println!("\ninjecting a physical X error on data qubit D3...");
-    stack
-        .core_mut()
-        .simulator_mut()
-        .expect("simulator")
-        .x(3);
+    stack.core_mut().simulator_mut().expect("simulator").x(3);
     let report = star.run_window(&mut stack).expect("window");
     println!(
         "  window: confirmed Z-check events {:04b} -> {} correction gate(s)",

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic offline build + tests + hygiene gates.
+#
+# The workspace has a zero-external-dependency policy: every dependency
+# in every Cargo.toml must be a `path` dependency on a sibling crate, so
+# the whole tree builds and tests with no registry or network access.
+# This script is the enforcement point — it must pass on a machine with
+# no ~/.cargo/registry and no network.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== deny-external-deps: workspace Cargo.tomls must be path-only =="
+# Flag any dependency declared with a version/registry/git source.
+# Allowed shapes:   name = { path = "..." }   and   name.workspace = true
+# (plus [workspace.dependencies] entries, which must themselves be path-only).
+bad=0
+while IFS= read -r manifest; do
+    # Dependency lines inside any *dependencies* section that mention a
+    # registry version (`"x.y"`, version = ...) or a git source.
+    hits=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            if ($0 ~ /git[ \t]*=/ || $0 ~ /version[ \t]*=/ ||
+                $0 ~ /=[ \t]*"[0-9]/) print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done < <(git ls-files '*Cargo.toml')
+if [ "$bad" -ne 0 ]; then
+    echo "error: external (non-path) dependencies found" >&2
+    exit 1
+fi
+echo "ok: all dependencies are path-only"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "verify: OK"

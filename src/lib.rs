@@ -20,6 +20,9 @@
 //!   matching decoder (the paper's future-work extension).
 //! - [`stats`] — the statistics used by the evaluation (t-tests,
 //!   coefficients of variation, histograms).
+//! - [`rng`] — the in-repo deterministic RNG (SplitMix64 seeding +
+//!   xoshiro256**) behind every stochastic layer, so experiments
+//!   reproduce byte-for-byte with zero external dependencies.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 pub use qpdo_circuit as circuit;
 pub use qpdo_core as core;
 pub use qpdo_pauli as pauli;
+pub use qpdo_rng as rng;
 pub use qpdo_stabilizer as stabilizer;
 pub use qpdo_statevector as statevector;
 pub use qpdo_stats as stats;

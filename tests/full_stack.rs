@@ -3,9 +3,7 @@
 
 use qpdo::circuit::Circuit;
 use qpdo::core::testbench::{BellStateHistoTb, GateSupportTb};
-use qpdo::core::{
-    ChpCore, ControlStack, CounterLayer, DepolarizingModel, PauliFrameLayer, SvCore,
-};
+use qpdo::core::{ChpCore, ControlStack, CounterLayer, DepolarizingModel, PauliFrameLayer, SvCore};
 use qpdo::pauli::PauliRecord;
 use qpdo::surface17::{NinjaStar, StarLayout};
 
@@ -96,7 +94,12 @@ fn test_benches_run_on_layered_stacks() {
     let mut stack = ControlStack::with_seed(SvCore::new(), 6);
     stack.push_layer(PauliFrameLayer::new());
     stack.create_qubits(2).unwrap();
-    let histo = BellStateHistoTb { shots: 32, odd: true }.run(&mut stack).unwrap();
+    let histo = BellStateHistoTb {
+        shots: 32,
+        odd: true,
+    }
+    .run(&mut stack)
+    .unwrap();
     assert_eq!(histo.count("|00>") + histo.count("|11>"), 0);
 }
 
