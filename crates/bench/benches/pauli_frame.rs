@@ -42,11 +42,11 @@ fn arbiter_dispatch(c: &mut Harness) {
     let clifford_op = Operation::gate(Gate::Cnot, &[3, 7]);
     group.bench_function("pauli_gate", |b| {
         let mut arbiter = PauliArbiter::new(17);
-        b.iter(|| black_box(arbiter.dispatch(&pauli_op)));
+        b.iter(|| black_box(arbiter.dispatch(&pauli_op).unwrap()));
     });
     group.bench_function("clifford_gate", |b| {
         let mut arbiter = PauliArbiter::new(17);
-        b.iter(|| black_box(arbiter.dispatch(&clifford_op)));
+        b.iter(|| black_box(arbiter.dispatch(&clifford_op).unwrap()));
     });
     group.finish();
 }

@@ -14,6 +14,7 @@
 //! logical errors; `--full` uses 16 points × 10 repetitions × 50 logical
 //! errors (the paper's stopping rule).
 
+use qpdo_bench::checkpoint::SweepCheckpoint;
 use qpdo_bench::{log_space, pseudo_threshold, render_table, sci, HarnessArgs};
 use qpdo_stats::{independent_t_test, paired_t_test, Summary};
 use qpdo_surface17::experiment::{run_ler, LerConfig, LerOutcome, LogicalErrorKind};
@@ -63,27 +64,71 @@ fn main() {
         },
     );
 
+    // A paper-scale sweep takes long enough that being killed mid-run
+    // must not restart it from scratch: each completed (PER, kind, frame)
+    // point is checkpointed under the output directory, and a re-invoked
+    // `--full` run resumes past every point already on disk.
+    let mut ckpt = args.full.then(|| {
+        let fingerprint = format!(
+            "exp_ler-v1 points={} reps={reps} target={target} max_windows={max_windows} seed={}",
+            points.len(),
+            args.seed,
+        );
+        std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+        let ckpt = SweepCheckpoint::open(&args.out_dir.join("exp_ler.ckpt"), &fingerprint);
+        if !ckpt.is_empty() {
+            eprintln!(
+                "  resuming: {} sweep points already checkpointed",
+                ckpt.len()
+            );
+        }
+        ckpt
+    });
+
     let mut sweep: Vec<SweepPoint> = Vec::new();
     let mut raw_rows: Vec<String> = Vec::new();
     for (pi, &p) in points.iter().enumerate() {
         for kind in [LogicalErrorKind::XL, LogicalErrorKind::ZL] {
             for with_pf in [false, true] {
-                let mut outcomes = Vec::with_capacity(reps);
-                for rep in 0..reps {
-                    let seed = args.seed
-                        + 100_000 * pi as u64
-                        + 1000 * rep as u64
-                        + 10 * u64::from(with_pf)
-                        + u64::from(kind == LogicalErrorKind::ZL);
-                    let config = LerConfig {
-                        physical_error_rate: p,
-                        kind,
-                        with_pauli_frame: with_pf,
-                        target_logical_errors: target,
-                        max_windows,
-                        seed,
-                    };
-                    let outcome = run_ler(&config).expect("LER run");
+                let key = format!("p{pi}-{}-pf{}", kind_name(kind), u8::from(with_pf));
+                let cached: Option<Vec<LerOutcome>> = ckpt
+                    .as_ref()
+                    .and_then(|c| c.get(&key))
+                    .map(|lines| {
+                        lines
+                            .iter()
+                            .map(|line| {
+                                LerOutcome::from_record(line).expect("valid checkpoint record")
+                            })
+                            .collect()
+                    })
+                    .filter(|cached: &Vec<LerOutcome>| cached.len() == reps);
+                let outcomes = cached.unwrap_or_else(|| {
+                    let mut outcomes = Vec::with_capacity(reps);
+                    for rep in 0..reps {
+                        let seed = args.seed
+                            + 100_000 * pi as u64
+                            + 1000 * rep as u64
+                            + 10 * u64::from(with_pf)
+                            + u64::from(kind == LogicalErrorKind::ZL);
+                        let config = LerConfig {
+                            physical_error_rate: p,
+                            kind,
+                            with_pauli_frame: with_pf,
+                            target_logical_errors: target,
+                            max_windows,
+                            seed,
+                        };
+                        outcomes.push(run_ler(&config).expect("LER run"));
+                    }
+                    if let Some(ckpt) = ckpt.as_mut() {
+                        let lines: Vec<String> =
+                            outcomes.iter().map(LerOutcome::to_record).collect();
+                        ckpt.record(&key, &lines);
+                    }
+                    outcomes
+                });
+                for (rep, outcome) in outcomes.iter().enumerate() {
                     raw_rows.push(format!(
                         "{p},{},{},{rep},{},{},{}",
                         kind_name(kind),
@@ -92,7 +137,6 @@ fn main() {
                         outcome.logical_errors,
                         outcome.ler(),
                     ));
-                    outcomes.push(outcome);
                 }
                 sweep.push(SweepPoint {
                     p,
@@ -103,6 +147,9 @@ fn main() {
             }
         }
         eprintln!("  PER {} done", sci(p));
+    }
+    if let Some(ckpt) = ckpt.take() {
+        ckpt.finish();
     }
     let path = args.write_csv(
         "ler_raw.csv",

@@ -1,0 +1,308 @@
+//! Crash-safe sweep checkpoints: a `--full` LER sweep takes hours, and a
+//! killed run must resume from the last *completed* sweep point instead
+//! of restarting.
+//!
+//! # File format
+//!
+//! A checkpoint is a plain text file under the experiment's output
+//! directory:
+//!
+//! ```text
+//! qpdo-checkpoint v1 <fingerprint>
+//! begin <key> <n>
+//! <payload line 1>
+//! ...
+//! <payload line n>
+//! end <key>
+//! begin <key2> <m>
+//! ...
+//! ```
+//!
+//! Each sweep point is one `begin …`/`end …` block, appended and flushed
+//! when the point completes. A crash mid-block leaves a `begin` without
+//! its matching `end`; the loader ignores such tails, so only fully
+//! written points are ever resumed. The fingerprint (configuration +
+//! seed) guards against resuming into a run with different parameters —
+//! a mismatched file is discarded wholesale.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &str = "qpdo-checkpoint v1";
+
+/// A crash-safe store of completed sweep points, keyed by an arbitrary
+/// string (e.g. `p3-XL-pf1`), each holding the payload lines the
+/// experiment needs to reconstruct the point.
+#[derive(Debug)]
+pub struct SweepCheckpoint {
+    path: PathBuf,
+    fingerprint: String,
+    completed: BTreeMap<String, Vec<String>>,
+    file: Option<File>,
+}
+
+impl SweepCheckpoint {
+    /// Opens (or creates) the checkpoint at `path`. Completed blocks from
+    /// an earlier interrupted run are loaded when their fingerprint
+    /// matches; otherwise the file is treated as absent and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (experiment binaries want loud failures).
+    #[must_use]
+    pub fn open(path: &Path, fingerprint: &str) -> Self {
+        assert!(
+            !fingerprint.contains('\n'),
+            "fingerprint must be a single line"
+        );
+        let completed = match fs::read_to_string(path) {
+            Ok(text) => parse(&text, fingerprint),
+            Err(_) => BTreeMap::new(),
+        };
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create checkpoint directory");
+        }
+        // Rewrite the file to contain exactly the valid prefix: this
+        // drops any torn tail block and stale-fingerprint content.
+        let mut text = format!("{MAGIC} {fingerprint}\n");
+        for (key, lines) in &completed {
+            append_block(&mut text, key, lines);
+        }
+        fs::write(path, &text).expect("write checkpoint");
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .expect("reopen checkpoint for append");
+        SweepCheckpoint {
+            path: path.to_owned(),
+            fingerprint: fingerprint.to_owned(),
+            completed,
+            file: Some(file),
+        }
+    }
+
+    /// The checkpoint's backing path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fingerprint this checkpoint was opened with.
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The payload of a completed sweep point, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&[String]> {
+        self.completed.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of completed sweep points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether no sweep point has completed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Records a completed sweep point and flushes it to disk before
+    /// returning — after this call, a crash cannot lose the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, on keys containing whitespace or newlines,
+    /// and on payload lines containing newlines.
+    pub fn record(&mut self, key: &str, lines: &[String]) {
+        assert!(
+            !key.is_empty() && !key.contains(char::is_whitespace),
+            "checkpoint keys must be non-empty and whitespace-free"
+        );
+        assert!(
+            lines.iter().all(|l| !l.contains('\n')),
+            "payload lines must not contain newlines"
+        );
+        if self.completed.contains_key(key) {
+            return;
+        }
+        let mut text = String::new();
+        append_block(&mut text, key, lines);
+        let file = self.file.as_mut().expect("checkpoint file open");
+        file.write_all(text.as_bytes()).expect("append checkpoint");
+        file.sync_data().expect("flush checkpoint");
+        self.completed.insert(key.to_owned(), lines.to_vec());
+    }
+
+    /// Deletes the checkpoint file: the sweep completed, nothing is left
+    /// to resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors other than the file already being gone.
+    pub fn finish(mut self) {
+        self.file = None;
+        match fs::remove_file(&self.path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("remove checkpoint {}: {e}", self.path.display()),
+        }
+    }
+}
+
+fn append_block(text: &mut String, key: &str, lines: &[String]) {
+    use std::fmt::Write as _;
+    let _ = writeln!(text, "begin {key} {}", lines.len());
+    for line in lines {
+        let _ = writeln!(text, "{line}");
+    }
+    let _ = writeln!(text, "end {key}");
+}
+
+/// Parses the complete blocks of a checkpoint file. Anything after the
+/// last complete block — a torn `begin`, a count mismatch, a missing
+/// `end` — is ignored, as is the whole file on a fingerprint mismatch.
+fn parse(text: &str, fingerprint: &str) -> BTreeMap<String, Vec<String>> {
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return BTreeMap::new();
+    };
+    if header != format!("{MAGIC} {fingerprint}") {
+        return BTreeMap::new();
+    }
+    let mut completed = BTreeMap::new();
+    while let Some(open) = lines.next() {
+        let mut fields = open.split_whitespace();
+        let (Some("begin"), Some(key), Some(count), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            break;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            break;
+        };
+        let mut payload = Vec::with_capacity(count);
+        for _ in 0..count {
+            match lines.next() {
+                Some(line) => payload.push(line.to_owned()),
+                None => return completed,
+            }
+        }
+        if lines.next() != Some(&format!("end {key}")) {
+            break;
+        }
+        completed.insert(key.to_owned(), payload);
+    }
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qpdo-ckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_completed_points() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "exp_ler full seed=2016");
+        assert!(ckpt.is_empty());
+        ckpt.record("p0-XL-pf0", &["1 2 3".into(), "4 5 6".into()]);
+        ckpt.record("p0-XL-pf1", &["7 8 9".into()]);
+        drop(ckpt);
+
+        // A fresh open (same fingerprint) sees both points.
+        let ckpt = SweepCheckpoint::open(&path, "exp_ler full seed=2016");
+        assert_eq!(ckpt.len(), 2);
+        assert_eq!(
+            ckpt.get("p0-XL-pf0").unwrap(),
+            &["1 2 3".to_owned(), "4 5 6".to_owned()]
+        );
+        assert_eq!(ckpt.get("p0-XL-pf1").unwrap(), &["7 8 9".to_owned()]);
+        assert_eq!(ckpt.get("p1-XL-pf0"), None);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_blocks_are_dropped() {
+        let dir = tmpdir("torn");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "fp");
+        ckpt.record("a", &["1".into()]);
+        ckpt.record("b", &["2".into()]);
+        drop(ckpt);
+        // Simulate a crash mid-append: a begin with no end.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("begin c 2\nonly-one-line\n");
+        fs::write(&path, &text).unwrap();
+
+        let ckpt = SweepCheckpoint::open(&path, "fp");
+        assert_eq!(ckpt.len(), 2);
+        assert!(ckpt.get("c").is_none());
+        // The reopened file was compacted back to valid blocks only.
+        let compacted = fs::read_to_string(&path).unwrap();
+        assert!(!compacted.contains("only-one-line"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards_everything() {
+        let dir = tmpdir("fingerprint");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "seed=1");
+        ckpt.record("a", &["1".into()]);
+        drop(ckpt);
+        let ckpt = SweepCheckpoint::open(&path, "seed=2");
+        assert!(ckpt.is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn duplicate_records_are_idempotent() {
+        let dir = tmpdir("dup");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "fp");
+        ckpt.record("a", &["1".into()]);
+        ckpt.record("a", &["different".into()]);
+        assert_eq!(ckpt.get("a").unwrap(), &["1".to_owned()]);
+        drop(ckpt);
+        let ckpt = SweepCheckpoint::open(&path, "fp");
+        assert_eq!(ckpt.get("a").unwrap(), &["1".to_owned()]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn finish_removes_the_file() {
+        let dir = tmpdir("finish");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "fp");
+        ckpt.record("a", &["1".into()]);
+        ckpt.finish();
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_payload_blocks_are_valid() {
+        let dir = tmpdir("empty");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "fp");
+        ckpt.record("nothing", &[]);
+        drop(ckpt);
+        let ckpt = SweepCheckpoint::open(&path, "fp");
+        assert_eq!(ckpt.get("nothing").unwrap(), &[] as &[String]);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod harness;
 
 use std::fmt::Write as _;
@@ -27,6 +28,9 @@ pub struct HarnessArgs {
     pub out_dir: PathBuf,
     /// Base RNG seed.
     pub seed: u64,
+    /// Self-check mode requested with `--test <mode>` (e.g. `smoke`):
+    /// the binary runs a reduced, assertion-checked configuration.
+    pub test_mode: Option<String>,
 }
 
 impl HarnessArgs {
@@ -37,6 +41,7 @@ impl HarnessArgs {
             full: false,
             out_dir: PathBuf::from("results"),
             seed: 2016,
+            test_mode: None,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -54,6 +59,10 @@ impl HarnessArgs {
                         usage("--seed needs an integer");
                     });
                 }
+                "--test" => {
+                    args.test_mode =
+                        Some(iter.next().unwrap_or_else(|| usage("--test needs a mode")));
+                }
                 "--help" | "-h" => {
                     usage("");
                 }
@@ -61,6 +70,12 @@ impl HarnessArgs {
             }
         }
         args
+    }
+
+    /// Whether `--test smoke` was requested.
+    #[must_use]
+    pub fn smoke(&self) -> bool {
+        self.test_mode.as_deref() == Some("smoke")
     }
 
     /// Writes a CSV series into the output directory, creating it on
@@ -86,7 +101,7 @@ fn usage(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: <experiment> [--full] [--out DIR] [--seed N]");
+    eprintln!("usage: <experiment> [--full] [--out DIR] [--seed N] [--test MODE]");
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 

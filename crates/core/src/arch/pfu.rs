@@ -154,6 +154,18 @@ impl PauliFrameUnit {
         }
     }
 
+    /// Flushes the stored record of qubit `q` to `I`, returning the Pauli
+    /// gates that must execute physically to compensate. This is the
+    /// arbiter's deadline-miss fallback: when tracking cannot complete in
+    /// time, the record is materialized as gates instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn flush_qubit(&mut self, q: usize) -> Vec<Pauli> {
+        self.frame.flush(q)
+    }
+
     /// Maps a raw measurement result of qubit `q` through its record
     /// (step 4 of Fig 3.12b).
     ///

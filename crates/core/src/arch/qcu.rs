@@ -3,6 +3,8 @@ use std::collections::BTreeMap;
 use qpdo_circuit::Operation;
 
 use super::{PauliArbiter, PelCommand};
+use crate::fault::{ClassicalFaultKind, ResultChannel};
+use crate::CoreError;
 
 /// The QEC Cycle Generator callback installed into a QCU.
 pub type EsmGenerator = Box<dyn FnMut(&QSymbolTable) -> Vec<Operation>>;
@@ -134,12 +136,10 @@ impl LogicMeasurementUnit {
     /// `outcome` is `true` for logical `|1⟩` (odd parity, i.e. product
     /// `-1`).
     pub fn feed(&mut self, physical_qubit: usize, result: bool) -> Option<(usize, bool)> {
-        let logical = *self
+        let (&logical, entry) = self
             .pending
-            .iter()
-            .find(|(_, p)| p.awaiting.contains(&physical_qubit))?
-            .0;
-        let entry = self.pending.get_mut(&logical).expect("just found");
+            .iter_mut()
+            .find(|(_, p)| p.awaiting.contains(&physical_qubit))?;
         entry.awaiting.retain(|&q| q != physical_qubit);
         entry.parity ^= result;
         if entry.awaiting.is_empty() {
@@ -197,7 +197,9 @@ pub enum QcuInstruction {
 /// let mut qcu = QuantumControlUnit::new(17);
 /// qcu.symbol_table_mut().allocate(0, (0..9).collect(), (9..17).collect());
 /// // Pauli gates vanish into the frame:
-/// let pel = qcu.issue(QcuInstruction::Physical(Operation::gate(Gate::X, &[2])));
+/// let pel = qcu
+///     .issue(QcuInstruction::Physical(Operation::gate(Gate::X, &[2])))
+///     .unwrap();
 /// assert!(pel.is_empty());
 /// ```
 pub struct QuantumControlUnit {
@@ -206,6 +208,13 @@ pub struct QuantumControlUnit {
     lmu: LogicMeasurementUnit,
     esm_generator: Option<EsmGenerator>,
     logical_results: BTreeMap<usize, bool>,
+    result_channel: Option<ResultChannel>,
+    /// Per-qubit highest result sequence number accepted so far.
+    last_accepted: BTreeMap<usize, u64>,
+    /// Per-qubit results lost in transit (dropped or displaced by a stale
+    /// replay), awaiting [`reissue_pending`](Self::reissue_pending).
+    pending_lost: BTreeMap<usize, u64>,
+    events: Vec<CoreError>,
 }
 
 impl std::fmt::Debug for QuantumControlUnit {
@@ -229,6 +238,10 @@ impl QuantumControlUnit {
             lmu: LogicMeasurementUnit::new(),
             esm_generator: None,
             logical_results: BTreeMap::new(),
+            result_channel: None,
+            last_accepted: BTreeMap::new(),
+            pending_lost: BTreeMap::new(),
+            events: Vec::new(),
         }
     }
 
@@ -260,9 +273,42 @@ impl QuantumControlUnit {
         &mut self.symbol_table
     }
 
+    /// Mutable access to the arbiter (budget / fault-plan configuration).
+    pub fn arbiter_mut(&mut self) -> &mut PauliArbiter {
+        &mut self.arbiter
+    }
+
+    /// Caps the arbiter's classical work units per time slot (each issued
+    /// instruction opens a fresh slot).
+    pub fn set_slot_budget(&mut self, budget: Option<u64>) {
+        self.arbiter.set_slot_budget(budget);
+    }
+
+    /// Routes measurement results through a (possibly faulty)
+    /// [`ResultChannel`]; the QCU then acts as the protected,
+    /// sequence-checking receiver.
+    pub fn set_result_channel(&mut self, channel: ResultChannel) {
+        self.result_channel = Some(channel);
+    }
+
+    /// Drains the classical-fault events observed by the QCU and its
+    /// arbiter (deadline misses, rejected result messages, drops).
+    pub fn drain_fault_events(&mut self) -> Vec<CoreError> {
+        let mut events = std::mem::take(&mut self.events);
+        events.extend(self.arbiter.drain_fault_events());
+        events
+    }
+
     /// Decodes and executes one instruction, returning the PEL commands
-    /// it generates.
-    pub fn issue(&mut self, instruction: QcuInstruction) -> Vec<PelCommand> {
+    /// it generates. Each instruction opens a fresh real-time slot for
+    /// the arbiter's budget accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QubitOutOfRange`] when an operation
+    /// references qubits outside the unit.
+    pub fn issue(&mut self, instruction: QcuInstruction) -> Result<Vec<PelCommand>, CoreError> {
+        self.arbiter.begin_time_slot();
         match instruction {
             QcuInstruction::Physical(op) => self.arbiter.dispatch(&op),
             QcuInstruction::QecSlot => {
@@ -270,23 +316,27 @@ impl QuantumControlUnit {
                     Some(generator) => generator(&self.symbol_table),
                     None => Vec::new(),
                 };
-                ops.iter()
-                    .flat_map(|op| self.arbiter.dispatch(op))
-                    .collect()
+                let mut pel = Vec::new();
+                for op in &ops {
+                    pel.extend(self.arbiter.dispatch(op)?);
+                }
+                Ok(pel)
             }
             QcuInstruction::LogicalMeasure { logical } => {
                 let Some(entry) = self.symbol_table.entry(logical) else {
-                    return Vec::new();
+                    return Ok(Vec::new());
                 };
                 let data = entry.data_qubits.clone();
                 self.lmu.arm(logical, data.clone());
-                data.iter()
-                    .flat_map(|&q| self.arbiter.dispatch(&Operation::measure(q)))
-                    .collect()
+                let mut pel = Vec::new();
+                for &q in &data {
+                    pel.extend(self.arbiter.dispatch(&Operation::measure(q))?);
+                }
+                Ok(pel)
             }
             QcuInstruction::Deallocate { logical } => {
                 self.symbol_table.deallocate(logical);
-                Vec::new()
+                Ok(Vec::new())
             }
         }
     }
@@ -300,6 +350,75 @@ impl QuantumControlUnit {
             self.logical_results.insert(logical, outcome);
         }
         mapped
+    }
+
+    /// Delivers a raw PEL result through the configured result channel
+    /// (or directly when none is set). The QCU is the protected receiver:
+    /// messages whose sequence number does not advance past the last
+    /// accepted one are rejected as duplicates or stale replays, and a
+    /// result lost in transit is remembered for
+    /// [`reissue_pending`](Self::reissue_pending). Returns the
+    /// frame-corrected results actually accepted (usually exactly one).
+    pub fn deliver_measurement(&mut self, physical_qubit: usize, raw: bool) -> Vec<bool> {
+        let Some(channel) = self.result_channel.as_mut() else {
+            return vec![self.return_measurement(physical_qubit, raw)];
+        };
+        let delivered = channel.send(physical_qubit, raw);
+        if delivered.is_empty() {
+            *self.pending_lost.entry(physical_qubit).or_insert(0) += 1;
+            self.events.push(CoreError::ClassicalFault {
+                kind: ClassicalFaultKind::ResultDrop,
+                qubit: Some(physical_qubit),
+            });
+            return Vec::new();
+        }
+        let mut accepted = Vec::new();
+        for message in delivered {
+            let last = self.last_accepted.get(&message.qubit).copied();
+            if last.is_some_and(|s| message.seq <= s) {
+                let kind = if last == Some(message.seq) {
+                    ClassicalFaultKind::ResultDuplicate
+                } else {
+                    ClassicalFaultKind::ResultStale
+                };
+                self.events.push(CoreError::ClassicalFault {
+                    kind,
+                    qubit: Some(message.qubit),
+                });
+                continue;
+            }
+            self.last_accepted.insert(message.qubit, message.seq);
+            accepted.push(self.return_measurement(message.qubit, message.value));
+        }
+        if accepted.is_empty() {
+            // A stale replay displaced the fresh result: it is lost just
+            // like a drop and must be reissued.
+            *self.pending_lost.entry(physical_qubit).or_insert(0) += 1;
+        }
+        accepted
+    }
+
+    /// Whether qubit `physical_qubit` has a result lost in transit.
+    #[must_use]
+    pub fn has_pending_result(&self, physical_qubit: usize) -> bool {
+        self.pending_lost.get(&physical_qubit).copied().unwrap_or(0) > 0
+    }
+
+    /// Recovers one lost result for `physical_qubit` by re-reading the
+    /// (already collapsed) qubit: `raw` is the value the PEL reproduces.
+    /// The reissue travels fault-free with a fresh sequence number.
+    /// Returns the frame-corrected result, or `None` when nothing was
+    /// pending.
+    pub fn reissue_pending(&mut self, physical_qubit: usize, raw: bool) -> Option<bool> {
+        let pending = self.pending_lost.get_mut(&physical_qubit)?;
+        if *pending == 0 {
+            return None;
+        }
+        *pending -= 1;
+        let channel = self.result_channel.as_mut()?;
+        let message = channel.reissue(physical_qubit, raw);
+        self.last_accepted.insert(message.qubit, message.seq);
+        Some(self.return_measurement(message.qubit, message.value))
     }
 
     /// The latest completed logical measurement result for `logical`
@@ -347,7 +466,9 @@ mod tests {
     fn qcu_logical_measurement_flow() {
         let mut qcu = QuantumControlUnit::new(4);
         qcu.symbol_table_mut().allocate(0, vec![0, 1, 2], vec![3]);
-        let pel = qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
+        let pel = qcu
+            .issue(QcuInstruction::LogicalMeasure { logical: 0 })
+            .unwrap();
         assert_eq!(pel.len(), 3); // three physical measurements
                                   // Return raw results: even parity -> logical |0>.
         qcu.return_measurement(0, true);
@@ -363,8 +484,10 @@ mod tests {
         qcu.symbol_table_mut().allocate(0, vec![0, 1, 2], vec![]);
         // Track an X on data qubit 1: its measurement result inverts,
         // flipping the logical parity.
-        qcu.issue(QcuInstruction::Physical(Operation::gate(Gate::X, &[1])));
-        qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
+        qcu.issue(QcuInstruction::Physical(Operation::gate(Gate::X, &[1])))
+            .unwrap();
+        qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 })
+            .unwrap();
         qcu.return_measurement(0, false);
         qcu.return_measurement(1, false); // mapped to 1 by the record
         qcu.return_measurement(2, false);
@@ -386,20 +509,104 @@ mod tests {
             }
             ops
         });
-        let pel = qcu.issue(QcuInstruction::QecSlot);
+        let pel = qcu.issue(QcuInstruction::QecSlot).unwrap();
         assert_eq!(pel.len(), 2);
         // Without a generator nothing happens.
         let mut bare = QuantumControlUnit::new(1);
-        assert!(bare.issue(QcuInstruction::QecSlot).is_empty());
+        assert!(bare.issue(QcuInstruction::QecSlot).unwrap().is_empty());
     }
 
     #[test]
     fn deallocate_stops_logical_ops() {
         let mut qcu = QuantumControlUnit::new(2);
         qcu.symbol_table_mut().allocate(0, vec![0, 1], vec![]);
-        qcu.issue(QcuInstruction::Deallocate { logical: 0 });
+        qcu.issue(QcuInstruction::Deallocate { logical: 0 })
+            .unwrap();
         assert!(qcu
             .issue(QcuInstruction::LogicalMeasure { logical: 0 })
+            .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn direct_delivery_without_a_channel() {
+        let mut qcu = QuantumControlUnit::new(1);
+        assert_eq!(qcu.deliver_measurement(0, true), vec![true]);
+        assert!(!qcu.has_pending_result(0));
+    }
+
+    #[test]
+    fn dropped_results_are_recovered_by_reissue() {
+        use crate::fault::{FaultPlan, FaultRates, ResultChannel};
+        let mut rates = FaultRates::zero();
+        rates.result_drop = 1.0;
+        let mut qcu = QuantumControlUnit::new(2);
+        qcu.set_result_channel(ResultChannel::new(FaultPlan::new(rates, 3).unwrap(), 2));
+        assert!(qcu.deliver_measurement(0, true).is_empty());
+        assert!(qcu.has_pending_result(0));
+        let events = qcu.drain_fault_events();
+        assert!(matches!(
+            events[0],
+            CoreError::ClassicalFault {
+                kind: ClassicalFaultKind::ResultDrop,
+                qubit: Some(0)
+            }
+        ));
+        assert_eq!(qcu.reissue_pending(0, true), Some(true));
+        assert!(!qcu.has_pending_result(0));
+        assert_eq!(qcu.reissue_pending(0, true), None);
+    }
+
+    #[test]
+    fn duplicates_are_rejected_by_sequence_check() {
+        use crate::fault::{FaultPlan, FaultRates, ResultChannel};
+        let mut rates = FaultRates::zero();
+        rates.result_duplicate = 1.0;
+        let mut qcu = QuantumControlUnit::new(1);
+        qcu.set_result_channel(ResultChannel::new(FaultPlan::new(rates, 5).unwrap(), 1));
+        // The duplicate arrives twice but is accepted exactly once.
+        assert_eq!(qcu.deliver_measurement(0, true), vec![true]);
+        assert!(!qcu.has_pending_result(0));
+        let events = qcu.drain_fault_events();
+        assert!(matches!(
+            events[0],
+            CoreError::ClassicalFault {
+                kind: ClassicalFaultKind::ResultDuplicate,
+                qubit: Some(0)
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_replays_are_rejected_and_recovered() {
+        use crate::fault::{FaultPlan, FaultRates, ResultChannel};
+        let mut rates = FaultRates::zero();
+        rates.result_stale = 1.0;
+        let mut qcu = QuantumControlUnit::new(1);
+        qcu.set_result_channel(ResultChannel::new(FaultPlan::new(rates, 6).unwrap(), 1));
+        // First send: nothing older exists, the fresh value passes.
+        assert_eq!(qcu.deliver_measurement(0, false), vec![false]);
+        // Second send: the old result arrives instead and is rejected;
+        // the fresh value must be reissued.
+        assert!(qcu.deliver_measurement(0, true).is_empty());
+        assert!(qcu.has_pending_result(0));
+        assert_eq!(qcu.reissue_pending(0, true), Some(true));
+        // The replayed message re-carries an already-accepted sequence
+        // number: rejected either way (a replay of the *latest* accepted
+        // result is indistinguishable from a duplicate at the receiver).
+        let events = qcu.drain_fault_events();
+        assert!(matches!(
+            events[0],
+            CoreError::ClassicalFault { qubit: Some(0), .. }
+        ));
+    }
+
+    #[test]
+    fn issue_propagates_out_of_range() {
+        let mut qcu = QuantumControlUnit::new(1);
+        let err = qcu
+            .issue(QcuInstruction::Physical(Operation::gate(Gate::H, &[4])))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::QubitOutOfRange { qubit: 4, .. }));
     }
 }

@@ -2,6 +2,8 @@ use std::fmt;
 
 use qpdo_circuit::Gate;
 
+use crate::fault::ClassicalFaultKind;
+
 /// Errors produced by control stacks and simulation cores.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CoreError {
@@ -28,6 +30,31 @@ pub enum CoreError {
         /// The back-end's maximum.
         maximum: usize,
     },
+    /// A classical-control fault was detected by a protection mechanism
+    /// (parity scrub, sequence-numbered result channel, …).
+    ClassicalFault {
+        /// The fault class that was detected.
+        kind: ClassicalFaultKind,
+        /// The physical qubit whose classical record or result was
+        /// affected, when attributable.
+        qubit: Option<usize>,
+    },
+    /// The classical control exceeded its real-time budget for a time
+    /// slot and had to fall back to flushing the frame as gates.
+    DeadlineMissed {
+        /// Classical work units attempted in the slot.
+        used: u64,
+        /// The configured per-slot budget.
+        budget: u64,
+    },
+    /// A probability parameter was outside `[0, 1]`. The value is kept
+    /// as text so the error type stays `Eq`.
+    InvalidProbability {
+        /// The offending value, formatted.
+        value: String,
+        /// What the probability parameterized.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +79,19 @@ impl fmt::Display for CoreError {
                     "requested {requested} qubits, back-end maximum is {maximum}"
                 )
             }
+            CoreError::ClassicalFault { kind, qubit } => match qubit {
+                Some(q) => write!(f, "classical fault ({kind}) on qubit {q}"),
+                None => write!(f, "classical fault ({kind})"),
+            },
+            CoreError::DeadlineMissed { used, budget } => {
+                write!(
+                    f,
+                    "real-time deadline missed: {used} classical work units in a slot budgeted for {budget}"
+                )
+            }
+            CoreError::InvalidProbability { value, context } => {
+                write!(f, "invalid {context} {value}: must be in [0, 1]")
+            }
         }
     }
 }
@@ -75,5 +115,27 @@ mod tests {
         .to_string()
         .contains("qubit 9"));
         assert!(!CoreError::NoQubits.to_string().is_empty());
+    }
+
+    #[test]
+    fn classical_fault_messages() {
+        let e = CoreError::ClassicalFault {
+            kind: ClassicalFaultKind::FrameBitFlip,
+            qubit: Some(3),
+        };
+        assert!(e.to_string().contains("qubit 3"));
+        let e = CoreError::ClassicalFault {
+            kind: ClassicalFaultKind::ResultDrop,
+            qubit: None,
+        };
+        assert!(e.to_string().contains("classical fault"));
+        let e = CoreError::DeadlineMissed { used: 3, budget: 0 };
+        assert!(e.to_string().contains("deadline"));
+        let e = CoreError::InvalidProbability {
+            value: "1.5".to_owned(),
+            context: "physical error rate",
+        };
+        assert!(e.to_string().contains("error rate"));
+        assert!(e.to_string().contains("1.5"));
     }
 }

@@ -1,6 +1,8 @@
 use qpdo_pauli::Pauli;
 use qpdo_rng::Rng;
 
+use crate::CoreError;
+
 /// Counters of injected errors, readable after an experiment.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ErrorCounts {
@@ -60,14 +62,35 @@ impl DepolarizingModel {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `[0, 1]`.
+    /// Panics if `p` is not in `[0, 1]`; use
+    /// [`try_new`](Self::try_new) to handle that case gracefully.
     #[must_use]
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "error rate must be in [0, 1]");
-        DepolarizingModel {
+        match DepolarizingModel::try_new(p) {
+            Ok(model) => model,
+            // invariant: constructor contract — the fallible path is try_new.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a model with physical error rate `p`, rejecting (not
+    /// clamping) rates outside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProbability`] when `p` is not a
+    /// probability.
+    pub fn try_new(p: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CoreError::InvalidProbability {
+                value: format!("{p}"),
+                context: "physical error rate",
+            });
+        }
+        Ok(DepolarizingModel {
             p,
             counts: ErrorCounts::default(),
-        }
+        })
     }
 
     /// The physical error rate.
@@ -90,7 +113,11 @@ impl DepolarizingModel {
     /// Samples the error after a single-qubit operation: `Some(X|Y|Z)`
     /// with probability `p/3` each.
     pub fn sample_single<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Pauli> {
-        if rng.gen::<f64>() >= self.p {
+        // p = 0 and p = 1 are exact: no threshold draw at the endpoints.
+        if self.p <= 0.0 {
+            return None;
+        }
+        if self.p < 1.0 && rng.gen::<f64>() >= self.p {
             return None;
         }
         self.counts.single_qubit += 1;
@@ -114,7 +141,10 @@ impl DepolarizingModel {
     /// non-identity pairs with probability `p/15` each. At least one
     /// element of a returned pair is non-identity.
     pub fn sample_two<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<(Pauli, Pauli)> {
-        if rng.gen::<f64>() >= self.p {
+        if self.p <= 0.0 {
+            return None;
+        }
+        if self.p < 1.0 && rng.gen::<f64>() >= self.p {
             return None;
         }
         self.counts.two_qubit += 1;
@@ -128,7 +158,10 @@ impl DepolarizingModel {
 
     /// Samples whether a measurement suffers an X error (probability `p`).
     pub fn sample_measurement_flip<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
-        if rng.gen::<f64>() < self.p {
+        if self.p <= 0.0 {
+            return false;
+        }
+        if self.p >= 1.0 || rng.gen::<f64>() < self.p {
             self.counts.measurement += 1;
             true
         } else {
@@ -217,5 +250,37 @@ mod tests {
     #[should_panic(expected = "error rate")]
     fn invalid_rate_panics() {
         let _ = DepolarizingModel::new(1.5);
+    }
+
+    #[test]
+    fn out_of_range_rates_are_rejected_not_clamped() {
+        for p in [-0.1, 1.0001, f64::NAN, f64::INFINITY] {
+            let err = DepolarizingModel::try_new(p).unwrap_err();
+            assert!(matches!(err, CoreError::InvalidProbability { .. }), "{p}");
+        }
+        assert!(DepolarizingModel::try_new(0.0).is_ok());
+        assert!(DepolarizingModel::try_new(1.0).is_ok());
+    }
+
+    #[test]
+    fn endpoint_rates_draw_no_threshold_randomness() {
+        // p = 0 consumes no randomness at all: the stream is untouched.
+        let mut model = DepolarizingModel::new(0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(model.sample_single(&mut rng).is_none());
+            assert!(model.sample_two(&mut rng).is_none());
+            assert!(!model.sample_measurement_flip(&mut rng));
+        }
+        let mut fresh = StdRng::seed_from_u64(11);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
+
+        // p = 1 never draws a threshold: measurement flips consume
+        // nothing, and gate errors only draw the which-Pauli choice.
+        let mut model = DepolarizingModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut fresh = StdRng::seed_from_u64(12);
+        assert!(model.sample_measurement_flip(&mut rng));
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
     }
 }

@@ -1,0 +1,470 @@
+//! Classical-control fault injection.
+//!
+//! The paper's evaluation injects *quantum* noise and assumes the
+//! classical control — the PFU registers, the measurement-result channel
+//! and the arbiter (Figs 3.10–3.12) — is perfect and always meets its
+//! real-time deadline. This module makes the classical side a failure
+//! domain of its own: a seeded, deterministic [`FaultPlan`] injects
+//!
+//! - bit flips into stored Pauli-frame records (the
+//!   [`ProtectedPauliFrameLayer`](crate::ProtectedPauliFrameLayer)
+//!   consumes these),
+//! - dropped / duplicated / stale measurement results on the QCU's
+//!   result channel (modelled by [`ResultChannel`]),
+//! - arbiter deadline overruns (consumed by
+//!   [`arch::PauliArbiter`](crate::arch::PauliArbiter)).
+//!
+//! Every plan owns its **own** RNG stream, separate from the stack's
+//! quantum-noise RNG: installing a plan with all rates zero is
+//! bit-identical to installing no plan at all.
+
+use std::fmt;
+
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
+
+use crate::CoreError;
+
+/// The classes of classical-control faults the plan can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClassicalFaultKind {
+    /// A stored Pauli-frame record bit flipped (x, z or parity bit).
+    FrameBitFlip,
+    /// A measurement result was dropped on the QCU result channel.
+    ResultDrop,
+    /// A measurement result was duplicated on the QCU result channel.
+    ResultDuplicate,
+    /// A stale (earlier) measurement result was replayed on the channel.
+    ResultStale,
+    /// The arbiter exceeded its real-time budget for a time slot.
+    DeadlineOverrun,
+}
+
+impl fmt::Display for ClassicalFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClassicalFaultKind::FrameBitFlip => "frame bit flip",
+            ClassicalFaultKind::ResultDrop => "dropped result",
+            ClassicalFaultKind::ResultDuplicate => "duplicated result",
+            ClassicalFaultKind::ResultStale => "stale result",
+            ClassicalFaultKind::DeadlineOverrun => "deadline overrun",
+        })
+    }
+}
+
+/// Which stored bit of a Pauli-frame record a fault strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameBit {
+    /// The record's x bit.
+    X,
+    /// The record's z bit.
+    Z,
+    /// The protection parity bit (x ⊕ z). Meaningless on an unprotected
+    /// frame, which stores no parity — the consumer remaps it there.
+    Parity,
+}
+
+/// Per-class Bernoulli rates for classical faults.
+///
+/// Frame flips are per record per time slot; result faults are per
+/// delivered result; deadline overruns are per arbiter dispatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultRates {
+    /// Probability a stored frame record suffers a bit flip, per record
+    /// per time slot.
+    pub frame_bit_flip: f64,
+    /// Probability a measurement result is dropped in transit.
+    pub result_drop: f64,
+    /// Probability a measurement result is delivered twice.
+    pub result_duplicate: f64,
+    /// Probability an earlier result is replayed instead of the new one.
+    pub result_stale: f64,
+    /// Probability one arbiter dispatch transiently overruns its slot.
+    pub deadline_overrun: f64,
+}
+
+impl FaultRates {
+    /// All rates zero: a plan that never fires.
+    #[must_use]
+    pub fn zero() -> Self {
+        FaultRates::default()
+    }
+
+    /// Only frame-record bit flips, at the given rate.
+    #[must_use]
+    pub fn frame_only(rate: f64) -> Self {
+        FaultRates {
+            frame_bit_flip: rate,
+            ..FaultRates::default()
+        }
+    }
+
+    /// Checks every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProbability`] naming the offending
+    /// field for any rate outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fields = [
+            (self.frame_bit_flip, "frame bit-flip rate"),
+            (self.result_drop, "result drop rate"),
+            (self.result_duplicate, "result duplicate rate"),
+            (self.result_stale, "result stale rate"),
+            (self.deadline_overrun, "deadline overrun rate"),
+        ];
+        for (value, context) in fields {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(CoreError::InvalidProbability {
+                    value: format!("{value}"),
+                    context,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters of faults a plan has injected, by class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Frame-record bit flips injected.
+    pub frame_bit_flips: u64,
+    /// Results dropped.
+    pub result_drops: u64,
+    /// Results duplicated.
+    pub result_duplicates: u64,
+    /// Stale results replayed.
+    pub result_stales: u64,
+    /// Transient deadline overruns injected.
+    pub deadline_overruns: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.frame_bit_flips
+            + self.result_drops
+            + self.result_duplicates
+            + self.result_stales
+            + self.deadline_overruns
+    }
+}
+
+/// A seeded, deterministic classical-fault injector.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::fault::{FaultPlan, FaultRates};
+///
+/// let mut plan = FaultPlan::new(FaultRates::frame_only(1.0), 7).unwrap();
+/// assert!(plan.sample_frame_bit_flip().is_some());
+/// let mut silent = FaultPlan::new(FaultRates::zero(), 7).unwrap();
+/// assert!(silent.sample_frame_bit_flip().is_none());
+/// assert_eq!(silent.counts().total(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    rates: FaultRates,
+    rng: StdRng,
+    counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// A plan firing at the given rates, deterministic from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProbability`] for any rate outside
+    /// `[0, 1]`.
+    pub fn new(rates: FaultRates, seed: u64) -> Result<Self, CoreError> {
+        rates.validate()?;
+        Ok(FaultPlan {
+            rates,
+            rng: StdRng::seed_from_u64(seed),
+            counts: FaultCounts::default(),
+        })
+    }
+
+    /// A plan that never fires (useful as an inert default).
+    #[must_use]
+    pub fn inert(seed: u64) -> Self {
+        FaultPlan {
+            rates: FaultRates::zero(),
+            rng: StdRng::seed_from_u64(seed),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Faults injected so far, by class.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// One Bernoulli draw, exact at the endpoints: `p <= 0` never fires
+    /// and `p >= 1` always fires, neither consuming randomness.
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        p >= 1.0 || self.rng.gen::<f64>() < p
+    }
+
+    /// Samples whether one stored frame record is struck this time slot;
+    /// on a hit, which bit flips (uniform over x, z, parity).
+    pub fn sample_frame_bit_flip(&mut self) -> Option<FrameBit> {
+        if !self.bernoulli(self.rates.frame_bit_flip) {
+            return None;
+        }
+        self.counts.frame_bit_flips += 1;
+        Some(match self.rng.gen_range(0..3u8) {
+            0 => FrameBit::X,
+            1 => FrameBit::Z,
+            _ => FrameBit::Parity,
+        })
+    }
+
+    /// Samples the fate of one result delivery on the channel. At most
+    /// one fault class fires per delivery (drop wins over duplicate over
+    /// stale).
+    pub fn sample_result_fault(&mut self) -> Option<ClassicalFaultKind> {
+        if self.bernoulli(self.rates.result_drop) {
+            self.counts.result_drops += 1;
+            return Some(ClassicalFaultKind::ResultDrop);
+        }
+        if self.bernoulli(self.rates.result_duplicate) {
+            self.counts.result_duplicates += 1;
+            return Some(ClassicalFaultKind::ResultDuplicate);
+        }
+        if self.bernoulli(self.rates.result_stale) {
+            self.counts.result_stales += 1;
+            return Some(ClassicalFaultKind::ResultStale);
+        }
+        None
+    }
+
+    /// Samples whether one arbiter dispatch transiently overruns its
+    /// deadline (a retry re-samples and may succeed).
+    pub fn sample_deadline_overrun(&mut self) -> bool {
+        if self.bernoulli(self.rates.deadline_overrun) {
+            self.counts.deadline_overruns += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A sequence-numbered measurement result travelling the faulty channel.
+///
+/// The sequence number is what lets a *protected* receiver detect
+/// duplicates, stale replays and gaps; an unprotected receiver ignores
+/// it and consumes whatever arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResultMessage {
+    /// The physical qubit the result belongs to.
+    pub qubit: usize,
+    /// Monotonic per-qubit send sequence number.
+    pub seq: u64,
+    /// The raw measurement value.
+    pub value: bool,
+}
+
+/// The QCU's measurement-result channel with fault injection: results
+/// sent by the Physical Execution Layer may be dropped, duplicated or
+/// replaced by a stale earlier result on their way to the QCU.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::fault::{FaultPlan, FaultRates, ResultChannel};
+///
+/// let mut chan = ResultChannel::new(FaultPlan::inert(0), 4);
+/// let delivered = chan.send(2, true);
+/// assert_eq!(delivered.len(), 1);
+/// assert_eq!(delivered[0].qubit, 2);
+/// assert!(delivered[0].value);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ResultChannel {
+    plan: FaultPlan,
+    /// Per-qubit send counter.
+    next_seq: Vec<u64>,
+    /// Per-qubit last message that made it onto the wire (stale source).
+    last_sent: Vec<Option<ResultMessage>>,
+}
+
+impl ResultChannel {
+    /// A channel over `qubits` physical qubits driven by `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan, qubits: usize) -> Self {
+        ResultChannel {
+            plan,
+            next_seq: vec![0; qubits],
+            last_sent: vec![None; qubits],
+        }
+    }
+
+    /// Faults injected by the channel so far.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        self.plan.counts()
+    }
+
+    /// Sends one raw result; returns what actually arrives at the QCU
+    /// (possibly nothing, possibly twice, possibly an old result).
+    pub fn send(&mut self, qubit: usize, value: bool) -> Vec<ResultMessage> {
+        let message = ResultMessage {
+            qubit,
+            seq: self.next_seq[qubit],
+            value,
+        };
+        self.next_seq[qubit] += 1;
+        match self.plan.sample_result_fault() {
+            Some(ClassicalFaultKind::ResultDrop) => Vec::new(),
+            Some(ClassicalFaultKind::ResultDuplicate) => {
+                self.last_sent[qubit] = Some(message);
+                vec![message, message]
+            }
+            Some(ClassicalFaultKind::ResultStale) => match self.last_sent[qubit] {
+                // The new result is lost; an earlier one arrives instead.
+                Some(old) => vec![old],
+                None => {
+                    self.last_sent[qubit] = Some(message);
+                    vec![message]
+                }
+            },
+            _ => {
+                self.last_sent[qubit] = Some(message);
+                vec![message]
+            }
+        }
+    }
+
+    /// Re-sends a result **fault-free** with a fresh sequence number.
+    ///
+    /// This is the QCU's drop-recovery path: the measured qubit has
+    /// already collapsed, so re-reading it reproduces the value, and the
+    /// fresh sequence number lets the protected receiver accept what it
+    /// previously never saw (or rejected as stale).
+    pub fn reissue(&mut self, qubit: usize, value: bool) -> ResultMessage {
+        let message = ResultMessage {
+            qubit,
+            seq: self.next_seq[qubit],
+            value,
+        };
+        self.next_seq[qubit] += 1;
+        self.last_sent[qubit] = Some(message);
+        message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let mut rates = FaultRates::zero();
+        rates.result_drop = 1.5;
+        let err = FaultPlan::new(rates, 0).unwrap_err();
+        assert!(err.to_string().contains("drop rate"));
+        assert!(FaultRates::frame_only(-0.1).validate().is_err());
+        assert!(FaultRates::frame_only(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_rates_consume_no_randomness() {
+        let mut plan = FaultPlan::new(FaultRates::zero(), 9).unwrap();
+        for _ in 0..100 {
+            assert!(plan.sample_frame_bit_flip().is_none());
+            assert!(plan.sample_result_fault().is_none());
+            assert!(!plan.sample_deadline_overrun());
+        }
+        // The RNG stream was never touched: it still matches a fresh one.
+        let mut fresh = StdRng::seed_from_u64(9);
+        assert_eq!(plan.rng.gen::<u64>(), fresh.gen::<u64>());
+        assert_eq!(plan.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn unit_rates_always_fire_without_threshold_draws() {
+        let mut rates = FaultRates::zero();
+        rates.deadline_overrun = 1.0;
+        let mut plan = FaultPlan::new(rates, 10).unwrap();
+        for _ in 0..50 {
+            assert!(plan.sample_deadline_overrun());
+        }
+        // p = 1 is exact: no Bernoulli draw, so the stream is untouched.
+        let mut fresh = StdRng::seed_from_u64(10);
+        assert_eq!(plan.rng.gen::<u64>(), fresh.gen::<u64>());
+        assert_eq!(plan.counts().deadline_overruns, 50);
+    }
+
+    #[test]
+    fn plans_are_deterministic_from_their_seed() {
+        let rates = FaultRates::frame_only(0.3);
+        let mut a = FaultPlan::new(rates, 42).unwrap();
+        let mut b = FaultPlan::new(rates, 42).unwrap();
+        let hits_a: Vec<_> = (0..200).map(|_| a.sample_frame_bit_flip()).collect();
+        let hits_b: Vec<_> = (0..200).map(|_| b.sample_frame_bit_flip()).collect();
+        assert_eq!(hits_a, hits_b);
+        assert!(hits_a.iter().any(Option::is_some));
+        assert!(hits_a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn frame_flips_cover_all_three_bits() {
+        let mut plan = FaultPlan::new(FaultRates::frame_only(1.0), 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(format!("{:?}", plan.sample_frame_bit_flip().unwrap()));
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(plan.counts().frame_bit_flips, 100);
+    }
+
+    #[test]
+    fn channel_drop_duplicate_stale() {
+        // Drop everything.
+        let mut rates = FaultRates::zero();
+        rates.result_drop = 1.0;
+        let mut chan = ResultChannel::new(FaultPlan::new(rates, 0).unwrap(), 2);
+        assert!(chan.send(0, true).is_empty());
+        assert_eq!(chan.counts().result_drops, 1);
+
+        // Duplicate everything.
+        let mut rates = FaultRates::zero();
+        rates.result_duplicate = 1.0;
+        let mut chan = ResultChannel::new(FaultPlan::new(rates, 0).unwrap(), 2);
+        let out = chan.send(1, false);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+
+        // Stale: the second send replays the first result.
+        let mut rates = FaultRates::zero();
+        rates.result_stale = 1.0;
+        let mut chan = ResultChannel::new(FaultPlan::new(rates, 0).unwrap(), 1);
+        let first = chan.send(0, true);
+        assert_eq!(first.len(), 1); // nothing older to replay yet
+        let second = chan.send(0, false);
+        assert_eq!(second, first); // old value, old sequence number
+    }
+
+    #[test]
+    fn channel_sequence_numbers_ascend_per_qubit() {
+        let mut chan = ResultChannel::new(FaultPlan::inert(0), 2);
+        assert_eq!(chan.send(0, false)[0].seq, 0);
+        assert_eq!(chan.send(0, true)[0].seq, 1);
+        assert_eq!(chan.send(1, true)[0].seq, 0);
+    }
+}

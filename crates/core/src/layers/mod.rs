@@ -2,3 +2,4 @@
 
 pub mod counter;
 pub mod pauli_frame;
+pub mod protected_pauli_frame;

@@ -223,6 +223,8 @@ impl Layer for PauliFrameLayer {
     fn process_measurement(&mut self, qubit: usize, raw: bool) -> bool {
         let flip = self.pending_flips[qubit]
             .pop_front()
+            // invariant: the layer saw the measurement on the way down,
+            // so a pending flip was queued for exactly this result.
             .expect("measurement result without a tracked measurement");
         raw ^ flip
     }

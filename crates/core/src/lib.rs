@@ -51,6 +51,7 @@ pub mod arch;
 mod backend;
 mod error;
 mod error_model;
+pub mod fault;
 mod layer;
 mod layers;
 mod stack;
@@ -63,5 +64,8 @@ pub use error_model::{DepolarizingModel, ErrorCounts};
 pub use layer::{Layer, LayerContext};
 pub use layers::counter::{CounterLayer, Counters};
 pub use layers::pauli_frame::PauliFrameLayer;
+pub use layers::protected_pauli_frame::{
+    FrameProtectionConfig, FrameProtectionStats, ProtectedPauliFrameLayer,
+};
 pub use stack::ControlStack;
 pub use state::{BitState, QuantumState, State};

@@ -241,6 +241,15 @@ impl<C: Core> ControlStack<C> {
             .find_map(|l| l.as_any().downcast_ref())
     }
 
+    /// Finds the topmost layer of concrete type `T`, mutably (e.g. to
+    /// drain a protected frame layer's fault events).
+    pub fn find_layer_mut<T: Layer>(&mut self) -> Option<&mut T> {
+        self.layers
+            .iter_mut()
+            .rev()
+            .find_map(|l| l.as_any_mut().downcast_mut())
+    }
+
     /// The stack's RNG (e.g. to interleave external sampling
     /// deterministically).
     pub fn rng_mut(&mut self) -> &mut StdRng {
@@ -304,11 +313,10 @@ impl<C: Core> ControlStack<C> {
             // Measurement errors strike before the readout (X flips both
             // the state and the reported result).
             if inject && op.is_measure() {
-                let flipped = self
-                    .error_model
-                    .as_mut()
-                    .expect("inject implies model")
-                    .sample_measurement_flip(&mut self.rng);
+                let flipped = match self.error_model.as_mut() {
+                    Some(model) => model.sample_measurement_flip(&mut self.rng),
+                    None => false,
+                };
                 if flipped {
                     self.apply_error(op.qubits()[0], Pauli::X)?;
                 }
@@ -332,11 +340,10 @@ impl<C: Core> ControlStack<C> {
         if inject {
             for q in 0..n {
                 if !slot.uses_qubit(q) {
-                    let err = self
-                        .error_model
-                        .as_mut()
-                        .expect("inject implies model")
-                        .sample_idle(&mut self.rng);
+                    let err = match self.error_model.as_mut() {
+                        Some(model) => model.sample_idle(&mut self.rng),
+                        None => None,
+                    };
                     if let Some(p) = err {
                         self.apply_error(q, p)?;
                     }
@@ -349,21 +356,19 @@ impl<C: Core> ControlStack<C> {
     fn inject_operation_error(&mut self, op: &Operation) -> Result<(), CoreError> {
         match *op.qubits() {
             [q] => {
-                let err = self
-                    .error_model
-                    .as_mut()
-                    .expect("caller checked")
-                    .sample_single(&mut self.rng);
+                let err = match self.error_model.as_mut() {
+                    Some(model) => model.sample_single(&mut self.rng),
+                    None => None,
+                };
                 if let Some(p) = err {
                     self.apply_error(q, p)?;
                 }
             }
             [a, b] => {
-                let err = self
-                    .error_model
-                    .as_mut()
-                    .expect("caller checked")
-                    .sample_two(&mut self.rng);
+                let err = match self.error_model.as_mut() {
+                    Some(model) => model.sample_two(&mut self.rng),
+                    None => None,
+                };
                 if let Some((pa, pb)) = err {
                     self.apply_error(a, pa)?;
                     self.apply_error(b, pb)?;
@@ -374,11 +379,10 @@ impl<C: Core> ControlStack<C> {
                 // independent single-qubit depolarizing per operand.
                 let qubits = qubits.to_vec();
                 for q in qubits {
-                    let err = self
-                        .error_model
-                        .as_mut()
-                        .expect("caller checked")
-                        .sample_single(&mut self.rng);
+                    let err = match self.error_model.as_mut() {
+                        Some(model) => model.sample_single(&mut self.rng),
+                        None => None,
+                    };
                     if let Some(p) = err {
                         self.apply_error(q, p)?;
                     }

@@ -93,6 +93,8 @@ impl BellStateHistoTb {
             let label = stack
                 .state()
                 .ket_label(&[0, 1])
+                // invariant: the circuit above measures qubits 0 and 1,
+                // so both classical bits are defined.
                 .expect("both qubits were measured");
             histogram.record(label);
         }

@@ -1,0 +1,143 @@
+//! Robustness regression for the protected Pauli frame: under a
+//! zero-fault plan the [`ProtectedPauliFrameLayer`] must be
+//! bit-identical to the plain [`PauliFrameLayer`] — same measurement
+//! outcomes, same histograms, same saved-gate counters — across seeded
+//! random circuits. The parity/scrub/checkpoint machinery must be
+//! invisible until a fault actually strikes.
+
+use qpdo_core::fault::{FaultPlan, FaultRates};
+use qpdo_core::testbench::{measure_all, random_circuit, BellStateHistoTb};
+use qpdo_core::{
+    ControlStack, FrameProtectionConfig, PauliFrameLayer, ProtectedPauliFrameLayer, SvCore,
+};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
+
+/// Builds the protected layer under test: full protection, driven by an
+/// explicit zero-rate fault plan (so the injection path runs but never
+/// fires).
+fn zero_fault_layer(seed: u64) -> ProtectedPauliFrameLayer {
+    let mut layer = ProtectedPauliFrameLayer::with_config(FrameProtectionConfig::protected());
+    layer.set_fault_plan(FaultPlan::new(FaultRates::zero(), seed).expect("zero rates are valid"));
+    layer
+}
+
+#[test]
+fn random_circuits_measure_identically_under_zero_faults() {
+    const QUBITS: usize = 5;
+    for trial in 0..25u64 {
+        let mut workload_rng = StdRng::seed_from_u64(4000 + trial);
+        let circuit = random_circuit(QUBITS, 80, &mut workload_rng);
+
+        let mut plain = ControlStack::with_seed(SvCore::new(), 31 * trial);
+        plain.push_layer(PauliFrameLayer::new());
+        plain.create_qubits(QUBITS).unwrap();
+        plain.execute_now(circuit.clone()).unwrap();
+        let plain_bits = measure_all(&mut plain, QUBITS).unwrap();
+
+        let mut protected = ControlStack::with_seed(SvCore::new(), 31 * trial);
+        protected.push_layer(zero_fault_layer(trial));
+        protected.create_qubits(QUBITS).unwrap();
+        protected.execute_now(circuit).unwrap();
+        let protected_bits = measure_all(&mut protected, QUBITS).unwrap();
+
+        assert_eq!(
+            plain_bits, protected_bits,
+            "trial {trial}: measurement outcomes diverged"
+        );
+
+        // The frames themselves agree record for record.
+        let pf: &PauliFrameLayer = plain.find_layer().unwrap();
+        let ppf: &ProtectedPauliFrameLayer = protected.find_layer().unwrap();
+        for q in 0..QUBITS {
+            assert_eq!(
+                pf.frame().record(q),
+                ppf.record(q),
+                "trial {trial}: frame record {q} diverged"
+            );
+        }
+        assert_eq!(ppf.protection_stats().injected, 0);
+        assert_eq!(ppf.protection_stats().detected, 0);
+        assert_eq!(ppf.protection_stats().rollbacks, 0);
+    }
+}
+
+#[test]
+fn saved_gate_counters_match_the_plain_frame() {
+    for trial in 0..10u64 {
+        let mut workload_rng = StdRng::seed_from_u64(5000 + trial);
+        let circuit = random_circuit(4, 150, &mut workload_rng);
+
+        let mut plain = ControlStack::with_seed(SvCore::new(), 17 * trial);
+        plain.push_layer(PauliFrameLayer::new());
+        plain.create_qubits(4).unwrap();
+        plain.execute_now(circuit.clone()).unwrap();
+
+        let mut protected = ControlStack::with_seed(SvCore::new(), 17 * trial);
+        protected.push_layer(zero_fault_layer(900 + trial));
+        protected.create_qubits(4).unwrap();
+        protected.execute_now(circuit).unwrap();
+
+        let pf: &PauliFrameLayer = plain.find_layer().unwrap();
+        let ppf: &ProtectedPauliFrameLayer = protected.find_layer().unwrap();
+        assert_eq!(
+            pf.filtered_gates(),
+            ppf.filtered_gates(),
+            "trial {trial}: filtered-gate counters diverged"
+        );
+        assert_eq!(
+            pf.filtered_slots(),
+            ppf.filtered_slots(),
+            "trial {trial}: filtered-slot counters diverged"
+        );
+    }
+}
+
+#[test]
+fn histograms_match_the_plain_frame() {
+    // Fig 5.7 at test scale: the odd-Bell histogram through the
+    // protected layer equals the plain layer's shot for shot.
+    for (odd, seed) in [(false, 60u64), (true, 61), (true, 62)] {
+        let bench = BellStateHistoTb { shots: 48, odd };
+
+        let mut plain = ControlStack::with_seed(SvCore::new(), seed);
+        plain.push_layer(PauliFrameLayer::new());
+        plain.create_qubits(2).unwrap();
+        let plain_histo = bench.run(&mut plain).unwrap();
+
+        let mut protected = ControlStack::with_seed(SvCore::new(), seed);
+        protected.push_layer(zero_fault_layer(seed));
+        protected.create_qubits(2).unwrap();
+        let protected_histo = bench.run(&mut protected).unwrap();
+
+        for label in ["|00>", "|01>", "|10>", "|11>"] {
+            assert_eq!(
+                plain_histo.count(label),
+                protected_histo.count(label),
+                "odd={odd}: histogram bin {label} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn planless_layer_is_also_equivalent() {
+    // No fault plan installed at all: the protected layer must still
+    // track exactly like the plain one (protection without injection).
+    let mut workload_rng = StdRng::seed_from_u64(6000);
+    let circuit = random_circuit(4, 120, &mut workload_rng);
+
+    let mut plain = ControlStack::with_seed(SvCore::new(), 1234);
+    plain.push_layer(PauliFrameLayer::new());
+    plain.create_qubits(4).unwrap();
+    plain.execute_now(circuit.clone()).unwrap();
+    let plain_bits = measure_all(&mut plain, 4).unwrap();
+
+    let mut protected = ControlStack::with_seed(SvCore::new(), 1234);
+    protected.push_layer(ProtectedPauliFrameLayer::new());
+    protected.create_qubits(4).unwrap();
+    protected.execute_now(circuit).unwrap();
+    let protected_bits = measure_all(&mut protected, 4).unwrap();
+
+    assert_eq!(plain_bits, protected_bits);
+}

@@ -231,7 +231,8 @@ fn table_3_2_matches_z_anticommutation() {
 /// `op(record.conjugate_g()) ∝ G · op(record) · G†`.
 #[test]
 fn table_3_4_matches_unitary_conjugation() {
-    let gates: [(&str, Mat, fn(PauliRecord) -> PauliRecord); 3] = [
+    type SingleQubitRow = (&'static str, Mat, fn(PauliRecord) -> PauliRecord);
+    let gates: [SingleQubitRow; 3] = [
         ("H", mat_h(), PauliRecord::conjugate_h),
         ("S", mat_s(), PauliRecord::conjugate_s),
         ("S†", mat_sdg(), PauliRecord::conjugate_sdg),
@@ -254,11 +255,12 @@ fn table_3_4_matches_unitary_conjugation() {
 /// gate, `op(a') ⊗ op(b') ∝ U · (op(a) ⊗ op(b)) · U†`.
 #[test]
 fn table_3_5_matches_two_qubit_conjugation() {
-    let gates: [(
-        &str,
+    type TwoQubitRow = (
+        &'static str,
         Mat,
         fn(PauliRecord, PauliRecord) -> (PauliRecord, PauliRecord),
-    ); 3] = [
+    );
+    let gates: [TwoQubitRow; 3] = [
         ("CNOT", mat_cnot(), PauliRecord::conjugate_cnot),
         ("CZ", mat_cz(), PauliRecord::conjugate_cz),
         ("SWAP", mat_swap(), PauliRecord::conjugate_swap),

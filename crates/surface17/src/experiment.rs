@@ -18,8 +18,10 @@
 //! counter layers around the frame so the experiment can report exactly
 //! what the frame saved (Figs 5.25–5.26).
 
+use qpdo_core::fault::{FaultPlan, FaultRates};
 use qpdo_core::{
-    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts, PauliFrameLayer,
+    ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
+    FrameProtectionConfig, FrameProtectionStats, PauliFrameLayer, ProtectedPauliFrameLayer,
 };
 use qpdo_pauli::{Pauli, PauliString};
 
@@ -123,18 +125,143 @@ impl LerOutcome {
             (self.slots_above_frame - self.slots_below_frame) as f64 / self.slots_above_frame as f64
         }
     }
+
+    /// Serializes the outcome as one whitespace-separated record line
+    /// (the sweep-checkpoint format; see
+    /// [`from_record`](Self::from_record)).
+    #[must_use]
+    pub fn to_record(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} {} {} {} {}",
+            self.windows,
+            self.logical_errors,
+            self.ops_above_frame,
+            self.slots_above_frame,
+            self.ops_below_frame,
+            self.slots_below_frame,
+            self.injected.single_qubit,
+            self.injected.two_qubit,
+            self.injected.measurement,
+            self.injected.idle,
+        )
+    }
+
+    /// Parses a record line produced by [`to_record`](Self::to_record).
+    /// Returns `None` on any malformed field (a truncated checkpoint line
+    /// must never crash a resuming sweep).
+    #[must_use]
+    pub fn from_record(line: &str) -> Option<Self> {
+        let fields: Vec<u64> = line
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .ok()?;
+        let [windows, logical_errors, ops_above_frame, slots_above_frame, ops_below_frame, slots_below_frame, single_qubit, two_qubit, measurement, idle] =
+            fields[..]
+        else {
+            return None;
+        };
+        Some(LerOutcome {
+            windows,
+            logical_errors,
+            ops_above_frame,
+            slots_above_frame,
+            ops_below_frame,
+            slots_below_frame,
+            injected: ErrorCounts {
+                single_qubit,
+                two_qubit,
+                measurement,
+                idle,
+            },
+        })
+    }
 }
 
 /// Runs one LER experiment per Listing 5.7 on the Fig 5.8 stack.
 ///
 /// # Errors
 ///
-/// Propagates stack errors (none are expected for valid configurations).
-///
-/// # Panics
-///
-/// Panics if `physical_error_rate` is outside `[0, 1]`.
+/// Returns [`CoreError::InvalidProbability`] when `physical_error_rate`
+/// is outside `[0, 1]`, and propagates stack errors (none are expected
+/// for valid configurations).
 pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
+    let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
+    run_ler_stack(config, frame).map(|(outcome, _)| outcome)
+}
+
+/// Classical-fault configuration for [`run_ler_classical`]: the fault
+/// rates driving the injection plan, the frame-protection mode under
+/// test, and a seed for the plan's own RNG stream (kept separate from
+/// the quantum-noise stream so zero-rate runs are bit-identical to
+/// fault-free ones).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassicalFaultConfig {
+    /// Rates of the injected classical faults.
+    pub rates: FaultRates,
+    /// How the frame layer defends itself.
+    pub protection: FrameProtectionConfig,
+    /// Seed of the fault plan's dedicated RNG.
+    pub fault_seed: u64,
+}
+
+impl ClassicalFaultConfig {
+    /// Frame-record bit flips at `rate` against the given protection.
+    #[must_use]
+    pub fn frame_flips(rate: f64, protection: FrameProtectionConfig, fault_seed: u64) -> Self {
+        ClassicalFaultConfig {
+            rates: FaultRates::frame_only(rate),
+            protection,
+            fault_seed,
+        }
+    }
+}
+
+/// The result of one classical-fault LER run: the ordinary LER outcome
+/// plus the protection state machine's counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassicalLerOutcome {
+    /// The quantum-side outcome (windows, logical errors, savings).
+    pub ler: LerOutcome,
+    /// The frame-protection counters (injected/detected/recovered/…).
+    pub protection: FrameProtectionStats,
+    /// Classical-fault events reported by the layer during the run.
+    pub fault_events: u64,
+}
+
+/// Runs the LER experiment with a [`ProtectedPauliFrameLayer`] in place
+/// of the plain frame layer, injecting classical faults from
+/// `classical.rates`. `config.with_pauli_frame` is ignored — the frame
+/// layer is always present; its *protection* is what varies.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] for out-of-range rates and
+/// propagates stack errors.
+pub fn run_ler_classical(
+    config: &LerConfig,
+    classical: &ClassicalFaultConfig,
+) -> Result<ClassicalLerOutcome, CoreError> {
+    classical.rates.validate()?;
+    let mut frame = ProtectedPauliFrameLayer::with_config(classical.protection);
+    frame.set_fault_plan(FaultPlan::new(classical.rates, classical.fault_seed)?);
+    let (ler, protection) = run_ler_stack(config, Some(frame))?;
+    let (protection, fault_events) = protection.unwrap_or_default();
+    Ok(ClassicalLerOutcome {
+        ler,
+        protection,
+        fault_events,
+    })
+}
+
+/// The shared experiment body. Returns the LER outcome plus, when the
+/// stack carried a protected frame layer, its protection counters and
+/// drained fault-event count.
+#[allow(clippy::type_complexity)]
+fn run_ler_stack(
+    config: &LerConfig,
+    frame: Option<impl qpdo_core::Layer>,
+) -> Result<(LerOutcome, Option<(FrameProtectionStats, u64)>), CoreError> {
     let below = CounterLayer::new();
     let below_counts = below.counters();
     let above = CounterLayer::new();
@@ -142,11 +269,11 @@ pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
 
     let mut stack = ControlStack::with_seed(ChpCore::new(), config.seed);
     stack.push_layer(below);
-    if config.with_pauli_frame {
-        stack.push_layer(PauliFrameLayer::new());
+    if let Some(frame) = frame {
+        stack.push_layer(frame);
     }
     stack.push_layer(above);
-    stack.set_error_model(DepolarizingModel::new(config.physical_error_rate));
+    stack.set_error_model(DepolarizingModel::try_new(config.physical_error_rate)?);
     stack.create_qubits(17)?;
 
     let mut star = NinjaStar::new(StarLayout::standard(0));
@@ -178,15 +305,22 @@ pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
         }
     }
 
-    Ok(LerOutcome {
-        windows,
-        logical_errors,
-        ops_above_frame: above_counts.operations(),
-        slots_above_frame: above_counts.time_slots(),
-        ops_below_frame: below_counts.operations(),
-        slots_below_frame: below_counts.time_slots(),
-        injected: stack.error_counts().expect("error model installed"),
-    })
+    let protection = stack
+        .find_layer_mut::<ProtectedPauliFrameLayer>()
+        .map(|pf| (pf.protection_stats(), pf.drain_fault_events().len() as u64));
+
+    Ok((
+        LerOutcome {
+            windows,
+            logical_errors,
+            ops_above_frame: above_counts.operations(),
+            slots_above_frame: above_counts.time_slots(),
+            ops_below_frame: below_counts.operations(),
+            slots_below_frame: below_counts.time_slots(),
+            injected: stack.error_counts().expect("error model installed"),
+        },
+        protection,
+    ))
 }
 
 /// The current logical value seen through the Pauli frame: the physical
@@ -213,9 +347,16 @@ fn logical_value(
     // The frame adjustment: tracked X components flip Z-type readouts,
     // tracked Z components flip X-type readouts.
     let mut flip = false;
-    if let Some(pf) = stack.find_layer::<PauliFrameLayer>() {
-        for &q in &support {
-            let (x, z) = pf.record(q).bits();
+    let records: Option<Vec<_>> = if let Some(pf) = stack.find_layer::<PauliFrameLayer>() {
+        Some(support.iter().map(|&q| pf.record(q)).collect())
+    } else {
+        stack
+            .find_layer::<ProtectedPauliFrameLayer>()
+            .map(|pf| support.iter().map(|&q| pf.record(q)).collect())
+    };
+    if let Some(records) = records {
+        for record in records {
+            let (x, z) = record.bits();
             flip ^= match pauli {
                 Pauli::Z => x,
                 Pauli::X => z,
@@ -309,5 +450,98 @@ mod tests {
         let config = LerConfig::paper_default(0.001, LogicalErrorKind::XL, true, 6);
         assert_eq!(config.target_logical_errors, 50);
         assert!(config.with_pauli_frame);
+    }
+
+    #[test]
+    fn invalid_rate_is_an_error_not_a_panic() {
+        let config = quick(1.5, false, LogicalErrorKind::XL, 7);
+        let err = run_ler(&config).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn outcome_record_round_trips() {
+        let outcome = LerOutcome {
+            windows: 12345,
+            logical_errors: 42,
+            ops_above_frame: 999,
+            slots_above_frame: 888,
+            ops_below_frame: 777,
+            slots_below_frame: 666,
+            injected: ErrorCounts {
+                single_qubit: 1,
+                two_qubit: 2,
+                measurement: 3,
+                idle: 4,
+            },
+        };
+        let line = outcome.to_record();
+        assert_eq!(LerOutcome::from_record(&line), Some(outcome));
+        // Malformed lines never parse.
+        assert_eq!(LerOutcome::from_record(""), None);
+        assert_eq!(LerOutcome::from_record("1 2 3"), None);
+        assert_eq!(LerOutcome::from_record("1 2 3 4 5 6 7 8 9 x"), None);
+        assert_eq!(LerOutcome::from_record("1 2 3 4 5 6 7 8 9 10 11"), None);
+    }
+
+    #[test]
+    fn zero_fault_protected_run_matches_plain_frame_run() {
+        let config = quick(0.008, true, LogicalErrorKind::XL, 8);
+        let plain = run_ler(&config).unwrap();
+        let classical =
+            ClassicalFaultConfig::frame_flips(0.0, FrameProtectionConfig::protected(), 1);
+        let protected = run_ler_classical(&config, &classical).unwrap();
+        // Bit-identical: same windows, errors, counters, injections.
+        assert_eq!(protected.ler, plain);
+        assert_eq!(protected.protection.injected, 0);
+        assert_eq!(protected.fault_events, 0);
+    }
+
+    #[test]
+    fn zero_fault_unprotected_run_also_matches() {
+        let config = quick(0.008, true, LogicalErrorKind::ZL, 9);
+        let plain = run_ler(&config).unwrap();
+        let classical =
+            ClassicalFaultConfig::frame_flips(0.0, FrameProtectionConfig::unprotected(), 1);
+        let unprotected = run_ler_classical(&config, &classical).unwrap();
+        assert_eq!(unprotected.ler, plain);
+    }
+
+    #[test]
+    fn frame_faults_hurt_unprotected_more() {
+        let config = quick(0.002, true, LogicalErrorKind::XL, 10);
+        let rate = 5e-3;
+        let unprotected = run_ler_classical(
+            &config,
+            &ClassicalFaultConfig::frame_flips(rate, FrameProtectionConfig::unprotected(), 2),
+        )
+        .unwrap();
+        let protected = run_ler_classical(
+            &config,
+            &ClassicalFaultConfig::frame_flips(rate, FrameProtectionConfig::protected(), 2),
+        )
+        .unwrap();
+        assert!(unprotected.protection.injected > 0);
+        assert!(protected.protection.injected > 0);
+        assert!(
+            protected.protection.recovery_fraction() >= 0.9,
+            "recovered {}/{}",
+            protected.protection.recovered,
+            protected.protection.injected
+        );
+        assert!(
+            unprotected.ler.ler() > protected.ler.ler(),
+            "unprotected {} vs protected {}",
+            unprotected.ler.ler(),
+            protected.ler.ler()
+        );
+    }
+
+    #[test]
+    fn invalid_fault_rates_rejected() {
+        let config = quick(0.002, true, LogicalErrorKind::XL, 11);
+        let classical =
+            ClassicalFaultConfig::frame_flips(1.5, FrameProtectionConfig::protected(), 0);
+        assert!(run_ler_classical(&config, &classical).is_err());
     }
 }

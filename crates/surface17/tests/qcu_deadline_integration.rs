@@ -1,0 +1,160 @@
+//! Real-time degradation of the architecture path: when the arbiter's
+//! per-slot budget is exhausted, Pauli tracking is abandoned for the
+//! affected operations — records are flushed as physical gates and the
+//! operation is forwarded raw. A budget of zero degrades *every*
+//! operation, which must leave the command stream (and therefore the
+//! final quantum state) identical to a frameless execution: graceful
+//! degradation trades the frame's savings for correctness, never
+//! correctness itself.
+
+use qpdo_circuit::{Gate, Operation, OperationKind};
+use qpdo_core::arch::{PelCommand, QcuInstruction, QuantumControlUnit};
+use qpdo_core::CoreError;
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
+use qpdo_stabilizer::StabilizerSim;
+
+/// Applies one operation directly to the simulator — the frameless
+/// reference path.
+fn apply_direct(sim: &mut StabilizerSim, rng: &mut StdRng, op: &Operation) -> Option<bool> {
+    let q = op.qubits();
+    match op.kind() {
+        OperationKind::Prep => {
+            sim.reset(q[0], rng);
+            None
+        }
+        OperationKind::Measure => Some(sim.measure(q[0], rng)),
+        OperationKind::Gate(gate) => {
+            match gate {
+                Gate::I => {}
+                Gate::X => sim.x(q[0]),
+                Gate::Y => sim.y(q[0]),
+                Gate::Z => sim.z(q[0]),
+                Gate::H => sim.h(q[0]),
+                Gate::S => sim.s(q[0]),
+                Gate::Sdg => sim.sdg(q[0]),
+                Gate::Cnot => sim.cnot(q[0], q[1]),
+                Gate::Cz => sim.cz(q[0], q[1]),
+                Gate::Swap => sim.swap(q[0], q[1]),
+                other => panic!("reference path cannot execute {other}"),
+            }
+            None
+        }
+    }
+}
+
+/// Applies PEL commands to the simulator, returning measurement results.
+fn execute_pel(
+    sim: &mut StabilizerSim,
+    rng: &mut StdRng,
+    commands: &[PelCommand],
+) -> Vec<(usize, bool)> {
+    let mut results = Vec::new();
+    for PelCommand::Execute(op) in commands {
+        if let Some(value) = apply_direct(sim, rng, op) {
+            results.push((op.qubits()[0], value));
+        }
+    }
+    results
+}
+
+/// A Clifford workload with plenty of Paulis (which a healthy arbiter
+/// would absorb into the frame) interleaved with frame-mapping gates and
+/// measurements.
+fn workload(qubits: usize) -> Vec<Operation> {
+    let mut ops: Vec<Operation> = (0..qubits).map(Operation::prep).collect();
+    for q in 0..qubits {
+        ops.push(Operation::gate(Gate::X, &[q]));
+    }
+    for q in 0..qubits - 1 {
+        ops.push(Operation::gate(Gate::H, &[q]));
+        ops.push(Operation::gate(Gate::Cnot, &[q, q + 1]));
+        ops.push(Operation::gate(Gate::Z, &[q + 1]));
+        ops.push(Operation::gate(Gate::S, &[q]));
+        ops.push(Operation::gate(Gate::Y, &[q]));
+    }
+    for q in 0..qubits {
+        ops.push(Operation::measure(q));
+    }
+    ops
+}
+
+#[test]
+fn zero_budget_matches_frameless_execution() {
+    const QUBITS: usize = 6;
+    const SEED: u64 = 77;
+    let ops = workload(QUBITS);
+
+    // Reference: no QCU, no frame — raw physical execution.
+    let mut ref_sim = StabilizerSim::new(QUBITS);
+    let mut ref_rng = StdRng::seed_from_u64(SEED);
+    let mut ref_results = Vec::new();
+    for op in &ops {
+        if let Some(value) = apply_direct(&mut ref_sim, &mut ref_rng, op) {
+            ref_results.push((op.qubits()[0], value));
+        }
+    }
+
+    // Architecture path with a zero real-time budget: every dispatch
+    // misses its deadline and degrades to flush + raw forward.
+    let mut qcu = QuantumControlUnit::new(QUBITS);
+    qcu.set_slot_budget(Some(0));
+    let mut sim = StabilizerSim::new(QUBITS);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut results = Vec::new();
+    for op in &ops {
+        let commands = qcu.issue(QcuInstruction::Physical(op.clone())).unwrap();
+        // Degraded mode: nothing is absorbed — every op reaches the PEL.
+        assert_eq!(commands.len(), 1, "op {op} must be forwarded raw");
+        results.extend(execute_pel(&mut sim, &mut rng, &commands));
+    }
+
+    // Identical op streams + identical RNG seeds = bit-identical
+    // measurement outcomes. The frame never held a record, so nothing
+    // was remapped.
+    assert_eq!(results, ref_results);
+
+    let stats = qcu.arbiter().stats();
+    assert_eq!(stats.deadline_misses, ops.len() as u64);
+    assert_eq!(stats.tracked_paulis, 0, "no Pauli is ever absorbed");
+    assert_eq!(
+        stats.deadline_flush_gates, 0,
+        "records stay I, so degradation flushes no gates"
+    );
+    let paulis = ops
+        .iter()
+        .filter(|op| matches!(op.kind(), OperationKind::Gate(Gate::X | Gate::Y | Gate::Z)))
+        .count() as u64;
+    assert_eq!(stats.deadline_forwarded_paulis, paulis);
+
+    // Every miss was reported as a structured fault event.
+    let events = qcu.drain_fault_events();
+    assert_eq!(events.len(), ops.len());
+    assert!(events
+        .iter()
+        .all(|e| matches!(e, CoreError::DeadlineMissed { budget: 0, .. })));
+}
+
+#[test]
+fn zero_budget_measurements_are_not_frame_mapped() {
+    // With a budget, an absorbed X would flip the measurement through
+    // the frame; with budget 0 the X executes physically instead — the
+    // raw result is already correct and must pass through unmapped.
+    let mut qcu = QuantumControlUnit::new(2);
+    qcu.set_slot_budget(Some(0));
+    let mut sim = StabilizerSim::new(2);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    for op in [
+        Operation::prep(0),
+        Operation::gate(Gate::X, &[0]),
+        Operation::measure(0),
+    ] {
+        let commands = qcu.issue(QcuInstruction::Physical(op)).unwrap();
+        for (q, raw) in execute_pel(&mut sim, &mut rng, &commands) {
+            assert!(raw, "the X executed physically, so the raw result is 1");
+            let mapped = qcu.return_measurement(q, raw);
+            assert_eq!(mapped, raw, "an I record must not remap the result");
+        }
+    }
+}

@@ -82,10 +82,12 @@ fn build_qcu() -> QuantumControlUnit {
 fn initialize_logical(qcu: &mut QuantumControlUnit, sim: &mut StabilizerSim, rng: &mut StdRng) {
     let layout = StarLayout::standard(0);
     for &d in &layout.data {
-        let commands = qcu.issue(QcuInstruction::Physical(Operation::prep(d)));
+        let commands = qcu
+            .issue(QcuInstruction::Physical(Operation::prep(d)))
+            .unwrap();
         execute_pel(sim, rng, &commands);
     }
-    let commands = qcu.issue(QcuInstruction::QecSlot);
+    let commands = qcu.issue(QcuInstruction::QecSlot).unwrap();
     let results = execute_pel(sim, rng, &commands);
     let mut x_syndromes = [false; 4];
     for (q, raw) in results {
@@ -105,10 +107,12 @@ fn initialize_logical(qcu: &mut QuantumControlUnit, sim: &mut StabilizerSim, rng
         }
     }
     for &d in lut.decode(pattern) {
-        let commands = qcu.issue(QcuInstruction::Physical(Operation::gate(
-            Gate::Z,
-            &[layout.data[d]],
-        )));
+        let commands = qcu
+            .issue(QcuInstruction::Physical(Operation::gate(
+                Gate::Z,
+                &[layout.data[d]],
+            )))
+            .unwrap();
         assert!(commands.is_empty(), "Pauli corrections never reach the PEL");
     }
 }
@@ -123,7 +127,7 @@ fn qcu_runs_esm_and_filters_corrections() {
     // Two more QEC slots: with the PFU holding the gauge corrections as
     // records, the frame-mapped syndromes must read all +1.
     for _ in 0..2 {
-        let commands = qcu.issue(QcuInstruction::QecSlot);
+        let commands = qcu.issue(QcuInstruction::QecSlot).unwrap();
         let results = execute_pel(&mut sim, &mut rng, &commands);
         for (q, raw) in results {
             let mapped = qcu.return_measurement(q, raw);
@@ -148,16 +152,20 @@ fn qcu_logical_measurement_through_the_lmu() {
     // Apply a logical X as three *tracked* Pauli instructions.
     let layout = StarLayout::standard(0);
     for d in [2usize, 4, 6] {
-        let commands = qcu.issue(QcuInstruction::Physical(Operation::gate(
-            Gate::X,
-            &[layout.data[d]],
-        )));
+        let commands = qcu
+            .issue(QcuInstruction::Physical(Operation::gate(
+                Gate::X,
+                &[layout.data[d]],
+            )))
+            .unwrap();
         assert!(commands.is_empty(), "X_L chain is absorbed by the PFU");
     }
 
     // Logical measurement: the LMU collects the 9 frame-corrected data
     // results and reports odd parity = logical |1>.
-    let commands = qcu.issue(QcuInstruction::LogicalMeasure { logical: 0 });
+    let commands = qcu
+        .issue(QcuInstruction::LogicalMeasure { logical: 0 })
+        .unwrap();
     assert_eq!(commands.len(), 9);
     let results = execute_pel(&mut sim, &mut rng, &commands);
     for (q, raw) in results {
@@ -183,8 +191,9 @@ fn qcu_deallocation_stops_qec() {
     let mut sim = StabilizerSim::new(17);
     let mut qcu = build_qcu();
     initialize_logical(&mut qcu, &mut sim, &mut rng);
-    qcu.issue(QcuInstruction::Deallocate { logical: 0 });
-    let commands = qcu.issue(QcuInstruction::QecSlot);
+    qcu.issue(QcuInstruction::Deallocate { logical: 0 })
+        .unwrap();
+    let commands = qcu.issue(QcuInstruction::QecSlot).unwrap();
     assert!(
         commands.is_empty(),
         "the cycle generator skips deallocated logical qubits"

@@ -62,7 +62,7 @@ fn main() {
         ("measurement", Operation::measure(0)),
     ];
     for (label, op) in script {
-        let commands = arbiter.dispatch(&op);
+        let commands = arbiter.dispatch(&op).expect("ops stay in range");
         let pel: Vec<String> = commands
             .iter()
             .map(|PelCommand::Execute(op)| op.to_string())

@@ -36,8 +36,41 @@ if [ "$bad" -ne 0 ]; then
 fi
 echo "ok: all dependencies are path-only"
 
+echo "== panic-audit: no unjustified unwrap/expect in crates/core/src =="
+# Hot control-path code must handle recoverable failures through
+# Result<_, CoreError>. A genuine invariant may still panic, but only
+# with an adjacent `// invariant:` comment justifying it. Test modules
+# (everything after `#[cfg(test)]`) are exempt.
+bad=0
+while IFS= read -r src; do
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /^[ \t]*\/\// {
+            if ($0 ~ /invariant:/) justified = 1
+            next
+        }
+        /\.unwrap\(\)|\.expect\(/ {
+            if (!justified) print FILENAME ":" FNR ": " $0
+        }
+        { justified = 0 }
+    ' "$src")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done < <(git ls-files 'crates/core/src/*.rs' 'crates/core/src/**/*.rs')
+if [ "$bad" -ne 0 ]; then
+    echo "error: unjustified unwrap()/expect() in crates/core/src" >&2
+    echo "hint: return a CoreError, or add a '// invariant: ...' comment" >&2
+    exit 1
+fi
+echo "ok: core panics are all justified invariants"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace --all-targets
