@@ -15,13 +15,27 @@
 //! acceptance properties: zero-rate bit-identity, unprotected strictly
 //! worse under faults, and protected recovery of at least 90 % of the
 //! injected corruptions.
+//!
+//! Each repetition of each sweep point runs as one batch of the
+//! supervised execution engine (`DESIGN.md` §7), and with `--full` every
+//! completed batch is checkpointed individually — a killed paper-scale
+//! sweep resumes part-way through a sweep point instead of redoing it.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use qpdo_bench::checkpoint::SweepCheckpoint;
+use qpdo_bench::supervisor::{
+    run_supervised, silence_chaos_panics, with_chaos, BatchCtx, BatchSpec, ChaosConfig,
+    SupervisorConfig, QUARANTINE_HEADER,
+};
 use qpdo_bench::{render_table, sci, HarnessArgs};
 use qpdo_core::fault::FaultRates;
-use qpdo_core::{FrameProtectionConfig, FrameProtectionStats};
+use qpdo_core::{FrameProtectionConfig, FrameProtectionStats, ShotError};
 use qpdo_stats::Summary;
 use qpdo_surface17::experiment::{
-    run_ler, run_ler_classical, ClassicalFaultConfig, LerConfig, LogicalErrorKind,
+    run_ler, run_ler_classical, ClassicalFaultConfig, ClassicalLerOutcome, LerConfig,
+    LogicalErrorKind,
 };
 
 /// One protection mode of the sweep.
@@ -75,46 +89,163 @@ fn recovery_fraction(stats: &FrameProtectionStats) -> f64 {
     }
 }
 
-fn run_point(
+/// One supervised batch: a single repetition of a (rate, mode) point.
+/// The classical fault plan gets its own stream derived from the
+/// batch's payload seed, mirroring the separation `run_ler_classical`
+/// requires between quantum noise and fault injection.
+fn batch_job(
     base: &LerConfig,
     rate: f64,
     mode: Mode,
+    seed: u64,
+) -> Result<ClassicalLerOutcome, ShotError> {
+    let config = LerConfig { seed, ..*base };
+    let classical = ClassicalFaultConfig {
+        rates: FaultRates::frame_only(rate),
+        protection: mode.config(),
+        fault_seed: seed ^ 0x517C_C1B7_2722_0A95,
+    };
+    run_ler_classical(&config, &classical).map_err(ShotError::from)
+}
+
+/// Runs the whole (rate × mode × repetition) grid through the
+/// supervised engine, checkpointing each completed batch when `ckpt` is
+/// present, and folds the per-batch outcomes into sweep points
+/// (quarantined batches are excluded from their point).
+fn run_grid(
+    args: &HarnessArgs,
+    base: &LerConfig,
+    rates: &[f64],
     reps: usize,
-    seed0: u64,
-    fault_seed0: u64,
-) -> Point {
-    let mut lers = Vec::with_capacity(reps);
-    let mut stats = FrameProtectionStats::default();
-    let mut fault_events = 0;
-    for rep in 0..reps {
-        let config = LerConfig {
-            seed: seed0 + rep as u64,
-            ..*base
-        };
-        let classical = ClassicalFaultConfig {
-            rates: FaultRates::frame_only(rate),
-            protection: mode.config(),
-            fault_seed: fault_seed0 + rep as u64,
-        };
-        let outcome = run_ler_classical(&config, &classical).expect("classical LER run");
-        lers.push(outcome.ler.ler());
-        accumulate(&mut stats, &outcome.protection);
-        fault_events += outcome.fault_events;
+    ckpt: Option<SweepCheckpoint>,
+) -> Vec<Point> {
+    let grid: Vec<(f64, Mode)> = rates
+        .iter()
+        .flat_map(|&rate| [(rate, Mode::Unprotected), (rate, Mode::Protected)])
+        .collect();
+    let mut cached: HashMap<usize, Vec<ClassicalLerOutcome>> = HashMap::new();
+    let mut specs: Vec<BatchSpec> = Vec::new();
+    let mut spec_points: Vec<usize> = Vec::new();
+    for (gi, (_, mode)) in grid.iter().enumerate() {
+        let point = format!("r{}-{}", gi / 2, mode.name());
+        for rep in 0..reps {
+            let key = format!("{point}-rep{rep}");
+            let hit = ckpt
+                .as_ref()
+                .and_then(|c| c.get(&key))
+                .and_then(|lines| match lines {
+                    [line] => ClassicalLerOutcome::from_record(line),
+                    _ => None,
+                });
+            if let Some(outcome) = hit {
+                cached.entry(gi).or_default().push(outcome);
+            } else {
+                specs.push(BatchSpec {
+                    key,
+                    point: point.clone(),
+                    batch: rep as u64,
+                    shots: base.target_logical_errors,
+                });
+                spec_points.push(gi);
+            }
+        }
     }
-    Point {
-        rate,
-        mode,
-        lers,
-        stats,
-        fault_events,
+    if let Some(c) = ckpt.as_ref() {
+        if !c.is_empty() {
+            eprintln!("  resuming: {} batches already checkpointed", c.len());
+        }
     }
+
+    let config = SupervisorConfig::from_args(args);
+    let shared_ckpt = Arc::new(Mutex::new(ckpt));
+    let job_grid = grid.clone();
+    let job_points = spec_points.clone();
+    let job_base = *base;
+    let job_ckpt = Arc::clone(&shared_ckpt);
+    let job = move |ctx: &BatchCtx| -> Result<ClassicalLerOutcome, ShotError> {
+        let (rate, mode) = job_grid[job_points[ctx.task]];
+        let outcome = batch_job(&job_base, rate, mode, ctx.seed)?;
+        if let Ok(mut guard) = job_ckpt.lock() {
+            if let Some(c) = guard.as_mut() {
+                c.record(&ctx.spec.key, &[outcome.to_record()]);
+            }
+        }
+        Ok(outcome)
+    };
+    let report = match ChaosConfig::from_args(args) {
+        Some(chaos) => {
+            silence_chaos_panics();
+            run_supervised(&config, specs, with_chaos(chaos, job))
+        }
+        None => run_supervised(&config, specs, job),
+    };
+
+    let path = args.write_csv(
+        "quarantine.csv",
+        QUARANTINE_HEADER,
+        &report.quarantine_rows(),
+    );
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "  {} batches quarantined -> {}",
+            report.quarantined.len(),
+            path.display()
+        );
+    }
+    // Take the checkpoint back out of the shared cell (worker threads
+    // may still hold clones of the Arc briefly after shutdown).
+    let ckpt = shared_ckpt.lock().ok().and_then(|mut guard| guard.take());
+    if let Some(ckpt) = ckpt {
+        if report.quarantined.is_empty() {
+            ckpt.finish();
+        } else {
+            eprintln!("  checkpoint kept (re-run to retry quarantined batches)");
+        }
+    }
+
+    let mut per_point: Vec<Vec<ClassicalLerOutcome>> = vec![Vec::new(); grid.len()];
+    for (gi, outcomes) in cached {
+        per_point[gi].extend(outcomes);
+    }
+    for (task, result) in report.results.into_iter().enumerate() {
+        if let Some(outcome) = result {
+            per_point[spec_points[task]].push(outcome);
+        }
+    }
+    grid.iter()
+        .zip(per_point)
+        .map(|(&(rate, mode), outcomes)| {
+            let mut stats = FrameProtectionStats::default();
+            let mut fault_events = 0;
+            let mut lers = Vec::with_capacity(outcomes.len());
+            for outcome in &outcomes {
+                lers.push(outcome.ler.ler());
+                accumulate(&mut stats, &outcome.protection);
+                fault_events += outcome.fault_events;
+            }
+            Point {
+                rate,
+                mode,
+                lers,
+                stats,
+                fault_events,
+            }
+        })
+        .collect()
 }
 
 fn print_sweep(title: &str, sweep: &[Point], args: &HarnessArgs) {
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for point in sweep {
-        let summary = Summary::from_slice(&point.lers).expect("reps > 0");
+        // A point whose every repetition was quarantined still renders
+        // (as NaN) instead of aborting the report.
+        let summary = Summary::from_slice(&point.lers).unwrap_or(Summary {
+            count: 0,
+            mean: f64::NAN,
+            variance: f64::NAN,
+            std_dev: f64::NAN,
+        });
         let s = &point.stats;
         rows.push(vec![
             sci(point.rate),
@@ -295,12 +426,13 @@ fn main() {
         (vec![0.0, 1e-3, 5e-3, 1e-2], 3usize, 8u64, 20_000u64)
     };
     println!(
-        "classical-fault sweep: PER {}, {} fault rates, {} repetitions, stop at {} logical errors{}",
+        "classical-fault sweep: PER {}, {} fault rates, {} repetitions, stop at {} logical errors{}, {} workers",
         sci(per),
         rates.len(),
         reps,
         target,
         if args.full { " (paper scale)" } else { " (quick)" },
+        args.jobs,
     );
 
     let base = LerConfig {
@@ -309,17 +441,24 @@ fn main() {
         with_pauli_frame: true,
         target_logical_errors: target,
         max_windows,
-        seed: 0, // overwritten per repetition
+        seed: 0, // overwritten per batch by the supervisor substream
     };
-    let mut sweep = Vec::new();
-    for (ri, &rate) in rates.iter().enumerate() {
-        for mode in [Mode::Unprotected, Mode::Protected] {
-            let seed0 = args.seed + 10_000 * ri as u64 + 1000 * u64::from(mode == Mode::Protected);
-            let fault_seed0 = args.seed + 7919 * (ri as u64 + 1);
-            sweep.push(run_point(&base, rate, mode, reps, seed0, fault_seed0));
-        }
-        eprintln!("  fault rate {} done", sci(rate));
-    }
+    // Batch-level crash safety for the paper-scale sweep: every
+    // completed repetition checkpoints on its own, so a killed run
+    // resumes mid-point.
+    let ckpt = args.full.then(|| {
+        let fingerprint = format!(
+            "exp_classical_faults-v1 rates={} reps={reps} target={target} max_windows={max_windows} seed={}",
+            rates.len(),
+            args.seed,
+        );
+        std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+        SweepCheckpoint::open(
+            &args.out_dir.join("exp_classical_faults.ckpt"),
+            &fingerprint,
+        )
+    });
+    let sweep = run_grid(&args, &base, &rates, reps, ckpt);
     print_sweep(
         "Classical frame-corruption rate vs SC17 logical error rate",
         &sweep,

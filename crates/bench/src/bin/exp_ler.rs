@@ -13,11 +13,44 @@
 //! Quick mode (default) samples 8 PER points at 5 repetitions × 20
 //! logical errors; `--full` uses 16 points × 10 repetitions × 50 logical
 //! errors (the paper's stopping rule).
+//!
+//! Every repetition runs as one batch of the supervised shot-execution
+//! engine (`DESIGN.md` §7): `--jobs N` workers with panic isolation,
+//! per-batch watchdogs, retry/quarantine, and (with `--redundancy N`)
+//! cross-backend voting. Batches that exhaust their retries are listed
+//! in `quarantine.csv` and excluded from the analysis instead of
+//! aborting the sweep. With `--full`, completed batches checkpoint
+//! individually, so a killed sweep resumes mid-point.
+//!
+//! `--test smoke` runs the engine's self-check: a tiny sweep under
+//! forced panics, a forced hang, a poisoned batch that must quarantine,
+//! a redundancy vote, and a worker-count determinism comparison.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use qpdo_bench::checkpoint::SweepCheckpoint;
+use qpdo_bench::supervisor::{
+    run_supervised, run_supervised_with_vote, silence_chaos_panics, with_chaos, BatchCtx,
+    BatchSpec, ChaosConfig, SupervisorConfig, SupervisorReport, QUARANTINE_HEADER,
+};
 use qpdo_bench::{log_space, pseudo_threshold, render_table, sci, HarnessArgs};
+use qpdo_core::ShotError;
 use qpdo_stats::{independent_t_test, paired_t_test, Summary};
-use qpdo_surface17::experiment::{run_ler, LerConfig, LerOutcome, LogicalErrorKind};
+use qpdo_surface17::experiment::{
+    run_cross_backend_check, run_ler, LerConfig, LerOutcome, LogicalErrorKind,
+};
+
+/// One (PER, error kind, frame) cell of the sweep; each repetition of a
+/// cell is one supervised batch.
+#[derive(Clone, Copy)]
+struct Cell {
+    p: f64,
+    kind: LogicalErrorKind,
+    with_pf: bool,
+    target: u64,
+    max_windows: u64,
+}
 
 struct SweepPoint {
     p: f64,
@@ -43,15 +76,182 @@ fn kind_name(kind: LogicalErrorKind) -> &'static str {
     }
 }
 
+/// Summarizes a sample, degrading to NaN statistics when every
+/// repetition of a cell was quarantined (the sweep must still render).
+fn summarize(values: &[f64]) -> Summary {
+    Summary::from_slice(values).unwrap_or(Summary {
+        count: 0,
+        mean: f64::NAN,
+        variance: f64::NAN,
+        std_dev: f64::NAN,
+    })
+}
+
+fn ler_job(cell: &Cell, ctx: &BatchCtx) -> Result<LerOutcome, ShotError> {
+    let config = LerConfig {
+        physical_error_rate: cell.p,
+        kind: cell.kind,
+        with_pauli_frame: cell.with_pf,
+        target_logical_errors: cell.target,
+        max_windows: cell.max_windows,
+        seed: ctx.seed,
+    };
+    run_ler(&config).map_err(ShotError::from)
+}
+
+/// The cross-backend redundancy vote: a fault-free Clifford-only window
+/// workload must agree exactly between the stabilizer and state-vector
+/// back-ends (seeded from the batch's attempt stream).
+fn vote(ctx: &BatchCtx) -> Result<(), ShotError> {
+    run_cross_backend_check(ctx.attempt_seed, 2)?.into_result()
+}
+
+/// Runs all (cell × repetition) batches through the supervised engine,
+/// resuming per-batch from `ckpt` when present, and returns the
+/// per-cell outcomes (in repetition order, quarantined batches omitted)
+/// plus the engine report.
+fn run_sweep(
+    args: &HarnessArgs,
+    cells: &[Cell],
+    reps: usize,
+    ckpt: &mut Option<SweepCheckpoint>,
+) -> (Vec<Vec<LerOutcome>>, SupervisorReport<LerOutcome>) {
+    let mut cached: HashMap<usize, Vec<(usize, LerOutcome)>> = HashMap::new();
+    let mut specs: Vec<BatchSpec> = Vec::new();
+    let mut spec_cells: Vec<(usize, usize)> = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let point = format!(
+            "p{ci}-{}-pf{}",
+            kind_name(cell.kind),
+            u8::from(cell.with_pf)
+        );
+        for rep in 0..reps {
+            let key = format!("{point}-r{rep}");
+            let hit = ckpt
+                .as_ref()
+                .and_then(|c| c.get(&key))
+                .and_then(|lines| match lines {
+                    [line] => LerOutcome::from_record(line),
+                    _ => None,
+                });
+            if let Some(outcome) = hit {
+                cached.entry(ci).or_default().push((rep, outcome));
+            } else {
+                specs.push(BatchSpec {
+                    key,
+                    point: point.clone(),
+                    batch: rep as u64,
+                    shots: cell.target,
+                });
+                spec_cells.push((ci, rep));
+            }
+        }
+    }
+    if let Some(c) = ckpt.as_ref() {
+        if !c.is_empty() {
+            eprintln!("  resuming: {} batches already checkpointed", c.len());
+        }
+    }
+
+    let config = SupervisorConfig::from_args(args);
+    // Completed batches checkpoint from inside the workers, so a kill
+    // mid-sweep-point only loses in-flight batches.
+    let shared_ckpt = Arc::new(Mutex::new(ckpt.take()));
+    let job_cells: Vec<Cell> = cells.to_vec();
+    let job_map = spec_cells.clone();
+    let job_ckpt = Arc::clone(&shared_ckpt);
+    let job = move |ctx: &BatchCtx| -> Result<LerOutcome, ShotError> {
+        let (ci, _) = job_map[ctx.task];
+        let outcome = ler_job(&job_cells[ci], ctx)?;
+        if let Ok(mut guard) = job_ckpt.lock() {
+            if let Some(c) = guard.as_mut() {
+                c.record(&ctx.spec.key, &[outcome.to_record()]);
+            }
+        }
+        Ok(outcome)
+    };
+
+    let report = match ChaosConfig::from_args(args) {
+        Some(chaos) => {
+            silence_chaos_panics();
+            run_supervised_with_vote(&config, specs, with_chaos(chaos, job), Some(Box::new(vote)))
+        }
+        None => run_supervised_with_vote(&config, specs, job, Some(Box::new(vote))),
+    };
+    // Take the checkpoint back out of the shared cell (worker threads
+    // may still hold clones of the Arc briefly after shutdown).
+    *ckpt = shared_ckpt.lock().ok().and_then(|mut guard| guard.take());
+
+    let mut per_cell: Vec<Vec<(usize, LerOutcome)>> = vec![Vec::new(); cells.len()];
+    for (ci, hits) in cached {
+        per_cell[ci].extend(hits);
+    }
+    for (task, result) in report.results.iter().enumerate() {
+        if let Some(outcome) = result {
+            let (ci, rep) = spec_cells[task];
+            per_cell[ci].push((rep, *outcome));
+        }
+    }
+    let outcomes = per_cell
+        .into_iter()
+        .map(|mut v| {
+            v.sort_by_key(|(rep, _)| *rep);
+            v.into_iter().map(|(_, o)| o).collect()
+        })
+        .collect();
+    (outcomes, report)
+}
+
+fn report_engine_events(args: &HarnessArgs, report: &SupervisorReport<LerOutcome>) {
+    let s = &report.stats;
+    if s.retries + s.panics + s.timeouts + s.votes > 0 || s.degraded_to_serial {
+        eprintln!(
+            "  supervisor: {} retries, {} panics, {} timeouts, {} replacements, {} votes{}",
+            s.retries,
+            s.panics,
+            s.timeouts,
+            s.replacements,
+            s.votes,
+            if s.degraded_to_serial {
+                " [degraded to serial]"
+            } else {
+                ""
+            }
+        );
+    }
+    for d in &report.divergences {
+        eprintln!(
+            "  DIVERGENCE in batch {} (task {}): {}",
+            d.key, d.task, d.detail
+        );
+    }
+    let path = args.write_csv(
+        "quarantine.csv",
+        QUARANTINE_HEADER,
+        &report.quarantine_rows(),
+    );
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "  {} batches quarantined -> {}",
+            report.quarantined.len(),
+            path.display()
+        );
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
+    if args.smoke() {
+        smoke(&args);
+        return;
+    }
     let (points, reps, target, max_windows) = if args.full {
         (log_space(1e-4, 1e-2, 16), 10usize, 50u64, 3_000_000u64)
     } else {
         (log_space(2e-4, 1e-2, 8), 5usize, 20u64, 600_000u64)
     };
     println!(
-        "LER sweep: {} PER points in [{}, {}], {} repetitions, stop at {} logical errors{}",
+        "LER sweep: {} PER points in [{}, {}], {} repetitions, stop at {} logical errors{}, {} workers",
         points.len(),
         sci(points[0]),
         sci(points[points.len() - 1]),
@@ -62,94 +262,71 @@ fn main() {
         } else {
             " (quick)"
         },
+        args.jobs,
     );
 
+    let cells: Vec<Cell> = points
+        .iter()
+        .flat_map(|&p| {
+            [LogicalErrorKind::XL, LogicalErrorKind::ZL]
+                .into_iter()
+                .flat_map(move |kind| {
+                    [false, true].into_iter().map(move |with_pf| Cell {
+                        p,
+                        kind,
+                        with_pf,
+                        target,
+                        max_windows,
+                    })
+                })
+        })
+        .collect();
+
     // A paper-scale sweep takes long enough that being killed mid-run
-    // must not restart it from scratch: each completed (PER, kind, frame)
-    // point is checkpointed under the output directory, and a re-invoked
-    // `--full` run resumes past every point already on disk.
+    // must not restart it from scratch: each completed batch (one
+    // repetition of one sweep cell) is checkpointed under the output
+    // directory, and a re-invoked `--full` run resumes past every batch
+    // already on disk — including part-way through a sweep point.
     let mut ckpt = args.full.then(|| {
         let fingerprint = format!(
-            "exp_ler-v1 points={} reps={reps} target={target} max_windows={max_windows} seed={}",
+            "exp_ler-v2 points={} reps={reps} target={target} max_windows={max_windows} seed={}",
             points.len(),
             args.seed,
         );
         std::fs::create_dir_all(&args.out_dir).expect("create output directory");
-        let ckpt = SweepCheckpoint::open(&args.out_dir.join("exp_ler.ckpt"), &fingerprint);
-        if !ckpt.is_empty() {
-            eprintln!(
-                "  resuming: {} sweep points already checkpointed",
-                ckpt.len()
-            );
-        }
-        ckpt
+        SweepCheckpoint::open(&args.out_dir.join("exp_ler.ckpt"), &fingerprint)
     });
+
+    let (outcomes, report) = run_sweep(&args, &cells, reps, &mut ckpt);
+    report_engine_events(&args, &report);
+    if report.quarantined.is_empty() {
+        if let Some(ckpt) = ckpt.take() {
+            ckpt.finish();
+        }
+    } else if ckpt.is_some() {
+        eprintln!("  checkpoint kept (quarantined batches can be re-attempted by re-running)");
+    }
 
     let mut sweep: Vec<SweepPoint> = Vec::new();
     let mut raw_rows: Vec<String> = Vec::new();
-    for (pi, &p) in points.iter().enumerate() {
-        for kind in [LogicalErrorKind::XL, LogicalErrorKind::ZL] {
-            for with_pf in [false, true] {
-                let key = format!("p{pi}-{}-pf{}", kind_name(kind), u8::from(with_pf));
-                let cached: Option<Vec<LerOutcome>> = ckpt
-                    .as_ref()
-                    .and_then(|c| c.get(&key))
-                    .map(|lines| {
-                        lines
-                            .iter()
-                            .map(|line| {
-                                LerOutcome::from_record(line).expect("valid checkpoint record")
-                            })
-                            .collect()
-                    })
-                    .filter(|cached: &Vec<LerOutcome>| cached.len() == reps);
-                let outcomes = cached.unwrap_or_else(|| {
-                    let mut outcomes = Vec::with_capacity(reps);
-                    for rep in 0..reps {
-                        let seed = args.seed
-                            + 100_000 * pi as u64
-                            + 1000 * rep as u64
-                            + 10 * u64::from(with_pf)
-                            + u64::from(kind == LogicalErrorKind::ZL);
-                        let config = LerConfig {
-                            physical_error_rate: p,
-                            kind,
-                            with_pauli_frame: with_pf,
-                            target_logical_errors: target,
-                            max_windows,
-                            seed,
-                        };
-                        outcomes.push(run_ler(&config).expect("LER run"));
-                    }
-                    if let Some(ckpt) = ckpt.as_mut() {
-                        let lines: Vec<String> =
-                            outcomes.iter().map(LerOutcome::to_record).collect();
-                        ckpt.record(&key, &lines);
-                    }
-                    outcomes
-                });
-                for (rep, outcome) in outcomes.iter().enumerate() {
-                    raw_rows.push(format!(
-                        "{p},{},{},{rep},{},{},{}",
-                        kind_name(kind),
-                        u8::from(with_pf),
-                        outcome.windows,
-                        outcome.logical_errors,
-                        outcome.ler(),
-                    ));
-                }
-                sweep.push(SweepPoint {
-                    p,
-                    kind,
-                    with_pf,
-                    outcomes,
-                });
-            }
+    for (cell, outcomes) in cells.iter().zip(outcomes) {
+        for (rep, outcome) in outcomes.iter().enumerate() {
+            raw_rows.push(format!(
+                "{},{},{},{rep},{},{},{}",
+                cell.p,
+                kind_name(cell.kind),
+                u8::from(cell.with_pf),
+                outcome.windows,
+                outcome.logical_errors,
+                outcome.ler(),
+            ));
         }
-        eprintln!("  PER {} done", sci(p));
-    }
-    if let Some(ckpt) = ckpt.take() {
-        ckpt.finish();
+        sweep.push(SweepPoint {
+            p: cell.p,
+            kind: cell.kind,
+            with_pf: cell.with_pf,
+            outcomes,
+        });
     }
     let path = args.write_csv(
         "ler_raw.csv",
@@ -171,8 +348,8 @@ fn main() {
                     .find(|s| s.p == p && s.kind == kind && s.with_pf == with_pf)
                     .expect("point present")
             };
-            let without = Summary::from_slice(&find(false).lers()).expect("reps > 0");
-            let with = Summary::from_slice(&find(true).lers()).expect("reps > 0");
+            let without = summarize(&find(false).lers());
+            let with = summarize(&find(true).lers());
             curve_no_pf.push((p, without.mean));
             curve_pf.push((p, with.mean));
             rows.push(vec![
@@ -237,8 +414,8 @@ fn main() {
             };
             let no_pf = find(false);
             let pf = find(true);
-            let s_no = Summary::from_slice(&no_pf.lers()).expect("reps");
-            let s_pf = Summary::from_slice(&pf.lers()).expect("reps");
+            let s_no = summarize(&no_pf.lers());
+            let s_pf = summarize(&pf.lers());
             let delta = s_no.mean - s_pf.mean; // Eq 5.2
             let sigma_max = s_no.std_dev.max(s_pf.std_dev); // Eq 5.3
             let cv_no = Summary::from_slice(&no_pf.window_counts())
@@ -333,8 +510,8 @@ fn main() {
             .iter()
             .map(|o| 100.0 * o.saved_time_slots())
             .collect();
-        let s_ops = Summary::from_slice(&ops).expect("reps");
-        let s_slots = Summary::from_slice(&slots).expect("reps");
+        let s_ops = summarize(&ops);
+        let s_slots = summarize(&slots);
         rows.push(vec![
             sci(p),
             format!("{:.3} %", s_ops.mean),
@@ -364,4 +541,116 @@ fn main() {
     println!(
         "note: the time-slot saving is bounded by 1/17 ~= 5.9 % (one correction slot per 17-slot window)"
     );
+}
+
+/// The supervised-engine self-check behind `--test smoke`: small LER
+/// workloads under injected faults must reproduce fault-free results
+/// exactly, a poisoned batch must quarantine without killing the run,
+/// and worker count must not change any output.
+fn smoke(args: &HarnessArgs) {
+    let cells: Vec<Cell> = [false, true]
+        .into_iter()
+        .map(|with_pf| Cell {
+            p: 0.005,
+            kind: LogicalErrorKind::XL,
+            with_pf,
+            target: 3,
+            max_windows: 2000,
+        })
+        .collect();
+    let reps = 3usize;
+    let mut none = None;
+
+    // 1. Fault-free runs at --jobs 1 and --jobs N are bit-identical.
+    let mut serial_args = args.clone();
+    serial_args.jobs = 1;
+    serial_args.chaos_panic = 0.0;
+    serial_args.chaos_hang = None;
+    let mut pool_args = serial_args.clone();
+    pool_args.jobs = args.jobs.max(2);
+    let (serial, serial_report) = run_sweep(&serial_args, &cells, reps, &mut none);
+    let (pooled, pooled_report) = run_sweep(&pool_args, &cells, reps, &mut none);
+    assert!(serial_report.is_clean() && pooled_report.is_clean());
+    assert_eq!(
+        serial, pooled,
+        "--jobs {} produced different results than --jobs 1",
+        pool_args.jobs
+    );
+    println!(
+        "smoke 1/4 PASS: --jobs {} bit-identical to --jobs 1 ({} batches)",
+        pool_args.jobs,
+        cells.len() * reps
+    );
+
+    // 2. Forced panics on every first attempt plus one hang: the engine
+    //    must retry onto the same results.
+    let mut chaos_args = pool_args.clone();
+    chaos_args.chaos_panic = 1.0;
+    chaos_args.chaos_hang = Some(1);
+    chaos_args.watchdog_ms = chaos_args.watchdog_ms.min(300);
+    let (chaotic, chaos_report) = run_sweep(&chaos_args, &cells, reps, &mut none);
+    assert!(
+        chaos_report.quarantined.is_empty(),
+        "chaos run quarantined: {:?}",
+        chaos_report.quarantined
+    );
+    assert!(chaos_report.stats.panics > 0, "no panic was injected");
+    assert!(
+        chaos_report.stats.timeouts > 0,
+        "the injected hang never tripped the watchdog"
+    );
+    assert_eq!(
+        chaotic, serial,
+        "results under injected faults diverged from the fault-free run"
+    );
+    println!(
+        "smoke 2/4 PASS: {} panics + {} watchdog trips recovered to identical results",
+        chaos_report.stats.panics, chaos_report.stats.timeouts
+    );
+
+    // 3. A batch that fails every attempt quarantines; the run completes.
+    let config = SupervisorConfig::from_args(&pool_args);
+    let specs: Vec<BatchSpec> = (0..4)
+        .map(|i| BatchSpec {
+            key: format!("smoke-q{i}"),
+            point: "smoke-q".to_owned(),
+            batch: i,
+            shots: 1,
+        })
+        .collect();
+    let report = run_supervised(&config, specs, |ctx: &BatchCtx| {
+        if ctx.task == 1 {
+            Err(ShotError::PoolFailure("poisoned batch".to_owned()))
+        } else {
+            Ok(ctx.seed)
+        }
+    });
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].key, "smoke-q1");
+    assert_eq!(report.results.iter().filter(|r| r.is_some()).count(), 3);
+    let path = args.write_csv(
+        "quarantine.csv",
+        QUARANTINE_HEADER,
+        &report.quarantine_rows(),
+    );
+    println!(
+        "smoke 3/4 PASS: poisoned batch quarantined ({}), other 3 completed",
+        path.display()
+    );
+
+    // 4. Cross-backend redundancy vote agrees on fault-free windows.
+    let mut vote_args = pool_args.clone();
+    vote_args.redundancy = 1;
+    let (_, vote_report) = run_sweep(&vote_args, &cells, reps, &mut none);
+    assert!(vote_report.stats.votes > 0, "no redundancy vote ran");
+    assert!(
+        vote_report.divergences.is_empty(),
+        "cross-backend divergence: {:?}",
+        vote_report.divergences
+    );
+    println!(
+        "smoke 4/4 PASS: {} cross-backend votes, all agreed",
+        vote_report.stats.votes
+    );
+    println!("exp_ler smoke: OK");
 }

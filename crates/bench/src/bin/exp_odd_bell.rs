@@ -5,58 +5,103 @@
 //! logical state `(|01⟩ + |10⟩)/√2`, then both are measured logically.
 //! The resulting histograms with and without a Pauli-frame layer must
 //! match (only `|01⟩_L` and `|10⟩_L`, roughly equal frequencies).
+//!
+//! Shots run in supervised batches of `--batch-shots` across `--jobs`
+//! workers (`DESIGN.md` §7); the order-independent count reduction
+//! makes the histograms identical for any worker count.
 
-use qpdo_bench::HarnessArgs;
-use qpdo_core::{ChpCore, ControlStack, PauliFrameLayer};
+use qpdo_bench::supervisor::{run_supervised, BatchCtx, BatchSpec, SupervisorConfig};
+use qpdo_bench::{HarnessArgs, USAGE};
+use qpdo_core::{ChpCore, ControlStack, CoreError, PauliFrameLayer, ShotError};
 use qpdo_stats::Histogram;
 use qpdo_surface17::{logical_cnot, NinjaStar, StarLayout};
 
-fn run(shots: u64, with_frame: bool, seed: u64) -> Histogram {
+const LABELS: [&str; 4] = ["|00>", "|01>", "|10>", "|11>"];
+
+fn run_shot(with_frame: bool, seed: u64) -> Result<(bool, bool), CoreError> {
+    let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+    if with_frame {
+        stack.push_layer(PauliFrameLayer::new());
+    }
+    stack.create_qubits(26)?;
+    let mut a = NinjaStar::new(StarLayout::with_shared_ancillas(0, 18));
+    let mut b = NinjaStar::new(StarLayout::with_shared_ancillas(9, 18));
+    // |+>_L |0>_L, then CNOT_L, then X_L on the control (Fig 5.6).
+    a.initialize_zero(&mut stack)?;
+    b.initialize_zero(&mut stack)?;
+    a.apply_logical_h(&mut stack)?;
+    let circuit = logical_cnot(
+        a.layout(),
+        a.properties().rotation,
+        b.layout(),
+        b.properties().rotation,
+    );
+    stack.execute_now(circuit)?;
+    // X_L on the (rotated) control — the chain follows the rotation.
+    a.apply_logical_x(&mut stack)?;
+    let ma = a.measure_logical(&mut stack)?;
+    let mb = b.measure_logical(&mut stack)?;
+    Ok((ma, mb))
+}
+
+/// One supervised batch: `spec.shots` independent shots seeded from the
+/// batch substream, reduced to counts over the four ket labels.
+fn batch(with_frame: bool, ctx: &BatchCtx) -> Result<[u64; 4], ShotError> {
+    let mut counts = [0u64; 4];
+    for shot in 0..ctx.spec.shots {
+        let (ma, mb) = run_shot(with_frame, ctx.seed.wrapping_add(shot))?;
+        counts[2 * usize::from(ma) + usize::from(mb)] += 1;
+    }
+    Ok(counts)
+}
+
+/// Runs `shots` supervised shots and folds the batch counts into a
+/// histogram (task-order reduction: independent of `--jobs`).
+fn run(args: &HarnessArgs, shots: u64, with_frame: bool) -> Histogram {
+    let batch_shots = args.batch_shots;
+    let specs: Vec<BatchSpec> = (0..shots.div_ceil(batch_shots))
+        .map(|b| BatchSpec {
+            key: format!("odd-bell-pf{}-b{b}", u8::from(with_frame)),
+            point: format!("odd-bell-pf{}", u8::from(with_frame)),
+            batch: b,
+            shots: batch_shots.min(shots - b * batch_shots),
+        })
+        .collect();
+    let config = SupervisorConfig::from_args(args);
+    let report = run_supervised(&config, specs, move |ctx: &BatchCtx| batch(with_frame, ctx));
+    assert!(
+        report.quarantined.is_empty(),
+        "odd-Bell batches must not fail: {:?}",
+        report.quarantined
+    );
     let mut histogram = Histogram::new();
-    for label in ["|00>", "|01>", "|10>", "|11>"] {
+    for label in LABELS {
         histogram.ensure_bin(label);
     }
-    for shot in 0..shots {
-        let mut stack = ControlStack::with_seed(ChpCore::new(), seed + shot);
-        if with_frame {
-            stack.push_layer(PauliFrameLayer::new());
+    for counts in report.results.into_iter().flatten() {
+        for (label, count) in LABELS.iter().zip(counts) {
+            for _ in 0..count {
+                histogram.record(*label);
+            }
         }
-        stack
-            .create_qubits(26)
-            .expect("two stars + shared ancillas");
-        let mut a = NinjaStar::new(StarLayout::with_shared_ancillas(0, 18));
-        let mut b = NinjaStar::new(StarLayout::with_shared_ancillas(9, 18));
-        // |+>_L |0>_L, then CNOT_L, then X_L on the control (Fig 5.6).
-        a.initialize_zero(&mut stack).expect("init A");
-        b.initialize_zero(&mut stack).expect("init B");
-        a.apply_logical_h(&mut stack).expect("H_L");
-        let circuit = logical_cnot(
-            a.layout(),
-            a.properties().rotation,
-            b.layout(),
-            b.properties().rotation,
-        );
-        stack.execute_now(circuit).expect("CNOT_L");
-        // X_L on the (rotated) control — the chain follows the rotation.
-        a.apply_logical_x(&mut stack).expect("X_L");
-        let ma = a.measure_logical(&mut stack).expect("M_ZL A");
-        let mb = b.measure_logical(&mut stack).expect("M_ZL B");
-        histogram.record(format!("|{}{}>", u8::from(ma), u8::from(mb)));
     }
     histogram
 }
 
 fn main() {
     let args = HarnessArgs::parse();
+    if let Some(mode) = args.test_mode.as_deref() {
+        assert_eq!(mode, "smoke", "unknown --test mode {mode:?}\n{USAGE}");
+    }
     let shots = if args.full { 100 } else { 40 };
 
     println!("== Fig 5.7a: odd Bell state histogram WITH Pauli frame ({shots} shots) ==");
-    let with = run(shots, true, args.seed);
+    let with = run(&args, shots, true);
     print!("{with}");
 
     println!();
     println!("== Fig 5.7b: odd Bell state histogram WITHOUT Pauli frame ({shots} shots) ==");
-    let without = run(shots, false, args.seed);
+    let without = run(&args, shots, false);
     print!("{without}");
 
     let anti_with = with.count("|01>") + with.count("|10>");
@@ -77,9 +122,12 @@ fn main() {
             "FAIL"
         }
     );
+    if args.test_mode.is_some() {
+        assert!(ok, "odd-Bell smoke failed");
+    }
 
     let mut rows = Vec::new();
-    for label in ["|00>", "|01>", "|10>", "|11>"] {
+    for label in LABELS {
         rows.push(format!(
             "{label},{},{}",
             with.count(label),

@@ -6,10 +6,19 @@
 //! contents, the flushed state, and the recovered global phase — then
 //! the full test bench runs the paper's 100 iterations of 10-qubit /
 //! 1000-gate random circuits (quick mode: 25 × 5 qubits × 200 gates).
+//!
+//! Each iteration runs as one supervised batch (`DESIGN.md` §7): a
+//! reference/framed disagreement is reported as a first-class
+//! [`ShotError::Divergence`] and quarantined instead of aborting the
+//! sweep, so one bad circuit cannot take down the other 99.
 
-use qpdo_bench::HarnessArgs;
+use qpdo_bench::supervisor::{
+    run_supervised, silence_chaos_panics, with_chaos, BatchCtx, BatchSpec, ChaosConfig,
+    SupervisorConfig, SupervisorReport, QUARANTINE_HEADER,
+};
+use qpdo_bench::{HarnessArgs, USAGE};
 use qpdo_core::testbench::random_circuit;
-use qpdo_core::{ControlStack, PauliFrameLayer, SvCore};
+use qpdo_core::{ControlStack, PauliFrameLayer, ShotError, SvCore};
 use qpdo_rng::rngs::StdRng;
 use qpdo_rng::SeedableRng;
 use qpdo_statevector::{Complex, StateVector};
@@ -38,8 +47,84 @@ fn global_phase(a: &[Complex], b: &[Complex], tol: f64) -> Option<Complex> {
         .then_some(phase)
 }
 
+/// One supervised iteration: build a random circuit from the batch
+/// substream, execute it with and without a Pauli-frame layer, and
+/// compare. Returns the number of classically-tracked Pauli gates, or a
+/// [`ShotError::Divergence`] when the framed run disagrees with the
+/// reference.
+fn circuit_job(qubits: usize, gates: usize, ctx: &BatchCtx) -> Result<u64, ShotError> {
+    let mut workload_rng = StdRng::seed_from_u64(ctx.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let circuit = random_circuit(qubits, gates, &mut workload_rng);
+    let paulis = circuit.census().pauli_gates as u64;
+
+    let mut reference = ControlStack::with_seed(SvCore::new(), ctx.seed);
+    reference.create_qubits(qubits)?;
+    reference.execute_now(circuit.clone())?;
+
+    let mut framed = ControlStack::with_seed(SvCore::new(), ctx.seed);
+    framed.push_layer(PauliFrameLayer::new());
+    framed.create_qubits(qubits)?;
+    framed.execute_now(circuit)?;
+    let pf: &PauliFrameLayer = framed
+        .find_layer()
+        .ok_or_else(|| ShotError::PoolFailure("frame layer vanished".to_owned()))?;
+    let filtered = pf.filtered_gates();
+    if filtered != paulis {
+        return Err(ShotError::Divergence {
+            detail: format!("{filtered} gates filtered, circuit holds {paulis} Paulis"),
+        });
+    }
+    framed.flush_pauli_frames()?;
+
+    let a = reference.quantum_state()?;
+    let b = framed.quantum_state()?;
+    let (a, b) = (
+        a.amplitudes().ok_or(qpdo_core::CoreError::NoQubits)?,
+        b.amplitudes().ok_or(qpdo_core::CoreError::NoQubits)?,
+    );
+    if global_phase(a, b, 1e-7).is_none() {
+        return Err(ShotError::Divergence {
+            detail: "framed state differs from reference beyond global phase".to_owned(),
+        });
+    }
+    Ok(filtered)
+}
+
+fn report_engine_events(args: &HarnessArgs, report: &SupervisorReport<u64>) {
+    let s = &report.stats;
+    if s.retries + s.panics + s.timeouts > 0 || s.degraded_to_serial {
+        eprintln!(
+            "  supervisor: {} retries, {} panics, {} timeouts, {} replacements{}",
+            s.retries,
+            s.panics,
+            s.timeouts,
+            s.replacements,
+            if s.degraded_to_serial {
+                " [degraded to serial]"
+            } else {
+                ""
+            }
+        );
+    }
+    let path = args.write_csv(
+        "quarantine.csv",
+        QUARANTINE_HEADER,
+        &report.quarantine_rows(),
+    );
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "  {} circuits quarantined -> {}",
+            report.quarantined.len(),
+            path.display()
+        );
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
+    if let Some(mode) = args.test_mode.as_deref() {
+        assert_eq!(mode, "smoke", "unknown --test mode {mode:?}\n{USAGE}");
+    }
 
     // ---- the worked example (Listings 5.3-5.6) --------------------------
     println!("== worked example: 5 qubits, 20 random gates (as Fig 5.4) ==");
@@ -91,50 +176,39 @@ fn main() {
     };
     println!();
     println!("== test bench: {iterations} random circuits, {qubits} qubits, {gates} gates each ==");
-    let mut matches = 0u64;
-    let mut filtered_total = 0u64;
-    for i in 0..iterations {
-        let mut workload_rng = StdRng::seed_from_u64(args.seed + 1000 + i);
-        let circuit = random_circuit(qubits, gates, &mut workload_rng);
-        let paulis = circuit.census().pauli_gates;
-
-        let mut reference = ControlStack::with_seed(SvCore::new(), args.seed + i);
-        reference.create_qubits(qubits).expect("register");
-        reference.execute_now(circuit.clone()).expect("execute");
-
-        let mut framed = ControlStack::with_seed(SvCore::new(), args.seed + i);
-        framed.push_layer(PauliFrameLayer::new());
-        framed.create_qubits(qubits).expect("register");
-        framed.execute_now(circuit).expect("execute");
-        let pf: &PauliFrameLayer = framed.find_layer().expect("frame layer");
-        assert_eq!(
-            pf.filtered_gates(),
-            paulis as u64,
-            "every Pauli gate must be filtered"
-        );
-        filtered_total += pf.filtered_gates();
-        framed.flush_pauli_frames().expect("flush");
-
-        let a = reference.quantum_state().expect("state");
-        let b = framed.quantum_state().expect("state");
-        if global_phase(
-            a.amplitudes().expect("sv"),
-            b.amplitudes().expect("sv"),
-            1e-7,
-        )
-        .is_some()
-        {
-            matches += 1;
+    let specs: Vec<BatchSpec> = (0..iterations)
+        .map(|i| BatchSpec {
+            key: format!("rc-i{i}"),
+            point: "rc".to_owned(),
+            batch: i,
+            shots: 1,
+        })
+        .collect();
+    let config = SupervisorConfig::from_args(&args);
+    let job = move |ctx: &BatchCtx| circuit_job(qubits, gates, ctx);
+    let report = match ChaosConfig::from_args(&args) {
+        Some(chaos) => {
+            silence_chaos_panics();
+            run_supervised(&config, specs, with_chaos(chaos, job))
         }
-    }
+        None => run_supervised(&config, specs, job),
+    };
+    report_engine_events(&args, &report);
+
+    let matches = report.results.iter().filter(|r| r.is_some()).count() as u64;
+    let filtered_total: u64 = report.results.iter().flatten().sum();
     println!("{matches}/{iterations} circuits: framed state equals reference up to global phase");
     println!("{filtered_total} Pauli gates were tracked classically instead of being executed");
+    let ok = report.is_clean() && matches == iterations;
     println!(
         "Pauli frame working mechanism: {}",
-        if matches == iterations {
+        if ok {
             "VERIFIED (matches Section 5.2.2)"
         } else {
             "FAILED"
         }
     );
+    if args.test_mode.is_some() {
+        assert!(ok, "random-circuit smoke failed");
+    }
 }

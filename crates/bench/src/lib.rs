@@ -7,20 +7,54 @@
 //! - `--full` — paper-scale parameters (long; the default is a quick
 //!   mode with the same structure at reduced statistics),
 //! - `--out <dir>` — where CSV series are written (default `results/`),
-//! - `--seed <n>` — base RNG seed (default 2016).
+//! - `--seed <n>` — base RNG seed (default 2016),
+//! - `--jobs <n>` — supervised worker threads (default: the machine's
+//!   available parallelism),
+//! - `--batch-shots <n>` — shots per supervised batch (default 16),
+//! - `--watchdog-ms <n>` — per-batch watchdog deadline (default 30000),
+//! - `--redundancy <n>` — cross-backend vote every `n`-th batch (0 off).
+//!
+//! The supervised execution engine behind those flags lives in
+//! [`supervisor`]; see `DESIGN.md` §7.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod harness;
+pub mod supervisor;
 
+use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
+/// A command-line parse failure (or an explicit `--help` request).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help`/`-h` was given: print usage, exit 0.
+    Help,
+    /// A real error: print the message and usage, exit non-zero.
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Help => write!(f, "help requested"),
+            ParseError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn invalid<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError::Invalid(message.into()))
+}
+
 /// Command-line options shared by all experiment binaries.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HarnessArgs {
     /// Run at paper-scale statistics.
     pub full: bool,
@@ -31,45 +65,131 @@ pub struct HarnessArgs {
     /// Self-check mode requested with `--test <mode>` (e.g. `smoke`):
     /// the binary runs a reduced, assertion-checked configuration.
     pub test_mode: Option<String>,
+    /// Supervised worker threads (`--jobs`, default: available
+    /// parallelism). Always at least 1.
+    pub jobs: usize,
+    /// Shots per supervised batch (`--batch-shots`, default 16).
+    pub batch_shots: u64,
+    /// Per-batch watchdog deadline in milliseconds (`--watchdog-ms`,
+    /// default 30000).
+    pub watchdog_ms: u64,
+    /// Cross-backend redundancy stride: every `n`-th batch is re-run on
+    /// both back-ends and voted (`--redundancy`, 0 = off).
+    pub redundancy: u64,
+    /// Fault-injection probability that a batch panics on its first
+    /// attempt (`--chaos-panic`, test instrumentation, default 0).
+    pub chaos_panic: f64,
+    /// Fault-injection: the task index that hangs once on its first
+    /// attempt (`--chaos-hang`, test instrumentation, default none).
+    pub chaos_hang: Option<usize>,
 }
 
 impl HarnessArgs {
-    /// Parses `std::env::args`, exiting with usage on errors.
+    /// The defaults every flag starts from (quick mode, `results/`,
+    /// seed 2016, machine parallelism).
     #[must_use]
-    pub fn parse() -> Self {
-        let mut args = HarnessArgs {
+    pub fn defaults() -> Self {
+        HarnessArgs {
             full: false,
             out_dir: PathBuf::from("results"),
             seed: 2016,
             test_mode: None,
-        };
-        let mut iter = std::env::args().skip(1);
+            jobs: default_jobs(),
+            batch_shots: 16,
+            watchdog_ms: 30_000,
+            redundancy: 0,
+            chaos_panic: 0.0,
+            chaos_hang: None,
+        }
+    }
+
+    /// Parses an explicit argument list (everything after the program
+    /// name). This is the testable core of [`parse`](Self::parse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Help`] for `--help`/`-h` and
+    /// [`ParseError::Invalid`] for unknown flags, missing values, or
+    /// out-of-range values (zero `--jobs`/`--batch-shots`/
+    /// `--watchdog-ms`, `--chaos-panic` outside `[0, 1]`).
+    pub fn try_parse_from<I, S>(raw: I) -> Result<Self, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = HarnessArgs::defaults();
+        let mut iter = raw.into_iter().map(Into::into);
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--full" => args.full = true,
                 "--quick" => args.full = false,
-                "--out" => {
-                    args.out_dir = PathBuf::from(
-                        iter.next()
-                            .unwrap_or_else(|| usage("--out needs a directory")),
-                    );
+                "--out" => match iter.next() {
+                    Some(dir) => args.out_dir = PathBuf::from(dir),
+                    None => return invalid("--out needs a directory"),
+                },
+                "--seed" => args.seed = parse_value(iter.next(), "--seed", "an integer")?,
+                "--test" => match iter.next() {
+                    Some(mode) => args.test_mode = Some(mode),
+                    None => return invalid("--test needs a mode"),
+                },
+                "--jobs" => {
+                    args.jobs = parse_value(iter.next(), "--jobs", "a positive integer")?;
+                    if args.jobs == 0 {
+                        return invalid("--jobs must be at least 1");
+                    }
                 }
-                "--seed" => {
-                    args.seed = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                        usage("--seed needs an integer");
-                    });
+                "--batch-shots" => {
+                    args.batch_shots =
+                        parse_value(iter.next(), "--batch-shots", "a positive integer")?;
+                    if args.batch_shots == 0 {
+                        return invalid("--batch-shots must be at least 1");
+                    }
                 }
-                "--test" => {
-                    args.test_mode =
-                        Some(iter.next().unwrap_or_else(|| usage("--test needs a mode")));
+                "--watchdog-ms" => {
+                    args.watchdog_ms =
+                        parse_value(iter.next(), "--watchdog-ms", "a positive integer")?;
+                    if args.watchdog_ms == 0 {
+                        return invalid("--watchdog-ms must be at least 1");
+                    }
                 }
-                "--help" | "-h" => {
-                    usage("");
+                "--redundancy" => {
+                    args.redundancy =
+                        parse_value(iter.next(), "--redundancy", "a batch stride (0 = off)")?;
                 }
-                other => usage(&format!("unknown option {other:?}")),
+                "--chaos-panic" => {
+                    args.chaos_panic = parse_value(iter.next(), "--chaos-panic", "a probability")?;
+                    if !(0.0..=1.0).contains(&args.chaos_panic) {
+                        return invalid("--chaos-panic must be in [0, 1]");
+                    }
+                }
+                "--chaos-hang" => {
+                    args.chaos_hang =
+                        Some(parse_value(iter.next(), "--chaos-hang", "a task index")?);
+                }
+                "--help" | "-h" => return Err(ParseError::Help),
+                other => return invalid(format!("unknown option {other:?}")),
             }
         }
-        args
+        Ok(args)
+    }
+
+    /// Parses `std::env::args`, exiting with usage on errors (the
+    /// behavior experiment binaries want; tests use
+    /// [`try_parse_from`](Self::try_parse_from)).
+    #[must_use]
+    pub fn parse() -> Self {
+        match Self::try_parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(ParseError::Help) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(ParseError::Invalid(message)) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Whether `--test smoke` was requested.
@@ -97,12 +217,36 @@ impl HarnessArgs {
     }
 }
 
-fn usage(message: &str) -> ! {
-    if !message.is_empty() {
-        eprintln!("error: {message}");
+/// Usage text shared by every experiment binary.
+pub const USAGE: &str = "\
+usage: <experiment> [options]
+  --full             paper-scale statistics (default: quick mode)
+  --quick            quick mode (the default; undoes an earlier --full)
+  --out DIR          output directory for CSV series (default results/)
+  --seed N           base RNG seed (default 2016)
+  --test MODE        run a self-check mode (e.g. smoke)
+  --jobs N           supervised worker threads (default: machine parallelism)
+  --batch-shots N    shots per supervised batch (default 16)
+  --watchdog-ms N    per-batch watchdog deadline in ms (default 30000)
+  --redundancy N     cross-backend vote every Nth batch (default 0 = off)
+  --chaos-panic P    fault injection: first-attempt panic probability
+  --chaos-hang I     fault injection: task index I hangs on first attempt";
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn parse_value<T: std::str::FromStr>(
+    value: Option<String>,
+    flag: &str,
+    want: &str,
+) -> Result<T, ParseError> {
+    match value {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError::Invalid(format!("{flag} needs {want}, got {v:?}"))),
+        None => Err(ParseError::Invalid(format!("{flag} needs {want}"))),
     }
-    eprintln!("usage: <experiment> [--full] [--out DIR] [--seed N] [--test MODE]");
-    std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 
 /// `n` logarithmically spaced points over `[lo, hi]`, inclusive.
@@ -227,5 +371,89 @@ mod tests {
     fn sci_formatting() {
         assert_eq!(sci(0.0), "0");
         assert!(sci(3.05e-3).starts_with("3.05"));
+    }
+
+    #[test]
+    fn parser_defaults() {
+        let args = HarnessArgs::try_parse_from(Vec::<String>::new()).unwrap();
+        assert!(!args.full);
+        assert_eq!(args.out_dir, PathBuf::from("results"));
+        assert_eq!(args.seed, 2016);
+        assert_eq!(args.test_mode, None);
+        assert!(args.jobs >= 1);
+        assert_eq!(args.batch_shots, 16);
+        assert_eq!(args.watchdog_ms, 30_000);
+        assert_eq!(args.redundancy, 0);
+        assert_eq!(args.chaos_panic, 0.0);
+        assert_eq!(args.chaos_hang, None);
+    }
+
+    #[test]
+    fn parser_accepts_all_flags() {
+        let args = HarnessArgs::try_parse_from([
+            "--full",
+            "--out",
+            "tmp",
+            "--seed",
+            "7",
+            "--test",
+            "smoke",
+            "--jobs",
+            "4",
+            "--batch-shots",
+            "32",
+            "--watchdog-ms",
+            "500",
+            "--redundancy",
+            "8",
+            "--chaos-panic",
+            "0.05",
+            "--chaos-hang",
+            "3",
+        ])
+        .unwrap();
+        assert!(args.full);
+        assert_eq!(args.out_dir, PathBuf::from("tmp"));
+        assert_eq!(args.seed, 7);
+        assert!(args.smoke());
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.batch_shots, 32);
+        assert_eq!(args.watchdog_ms, 500);
+        assert_eq!(args.redundancy, 8);
+        assert_eq!(args.chaos_panic, 0.05);
+        assert_eq!(args.chaos_hang, Some(3));
+    }
+
+    #[test]
+    fn parser_rejects_bad_input() {
+        let invalid = |raw: &[&str]| {
+            matches!(
+                HarnessArgs::try_parse_from(raw.iter().copied()),
+                Err(ParseError::Invalid(_))
+            )
+        };
+        assert!(invalid(&["--jobs", "0"]));
+        assert!(invalid(&["--batch-shots", "0"]));
+        assert!(invalid(&["--watchdog-ms", "0"]));
+        assert!(invalid(&["--jobs"]));
+        assert!(invalid(&["--jobs", "many"]));
+        assert!(invalid(&["--chaos-panic", "1.5"]));
+        assert!(invalid(&["--seed", "-3"]));
+        assert!(invalid(&["--frobnicate"]));
+        assert_eq!(
+            HarnessArgs::try_parse_from(["--help"]),
+            Err(ParseError::Help)
+        );
+        // Error messages surface the flag that failed.
+        let Err(ParseError::Invalid(message)) = HarnessArgs::try_parse_from(["--jobs", "x"]) else {
+            panic!("expected an invalid-argument error");
+        };
+        assert!(message.contains("--jobs"));
+    }
+
+    #[test]
+    fn quick_undoes_full() {
+        let args = HarnessArgs::try_parse_from(["--full", "--quick"]).unwrap();
+        assert!(!args.full);
     }
 }

@@ -98,6 +98,66 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Errors produced while executing a shot batch under supervision.
+///
+/// A *shot batch* is the unit of work of the supervised execution engine
+/// (`qpdo_bench::supervisor`): a contiguous run of shots/windows with its
+/// own deterministic RNG substream. Batches fail in ways an individual
+/// stack operation cannot — a worker panic, a watchdog timeout, a dead
+/// worker pool, or a cross-backend disagreement — so those outcomes get
+/// their own error type, with [`CoreError`] embedded for the ordinary
+/// stack-level failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShotError {
+    /// The batch failed inside the control stack.
+    Core(CoreError),
+    /// The batch panicked; the payload is the captured panic message.
+    Panic(String),
+    /// The batch exceeded its watchdog deadline and was declared hung.
+    Timeout {
+        /// The configured watchdog budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The worker pool itself failed (e.g. threads could not be spawned).
+    PoolFailure(String),
+    /// Redundant cross-backend execution disagreed on the outcome.
+    Divergence {
+        /// Human-readable description of the first disagreement.
+        detail: String,
+    },
+}
+
+impl From<CoreError> for ShotError {
+    fn from(e: CoreError) -> Self {
+        ShotError::Core(e)
+    }
+}
+
+impl fmt::Display for ShotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShotError::Core(e) => write!(f, "stack error: {e}"),
+            ShotError::Panic(msg) => write!(f, "worker panic: {msg}"),
+            ShotError::Timeout { budget_ms } => {
+                write!(f, "watchdog timeout: batch exceeded {budget_ms} ms")
+            }
+            ShotError::PoolFailure(msg) => write!(f, "worker pool failure: {msg}"),
+            ShotError::Divergence { detail } => {
+                write!(f, "cross-backend divergence: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShotError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +197,28 @@ mod tests {
         };
         assert!(e.to_string().contains("error rate"));
         assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn shot_error_messages_and_conversion() {
+        let e: ShotError = CoreError::NoQubits.into();
+        assert_eq!(e, ShotError::Core(CoreError::NoQubits));
+        assert!(e.to_string().contains("stack error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = ShotError::Panic("boom".to_owned());
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = ShotError::Timeout { budget_ms: 250 };
+        assert!(e.to_string().contains("250"));
+
+        let e = ShotError::PoolFailure("spawn failed".to_owned());
+        assert!(e.to_string().contains("spawn failed"));
+
+        let e = ShotError::Divergence {
+            detail: "window 3".to_owned(),
+        };
+        assert!(e.to_string().contains("window 3"));
     }
 }

@@ -25,7 +25,12 @@ pub struct LayerContext<'a> {
 /// All layers share this one interface, which is what lets stacks be
 /// assembled freely (Pauli frames at any level, counters anywhere,
 /// concatenated QEC layers, …).
-pub trait Layer: Any {
+///
+/// Layers are `Send` so an assembled [`crate::ControlStack`] can be
+/// constructed on (or moved to) a worker thread of the supervised
+/// shot-execution engine — a stack is single-threaded while running, but
+/// its batches execute on a pool.
+pub trait Layer: Any + Send {
     /// A short layer name for logs and reports.
     fn name(&self) -> &str;
 

@@ -59,7 +59,7 @@ mod state;
 pub mod testbench;
 
 pub use backend::{ChpCore, Core, SvCore};
-pub use error::CoreError;
+pub use error::{CoreError, ShotError};
 pub use error_model::{DepolarizingModel, ErrorCounts};
 pub use layer::{Layer, LayerContext};
 pub use layers::counter::{CounterLayer, Counters};

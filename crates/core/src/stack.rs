@@ -595,6 +595,17 @@ mod tests {
     }
 
     #[test]
+    fn stacks_are_send() {
+        // The supervised shot-execution engine moves fully assembled
+        // stacks into worker threads; this must stay true as layers and
+        // cores evolve.
+        fn assert_send<T: Send>() {}
+        assert_send::<ControlStack<ChpCore>>();
+        assert_send::<ControlStack<SvCore>>();
+        assert_send::<Box<dyn crate::Layer>>();
+    }
+
+    #[test]
     fn debug_format_names_layers() {
         let mut stack = ControlStack::with_seed(ChpCore::new(), 0);
         stack.push_layer(PauliFrameLayer::new());

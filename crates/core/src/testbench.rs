@@ -149,6 +149,27 @@ impl GateSupportTb {
     }
 }
 
+/// A `Send + Sync` recipe for assembling a fresh control stack from a
+/// seed — the shape worker threads of the supervised shot-execution
+/// engine expect: each batch builds its own stack on its own thread from
+/// a deterministic RNG substream, so nothing is shared between workers.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_core::testbench::StackFactory;
+/// use qpdo_core::{ChpCore, ControlStack, PauliFrameLayer};
+///
+/// let factory: StackFactory<ChpCore> = Box::new(|seed| {
+///     let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+///     stack.push_layer(PauliFrameLayer::new());
+///     stack
+/// });
+/// let stack = factory(7);
+/// assert_eq!(stack.layer_count(), 1);
+/// ```
+pub type StackFactory<C> = Box<dyn Fn(u64) -> ControlStack<C> + Send + Sync>;
+
 /// Measures qubits `0..n` and returns their [`BitState`]s (helper for
 /// custom benches).
 ///
@@ -248,5 +269,26 @@ mod tests {
     fn gate_support_needs_qubits() {
         let mut stack = ControlStack::with_seed(ChpCore::new(), 25);
         assert!(GateSupportTb.run(&mut stack).is_err());
+    }
+
+    #[test]
+    fn factories_build_stacks_on_other_threads() {
+        let factory: StackFactory<ChpCore> = Box::new(|seed| {
+            let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+            stack.push_layer(PauliFrameLayer::new());
+            stack
+        });
+        let handle = std::thread::spawn(move || {
+            let mut stack = factory(42);
+            stack.create_qubits(2).unwrap();
+            BellStateHistoTb {
+                shots: 8,
+                odd: true,
+            }
+            .run(&mut stack)
+            .unwrap()
+            .total()
+        });
+        assert_eq!(handle.join().unwrap(), 8);
     }
 }

@@ -22,8 +22,10 @@ use qpdo_core::fault::{FaultPlan, FaultRates};
 use qpdo_core::{
     ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts,
     FrameProtectionConfig, FrameProtectionStats, PauliFrameLayer, ProtectedPauliFrameLayer,
+    ShotError, SvCore,
 };
 use qpdo_pauli::{Pauli, PauliString};
+use qpdo_statevector::Complex;
 
 use crate::{NinjaStar, StarLayout};
 
@@ -227,6 +229,175 @@ pub struct ClassicalLerOutcome {
     pub protection: FrameProtectionStats,
     /// Classical-fault events reported by the layer during the run.
     pub fault_events: u64,
+}
+
+impl ClassicalLerOutcome {
+    /// Serializes the outcome as one whitespace-separated record line
+    /// (the sweep-checkpoint format): the [`LerOutcome`] record followed
+    /// by the eight protection counters and the fault-event count.
+    #[must_use]
+    pub fn to_record(&self) -> String {
+        let p = &self.protection;
+        format!(
+            "{} {} {} {} {} {} {} {} {} {}",
+            self.ler.to_record(),
+            p.injected,
+            p.detected,
+            p.recovered,
+            p.missed,
+            p.scrubs,
+            p.checkpoints,
+            p.rollbacks,
+            p.degraded_flushes,
+            self.fault_events,
+        )
+    }
+
+    /// Parses a record line produced by [`to_record`](Self::to_record).
+    /// Returns `None` on any malformed field.
+    #[must_use]
+    pub fn from_record(line: &str) -> Option<Self> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 19 {
+            return None;
+        }
+        let ler = LerOutcome::from_record(&fields[..10].join(" "))?;
+        let tail: Vec<u64> = fields[10..]
+            .iter()
+            .map(|f| f.parse())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        let [injected, detected, recovered, missed, scrubs, checkpoints, rollbacks, degraded_flushes, fault_events] =
+            tail[..]
+        else {
+            return None;
+        };
+        Some(ClassicalLerOutcome {
+            ler,
+            protection: FrameProtectionStats {
+                injected,
+                detected,
+                recovered,
+                missed,
+                scrubs,
+                checkpoints,
+                rollbacks,
+                degraded_flushes,
+            },
+            fault_events,
+        })
+    }
+}
+
+/// The outcome of one cross-backend redundancy check (see
+/// [`run_cross_backend_check`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrossCheckOutcome {
+    /// ESM windows executed on each back-end.
+    pub windows: u64,
+    /// Whether the two back-ends agreed on every compared quantity.
+    pub agreed: bool,
+    /// Description of the first disagreement (empty when `agreed`).
+    pub detail: String,
+}
+
+impl CrossCheckOutcome {
+    /// Converts a disagreement into the supervisor's first-class
+    /// [`ShotError::Divergence`] outcome; agreement maps to `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShotError::Divergence`] when the back-ends disagreed.
+    pub fn into_result(self) -> Result<(), ShotError> {
+        if self.agreed {
+            Ok(())
+        } else {
+            Err(ShotError::Divergence {
+                detail: self.detail,
+            })
+        }
+    }
+}
+
+/// Cross-backend redundancy oracle: runs the same Clifford-only,
+/// fault-free ESM workload — initialization to `|0⟩_L` followed by
+/// `windows` error-correction windows — on both the stabilizer (CHP) and
+/// the state-vector back-end, and compares:
+///
+/// - every per-window [`WindowReport`](crate::WindowReport) (confirmed
+///   detection events, corrections issued),
+/// - the observable-error gate after the final window,
+/// - the final quantum state, by checking that every canonical
+///   stabilizer generator of the CHP tableau holds with expectation `+1`
+///   on the state vector.
+///
+/// The two simulators share no code beyond the Pauli algebra, so
+/// agreement here is the platform's end-to-end correctness oracle for
+/// the tracking logic (in the spirit of Paler & Devitt's software Pauli
+/// tracking validation). The supervised execution engine samples batches
+/// of a sweep through this check and votes: divergence is reported as a
+/// first-class supervisor outcome rather than a panic.
+///
+/// # Errors
+///
+/// Returns [`ShotError::Core`] for stack-level failures; disagreement is
+/// reported in the outcome, not as an error.
+pub fn run_cross_backend_check(seed: u64, windows: u64) -> Result<CrossCheckOutcome, ShotError> {
+    let mut chp = ControlStack::with_seed(ChpCore::new(), seed);
+    chp.create_qubits(17).map_err(ShotError::Core)?;
+    let mut chp_star = NinjaStar::new(StarLayout::standard(0));
+    chp_star.initialize_zero(&mut chp)?;
+
+    let mut sv = ControlStack::with_seed(SvCore::new(), seed);
+    sv.create_qubits(17).map_err(ShotError::Core)?;
+    let mut sv_star = NinjaStar::new(StarLayout::standard(0));
+    sv_star.initialize_zero(&mut sv)?;
+
+    let disagree = |detail: String| CrossCheckOutcome {
+        windows,
+        agreed: false,
+        detail,
+    };
+
+    for w in 0..windows {
+        let a = chp_star.run_window(&mut chp)?;
+        let b = sv_star.run_window(&mut sv)?;
+        if a != b {
+            return Ok(disagree(format!(
+                "window {w}: chp {a:?} vs statevector {b:?}"
+            )));
+        }
+    }
+    let chp_err = chp_star.has_observable_error(&mut chp)?;
+    let sv_err = sv_star.has_observable_error(&mut sv)?;
+    if chp_err != sv_err {
+        return Ok(disagree(format!(
+            "observable-error gate: chp {chp_err} vs statevector {sv_err}"
+        )));
+    }
+
+    let stabilizers = chp
+        .core()
+        .simulator()
+        .ok_or(ShotError::Core(CoreError::NoQubits))?
+        .canonical_stabilizers();
+    let sv_sim = sv
+        .core()
+        .simulator()
+        .ok_or(ShotError::Core(CoreError::NoQubits))?;
+    for s in &stabilizers {
+        let e = sv_sim.pauli_expectation(s);
+        if !e.approx_eq(Complex::ONE, 1e-6) {
+            return Ok(disagree(format!(
+                "stabilizer {s}: statevector expectation {e} (want +1)"
+            )));
+        }
+    }
+    Ok(CrossCheckOutcome {
+        windows,
+        agreed: true,
+        detail: String::new(),
+    })
 }
 
 /// Runs the LER experiment with a [`ProtectedPauliFrameLayer`] in place
@@ -543,5 +714,67 @@ mod tests {
         let classical =
             ClassicalFaultConfig::frame_flips(1.5, FrameProtectionConfig::protected(), 0);
         assert!(run_ler_classical(&config, &classical).is_err());
+    }
+
+    #[test]
+    fn classical_outcome_record_round_trips() {
+        let outcome = ClassicalLerOutcome {
+            ler: LerOutcome {
+                windows: 100,
+                logical_errors: 3,
+                ops_above_frame: 50,
+                slots_above_frame: 40,
+                ops_below_frame: 30,
+                slots_below_frame: 20,
+                injected: ErrorCounts {
+                    single_qubit: 4,
+                    two_qubit: 5,
+                    measurement: 6,
+                    idle: 7,
+                },
+            },
+            protection: FrameProtectionStats {
+                injected: 11,
+                detected: 10,
+                recovered: 9,
+                missed: 1,
+                scrubs: 8,
+                checkpoints: 7,
+                rollbacks: 2,
+                degraded_flushes: 0,
+            },
+            fault_events: 11,
+        };
+        let line = outcome.to_record();
+        assert_eq!(ClassicalLerOutcome::from_record(&line), Some(outcome));
+        assert_eq!(ClassicalLerOutcome::from_record(""), None);
+        assert_eq!(ClassicalLerOutcome::from_record("1 2 3"), None);
+        // Right width, bad field.
+        let mut fields: Vec<String> = line.split_whitespace().map(String::from).collect();
+        fields[18] = "x".to_string();
+        assert_eq!(ClassicalLerOutcome::from_record(&fields.join(" ")), None);
+    }
+
+    #[test]
+    fn cross_backend_check_agrees_on_fault_free_windows() {
+        for seed in [0, 1] {
+            let outcome = run_cross_backend_check(seed, 3).unwrap();
+            assert_eq!(outcome.windows, 3);
+            assert!(outcome.agreed, "divergence: {}", outcome.detail);
+            assert!(outcome.detail.is_empty());
+            assert!(outcome.into_result().is_ok());
+        }
+    }
+
+    #[test]
+    fn cross_check_disagreement_becomes_divergence_error() {
+        let outcome = CrossCheckOutcome {
+            windows: 2,
+            agreed: false,
+            detail: "window 0: mismatch".to_string(),
+        };
+        let err = outcome.into_result().unwrap_err();
+        assert!(matches!(err, ShotError::Divergence { .. }));
+        assert!(err.to_string().contains("window 0"));
     }
 }

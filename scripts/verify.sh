@@ -78,4 +78,13 @@ cargo build --release --offline --workspace --all-targets
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 
+echo "== supervisor smoke: exp_ler --test smoke --jobs 4 =="
+# End-to-end gate on the supervised execution engine (DESIGN.md §7):
+# jobs-independence, forced-panic + hang recovery, quarantine
+# completion, and the cross-backend redundancy vote. Uses the release
+# binary built above; output goes to a throwaway directory.
+smoke_out=$(mktemp -d)
+trap 'rm -rf "$smoke_out"' EXIT
+./target/release/exp_ler --test smoke --jobs 4 --out "$smoke_out"
+
 echo "verify: OK"
