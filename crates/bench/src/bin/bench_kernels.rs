@@ -1,0 +1,371 @@
+//! `bench_kernels` — the stabilizer-kernel performance trajectory.
+//!
+//! Measures the hot kernels of the word-packed tableau engine against
+//! the cell-per-entry reference, plus the Surface-17 steady-state
+//! workloads built on top of them, and writes
+//! `results/BENCH_stabilizer.json` (schema `qpdo-bench-stabilizer-v1`)
+//! so every future PR can diff its numbers against this one.
+//!
+//! Kernels:
+//!
+//! - `rowsum_packed_n17` / `rowsum_reference_n17` — one random-measurement
+//!   collapse on an identical seeded 17-qubit random-Clifford state. Both
+//!   engines absorb the same pivot into the same anticommuting rows, so
+//!   the ratio is the honest rowsum-kernel speedup
+//!   (`derived.rowsum_speedup_n17`).
+//! - `esm_round` — one Surface-17 ESM window on a warmed control stack.
+//! - `sc17_shot` — a full shot: build the stack, initialize `|0⟩_L`, run
+//!   one window, evaluate the observable-error gate.
+//! - `frame_merge` — word-parallel merge of two 17-qubit Pauli frames.
+//!
+//! Flags: `--out DIR` (default `results`), `--samples N` (default 25),
+//! `--seed N` (default 2016), `--smoke` (minimal iterations + schema
+//! validation, for `scripts/verify.sh`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qpdo_bench::harness::{measure_batched_ns, Stats};
+use qpdo_bench::json::Json;
+use qpdo_core::{ChpCore, ControlStack, DepolarizingModel};
+use qpdo_pauli::{Pauli, PauliFrame};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
+use qpdo_stabilizer::{ReferenceTableau, StabilizerSim};
+use qpdo_surface17::{NinjaStar, StarLayout};
+
+const SCHEMA: &str = "qpdo-bench-stabilizer-v1";
+const N: usize = 17;
+
+struct Args {
+    out: PathBuf,
+    samples: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("results"),
+        samples: 25,
+        seed: 2016,
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                args.out = iter
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--out requires a directory")?;
+            }
+            "--samples" => {
+                args.samples = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--samples requires a positive integer")?;
+            }
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.samples == 0 {
+        return Err("--samples must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One gate of the shared random-Clifford warm circuit.
+#[derive(Clone, Copy)]
+enum G {
+    H(usize),
+    S(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+}
+
+/// A seeded random Clifford circuit dense enough that most qubits have
+/// several anticommuting rows at measurement time.
+fn random_circuit(seed: u64, gates: usize) -> Vec<G> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..gates)
+        .map(|_| {
+            let a = rng.gen_range(0..N);
+            let mut b = rng.gen_range(0..N - 1);
+            if b >= a {
+                b += 1;
+            }
+            match rng.gen_range(0..4u32) {
+                0 => G::H(a),
+                1 => G::S(a),
+                2 => G::Cnot(a, b),
+                _ => G::Cz(a, b),
+            }
+        })
+        .collect()
+}
+
+fn build_packed(circuit: &[G]) -> StabilizerSim {
+    let mut sim = StabilizerSim::new(N);
+    for &g in circuit {
+        match g {
+            G::H(q) => sim.h(q),
+            G::S(q) => sim.s(q),
+            G::Cnot(a, b) => sim.cnot(a, b),
+            G::Cz(a, b) => sim.cz(a, b),
+        }
+    }
+    sim
+}
+
+fn build_reference(circuit: &[G]) -> ReferenceTableau {
+    let mut sim = ReferenceTableau::new(N);
+    for &g in circuit {
+        match g {
+            G::H(q) => sim.h(q),
+            G::S(q) => sim.s(q),
+            G::Cnot(a, b) => sim.cnot(a, b),
+            G::Cz(a, b) => sim.cz(a, b),
+        }
+    }
+    sim
+}
+
+/// Picks the measurement qubit with the most anticommuting rows, so the
+/// rowsum kernels are timed on the heaviest collapse this state offers.
+fn heaviest_qubit(sim: &StabilizerSim) -> (usize, usize) {
+    (0..N)
+        .map(|q| {
+            let mut probe = sim.clone();
+            (q, probe.bench_collapse(q, false))
+        })
+        .max_by_key(|&(_, count)| count)
+        .expect("register is non-empty")
+}
+
+fn kernel_entry(name: &str, stats: &Stats) -> Json {
+    Json::object([
+        ("name", Json::from(name)),
+        ("median_ns", Json::from(stats.median_ns)),
+        ("min_ns", Json::from(stats.min_ns)),
+        ("max_ns", Json::from(stats.max_ns)),
+        ("samples", Json::from(stats.samples)),
+        ("iters", Json::from(stats.iters_per_sample)),
+    ])
+}
+
+/// Validates the report against the `qpdo-bench-stabilizer-v1` schema;
+/// the smoke gate in `scripts/verify.sh` rides on this.
+fn validate_report(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field must be {SCHEMA:?}"));
+    }
+    for field in ["seed", "samples"] {
+        doc.get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric field {field:?}"))?;
+    }
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("missing kernels array")?;
+    let required = [
+        "rowsum_packed_n17",
+        "rowsum_reference_n17",
+        "esm_round",
+        "sc17_shot",
+        "frame_merge",
+    ];
+    for name in required {
+        let entry = kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Json::as_str) == Some(name))
+            .ok_or(format!("missing kernel entry {name:?}"))?;
+        for field in ["median_ns", "min_ns", "max_ns", "samples", "iters"] {
+            let v = entry
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("kernel {name:?} missing field {field:?}"))?;
+            if v <= 0.0 {
+                return Err(format!("kernel {name:?} field {field:?} must be positive"));
+            }
+        }
+    }
+    let derived = doc.get("derived").ok_or("missing derived object")?;
+    let speedup = derived
+        .get("rowsum_speedup_n17")
+        .and_then(Json::as_f64)
+        .ok_or("missing derived.rowsum_speedup_n17")?;
+    if speedup <= 0.0 {
+        return Err("derived.rowsum_speedup_n17 must be positive".into());
+    }
+    derived
+        .get("rowsum_targets_n17")
+        .and_then(Json::as_f64)
+        .ok_or("missing derived.rowsum_targets_n17")?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("bench_kernels: {err}");
+            eprintln!("usage: bench_kernels [--out DIR] [--samples N] [--seed N] [--smoke]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (samples, collapse_iters, window_iters, shot_iters, merge_iters) = if args.smoke {
+        (3, 8, 1, 1, 64)
+    } else {
+        (args.samples, 256, 8, 4, 4096)
+    };
+
+    // -- rowsum kernels: identical collapse workload on both engines.
+    let circuit = random_circuit(args.seed, 300);
+    let packed_state = build_packed(&circuit);
+    let reference_state = build_reference(&circuit);
+    let (q, targets) = heaviest_qubit(&packed_state);
+    {
+        // The engines must agree on the workload or the ratio is bogus.
+        let mut probe = reference_state.clone();
+        assert_eq!(
+            probe.bench_collapse(q, false),
+            targets,
+            "engines disagree on the collapse workload"
+        );
+    }
+    let rowsum_packed = measure_batched_ns(
+        samples,
+        collapse_iters,
+        || packed_state.clone(),
+        |mut sim| sim.bench_collapse(q, false),
+    );
+    let rowsum_reference = measure_batched_ns(
+        samples,
+        collapse_iters,
+        || reference_state.clone(),
+        |mut sim| sim.bench_collapse(q, false),
+    );
+    let speedup = rowsum_reference.median_ns / rowsum_packed.median_ns;
+    println!(
+        "rowsum n={N} q={q} targets={targets}: packed {:.1} ns, reference {:.1} ns, speedup {speedup:.2}x",
+        rowsum_packed.median_ns, rowsum_reference.median_ns
+    );
+
+    // -- esm_round: steady-state window on a warmed Surface-17 stack.
+    let mut stack = ControlStack::with_seed(ChpCore::new(), args.seed);
+    stack.set_error_model(DepolarizingModel::try_new(1e-3).expect("valid rate"));
+    stack.create_qubits(N).expect("17 qubits fit");
+    let mut star = NinjaStar::new(StarLayout::standard(0));
+    star.initialize_zero(&mut stack).expect("initialization");
+    star.run_window(&mut stack).expect("warmup window");
+    let esm_round = measure_batched_ns(
+        samples,
+        window_iters,
+        || (),
+        |()| star.run_window(&mut stack).expect("window runs"),
+    );
+    println!("esm_round: {:.1} ns", esm_round.median_ns);
+
+    // -- sc17_shot: stack construction + |0>_L + one window + gate.
+    let mut shot_seed = args.seed;
+    let sc17_shot = measure_batched_ns(
+        samples,
+        shot_iters,
+        || {
+            shot_seed = shot_seed.wrapping_add(1);
+            shot_seed
+        },
+        |seed| {
+            let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+            stack.set_error_model(DepolarizingModel::try_new(1e-3).expect("valid rate"));
+            stack.create_qubits(N).expect("17 qubits fit");
+            let mut star = NinjaStar::new(StarLayout::standard(0));
+            star.initialize_zero(&mut stack).expect("initialization");
+            star.run_window(&mut stack).expect("window runs");
+            star.has_observable_error(&mut stack).expect("gate runs")
+        },
+    );
+    println!("sc17_shot: {:.1} ns", sc17_shot.median_ns);
+
+    // -- frame_merge: whole-register Pauli-frame merge.
+    let mut pattern = PauliFrame::new(N);
+    for q in 0..N {
+        if q % 2 == 0 {
+            pattern.apply_pauli(q, Pauli::X);
+        }
+        if q % 3 == 0 {
+            pattern.apply_pauli(q, Pauli::Z);
+        }
+    }
+    let mut target_frame = PauliFrame::new(N);
+    let frame_merge = measure_batched_ns(
+        samples,
+        merge_iters,
+        || (),
+        |()| target_frame.merge(&pattern),
+    );
+    println!("frame_merge: {:.1} ns", frame_merge.median_ns);
+
+    let report = Json::object([
+        ("schema", Json::from(SCHEMA)),
+        ("seed", Json::from(args.seed)),
+        ("samples", Json::from(samples)),
+        ("smoke", Json::from(args.smoke)),
+        (
+            "kernels",
+            Json::array([
+                kernel_entry("rowsum_packed_n17", &rowsum_packed),
+                kernel_entry("rowsum_reference_n17", &rowsum_reference),
+                kernel_entry("esm_round", &esm_round),
+                kernel_entry("sc17_shot", &sc17_shot),
+                kernel_entry("frame_merge", &frame_merge),
+            ]),
+        ),
+        (
+            "derived",
+            Json::object([
+                ("rowsum_speedup_n17", Json::from(speedup)),
+                ("rowsum_targets_n17", Json::from(targets)),
+            ]),
+        ),
+    ]);
+
+    if let Err(err) = validate_report(&report) {
+        eprintln!("bench_kernels: generated report fails its own schema: {err}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = std::fs::create_dir_all(&args.out) {
+        eprintln!("bench_kernels: cannot create {}: {err}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let path = args.out.join("BENCH_stabilizer.json");
+    if let Err(err) = std::fs::write(&path, report.pretty()) {
+        eprintln!("bench_kernels: cannot write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    // Round-trip the on-disk bytes so the smoke gate checks what future
+    // readers will actually parse.
+    let reread = std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+        .and_then(|doc| validate_report(&doc).map(|()| doc));
+    if let Err(err) = reread {
+        eprintln!("bench_kernels: {} fails validation: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({})",
+        path.display(),
+        if args.smoke { "smoke" } else { "full" }
+    );
+    ExitCode::SUCCESS
+}

@@ -150,12 +150,18 @@ impl Group<'_> {
 }
 
 /// Per-iteration timing statistics over the collected samples.
-struct Stats {
-    median_ns: f64,
-    min_ns: f64,
-    max_ns: f64,
-    samples: usize,
-    iters_per_sample: usize,
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Median ns per iteration across the samples.
+    pub median_ns: f64,
+    /// Fastest sample's ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample's ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: usize,
 }
 
 impl std::fmt::Display for Stats {
@@ -256,6 +262,34 @@ fn estimate_per_iter<O>(budget: Duration, f: &mut impl FnMut() -> O) -> Duration
         }
     }
     start.elapsed() / iters
+}
+
+/// Programmatic batched measurement for report-emitting binaries (e.g.
+/// `bench_kernels`): times `routine` on fresh `setup()` inputs,
+/// `iters` per sample over `samples` samples, without the harness's
+/// CLI/printing wrapper. Only `routine` is timed.
+pub fn measure_batched_ns<I, O>(
+    samples: usize,
+    iters: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> O,
+) -> Stats {
+    let samples = samples.max(1);
+    let iters = iters.max(1);
+    // Warmup: one untimed batch primes caches and branch predictors.
+    for _ in 0..iters.min(64) {
+        std::hint::black_box(routine(setup()));
+    }
+    let mut per_iter_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    summarize(per_iter_ns, iters)
 }
 
 fn iters_for(sample_time: Duration, per_iter: Duration, cap: usize) -> usize {

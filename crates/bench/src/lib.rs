@@ -22,6 +22,7 @@
 
 pub mod checkpoint;
 pub mod harness;
+pub mod json;
 pub mod supervisor;
 
 use std::fmt;

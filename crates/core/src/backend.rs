@@ -1,6 +1,6 @@
 use qpdo_circuit::{Gate, Operation, OperationKind};
 use qpdo_rng::RngCore;
-use qpdo_stabilizer::StabilizerSim;
+use qpdo_stabilizer::{CliffordTableau, StabilizerSim};
 use qpdo_statevector::StateVector;
 
 use crate::{CoreError, QuantumState};
@@ -62,8 +62,13 @@ fn check_qubits(op: &Operation, allocated: usize) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Stabilizer simulation core backed by [`StabilizerSim`] — the stand-in
-/// for CHP (Section 4.1.2). Fast, memory-light, Clifford gates only.
+/// Stabilizer simulation core — the stand-in for CHP (Section 4.1.2).
+/// Fast, memory-light, Clifford gates only.
+///
+/// Generic over the tableau engine: the default `T = `[`StabilizerSim`]
+/// is the word-packed production engine; any other
+/// [`CliffordTableau`] (e.g. the reference oracle) slots in for
+/// differential testing without touching the control stack above.
 ///
 /// # Example
 ///
@@ -75,38 +80,60 @@ fn check_qubits(op: &Operation, allocated: usize) -> Result<(), CoreError> {
 /// assert!(core.supports_gate(Gate::Cnot));
 /// assert!(!core.supports_gate(Gate::T));
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct ChpCore {
-    sim: Option<StabilizerSim>,
+#[derive(Clone, Debug)]
+pub struct ChpCore<T: CliffordTableau = StabilizerSim> {
+    sim: Option<T>,
+}
+
+// Manual impl: a derived `Default` would demand `T: Default`, which the
+// tableau contract deliberately does not include (engines are built via
+// `with_qubits`).
+impl<T: CliffordTableau> Default for ChpCore<T> {
+    fn default() -> Self {
+        ChpCore { sim: None }
+    }
 }
 
 impl ChpCore {
-    /// An empty stabilizer core (no qubits yet).
+    /// An empty stabilizer core over the packed production engine.
     #[must_use]
     pub fn new() -> Self {
+        ChpCore::default()
+    }
+}
+
+impl<T: CliffordTableau> ChpCore<T> {
+    /// An empty stabilizer core over an explicit tableau engine `T`.
+    #[must_use]
+    pub fn empty() -> Self {
         ChpCore::default()
     }
 
     /// Direct access to the underlying simulator, if qubits exist.
     #[must_use]
-    pub fn simulator(&self) -> Option<&StabilizerSim> {
+    pub fn simulator(&self) -> Option<&T> {
         self.sim.as_ref()
     }
 
     /// Mutable access to the underlying simulator, if qubits exist.
     #[must_use]
-    pub fn simulator_mut(&mut self) -> Option<&mut StabilizerSim> {
+    pub fn simulator_mut(&mut self) -> Option<&mut T> {
         self.sim.as_mut()
     }
 }
 
-impl Core for ChpCore {
+/// A [`ChpCore`] running the cell-per-entry reference tableau — the
+/// differential-oracle twin of the default packed core.
+#[cfg(feature = "reference")]
+pub type ReferenceChpCore = ChpCore<qpdo_stabilizer::ReferenceTableau>;
+
+impl<T: CliffordTableau> Core for ChpCore<T> {
     fn name(&self) -> &'static str {
-        "chp"
+        T::BACKEND_NAME
     }
 
     fn num_qubits(&self) -> usize {
-        self.sim.as_ref().map_or(0, StabilizerSim::num_qubits)
+        self.sim.as_ref().map_or(0, T::num_qubits)
     }
 
     fn create_qubits(&mut self, n: usize) -> Result<(), CoreError> {
@@ -115,7 +142,7 @@ impl Core for ChpCore {
         }
         match &mut self.sim {
             Some(sim) => sim.grow(n),
-            None => self.sim = Some(StabilizerSim::new(n)),
+            None => self.sim = Some(T::with_qubits(n)),
         }
         Ok(())
     }

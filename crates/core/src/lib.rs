@@ -58,6 +58,8 @@ mod stack;
 mod state;
 pub mod testbench;
 
+#[cfg(feature = "reference")]
+pub use backend::ReferenceChpCore;
 pub use backend::{ChpCore, Core, SvCore};
 pub use error::{CoreError, ShotError};
 pub use error_model::{DepolarizingModel, ErrorCounts};

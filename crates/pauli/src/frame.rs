@@ -2,14 +2,24 @@ use std::fmt;
 
 use crate::{Pauli, PauliRecord};
 
-/// A Pauli frame: one [`PauliRecord`] per qubit.
+/// A Pauli frame: one [`PauliRecord`] per qubit, bit-packed.
 ///
 /// This is the classical data structure of Section 3.2 — `2n` bits of
-/// memory for an `n`-qubit system. Pauli gates merge into the frame without
-/// touching the qubits; Clifford gates map the records and still execute;
-/// non-Clifford gates require [`flush`](PauliFrame::flush) first;
+/// memory for an `n`-qubit system, stored literally as two `u64` bit-planes
+/// (`x` and `z`, one bit per qubit). Pauli gates merge into the frame
+/// without touching the qubits; Clifford gates map the records and still
+/// execute; non-Clifford gates require [`flush`](PauliFrame::flush) first;
 /// measurement results pass through
 /// [`map_measurement`](PauliFrame::map_measurement).
+///
+/// The packing makes whole-register operations word-parallel: merging one
+/// frame into another ([`merge`](PauliFrame::merge)), applying an n-qubit
+/// Pauli layer ([`apply_pauli_planes`](PauliFrame::apply_pauli_planes)) and
+/// counting tracked qubits ([`tracked_count`](PauliFrame::tracked_count))
+/// are a handful of XORs/popcounts instead of per-qubit table lookups.
+///
+/// Invariant: all plane bits at positions `>= len()` are zero, so the
+/// derived `PartialEq`/`Hash` compare frames by their logical content.
 ///
 /// # Example
 ///
@@ -24,7 +34,14 @@ use crate::{Pauli, PauliRecord};
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub struct PauliFrame {
-    records: Vec<PauliRecord>,
+    n: usize,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
+}
+
+#[inline]
+fn word_count(n: usize) -> usize {
+    n.div_ceil(64)
 }
 
 impl PauliFrame {
@@ -32,25 +49,38 @@ impl PauliFrame {
     #[must_use]
     pub fn new(n: usize) -> Self {
         PauliFrame {
-            records: vec![PauliRecord::I; n],
+            n,
+            xs: vec![0; word_count(n)],
+            zs: vec![0; word_count(n)],
         }
     }
 
     /// The number of qubits tracked.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.n
     }
 
     /// `true` if the frame tracks zero qubits.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.n == 0
+    }
+
+    #[inline]
+    fn check_qubit(&self, q: usize) {
+        assert!(
+            q < self.n,
+            "qubit index {q} out of range ({} qubits)",
+            self.n
+        );
     }
 
     /// Grows the frame by `n` additional empty records (qubit allocation).
     pub fn grow(&mut self, n: usize) {
-        self.records.resize(self.records.len() + n, PauliRecord::I);
+        self.n += n;
+        self.xs.resize(word_count(self.n), 0);
+        self.zs.resize(word_count(self.n), 0);
     }
 
     /// Shrinks the frame by `n` records from the end (qubit deallocation).
@@ -59,9 +89,20 @@ impl PauliFrame {
     ///
     /// Panics if `n` exceeds the current length.
     pub fn shrink(&mut self, n: usize) {
-        let len = self.records.len();
+        let len = self.n;
         assert!(n <= len, "cannot shrink frame of {len} records by {n}");
-        self.records.truncate(len - n);
+        self.n = len - n;
+        self.xs.truncate(word_count(self.n));
+        self.zs.truncate(word_count(self.n));
+        // Re-establish the zero-padding invariant in the top word.
+        if !self.n.is_multiple_of(64) {
+            if let Some(last) = self.xs.last_mut() {
+                *last &= (1u64 << (self.n % 64)) - 1;
+            }
+            if let Some(last) = self.zs.last_mut() {
+                *last &= (1u64 << (self.n % 64)) - 1;
+            }
+        }
     }
 
     /// The record of qubit `q`.
@@ -71,7 +112,9 @@ impl PauliFrame {
     /// Panics if `q` is out of range.
     #[must_use]
     pub fn record(&self, q: usize) -> PauliRecord {
-        self.records[q]
+        self.check_qubit(q);
+        let (w, b) = (q / 64, q % 64);
+        PauliRecord::from_bits(self.xs[w] >> b & 1 != 0, self.zs[w] >> b & 1 != 0)
     }
 
     /// Overwrites the record of qubit `q`.
@@ -80,12 +123,17 @@ impl PauliFrame {
     ///
     /// Panics if `q` is out of range.
     pub fn set_record(&mut self, q: usize, r: PauliRecord) {
-        self.records[q] = r;
+        self.check_qubit(q);
+        let (w, b) = (q / 64, q % 64);
+        let mask = 1u64 << b;
+        let (x, z) = r.bits();
+        self.xs[w] = (self.xs[w] & !mask) | (u64::from(x) << b);
+        self.zs[w] = (self.zs[w] & !mask) | (u64::from(z) << b);
     }
 
     /// Iterates over the records in qubit order.
     pub fn iter(&self) -> impl Iterator<Item = PauliRecord> + '_ {
-        self.records.iter().copied()
+        (0..self.n).map(|q| self.record(q))
     }
 
     /// Resets the record of qubit `q` to `I` (used on qubit initialization
@@ -95,12 +143,13 @@ impl PauliFrame {
     ///
     /// Panics if `q` is out of range.
     pub fn reset(&mut self, q: usize) {
-        self.records[q] = PauliRecord::I;
+        self.set_record(q, PauliRecord::I);
     }
 
     /// Resets every record to `I`.
     pub fn reset_all(&mut self) {
-        self.records.fill(PauliRecord::I);
+        self.xs.fill(0);
+        self.zs.fill(0);
     }
 
     /// Merges a Pauli gate on qubit `q` into the frame (Table 3.3). The
@@ -110,60 +159,85 @@ impl PauliFrame {
     ///
     /// Panics if `q` is out of range.
     pub fn apply_pauli(&mut self, q: usize, p: Pauli) {
-        self.records[q] = self.records[q].apply_pauli(p);
+        self.check_qubit(q);
+        let (w, b) = (q / 64, q % 64);
+        let (px, pz) = p.bits();
+        self.xs[w] ^= u64::from(px) << b;
+        self.zs[w] ^= u64::from(pz) << b;
     }
 
     /// Maps the record of `q` through a Hadamard (the gate itself still
-    /// executes on the qubit).
+    /// executes on the qubit): the `x` and `z` bits exchange.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn apply_h(&mut self, q: usize) {
-        self.records[q] = self.records[q].conjugate_h();
+        self.check_qubit(q);
+        let (w, b) = (q / 64, q % 64);
+        let mask = 1u64 << b;
+        let x = self.xs[w] & mask;
+        let z = self.zs[w] & mask;
+        self.xs[w] = (self.xs[w] & !mask) | z;
+        self.zs[w] = (self.zs[w] & !mask) | x;
     }
 
-    /// Maps the record of `q` through the phase gate `S`.
+    /// Maps the record of `q` through the phase gate `S`: the `x` bit
+    /// toggles the `z` bit (Table 3.4).
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn apply_s(&mut self, q: usize) {
-        self.records[q] = self.records[q].conjugate_s();
+        self.check_qubit(q);
+        let (w, b) = (q / 64, q % 64);
+        self.zs[w] ^= self.xs[w] & (1u64 << b);
     }
 
-    /// Maps the record of `q` through `S†`.
+    /// Maps the record of `q` through `S†` (same record map as `S` — the
+    /// phase difference is global and the frame drops it).
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn apply_sdg(&mut self, q: usize) {
-        self.records[q] = self.records[q].conjugate_sdg();
+        self.apply_s(q);
     }
 
     /// Maps the records of control `c` and target `t` through a `CNOT`
-    /// (Table 3.5).
+    /// (Table 3.5): `x` propagates control→target, `z` target→control.
     ///
     /// # Panics
     ///
     /// Panics if `c == t` or either index is out of range.
     pub fn apply_cnot(&mut self, c: usize, t: usize) {
         assert_ne!(c, t, "CNOT requires distinct qubits");
-        let (rc, rt) = PauliRecord::conjugate_cnot(self.records[c], self.records[t]);
-        self.records[c] = rc;
-        self.records[t] = rt;
+        self.check_qubit(c);
+        self.check_qubit(t);
+        let (cw, cb) = (c / 64, c % 64);
+        let (tw, tb) = (t / 64, t % 64);
+        let xc = self.xs[cw] >> cb & 1;
+        let zt = self.zs[tw] >> tb & 1;
+        self.xs[tw] ^= xc << tb;
+        self.zs[cw] ^= zt << cb;
     }
 
-    /// Maps the records of `a` and `b` through a `CZ`.
+    /// Maps the records of `a` and `b` through a `CZ`: each side's `x` bit
+    /// toggles the other side's `z` bit.
     ///
     /// # Panics
     ///
     /// Panics if `a == b` or either index is out of range.
     pub fn apply_cz(&mut self, a: usize, b: usize) {
         assert_ne!(a, b, "CZ requires distinct qubits");
-        let (ra, rb) = PauliRecord::conjugate_cz(self.records[a], self.records[b]);
-        self.records[a] = ra;
-        self.records[b] = rb;
+        self.check_qubit(a);
+        self.check_qubit(b);
+        let (aw, ab) = (a / 64, a % 64);
+        let (bw, bb) = (b / 64, b % 64);
+        let xa = self.xs[aw] >> ab & 1;
+        let xb = self.xs[bw] >> bb & 1;
+        self.zs[aw] ^= xb << ab;
+        self.zs[bw] ^= xa << bb;
     }
 
     /// Maps the records of `a` and `b` through a `SWAP` (they exchange).
@@ -173,18 +247,21 @@ impl PauliFrame {
     /// Panics if `a == b` or either index is out of range.
     pub fn apply_swap(&mut self, a: usize, b: usize) {
         assert_ne!(a, b, "SWAP requires distinct qubits");
-        self.records.swap(a, b);
+        let (ra, rb) = (self.record(a), self.record(b));
+        self.set_record(a, rb);
+        self.set_record(b, ra);
     }
 
     /// Whether a computational-basis measurement of qubit `q` must have its
-    /// result inverted (Table 3.2).
+    /// result inverted (Table 3.2): exactly when the `x` bit is set.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     #[must_use]
     pub fn measurement_flipped(&self, q: usize) -> bool {
-        self.records[q].flips_measurement()
+        self.check_qubit(q);
+        self.xs[q / 64] >> (q % 64) & 1 != 0
     }
 
     /// Maps a raw measurement result of qubit `q` through the frame,
@@ -208,37 +285,111 @@ impl PauliFrame {
     /// Panics if `q` is out of range.
     #[must_use]
     pub fn flush(&mut self, q: usize) -> Vec<Pauli> {
-        let gates = self.records[q].flush_gates();
-        self.records[q] = PauliRecord::I;
+        let gates = self.record(q).flush_gates();
+        self.reset(q);
         gates
     }
 
     /// Flushes every record, returning `(qubit, gate)` pairs in qubit order.
+    ///
+    /// Word-parallel: whole words of clean (`I`) records are skipped with a
+    /// single OR test.
     #[must_use]
     pub fn flush_all(&mut self) -> Vec<(usize, Pauli)> {
         let mut out = Vec::new();
-        for q in 0..self.records.len() {
-            for gate in self.flush(q) {
-                out.push((q, gate));
+        for w in 0..self.xs.len() {
+            let mut live = self.xs[w] | self.zs[w];
+            while live != 0 {
+                let b = live.trailing_zeros() as usize;
+                live &= live - 1;
+                let q = 64 * w + b;
+                for gate in
+                    PauliRecord::from_bits(self.xs[w] >> b & 1 != 0, self.zs[w] >> b & 1 != 0)
+                        .flush_gates()
+                {
+                    out.push((q, gate));
+                }
             }
+            self.xs[w] = 0;
+            self.zs[w] = 0;
         }
         out
     }
 
-    /// The number of qubits with a non-`I` record.
+    /// The number of qubits with a non-`I` record (word-parallel popcount).
     #[must_use]
     pub fn tracked_count(&self) -> usize {
-        self.records
+        self.xs
             .iter()
-            .filter(|r| **r != PauliRecord::I)
-            .count()
+            .zip(&self.zs)
+            .map(|(x, z)| (x | z).count_ones() as usize)
+            .sum()
+    }
+
+    /// The `x` bit-plane (bit `q` of word `q / 64` = the `x` bit of qubit
+    /// `q`). Bits at positions `>= len()` are zero.
+    #[must_use]
+    pub fn x_plane(&self) -> &[u64] {
+        &self.xs
+    }
+
+    /// The `z` bit-plane, same layout as [`x_plane`](PauliFrame::x_plane).
+    #[must_use]
+    pub fn z_plane(&self) -> &[u64] {
+        &self.zs
+    }
+
+    /// Merges an entire Pauli layer into the frame in one word-parallel
+    /// XOR sweep: bit `q` of `xs`/`zs` merges `X`/`Z` on qubit `q`
+    /// (Table 3.3 applied to the whole register at once).
+    ///
+    /// Bits at positions `>= len()` in the operand planes are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand planes are shorter than the frame's.
+    pub fn apply_pauli_planes(&mut self, xs: &[u64], zs: &[u64]) {
+        let words = self.xs.len();
+        assert!(
+            xs.len() >= words && zs.len() >= words,
+            "Pauli planes of {} word(s) cannot cover {} qubits",
+            xs.len().min(zs.len()),
+            self.n
+        );
+        for w in 0..words {
+            self.xs[w] ^= xs[w];
+            self.zs[w] ^= zs[w];
+        }
+        // Mask stray operand bits above n to preserve the invariant.
+        if !self.n.is_multiple_of(64) {
+            if let Some(last) = self.xs.last_mut() {
+                *last &= (1u64 << (self.n % 64)) - 1;
+            }
+            if let Some(last) = self.zs.last_mut() {
+                *last &= (1u64 << (self.n % 64)) - 1;
+            }
+        }
+    }
+
+    /// Merges another frame of the same length into this one (the group
+    /// product of the two tracked Pauli layers, phases dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge(&mut self, other: &PauliFrame) {
+        assert_eq!(self.n, other.n, "cannot merge frames of different lengths");
+        for w in 0..self.xs.len() {
+            self.xs[w] ^= other.xs[w];
+            self.zs[w] ^= other.zs[w];
+        }
     }
 }
 
 impl fmt::Display for PauliFrame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Pauli frame with {} records:", self.records.len())?;
-        for (q, r) in self.records.iter().enumerate() {
+        writeln!(f, "Pauli frame with {} records:", self.n)?;
+        for (q, r) in self.iter().enumerate() {
             writeln!(f, "  {q}: {r}")?;
         }
         Ok(())
@@ -267,6 +418,17 @@ mod tests {
         assert_eq!(frame.record(4), PauliRecord::I);
         frame.shrink(4);
         assert_eq!(frame.len(), 1);
+    }
+
+    #[test]
+    fn shrink_masks_dropped_records() {
+        // A record beyond the new length must not survive a shrink/grow
+        // round-trip (the zero-padding invariant backs derived Eq/Hash).
+        let mut frame = PauliFrame::new(10);
+        frame.apply_pauli(9, Pauli::Y);
+        frame.shrink(5);
+        frame.grow(5);
+        assert_eq!(frame, PauliFrame::new(10));
     }
 
     #[test]
@@ -368,6 +530,67 @@ mod tests {
         let shown = frame.to_string();
         assert!(shown.contains("0: I"));
         assert!(shown.contains("1: X"));
+    }
+
+    #[test]
+    fn gates_work_across_word_boundaries() {
+        // 70 qubits = two plane words; exercise every per-qubit op on a
+        // cross-word pair.
+        let mut frame = PauliFrame::new(70);
+        frame.apply_pauli(69, Pauli::X);
+        frame.apply_cnot(69, 2);
+        assert_eq!(frame.record(2), PauliRecord::X);
+        frame.apply_pauli(2, Pauli::Z); // record XZ
+        frame.apply_cz(2, 65);
+        assert_eq!(frame.record(65), PauliRecord::Z);
+        frame.apply_h(65);
+        assert_eq!(frame.record(65), PauliRecord::X);
+        frame.apply_s(65);
+        assert_eq!(frame.record(65), PauliRecord::XZ);
+        frame.apply_swap(65, 0);
+        assert_eq!(frame.record(0), PauliRecord::XZ);
+        assert_eq!(frame.record(65), PauliRecord::I);
+        assert_eq!(frame.tracked_count(), 3);
+        let flushed = frame.flush_all();
+        assert_eq!(
+            flushed,
+            vec![
+                (0, Pauli::X),
+                (0, Pauli::Z),
+                (2, Pauli::X),
+                (2, Pauli::Z),
+                (69, Pauli::X),
+            ]
+        );
+        assert_eq!(frame.tracked_count(), 0);
+    }
+
+    #[test]
+    fn plane_ops_match_per_qubit_ops() {
+        let mut by_qubit = PauliFrame::new(130);
+        let mut by_plane = PauliFrame::new(130);
+        // An arbitrary Pauli layer: X on multiples of 3, Z on multiples
+        // of 5 (Y where both).
+        let mut xs = vec![0u64; 3];
+        let mut zs = vec![0u64; 3];
+        for q in 0..130 {
+            if q % 3 == 0 {
+                by_qubit.apply_pauli(q, Pauli::X);
+                xs[q / 64] |= 1 << (q % 64);
+            }
+            if q % 5 == 0 {
+                by_qubit.apply_pauli(q, Pauli::Z);
+                zs[q / 64] |= 1 << (q % 64);
+            }
+        }
+        by_plane.apply_pauli_planes(&xs, &zs);
+        assert_eq!(by_plane, by_qubit);
+        assert_eq!(by_plane.x_plane(), &xs[..]);
+        assert_eq!(by_plane.z_plane(), &zs[..]);
+        // Merging the same layer again cancels it.
+        let copy = by_plane.clone();
+        by_plane.merge(&copy);
+        assert_eq!(by_plane.tracked_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! The reference (cell-per-entry) Aaronson–Gottesman tableau.
+//!
+//! This is the straightforward port of the published CHP algorithm that
+//! the word-packed [`StabilizerSim`](crate::StabilizerSim) is tested
+//! against: one byte per symplectic cell, one `bool` per sign, every
+//! gate and every rowsum written exactly as the paper states them. It
+//! is deliberately *not* optimized — its value is that each line maps
+//! one-to-one onto the algorithm, so the differential oracle in
+//! `tests/differential.rs` compares the packed kernels against
+//! something whose correctness is auditable by eye.
+//!
+//! The two engines are kept in lock-step down to the RNG stream: both
+//! draw exactly one bit per random measurement (before the collapse
+//! loop) and nothing for deterministic ones, both pick the *first*
+//! anticommuting stabilizer row as the measurement pivot, and both run
+//! the identical canonicalization, so every outcome, phase and
+//! canonical generator must match bit-for-bit.
+
+use std::fmt;
+
+use qpdo_pauli::{Pauli, PauliString, Phase};
+use qpdo_rng::Rng;
+
+/// Cell-per-entry CHP tableau: `2n + 1` rows (destabilizers,
+/// stabilizers, one scratch row) of `n` byte-sized `x`/`z` cells plus a
+/// sign bit per row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReferenceTableau {
+    n: usize,
+    /// `x[row * n + q]`: 1 when the row has an X component on qubit `q`.
+    x: Vec<u8>,
+    /// Same layout for the Z components.
+    z: Vec<u8>,
+    /// Sign bits, one per row (`true` = the generator carries a `-1`).
+    r: Vec<bool>,
+}
+
+impl ReferenceTableau {
+    /// Creates a tableau with all `n` qubits in `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "simulator needs at least one qubit");
+        let rows = 2 * n + 1;
+        let mut sim = ReferenceTableau {
+            n,
+            x: vec![0; rows * n],
+            z: vec![0; rows * n],
+            r: vec![false; rows],
+        };
+        for q in 0..n {
+            sim.x[q * n + q] = 1; // destabilizer q = X_q
+            sim.z[(n + q) * n + q] = 1; // stabilizer q = Z_q
+        }
+        sim
+    }
+
+    /// The number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Extends the register with `k` fresh qubits in `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn grow(&mut self, k: usize) {
+        assert!(k > 0, "grow requires at least one new qubit");
+        let old_n = self.n;
+        let new_n = old_n + k;
+        let mut grown = ReferenceTableau::new(new_n);
+        for row in 0..old_n {
+            for q in 0..old_n {
+                grown.x[row * new_n + q] = self.x[row * old_n + q];
+                grown.z[row * new_n + q] = self.z[row * old_n + q];
+            }
+            grown.r[row] = self.r[row];
+            let (src, dst) = (old_n + row, new_n + row);
+            for q in 0..old_n {
+                grown.x[dst * new_n + q] = self.x[src * old_n + q];
+                grown.z[dst * new_n + q] = self.z[src * old_n + q];
+            }
+            grown.r[dst] = self.r[src];
+        }
+        *self = grown;
+    }
+
+    #[inline]
+    fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.n + q] != 0
+    }
+
+    #[inline]
+    fn z_bit(&self, row: usize, q: usize) -> bool {
+        self.z[row * self.n + q] != 0
+    }
+
+    #[inline]
+    fn check_qubit(&self, q: usize) {
+        assert!(
+            q < self.n,
+            "qubit index {q} out of range ({} qubits)",
+            self.n
+        );
+    }
+
+    /// Left-multiplies row `h` by row `i` (the `rowsum(h, i)` of the
+    /// original paper), cell by cell, with the exact `i^k` bookkeeping.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let (hw, iw) = (h * self.n, i * self.n);
+        let mut g_total = 0i64;
+        for c in 0..self.n {
+            let x1 = self.x[iw + c] != 0;
+            let z1 = self.z[iw + c] != 0;
+            let x2 = self.x[hw + c] != 0;
+            let z2 = self.z[hw + c] != 0;
+            g_total += g(x1, z1, x2, z2);
+        }
+        let total = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64) + g_total;
+        debug_assert!(
+            h < self.n || total.rem_euclid(2) == 0,
+            "rowsum phase must be real on stabilizer rows"
+        );
+        self.r[h] = total.rem_euclid(4) == 2;
+        for c in 0..self.n {
+            self.x[hw + c] ^= self.x[iw + c];
+            self.z[hw + c] ^= self.z[iw + c];
+        }
+    }
+
+    /// Applies a Hadamard on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn h(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let idx = row * self.n + q;
+            self.r[row] ^= self.x[idx] != 0 && self.z[idx] != 0;
+            let (x, z) = (self.x[idx], self.z[idx]);
+            self.x[idx] = z;
+            self.z[idx] = x;
+        }
+    }
+
+    /// Applies the phase gate `S` on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn s(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let idx = row * self.n + q;
+            self.r[row] ^= self.x[idx] != 0 && self.z[idx] != 0;
+            self.z[idx] ^= self.x[idx];
+        }
+    }
+
+    /// Applies `S†` on qubit `q` (as `S·S·S`, exact for Cliffords).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Applies a Pauli-X on qubit `q` (flips signs of Z-type rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn x(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.z[row * self.n + q] != 0;
+        }
+    }
+
+    /// Applies a Pauli-Y on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn y(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let idx = row * self.n + q;
+            self.r[row] ^= (self.x[idx] ^ self.z[idx]) != 0;
+        }
+    }
+
+    /// Applies a Pauli-Z on qubit `q` (flips signs of X-type rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn z(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.x[row * self.n + q] != 0;
+        }
+    }
+
+    /// Applies a `CNOT` with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c);
+        self.check_qubit(t);
+        assert_ne!(c, t, "CNOT requires distinct qubits");
+        for row in 0..2 * self.n {
+            let base = row * self.n;
+            let xc = self.x[base + c] != 0;
+            let zc = self.z[base + c] != 0;
+            let xt = self.x[base + t] != 0;
+            let zt = self.z[base + t] != 0;
+            self.r[row] ^= xc && zt && (xt == zc);
+            self.x[base + t] = (xt ^ xc) as u8;
+            self.z[base + c] = (zc ^ zt) as u8;
+        }
+    }
+
+    /// Applies a `CZ` on qubits `a` and `b` (`H_b · CNOT_{a,b} · H_b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Applies a `SWAP` on qubits `a` and `b` (column exchange).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert_ne!(a, b, "SWAP requires distinct qubits");
+        for row in 0..2 * self.n {
+            let base = row * self.n;
+            self.x.swap(base + a, base + b);
+            self.z.swap(base + a, base + b);
+        }
+    }
+
+    /// Measures qubit `q` in the computational basis.
+    ///
+    /// Returns `true` for outcome `|1⟩`. Random outcomes draw one bit
+    /// from `rng`; deterministic outcomes never touch it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        self.check_qubit(q);
+        let n = self.n;
+        let p = (n..2 * n).find(|&row| self.x_bit(row, q));
+        match p {
+            Some(p) => {
+                let outcome: bool = rng.gen();
+                self.collapse(q, p, outcome);
+                outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// The random-measurement collapse with a fixed outcome — shared by
+    /// [`measure`](Self::measure) and the benchmark hook. Returns the
+    /// number of rowsums performed.
+    fn collapse(&mut self, q: usize, p: usize, outcome: bool) -> usize {
+        let n = self.n;
+        let mut rowsums = 0usize;
+        for row in 0..2 * n {
+            if row != p && self.x_bit(row, q) {
+                self.rowsum(row, p);
+                rowsums += 1;
+            }
+        }
+        // Destabilizer p-n becomes the old stabilizer row p.
+        self.copy_row(p - n, p);
+        self.clear_row(p);
+        self.z[p * n + q] = 1;
+        self.r[p] = outcome;
+        rowsums
+    }
+
+    /// Benchmark hook: performs the random-measurement collapse on `q`
+    /// with a fixed `outcome` and no RNG, returning the number of
+    /// rowsums executed (0 when the outcome is deterministic and no
+    /// collapse happens). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn bench_collapse(&mut self, q: usize, outcome: bool) -> usize {
+        self.check_qubit(q);
+        let n = self.n;
+        match (n..2 * n).find(|&row| self.x_bit(row, q)) {
+            Some(p) => self.collapse(q, p, outcome),
+            None => 0,
+        }
+    }
+
+    /// Returns the outcome of measuring `q` if it is deterministic,
+    /// without disturbing the state; `None` if it would be random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn peek_deterministic(&mut self, q: usize) -> Option<bool> {
+        self.check_qubit(q);
+        if (self.n..2 * self.n).any(|row| self.x_bit(row, q)) {
+            None
+        } else {
+            Some(self.deterministic_outcome(q))
+        }
+    }
+
+    /// Computes a deterministic outcome through the scratch row.
+    fn deterministic_outcome(&mut self, q: usize) -> bool {
+        let n = self.n;
+        let scratch = 2 * n;
+        self.clear_row(scratch);
+        for i in 0..n {
+            if self.x_bit(i, q) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        self.r[scratch]
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure, then flip on outcome `|1⟩`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng) {
+            self.x(q);
+        }
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        let (d, s) = (dst * self.n, src * self.n);
+        for c in 0..self.n {
+            self.x[d + c] = self.x[s + c];
+            self.z[d + c] = self.z[s + c];
+        }
+        self.r[dst] = self.r[src];
+    }
+
+    fn clear_row(&mut self, row: usize) {
+        let base = row * self.n;
+        self.x[base..base + self.n].fill(0);
+        self.z[base..base + self.n].fill(0);
+        self.r[row] = false;
+    }
+
+    fn row_string(&self, row: usize) -> PauliString {
+        let ops = (0..self.n)
+            .map(|q| Pauli::from_bits(self.x_bit(row, q), self.z_bit(row, q)))
+            .collect();
+        let phase = if self.r[row] {
+            Phase::MinusOne
+        } else {
+            Phase::PlusOne
+        };
+        PauliString::new(phase, ops)
+    }
+
+    /// The current stabilizer generators as signed Pauli strings.
+    #[must_use]
+    pub fn stabilizers(&self) -> Vec<PauliString> {
+        (self.n..2 * self.n)
+            .map(|row| self.row_string(row))
+            .collect()
+    }
+
+    /// The current destabilizer generators as Pauli strings.
+    ///
+    /// Destabilizer *signs* are bookkeeping artifacts of the
+    /// Aaronson–Gottesman algorithm and carry no physical meaning; only
+    /// the operator parts are significant.
+    #[must_use]
+    pub fn destabilizers(&self) -> Vec<PauliString> {
+        (0..self.n).map(|row| self.row_string(row)).collect()
+    }
+
+    /// A canonical (row-reduced) generating set for the stabilizer
+    /// group, suitable for comparing two simulators for state equality.
+    #[must_use]
+    pub fn canonical_stabilizers(&self) -> Vec<PauliString> {
+        let mut work = self.clone();
+        let n = work.n;
+        let rows: Vec<usize> = (n..2 * n).collect();
+        let mut pivot_row = 0usize;
+        // X block first (X before Z per column), then Z block: the
+        // standard symplectic Gaussian elimination.
+        for pass in 0..2 {
+            for q in 0..n {
+                let bit = |w: &ReferenceTableau, row: usize| {
+                    if pass == 0 {
+                        w.x_bit(row, q)
+                    } else {
+                        !w.x_bit(row, q) && w.z_bit(row, q)
+                    }
+                };
+                let Some(found) = (pivot_row..n).find(|&i| bit(&work, rows[i])) else {
+                    continue;
+                };
+                if found != pivot_row {
+                    work.swap_generator_rows(rows[found], rows[pivot_row]);
+                }
+                for i in 0..n {
+                    if i != pivot_row && bit(&work, rows[i]) {
+                        work.rowsum(rows[i], rows[pivot_row]);
+                    }
+                }
+                pivot_row += 1;
+            }
+        }
+        let mut gens = work.stabilizers();
+        gens.sort_by_key(|g| {
+            let bits: Vec<(bool, bool)> = g.iter().map(Pauli::bits).collect();
+            bits
+        });
+        gens
+    }
+
+    fn swap_generator_rows(&mut self, a: usize, b: usize) {
+        let (aw, bw) = (a * self.n, b * self.n);
+        for c in 0..self.n {
+            self.x.swap(aw + c, bw + c);
+            self.z.swap(aw + c, bw + c);
+        }
+        self.r.swap(a, b);
+    }
+
+    /// Measures the sign of an `n`-qubit Pauli-product observable when
+    /// it is in the stabilizer group.
+    ///
+    /// Returns `Some(false)` for expectation `+1`, `Some(true)` for
+    /// `-1`, and `None` when the observable is not (±) in the
+    /// stabilizer group (outcome would be random).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observable.len() != num_qubits()`.
+    #[must_use]
+    pub fn expectation(&mut self, observable: &PauliString) -> Option<bool> {
+        assert_eq!(
+            observable.len(),
+            self.n,
+            "observable must act on all {} qubits",
+            self.n
+        );
+        let n = self.n;
+        for row in n..2 * n {
+            if !self.commutes_with_row(observable, row) {
+                return None;
+            }
+        }
+        let scratch = 2 * n;
+        self.clear_row(scratch);
+        debug_assert!(observable.phase().is_real());
+        for i in 0..n {
+            if !self.commutes_with_row(observable, i) {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        let scratch_string = self.row_string(scratch);
+        let mut obs = observable.clone();
+        obs.set_phase(Phase::PlusOne);
+        let mut scr = scratch_string.clone();
+        scr.set_phase(Phase::PlusOne);
+        assert_eq!(
+            obs, scr,
+            "observable commutes with all stabilizers but is not in the group"
+        );
+        let obs_negative = observable.phase() == Phase::MinusOne;
+        Some(self.r[scratch] != obs_negative)
+    }
+
+    fn commutes_with_row(&self, observable: &PauliString, row: usize) -> bool {
+        let mut anti = 0usize;
+        for q in 0..self.n {
+            let p = Pauli::from_bits(self.x_bit(row, q), self.z_bit(row, q));
+            if !p.commutes_with(observable.op(q)) {
+                anti += 1;
+            }
+        }
+        anti.is_multiple_of(2)
+    }
+}
+
+/// The Aaronson–Gottesman phase function `g(x1, z1, x2, z2)`: the
+/// exponent of `i` contributed when the Pauli `x1/z1` left-multiplies
+/// `x2/z2`, in `{-1, 0, +1}`.
+#[inline]
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i64 {
+    match (x1, z1) {
+        (false, false) => 0,
+        // Y: z2 - x2
+        (true, true) => (z2 as i64) - (x2 as i64),
+        // X: z2 * (2*x2 - 1)
+        (true, false) => {
+            if z2 {
+                2 * (x2 as i64) - 1
+            } else {
+                0
+            }
+        }
+        // Z: x2 * (1 - 2*z2)
+        (false, true) => {
+            if x2 {
+                1 - 2 * (z2 as i64)
+            } else {
+                0
+            }
+        }
+    }
+}
+
+impl fmt::Display for ReferenceTableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stabilizers of {} qubit(s):", self.n)?;
+        for s in self.stabilizers() {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::SeedableRng;
+
+    #[test]
+    fn g_matches_truth_table() {
+        // Brute-force against the closed forms of the CHP paper.
+        let cases = [
+            // (x1, z1, x2, z2) -> g
+            ((true, true, false, true), 1),  // Y then Z
+            ((true, true, true, false), -1), // Y then X
+            ((true, false, true, true), 1),  // X then Y
+            ((true, false, false, true), -1),
+            ((false, true, true, false), 1),
+            ((false, true, true, true), -1),
+            ((false, false, true, true), 0),
+            ((true, true, true, true), 0),
+        ];
+        for ((x1, z1, x2, z2), want) in cases {
+            assert_eq!(g(x1, z1, x2, z2), want, "g({x1},{z1},{x2},{z2})");
+        }
+    }
+
+    #[test]
+    fn bell_state_basics() {
+        let mut sim = ReferenceTableau::new(2);
+        sim.h(0);
+        sim.cnot(0, 1);
+        assert_eq!(sim.expectation(&"+XX".parse().unwrap()), Some(false));
+        assert_eq!(sim.expectation(&"+ZZ".parse().unwrap()), Some(false));
+        for seed in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = sim.clone();
+            let a = s.measure(0, &mut rng);
+            assert_eq!(s.measure(1, &mut rng), a);
+        }
+    }
+
+    #[test]
+    fn grow_preserves_signs() {
+        let mut sim = ReferenceTableau::new(1);
+        sim.x(0);
+        sim.grow(1);
+        assert_eq!(sim.peek_deterministic(0), Some(true));
+        assert!(sim.stabilizers().iter().any(|g| g.to_string() == "-1·ZI"));
+    }
+
+    #[test]
+    fn bench_collapse_counts_rowsums() {
+        let mut sim = ReferenceTableau::new(3);
+        sim.h(0);
+        sim.cnot(0, 1);
+        sim.cnot(1, 2);
+        sim.h(0);
+        // H·CNOT·CNOT·H leaves both a destabilizer and a stabilizer
+        // anticommuting with Z0, so the collapse absorbs rows.
+        let count = sim.bench_collapse(0, false);
+        assert!(count > 0);
+        // After collapse the outcome is pinned.
+        assert_eq!(sim.peek_deterministic(0), Some(false));
+        // Deterministic qubit: no rowsums.
+        assert_eq!(sim.bench_collapse(0, false), 0);
+    }
+}

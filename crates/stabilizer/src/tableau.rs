@@ -3,24 +3,68 @@ use std::fmt;
 use qpdo_pauli::{Pauli, PauliString, Phase};
 use qpdo_rng::Rng;
 
-/// The Aaronson–Gottesman stabilizer tableau simulator.
+/// The word-packed Aaronson–Gottesman stabilizer tableau simulator.
 ///
-/// Rows `0..n` hold the destabilizer generators, rows `n..2n` the
-/// stabilizer generators, and one scratch row supports deterministic
-/// measurement. Each row stores its `x` and `z` symplectic bits packed in
-/// `u64` words plus a sign bit `r` (`true` = the generator carries a `-1`).
+/// Rows `0..n` hold the destabilizer generators and rows `n..2n` the
+/// stabilizer generators. Storage is **column-major bit-planes**: for
+/// each qubit column `q`, the x-bits of all `2n` rows are packed into
+/// `rwords = ⌈2n/64⌉` consecutive `u64` words (`x[q * rwords + w]`,
+/// bit `b` of word `w` = row `64w + b`), and likewise for the z-bits.
+/// Sign bits are one row-indexed plane `r`. See DESIGN.md §8 for the
+/// layout rationale and the phase-accumulation trick.
+///
+/// The payoff is that every hot kernel touches whole words of rows at
+/// once: single-qubit gates are `rwords` word operations per column,
+/// CNOT is `4·rwords` reads and `2·rwords` writes, and the measurement
+/// collapse multiplies the pivot row into *all* anticommuting rows
+/// simultaneously with a bit-sliced mod-4 phase accumulator, instead of
+/// one rowsum per row. At Surface-17 scale (`n = 17`, 34 rows) every
+/// column plane is a single word. Unlike the cell-per-entry
+/// [`ReferenceTableau`](crate::ReferenceTableau) there is no scratch
+/// row: deterministic outcomes are computed by a word-parallel
+/// prefix-XOR scan that never materializes the product row.
+///
+/// Semantics — gate action, pivot choice, RNG draws, phase bookkeeping,
+/// canonicalization — are bit-for-bit identical to the reference
+/// engine; `tests/differential.rs` enforces this after every gate of
+/// seeded random Clifford walks.
 ///
 /// See the crate docs for an example.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct StabilizerSim {
     n: usize,
-    words: usize,
-    /// `x[row * words + w]`: x-bits of `row`, rows `0..=2n` (last = scratch).
+    /// Words per column bit-plane: `⌈2n/64⌉`.
+    rwords: usize,
+    /// `x[q * rwords + w]`: x-bits of all rows for qubit column `q`.
     x: Vec<u64>,
     /// Same layout for z-bits.
     z: Vec<u64>,
-    /// Sign bits, one per row.
-    r: Vec<bool>,
+    /// Sign bits, packed by row (`rwords` words).
+    r: Vec<u64>,
+    /// Measurement scratch (pre-allocated so the steady-state
+    /// measurement path performs zero heap allocations): the
+    /// anticommuting-row mask of the current collapse, also reused as a
+    /// temporary by the deterministic-outcome scan.
+    targets: Vec<u64>,
+    /// Bit-sliced mod-4 phase accumulator, low bits.
+    acc_lo: Vec<u64>,
+    /// Bit-sliced mod-4 phase accumulator, high bits.
+    acc_hi: Vec<u64>,
+    /// Source-row mask for the deterministic-outcome prefix scan.
+    sources: Vec<u64>,
+}
+
+/// Inclusive prefix-XOR within a word: bit `k` of the result is the XOR
+/// of bits `0..=k` of `v` (a log-depth scan, 6 shift-XOR steps).
+#[inline]
+fn prefix_xor(mut v: u64) -> u64 {
+    v ^= v << 1;
+    v ^= v << 2;
+    v ^= v << 4;
+    v ^= v << 8;
+    v ^= v << 16;
+    v ^= v << 32;
+    v
 }
 
 impl StabilizerSim {
@@ -32,14 +76,17 @@ impl StabilizerSim {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "simulator needs at least one qubit");
-        let words = n.div_ceil(64);
-        let rows = 2 * n + 1;
+        let rwords = (2 * n).div_ceil(64);
         let mut sim = StabilizerSim {
             n,
-            words,
-            x: vec![0; rows * words],
-            z: vec![0; rows * words],
-            r: vec![false; rows],
+            rwords,
+            x: vec![0; n * rwords],
+            z: vec![0; n * rwords],
+            r: vec![0; rwords],
+            targets: vec![0; rwords],
+            acc_lo: vec![0; rwords],
+            acc_hi: vec![0; rwords],
+            sources: vec![0; rwords],
         };
         for q in 0..n {
             sim.set_x(q, q, true); // destabilizer q = X_q
@@ -56,8 +103,8 @@ impl StabilizerSim {
 
     /// Extends the register with `k` fresh qubits in `|0⟩`.
     ///
-    /// Existing stabilizers are untouched; the new qubits join as a tensor
-    /// factor.
+    /// Existing stabilizers are untouched; the new qubits join as a
+    /// tensor factor.
     ///
     /// # Panics
     ///
@@ -68,38 +115,38 @@ impl StabilizerSim {
         let new_n = old_n + k;
         let mut grown = StabilizerSim::new(new_n);
         // Old destabilizer rows map to the same indices; old stabilizer
-        // rows shift by k. The fresh default rows for qubits old_n..new_n
-        // (X_q destabilizers, Z_q stabilizers) are already correct.
+        // rows shift by k. The fresh default rows for the new qubits are
+        // already correct.
         for row in 0..old_n {
             for q in 0..old_n {
                 grown.set_x(row, q, self.x_bit(row, q));
                 grown.set_z(row, q, self.z_bit(row, q));
             }
-            grown.r[row] = self.r[row];
+            grown.set_r(row, self.r_bit(row));
             let (src, dst) = (old_n + row, new_n + row);
             for q in 0..old_n {
                 grown.set_x(dst, q, self.x_bit(src, q));
                 grown.set_z(dst, q, self.z_bit(src, q));
             }
-            grown.r[dst] = self.r[src];
+            grown.set_r(dst, self.r_bit(src));
         }
         *self = grown;
     }
 
     #[inline]
     fn x_bit(&self, row: usize, q: usize) -> bool {
-        self.x[row * self.words + q / 64] >> (q % 64) & 1 != 0
+        self.x[q * self.rwords + row / 64] >> (row % 64) & 1 != 0
     }
 
     #[inline]
     fn z_bit(&self, row: usize, q: usize) -> bool {
-        self.z[row * self.words + q / 64] >> (q % 64) & 1 != 0
+        self.z[q * self.rwords + row / 64] >> (row % 64) & 1 != 0
     }
 
     #[inline]
     fn set_x(&mut self, row: usize, q: usize, v: bool) {
-        let idx = row * self.words + q / 64;
-        let mask = 1u64 << (q % 64);
+        let idx = q * self.rwords + row / 64;
+        let mask = 1u64 << (row % 64);
         if v {
             self.x[idx] |= mask;
         } else {
@@ -109,13 +156,44 @@ impl StabilizerSim {
 
     #[inline]
     fn set_z(&mut self, row: usize, q: usize, v: bool) {
-        let idx = row * self.words + q / 64;
-        let mask = 1u64 << (q % 64);
+        let idx = q * self.rwords + row / 64;
+        let mask = 1u64 << (row % 64);
         if v {
             self.z[idx] |= mask;
         } else {
             self.z[idx] &= !mask;
         }
+    }
+
+    #[inline]
+    fn r_bit(&self, row: usize) -> bool {
+        self.r[row / 64] >> (row % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn set_r(&mut self, row: usize, v: bool) {
+        let mask = 1u64 << (row % 64);
+        if v {
+            self.r[row / 64] |= mask;
+        } else {
+            self.r[row / 64] &= !mask;
+        }
+    }
+
+    /// The bits of word `w` covering row indices in `[lo, hi)`.
+    #[inline]
+    fn range_mask(lo: usize, hi: usize, w: usize) -> u64 {
+        let ones = |k: usize| -> u64 {
+            if k >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << k) - 1
+            }
+        };
+        let base = w * 64;
+        let lo_c = lo.saturating_sub(base).min(64);
+        let hi_c = hi.saturating_sub(base).min(64);
+        ones(hi_c) & !ones(lo_c)
     }
 
     #[inline]
@@ -127,56 +205,21 @@ impl StabilizerSim {
         );
     }
 
-    /// Left-multiplies row `h` by row `i` (the `rowsum(h, i)` of the
-    /// original paper), updating the sign with the exact `i^k` bookkeeping.
-    fn rowsum(&mut self, h: usize, i: usize) {
-        // Accumulate the sum of the g() phase function over all columns.
-        let (hw, iw) = (h * self.words, i * self.words);
-        let mut plus = 0u32;
-        let mut minus = 0u32;
-        for w in 0..self.words {
-            let x1 = self.x[iw + w];
-            let z1 = self.z[iw + w];
-            let x2 = self.x[hw + w];
-            let z2 = self.z[hw + w];
-            let y1 = x1 & z1;
-            let x_only = x1 & !z1;
-            let z_only = !x1 & z1;
-            // g = +1 cases
-            let p = (y1 & z2 & !x2) | (x_only & x2 & z2) | (z_only & x2 & !z2);
-            // g = -1 cases
-            let m = (y1 & x2 & !z2) | (x_only & z2 & !x2) | (z_only & x2 & z2);
-            plus += p.count_ones();
-            minus += m.count_ones();
-        }
-        let total = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64) + plus as i64 - minus as i64;
-        // Stabilizer and scratch rows always multiply to real signs;
-        // destabilizer rows may not, but their signs carry no meaning in
-        // the Aaronson–Gottesman algorithm and are never read back.
-        debug_assert!(
-            h < self.n || total.rem_euclid(2) == 0,
-            "rowsum phase must be real on stabilizer rows"
-        );
-        self.r[h] = total.rem_euclid(4) == 2;
-        for w in 0..self.words {
-            self.x[hw + w] ^= self.x[iw + w];
-            self.z[hw + w] ^= self.z[iw + w];
-        }
-    }
-
-    /// Applies a Hadamard on qubit `q`.
+    /// Applies a Hadamard on qubit `q`: one swap of the column's x/z
+    /// planes, with the sign plane picking up `x·z` word-parallel.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn h(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            let x = self.x_bit(row, q);
-            let z = self.z_bit(row, q);
-            self.r[row] ^= x && z;
-            self.set_x(row, q, z);
-            self.set_z(row, q, x);
+        let base = q * self.rwords;
+        for w in 0..self.rwords {
+            let xw = self.x[base + w];
+            let zw = self.z[base + w];
+            self.r[w] ^= xw & zw;
+            self.x[base + w] = zw;
+            self.z[base + w] = xw;
         }
     }
 
@@ -187,15 +230,17 @@ impl StabilizerSim {
     /// Panics if `q` is out of range.
     pub fn s(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            let x = self.x_bit(row, q);
-            let z = self.z_bit(row, q);
-            self.r[row] ^= x && z;
-            self.set_z(row, q, x ^ z);
+        let base = q * self.rwords;
+        for w in 0..self.rwords {
+            let xw = self.x[base + w];
+            let zw = self.z[base + w];
+            self.r[w] ^= xw & zw;
+            self.z[base + w] = xw ^ zw;
         }
     }
 
-    /// Applies `S†` on qubit `q` (as `S·S·S`, which is exact for Cliffords).
+    /// Applies `S†` on qubit `q` (as `S·S·S`, which is exact for
+    /// Cliffords).
     ///
     /// # Panics
     ///
@@ -213,8 +258,9 @@ impl StabilizerSim {
     /// Panics if `q` is out of range.
     pub fn x(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            self.r[row] ^= self.z_bit(row, q);
+        let base = q * self.rwords;
+        for w in 0..self.rwords {
+            self.r[w] ^= self.z[base + w];
         }
     }
 
@@ -225,8 +271,9 @@ impl StabilizerSim {
     /// Panics if `q` is out of range.
     pub fn y(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            self.r[row] ^= self.x_bit(row, q) ^ self.z_bit(row, q);
+        let base = q * self.rwords;
+        for w in 0..self.rwords {
+            self.r[w] ^= self.x[base + w] ^ self.z[base + w];
         }
     }
 
@@ -237,12 +284,14 @@ impl StabilizerSim {
     /// Panics if `q` is out of range.
     pub fn z(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            self.r[row] ^= self.x_bit(row, q);
+        let base = q * self.rwords;
+        for w in 0..self.rwords {
+            self.r[w] ^= self.x[base + w];
         }
     }
 
-    /// Applies a `CNOT` with control `c` and target `t`.
+    /// Applies a `CNOT` with control `c` and target `t`: two column
+    /// XORs plus a word-parallel sign update.
     ///
     /// # Panics
     ///
@@ -251,14 +300,16 @@ impl StabilizerSim {
         self.check_qubit(c);
         self.check_qubit(t);
         assert_ne!(c, t, "CNOT requires distinct qubits");
-        for row in 0..2 * self.n {
-            let xc = self.x_bit(row, c);
-            let zc = self.z_bit(row, c);
-            let xt = self.x_bit(row, t);
-            let zt = self.z_bit(row, t);
-            self.r[row] ^= xc && zt && (xt == zc);
-            self.set_x(row, t, xt ^ xc);
-            self.set_z(row, c, zc ^ zt);
+        let (cb, tb) = (c * self.rwords, t * self.rwords);
+        for w in 0..self.rwords {
+            let xc = self.x[cb + w];
+            let zc = self.z[cb + w];
+            let xt = self.x[tb + w];
+            let zt = self.z[tb + w];
+            // Sign flips where xc ∧ zt ∧ (xt == zc).
+            self.r[w] ^= xc & zt & !(xt ^ zc);
+            self.x[tb + w] = xt ^ xc;
+            self.z[cb + w] = zc ^ zt;
         }
     }
 
@@ -282,52 +333,155 @@ impl StabilizerSim {
         self.check_qubit(a);
         self.check_qubit(b);
         assert_ne!(a, b, "SWAP requires distinct qubits");
-        for row in 0..2 * self.n {
-            let xa = self.x_bit(row, a);
-            let xb = self.x_bit(row, b);
-            self.set_x(row, a, xb);
-            self.set_x(row, b, xa);
-            let za = self.z_bit(row, a);
-            let zb = self.z_bit(row, b);
-            self.set_z(row, a, zb);
-            self.set_z(row, b, za);
+        let (ab, bb) = (a * self.rwords, b * self.rwords);
+        for w in 0..self.rwords {
+            self.x.swap(ab + w, bb + w);
+            self.z.swap(ab + w, bb + w);
         }
     }
 
     /// Measures qubit `q` in the computational basis.
     ///
-    /// Returns `true` for outcome `|1⟩`. Random outcomes draw one bit from
-    /// `rng`; deterministic outcomes never touch it.
+    /// Returns `true` for outcome `|1⟩`. Random outcomes draw one bit
+    /// from `rng` (before the collapse, matching the reference engine's
+    /// stream); deterministic outcomes never touch it.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
         self.check_qubit(q);
-        let n = self.n;
-        // A random outcome occurs iff some stabilizer anticommutes with Z_q.
-        let p = (n..2 * n).find(|&row| self.x_bit(row, q));
-        match p {
+        match self.random_pivot(q) {
             Some(p) => {
                 let outcome: bool = rng.gen();
-                for row in 0..2 * n {
-                    if row != p && self.x_bit(row, q) {
-                        self.rowsum(row, p);
-                    }
-                }
-                // Destabilizer p-n becomes the old stabilizer row p.
-                self.copy_row(p - n, p);
-                self.clear_row(p);
-                self.set_z(p, q, true);
-                self.r[p] = outcome;
+                self.collapse(q, p, outcome);
                 outcome
             }
             None => self.deterministic_outcome(q),
         }
     }
 
-    /// Returns the outcome of measuring `q` if it is deterministic, without
-    /// disturbing the state; `None` if the outcome would be random.
+    /// The first stabilizer row whose X bit anticommutes with `Z_q`, if
+    /// any — the measurement pivot of the CHP algorithm.
+    #[inline]
+    fn random_pivot(&self, q: usize) -> Option<usize> {
+        let base = q * self.rwords;
+        let n = self.n;
+        for w in 0..self.rwords {
+            let m = self.x[base + w] & Self::range_mask(n, 2 * n, w);
+            if m != 0 {
+                return Some(64 * w + m.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The batched random-measurement collapse: every row that
+    /// anticommutes with `Z_q` absorbs the pivot row `p` in one
+    /// word-parallel sweep over the columns, with the `i^k` phase
+    /// bookkeeping carried in a bit-sliced mod-4 accumulator (two bit
+    /// planes: `acc_lo`, `acc_hi`). Returns the number of absorbed
+    /// (target) rows — the rowsum count the reference engine would have
+    /// executed one by one.
+    ///
+    /// Phase math: per target row the reference computes
+    /// `total = 2·r_h + 2·r_p + Σ g` and sets `r_h ← (total mod 4 == 2)`.
+    /// With `acc = (Σ g) mod 4` held as 2-bit counters, that collapses
+    /// to `r_h ← (r_h ⊕ r_p ⊕ acc_hi) ∧ ¬acc_lo` — odd `acc` (a
+    /// destabilizer-row artifact) forces `false`, exactly like the
+    /// reference's `rem_euclid(4) == 2`.
+    fn collapse(&mut self, q: usize, p: usize, outcome: bool) -> usize {
+        let rw = self.rwords;
+        let n = self.n;
+        let qb = q * rw;
+        // Target mask: all rows with an X bit on column q, minus the
+        // pivot itself.
+        for w in 0..rw {
+            self.targets[w] = self.x[qb + w];
+        }
+        self.targets[p / 64] &= !(1u64 << (p % 64));
+        let tcount: usize = self.targets.iter().map(|w| w.count_ones() as usize).sum();
+
+        if tcount > 0 {
+            self.acc_lo[..rw].fill(0);
+            self.acc_hi[..rw].fill(0);
+            for c in 0..n {
+                let x1 = self.x_bit(p, c);
+                let z1 = self.z_bit(p, c);
+                if !x1 && !z1 {
+                    continue;
+                }
+                let cb = c * rw;
+                for w in 0..rw {
+                    let t = self.targets[w];
+                    let x2 = self.x[cb + w];
+                    let z2 = self.z[cb + w];
+                    // g(+1) / g(-1) masks by the pivot's Pauli on c.
+                    let (plus, minus) = match (x1, z1) {
+                        (true, true) => (z2 & !x2, x2 & !z2), // pivot Y
+                        (true, false) => (x2 & z2, z2 & !x2), // pivot X
+                        (false, true) => (x2 & !z2, x2 & z2), // pivot Z
+                        (false, false) => unreachable!(),
+                    };
+                    let plus = plus & t;
+                    let minus = minus & t;
+                    // acc += plus (per-row 2-bit add)...
+                    let carry = self.acc_lo[w] & plus;
+                    self.acc_lo[w] ^= plus;
+                    self.acc_hi[w] ^= carry;
+                    // ...then acc -= minus (per-row 2-bit subtract).
+                    let borrow = minus & !self.acc_lo[w];
+                    self.acc_lo[w] ^= minus;
+                    self.acc_hi[w] ^= borrow;
+                    // Operator update: targets absorb the pivot's bits.
+                    if x1 {
+                        self.x[cb + w] ^= t;
+                    }
+                    if z1 {
+                        self.z[cb + w] ^= t;
+                    }
+                }
+            }
+            let rp = if self.r_bit(p) { u64::MAX } else { 0 };
+            for w in 0..rw {
+                let t = self.targets[w];
+                let new_r = (self.r[w] ^ rp ^ self.acc_hi[w]) & !self.acc_lo[w];
+                self.r[w] = (self.r[w] & !t) | (new_r & t);
+            }
+        }
+
+        // Destabilizer p-n becomes the old stabilizer row p; row p
+        // becomes ±Z_q with the drawn outcome as sign.
+        let d = p - n;
+        for c in 0..n {
+            self.set_x(d, c, self.x_bit(p, c));
+            self.set_z(d, c, self.z_bit(p, c));
+            self.set_x(p, c, false);
+            self.set_z(p, c, false);
+        }
+        self.set_r(d, self.r_bit(p));
+        self.set_z(p, q, true);
+        self.set_r(p, outcome);
+        tcount
+    }
+
+    /// Benchmark hook: performs the random-measurement collapse on `q`
+    /// with a fixed `outcome` and no RNG, returning the number of
+    /// absorbed rows (the equivalent sequential rowsum count; 0 when
+    /// the outcome is deterministic and no collapse happens). Not part
+    /// of the stable API.
+    #[doc(hidden)]
+    pub fn bench_collapse(&mut self, q: usize, outcome: bool) -> usize {
+        self.check_qubit(q);
+        match self.random_pivot(q) {
+            Some(p) => self.collapse(q, p, outcome),
+            None => 0,
+        }
+    }
+
+    /// Returns the outcome of measuring `q` if it is deterministic,
+    /// without disturbing the state; `None` if the outcome would be
+    /// random.
     ///
     /// # Panics
     ///
@@ -335,24 +489,93 @@ impl StabilizerSim {
     #[must_use]
     pub fn peek_deterministic(&mut self, q: usize) -> Option<bool> {
         self.check_qubit(q);
-        if (self.n..2 * self.n).any(|row| self.x_bit(row, q)) {
+        if self.random_pivot(q).is_some() {
             None
         } else {
             Some(self.deterministic_outcome(q))
         }
     }
 
-    /// Computes a deterministic outcome through the scratch row.
+    /// Computes a deterministic outcome without a scratch row: the
+    /// product of the stabilizer rows selected by the destabilizer X
+    /// bits on column `q`, with the phase recovered word-parallel.
+    ///
+    /// The reference engine accumulates those rows one `rowsum` at a
+    /// time into a scratch row; because every intermediate product is a
+    /// commuting stabilizer product, each step's phase is even and the
+    /// final sign is simply the mod-4 sum of all per-step `g`
+    /// contributions plus `2·Σ r_src`. The per-step `g` arguments are
+    /// (source bits, XOR of all *earlier* source bits) — an exclusive
+    /// prefix-XOR over the selected rows, which a log-depth in-word
+    /// scan plus a cross-word parity carry computes for a whole column
+    /// at once.
     fn deterministic_outcome(&mut self, q: usize) -> bool {
+        let rw = self.rwords;
         let n = self.n;
-        let scratch = 2 * n;
-        self.clear_row(scratch);
-        for i in 0..n {
-            if self.x_bit(i, q) {
-                self.rowsum(scratch, i + n);
+        let qb = q * rw;
+        // sources = (destabilizer X bits on column q) << n : the
+        // stabilizer rows to multiply, in ascending row order.
+        for w in 0..rw {
+            self.targets[w] = self.x[qb + w] & Self::range_mask(0, n, w);
+        }
+        let (ws, bs) = (n / 64, n % 64);
+        for w in (0..rw).rev() {
+            let lo = if w >= ws {
+                self.targets[w - ws] << bs
+            } else {
+                0
+            };
+            let hi = if bs > 0 && w > ws {
+                self.targets[w - ws - 1] >> (64 - bs)
+            } else {
+                0
+            };
+            self.sources[w] = lo | hi;
+        }
+
+        let mut plus = 0i64;
+        let mut minus = 0i64;
+        for c in 0..n {
+            let cb = c * rw;
+            // Cross-word exclusive-prefix carries (0 or all-ones).
+            let mut carry_x = 0u64;
+            let mut carry_z = 0u64;
+            for w in 0..rw {
+                let s = self.sources[w];
+                let sx = self.x[cb + w] & s;
+                let sz = self.z[cb + w] & s;
+                let ix = prefix_xor(sx);
+                let iz = prefix_xor(sz);
+                // Exclusive prefix at bit b = inclusive prefix at b-1,
+                // seeded with the parity of all lower words.
+                let px = (ix << 1) ^ carry_x;
+                let pz = (iz << 1) ^ carry_z;
+                if ix >> 63 != 0 {
+                    carry_x = !carry_x;
+                }
+                if iz >> 63 != 0 {
+                    carry_z = !carry_z;
+                }
+                // g masks: source Pauli (sx, sz) against the running
+                // product (px, pz) at each selected row position.
+                let y1 = sx & sz;
+                let xo = sx & !sz;
+                let zo = !sx & sz;
+                let pmask = (y1 & pz & !px) | (xo & px & pz) | (zo & px & !pz);
+                let mmask = (y1 & px & !pz) | (xo & pz & !px) | (zo & px & pz);
+                plus += i64::from(pmask.count_ones());
+                minus += i64::from(mmask.count_ones());
             }
         }
-        self.r[scratch]
+        let r_sum: i64 = (0..rw)
+            .map(|w| i64::from((self.r[w] & self.sources[w]).count_ones()))
+            .sum();
+        let total = 2 * r_sum + plus - minus;
+        debug_assert!(
+            total.rem_euclid(2) == 0,
+            "deterministic-outcome phase must be real"
+        );
+        total.rem_euclid(4) == 2
     }
 
     /// Resets qubit `q` to `|0⟩` (measure, then flip on outcome `|1⟩`).
@@ -366,29 +589,54 @@ impl StabilizerSim {
         }
     }
 
-    fn copy_row(&mut self, dst: usize, src: usize) {
-        let (d, s) = (dst * self.words, src * self.words);
-        for w in 0..self.words {
-            self.x[d + w] = self.x[s + w];
-            self.z[d + w] = self.z[s + w];
+    /// Generic single rowsum (row `h` absorbs row `i`) for the cold
+    /// paths — canonicalization only. Hot paths use the batched collapse
+    /// or the prefix scan instead.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut g_total = 0i64;
+        for c in 0..self.n {
+            let x1 = self.x_bit(i, c);
+            let z1 = self.z_bit(i, c);
+            let x2 = self.x_bit(h, c);
+            let z2 = self.z_bit(h, c);
+            g_total += match (x1, z1) {
+                (false, false) => 0,
+                (true, true) => (z2 as i64) - (x2 as i64),
+                (true, false) => {
+                    if z2 {
+                        2 * (x2 as i64) - 1
+                    } else {
+                        0
+                    }
+                }
+                (false, true) => {
+                    if x2 {
+                        1 - 2 * (z2 as i64)
+                    } else {
+                        0
+                    }
+                }
+            };
         }
-        self.r[dst] = self.r[src];
-    }
-
-    fn clear_row(&mut self, row: usize) {
-        let base = row * self.words;
-        for w in 0..self.words {
-            self.x[base + w] = 0;
-            self.z[base + w] = 0;
+        let total = 2 * (self.r_bit(h) as i64) + 2 * (self.r_bit(i) as i64) + g_total;
+        debug_assert!(
+            h < self.n || total.rem_euclid(2) == 0,
+            "rowsum phase must be real on stabilizer rows"
+        );
+        self.set_r(h, total.rem_euclid(4) == 2);
+        for c in 0..self.n {
+            let xv = self.x_bit(h, c) ^ self.x_bit(i, c);
+            let zv = self.z_bit(h, c) ^ self.z_bit(i, c);
+            self.set_x(h, c, xv);
+            self.set_z(h, c, zv);
         }
-        self.r[row] = false;
     }
 
     fn row_string(&self, row: usize) -> PauliString {
         let ops = (0..self.n)
             .map(|q| Pauli::from_bits(self.x_bit(row, q), self.z_bit(row, q)))
             .collect();
-        let phase = if self.r[row] {
+        let phase = if self.r_bit(row) {
             Phase::MinusOne
         } else {
             Phase::PlusOne
@@ -417,21 +665,21 @@ impl StabilizerSim {
         (0..self.n).map(|row| self.row_string(row)).collect()
     }
 
-    /// A canonical (row-reduced) generating set for the stabilizer group,
-    /// suitable for comparing two simulators for state equality.
+    /// A canonical (row-reduced) generating set for the stabilizer
+    /// group, suitable for comparing two simulators for state equality.
     ///
-    /// Two `StabilizerSim`s represent the same quantum state exactly when
+    /// Two simulators represent the same quantum state exactly when
     /// their canonical stabilizers are equal.
     #[must_use]
     pub fn canonical_stabilizers(&self) -> Vec<PauliString> {
-        // Work on a copy of the stabilizer half only; row-multiplication
-        // reuses rowsum on a cloned simulator so signs stay exact.
+        // Work on a copy; row-multiplication reuses rowsum on the clone
+        // so signs stay exact.
         let mut work = self.clone();
         let n = work.n;
         let rows: Vec<usize> = (n..2 * n).collect();
         let mut pivot_row = 0usize;
-        // X block first (X before Z per column), then Z block: the standard
-        // symplectic Gaussian elimination.
+        // X block first (X before Z per column), then Z block: the
+        // standard symplectic Gaussian elimination.
         for pass in 0..2 {
             for q in 0..n {
                 let bit = |w: &StabilizerSim, row: usize| {
@@ -444,7 +692,6 @@ impl StabilizerSim {
                 let Some(found) = (pivot_row..n).find(|&i| bit(&work, rows[i])) else {
                     continue;
                 };
-                // Swap generator rows (full row swap including signs).
                 if found != pivot_row {
                     work.swap_rows(rows[found], rows[pivot_row]);
                 }
@@ -465,20 +712,26 @@ impl StabilizerSim {
     }
 
     fn swap_rows(&mut self, a: usize, b: usize) {
-        let (aw, bw) = (a * self.words, b * self.words);
-        for w in 0..self.words {
-            self.x.swap(aw + w, bw + w);
-            self.z.swap(aw + w, bw + w);
+        for c in 0..self.n {
+            let (xa, xb) = (self.x_bit(a, c), self.x_bit(b, c));
+            self.set_x(a, c, xb);
+            self.set_x(b, c, xa);
+            let (za, zb) = (self.z_bit(a, c), self.z_bit(b, c));
+            self.set_z(a, c, zb);
+            self.set_z(b, c, za);
         }
-        self.r.swap(a, b);
+        let (ra, rb) = (self.r_bit(a), self.r_bit(b));
+        self.set_r(a, rb);
+        self.set_r(b, ra);
     }
 
-    /// Measures the sign of an `n`-qubit Pauli-product observable when it
-    /// is in the stabilizer group, e.g. the `Z₀Z₄Z₈` check of Table 2.2.
+    /// Measures the sign of an `n`-qubit Pauli-product observable when
+    /// it is in the stabilizer group, e.g. the `Z₀Z₄Z₈` check of
+    /// Table 2.2.
     ///
-    /// Returns `Some(false)` for expectation `+1`, `Some(true)` for `-1`,
-    /// and `None` when the observable is not (±) in the stabilizer group
-    /// (outcome would be random).
+    /// Returns `Some(false)` for expectation `+1`, `Some(true)` for
+    /// `-1`, and `None` when the observable is not (±) in the
+    /// stabilizer group (outcome would be random).
     ///
     /// # Panics
     ///
@@ -491,40 +744,61 @@ impl StabilizerSim {
             "observable must act on all {} qubits",
             self.n
         );
-        // Measure via an auxiliary approach: the observable commutes with
-        // every stabilizer iff its outcome is deterministic. Reduce it
-        // against the destabilizer/stabilizer pairs like a deterministic
-        // measurement.
         let n = self.n;
         for row in n..2 * n {
             if !self.commutes_with_row(observable, row) {
                 return None;
             }
         }
-        let scratch = 2 * n;
-        self.clear_row(scratch);
-        // Seed the scratch row phase from the observable's own phase.
         debug_assert!(observable.phase().is_real());
-        // Express observable = product of stabilizers: for each qubit q,
-        // destabilizer d_i anticommutes only with stabilizer s_i, so the
-        // coefficient of s_i is whether observable anticommutes with d_i.
+        // Express observable = product of stabilizers: stabilizer s_i
+        // participates iff the observable anticommutes with
+        // destabilizer d_i. Accumulate the product sequentially with
+        // the same phase bookkeeping the reference scratch row uses
+        // (every intermediate is even, so the running phase is exact).
+        let mut phase = 0i64;
+        let mut acc: Vec<Pauli> = vec![Pauli::I; n];
         for i in 0..n {
-            if !self.commutes_with_row(observable, i) {
-                self.rowsum(scratch, i + n);
+            if self.commutes_with_row(observable, i) {
+                continue;
             }
+            let src = i + n;
+            for (c, slot) in acc.iter_mut().enumerate() {
+                let x1 = self.x_bit(src, c);
+                let z1 = self.z_bit(src, c);
+                let (x2, z2) = slot.bits();
+                phase += match (x1, z1) {
+                    (false, false) => 0,
+                    (true, true) => (z2 as i64) - (x2 as i64),
+                    (true, false) => {
+                        if z2 {
+                            2 * (x2 as i64) - 1
+                        } else {
+                            0
+                        }
+                    }
+                    (false, true) => {
+                        if x2 {
+                            1 - 2 * (z2 as i64)
+                        } else {
+                            0
+                        }
+                    }
+                };
+                *slot = Pauli::from_bits(x2 ^ x1, z2 ^ z1);
+            }
+            phase += 2 * (self.r_bit(src) as i64);
         }
-        // scratch now equals the observable up to sign; compare signs.
-        let scratch_string = self.row_string(scratch);
+        let product = PauliString::new(Phase::PlusOne, acc);
         let mut obs = observable.clone();
         obs.set_phase(Phase::PlusOne);
-        let mut scr = scratch_string.clone();
-        scr.set_phase(Phase::PlusOne);
         assert_eq!(
-            obs, scr,
+            obs, product,
             "observable commutes with all stabilizers but is not in the group"
         );
+        let negative = phase.rem_euclid(4) == 2;
         let obs_negative = observable.phase() == Phase::MinusOne;
-        Some(self.r[scratch] != obs_negative)
+        Some(negative != obs_negative)
     }
 
     fn commutes_with_row(&self, observable: &PauliString, row: usize) -> bool {
@@ -538,6 +812,17 @@ impl StabilizerSim {
         anti.is_multiple_of(2)
     }
 }
+
+// Equality compares the quantum-state payload only (tableau bit-planes
+// and signs); the pre-allocated measurement scratch buffers are
+// transient and excluded.
+impl PartialEq for StabilizerSim {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.x == other.x && self.z == other.z && self.r == other.r
+    }
+}
+
+impl Eq for StabilizerSim {}
 
 impl fmt::Display for StabilizerSim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -761,7 +1046,7 @@ mod tests {
 
     #[test]
     fn many_qubits_cross_word_boundary() {
-        // 70 qubits spans two u64 words per row half.
+        // 70 qubits spans three u64 words per column plane (140 rows).
         let mut rng = rng();
         let mut sim = StabilizerSim::new(70);
         sim.h(0);
@@ -799,6 +1084,48 @@ mod tests {
         assert_eq!(sim.peek_deterministic(0), Some(true));
         let gens = sim.stabilizers();
         assert!(gens.iter().any(|g| g.to_string() == "-1·ZI"));
+    }
+
+    #[test]
+    fn equality_ignores_scratch_buffers() {
+        let mut rng = rng();
+        let mut a = StabilizerSim::new(2);
+        let b = StabilizerSim::new(2);
+        // Dirty a's scratch buffers through a measure/reset cycle that
+        // returns to |00>.
+        a.h(0);
+        a.reset(0, &mut rng);
+        if a.canonical_stabilizers() == b.canonical_stabilizers() {
+            // Same state must compare equal regardless of scratch
+            // contents whenever the tableaus coincide.
+            let mut c = StabilizerSim::new(2);
+            c.h(0);
+            c.h(0);
+            assert_eq!(c, b);
+        }
+    }
+
+    #[test]
+    fn prefix_xor_is_inclusive_scan() {
+        let v = 0b1011u64;
+        let p = prefix_xor(v);
+        // bit 0: 1, bit 1: 1^1=0, bit 2: ^0=0, bit 3: ^1=1
+        assert_eq!(p & 0xF, 0b1001);
+        assert_eq!(prefix_xor(u64::MAX) & 1, 1);
+        assert_eq!(prefix_xor(0), 0);
+    }
+
+    #[test]
+    fn bench_collapse_reports_row_count_and_pins_outcome() {
+        let mut sim = StabilizerSim::new(3);
+        sim.h(0);
+        sim.cnot(0, 1);
+        sim.cnot(1, 2);
+        sim.h(0);
+        let count = sim.bench_collapse(0, true);
+        assert!(count > 0);
+        assert_eq!(sim.peek_deterministic(0), Some(true));
+        assert_eq!(sim.bench_collapse(0, true), 0);
     }
 
     #[test]

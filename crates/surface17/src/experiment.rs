@@ -25,6 +25,9 @@ use qpdo_core::{
     ShotError, SvCore,
 };
 use qpdo_pauli::{Pauli, PauliString};
+#[cfg(feature = "reference")]
+use qpdo_stabilizer::ReferenceTableau;
+use qpdo_stabilizer::{CliffordTableau, StabilizerSim};
 use qpdo_statevector::Complex;
 
 use crate::{NinjaStar, StarLayout};
@@ -189,7 +192,25 @@ impl LerOutcome {
 /// for valid configurations).
 pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
     let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
-    run_ler_stack(config, frame).map(|(outcome, _)| outcome)
+    run_ler_stack::<StabilizerSim>(config, frame).map(|(outcome, _)| outcome)
+}
+
+/// Runs the identical LER experiment on the cell-per-entry
+/// [`ReferenceTableau`] engine instead of the packed production engine.
+///
+/// Both engines draw from the stack RNG in the same order, so for any
+/// `config` this must return an outcome whose
+/// [`to_record`](LerOutcome::to_record) string is byte-identical to
+/// [`run_ler`]'s — the full-stack leg of the differential test oracle
+/// (`tests/engine_equivalence.rs`).
+///
+/// # Errors
+///
+/// Same contract as [`run_ler`].
+#[cfg(feature = "reference")]
+pub fn run_ler_reference(config: &LerConfig) -> Result<LerOutcome, CoreError> {
+    let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
+    run_ler_stack::<ReferenceTableau>(config, frame).map(|(outcome, _)| outcome)
 }
 
 /// Classical-fault configuration for [`run_ler_classical`]: the fault
@@ -416,7 +437,7 @@ pub fn run_ler_classical(
     classical.rates.validate()?;
     let mut frame = ProtectedPauliFrameLayer::with_config(classical.protection);
     frame.set_fault_plan(FaultPlan::new(classical.rates, classical.fault_seed)?);
-    let (ler, protection) = run_ler_stack(config, Some(frame))?;
+    let (ler, protection) = run_ler_stack::<StabilizerSim>(config, Some(frame))?;
     let (protection, fault_events) = protection.unwrap_or_default();
     Ok(ClassicalLerOutcome {
         ler,
@@ -429,7 +450,7 @@ pub fn run_ler_classical(
 /// stack carried a protected frame layer, its protection counters and
 /// drained fault-event count.
 #[allow(clippy::type_complexity)]
-fn run_ler_stack(
+fn run_ler_stack<T: CliffordTableau>(
     config: &LerConfig,
     frame: Option<impl qpdo_core::Layer>,
 ) -> Result<(LerOutcome, Option<(FrameProtectionStats, u64)>), CoreError> {
@@ -438,7 +459,7 @@ fn run_ler_stack(
     let above = CounterLayer::new();
     let above_counts = above.counters();
 
-    let mut stack = ControlStack::with_seed(ChpCore::new(), config.seed);
+    let mut stack = ControlStack::with_seed(ChpCore::<T>::empty(), config.seed);
     stack.push_layer(below);
     if let Some(frame) = frame {
         stack.push_layer(frame);
@@ -501,8 +522,8 @@ fn run_ler_stack(
 /// Returns `None` when the observable is not deterministic (an
 /// uncorrected error chain crosses it) — such windows are skipped, which
 /// the observable-error gate in the caller already guarantees.
-fn logical_value(
-    stack: &mut ControlStack<ChpCore>,
+fn logical_value<T: CliffordTableau>(
+    stack: &mut ControlStack<ChpCore<T>>,
     star: &NinjaStar,
     kind: LogicalErrorKind,
 ) -> Option<bool> {

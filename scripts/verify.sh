@@ -78,6 +78,13 @@ cargo build --release --offline --workspace --all-targets
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 
+echo "== differential oracle: packed vs reference tableau (fixed seeds) =="
+# Gate-level engine equivalence (DESIGN.md §8): seeded random-Clifford
+# walks must agree row-for-row between the word-packed kernels and the
+# cell-per-entry reference, in release mode (the same codegen the
+# experiment binaries ship with). All seeds are fixed in the test.
+cargo test -q --offline --release -p qpdo-stabilizer --test differential
+
 echo "== supervisor smoke: exp_ler --test smoke --jobs 4 =="
 # End-to-end gate on the supervised execution engine (DESIGN.md §7):
 # jobs-independence, forced-panic + hang recovery, quarantine
@@ -86,5 +93,11 @@ echo "== supervisor smoke: exp_ler --test smoke --jobs 4 =="
 smoke_out=$(mktemp -d)
 trap 'rm -rf "$smoke_out"' EXIT
 ./target/release/exp_ler --test smoke --jobs 4 --out "$smoke_out"
+
+echo "== kernel bench smoke: bench_kernels --smoke =="
+# Smoke-runs the packed-kernel benchmark (tiny sample counts), writes
+# BENCH_stabilizer.json to the throwaway directory, and validates the
+# report schema — both before writing and after re-reading from disk.
+./target/release/bench_kernels --smoke --out "$smoke_out"
 
 echo "verify: OK"
