@@ -167,7 +167,14 @@ fn run_grid(
         let outcome = batch_job(&job_base, rate, mode, ctx.seed)?;
         if let Ok(mut guard) = job_ckpt.lock() {
             if let Some(c) = guard.as_mut() {
-                c.record(&ctx.spec.key, &[outcome.to_record()]);
+                if let Err(e) = c.record(&ctx.spec.key, &[outcome.to_record()]) {
+                    // The batch result is still good; only durability of
+                    // the resume point is lost. Keep sweeping.
+                    eprintln!(
+                        "  warning: checkpoint write failed for {}: {e}",
+                        ctx.spec.key
+                    );
+                }
             }
         }
         Ok(outcome)
@@ -197,7 +204,7 @@ fn run_grid(
     let ckpt = shared_ckpt.lock().ok().and_then(|mut guard| guard.take());
     if let Some(ckpt) = ckpt {
         if report.quarantined.is_empty() {
-            ckpt.finish();
+            ckpt.finish().expect("remove finished checkpoint");
         } else {
             eprintln!("  checkpoint kept (re-run to retry quarantined batches)");
         }
@@ -457,6 +464,7 @@ fn main() {
             &args.out_dir.join("exp_classical_faults.ckpt"),
             &fingerprint,
         )
+        .expect("open sweep checkpoint")
     });
     let sweep = run_grid(&args, &base, &rates, reps, ckpt);
     print_sweep(

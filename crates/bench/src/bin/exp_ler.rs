@@ -26,13 +26,15 @@
 //! forced panics, a forced hang, a poisoned batch that must quarantine,
 //! a redundancy vote, and a worker-count determinism comparison.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use qpdo_bench::checkpoint::SweepCheckpoint;
 use qpdo_bench::supervisor::{
-    run_supervised, run_supervised_with_vote, silence_chaos_panics, with_chaos, BatchCtx,
-    BatchSpec, ChaosConfig, SupervisorConfig, SupervisorReport, QUARANTINE_HEADER,
+    read_quarantine_csv, run_supervised, run_supervised_with_vote, silence_chaos_panics,
+    with_chaos, BatchCtx, BatchSpec, ChaosConfig, SupervisorConfig, SupervisorReport,
+    QUARANTINE_HEADER,
 };
 use qpdo_bench::{log_space, pseudo_threshold, render_table, sci, HarnessArgs};
 use qpdo_core::ShotError;
@@ -74,6 +76,46 @@ fn kind_name(kind: LogicalErrorKind) -> &'static str {
         LogicalErrorKind::XL => "XL",
         LogicalErrorKind::ZL => "ZL",
     }
+}
+
+/// The batch naming shared by the sweep and `--replay-quarantine`: the
+/// keys in `quarantine.csv` only identify a batch again if both paths
+/// derive them identically.
+fn cell_point(ci: usize, cell: &Cell) -> String {
+    format!(
+        "p{ci}-{}-pf{}",
+        kind_name(cell.kind),
+        u8::from(cell.with_pf)
+    )
+}
+
+/// The sweep geometry for the current mode (quick vs `--full`):
+/// `(PER points, repetitions, target logical errors, max windows)`.
+fn sweep_params(args: &HarnessArgs) -> (Vec<f64>, usize, u64, u64) {
+    if args.full {
+        (log_space(1e-4, 1e-2, 16), 10, 50, 3_000_000)
+    } else {
+        (log_space(2e-4, 1e-2, 8), 5, 20, 600_000)
+    }
+}
+
+fn build_cells(points: &[f64], target: u64, max_windows: u64) -> Vec<Cell> {
+    points
+        .iter()
+        .flat_map(|&p| {
+            [LogicalErrorKind::XL, LogicalErrorKind::ZL]
+                .into_iter()
+                .flat_map(move |kind| {
+                    [false, true].into_iter().map(move |with_pf| Cell {
+                        p,
+                        kind,
+                        with_pf,
+                        target,
+                        max_windows,
+                    })
+                })
+        })
+        .collect()
 }
 
 /// Summarizes a sample, degrading to NaN statistics when every
@@ -120,11 +162,7 @@ fn run_sweep(
     let mut specs: Vec<BatchSpec> = Vec::new();
     let mut spec_cells: Vec<(usize, usize)> = Vec::new();
     for (ci, cell) in cells.iter().enumerate() {
-        let point = format!(
-            "p{ci}-{}-pf{}",
-            kind_name(cell.kind),
-            u8::from(cell.with_pf)
-        );
+        let point = cell_point(ci, cell);
         for rep in 0..reps {
             let key = format!("{point}-r{rep}");
             let hit = ckpt
@@ -165,7 +203,14 @@ fn run_sweep(
         let outcome = ler_job(&job_cells[ci], ctx)?;
         if let Ok(mut guard) = job_ckpt.lock() {
             if let Some(c) = guard.as_mut() {
-                c.record(&ctx.spec.key, &[outcome.to_record()]);
+                if let Err(e) = c.record(&ctx.spec.key, &[outcome.to_record()]) {
+                    // The batch result is still good; only durability of
+                    // the resume point is lost. Keep sweeping.
+                    eprintln!(
+                        "  warning: checkpoint write failed for {}: {e}",
+                        ctx.spec.key
+                    );
+                }
             }
         }
         Ok(outcome)
@@ -239,17 +284,105 @@ fn report_engine_events(args: &HarnessArgs, report: &SupervisorReport<LerOutcome
     }
 }
 
+/// `--replay-quarantine <csv>`: re-submit exactly the batches that a
+/// previous sweep quarantined, under the current retry/watchdog flags.
+/// Successful re-runs land in `ler_replay.csv`; batches that fail again
+/// are re-quarantined as usual.
+fn replay_quarantine(args: &HarnessArgs, path: &Path) {
+    let records = match read_quarantine_csv(path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    if records.is_empty() {
+        println!("{}: no quarantined batches to replay", path.display());
+        return;
+    }
+    let (points, reps, target, max_windows) = sweep_params(args);
+    let cells = build_cells(&points, target, max_windows);
+    let mut wanted: HashSet<String> = records.iter().map(|r| r.key.clone()).collect();
+
+    let mut specs: Vec<BatchSpec> = Vec::new();
+    let mut spec_cells: Vec<usize> = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let point = cell_point(ci, cell);
+        for rep in 0..reps {
+            let key = format!("{point}-r{rep}");
+            if wanted.remove(&key) {
+                specs.push(BatchSpec {
+                    key,
+                    point: point.clone(),
+                    batch: rep as u64,
+                    shots: cell.target,
+                });
+                spec_cells.push(ci);
+            }
+        }
+    }
+    for unknown in &wanted {
+        eprintln!(
+            "  warning: quarantined key {unknown:?} does not name a batch of this sweep \
+             (check --full/--quick and --seed match the original run)"
+        );
+    }
+    if specs.is_empty() {
+        eprintln!("error: no quarantined key matched this sweep's batches");
+        std::process::exit(2);
+    }
+    println!(
+        "replaying {} quarantined batches from {}",
+        specs.len(),
+        path.display()
+    );
+
+    let config = SupervisorConfig::from_args(args);
+    let job_cells = cells.clone();
+    let job_map = spec_cells.clone();
+    let job = move |ctx: &BatchCtx| ler_job(&job_cells[job_map[ctx.task]], ctx);
+    let report = run_supervised_with_vote(&config, specs.clone(), job, Some(Box::new(vote)));
+    report_engine_events(args, &report);
+
+    let mut rows = Vec::new();
+    for (task, result) in report.results.iter().enumerate() {
+        if let Some(outcome) = result {
+            rows.push(format!(
+                "{},{},{},{}",
+                specs[task].key,
+                outcome.windows,
+                outcome.logical_errors,
+                outcome.ler()
+            ));
+        }
+    }
+    let out = args.write_csv("ler_replay.csv", "key,windows,logical_errors,ler", &rows);
+    println!(
+        "{}/{} batches recovered -> {}",
+        rows.len(),
+        specs.len(),
+        out.display()
+    );
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "  {} batches failed again and were re-quarantined",
+            report.quarantined.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     if args.smoke() {
         smoke(&args);
         return;
     }
-    let (points, reps, target, max_windows) = if args.full {
-        (log_space(1e-4, 1e-2, 16), 10usize, 50u64, 3_000_000u64)
-    } else {
-        (log_space(2e-4, 1e-2, 8), 5usize, 20u64, 600_000u64)
-    };
+    if let Some(path) = args.replay_quarantine.clone() {
+        replay_quarantine(&args, &path);
+        return;
+    }
+    let (points, reps, target, max_windows) = sweep_params(&args);
     println!(
         "LER sweep: {} PER points in [{}, {}], {} repetitions, stop at {} logical errors{}, {} workers",
         points.len(),
@@ -265,22 +398,7 @@ fn main() {
         args.jobs,
     );
 
-    let cells: Vec<Cell> = points
-        .iter()
-        .flat_map(|&p| {
-            [LogicalErrorKind::XL, LogicalErrorKind::ZL]
-                .into_iter()
-                .flat_map(move |kind| {
-                    [false, true].into_iter().map(move |with_pf| Cell {
-                        p,
-                        kind,
-                        with_pf,
-                        target,
-                        max_windows,
-                    })
-                })
-        })
-        .collect();
+    let cells = build_cells(&points, target, max_windows);
 
     // A paper-scale sweep takes long enough that being killed mid-run
     // must not restart it from scratch: each completed batch (one
@@ -295,13 +413,14 @@ fn main() {
         );
         std::fs::create_dir_all(&args.out_dir).expect("create output directory");
         SweepCheckpoint::open(&args.out_dir.join("exp_ler.ckpt"), &fingerprint)
+            .expect("open sweep checkpoint")
     });
 
     let (outcomes, report) = run_sweep(&args, &cells, reps, &mut ckpt);
     report_engine_events(&args, &report);
     if report.quarantined.is_empty() {
         if let Some(ckpt) = ckpt.take() {
-            ckpt.finish();
+            ckpt.finish().expect("remove finished checkpoint");
         }
     } else if ckpt.is_some() {
         eprintln!("  checkpoint kept (quarantined batches can be re-attempted by re-running)");

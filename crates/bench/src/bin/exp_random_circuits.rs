@@ -13,8 +13,8 @@
 //! sweep, so one bad circuit cannot take down the other 99.
 
 use qpdo_bench::supervisor::{
-    run_supervised, silence_chaos_panics, with_chaos, BatchCtx, BatchSpec, ChaosConfig,
-    SupervisorConfig, SupervisorReport, QUARANTINE_HEADER,
+    read_quarantine_csv, run_supervised, silence_chaos_panics, with_chaos, BatchCtx, BatchSpec,
+    ChaosConfig, SupervisorConfig, SupervisorReport, QUARANTINE_HEADER,
 };
 use qpdo_bench::{HarnessArgs, USAGE};
 use qpdo_core::testbench::random_circuit;
@@ -22,6 +22,8 @@ use qpdo_core::{ControlStack, PauliFrameLayer, ShotError, SvCore};
 use qpdo_rng::rngs::StdRng;
 use qpdo_rng::SeedableRng;
 use qpdo_statevector::{Complex, StateVector};
+use std::collections::HashSet;
+use std::path::Path;
 
 fn state_dump(stack: &ControlStack<SvCore>) -> String {
     let dump = stack.quantum_state().expect("quantum state");
@@ -120,10 +122,81 @@ fn report_engine_events(args: &HarnessArgs, report: &SupervisorReport<u64>) {
     }
 }
 
+/// The bench geometry for the current mode (quick vs `--full`):
+/// `(iterations, qubits, gates per circuit)`.
+fn bench_params(args: &HarnessArgs) -> (u64, usize, usize) {
+    if args.full {
+        (100, 10, 1000)
+    } else {
+        (25, 5, 200)
+    }
+}
+
+/// `--replay-quarantine <csv>`: re-submit exactly the circuit iterations
+/// a previous bench quarantined, under the current retry/watchdog flags.
+fn replay_quarantine(args: &HarnessArgs, path: &Path) {
+    let records = match read_quarantine_csv(path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    if records.is_empty() {
+        println!("{}: no quarantined circuits to replay", path.display());
+        return;
+    }
+    let (iterations, qubits, gates) = bench_params(args);
+    let mut wanted: HashSet<String> = records.iter().map(|r| r.key.clone()).collect();
+    let specs: Vec<BatchSpec> = (0..iterations)
+        .filter(|i| wanted.remove(&format!("rc-i{i}")))
+        .map(|i| BatchSpec {
+            key: format!("rc-i{i}"),
+            point: "rc".to_owned(),
+            batch: i,
+            shots: 1,
+        })
+        .collect();
+    for unknown in &wanted {
+        eprintln!(
+            "  warning: quarantined key {unknown:?} does not name a circuit of this bench \
+             (check --full/--quick and --seed match the original run)"
+        );
+    }
+    if specs.is_empty() {
+        eprintln!("error: no quarantined key matched this bench's circuits");
+        std::process::exit(2);
+    }
+    println!(
+        "replaying {} quarantined circuits from {}",
+        specs.len(),
+        path.display()
+    );
+    let total = specs.len();
+    let config = SupervisorConfig::from_args(args);
+    let report = run_supervised(&config, specs, move |ctx: &BatchCtx| {
+        circuit_job(qubits, gates, ctx)
+    });
+    report_engine_events(args, &report);
+    let matches = report.results.iter().filter(|r| r.is_some()).count();
+    println!("{matches}/{total} replayed circuits now verify");
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "  {} circuits failed again and were re-quarantined",
+            report.quarantined.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     if let Some(mode) = args.test_mode.as_deref() {
         assert_eq!(mode, "smoke", "unknown --test mode {mode:?}\n{USAGE}");
+    }
+    if let Some(path) = args.replay_quarantine.clone() {
+        replay_quarantine(&args, &path);
+        return;
     }
 
     // ---- the worked example (Listings 5.3-5.6) --------------------------
@@ -169,11 +242,7 @@ fn main() {
     }
 
     // ---- the full bench --------------------------------------------------
-    let (iterations, qubits, gates) = if args.full {
-        (100u64, 10usize, 1000usize)
-    } else {
-        (25u64, 5usize, 200usize)
-    };
+    let (iterations, qubits, gates) = bench_params(&args);
     println!();
     println!("== test bench: {iterations} random circuits, {qubits} qubits, {gates} gates each ==");
     let specs: Vec<BatchSpec> = (0..iterations)

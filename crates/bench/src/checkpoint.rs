@@ -8,29 +8,37 @@
 //! directory:
 //!
 //! ```text
-//! qpdo-checkpoint v1 <fingerprint>
-//! begin <key> <n>
+//! qpdo-checkpoint v2 <fingerprint>
+//! begin <key> <n> <crc32-hex>
 //! <payload line 1>
 //! ...
 //! <payload line n>
 //! end <key>
-//! begin <key2> <m>
+//! begin <key2> <m> <crc32-hex>
 //! ...
 //! ```
 //!
-//! Each sweep point is one `begin …`/`end …` block, appended and flushed
-//! when the point completes. A crash mid-block leaves a `begin` without
-//! its matching `end`; the loader ignores such tails, so only fully
-//! written points are ever resumed. The fingerprint (configuration +
-//! seed) guards against resuming into a run with different parameters —
-//! a mismatched file is discarded wholesale.
+//! Each sweep point is one `begin …`/`end …` block, appended and synced
+//! when the point completes, carrying the CRC32 (see [`crate::framing`])
+//! of its payload lines. A crash mid-append leaves a `begin` without its
+//! matching `end` (or a CRC mismatch); the loader ignores such tails, so
+//! only fully written, checksummed points are ever resumed. The
+//! fingerprint (configuration + seed) guards against resuming into a run
+//! with different parameters — a mismatched file is discarded wholesale.
+//!
+//! Compaction on open is crash-atomic: the valid prefix is rewritten to
+//! a temporary sibling, synced, and renamed over the original
+//! ([`crate::framing::atomic_replace`]), so a crash during open never
+//! clobbers the previous durable state.
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: &str = "qpdo-checkpoint v1";
+use crate::framing::{atomic_replace, crc32, sync_file};
+
+const MAGIC: &str = "qpdo-checkpoint v2";
 
 /// A crash-safe store of completed sweep points, keyed by an arbitrary
 /// string (e.g. `p3-XL-pf1`), each holding the payload lines the
@@ -46,41 +54,49 @@ pub struct SweepCheckpoint {
 impl SweepCheckpoint {
     /// Opens (or creates) the checkpoint at `path`. Completed blocks from
     /// an earlier interrupted run are loaded when their fingerprint
-    /// matches; otherwise the file is treated as absent and overwritten.
+    /// matches and their CRC verifies; otherwise the stale content is
+    /// discarded. The surviving prefix is compacted back to disk
+    /// atomically before appends resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading, rewriting, or reopening the
+    /// file.
     ///
     /// # Panics
     ///
-    /// Panics on I/O errors (experiment binaries want loud failures).
-    #[must_use]
-    pub fn open(path: &Path, fingerprint: &str) -> Self {
+    /// Panics if `fingerprint` contains a newline (a programmer error,
+    /// not an I/O condition).
+    pub fn open(path: &Path, fingerprint: &str) -> io::Result<Self> {
         assert!(
             !fingerprint.contains('\n'),
             "fingerprint must be a single line"
         );
         let completed = match fs::read_to_string(path) {
             Ok(text) => parse(&text, fingerprint),
-            Err(_) => BTreeMap::new(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e),
         };
         if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir).expect("create checkpoint directory");
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
         }
         // Rewrite the file to contain exactly the valid prefix: this
-        // drops any torn tail block and stale-fingerprint content.
+        // drops any torn tail block and stale-fingerprint content. The
+        // temp-file + rename keeps the old state intact if we crash here.
         let mut text = format!("{MAGIC} {fingerprint}\n");
         for (key, lines) in &completed {
             append_block(&mut text, key, lines);
         }
-        fs::write(path, &text).expect("write checkpoint");
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .expect("reopen checkpoint for append");
-        SweepCheckpoint {
+        atomic_replace(path, text.as_bytes())?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(SweepCheckpoint {
             path: path.to_owned(),
             fingerprint: fingerprint.to_owned(),
             completed,
             file: Some(file),
-        }
+        })
     }
 
     /// The checkpoint's backing path.
@@ -113,14 +129,20 @@ impl SweepCheckpoint {
         self.completed.is_empty()
     }
 
-    /// Records a completed sweep point and flushes it to disk before
-    /// returning — after this call, a crash cannot lose the point.
+    /// Records a completed sweep point and syncs it to disk before
+    /// returning — after a successful call, a crash cannot lose the
+    /// point. Re-recording an existing key is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns the append or sync failure; the in-memory map is only
+    /// updated after the block is durable.
     ///
     /// # Panics
     ///
-    /// Panics on I/O errors, on keys containing whitespace or newlines,
-    /// and on payload lines containing newlines.
-    pub fn record(&mut self, key: &str, lines: &[String]) {
+    /// Panics on keys containing whitespace or newlines and on payload
+    /// lines containing newlines (programmer errors).
+    pub fn record(&mut self, key: &str, lines: &[String]) -> io::Result<()> {
         assert!(
             !key.is_empty() && !key.contains(char::is_whitespace),
             "checkpoint keys must be non-empty and whitespace-free"
@@ -130,35 +152,50 @@ impl SweepCheckpoint {
             "payload lines must not contain newlines"
         );
         if self.completed.contains_key(key) {
-            return;
+            return Ok(());
         }
         let mut text = String::new();
         append_block(&mut text, key, lines);
-        let file = self.file.as_mut().expect("checkpoint file open");
-        file.write_all(text.as_bytes()).expect("append checkpoint");
-        file.sync_data().expect("flush checkpoint");
+        let file = self
+            .file
+            .as_mut()
+            .ok_or_else(|| io::Error::other("checkpoint already finished"))?;
+        file.write_all(text.as_bytes())?;
+        sync_file(file)?;
         self.completed.insert(key.to_owned(), lines.to_vec());
+        Ok(())
     }
 
     /// Deletes the checkpoint file: the sweep completed, nothing is left
     /// to resume.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on I/O errors other than the file already being gone.
-    pub fn finish(mut self) {
+    /// Returns I/O errors other than the file already being gone.
+    pub fn finish(mut self) -> io::Result<()> {
         self.file = None;
         match fs::remove_file(&self.path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => panic!("remove checkpoint {}: {e}", self.path.display()),
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
         }
     }
 }
 
+/// The CRC32 of a block's payload: every line followed by `\n`, in
+/// order, so line boundaries are part of the checksum.
+fn block_crc(lines: &[String]) -> u32 {
+    let mut bytes = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+    }
+    crc32(&bytes)
+}
+
 fn append_block(text: &mut String, key: &str, lines: &[String]) {
     use std::fmt::Write as _;
-    let _ = writeln!(text, "begin {key} {}", lines.len());
+    let _ = writeln!(text, "begin {key} {} {:08x}", lines.len(), block_crc(lines));
     for line in lines {
         let _ = writeln!(text, "{line}");
     }
@@ -167,7 +204,8 @@ fn append_block(text: &mut String, key: &str, lines: &[String]) {
 
 /// Parses the complete blocks of a checkpoint file. Anything after the
 /// last complete block — a torn `begin`, a count mismatch, a missing
-/// `end` — is ignored, as is the whole file on a fingerprint mismatch.
+/// `end`, a CRC mismatch — is ignored, as is the whole file on a
+/// fingerprint mismatch.
 fn parse(text: &str, fingerprint: &str) -> BTreeMap<String, Vec<String>> {
     let mut lines = text.lines();
     let Some(header) = lines.next() else {
@@ -179,12 +217,19 @@ fn parse(text: &str, fingerprint: &str) -> BTreeMap<String, Vec<String>> {
     let mut completed = BTreeMap::new();
     while let Some(open) = lines.next() {
         let mut fields = open.split_whitespace();
-        let (Some("begin"), Some(key), Some(count), None) =
-            (fields.next(), fields.next(), fields.next(), fields.next())
-        else {
+        let (Some("begin"), Some(key), Some(count), Some(crc), None) = (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) else {
             break;
         };
         let Ok(count) = count.parse::<usize>() else {
+            break;
+        };
+        let Ok(crc) = u32::from_str_radix(crc, 16) else {
             break;
         };
         let mut payload = Vec::with_capacity(count);
@@ -195,6 +240,9 @@ fn parse(text: &str, fingerprint: &str) -> BTreeMap<String, Vec<String>> {
             }
         }
         if lines.next() != Some(&format!("end {key}")) {
+            break;
+        }
+        if block_crc(&payload) != crc {
             break;
         }
         completed.insert(key.to_owned(), payload);
@@ -217,14 +265,15 @@ mod tests {
     fn round_trips_completed_points() {
         let dir = tmpdir("roundtrip");
         let path = dir.join("sweep.ckpt");
-        let mut ckpt = SweepCheckpoint::open(&path, "exp_ler full seed=2016");
+        let mut ckpt = SweepCheckpoint::open(&path, "exp_ler full seed=2016").unwrap();
         assert!(ckpt.is_empty());
-        ckpt.record("p0-XL-pf0", &["1 2 3".into(), "4 5 6".into()]);
-        ckpt.record("p0-XL-pf1", &["7 8 9".into()]);
+        ckpt.record("p0-XL-pf0", &["1 2 3".into(), "4 5 6".into()])
+            .unwrap();
+        ckpt.record("p0-XL-pf1", &["7 8 9".into()]).unwrap();
         drop(ckpt);
 
         // A fresh open (same fingerprint) sees both points.
-        let ckpt = SweepCheckpoint::open(&path, "exp_ler full seed=2016");
+        let ckpt = SweepCheckpoint::open(&path, "exp_ler full seed=2016").unwrap();
         assert_eq!(ckpt.len(), 2);
         assert_eq!(
             ckpt.get("p0-XL-pf0").unwrap(),
@@ -239,21 +288,43 @@ mod tests {
     fn torn_tail_blocks_are_dropped() {
         let dir = tmpdir("torn");
         let path = dir.join("sweep.ckpt");
-        let mut ckpt = SweepCheckpoint::open(&path, "fp");
-        ckpt.record("a", &["1".into()]);
-        ckpt.record("b", &["2".into()]);
+        let mut ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        ckpt.record("a", &["1".into()]).unwrap();
+        ckpt.record("b", &["2".into()]).unwrap();
         drop(ckpt);
         // Simulate a crash mid-append: a begin with no end.
         let mut text = fs::read_to_string(&path).unwrap();
-        text.push_str("begin c 2\nonly-one-line\n");
+        text.push_str("begin c 2 00000000\nonly-one-line\n");
         fs::write(&path, &text).unwrap();
 
-        let ckpt = SweepCheckpoint::open(&path, "fp");
+        let ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
         assert_eq!(ckpt.len(), 2);
         assert!(ckpt.get("c").is_none());
-        // The reopened file was compacted back to valid blocks only.
+        // The reopened file was compacted back to valid blocks only, and
+        // the compaction left no temp file behind.
         let compacted = fs::read_to_string(&path).unwrap();
         assert!(!compacted.contains("only-one-line"));
+        assert!(fs::read_dir(&dir).unwrap().count() == 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupted_block_payload_is_dropped() {
+        let dir = tmpdir("crc");
+        let path = dir.join("sweep.ckpt");
+        let mut ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        ckpt.record("a", &["100 200".into()]).unwrap();
+        ckpt.record("b", &["300 400".into()]).unwrap();
+        drop(ckpt);
+        // Flip one payload byte of block "a" on disk: its CRC no longer
+        // verifies, so the block (and everything after it) is dropped.
+        let text = fs::read_to_string(&path).unwrap();
+        let text = text.replacen("100 200", "100 201", 1);
+        fs::write(&path, &text).unwrap();
+
+        let ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        assert!(ckpt.get("a").is_none());
+        assert!(ckpt.get("b").is_none());
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -261,10 +332,10 @@ mod tests {
     fn fingerprint_mismatch_discards_everything() {
         let dir = tmpdir("fingerprint");
         let path = dir.join("sweep.ckpt");
-        let mut ckpt = SweepCheckpoint::open(&path, "seed=1");
-        ckpt.record("a", &["1".into()]);
+        let mut ckpt = SweepCheckpoint::open(&path, "seed=1").unwrap();
+        ckpt.record("a", &["1".into()]).unwrap();
         drop(ckpt);
-        let ckpt = SweepCheckpoint::open(&path, "seed=2");
+        let ckpt = SweepCheckpoint::open(&path, "seed=2").unwrap();
         assert!(ckpt.is_empty());
         let _ = fs::remove_dir_all(dir);
     }
@@ -273,12 +344,12 @@ mod tests {
     fn duplicate_records_are_idempotent() {
         let dir = tmpdir("dup");
         let path = dir.join("sweep.ckpt");
-        let mut ckpt = SweepCheckpoint::open(&path, "fp");
-        ckpt.record("a", &["1".into()]);
-        ckpt.record("a", &["different".into()]);
+        let mut ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        ckpt.record("a", &["1".into()]).unwrap();
+        ckpt.record("a", &["different".into()]).unwrap();
         assert_eq!(ckpt.get("a").unwrap(), &["1".to_owned()]);
         drop(ckpt);
-        let ckpt = SweepCheckpoint::open(&path, "fp");
+        let ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
         assert_eq!(ckpt.get("a").unwrap(), &["1".to_owned()]);
         let _ = fs::remove_dir_all(dir);
     }
@@ -287,9 +358,9 @@ mod tests {
     fn finish_removes_the_file() {
         let dir = tmpdir("finish");
         let path = dir.join("sweep.ckpt");
-        let mut ckpt = SweepCheckpoint::open(&path, "fp");
-        ckpt.record("a", &["1".into()]);
-        ckpt.finish();
+        let mut ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        ckpt.record("a", &["1".into()]).unwrap();
+        ckpt.finish().unwrap();
         assert!(!path.exists());
         let _ = fs::remove_dir_all(dir);
     }
@@ -298,11 +369,25 @@ mod tests {
     fn empty_payload_blocks_are_valid() {
         let dir = tmpdir("empty");
         let path = dir.join("sweep.ckpt");
-        let mut ckpt = SweepCheckpoint::open(&path, "fp");
-        ckpt.record("nothing", &[]);
+        let mut ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        ckpt.record("nothing", &[]).unwrap();
         drop(ckpt);
-        let ckpt = SweepCheckpoint::open(&path, "fp");
+        let ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
         assert_eq!(ckpt.get("nothing").unwrap(), &[] as &[String]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn v1_files_without_crc_are_discarded() {
+        let dir = tmpdir("v1");
+        let path = dir.join("sweep.ckpt");
+        fs::write(
+            &path,
+            "qpdo-checkpoint v1 fp\nbegin a 1\nold payload\nend a\n",
+        )
+        .unwrap();
+        let ckpt = SweepCheckpoint::open(&path, "fp").unwrap();
+        assert!(ckpt.is_empty());
         let _ = fs::remove_dir_all(dir);
     }
 }

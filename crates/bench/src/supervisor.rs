@@ -79,6 +79,40 @@ pub struct BatchCtx {
     /// An attempt-salted substream, distinct from `seed`, for decisions
     /// that *should* differ between retries (chaos injection, jitter).
     pub attempt_seed: u64,
+    /// The run's cancellation token: long-running payloads may poll it
+    /// and bail out early with [`ShotError::Cancelled`].
+    pub cancel: CancelToken,
+}
+
+/// A shared cooperative-cancellation flag for a supervised run.
+///
+/// Cancelling stops the supervisor from dispatching further batches:
+/// every batch not yet resolved is quarantined with
+/// [`ShotError::Cancelled`] and the run returns promptly. Batches
+/// already executing run to completion (or poll
+/// [`BatchCtx::cancel`] themselves); their late results are discarded.
+/// This is the hook the shot-service daemon uses for per-job deadlines
+/// and graceful drain.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent and thread-safe.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
 }
 
 /// How retry attempts are seeded.
@@ -145,6 +179,62 @@ pub struct QuarantineRecord {
     pub error: String,
 }
 
+impl QuarantineRecord {
+    /// One `quarantine.csv` row (matching [`QUARANTINE_HEADER`]);
+    /// commas and newlines inside the error message are flattened so the
+    /// record stays one machine-readable row.
+    #[must_use]
+    pub fn to_row(&self) -> String {
+        format!(
+            "{},{},{},{}",
+            self.key,
+            self.task,
+            self.attempts,
+            self.error.replace([',', '\n'], ";")
+        )
+    }
+
+    /// Parses one `quarantine.csv` row back into a record (the
+    /// `--replay-quarantine` read path). Returns `None` on the header
+    /// line, blank lines, and malformed rows.
+    #[must_use]
+    pub fn parse_row(line: &str) -> Option<Self> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || line == QUARANTINE_HEADER {
+            return None;
+        }
+        let mut fields = line.splitn(4, ',');
+        let key = fields.next()?.to_owned();
+        let task = fields.next()?.parse().ok()?;
+        let attempts = fields.next()?.parse().ok()?;
+        let error = fields.next().unwrap_or("").to_owned();
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            return None;
+        }
+        Some(QuarantineRecord {
+            key,
+            task,
+            attempts,
+            error,
+        })
+    }
+}
+
+/// Loads every well-formed record of a `quarantine.csv` file (header and
+/// malformed rows are skipped). Used by the sweep binaries'
+/// `--replay-quarantine` mode to resubmit exactly the batches that
+/// previously exhausted their retries.
+///
+/// # Errors
+///
+/// Returns the underlying read error (e.g. a missing file).
+pub fn read_quarantine_csv(path: &std::path::Path) -> std::io::Result<Vec<QuarantineRecord>> {
+    Ok(std::fs::read_to_string(path)?
+        .lines()
+        .filter_map(QuarantineRecord::parse_row)
+        .collect())
+}
+
 /// A redundancy vote that found the back-ends disagreeing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DivergenceRecord {
@@ -169,6 +259,9 @@ pub struct SupervisorStats {
     pub replacements: u64,
     /// Redundancy votes executed.
     pub votes: u64,
+    /// Batches quarantined as cancelled when the run's
+    /// [`CancelToken`] fired before they resolved.
+    pub cancelled: u64,
     /// Whether the pool was lost and the tail ran serially in-process.
     pub degraded_to_serial: bool,
 }
@@ -204,15 +297,7 @@ impl<T> SupervisorReport<T> {
     pub fn quarantine_rows(&self) -> Vec<String> {
         self.quarantined
             .iter()
-            .map(|q| {
-                format!(
-                    "{},{},{},{}",
-                    q.key,
-                    q.task,
-                    q.attempts,
-                    q.error.replace([',', '\n'], ";")
-                )
-            })
+            .map(QuarantineRecord::to_row)
             .collect()
     }
 }
@@ -350,6 +435,25 @@ where
     T: Send + 'static,
     F: Fn(&BatchCtx) -> Result<T, ShotError> + Send + Sync + 'static,
 {
+    run_supervised_cancellable(config, specs, job, vote, CancelToken::new())
+}
+
+/// The fully-plumbed entry point: supervision, an optional redundancy
+/// vote, and a caller-held [`CancelToken`]. When the token fires, no
+/// further batches are dispatched; every batch not yet resolved is
+/// quarantined with [`ShotError::Cancelled`] (counted in
+/// [`SupervisorStats::cancelled`]) and the call returns promptly.
+pub fn run_supervised_cancellable<T, F>(
+    config: &SupervisorConfig,
+    specs: Vec<BatchSpec>,
+    job: F,
+    vote: Option<Box<RedundancyCheck>>,
+    cancel: CancelToken,
+) -> SupervisorReport<T>
+where
+    T: Send + 'static,
+    F: Fn(&BatchCtx) -> Result<T, ShotError> + Send + Sync + 'static,
+{
     let total = specs.len();
     let shared = Arc::new(Shared {
         queue: Queue::new((0..total).map(|task| Pending {
@@ -363,8 +467,10 @@ where
             specs,
             base_seed: config.base_seed,
             policy: config.seed_policy,
+            cancel: cancel.clone(),
         },
         redundancy: config.redundancy,
+        cancel,
     });
     Supervisor::new(config, shared).run()
 }
@@ -462,6 +568,7 @@ struct CtxFactory {
     specs: Vec<BatchSpec>,
     base_seed: u64,
     policy: SeedPolicy,
+    cancel: CancelToken,
 }
 
 impl CtxFactory {
@@ -478,6 +585,7 @@ impl CtxFactory {
             seed,
             attempt,
             attempt_seed: splitmix64(salted ^ ATTEMPT_DOMAIN),
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -488,6 +596,7 @@ struct Shared<T> {
     vote: Option<Box<RedundancyCheck>>,
     factory: CtxFactory,
     redundancy: u64,
+    cancel: CancelToken,
 }
 
 impl<T> Shared<T> {
@@ -633,6 +742,10 @@ impl<T: Send + 'static> Supervisor<T> {
 
         let tick = (self.config.watchdog / 4).max(Duration::from_millis(2));
         while self.unresolved > 0 {
+            if self.shared.cancel.is_cancelled() {
+                self.cancel_unresolved();
+                break;
+            }
             if self.live_workers() == 0 {
                 self.degrade_to_serial();
                 break;
@@ -749,6 +862,23 @@ impl<T: Send + 'static> Supervisor<T> {
         }
     }
 
+    /// Resolves every outstanding task as cancelled: the run's
+    /// [`CancelToken`] fired, so pending batches must not start and
+    /// in-flight results are discarded.
+    fn cancel_unresolved(&mut self) {
+        let reason = ShotError::Cancelled {
+            reason: "supervised run cancelled".to_owned(),
+        }
+        .to_string();
+        for task in 0..self.resolved.len() {
+            if !self.resolved[task] {
+                self.stats.cancelled += 1;
+                let attempts = self.issued[task];
+                self.quarantine(task, attempts, reason.clone());
+            }
+        }
+    }
+
     fn quarantine(&mut self, task: usize, attempts: u32, error: String) {
         if self.resolved[task] {
             return;
@@ -796,6 +926,10 @@ impl<T: Send + 'static> Supervisor<T> {
             next_attempt[pending.task] = Some(pending.attempt);
         }
         for (task, queued) in next_attempt.iter().enumerate() {
+            if self.shared.cancel.is_cancelled() {
+                self.cancel_unresolved();
+                return;
+            }
             if self.resolved[task] {
                 continue;
             }
@@ -895,6 +1029,7 @@ mod tests {
             specs: specs(1),
             base_seed: 9,
             policy: SeedPolicy::Stable,
+            cancel: CancelToken::new(),
         };
         let a0 = factory.ctx(0, 0);
         let a1 = factory.ctx(0, 1);
@@ -906,6 +1041,7 @@ mod tests {
             specs: specs(1),
             base_seed: 9,
             policy: SeedPolicy::PerAttempt,
+            cancel: CancelToken::new(),
         };
         assert_ne!(per_attempt.ctx(0, 0).seed, per_attempt.ctx(0, 1).seed);
         assert_eq!(per_attempt.ctx(0, 0).seed, a0.seed);
@@ -977,6 +1113,123 @@ mod tests {
         assert_eq!(c, unit_coin(42));
         assert!((0.0..1.0).contains(&c));
         assert_ne!(c, unit_coin(43));
+    }
+
+    #[test]
+    fn pre_cancelled_run_quarantines_everything_promptly() {
+        let token = CancelToken::new();
+        token.cancel();
+        let executed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen = Arc::clone(&executed);
+        let report = run_supervised_cancellable(
+            &config(2),
+            specs(6),
+            move |ctx: &BatchCtx| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                Ok(ctx.task)
+            },
+            None,
+            token,
+        );
+        // Every batch is either resolved with a straggler result or
+        // quarantined as cancelled; none is silently lost.
+        assert_eq!(
+            report.quarantined.len() + report.results.iter().filter(|r| r.is_some()).count(),
+            6
+        );
+        assert!(report.stats.cancelled > 0);
+        for q in &report.quarantined {
+            assert!(q.error.contains("cancelled"), "{}", q.error);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_dispatch() {
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        // Task 0 cancels the run; jobs observe the token through their
+        // BatchCtx, mirroring how a serving-layer deadline fires.
+        let report = run_supervised_cancellable(
+            &config(1),
+            specs(16),
+            move |ctx: &BatchCtx| {
+                if ctx.task == 0 {
+                    trigger.cancel();
+                }
+                thread::sleep(Duration::from_millis(5));
+                Ok(ctx.task)
+            },
+            None,
+            token.clone(),
+        );
+        assert!(token.is_cancelled());
+        assert!(report.stats.cancelled > 0, "no batch was cancelled");
+        assert!(
+            report
+                .quarantined
+                .iter()
+                .all(|q| q.error.contains("cancelled")),
+            "{:?}",
+            report.quarantined
+        );
+        // Nothing is silently lost: every task resolved or quarantined.
+        assert_eq!(
+            report.quarantined.len() + report.results.iter().filter(|r| r.is_some()).count(),
+            16
+        );
+    }
+
+    #[test]
+    fn quarantine_rows_round_trip_through_parse() {
+        let record = QuarantineRecord {
+            key: "p3-XL-pf1-r2".to_owned(),
+            task: 14,
+            attempts: 3,
+            error: "worker panic: chaos, injected\nboom".to_owned(),
+        };
+        let row = record.to_row();
+        let parsed = QuarantineRecord::parse_row(&row).unwrap();
+        assert_eq!(parsed.key, record.key);
+        assert_eq!(parsed.task, record.task);
+        assert_eq!(parsed.attempts, record.attempts);
+        // The flattened error survives (commas/newlines became ';').
+        assert_eq!(parsed.error, "worker panic: chaos; injected;boom");
+        // Header, blank, and malformed rows are rejected.
+        assert_eq!(QuarantineRecord::parse_row(QUARANTINE_HEADER), None);
+        assert_eq!(QuarantineRecord::parse_row(""), None);
+        assert_eq!(QuarantineRecord::parse_row("key,notanumber,3,err"), None);
+        assert_eq!(QuarantineRecord::parse_row("bad key,1,3,err"), None);
+    }
+
+    #[test]
+    fn quarantine_csv_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("qpdo-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.csv");
+        let records = vec![
+            QuarantineRecord {
+                key: "a-r0".to_owned(),
+                task: 0,
+                attempts: 3,
+                error: "watchdog timeout: batch exceeded 50 ms".to_owned(),
+            },
+            QuarantineRecord {
+                key: "b-r1".to_owned(),
+                task: 5,
+                attempts: 2,
+                error: "worker panic: chaos".to_owned(),
+            },
+        ];
+        let mut text = format!("{QUARANTINE_HEADER}\n");
+        for r in &records {
+            text.push_str(&r.to_row());
+            text.push('\n');
+        }
+        std::fs::write(&path, text).unwrap();
+        let loaded = read_quarantine_csv(&path).unwrap();
+        assert_eq!(loaded, records);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

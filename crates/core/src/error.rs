@@ -125,6 +125,24 @@ pub enum ShotError {
         /// Human-readable description of the first disagreement.
         detail: String,
     },
+    /// The serving layer refused admission: its bounded queue is full
+    /// and the job was shed instead of buffered without bound.
+    Overloaded {
+        /// The admission-queue depth that was already in use.
+        queue_depth: usize,
+    },
+    /// The job was cancelled cooperatively — its deadline passed, a
+    /// client withdrew it, or the service is draining for shutdown.
+    Cancelled {
+        /// Why the job was cancelled.
+        reason: String,
+    },
+    /// Every eligible backend's circuit breaker is open: the job cannot
+    /// be routed anywhere until a half-open probe restores a backend.
+    BreakerOpen {
+        /// The backends that were tried, comma-separated.
+        backends: String,
+    },
 }
 
 impl From<CoreError> for ShotError {
@@ -144,6 +162,16 @@ impl fmt::Display for ShotError {
             ShotError::PoolFailure(msg) => write!(f, "worker pool failure: {msg}"),
             ShotError::Divergence { detail } => {
                 write!(f, "cross-backend divergence: {detail}")
+            }
+            ShotError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "overloaded: admission queue full ({queue_depth} jobs queued)"
+                )
+            }
+            ShotError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
+            ShotError::BreakerOpen { backends } => {
+                write!(f, "circuit breaker open for every backend ({backends})")
             }
         }
     }
@@ -220,5 +248,24 @@ mod tests {
             detail: "window 3".to_owned(),
         };
         assert!(e.to_string().contains("window 3"));
+    }
+
+    #[test]
+    fn serving_error_messages() {
+        let e = ShotError::Overloaded { queue_depth: 256 };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("overloaded"));
+
+        let e = ShotError::Cancelled {
+            reason: "deadline passed".to_owned(),
+        };
+        assert!(e.to_string().contains("deadline passed"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = ShotError::BreakerOpen {
+            backends: "packed,reference".to_owned(),
+        };
+        assert!(e.to_string().contains("packed,reference"));
+        assert!(e.to_string().contains("breaker"));
     }
 }

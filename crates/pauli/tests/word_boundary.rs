@@ -1,0 +1,311 @@
+//! Word-boundary equivalence for the packed [`PauliFrame`]: the
+//! bit-plane implementation must agree with the scalar
+//! [`PauliRecord`] conjugation tables at exactly the sizes where the
+//! packing is delicate — one bit short of a word (n = 63), exactly one
+//! word (n = 64), and one bit into the second word (n = 65).
+//!
+//! The reference engine is a plain `Vec<PauliRecord>` driven through
+//! the per-record table ops, i.e. the Section 3.2/3.3 semantics with no
+//! packing at all.
+
+use qpdo_pauli::{Pauli, PauliFrame, PauliRecord};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, RngCore, SeedableRng};
+
+/// The unpacked reference: one [`PauliRecord`] per qubit, every op a
+/// scalar table lookup.
+struct RefEngine {
+    records: Vec<PauliRecord>,
+}
+
+impl RefEngine {
+    fn new(n: usize) -> Self {
+        RefEngine {
+            records: vec![PauliRecord::I; n],
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Pauli(q, p) => self.records[q] = self.records[q].apply_pauli(p),
+            Op::H(q) => self.records[q] = self.records[q].conjugate_h(),
+            Op::S(q) => self.records[q] = self.records[q].conjugate_s(),
+            Op::Cnot(c, t) => {
+                let (rc, rt) = PauliRecord::conjugate_cnot(self.records[c], self.records[t]);
+                self.records[c] = rc;
+                self.records[t] = rt;
+            }
+            Op::Cz(a, b) => {
+                let (ra, rb) = PauliRecord::conjugate_cz(self.records[a], self.records[b]);
+                self.records[a] = ra;
+                self.records[b] = rb;
+            }
+            Op::Swap(a, b) => {
+                let (ra, rb) = PauliRecord::conjugate_swap(self.records[a], self.records[b]);
+                self.records[a] = ra;
+                self.records[b] = rb;
+            }
+        }
+    }
+
+    /// The group product with another record layer (phases dropped),
+    /// qubit by qubit.
+    fn merge(&mut self, other: &RefEngine) {
+        for (mine, theirs) in self.records.iter_mut().zip(&other.records) {
+            let (x0, z0) = mine.bits();
+            let (x1, z1) = theirs.bits();
+            *mine = PauliRecord::from_bits(x0 ^ x1, z0 ^ z1);
+        }
+    }
+
+    /// Merges a whole Pauli layer given as bit-planes, qubit by qubit.
+    fn apply_pauli_planes(&mut self, xs: &[u64], zs: &[u64]) {
+        for (q, record) in self.records.iter_mut().enumerate() {
+            let (w, b) = (q / 64, q % 64);
+            let x = xs[w] >> b & 1 != 0;
+            let z = zs[w] >> b & 1 != 0;
+            let p = Pauli::from_bits(x, z);
+            *record = record.apply_pauli(p);
+        }
+    }
+
+    fn flush_all(&mut self) -> Vec<(usize, Pauli)> {
+        let mut out = Vec::new();
+        for (q, record) in self.records.iter_mut().enumerate() {
+            for gate in record.flush_gates() {
+                out.push((q, gate));
+            }
+            *record = PauliRecord::I;
+        }
+        out
+    }
+
+    fn tracked_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| **r != PauliRecord::I)
+            .count()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Pauli(usize, Pauli),
+    H(usize),
+    S(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+}
+
+fn random_op(n: usize, rng: &mut StdRng) -> Op {
+    let q = rng.gen_range(0..n);
+    let other = || {
+        // A distinct partner, biased toward the word seam so two-qubit
+        // gates regularly straddle it.
+        let candidates = [0, 62 % n, 63 % n, 64 % n, n - 1];
+        candidates[q % candidates.len()]
+    };
+    match rng.gen_range(0..6) {
+        0 => Op::Pauli(q, [Pauli::X, Pauli::Y, Pauli::Z][rng.gen_range(0..3)]),
+        1 => Op::H(q),
+        2 => Op::S(q),
+        3 => {
+            let t = other();
+            if t == q {
+                Op::H(q)
+            } else {
+                Op::Cnot(q, t)
+            }
+        }
+        4 => {
+            let b = other();
+            if b == q {
+                Op::S(q)
+            } else {
+                Op::Cz(q, b)
+            }
+        }
+        _ => {
+            let b = other();
+            if b == q {
+                Op::Pauli(q, Pauli::Y)
+            } else {
+                Op::Swap(q, b)
+            }
+        }
+    }
+}
+
+fn apply_packed(frame: &mut PauliFrame, op: &Op) {
+    match *op {
+        Op::Pauli(q, p) => frame.apply_pauli(q, p),
+        Op::H(q) => frame.apply_h(q),
+        Op::S(q) => frame.apply_s(q),
+        Op::Cnot(c, t) => frame.apply_cnot(c, t),
+        Op::Cz(a, b) => frame.apply_cz(a, b),
+        Op::Swap(a, b) => frame.apply_swap(a, b),
+    }
+}
+
+fn assert_frames_agree(packed: &PauliFrame, reference: &RefEngine, context: &str) {
+    for (q, expected) in reference.records.iter().enumerate() {
+        assert_eq!(
+            packed.record(q),
+            *expected,
+            "{context}: record mismatch at qubit {q}"
+        );
+    }
+    assert_eq!(
+        packed.tracked_count(),
+        reference.tracked_count(),
+        "{context}: tracked_count mismatch"
+    );
+}
+
+/// The sizes under test: a bit below, at, and above the 64-bit word.
+const BOUNDARY_SIZES: [usize; 3] = [63, 64, 65];
+
+#[test]
+fn random_gate_streams_match_the_reference_engine() {
+    for n in BOUNDARY_SIZES {
+        let mut rng = StdRng::seed_from_u64(0xB0DA + n as u64);
+        let mut packed = PauliFrame::new(n);
+        let mut reference = RefEngine::new(n);
+        for step in 0..2000 {
+            let op = random_op(n, &mut rng);
+            apply_packed(&mut packed, &op);
+            reference.apply(&op);
+            if step % 100 == 0 {
+                assert_frames_agree(&packed, &reference, &format!("n={n} step={step} {op:?}"));
+            }
+        }
+        assert_frames_agree(&packed, &reference, &format!("n={n} final"));
+
+        // Flushing must produce the identical (qubit, gate) sequence and
+        // leave both engines clean.
+        assert_eq!(
+            packed.flush_all(),
+            reference.flush_all(),
+            "n={n}: flush_all order or content differs"
+        );
+        assert_eq!(packed.tracked_count(), 0, "n={n}: flush left residue");
+    }
+}
+
+#[test]
+fn merge_matches_per_qubit_group_product() {
+    for n in BOUNDARY_SIZES {
+        let mut rng = StdRng::seed_from_u64(0x3E46E + n as u64);
+        let mut packed_a = PauliFrame::new(n);
+        let mut packed_b = PauliFrame::new(n);
+        let mut ref_a = RefEngine::new(n);
+        let mut ref_b = RefEngine::new(n);
+        for _ in 0..300 {
+            let op = random_op(n, &mut rng);
+            apply_packed(&mut packed_a, &op);
+            ref_a.apply(&op);
+            let op = random_op(n, &mut rng);
+            apply_packed(&mut packed_b, &op);
+            ref_b.apply(&op);
+        }
+        packed_a.merge(&packed_b);
+        ref_a.merge(&ref_b);
+        assert_frames_agree(&packed_a, &ref_a, &format!("n={n} after merge"));
+
+        // Merging a frame into itself (via a clone) cancels every record.
+        let copy = packed_a.clone();
+        packed_a.merge(&copy);
+        assert_eq!(packed_a.tracked_count(), 0, "n={n}: self-merge residue");
+    }
+}
+
+#[test]
+fn plane_ops_match_per_qubit_application_at_boundaries() {
+    for n in BOUNDARY_SIZES {
+        let mut rng = StdRng::seed_from_u64(0x91A5E + n as u64);
+        let words = n.div_ceil(64);
+        let mut packed = PauliFrame::new(n);
+        let mut reference = RefEngine::new(n);
+        for round in 0..50 {
+            let xs: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            let zs: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            // Operand planes deliberately carry stray bits above n: the
+            // packed op must treat them as inert, and the reference model
+            // never reads them (it indexes per qubit).
+            packed.apply_pauli_planes(&xs, &zs);
+            reference.apply_pauli_planes(&xs, &zs);
+            assert_frames_agree(&packed, &reference, &format!("n={n} round={round}"));
+            // The planes the frame exposes obey the zero-padding
+            // invariant even though the operands had stray bits.
+            if n % 64 != 0 {
+                let mask = !((1u64 << (n % 64)) - 1);
+                assert_eq!(
+                    packed.x_plane()[words - 1] & mask,
+                    0,
+                    "n={n}: stray x bits above the register survived"
+                );
+                assert_eq!(
+                    packed.z_plane()[words - 1] & mask,
+                    0,
+                    "n={n}: stray z bits above the register survived"
+                );
+            }
+            // Scramble some more before the next round.
+            for _ in 0..20 {
+                let op = random_op(n, &mut rng);
+                apply_packed(&mut packed, &op);
+                reference.apply(&op);
+            }
+        }
+    }
+}
+
+#[test]
+fn seam_straddling_two_qubit_gates() {
+    // Deterministic spot checks on the exact seam pair (63, 64) for
+    // n = 65: x propagation, z propagation, and record exchange must
+    // cross the word boundary intact.
+    let mut frame = PauliFrame::new(65);
+    frame.apply_pauli(63, Pauli::X);
+    frame.apply_cnot(63, 64);
+    assert_eq!(frame.record(64), PauliRecord::X, "CNOT x across the seam");
+
+    let mut frame = PauliFrame::new(65);
+    frame.apply_pauli(64, Pauli::Z);
+    frame.apply_cnot(63, 64);
+    assert_eq!(frame.record(63), PauliRecord::Z, "CNOT z across the seam");
+
+    let mut frame = PauliFrame::new(65);
+    frame.apply_pauli(63, Pauli::X);
+    frame.apply_cz(63, 64);
+    assert_eq!(frame.record(64), PauliRecord::Z, "CZ across the seam");
+
+    let mut frame = PauliFrame::new(65);
+    frame.apply_pauli(63, Pauli::Y);
+    frame.apply_swap(63, 64);
+    assert_eq!(frame.record(63), PauliRecord::I, "SWAP clears the source");
+    assert_eq!(
+        frame.record(64),
+        PauliRecord::XZ,
+        "SWAP moves across the seam"
+    );
+
+    // Growth across the boundary: a 63-qubit frame grown by 2 must
+    // behave like a fresh 65-qubit frame with the old records intact.
+    let mut grown = PauliFrame::new(63);
+    grown.apply_pauli(62, Pauli::Y);
+    grown.grow(2);
+    assert_eq!(grown.len(), 65);
+    assert_eq!(grown.record(62), PauliRecord::XZ);
+    assert_eq!(grown.record(63), PauliRecord::I);
+    assert_eq!(grown.record(64), PauliRecord::I);
+    grown.apply_cnot(62, 64);
+    assert_eq!(grown.record(64), PauliRecord::X);
+
+    // Shrink back below the seam: the dropped records must not leak
+    // into equality with a fresh frame.
+    grown.shrink(2);
+    grown.reset(62);
+    assert_eq!(grown, PauliFrame::new(63));
+}

@@ -1,0 +1,183 @@
+//! The shot-service daemon binary (`DESIGN.md` §9).
+//!
+//! Binds a TCP listener, prints `listening on <addr>` and `ready`, and
+//! serves framed protocol requests until a client sends `drain`. The
+//! write-ahead journal in `--wal-dir` makes accepted jobs survive
+//! `kill -9`: restart the daemon on the same journal directory and
+//! every accepted-but-incomplete job re-executes deterministically.
+//!
+//! Serve-specific flags are parsed here; everything else is the shared
+//! harness vocabulary (`--jobs`, `--watchdog-ms`, `--seed`,
+//! `--queue-depth`, `--deadline-ms`).
+//!
+//! ```text
+//! qpdo_serve --wal-dir results/wal [--port N] [shared harness flags]
+//!     [--max-job-attempts N] [--breaker-threshold N]
+//!     [--breaker-cooloff-ms N]
+//!     [--chaos-backend-fail BACKEND:N] [--chaos-stall-ms N]
+//! ```
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use qpdo_bench::{HarnessArgs, ParseError, MAX_MS_FLAG, USAGE};
+use qpdo_serve::daemon::{serve, DaemonConfig};
+use qpdo_serve::job::Backend;
+
+const SERVE_USAGE: &str = "\
+usage: qpdo_serve --wal-dir DIR [options]
+  --wal-dir DIR             write-ahead journal directory (required)
+  --port N                  TCP port to bind on 127.0.0.1 (default 0 = ephemeral)
+  --max-job-attempts N      attempts across backends before terminal failure (default 5)
+  --breaker-threshold N     consecutive failures that trip a backend breaker (default 3)
+  --breaker-cooloff-ms N    breaker cooloff before the half-open probe (default 500)
+  --chaos-backend-fail B:N  fault injection: first N executions on backend B fail
+  --chaos-stall-ms N        fault injection: stall every execution N ms
+plus the shared harness flags:
+";
+
+fn usage_exit(code: i32) -> ! {
+    eprint!("{SERVE_USAGE}");
+    eprint!("{USAGE}");
+    exit(code);
+}
+
+fn flag_value(args: &mut Vec<String>, i: usize, flag: &str) -> String {
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} requires a value");
+        usage_exit(2);
+    }
+    args.remove(i); // the flag
+    args.remove(i) // its value
+}
+
+fn parse_ms(flag: &str, value: &str, allow_zero: bool) -> u64 {
+    match value.parse::<u64>() {
+        Ok(0) if !allow_zero => {
+            eprintln!("error: {flag} must be positive");
+            usage_exit(2);
+        }
+        Ok(n) if n <= MAX_MS_FLAG => n,
+        Ok(n) => {
+            eprintln!("error: {flag} {n} exceeds the {MAX_MS_FLAG} ms cap");
+            usage_exit(2);
+        }
+        Err(_) => {
+            eprintln!("error: {flag} expects an integer, got {value:?}");
+            usage_exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut port: u16 = 0;
+    let mut config = DaemonConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--wal-dir" => wal_dir = Some(PathBuf::from(flag_value(&mut args, i, "--wal-dir"))),
+            "--port" => {
+                let v = flag_value(&mut args, i, "--port");
+                port = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --port expects a port number, got {v:?}");
+                    usage_exit(2);
+                });
+            }
+            "--max-job-attempts" => {
+                let v = flag_value(&mut args, i, "--max-job-attempts");
+                config.max_job_attempts =
+                    parse_ms("--max-job-attempts", &v, false).min(u64::from(u32::MAX)) as u32;
+            }
+            "--breaker-threshold" => {
+                let v = flag_value(&mut args, i, "--breaker-threshold");
+                config.breaker_threshold =
+                    parse_ms("--breaker-threshold", &v, false).min(u64::from(u32::MAX)) as u32;
+            }
+            "--breaker-cooloff-ms" => {
+                let v = flag_value(&mut args, i, "--breaker-cooloff-ms");
+                config.breaker_cooloff =
+                    Duration::from_millis(parse_ms("--breaker-cooloff-ms", &v, false));
+            }
+            "--chaos-backend-fail" => {
+                let v = flag_value(&mut args, i, "--chaos-backend-fail");
+                let Some((backend, count)) = v.split_once(':') else {
+                    eprintln!("error: --chaos-backend-fail expects BACKEND:N, got {v:?}");
+                    usage_exit(2);
+                };
+                let Some(backend) = Backend::parse(backend) else {
+                    eprintln!("error: unknown backend {backend:?} in --chaos-backend-fail");
+                    usage_exit(2);
+                };
+                let count = count.parse::<u32>().unwrap_or_else(|_| {
+                    eprintln!(
+                        "error: --chaos-backend-fail count must be an integer, got {count:?}"
+                    );
+                    usage_exit(2);
+                });
+                config.chaos_backend_fail = Some((backend, count));
+            }
+            "--chaos-stall-ms" => {
+                let v = flag_value(&mut args, i, "--chaos-stall-ms");
+                config.chaos_stall = Duration::from_millis(parse_ms("--chaos-stall-ms", &v, true));
+            }
+            _ => i += 1,
+        }
+    }
+
+    let harness = match HarnessArgs::try_parse_from(args) {
+        Ok(harness) => harness,
+        Err(ParseError::Help) => usage_exit(0),
+        Err(ParseError::Invalid(message)) => {
+            eprintln!("error: {message}");
+            usage_exit(2);
+        }
+    };
+    let Some(wal_dir) = wal_dir else {
+        eprintln!("error: --wal-dir is required");
+        usage_exit(2);
+    };
+    config.jobs = harness.jobs;
+    config.watchdog_ms = harness.watchdog_ms;
+    config.base_seed = harness.seed;
+    config.queue_depth = harness.queue_depth;
+    config.default_deadline_ms = harness.deadline_ms;
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+            exit(1);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    // The chaos harness scrapes these two lines; keep them stable.
+    println!("listening on {addr}");
+    println!("ready");
+    std::io::stdout().flush().expect("stdout flush");
+
+    match serve(listener, &wal_dir, config) {
+        Ok(stats) => {
+            println!(
+                "drained: accepted={} completed={} failed={} shed={} duplicates={} reroutes={}",
+                stats.accepted,
+                stats.completed,
+                stats.failed,
+                stats.shed,
+                stats.duplicates,
+                stats.reroutes
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Chaos drill for the shot service (`DESIGN.md` §9.5): spawns the
+//! `qpdo_serve` daemon, hammers it with jobs while killing and
+//! restarting it, and asserts the exactly-once contract — every
+//! accepted job completes exactly once after recovery, byte-identical
+//! to an unfaulted in-process execution of the same seed.
+//!
+//! Drills:
+//!
+//! 1. **Crash** — SIGKILL mid-load, restart on the same journal,
+//!    resubmit everything (must all deduplicate), results golden, the
+//!    journal audit clean.
+//! 2. **Breaker** — injected packed-backend failures trip the breaker;
+//!    jobs reroute to the reference backend with identical results; the
+//!    half-open probe restores the backend to closed.
+//! 3. **Overload** — a depth-2 queue sheds a burst with `overloaded`
+//!    rejections while every accepted job still completes.
+//! 4. **Deadline** — a stalled execution blows a 100 ms job deadline
+//!    and fails terminally with `deadline exceeded`.
+//!
+//! `--smoke` runs a reduced configuration; `--seed N` changes the
+//! deterministic workload. Exits non-zero on the first violated
+//! invariant.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qpdo_bench::supervisor::CancelToken;
+use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
+use qpdo_serve::protocol::{Client, JobState, Request, Response};
+use qpdo_serve::wal::{recover, JobOutcome};
+use qpdo_surface17::experiment::LogicalErrorKind;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(20);
+const TERMINAL_TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns `qpdo_serve` (sibling binary in the same target dir) and
+    /// waits for its `listening on <addr>` / `ready` banner.
+    fn spawn(wal_dir: &Path, seed: u64, extra: &[&str]) -> Daemon {
+        let daemon_path = std::env::current_exe()
+            .expect("own path")
+            .parent()
+            .expect("binary dir")
+            .join("qpdo_serve");
+        let mut child = Command::new(&daemon_path)
+            .arg("--wal-dir")
+            .arg(wal_dir)
+            .args(["--port", "0", "--seed", &seed.to_string()])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", daemon_path.display()));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut addr = None;
+        for line in &mut lines {
+            let line = line.expect("daemon stdout");
+            if let Some(rest) = line.strip_prefix("listening on ") {
+                addr = Some(rest.parse().expect("daemon printed a socket address"));
+            }
+            if line == "ready" {
+                break;
+            }
+        }
+        // Keep draining stdout so the daemon never blocks on the pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon {
+            child,
+            addr: addr.expect("daemon printed its listening address"),
+        }
+    }
+
+    fn client(&self) -> Client {
+        let deadline = Instant::now() + CLIENT_TIMEOUT;
+        loop {
+            match Client::connect(self.addr, Some(CLIENT_TIMEOUT)) {
+                Ok(client) => return client,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("cannot connect to daemon at {}: {e}", self.addr),
+            }
+        }
+    }
+
+    fn kill(&mut self) {
+        self.child.kill().expect("SIGKILL the daemon");
+        self.child.wait().expect("reap the killed daemon");
+    }
+
+    /// Drains the daemon and waits for a clean exit.
+    fn drain(mut self) {
+        let response = self.client().call(&Request::Drain).expect("drain call");
+        assert_eq!(response, Response::Drained, "drain must report drained");
+        let deadline = Instant::now() + CLIENT_TIMEOUT;
+        loop {
+            match self.child.try_wait().expect("poll daemon exit") {
+                Some(status) => {
+                    assert!(status.success(), "drained daemon exited with {status}");
+                    return;
+                }
+                None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+                None => {
+                    self.kill();
+                    panic!("daemon did not exit after drain");
+                }
+            }
+        }
+    }
+}
+
+fn submit(client: &mut Client, spec: &JobSpec) -> Response {
+    client
+        .call(&Request::Submit(spec.clone()))
+        .expect("submit call")
+}
+
+/// Polls a job until it reaches a terminal state, reconnecting as
+/// needed (the daemon may be between lives during the crash drill).
+fn wait_terminal(daemon: &Daemon, id: &str) -> JobState {
+    let deadline = Instant::now() + TERMINAL_TIMEOUT;
+    let mut client = daemon.client();
+    loop {
+        match client.call(&Request::Query(id.to_owned())) {
+            Ok(Response::State(_, state @ (JobState::Done(_) | JobState::Failed(_)))) => {
+                return state;
+            }
+            Ok(Response::State(..)) => {}
+            Ok(other) => panic!("query {id} answered {other:?}"),
+            Err(_) => client = daemon.client(),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} not terminal within {TERMINAL_TIMEOUT:?}"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// The unfaulted ground truth: the job executed in-process on its
+/// preferred backend with the deterministic daemon seed.
+fn golden(base_seed: u64, spec: &JobSpec) -> String {
+    let backend = spec.kind.backend_preference()[0];
+    execute(
+        &spec.kind,
+        backend,
+        job_seed(base_seed, &spec.id),
+        &CancelToken::new(),
+    )
+    .unwrap_or_else(|e| panic!("golden execution of {} failed: {e}", spec.id))
+}
+
+fn job(id: &str, kind: JobKind) -> JobSpec {
+    JobSpec {
+        id: id.to_owned(),
+        deadline_ms: None,
+        kind,
+    }
+}
+
+fn workload(wave: usize, count: usize) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| match i % 3 {
+            0 => job(&format!("bell-{wave}-{i}"), JobKind::Bell { shots: 12 }),
+            1 => job(
+                &format!("rc-{wave}-{i}"),
+                JobKind::RandomCircuit {
+                    qubits: 4,
+                    gates: 30,
+                },
+            ),
+            _ => job(
+                &format!("ler-{wave}-{i}"),
+                JobKind::Ler {
+                    per: 0.006,
+                    kind: LogicalErrorKind::XL,
+                    with_pf: true,
+                    target: 2,
+                    max_windows: 300,
+                },
+            ),
+        })
+        .collect()
+}
+
+fn fresh_dir(root: &Path, name: &str) -> PathBuf {
+    let dir = root.join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear old drill directory");
+    }
+    dir
+}
+
+/// Drill 1: SIGKILL mid-load, restart, exactly-once recovery. Each
+/// kill round submits a fresh wave of jobs first so the daemon always
+/// dies with work in flight, not idle.
+fn crash_drill(root: &Path, seed: u64, kills: usize, wave_size: usize) {
+    println!("== crash drill: {kills} kill(s), {wave_size}-job wave per kill ==");
+    let wal_dir = fresh_dir(root, "crash-wal");
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut interrupted = 0;
+
+    let mut daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "2", "--chaos-stall-ms", "150"]);
+    for round in 0..kills {
+        let wave = workload(round, wave_size);
+        let mut client = daemon.client();
+        for spec in &wave {
+            assert_eq!(
+                submit(&mut client, spec),
+                Response::Accepted(spec.id.clone()),
+                "submission of {} must be accepted",
+                spec.id
+            );
+        }
+        specs.extend(wave);
+        // Let a couple of completions land, then yank the power cord
+        // with most of the wave still queued or on the workers.
+        std::thread::sleep(Duration::from_millis(120));
+        daemon.kill();
+
+        // Offline audit of the torn journal: consistent, every
+        // accepted job present, and (usually) some still pending.
+        let recovery = recover(&wal_dir).expect("torn journal still readable");
+        assert!(
+            recovery.is_consistent(),
+            "torn journal audit: duplicates {:?}, orphans {:?}",
+            recovery.duplicate_terminals,
+            recovery.orphaned
+        );
+        assert_eq!(recovery.jobs.len(), specs.len(), "accepted jobs survive");
+        interrupted += recovery.pending().len();
+        println!(
+            "   kill {}: {} of {} jobs caught unfinished",
+            round + 1,
+            recovery.pending().len(),
+            specs.len()
+        );
+
+        let stall = if round + 1 == kills { "0" } else { "150" };
+        daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "2", "--chaos-stall-ms", stall]);
+        let mut client = daemon.client();
+        for spec in &specs {
+            // WAL-before-ack: every accepted job survived the crash.
+            assert_eq!(
+                submit(&mut client, spec),
+                Response::Duplicate(spec.id.clone()),
+                "{} was acked before the kill, so resubmission must deduplicate",
+                spec.id
+            );
+        }
+    }
+    assert!(
+        interrupted >= 1,
+        "no kill ever interrupted a job: the drill timing is broken"
+    );
+
+    for spec in &specs {
+        match wait_terminal(&daemon, &spec.id) {
+            JobState::Done(record) => assert_eq!(
+                record,
+                golden(seed, spec),
+                "{} must match the unfaulted execution byte-for-byte",
+                spec.id
+            ),
+            JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+            _ => unreachable!(),
+        }
+    }
+    daemon.drain();
+
+    // Offline journal audit: exactly one terminal record per job.
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert_eq!(recovery.jobs.len(), specs.len(), "journal job count");
+    assert!(recovery.pending().is_empty(), "no job may stay pending");
+    for spec in &specs {
+        let recovered = recovery
+            .jobs
+            .iter()
+            .find(|j| j.spec.id == spec.id)
+            .unwrap_or_else(|| panic!("{} missing from journal", spec.id));
+        match &recovered.outcome {
+            Some(JobOutcome::Done(record)) => assert_eq!(record, &golden(seed, spec)),
+            other => panic!("{} journaled as {other:?}", spec.id),
+        }
+    }
+    println!("   exactly-once verified for all {} jobs", specs.len());
+}
+
+/// Drill 2: breaker trips on injected failures, reroutes, and recovers
+/// through the half-open probe.
+fn breaker_drill(root: &Path, seed: u64, jobs: usize) {
+    println!("== breaker drill: {jobs} jobs across an injected packed outage ==");
+    let wal_dir = fresh_dir(root, "breaker-wal");
+    let daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "1",
+            "--chaos-backend-fail",
+            "packed:3",
+            "--breaker-threshold",
+            "2",
+            "--breaker-cooloff-ms",
+            "150",
+        ],
+    );
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| job(&format!("brk-{i}"), JobKind::Bell { shots: 8 }))
+        .collect();
+    {
+        let mut client = daemon.client();
+        for spec in &specs {
+            assert_eq!(
+                submit(&mut client, spec),
+                Response::Accepted(spec.id.clone())
+            );
+        }
+    }
+    for spec in &specs {
+        match wait_terminal(&daemon, &spec.id) {
+            JobState::Done(record) => assert_eq!(
+                record,
+                golden(seed, spec),
+                "{} rerouted result must still be golden",
+                spec.id
+            ),
+            JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+            _ => unreachable!(),
+        }
+    }
+
+    let mut client = daemon.client();
+    let Response::Health(health) = client.call(&Request::Health).expect("health call") else {
+        panic!("health request must answer with a snapshot");
+    };
+    assert!(health.breaker_trips >= 1, "the packed breaker must trip");
+    assert!(health.reroutes >= 1, "jobs must reroute around the outage");
+    println!(
+        "   trips={} reroutes={}",
+        health.breaker_trips, health.reroutes
+    );
+
+    // The injected budget is exhausted; keep probing with fresh jobs
+    // until the half-open probe restores every breaker to closed.
+    let deadline = Instant::now() + TERMINAL_TIMEOUT;
+    let mut probe = 0;
+    loop {
+        let spec = job(&format!("probe-{probe}"), JobKind::Bell { shots: 2 });
+        probe += 1;
+        assert_eq!(
+            submit(&mut client, &spec),
+            Response::Accepted(spec.id.clone())
+        );
+        let _ = wait_terminal(&daemon, &spec.id);
+        let Response::Health(health) = client.call(&Request::Health).expect("health call") else {
+            panic!("health request must answer with a snapshot");
+        };
+        if health.breakers.iter().all(|b| b.name() == "closed") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "breakers never returned to closed: {:?}",
+            health.breakers
+        );
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    println!("   half-open probe restored all breakers to closed");
+    daemon.drain();
+}
+
+/// Drill 3: a tiny queue sheds a burst; accepted jobs still finish.
+fn overload_drill(root: &Path, seed: u64, burst: usize) {
+    println!("== overload drill: burst of {burst} into a depth-2 queue ==");
+    let wal_dir = fresh_dir(root, "overload-wal");
+    let daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "1",
+            "--queue-depth",
+            "2",
+            "--chaos-stall-ms",
+            "250",
+        ],
+    );
+    let mut accepted = Vec::new();
+    let mut shed = 0;
+    {
+        let mut client = daemon.client();
+        for i in 0..burst {
+            let spec = job(&format!("burst-{i}"), JobKind::Bell { shots: 2 });
+            match submit(&mut client, &spec) {
+                Response::Accepted(_) => accepted.push(spec),
+                Response::Rejected(reason) => {
+                    assert!(
+                        reason.contains("overloaded"),
+                        "shed rejection must say overloaded, said {reason:?}"
+                    );
+                    shed += 1;
+                }
+                other => panic!("burst submit answered {other:?}"),
+            }
+        }
+    }
+    assert!(
+        shed >= 1,
+        "a depth-2 queue must shed part of a {burst} burst"
+    );
+    assert!(!accepted.is_empty(), "some of the burst must be admitted");
+    for spec in &accepted {
+        match wait_terminal(&daemon, &spec.id) {
+            JobState::Done(record) => assert_eq!(record, golden(seed, spec)),
+            JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+            _ => unreachable!(),
+        }
+    }
+    println!(
+        "   {} accepted, {shed} shed, all accepted completed",
+        accepted.len()
+    );
+    daemon.drain();
+}
+
+/// Drill 4: a stalled execution blows the job deadline.
+fn deadline_drill(root: &Path, seed: u64) {
+    println!("== deadline drill: 100 ms deadline against a 400 ms stall ==");
+    let wal_dir = fresh_dir(root, "deadline-wal");
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1", "--chaos-stall-ms", "400"]);
+    let spec = JobSpec {
+        id: "late-1".to_owned(),
+        deadline_ms: Some(100),
+        kind: JobKind::Bell { shots: 2 },
+    };
+    let mut client = daemon.client();
+    assert_eq!(
+        submit(&mut client, &spec),
+        Response::Accepted(spec.id.clone())
+    );
+    match wait_terminal(&daemon, &spec.id) {
+        JobState::Failed(error) => assert!(
+            error.contains("deadline"),
+            "late job must fail on its deadline, failed with {error:?}"
+        ),
+        JobState::Done(record) => panic!("late job completed ({record}) despite its deadline"),
+        _ => unreachable!(),
+    }
+    println!("   deadline enforced");
+    daemon.drain();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seed = 2016u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed expects an integer");
+            }
+            other => panic!("unknown flag {other:?} (serve_chaos takes --smoke and --seed N)"),
+        }
+        i += 1;
+    }
+
+    let root = std::env::temp_dir().join(format!("serve-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("create drill root");
+    println!("serve_chaos: drill directory {}", root.display());
+
+    let (kills, wave, burst) = if smoke { (1, 6, 8) } else { (3, 4, 12) };
+    crash_drill(&root, seed, kills, wave);
+    breaker_drill(&root, seed, if smoke { 4 } else { 6 });
+    overload_drill(&root, seed, burst);
+    deadline_drill(&root, seed);
+
+    std::fs::remove_dir_all(&root).expect("clean drill root");
+    println!("serve_chaos: all drills passed");
+}

@@ -1,0 +1,643 @@
+//! The shot-service daemon (`DESIGN.md` §9).
+//!
+//! Threading model: the caller's thread runs the TCP accept loop; each
+//! connection gets a handler thread speaking the framed protocol; one
+//! dispatcher thread drains the admission queue in rounds, executing
+//! each round on the supervised worker pool
+//! ([`qpdo_bench::supervisor`]) with panic isolation and per-batch
+//! watchdogs. All state lives in one mutex-protected [`ServiceState`]
+//! signalled by a condvar; the journal has its own lock and is always
+//! written (and fsync'd) *before* the state change it records becomes
+//! observable — WAL-before-ack for admissions, WAL-before-result for
+//! completions.
+//!
+//! Routing: each job kind declares a backend preference order; the
+//! dispatcher picks the first backend whose circuit breaker admits the
+//! request, counting a reroute when that is not the first preference.
+//! A failed attempt feeds the breaker and requeues the job (bounded
+//! attempts); an expired deadline cancels the round cooperatively
+//! through the supervisor's [`CancelToken`] and fails the job
+//! terminally.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qpdo_bench::supervisor::{
+    run_supervised_cancellable, BatchCtx, BatchSpec, CancelToken, SeedPolicy, SupervisorConfig,
+};
+use qpdo_core::ShotError;
+
+use crate::breaker::CircuitBreaker;
+use crate::job::{execute, Backend, JobKind, JobSpec};
+use crate::protocol::{recv_line, send_line, HealthSnapshot, JobState, Request, Response};
+use crate::wal::{JobOutcome, WalRecord, WriteAheadLog};
+
+/// Daemon tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads in the supervised pool.
+    pub jobs: usize,
+    /// Per-batch watchdog deadline in milliseconds.
+    pub watchdog_ms: u64,
+    /// Base RNG seed; job seeds derive from it and the job id.
+    pub base_seed: u64,
+    /// Bounded admission-queue depth; submissions beyond it are shed.
+    pub queue_depth: usize,
+    /// Default per-job deadline applied when a submission carries none.
+    pub default_deadline_ms: Option<u64>,
+    /// Daemon-level attempts (across backends) before a job fails
+    /// terminally.
+    pub max_job_attempts: u32,
+    /// Consecutive failures that trip a backend's breaker.
+    pub breaker_threshold: u32,
+    /// Breaker cooloff before the half-open probe.
+    pub breaker_cooloff: Duration,
+    /// Journal segment size bound before rotation.
+    pub max_segment_bytes: u64,
+    /// Fault injection: the first `n` executions on this backend fail.
+    pub chaos_backend_fail: Option<(Backend, u32)>,
+    /// Fault injection: every execution stalls this long first (widens
+    /// the kill window for crash drills).
+    pub chaos_stall: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            jobs: 2,
+            watchdog_ms: 30_000,
+            base_seed: 2016,
+            queue_depth: 256,
+            default_deadline_ms: None,
+            max_job_attempts: 5,
+            breaker_threshold: 3,
+            breaker_cooloff: Duration::from_millis(500),
+            max_segment_bytes: WriteAheadLog::DEFAULT_MAX_SEGMENT_BYTES,
+            chaos_backend_fail: None,
+            chaos_stall: Duration::ZERO,
+        }
+    }
+}
+
+/// Counters reported through `health` and returned by [`serve`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs accepted (including journal-recovered ones).
+    pub accepted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs terminally failed.
+    pub failed: u64,
+    /// Submissions shed by admission control.
+    pub shed: u64,
+    /// Submissions absorbed as duplicates.
+    pub duplicates: u64,
+    /// Jobs routed to a non-preferred backend.
+    pub reroutes: u64,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    attempts: u32,
+    accepted_at: Instant,
+}
+
+impl JobEntry {
+    fn deadline(&self) -> Option<Instant> {
+        self.spec
+            .deadline_ms
+            .map(|ms| self.accepted_at + Duration::from_millis(ms))
+    }
+}
+
+struct ServiceState {
+    jobs: HashMap<String, JobEntry>,
+    queue: VecDeque<String>,
+    running: usize,
+    draining: bool,
+    shutdown: bool,
+    stats: ServeStats,
+    breakers: [CircuitBreaker; 3],
+    chaos_backend_fail: Option<(Backend, u32)>,
+}
+
+impl ServiceState {
+    fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            accepting: !self.draining && !self.shutdown,
+            queued: self.queue.len(),
+            running: self.running,
+            accepted: self.stats.accepted,
+            completed: self.stats.completed,
+            failed: self.stats.failed,
+            shed: self.stats.shed,
+            duplicates: self.stats.duplicates,
+            breaker_trips: self.breakers.iter().map(CircuitBreaker::trips).sum(),
+            reroutes: self.stats.reroutes,
+            breakers: [
+                self.breakers[0].state(),
+                self.breakers[1].state(),
+                self.breakers[2].state(),
+            ],
+        }
+    }
+}
+
+struct Service {
+    state: Mutex<ServiceState>,
+    wake: Condvar,
+    wal: Mutex<WriteAheadLog>,
+    config: DaemonConfig,
+}
+
+/// Runs the daemon on an already-bound listener until a client drains
+/// it. Returns the final counters.
+///
+/// On startup the journal in `wal_dir` is replayed: completed jobs
+/// become queryable results, incomplete ones are re-queued in
+/// acceptance order (their deadlines restart at recovery, since wall
+/// clocks do not survive a crash usefully).
+///
+/// # Errors
+///
+/// Propagates journal and listener I/O errors. An inconsistent journal
+/// (duplicate terminal records) is an error: the exactly-once guarantee
+/// no longer holds and the operator must intervene.
+pub fn serve(
+    listener: TcpListener,
+    wal_dir: &Path,
+    config: DaemonConfig,
+) -> io::Result<ServeStats> {
+    let (wal, recovery) = WriteAheadLog::open(wal_dir, config.max_segment_bytes)?;
+    if !recovery.is_consistent() {
+        return Err(io::Error::other(format!(
+            "journal violates exactly-once: duplicate terminals {:?}, orphaned {:?}",
+            recovery.duplicate_terminals, recovery.orphaned
+        )));
+    }
+
+    let now = Instant::now();
+    let mut jobs = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut stats = ServeStats::default();
+    for job in &recovery.jobs {
+        stats.accepted += 1;
+        let state = match &job.outcome {
+            Some(JobOutcome::Done(record)) => {
+                stats.completed += 1;
+                JobState::Done(record.clone())
+            }
+            Some(JobOutcome::Failed(error)) => {
+                stats.failed += 1;
+                JobState::Failed(error.clone())
+            }
+            None => {
+                queue.push_back(job.spec.id.clone());
+                JobState::Queued
+            }
+        };
+        jobs.insert(
+            job.spec.id.clone(),
+            JobEntry {
+                spec: job.spec.clone(),
+                state,
+                attempts: 0,
+                accepted_at: now,
+            },
+        );
+    }
+    if !recovery.jobs.is_empty() {
+        eprintln!(
+            "recovered {} journaled jobs ({} pending re-execution)",
+            recovery.jobs.len(),
+            queue.len()
+        );
+    }
+
+    let breaker = || CircuitBreaker::new(config.breaker_threshold, config.breaker_cooloff);
+    let service = Arc::new(Service {
+        state: Mutex::new(ServiceState {
+            jobs,
+            queue,
+            running: 0,
+            draining: false,
+            shutdown: false,
+            stats,
+            breakers: [breaker(), breaker(), breaker()],
+            chaos_backend_fail: config.chaos_backend_fail,
+        }),
+        wake: Condvar::new(),
+        wal: Mutex::new(wal),
+        config,
+    });
+
+    let dispatcher = {
+        let service = Arc::clone(&service);
+        thread::spawn(move || dispatch_loop(&service))
+    };
+
+    let local_addr = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if service.state.lock().expect("state lock").shutdown {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        thread::spawn(move || {
+            let _ = handle_connection(&service, stream);
+        });
+    }
+    // `drain` sets `shutdown` and pokes the listener via `local_addr`,
+    // which is what broke the loop above.
+    let _ = local_addr;
+
+    dispatcher.join().expect("dispatcher thread panicked");
+    let stats = service.state.lock().expect("state lock").stats;
+    Ok(stats)
+}
+
+fn handle_connection(service: &Service, mut stream: TcpStream) -> io::Result<()> {
+    loop {
+        let line = match recv_line(&mut stream) {
+            Ok(None) => return Ok(()),
+            Ok(Some(line)) => line,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Corrupt frame: answer once, then hang up (resync is
+                // impossible mid-stream).
+                let reply = Response::Rejected(format!("malformed frame: {e}"));
+                let _ = send_line(&mut stream, &reply.encode());
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match Request::parse(&line) {
+            Err(reason) => Response::Rejected(reason),
+            Ok(Request::Submit(spec)) => handle_submit(service, spec),
+            Ok(Request::Query(id)) => handle_query(service, &id),
+            Ok(Request::Health) => {
+                let state = service.state.lock().expect("state lock");
+                Response::Health(Box::new(state.health()))
+            }
+            Ok(Request::Drain) => {
+                handle_drain(service);
+                Response::Drained
+            }
+        };
+        let is_drain = response == Response::Drained;
+        send_line(&mut stream, &response.encode())?;
+        if is_drain {
+            // Poke the accept loop so it observes `shutdown`.
+            let _ = TcpStream::connect(stream.local_addr()?);
+            return Ok(());
+        }
+    }
+}
+
+fn handle_submit(service: &Service, mut spec: JobSpec) -> Response {
+    if spec.deadline_ms.is_none() {
+        spec.deadline_ms = service.config.default_deadline_ms;
+    }
+    let mut state = service.state.lock().expect("state lock");
+    if state.jobs.contains_key(&spec.id) {
+        state.stats.duplicates += 1;
+        return Response::Duplicate(spec.id);
+    }
+    if state.draining || state.shutdown {
+        return Response::Rejected("draining: not accepting new jobs".to_owned());
+    }
+    if state.queue.len() >= service.config.queue_depth {
+        state.stats.shed += 1;
+        let error = ShotError::Overloaded {
+            queue_depth: state.queue.len(),
+        };
+        return Response::Rejected(error.to_string());
+    }
+    // WAL-before-ack: the accept record is durable before the client
+    // hears `accepted` and before the dispatcher can see the job.
+    // Holding the state lock across the fsync serializes admissions,
+    // which is exactly the ordering the journal must reflect.
+    {
+        let mut wal = service.wal.lock().expect("wal lock");
+        if let Err(e) = wal.append(&WalRecord::Accept(spec.clone())) {
+            return Response::Rejected(format!("journal write failed: {e}"));
+        }
+    }
+    state.stats.accepted += 1;
+    state.jobs.insert(
+        spec.id.clone(),
+        JobEntry {
+            spec: spec.clone(),
+            state: JobState::Queued,
+            attempts: 0,
+            accepted_at: Instant::now(),
+        },
+    );
+    state.queue.push_back(spec.id.clone());
+    service.wake.notify_all();
+    Response::Accepted(spec.id)
+}
+
+fn handle_query(service: &Service, id: &str) -> Response {
+    let state = service.state.lock().expect("state lock");
+    match state.jobs.get(id) {
+        Some(entry) => Response::State(id.to_owned(), entry.state.clone()),
+        None => Response::Rejected(format!("unknown job {id:?}")),
+    }
+}
+
+fn handle_drain(service: &Service) {
+    let mut state = service.state.lock().expect("state lock");
+    state.draining = true;
+    service.wake.notify_all();
+    while !state.queue.is_empty() || state.running > 0 {
+        state = service.wake.wait(state).expect("state lock");
+    }
+    state.shutdown = true;
+    service.wake.notify_all();
+}
+
+/// One dispatched job within a round.
+struct RoundJob {
+    id: String,
+    kind: JobKind,
+    backend: Backend,
+    deadline: Option<Instant>,
+}
+
+fn dispatch_loop(service: &Service) {
+    loop {
+        let round = {
+            let mut state = service.state.lock().expect("state lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if !state.queue.is_empty() {
+                    break;
+                }
+                state = service.wake.wait(state).expect("state lock");
+            }
+            pick_round(service, &mut state)
+        };
+        if round.is_empty() {
+            // Jobs are queued but every eligible breaker is open: wait
+            // out (a fraction of) the cooloff instead of spinning.
+            let wait = service
+                .config
+                .breaker_cooloff
+                .max(Duration::from_millis(10))
+                / 2;
+            let state = service.state.lock().expect("state lock");
+            let _ = service.wake.wait_timeout(state, wait).expect("state lock");
+            continue;
+        }
+        run_round(service, round);
+    }
+}
+
+/// Pops up to a pool-sized round of dispatchable jobs, journaling the
+/// dispatch and choosing a backend for each. Jobs past their deadline
+/// fail terminally here; jobs with every backend's breaker open stay
+/// queued (in order) for a later round.
+fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
+    let now = Instant::now();
+    let mut round = Vec::new();
+    let mut requeue = VecDeque::new();
+    while round.len() < service.config.jobs.max(1) {
+        let Some(id) = state.queue.pop_front() else {
+            break;
+        };
+        let entry = state.jobs.get(&id).expect("queued job exists");
+        let deadline = entry.deadline();
+        if deadline.is_some_and(|d| d <= now) {
+            complete(
+                service,
+                state,
+                &id,
+                Err("deadline exceeded".to_owned()),
+                None,
+            );
+            continue;
+        }
+        let preference = entry.spec.kind.backend_preference();
+        let chosen = preference
+            .iter()
+            .copied()
+            .find(|b| state.breakers[b.index()].allow(now));
+        let Some(backend) = chosen else {
+            requeue.push_back(id);
+            continue;
+        };
+        if backend != preference[0] {
+            state.stats.reroutes += 1;
+        }
+        let entry = state.jobs.get_mut(&id).expect("queued job exists");
+        entry.state = JobState::Running;
+        let attempt = entry.attempts;
+        let kind = entry.spec.kind;
+        {
+            let mut wal = service.wal.lock().expect("wal lock");
+            // A lost dispatch record only loses routing trace, never
+            // correctness: keep going.
+            if let Err(e) = wal.append(&WalRecord::Dispatch {
+                id: id.clone(),
+                backend,
+                attempt,
+            }) {
+                eprintln!("warning: journal dispatch record failed for {id}: {e}");
+            }
+        }
+        round.push(RoundJob {
+            id,
+            kind,
+            backend,
+            deadline,
+        });
+    }
+    // Breaker-blocked jobs go back to the front, preserving order.
+    for id in requeue.into_iter().rev() {
+        state.queue.push_front(id);
+    }
+    state.running = round.len();
+    round
+}
+
+/// Executes one round on the supervised pool and folds the results back
+/// into the service state.
+fn run_round(service: &Service, round: Vec<RoundJob>) {
+    let specs: Vec<BatchSpec> = round
+        .iter()
+        .map(|job| BatchSpec {
+            key: job.id.clone(),
+            point: job.id.clone(),
+            batch: 0,
+            shots: 1,
+        })
+        .collect();
+    let supervisor_config = SupervisorConfig {
+        jobs: service.config.jobs.max(1),
+        watchdog: Duration::from_millis(service.config.watchdog_ms),
+        // The daemon owns retries (it may change backend); the pool
+        // runs each attempt exactly once.
+        max_attempts: 1,
+        backoff: Duration::from_millis(10),
+        max_replacements: service.config.jobs.max(1),
+        base_seed: service.config.base_seed,
+        seed_policy: SeedPolicy::Stable,
+        redundancy: 0,
+    };
+
+    let cancel = CancelToken::new();
+    // Cooperative deadline enforcement: a watcher cancels the round at
+    // the earliest member deadline; the round-end send retires it.
+    let earliest = round.iter().filter_map(|j| j.deadline).min();
+    let (round_done, watcher_rx) = mpsc::channel::<()>();
+    let watcher = earliest.map(|when| {
+        let token = cancel.clone();
+        thread::spawn(move || {
+            let wait = when.saturating_duration_since(Instant::now());
+            if watcher_rx.recv_timeout(wait) == Err(RecvTimeoutError::Timeout) {
+                token.cancel();
+            }
+        })
+    });
+
+    let stall = service.config.chaos_stall;
+    let chaos = Arc::new(Mutex::new(
+        service.state.lock().expect("state lock").chaos_backend_fail,
+    ));
+    let tasks: Vec<(JobKind, Backend)> = round.iter().map(|j| (j.kind, j.backend)).collect();
+    let job = {
+        let chaos = Arc::clone(&chaos);
+        move |ctx: &BatchCtx| -> Result<String, ShotError> {
+            let (kind, backend) = tasks[ctx.task];
+            if !stall.is_zero() {
+                thread::sleep(stall);
+            }
+            {
+                let mut chaos = chaos.lock().expect("chaos lock");
+                if let Some((sick, remaining)) = chaos.as_mut() {
+                    if *sick == backend && *remaining > 0 {
+                        *remaining -= 1;
+                        return Err(ShotError::PoolFailure(format!(
+                            "injected backend failure on {}",
+                            backend.name()
+                        )));
+                    }
+                }
+            }
+            execute(&kind, backend, ctx.seed, &ctx.cancel)
+        }
+    };
+    let report = run_supervised_cancellable(&supervisor_config, specs, job, None, cancel);
+    let _ = round_done.send(());
+    if let Some(watcher) = watcher {
+        let _ = watcher.join();
+    }
+    // Write back the chaos budget consumed by the round.
+    let remaining_chaos = *chaos.lock().expect("chaos lock");
+
+    let now = Instant::now();
+    let mut quarantined: HashMap<usize, String> = report
+        .quarantined
+        .into_iter()
+        .map(|q| (q.task, q.error))
+        .collect();
+    let mut state = service.state.lock().expect("state lock");
+    state.chaos_backend_fail = remaining_chaos;
+    for (task, job) in round.into_iter().enumerate() {
+        match report.results.get(task).and_then(Option::as_ref) {
+            Some(record) => {
+                state.breakers[job.backend.index()].record_success();
+                complete(service, &mut state, &job.id, Ok(record.clone()), None);
+            }
+            None => {
+                let error = quarantined
+                    .remove(&task)
+                    .unwrap_or_else(|| "worker pool lost the job".to_owned());
+                let cancelled = error.contains("cancelled");
+                let expired = job.deadline.is_some_and(|d| d <= now);
+                if cancelled && !expired {
+                    // Collateral cancellation from another job's
+                    // deadline: not a backend failure, just requeue.
+                    requeue_front(&mut state, &job.id);
+                    continue;
+                }
+                if cancelled || expired {
+                    complete(
+                        service,
+                        &mut state,
+                        &job.id,
+                        Err("deadline exceeded".to_owned()),
+                        None,
+                    );
+                    continue;
+                }
+                state.breakers[job.backend.index()].record_failure(now);
+                let entry = state.jobs.get_mut(&job.id).expect("round job exists");
+                entry.attempts += 1;
+                if entry.attempts >= service.config.max_job_attempts {
+                    let attempts = entry.attempts;
+                    complete(service, &mut state, &job.id, Err(error), Some(attempts));
+                } else {
+                    requeue_front(&mut state, &job.id);
+                }
+            }
+        }
+    }
+    state.running = 0;
+    service.wake.notify_all();
+}
+
+fn requeue_front(state: &mut ServiceState, id: &str) {
+    let entry = state.jobs.get_mut(id).expect("round job exists");
+    entry.state = JobState::Queued;
+    state.queue.push_front(id.to_owned());
+}
+
+/// Journals and records a terminal outcome (WAL-before-result).
+fn complete(
+    service: &Service,
+    state: &mut ServiceState,
+    id: &str,
+    result: Result<String, String>,
+    attempts: Option<u32>,
+) {
+    let (outcome, job_state) = match result {
+        Ok(record) => (JobOutcome::Done(record.clone()), JobState::Done(record)),
+        Err(error) => {
+            let error = match attempts {
+                Some(n) => format!("{error} (after {n} attempts)"),
+                None => error,
+            };
+            (JobOutcome::Failed(error.clone()), JobState::Failed(error))
+        }
+    };
+    {
+        let mut wal = service.wal.lock().expect("wal lock");
+        if let Err(e) = wal.append(&WalRecord::Complete {
+            id: id.to_owned(),
+            outcome: outcome.clone(),
+        }) {
+            // The result is computed but not durable: keep the job
+            // queued rather than risk a lost-after-ack result. The
+            // deterministic re-execution will journal it next time.
+            eprintln!("warning: journal complete record failed for {id}: {e}");
+            requeue_front(state, id);
+            return;
+        }
+    }
+    let entry = state.jobs.get_mut(id).expect("completed job exists");
+    entry.state = job_state;
+    match outcome {
+        JobOutcome::Done(_) => state.stats.completed += 1,
+        JobOutcome::Failed(_) => state.stats.failed += 1,
+    }
+}

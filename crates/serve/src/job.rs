@@ -1,0 +1,597 @@
+//! Job kinds the shot service executes, and the backends they run on
+//! (`DESIGN.md` §9.2).
+//!
+//! A job is described entirely by its [`JobSpec`]: a client-chosen id
+//! (the idempotency key), an optional deadline, and a [`JobKind`]. The
+//! payload seed derives from the daemon's base seed and the job id
+//! alone ([`job_seed`]), so re-executing a job after a crash — or on a
+//! different backend after a breaker trip — reproduces the result
+//! byte-for-byte (the packed and reference stabilizer engines are
+//! differentially verified to agree bit-exactly).
+
+use qpdo_bench::supervisor::{substream_seed, CancelToken};
+use qpdo_core::testbench::random_circuit;
+use qpdo_core::{ChpCore, ControlStack, PauliFrameLayer, ShotError, SvCore};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::SeedableRng;
+use qpdo_stabilizer::{CliffordTableau, StabilizerSim};
+use qpdo_statevector::Complex;
+use qpdo_surface17::experiment::{run_ler, LerConfig, LogicalErrorKind};
+use qpdo_surface17::{logical_cnot, NinjaStar, StarLayout};
+
+#[cfg(feature = "reference")]
+use qpdo_stabilizer::ReferenceTableau;
+#[cfg(feature = "reference")]
+use qpdo_surface17::experiment::run_ler_reference;
+
+/// The longest job id the service accepts.
+pub const MAX_JOB_ID_LEN: usize = 128;
+
+/// An execution backend a job can be routed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The word-packed production stabilizer engine.
+    Packed,
+    /// The cell-per-entry reference tableau (differential-oracle twin).
+    Reference,
+    /// The full state-vector simulator.
+    Statevector,
+}
+
+impl Backend {
+    /// Every backend, in health-report order.
+    pub const ALL: [Backend; 3] = [Backend::Packed, Backend::Reference, Backend::Statevector];
+
+    /// The lowercase wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Packed => "packed",
+            Backend::Reference => "reference",
+            Backend::Statevector => "statevector",
+        }
+    }
+
+    /// Parses a wire name back into a backend.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Backend::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// This backend's index into per-backend state arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// What a job computes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JobKind {
+    /// One Surface-17 logical-error-rate point (the Section 5.3
+    /// experiment): runs windows until `target` logical errors or
+    /// `max_windows`, whichever first.
+    Ler {
+        /// Physical error rate of the depolarizing model.
+        per: f64,
+        /// Which logical error to watch for.
+        kind: LogicalErrorKind,
+        /// Whether the stack includes a Pauli-frame layer.
+        with_pf: bool,
+        /// Stop after this many logical errors.
+        target: u64,
+        /// Hard window cap.
+        max_windows: u64,
+    },
+    /// One random-circuit Pauli-frame verification (Section 5.2.2):
+    /// framed state-vector execution must match the reference up to
+    /// global phase. The result is the classically-tracked gate count.
+    RandomCircuit {
+        /// Qubits in the random circuit.
+        qubits: usize,
+        /// Gates in the random circuit.
+        gates: usize,
+    },
+    /// An odd-Bell-state histogram (Section 5.2.3): logical
+    /// `(|01⟩+|10⟩)/√2` on two ninja stars, measured `shots` times
+    /// with a Pauli-frame layer. The result is the four ket counts.
+    Bell {
+        /// Shots to accumulate.
+        shots: u64,
+    },
+}
+
+impl JobKind {
+    /// The wire/journal encoding: space-separated tokens, first token
+    /// the kind tag.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            JobKind::Ler {
+                per,
+                kind,
+                with_pf,
+                target,
+                max_windows,
+            } => {
+                let kind = match kind {
+                    LogicalErrorKind::XL => "XL",
+                    LogicalErrorKind::ZL => "ZL",
+                };
+                format!(
+                    "ler {per} {kind} {} {target} {max_windows}",
+                    u8::from(*with_pf)
+                )
+            }
+            JobKind::RandomCircuit { qubits, gates } => format!("rc {qubits} {gates}"),
+            JobKind::Bell { shots } => format!("bell {shots}"),
+        }
+    }
+
+    /// Parses [`encode`](Self::encode) output (already split into
+    /// tokens). Returns a human-readable reason on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn parse(tokens: &[&str]) -> Result<Self, String> {
+        let bad = |what: &str| format!("malformed {what} job spec: {tokens:?}");
+        match tokens {
+            ["ler", per, kind, with_pf, target, max_windows] => {
+                let kind = match *kind {
+                    "XL" => LogicalErrorKind::XL,
+                    "ZL" => LogicalErrorKind::ZL,
+                    _ => return Err(bad("ler")),
+                };
+                let per: f64 = per.parse().map_err(|_| bad("ler"))?;
+                if !(0.0..=1.0).contains(&per) {
+                    return Err(format!("ler rate {per} outside [0, 1]"));
+                }
+                let with_pf = match *with_pf {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad("ler")),
+                };
+                let target = target.parse().map_err(|_| bad("ler"))?;
+                let max_windows: u64 = max_windows.parse().map_err(|_| bad("ler"))?;
+                if target == 0 || max_windows == 0 {
+                    return Err(bad("ler"));
+                }
+                Ok(JobKind::Ler {
+                    per,
+                    kind,
+                    with_pf,
+                    target,
+                    max_windows,
+                })
+            }
+            ["rc", qubits, gates] => {
+                let qubits: usize = qubits.parse().map_err(|_| bad("rc"))?;
+                let gates: usize = gates.parse().map_err(|_| bad("rc"))?;
+                if qubits == 0 || qubits > 16 || gates == 0 {
+                    return Err(bad("rc"));
+                }
+                Ok(JobKind::RandomCircuit { qubits, gates })
+            }
+            ["bell", shots] => {
+                let shots: u64 = shots.parse().map_err(|_| bad("bell"))?;
+                if shots == 0 {
+                    return Err(bad("bell"));
+                }
+                Ok(JobKind::Bell { shots })
+            }
+            _ => Err(bad("unknown-kind")),
+        }
+    }
+
+    /// The backends this kind can run on, in routing-preference order.
+    #[must_use]
+    pub fn backend_preference(&self) -> &'static [Backend] {
+        match self {
+            #[cfg(feature = "reference")]
+            JobKind::Ler { .. } | JobKind::Bell { .. } => &[Backend::Packed, Backend::Reference],
+            #[cfg(not(feature = "reference"))]
+            JobKind::Ler { .. } | JobKind::Bell { .. } => &[Backend::Packed],
+            JobKind::RandomCircuit { .. } => &[Backend::Statevector],
+        }
+    }
+}
+
+/// One job as accepted by the daemon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen id: the idempotency key. Non-empty, at most
+    /// [`MAX_JOB_ID_LEN`] bytes, no whitespace or commas.
+    pub id: String,
+    /// Per-job deadline in milliseconds from admission (`None` = no
+    /// deadline).
+    pub deadline_ms: Option<u64>,
+    /// What to compute.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// Validates a candidate job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for empty, oversized, or
+    /// delimiter-containing ids.
+    pub fn validate_id(id: &str) -> Result<(), String> {
+        if id.is_empty() {
+            return Err("job id must not be empty".to_owned());
+        }
+        if id.len() > MAX_JOB_ID_LEN {
+            return Err(format!("job id longer than {MAX_JOB_ID_LEN} bytes"));
+        }
+        if id.contains(|c: char| c.is_whitespace() || c == ',') {
+            return Err("job id must not contain whitespace or commas".to_owned());
+        }
+        Ok(())
+    }
+
+    /// The wire/journal tail after the id: `<deadline_ms|-> <kind...>`.
+    #[must_use]
+    pub fn encode_tail(&self) -> String {
+        match self.deadline_ms {
+            Some(ms) => format!("{ms} {}", self.kind.encode()),
+            None => format!("- {}", self.kind.encode()),
+        }
+    }
+
+    /// Parses `<id> <deadline_ms|-> <kind...>` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on malformed input.
+    pub fn parse(tokens: &[&str]) -> Result<Self, String> {
+        let [id, deadline, kind @ ..] = tokens else {
+            return Err(format!("malformed job spec: {tokens:?}"));
+        };
+        Self::validate_id(id)?;
+        let deadline_ms = match *deadline {
+            "-" => None,
+            ms => {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("malformed deadline {ms:?}"))?;
+                if ms == 0 {
+                    return Err("deadline must be at least 1 ms".to_owned());
+                }
+                Some(ms)
+            }
+        };
+        Ok(JobSpec {
+            id: (*id).to_owned(),
+            deadline_ms,
+            kind: JobKind::parse(kind)?,
+        })
+    }
+}
+
+/// The deterministic payload seed for a job: the attempt-0 supervisor
+/// substream keyed by the job id, exactly what the worker pool derives
+/// for a batch with `point = id, batch = 0` under the stable seed
+/// policy. Crash recovery and breaker rerouting both rely on this being
+/// a pure function of `(base_seed, id)`.
+#[must_use]
+pub fn job_seed(base_seed: u64, id: &str) -> u64 {
+    substream_seed(base_seed, id, 0, 0)
+}
+
+/// Executes a job on a specific backend with a specific payload seed,
+/// returning the whitespace-separated result record.
+///
+/// Records by kind: `ler` → the ten-field [`LerOutcome`] record;
+/// `rc` → the classically-tracked gate count; `bell` → the four ket
+/// counts in `|00⟩ |01⟩ |10⟩ |11⟩` order.
+///
+/// [`LerOutcome`]: qpdo_surface17::experiment::LerOutcome
+///
+/// # Errors
+///
+/// Returns [`ShotError::PoolFailure`] when the backend cannot run the
+/// kind (e.g. a 17-qubit LER point on the state-vector engine), a
+/// divergence for failed verifications, or the underlying stack error.
+pub fn execute(
+    kind: &JobKind,
+    backend: Backend,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<String, ShotError> {
+    let unsupported = || {
+        Err(ShotError::PoolFailure(format!(
+            "backend {} cannot run this job kind",
+            backend.name()
+        )))
+    };
+    match (kind, backend) {
+        (
+            JobKind::Ler {
+                per,
+                kind,
+                with_pf,
+                target,
+                max_windows,
+            },
+            Backend::Packed,
+        ) => {
+            let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
+            Ok(run_ler(&config).map_err(ShotError::from)?.to_record())
+        }
+        #[cfg(feature = "reference")]
+        (
+            JobKind::Ler {
+                per,
+                kind,
+                with_pf,
+                target,
+                max_windows,
+            },
+            Backend::Reference,
+        ) => {
+            let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
+            Ok(run_ler_reference(&config)
+                .map_err(ShotError::from)?
+                .to_record())
+        }
+        (JobKind::Bell { shots }, Backend::Packed) => {
+            let counts = bell_counts::<StabilizerSim>(*shots, seed, cancel)?;
+            Ok(format!(
+                "{} {} {} {}",
+                counts[0], counts[1], counts[2], counts[3]
+            ))
+        }
+        #[cfg(feature = "reference")]
+        (JobKind::Bell { shots }, Backend::Reference) => {
+            let counts = bell_counts::<ReferenceTableau>(*shots, seed, cancel)?;
+            Ok(format!(
+                "{} {} {} {}",
+                counts[0], counts[1], counts[2], counts[3]
+            ))
+        }
+        (JobKind::RandomCircuit { qubits, gates }, Backend::Statevector) => {
+            random_circuit_record(*qubits, *gates, seed)
+        }
+        _ => unsupported(),
+    }
+}
+
+fn ler_config(
+    per: f64,
+    kind: LogicalErrorKind,
+    with_pf: bool,
+    target: u64,
+    max_windows: u64,
+    seed: u64,
+) -> LerConfig {
+    LerConfig {
+        physical_error_rate: per,
+        kind,
+        with_pauli_frame: with_pf,
+        target_logical_errors: target,
+        max_windows,
+        seed,
+    }
+}
+
+/// The odd-Bell workload of Section 5.2.3, generic over the stabilizer
+/// tableau so the packed and reference backends run the identical
+/// circuit (and, drawing the stack RNG in the same order, produce
+/// identical counts).
+fn bell_counts<T: CliffordTableau>(
+    shots: u64,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<[u64; 4], ShotError> {
+    let mut counts = [0u64; 4];
+    for shot in 0..shots {
+        if cancel.is_cancelled() {
+            return Err(ShotError::Cancelled {
+                reason: format!("bell job cancelled after {shot}/{shots} shots"),
+            });
+        }
+        let mut stack = ControlStack::with_seed(ChpCore::<T>::default(), seed.wrapping_add(shot));
+        stack.push_layer(PauliFrameLayer::new());
+        stack.create_qubits(26)?;
+        let mut a = NinjaStar::new(StarLayout::with_shared_ancillas(0, 18));
+        let mut b = NinjaStar::new(StarLayout::with_shared_ancillas(9, 18));
+        a.initialize_zero(&mut stack)?;
+        b.initialize_zero(&mut stack)?;
+        a.apply_logical_h(&mut stack)?;
+        let circuit = logical_cnot(
+            a.layout(),
+            a.properties().rotation,
+            b.layout(),
+            b.properties().rotation,
+        );
+        stack.execute_now(circuit)?;
+        a.apply_logical_x(&mut stack)?;
+        let ma = a.measure_logical(&mut stack)?;
+        let mb = b.measure_logical(&mut stack)?;
+        counts[2 * usize::from(ma) + usize::from(mb)] += 1;
+    }
+    Ok(counts)
+}
+
+/// `other = phase * this`, when states match up to global phase.
+fn global_phase(a: &[Complex], b: &[Complex], tol: f64) -> Option<Complex> {
+    let (anchor, _) = a
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.norm_sqr().total_cmp(&y.1.norm_sqr()))?;
+    let (ra, rb) = (a[anchor], b[anchor]);
+    if ra.norm() < tol || rb.norm() < tol {
+        return None;
+    }
+    let phase = (rb * ra.conj()).scale(1.0 / ra.norm_sqr());
+    a.iter()
+        .zip(b)
+        .all(|(&x, &y)| (x * phase).approx_eq(y, tol))
+        .then_some(phase)
+}
+
+/// The random-circuit verification of Section 5.2.2: framed
+/// state-vector execution must equal the reference up to global phase.
+fn random_circuit_record(qubits: usize, gates: usize, seed: u64) -> Result<String, ShotError> {
+    let mut workload_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let circuit = random_circuit(qubits, gates, &mut workload_rng);
+    let paulis = circuit.census().pauli_gates as u64;
+
+    let mut reference = ControlStack::with_seed(SvCore::new(), seed);
+    reference.create_qubits(qubits)?;
+    reference.execute_now(circuit.clone())?;
+
+    let mut framed = ControlStack::with_seed(SvCore::new(), seed);
+    framed.push_layer(PauliFrameLayer::new());
+    framed.create_qubits(qubits)?;
+    framed.execute_now(circuit)?;
+    let pf: &PauliFrameLayer = framed
+        .find_layer()
+        .ok_or_else(|| ShotError::PoolFailure("frame layer vanished".to_owned()))?;
+    let filtered = pf.filtered_gates();
+    if filtered != paulis {
+        return Err(ShotError::Divergence {
+            detail: format!("{filtered} gates filtered, circuit holds {paulis} Paulis"),
+        });
+    }
+    framed.flush_pauli_frames()?;
+
+    let a = reference.quantum_state()?;
+    let b = framed.quantum_state()?;
+    let (a, b) = (
+        a.amplitudes().ok_or(qpdo_core::CoreError::NoQubits)?,
+        b.amplitudes().ok_or(qpdo_core::CoreError::NoQubits)?,
+    );
+    if global_phase(a, b, 1e-7).is_none() {
+        return Err(ShotError::Divergence {
+            detail: "framed state differs from reference beyond global phase".to_owned(),
+        });
+    }
+    Ok(filtered.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds() -> Vec<JobKind> {
+        vec![
+            JobKind::Ler {
+                per: 0.0075,
+                kind: LogicalErrorKind::XL,
+                with_pf: true,
+                target: 2,
+                max_windows: 500,
+            },
+            JobKind::Ler {
+                per: 1e-3,
+                kind: LogicalErrorKind::ZL,
+                with_pf: false,
+                target: 1,
+                max_windows: 100,
+            },
+            JobKind::RandomCircuit {
+                qubits: 4,
+                gates: 30,
+            },
+            JobKind::Bell { shots: 3 },
+        ]
+    }
+
+    #[test]
+    fn kind_encoding_round_trips() {
+        for kind in kinds() {
+            let text = kind.encode();
+            let tokens: Vec<&str> = text.split_whitespace().collect();
+            assert_eq!(JobKind::parse(&tokens), Ok(kind), "{text}");
+        }
+    }
+
+    #[test]
+    fn kind_parse_rejects_nonsense() {
+        for tokens in [
+            &["ler", "0.5", "YL", "1", "2", "3"][..],
+            &["ler", "2.0", "XL", "1", "2", "3"],
+            &["ler", "0.5", "XL", "1", "0", "3"],
+            &["rc", "0", "10"],
+            &["rc", "30", "10"],
+            &["bell", "0"],
+            &["teleport", "1"],
+            &[],
+        ] {
+            assert!(JobKind::parse(tokens).is_err(), "{tokens:?}");
+        }
+    }
+
+    #[test]
+    fn spec_encoding_round_trips() {
+        for deadline_ms in [None, Some(1500)] {
+            let spec = JobSpec {
+                id: "job-007".to_owned(),
+                deadline_ms,
+                kind: JobKind::Bell { shots: 2 },
+            };
+            let text = format!("{} {}", spec.id, spec.encode_tail());
+            let tokens: Vec<&str> = text.split_whitespace().collect();
+            assert_eq!(JobSpec::parse(&tokens), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn spec_ids_are_validated() {
+        assert!(JobSpec::validate_id("job-1").is_ok());
+        assert!(JobSpec::validate_id("").is_err());
+        assert!(JobSpec::validate_id("has space").is_err());
+        assert!(JobSpec::validate_id("has,comma").is_err());
+        assert!(JobSpec::validate_id(&"x".repeat(MAX_JOB_ID_LEN + 1)).is_err());
+    }
+
+    #[test]
+    fn job_seed_is_a_pure_function_of_base_and_id() {
+        assert_eq!(job_seed(2016, "a"), job_seed(2016, "a"));
+        assert_ne!(job_seed(2016, "a"), job_seed(2016, "b"));
+        assert_ne!(job_seed(2016, "a"), job_seed(2017, "a"));
+    }
+
+    #[cfg(feature = "reference")]
+    #[test]
+    fn packed_and_reference_backends_agree_byte_for_byte() {
+        let cancel = CancelToken::new();
+        let seed = job_seed(2016, "agree-test");
+        for kind in [
+            JobKind::Ler {
+                per: 0.008,
+                kind: LogicalErrorKind::XL,
+                with_pf: true,
+                target: 1,
+                max_windows: 400,
+            },
+            JobKind::Bell { shots: 2 },
+        ] {
+            let packed = execute(&kind, Backend::Packed, seed, &cancel).unwrap();
+            let reference = execute(&kind, Backend::Reference, seed, &cancel).unwrap();
+            assert_eq!(packed, reference, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_backend_is_a_routing_error() {
+        let cancel = CancelToken::new();
+        let result = execute(
+            &JobKind::Bell { shots: 1 },
+            Backend::Statevector,
+            1,
+            &cancel,
+        );
+        assert!(matches!(result, Err(ShotError::PoolFailure(_))));
+    }
+
+    #[test]
+    fn cancelled_bell_job_reports_cancellation() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let result = execute(&JobKind::Bell { shots: 5 }, Backend::Packed, 1, &cancel);
+        assert!(matches!(result, Err(ShotError::Cancelled { .. })));
+    }
+}

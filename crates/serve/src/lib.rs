@@ -1,0 +1,34 @@
+//! A crash-safe shot-service daemon for the QPDO simulation stack
+//! (`DESIGN.md` §9).
+//!
+//! Clients connect over TCP, submit shot jobs (Surface-17 LER points,
+//! random-circuit verifications, odd-Bell histograms), and poll for the
+//! results. The daemon is built for hostile conditions:
+//!
+//! - **Write-ahead journal** ([`wal`]): every `accepted → dispatched →
+//!   completed` transition is a CRC-framed, fsync'd record. `kill -9`
+//!   at any instant loses at most the jobs never acknowledged; every
+//!   acknowledged job is re-executed on restart onto a byte-identical
+//!   result (deterministic substream seeding), exactly once.
+//! - **Admission control** ([`daemon`]): a bounded queue sheds load
+//!   with an explicit `overloaded` rejection instead of collapsing;
+//!   per-job deadlines cancel cooperatively through the supervised
+//!   worker pool; a drain request stops admission and waits the queue
+//!   dry.
+//! - **Circuit breakers** ([`breaker`]): per-backend failure tracking
+//!   routes jobs around a sick backend (packed ↔ reference tableau for
+//!   stabilizer jobs) and restores it through a half-open probe.
+//!
+//! The wire protocol ([`protocol`]) is a minimal length-prefixed codec
+//! over the same CRC framing the journal uses — std-only, no external
+//! dependencies. `bin/qpdo_serve` is the daemon, `bin/serve_chaos` the
+//! adversarial client that kills and restarts it mid-load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod daemon;
+pub mod job;
+pub mod protocol;
+pub mod wal;

@@ -1,0 +1,412 @@
+//! The wire protocol of the shot service (`DESIGN.md` §9.1).
+//!
+//! Every message is one record in the repo's CRC framing
+//! ([`qpdo_bench::framing`]): `[len u32 BE][crc32 u32 BE][payload]`,
+//! the payload a single UTF-8 line whose first token is the verb. The
+//! same framing protects the write-ahead journal, so a protocol
+//! implementation is also a journal reader.
+//!
+//! Requests: `submit <id> <deadline_ms|-> <kind…>`, `query <id>`,
+//! `health`, `drain`.
+//!
+//! Responses: `accepted <id>`, `duplicate <id>`, `rejected <reason…>`,
+//! `state <id> queued|running`, `done <id> <record…>`,
+//! `failed <id> <error…>`, `health <snapshot>`, `drained`.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use qpdo_bench::framing::{read_record, write_record};
+
+use crate::breaker::BreakerState;
+use crate::job::{Backend, JobSpec};
+
+/// A client-to-daemon message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a job (idempotent on the job id).
+    Submit(JobSpec),
+    /// Ask for the state or result of a job.
+    Query(String),
+    /// Ask for the service health snapshot.
+    Health,
+    /// Stop admission, wait for the queue to dry, then shut down.
+    Drain,
+}
+
+impl Request {
+    /// The wire line for this request.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit(spec) => format!("submit {} {}", spec.id, spec.encode_tail()),
+            Request::Query(id) => format!("query {id}"),
+            Request::Health => "health".to_owned(),
+            Request::Drain => "drain".to_owned(),
+        }
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on malformed input (sent back to
+    /// the client as a `rejected` response).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["submit", rest @ ..] => Ok(Request::Submit(JobSpec::parse(rest)?)),
+            ["query", id] => Ok(Request::Query((*id).to_owned())),
+            ["health"] => Ok(Request::Health),
+            ["drain"] => Ok(Request::Drain),
+            _ => Err(format!("unknown request {line:?}")),
+        }
+    }
+}
+
+/// The terminal or in-flight state of a job, as reported to clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing on the worker pool.
+    Running,
+    /// Finished; the whitespace-separated result record.
+    Done(String),
+    /// Terminally failed; the error description.
+    Failed(String),
+}
+
+/// A point-in-time health snapshot of the daemon.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Whether the daemon still accepts new jobs.
+    pub accepting: bool,
+    /// Jobs waiting in the admission queue.
+    pub queued: usize,
+    /// Jobs currently on the worker pool.
+    pub running: usize,
+    /// Jobs accepted since the journal began (including recovered).
+    pub accepted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs terminally failed.
+    pub failed: u64,
+    /// Submissions rejected by admission control.
+    pub shed: u64,
+    /// Submissions deduplicated against an existing id.
+    pub duplicates: u64,
+    /// Circuit-breaker trips across all backends.
+    pub breaker_trips: u64,
+    /// Jobs routed to a non-preferred backend by an open breaker.
+    pub reroutes: u64,
+    /// Per-backend breaker states, in [`Backend::ALL`] order.
+    pub breakers: [BreakerState; 3],
+}
+
+impl HealthSnapshot {
+    fn encode(&self) -> String {
+        let breakers: Vec<String> = Backend::ALL
+            .into_iter()
+            .map(|b| format!("{}:{}", b.name(), self.breakers[b.index()].name()))
+            .collect();
+        format!(
+            "health {} queued={} running={} accepted={} completed={} failed={} shed={} \
+             duplicates={} breaker_trips={} reroutes={} breakers={}",
+            if self.accepting { "ok" } else { "draining" },
+            self.queued,
+            self.running,
+            self.accepted,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.duplicates,
+            self.breaker_trips,
+            self.reroutes,
+            breakers.join(",")
+        )
+    }
+
+    fn parse(tokens: &[&str]) -> Result<Self, String> {
+        let bad = || format!("malformed health snapshot: {tokens:?}");
+        let [mode, fields @ ..] = tokens else {
+            return Err(bad());
+        };
+        let accepting = match *mode {
+            "ok" => true,
+            "draining" => false,
+            _ => return Err(bad()),
+        };
+        let mut snapshot = HealthSnapshot {
+            accepting,
+            queued: 0,
+            running: 0,
+            accepted: 0,
+            completed: 0,
+            failed: 0,
+            shed: 0,
+            duplicates: 0,
+            breaker_trips: 0,
+            reroutes: 0,
+            breakers: [BreakerState::Closed; 3],
+        };
+        for field in fields {
+            let (key, value) = field.split_once('=').ok_or_else(bad)?;
+            match key {
+                "queued" => snapshot.queued = value.parse().map_err(|_| bad())?,
+                "running" => snapshot.running = value.parse().map_err(|_| bad())?,
+                "accepted" => snapshot.accepted = value.parse().map_err(|_| bad())?,
+                "completed" => snapshot.completed = value.parse().map_err(|_| bad())?,
+                "failed" => snapshot.failed = value.parse().map_err(|_| bad())?,
+                "shed" => snapshot.shed = value.parse().map_err(|_| bad())?,
+                "duplicates" => snapshot.duplicates = value.parse().map_err(|_| bad())?,
+                "breaker_trips" => snapshot.breaker_trips = value.parse().map_err(|_| bad())?,
+                "reroutes" => snapshot.reroutes = value.parse().map_err(|_| bad())?,
+                "breakers" => {
+                    for entry in value.split(',') {
+                        let (name, state) = entry.split_once(':').ok_or_else(bad)?;
+                        let backend = Backend::parse(name).ok_or_else(bad)?;
+                        snapshot.breakers[backend.index()] = match state {
+                            "closed" => BreakerState::Closed,
+                            "open" => BreakerState::Open,
+                            "half-open" => BreakerState::HalfOpen,
+                            _ => return Err(bad()),
+                        };
+                    }
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+/// A daemon-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The submitted job was journaled and queued.
+    Accepted(String),
+    /// The id is already known; submission was idempotently absorbed.
+    Duplicate(String),
+    /// The request was refused (overload, drain, malformed input).
+    Rejected(String),
+    /// A queried job's current state.
+    State(String, JobState),
+    /// The health snapshot.
+    Health(Box<HealthSnapshot>),
+    /// Drain finished: the queue is dry and the daemon is exiting.
+    Drained,
+}
+
+impl Response {
+    /// The wire line for this response.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Accepted(id) => format!("accepted {id}"),
+            Response::Duplicate(id) => format!("duplicate {id}"),
+            Response::Rejected(reason) => format!("rejected {reason}"),
+            Response::State(id, JobState::Queued) => format!("state {id} queued"),
+            Response::State(id, JobState::Running) => format!("state {id} running"),
+            Response::State(id, JobState::Done(record)) => format!("done {id} {record}"),
+            Response::State(id, JobState::Failed(error)) => format!("failed {id} {error}"),
+            Response::Health(snapshot) => snapshot.encode(),
+            Response::Drained => "drained".to_owned(),
+        }
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on malformed input.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["accepted", id] => Ok(Response::Accepted((*id).to_owned())),
+            ["duplicate", id] => Ok(Response::Duplicate((*id).to_owned())),
+            ["rejected", reason @ ..] => Ok(Response::Rejected(reason.join(" "))),
+            ["state", id, "queued"] => Ok(Response::State((*id).to_owned(), JobState::Queued)),
+            ["state", id, "running"] => Ok(Response::State((*id).to_owned(), JobState::Running)),
+            ["done", id, record @ ..] => Ok(Response::State(
+                (*id).to_owned(),
+                JobState::Done(record.join(" ")),
+            )),
+            ["failed", id, error @ ..] => Ok(Response::State(
+                (*id).to_owned(),
+                JobState::Failed(error.join(" ")),
+            )),
+            ["health", rest @ ..] => Ok(Response::Health(Box::new(HealthSnapshot::parse(rest)?))),
+            ["drained"] => Ok(Response::Drained),
+            _ => Err(format!("unknown response {line:?}")),
+        }
+    }
+}
+
+/// Writes one protocol message (a framed UTF-8 line) to a stream.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn send_line<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
+    write_record(writer, line.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one protocol message from a stream. `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// `InvalidData` for torn/corrupt frames or non-UTF-8 payloads,
+/// otherwise the underlying read error.
+pub fn recv_line<R: Read>(reader: &mut R) -> io::Result<Option<String>> {
+    match read_record(reader)? {
+        None => Ok(None),
+        Some(payload) => String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 protocol payload")),
+    }
+}
+
+/// A blocking request/response client for the shot service.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with the given I/O timeout applied to reads and writes
+    /// (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and socket-option errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Option<Duration>) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the daemon hangs up mid-exchange (e.g. it
+    /// was killed), `InvalidData` for malformed responses, otherwise
+    /// the underlying socket error.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        send_line(&mut self.stream, &request.encode())?;
+        match recv_line(&mut self.stream)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon hung up before responding",
+            )),
+            Some(line) => Response::parse(&line)
+                .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                id: "ler-1".to_owned(),
+                deadline_ms: Some(2000),
+                kind: JobKind::Ler {
+                    per: 0.005,
+                    kind: qpdo_surface17::experiment::LogicalErrorKind::ZL,
+                    with_pf: true,
+                    target: 3,
+                    max_windows: 1000,
+                },
+            },
+            JobSpec {
+                id: "bell-1".to_owned(),
+                deadline_ms: None,
+                kind: JobKind::Bell { shots: 4 },
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut requests: Vec<Request> = specs().into_iter().map(Request::Submit).collect();
+        requests.push(Request::Query("ler-1".to_owned()));
+        requests.push(Request::Health);
+        requests.push(Request::Drain);
+        for request in requests {
+            let line = request.encode();
+            assert_eq!(Request::parse(&line), Ok(request), "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let snapshot = HealthSnapshot {
+            accepting: false,
+            queued: 3,
+            running: 2,
+            accepted: 17,
+            completed: 11,
+            failed: 1,
+            shed: 4,
+            duplicates: 2,
+            breaker_trips: 1,
+            reroutes: 5,
+            breakers: [
+                BreakerState::Open,
+                BreakerState::Closed,
+                BreakerState::HalfOpen,
+            ],
+        };
+        let responses = vec![
+            Response::Accepted("a".to_owned()),
+            Response::Duplicate("a".to_owned()),
+            Response::Rejected("overloaded: admission queue full (8 jobs queued)".to_owned()),
+            Response::State("a".to_owned(), JobState::Queued),
+            Response::State("a".to_owned(), JobState::Running),
+            Response::State("a".to_owned(), JobState::Done("1 2 3 4".to_owned())),
+            Response::State(
+                "a".to_owned(),
+                JobState::Failed("deadline exceeded".to_owned()),
+            ),
+            Response::Health(Box::new(snapshot)),
+            Response::Drained,
+        ];
+        for response in responses {
+            let line = response.encode();
+            assert_eq!(Response::parse(&line), Ok(response), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("submit").is_err());
+        assert!(Request::parse("submit id - teleport 1").is_err());
+        assert!(Request::parse("frobnicate").is_err());
+        assert!(Response::parse("").is_err());
+        assert!(Response::parse("health nonsense").is_err());
+        assert!(Response::parse("state id dancing").is_err());
+    }
+
+    #[test]
+    fn framed_lines_survive_a_byte_stream() {
+        let mut buffer = Vec::new();
+        send_line(&mut buffer, "health").unwrap();
+        send_line(&mut buffer, "query job-1").unwrap();
+        let mut cursor = std::io::Cursor::new(buffer);
+        assert_eq!(recv_line(&mut cursor).unwrap().as_deref(), Some("health"));
+        assert_eq!(
+            recv_line(&mut cursor).unwrap().as_deref(),
+            Some("query job-1")
+        );
+        assert_eq!(recv_line(&mut cursor).unwrap(), None);
+    }
+}

@@ -1,0 +1,595 @@
+//! The write-ahead journal of the shot service (`DESIGN.md` §9.3).
+//!
+//! Every job transition is one CRC-framed record
+//! ([`qpdo_bench::framing`]) appended to the active segment and
+//! fsync'd before the daemon acts on it:
+//!
+//! - `accept <id> <deadline_ms|-> <kind…>` — written before the client
+//!   sees `accepted`; the job is now durable.
+//! - `dispatch <id> <backend> <attempt>` — informational routing trace.
+//! - `done <id> <record…>` / `failed <id> <error…>` — written before
+//!   the in-memory result becomes queryable; the job is now terminal.
+//!
+//! **Recovery invariant:** after any crash, replaying the segments
+//! yields every acknowledged job exactly once, with its terminal
+//! outcome if one was journaled. Jobs without a terminal record are
+//! re-queued; their deterministic seeds make re-execution byte-identical,
+//! so recovery is exactly-once by construction. A torn tail (the frame
+//! being written when the process died) is dropped by the CRC framing;
+//! everything before it is intact.
+//!
+//! **Rotation:** [`WriteAheadLog::open`] always compacts the recovered
+//! state into a fresh segment (atomic write + rename + directory sync)
+//! and deletes the old ones — both to bound startup cost and because a
+//! torn tail must never be appended after. During operation the log
+//! rotates the same way whenever the active segment exceeds the size
+//! bound.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+use qpdo_bench::framing::{atomic_replace, read_records, sync_file, sync_parent_dir, write_record};
+
+use crate::job::{Backend, JobSpec};
+
+/// A job's terminal result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// The whitespace-separated result record.
+    Done(String),
+    /// The terminal error description.
+    Failed(String),
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A job was admitted.
+    Accept(JobSpec),
+    /// A job was handed to the worker pool on a backend.
+    Dispatch {
+        /// The job id.
+        id: String,
+        /// The backend chosen at dispatch.
+        backend: Backend,
+        /// The daemon-level attempt number, starting at 0.
+        attempt: u32,
+    },
+    /// A job reached its terminal state.
+    Complete {
+        /// The job id.
+        id: String,
+        /// The terminal result.
+        outcome: JobOutcome,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self) -> String {
+        match self {
+            WalRecord::Accept(spec) => format!("accept {} {}", spec.id, spec.encode_tail()),
+            WalRecord::Dispatch {
+                id,
+                backend,
+                attempt,
+            } => format!("dispatch {id} {} {attempt}", backend.name()),
+            WalRecord::Complete {
+                id,
+                outcome: JobOutcome::Done(record),
+            } => format!("done {id} {record}"),
+            WalRecord::Complete {
+                id,
+                outcome: JobOutcome::Failed(error),
+            } => format!("failed {id} {error}"),
+        }
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["accept", rest @ ..] => Ok(WalRecord::Accept(JobSpec::parse(rest)?)),
+            ["dispatch", id, backend, attempt] => Ok(WalRecord::Dispatch {
+                id: (*id).to_owned(),
+                backend: Backend::parse(backend)
+                    .ok_or_else(|| format!("unknown backend {backend:?}"))?,
+                attempt: attempt
+                    .parse()
+                    .map_err(|_| format!("malformed attempt {attempt:?}"))?,
+            }),
+            ["done", id, record @ ..] => Ok(WalRecord::Complete {
+                id: (*id).to_owned(),
+                outcome: JobOutcome::Done(record.join(" ")),
+            }),
+            ["failed", id, error @ ..] => Ok(WalRecord::Complete {
+                id: (*id).to_owned(),
+                outcome: JobOutcome::Failed(error.join(" ")),
+            }),
+            _ => Err(format!("unknown journal record {line:?}")),
+        }
+    }
+}
+
+/// One job as reconstructed from the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveredJob {
+    /// The accepted spec.
+    pub spec: JobSpec,
+    /// The terminal outcome, when one was journaled.
+    pub outcome: Option<JobOutcome>,
+    /// Dispatch records seen (how often the job reached a worker).
+    pub dispatches: u32,
+}
+
+/// What a journal replay found.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Recovery {
+    /// Every accepted job, in acceptance order.
+    pub jobs: Vec<RecoveredJob>,
+    /// Ids with more than one terminal record — an exactly-once
+    /// violation that must never happen.
+    pub duplicate_terminals: Vec<String>,
+    /// Dispatch/complete records whose id was never accepted — a
+    /// write-ordering violation that must never happen.
+    pub orphaned: Vec<String>,
+}
+
+impl Recovery {
+    /// Whether the journal satisfies the exactly-once invariants.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.duplicate_terminals.is_empty() && self.orphaned.is_empty()
+    }
+
+    /// Jobs still awaiting execution, in acceptance order.
+    #[must_use]
+    pub fn pending(&self) -> Vec<&RecoveredJob> {
+        self.jobs.iter().filter(|j| j.outcome.is_none()).collect()
+    }
+
+    fn replay(&mut self, record: &WalRecord) {
+        match record {
+            WalRecord::Accept(spec) => {
+                // A duplicate accept is idempotently absorbed, exactly
+                // like a duplicate submission.
+                if !self.jobs.iter().any(|j| j.spec.id == spec.id) {
+                    self.jobs.push(RecoveredJob {
+                        spec: spec.clone(),
+                        outcome: None,
+                        dispatches: 0,
+                    });
+                }
+            }
+            WalRecord::Dispatch { id, .. } => {
+                match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
+                    Some(job) => job.dispatches += 1,
+                    None => self.orphaned.push(id.clone()),
+                }
+            }
+            WalRecord::Complete { id, outcome } => {
+                match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
+                    Some(job) => {
+                        if job.outcome.is_some() {
+                            self.duplicate_terminals.push(id.clone());
+                        } else {
+                            job.outcome = Some(outcome.clone());
+                        }
+                    }
+                    None => self.orphaned.push(id.clone()),
+                }
+            }
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        // Leftover `.tmp` files are aborted rotations: never valid state.
+        if name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+            continue;
+        }
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Replays every segment in `dir` without modifying anything. This is
+/// the read-only audit path (`serve_chaos` uses it to assert the
+/// exactly-once invariants after a drill).
+///
+/// # Errors
+///
+/// Propagates I/O errors; torn tails are tolerated, not errors.
+pub fn recover(dir: &Path) -> io::Result<Recovery> {
+    let mut recovery = Recovery::default();
+    if !dir.exists() {
+        return Ok(recovery);
+    }
+    for (_, path) in list_segments(dir)? {
+        let mut reader = BufReader::new(File::open(&path)?);
+        for payload in read_records(&mut reader)? {
+            let line = String::from_utf8(payload)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 journal"))?;
+            let record = WalRecord::parse(&line)
+                .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason))?;
+            recovery.replay(&record);
+        }
+    }
+    Ok(recovery)
+}
+
+/// The append side of the journal.
+pub struct WriteAheadLog {
+    dir: PathBuf,
+    active: File,
+    active_seq: u64,
+    active_bytes: u64,
+    max_segment_bytes: u64,
+    /// Mirror of the journal state, for compaction snapshots.
+    jobs: Vec<RecoveredJob>,
+    index: HashMap<String, usize>,
+}
+
+impl WriteAheadLog {
+    /// The default rotation bound for the active segment.
+    pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 1 << 20;
+
+    /// Opens (creating if needed) the journal in `dir`, replays it, and
+    /// compacts the recovered state into a fresh segment — a crash tears
+    /// at most the active segment's tail, and a torn tail must never be
+    /// appended after, so every open starts a clean segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and corrupt (non-frame-level) journal
+    /// content.
+    pub fn open(dir: &Path, max_segment_bytes: u64) -> io::Result<(Self, Recovery)> {
+        std::fs::create_dir_all(dir)?;
+        let recovery = recover(dir)?;
+        let next_seq = list_segments(dir)?.last().map_or(1, |(seq, _)| seq + 1);
+        let mut wal = WriteAheadLog {
+            dir: dir.to_path_buf(),
+            // Placeholder; rotate_to() below installs the real handle.
+            active: OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(segment_path(dir, next_seq))?,
+            active_seq: next_seq,
+            active_bytes: 0,
+            max_segment_bytes: max_segment_bytes.max(1),
+            jobs: recovery.jobs.clone(),
+            index: recovery
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| (j.spec.id.clone(), i))
+                .collect(),
+        };
+        wal.rotate_to(next_seq)?;
+        Ok((wal, recovery))
+    }
+
+    /// The directory holding the segments.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number of the active segment (tests observe
+    /// rotation through this).
+    #[must_use]
+    pub fn active_seq(&self) -> u64 {
+        self.active_seq
+    }
+
+    /// Appends one record, fsyncs it, and rotates the segment if the
+    /// size bound is exceeded. When this returns, the record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; on error the record must be treated as
+    /// not written (the daemon rejects the triggering request).
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let line = record.encode();
+        write_record(&mut self.active, line.as_bytes())?;
+        sync_file(&self.active)?;
+        self.active_bytes += 8 + line.len() as u64;
+        self.apply(record)?;
+        if self.active_bytes > self.max_segment_bytes {
+            self.rotate_to(self.active_seq + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Mirrors the record into the in-memory state (used for
+    /// compaction snapshots), enforcing the journal invariants as
+    /// programmer-error checks on the daemon.
+    fn apply(&mut self, record: &WalRecord) -> io::Result<()> {
+        match record {
+            WalRecord::Accept(spec) => {
+                if !self.index.contains_key(&spec.id) {
+                    self.index.insert(spec.id.clone(), self.jobs.len());
+                    self.jobs.push(RecoveredJob {
+                        spec: spec.clone(),
+                        outcome: None,
+                        dispatches: 0,
+                    });
+                }
+                Ok(())
+            }
+            WalRecord::Dispatch { id, .. } => {
+                let job = self
+                    .index
+                    .get(id)
+                    .map(|&i| &mut self.jobs[i])
+                    .ok_or_else(|| io::Error::other(format!("dispatch for unknown job {id:?}")))?;
+                job.dispatches += 1;
+                Ok(())
+            }
+            WalRecord::Complete { id, outcome } => {
+                let job = self
+                    .index
+                    .get(id)
+                    .map(|&i| &mut self.jobs[i])
+                    .ok_or_else(|| io::Error::other(format!("complete for unknown job {id:?}")))?;
+                if job.outcome.is_some() {
+                    return Err(io::Error::other(format!(
+                        "second terminal record for job {id:?} (exactly-once violation)"
+                    )));
+                }
+                job.outcome = Some(outcome.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Writes the full current state as segment `seq` (atomic replace +
+    /// rename + directory sync), switches appends to it, and deletes
+    /// every older segment.
+    fn rotate_to(&mut self, seq: u64) -> io::Result<()> {
+        let mut snapshot = Vec::new();
+        for job in &self.jobs {
+            write_record(
+                &mut snapshot,
+                WalRecord::Accept(job.spec.clone()).encode().as_bytes(),
+            )?;
+            if let Some(outcome) = &job.outcome {
+                let record = WalRecord::Complete {
+                    id: job.spec.id.clone(),
+                    outcome: outcome.clone(),
+                };
+                write_record(&mut snapshot, record.encode().as_bytes())?;
+            }
+        }
+        let path = segment_path(&self.dir, seq);
+        let bytes = snapshot.len() as u64;
+        atomic_replace(&path, &snapshot)?;
+        for (old_seq, old_path) in list_segments(&self.dir)? {
+            if old_seq < seq {
+                std::fs::remove_file(old_path)?;
+            }
+        }
+        sync_parent_dir(&path)?;
+        self.active = OpenOptions::new().append(true).open(&path)?;
+        self.active_seq = seq;
+        self.active_bytes = bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use std::io::{Read, Seek, SeekFrom, Write};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qpdo-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_owned(),
+            deadline_ms: None,
+            kind: JobKind::Bell { shots: 2 },
+        }
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        let records = vec![
+            WalRecord::Accept(spec("j1")),
+            WalRecord::Dispatch {
+                id: "j1".to_owned(),
+                backend: Backend::Reference,
+                attempt: 2,
+            },
+            WalRecord::Complete {
+                id: "j1".to_owned(),
+                outcome: JobOutcome::Done("1 2 3 4".to_owned()),
+            },
+            WalRecord::Complete {
+                id: "j2".to_owned(),
+                outcome: JobOutcome::Failed("deadline exceeded".to_owned()),
+            },
+        ];
+        for record in records {
+            let line = record.encode();
+            assert_eq!(WalRecord::parse(&line), Ok(record), "{line}");
+        }
+    }
+
+    #[test]
+    fn journal_survives_reopen_with_exact_state() {
+        let dir = tmp_dir("reopen");
+        {
+            let (mut wal, recovery) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            assert!(recovery.jobs.is_empty());
+            wal.append(&WalRecord::Accept(spec("a"))).unwrap();
+            wal.append(&WalRecord::Accept(spec("b"))).unwrap();
+            wal.append(&WalRecord::Dispatch {
+                id: "a".to_owned(),
+                backend: Backend::Packed,
+                attempt: 0,
+            })
+            .unwrap();
+            wal.append(&WalRecord::Complete {
+                id: "a".to_owned(),
+                outcome: JobOutcome::Done("0 1 1 0".to_owned()),
+            })
+            .unwrap();
+        }
+        let (_, recovery) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs.len(), 2);
+        assert_eq!(
+            recovery.jobs[0].outcome,
+            Some(JobOutcome::Done("0 1 1 0".to_owned()))
+        );
+        assert_eq!(recovery.jobs[1].outcome, None);
+        assert_eq!(recovery.pending().len(), 1);
+        assert_eq!(recovery.pending()[0].spec.id, "b");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reopen_starts_clean() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            wal.append(&WalRecord::Accept(spec("kept"))).unwrap();
+            wal.append(&WalRecord::Accept(spec("torn"))).unwrap();
+        }
+        // Tear the last frame mid-payload, as a crash mid-write would.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let (wal, recovery) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(recovery.jobs.len(), 1);
+        assert_eq!(recovery.jobs[0].spec.id, "kept");
+        // The reopened journal compacted into a fresh segment: the torn
+        // bytes are gone from disk, not merely skipped.
+        let (_, active) = list_segments(&dir).unwrap().pop().unwrap();
+        assert_eq!(active, segment_path(&dir, wal.active_seq()));
+        let mut reader = BufReader::new(File::open(&active).unwrap());
+        assert_eq!(read_records(&mut reader).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_compacts_and_deletes_old_segments() {
+        let dir = tmp_dir("rotate");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 64).unwrap();
+        let first_seq = wal.active_seq();
+        for i in 0..20 {
+            wal.append(&WalRecord::Accept(spec(&format!("job-{i}"))))
+                .unwrap();
+            wal.append(&WalRecord::Complete {
+                id: format!("job-{i}"),
+                outcome: JobOutcome::Done("0 0 1 1".to_owned()),
+            })
+            .unwrap();
+        }
+        assert!(wal.active_seq() > first_seq, "no rotation happened");
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1, "old segments were not deleted");
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs.len(), 20);
+        assert!(recovery.jobs.iter().all(|j| j.outcome.is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_refuses_exactly_once_violations() {
+        let dir = tmp_dir("dup");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        wal.append(&WalRecord::Accept(spec("a"))).unwrap();
+        let done = WalRecord::Complete {
+            id: "a".to_owned(),
+            outcome: JobOutcome::Done("1".to_owned()),
+        };
+        wal.append(&done).unwrap();
+        assert!(wal.append(&done).is_err());
+        assert!(wal
+            .append(&WalRecord::Dispatch {
+                id: "ghost".to_owned(),
+                backend: Backend::Packed,
+                attempt: 0,
+            })
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_flags_duplicate_terminals_in_the_journal() {
+        let dir = tmp_dir("audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-write a journal that violates exactly-once.
+        let mut bytes = Vec::new();
+        for line in [
+            "accept a - bell 2",
+            "done a 1 1 0 0",
+            "done a 1 1 0 0",
+            "done ghost 0 0 0 0",
+        ] {
+            write_record(&mut bytes, line.as_bytes()).unwrap();
+        }
+        std::fs::write(segment_path(&dir, 1), bytes).unwrap();
+        let recovery = recover(&dir).unwrap();
+        assert!(!recovery.is_consistent());
+        assert_eq!(recovery.duplicate_terminals, vec!["a".to_owned()]);
+        assert_eq!(recovery.orphaned, vec!["ghost".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_mid_segment_byte_keeps_the_prefix() {
+        let dir = tmp_dir("corrupt");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            wal.append(&WalRecord::Accept(spec("one"))).unwrap();
+            wal.append(&WalRecord::Accept(spec("two"))).unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        // Flip a byte inside the second record's payload.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        let mut content = Vec::new();
+        file.read_to_end(&mut content).unwrap();
+        let target = content.len() - 3;
+        content[target] ^= 0xFF;
+        file.seek(SeekFrom::Start(0)).unwrap();
+        file.write_all(&content).unwrap();
+        drop(file);
+        let recovery = recover(&dir).unwrap();
+        assert_eq!(recovery.jobs.len(), 1);
+        assert_eq!(recovery.jobs[0].spec.id, "one");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,303 @@
+//! In-process integration tests for the shot-service daemon: a real
+//! TCP listener and journal directory, with [`qpdo_serve::daemon::serve`]
+//! running on a test thread and the framed protocol client talking to
+//! it. Process-level crash drills (SIGKILL and restart) live in the
+//! `serve_chaos` binary; these tests cover the same invariants where a
+//! process boundary is not required.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use qpdo_bench::supervisor::CancelToken;
+use qpdo_serve::daemon::{serve, DaemonConfig, ServeStats};
+use qpdo_serve::job::{execute, job_seed, Backend, JobKind, JobSpec};
+use qpdo_serve::protocol::{Client, JobState, Request, Response};
+use qpdo_serve::wal::{JobOutcome, WalRecord, WriteAheadLog};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpdo-serve-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale test dir");
+    }
+    dir
+}
+
+struct TestDaemon {
+    addr: SocketAddr,
+    handle: JoinHandle<std::io::Result<ServeStats>>,
+}
+
+impl TestDaemon {
+    fn start(wal_dir: &std::path::Path, config: DaemonConfig) -> TestDaemon {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind test listener");
+        let addr = listener.local_addr().expect("listener address");
+        let wal_dir = wal_dir.to_path_buf();
+        let handle = thread::spawn(move || serve(listener, &wal_dir, config));
+        TestDaemon { addr, handle }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr, Some(TIMEOUT)).expect("connect to test daemon")
+    }
+
+    fn wait_terminal(&self, id: &str) -> JobState {
+        let deadline = Instant::now() + TIMEOUT;
+        let mut client = self.client();
+        loop {
+            match client
+                .call(&Request::Query(id.to_owned()))
+                .expect("query call")
+            {
+                Response::State(_, state @ (JobState::Done(_) | JobState::Failed(_))) => {
+                    return state;
+                }
+                Response::State(..) => {}
+                other => panic!("query {id} answered {other:?}"),
+            }
+            assert!(Instant::now() < deadline, "job {id} never became terminal");
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn drain(self) -> ServeStats {
+        let response = self.client().call(&Request::Drain).expect("drain call");
+        assert_eq!(response, Response::Drained);
+        self.handle
+            .join()
+            .expect("serve thread panicked")
+            .expect("serve returned an error")
+    }
+}
+
+fn bell(id: &str, shots: u64) -> JobSpec {
+    JobSpec {
+        id: id.to_owned(),
+        deadline_ms: None,
+        kind: JobKind::Bell { shots },
+    }
+}
+
+fn golden(seed: u64, spec: &JobSpec) -> String {
+    execute(
+        &spec.kind,
+        spec.kind.backend_preference()[0],
+        job_seed(seed, &spec.id),
+        &CancelToken::new(),
+    )
+    .expect("golden execution")
+}
+
+#[test]
+fn submit_query_duplicate_and_drain() {
+    let dir = fresh_dir("roundtrip");
+    let config = DaemonConfig::default();
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    let spec = bell("bell-1", 4);
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Accepted("bell-1".to_owned())
+    );
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Duplicate("bell-1".to_owned()),
+        "an id is an idempotency key"
+    );
+    match client
+        .call(&Request::Query("no-such-job".to_owned()))
+        .unwrap()
+    {
+        Response::Rejected(reason) => assert!(reason.contains("unknown job")),
+        other => panic!("unknown-id query answered {other:?}"),
+    }
+
+    let JobState::Done(record) = daemon.wait_terminal("bell-1") else {
+        panic!("bell-1 did not complete");
+    };
+    assert_eq!(record, golden(seed, &spec));
+
+    let Response::Health(health) = client.call(&Request::Health).unwrap() else {
+        panic!("no health snapshot");
+    };
+    assert!(health.accepting);
+    assert_eq!(health.accepted, 1);
+    assert_eq!(health.completed, 1);
+    assert_eq!(health.duplicates, 1);
+
+    let stats = daemon.drain();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.duplicates, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_completes_pending_and_never_reexecutes_done() {
+    let dir = fresh_dir("recovery");
+    let seed = DaemonConfig::default().base_seed;
+    let done = bell("done-1", 3);
+    let pending = bell("pending-1", 3);
+
+    // Hand-build the journal a crashed daemon would leave behind: one
+    // job completed (with a sentinel record no real execution could
+    // produce) and one accepted but unfinished.
+    {
+        let (mut wal, _) =
+            WriteAheadLog::open(&dir, WriteAheadLog::DEFAULT_MAX_SEGMENT_BYTES).unwrap();
+        wal.append(&WalRecord::Accept(done.clone())).unwrap();
+        wal.append(&WalRecord::Accept(pending.clone())).unwrap();
+        wal.append(&WalRecord::Complete {
+            id: done.id.clone(),
+            outcome: JobOutcome::Done("sentinel-not-a-real-record".to_owned()),
+        })
+        .unwrap();
+    }
+
+    let daemon = TestDaemon::start(&dir, DaemonConfig::default());
+
+    // The completed job answers from the journal, not a re-execution:
+    // the sentinel would be replaced if it ran again.
+    let JobState::Done(record) = daemon.wait_terminal("done-1") else {
+        panic!("done-1 lost its terminal state");
+    };
+    assert_eq!(record, "sentinel-not-a-real-record");
+
+    // The pending job re-executes deterministically.
+    let JobState::Done(record) = daemon.wait_terminal("pending-1") else {
+        panic!("pending-1 did not recover");
+    };
+    assert_eq!(record, golden(seed, &pending));
+
+    // Resubmitting either deduplicates — accepted state survived.
+    let mut client = daemon.client();
+    assert_eq!(
+        client.call(&Request::Submit(done)).unwrap(),
+        Response::Duplicate("done-1".to_owned())
+    );
+    assert_eq!(
+        client.call(&Request::Submit(pending)).unwrap(),
+        Response::Duplicate("pending-1".to_owned())
+    );
+
+    let stats = daemon.drain();
+    assert_eq!(stats.accepted, 2, "both journaled jobs count as accepted");
+    assert_eq!(stats.completed, 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn overload_sheds_when_the_queue_is_full() {
+    let dir = fresh_dir("overload");
+    let config = DaemonConfig {
+        jobs: 1,
+        queue_depth: 1,
+        chaos_stall: Duration::from_millis(300),
+        ..DaemonConfig::default()
+    };
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    let mut accepted = Vec::new();
+    let mut shed = 0;
+    for i in 0..6 {
+        let spec = bell(&format!("burst-{i}"), 2);
+        match client.call(&Request::Submit(spec.clone())).unwrap() {
+            Response::Accepted(_) => accepted.push(spec),
+            Response::Rejected(reason) => {
+                assert!(reason.contains("overloaded"), "{reason:?}");
+                shed += 1;
+            }
+            other => panic!("burst submit answered {other:?}"),
+        }
+    }
+    assert!(shed >= 1, "a depth-1 queue must shed part of the burst");
+    for spec in &accepted {
+        let JobState::Done(record) = daemon.wait_terminal(&spec.id) else {
+            panic!("{} did not complete", spec.id);
+        };
+        assert_eq!(record, golden(seed, spec));
+    }
+    let stats = daemon.drain();
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.completed, accepted.len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deadlines_cancel_stalled_jobs() {
+    let dir = fresh_dir("deadline");
+    let config = DaemonConfig {
+        jobs: 1,
+        chaos_stall: Duration::from_millis(400),
+        ..DaemonConfig::default()
+    };
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+    let spec = JobSpec {
+        id: "late-1".to_owned(),
+        deadline_ms: Some(80),
+        kind: JobKind::Bell { shots: 2 },
+    };
+    assert_eq!(
+        client.call(&Request::Submit(spec)).unwrap(),
+        Response::Accepted("late-1".to_owned())
+    );
+    let JobState::Failed(error) = daemon.wait_terminal("late-1") else {
+        panic!("late-1 must miss its deadline");
+    };
+    assert!(error.contains("deadline"), "{error:?}");
+    let stats = daemon.drain();
+    assert_eq!(stats.failed, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[cfg(feature = "reference")]
+#[test]
+fn tripped_breaker_reroutes_with_identical_results() {
+    let dir = fresh_dir("breaker");
+    let config = DaemonConfig {
+        jobs: 1,
+        chaos_backend_fail: Some((Backend::Packed, 2)),
+        breaker_threshold: 1,
+        // Long cooloff: the packed breaker stays open for the whole
+        // test, so completion proves the reference reroute.
+        breaker_cooloff: Duration::from_secs(120),
+        ..DaemonConfig::default()
+    };
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    let spec = bell("reroute-1", 4);
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Accepted("reroute-1".to_owned())
+    );
+    let JobState::Done(record) = daemon.wait_terminal("reroute-1") else {
+        panic!("reroute-1 did not complete");
+    };
+    assert_eq!(
+        record,
+        golden(seed, &spec),
+        "the reference backend must reproduce the packed result"
+    );
+
+    let Response::Health(health) = client.call(&Request::Health).unwrap() else {
+        panic!("no health snapshot");
+    };
+    assert!(health.breaker_trips >= 1);
+    assert!(health.reroutes >= 1);
+    assert_eq!(health.breakers[Backend::Packed.index()].name(), "open");
+
+    let stats = daemon.drain();
+    assert_eq!(stats.completed, 1);
+    assert!(stats.reroutes >= 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

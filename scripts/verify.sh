@@ -100,4 +100,13 @@ echo "== kernel bench smoke: bench_kernels --smoke =="
 # report schema — both before writing and after re-reading from disk.
 ./target/release/bench_kernels --smoke --out "$smoke_out"
 
+echo "== crash-recovery gate: serve_chaos --smoke =="
+# The shot-service chaos drill (DESIGN.md §9.5): spawns qpdo_serve,
+# SIGKILLs it with jobs in flight, restarts on the same journal, and
+# asserts exactly-once completion with results byte-identical to an
+# unfaulted execution of the same seeds — then trips a circuit breaker
+# with injected backend failures and checks reroute + half-open
+# recovery, overload shedding, and deadline enforcement.
+./target/release/serve_chaos --smoke
+
 echo "verify: OK"
