@@ -13,7 +13,7 @@
 //! ```text
 //! qpdo_serve --wal-dir results/wal [--port N] [shared harness flags]
 //!     [--max-job-attempts N] [--breaker-threshold N]
-//!     [--breaker-cooloff-ms N]
+//!     [--breaker-cooloff-ms N] [--retain-terminal N]
 //!     [--chaos-backend-fail BACKEND:N] [--chaos-stall-ms N]
 //! ```
 
@@ -34,6 +34,7 @@ usage: qpdo_serve --wal-dir DIR [options]
   --max-job-attempts N      attempts across backends before terminal failure (default 5)
   --breaker-threshold N     consecutive failures that trip a backend breaker (default 3)
   --breaker-cooloff-ms N    breaker cooloff before the half-open probe (default 500)
+  --retain-terminal N       terminal jobs kept through journal compaction (default 65536)
   --chaos-backend-fail B:N  fault injection: first N executions on backend B fail
   --chaos-stall-ms N        fault injection: stall every execution N ms
 plus the shared harness flags:
@@ -103,6 +104,11 @@ fn main() {
                 let v = flag_value(&mut args, i, "--breaker-cooloff-ms");
                 config.breaker_cooloff =
                     Duration::from_millis(parse_ms("--breaker-cooloff-ms", &v, false));
+            }
+            "--retain-terminal" => {
+                let v = flag_value(&mut args, i, "--retain-terminal");
+                config.retain_terminal =
+                    parse_ms("--retain-terminal", &v, false).min(usize::MAX as u64) as usize;
             }
             "--chaos-backend-fail" => {
                 let v = flag_value(&mut args, i, "--chaos-backend-fail");

@@ -60,6 +60,10 @@ pub struct DaemonConfig {
     pub breaker_cooloff: Duration,
     /// Journal segment size bound before rotation.
     pub max_segment_bytes: u64,
+    /// Terminal jobs retained through journal compaction; older ones
+    /// are pruned (they lose crash-surviving dedup, but deterministic
+    /// seeds keep any re-execution byte-identical).
+    pub retain_terminal: usize,
     /// Fault injection: the first `n` executions on this backend fail.
     pub chaos_backend_fail: Option<(Backend, u32)>,
     /// Fault injection: every execution stalls this long first (widens
@@ -79,6 +83,7 @@ impl Default for DaemonConfig {
             breaker_threshold: 3,
             breaker_cooloff: Duration::from_millis(500),
             max_segment_bytes: WriteAheadLog::DEFAULT_MAX_SEGMENT_BYTES,
+            retain_terminal: WriteAheadLog::DEFAULT_RETAIN_TERMINAL,
             chaos_backend_fail: None,
             chaos_stall: Duration::ZERO,
         }
@@ -107,6 +112,11 @@ struct JobEntry {
     state: JobState,
     attempts: u32,
     accepted_at: Instant,
+    /// A computed terminal outcome whose journal append failed: the
+    /// dispatcher retries the *identical* append instead of
+    /// re-executing, so the worst case on disk is a byte-identical
+    /// duplicate record (which recovery absorbs), never a conflict.
+    pending_outcome: Option<JobOutcome>,
 }
 
 impl JobEntry {
@@ -175,7 +185,8 @@ pub fn serve(
     wal_dir: &Path,
     config: DaemonConfig,
 ) -> io::Result<ServeStats> {
-    let (wal, recovery) = WriteAheadLog::open(wal_dir, config.max_segment_bytes)?;
+    let (mut wal, recovery) = WriteAheadLog::open(wal_dir, config.max_segment_bytes)?;
+    wal.set_retain_terminal(config.retain_terminal);
     if !recovery.is_consistent() {
         return Err(io::Error::other(format!(
             "journal violates exactly-once: duplicate terminals {:?}, orphaned {:?}",
@@ -210,6 +221,7 @@ pub fn serve(
                 state,
                 attempts: 0,
                 accepted_at: now,
+                pending_outcome: None,
             },
         );
     }
@@ -337,6 +349,7 @@ fn handle_submit(service: &Service, mut spec: JobSpec) -> Response {
             state: JobState::Queued,
             attempts: 0,
             accepted_at: Instant::now(),
+            pending_outcome: None,
         },
     );
     state.queue.push_back(spec.id.clone());
@@ -387,7 +400,8 @@ fn dispatch_loop(service: &Service) {
             pick_round(service, &mut state)
         };
         if round.is_empty() {
-            // Jobs are queued but every eligible breaker is open: wait
+            // Jobs are queued but undispatchable — every eligible
+            // breaker is open, or a journal append is failing: wait
             // out (a fraction of) the cooloff instead of spinning.
             let wait = service
                 .config
@@ -405,7 +419,10 @@ fn dispatch_loop(service: &Service) {
 /// Pops up to a pool-sized round of dispatchable jobs, journaling the
 /// dispatch and choosing a backend for each. Jobs past their deadline
 /// fail terminally here; jobs with every backend's breaker open stay
-/// queued (in order) for a later round.
+/// queued (in order) for a later round. A failing journal append stops
+/// the pass (the affected job goes back to the queue front) so a
+/// persistent WAL error degrades into dispatcher backoff instead of
+/// spinning on the same job while holding the state lock.
 fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
     let now = Instant::now();
     let mut round = Vec::new();
@@ -415,15 +432,25 @@ fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
             break;
         };
         let entry = state.jobs.get(&id).expect("queued job exists");
+        // A journal-retry job: the result is already computed, only its
+        // terminal record is missing. Retry the identical append.
+        if let Some(outcome) = entry.pending_outcome.clone() {
+            if !journal_complete(service, state, &id, outcome) {
+                break;
+            }
+            continue;
+        }
         let deadline = entry.deadline();
         if deadline.is_some_and(|d| d <= now) {
-            complete(
+            if !complete(
                 service,
                 state,
                 &id,
                 Err("deadline exceeded".to_owned()),
                 None,
-            );
+            ) {
+                break;
+            }
             continue;
         }
         let preference = entry.spec.kind.backend_preference();
@@ -603,41 +630,66 @@ fn requeue_front(state: &mut ServiceState, id: &str) {
 }
 
 /// Journals and records a terminal outcome (WAL-before-result).
+/// Returns whether the record became durable; on failure the outcome is
+/// parked on the entry and the job requeued for a journal retry.
 fn complete(
     service: &Service,
     state: &mut ServiceState,
     id: &str,
     result: Result<String, String>,
     attempts: Option<u32>,
-) {
-    let (outcome, job_state) = match result {
-        Ok(record) => (JobOutcome::Done(record.clone()), JobState::Done(record)),
+) -> bool {
+    let outcome = match result {
+        Ok(record) => JobOutcome::Done(record),
         Err(error) => {
             let error = match attempts {
                 Some(n) => format!("{error} (after {n} attempts)"),
                 None => error,
             };
-            (JobOutcome::Failed(error.clone()), JobState::Failed(error))
+            JobOutcome::Failed(error)
         }
     };
-    {
+    journal_complete(service, state, id, outcome)
+}
+
+/// Appends the terminal record and, once durable, makes the result
+/// queryable. If the append fails, the computed outcome is parked on
+/// the entry and the job requeued: the dispatcher retries the *same*
+/// append rather than re-executing, so even when the failed write's
+/// bytes did reach disk, the retry can only produce a byte-identical
+/// duplicate record — which recovery absorbs — never a conflicting
+/// terminal that would brick the next restart.
+fn journal_complete(
+    service: &Service,
+    state: &mut ServiceState,
+    id: &str,
+    outcome: JobOutcome,
+) -> bool {
+    let append = {
         let mut wal = service.wal.lock().expect("wal lock");
-        if let Err(e) = wal.append(&WalRecord::Complete {
+        wal.append(&WalRecord::Complete {
             id: id.to_owned(),
             outcome: outcome.clone(),
-        }) {
-            // The result is computed but not durable: keep the job
-            // queued rather than risk a lost-after-ack result. The
-            // deterministic re-execution will journal it next time.
-            eprintln!("warning: journal complete record failed for {id}: {e}");
-            requeue_front(state, id);
-            return;
-        }
+        })
+    };
+    if let Err(e) = append {
+        eprintln!("warning: journal complete record failed for {id}: {e}");
+        let entry = state.jobs.get_mut(id).expect("completed job exists");
+        entry.pending_outcome = Some(outcome);
+        requeue_front(state, id);
+        return false;
     }
     let entry = state.jobs.get_mut(id).expect("completed job exists");
-    entry.state = job_state;
+    entry.pending_outcome = None;
     match outcome {
-        JobOutcome::Done(_) => state.stats.completed += 1,
-        JobOutcome::Failed(_) => state.stats.failed += 1,
+        JobOutcome::Done(record) => {
+            entry.state = JobState::Done(record);
+            state.stats.completed += 1;
+        }
+        JobOutcome::Failed(error) => {
+            entry.state = JobState::Failed(error);
+            state.stats.failed += 1;
+        }
     }
+    true
 }

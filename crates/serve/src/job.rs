@@ -16,13 +16,13 @@ use qpdo_rng::rngs::StdRng;
 use qpdo_rng::SeedableRng;
 use qpdo_stabilizer::{CliffordTableau, StabilizerSim};
 use qpdo_statevector::Complex;
-use qpdo_surface17::experiment::{run_ler, LerConfig, LogicalErrorKind};
+use qpdo_surface17::experiment::{run_ler_cancellable, LerConfig, LogicalErrorKind};
 use qpdo_surface17::{logical_cnot, NinjaStar, StarLayout};
 
 #[cfg(feature = "reference")]
 use qpdo_stabilizer::ReferenceTableau;
 #[cfg(feature = "reference")]
-use qpdo_surface17::experiment::run_ler_reference;
+use qpdo_surface17::experiment::run_ler_reference_cancellable;
 
 /// The longest job id the service accepts.
 pub const MAX_JOB_ID_LEN: usize = 128;
@@ -317,7 +317,7 @@ pub fn execute(
             Backend::Packed,
         ) => {
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
-            Ok(run_ler(&config).map_err(ShotError::from)?.to_record())
+            Ok(run_ler_cancellable(&config, &|| cancel.is_cancelled())?.to_record())
         }
         #[cfg(feature = "reference")]
         (
@@ -331,9 +331,7 @@ pub fn execute(
             Backend::Reference,
         ) => {
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
-            Ok(run_ler_reference(&config)
-                .map_err(ShotError::from)?
-                .to_record())
+            Ok(run_ler_reference_cancellable(&config, &|| cancel.is_cancelled())?.to_record())
         }
         (JobKind::Bell { shots }, Backend::Packed) => {
             let counts = bell_counts::<StabilizerSim>(*shots, seed, cancel)?;
@@ -592,6 +590,24 @@ mod tests {
         let cancel = CancelToken::new();
         cancel.cancel();
         let result = execute(&JobKind::Bell { shots: 5 }, Backend::Packed, 1, &cancel);
+        assert!(matches!(result, Err(ShotError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn cancelled_ler_job_reports_cancellation() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let kind = JobKind::Ler {
+            per: 0.005,
+            kind: LogicalErrorKind::XL,
+            with_pf: true,
+            target: 50,
+            max_windows: 1_000_000,
+        };
+        // The window loop consults the token, so even a huge job stops
+        // immediately — this is what lets a deadline watcher cancel a
+        // running LER job instead of stalling the round.
+        let result = execute(&kind, Backend::Packed, 1, &cancel);
         assert!(matches!(result, Err(ShotError::Cancelled { .. })));
     }
 }

@@ -16,14 +16,23 @@
 //! re-queued; their deterministic seeds make re-execution byte-identical,
 //! so recovery is exactly-once by construction. A torn tail (the frame
 //! being written when the process died) is dropped by the CRC framing;
-//! everything before it is intact.
+//! everything before it is intact. A byte-identical duplicate terminal
+//! record is absorbed (it is a retried append of the same outcome, not
+//! a second execution); only *conflicting* terminals are flagged.
 //!
 //! **Rotation:** [`WriteAheadLog::open`] always compacts the recovered
 //! state into a fresh segment (atomic write + rename + directory sync)
 //! and deletes the old ones — both to bound startup cost and because a
-//! torn tail must never be appended after. During operation the log
-//! rotates the same way whenever the active segment exceeds the size
-//! bound.
+//! torn tail must never be appended after. Every compacted segment
+//! begins with a `snapshot` marker record: replay resets at the marker,
+//! so a crash *between* the snapshot rename and the old-segment unlinks
+//! (both left on disk) still recovers to exactly the snapshot state.
+//! During operation the log rotates once a full size bound of fresh
+//! records has been appended since the last compaction — paced on
+//! appended bytes, not total segment size, so a snapshot larger than
+//! the bound never forces a rewrite per append — and compaction prunes
+//! terminal jobs beyond a retention count to keep the snapshot (and the
+//! in-memory mirror) bounded for a long-lived daemon.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -64,6 +73,10 @@ pub enum WalRecord {
         /// The terminal result.
         outcome: JobOutcome,
     },
+    /// First record of a compacted segment: everything replayed before
+    /// this point belongs to older segments that the rotation meant to
+    /// delete, and is superseded by the records that follow.
+    Snapshot,
 }
 
 impl WalRecord {
@@ -83,6 +96,7 @@ impl WalRecord {
                 id,
                 outcome: JobOutcome::Failed(error),
             } => format!("failed {id} {error}"),
+            WalRecord::Snapshot => "snapshot".to_owned(),
         }
     }
 
@@ -106,6 +120,7 @@ impl WalRecord {
                 id: (*id).to_owned(),
                 outcome: JobOutcome::Failed(error.join(" ")),
             }),
+            ["snapshot"] => Ok(WalRecord::Snapshot),
             _ => Err(format!("unknown journal record {line:?}")),
         }
     }
@@ -169,15 +184,24 @@ impl Recovery {
             }
             WalRecord::Complete { id, outcome } => {
                 match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
-                    Some(job) => {
-                        if job.outcome.is_some() {
-                            self.duplicate_terminals.push(id.clone());
-                        } else {
-                            job.outcome = Some(outcome.clone());
-                        }
-                    }
+                    Some(job) => match &job.outcome {
+                        // A byte-identical duplicate is a retried append
+                        // of the same terminal (the first write's fsync
+                        // failed but its bytes reached disk): absorbed.
+                        Some(existing) if existing == outcome => {}
+                        Some(_) => self.duplicate_terminals.push(id.clone()),
+                        None => job.outcome = Some(outcome.clone()),
+                    },
                     None => self.orphaned.push(id.clone()),
                 }
+            }
+            WalRecord::Snapshot => {
+                // A compacted segment starts here; whatever older
+                // segments a crash mid-rotation left behind is
+                // superseded by the snapshot contents that follow.
+                self.jobs.clear();
+                self.duplicate_terminals.clear();
+                self.orphaned.clear();
             }
         }
     }
@@ -241,7 +265,13 @@ pub struct WriteAheadLog {
     active: File,
     active_seq: u64,
     active_bytes: u64,
+    /// Rotate once `active_bytes` passes this: the last snapshot's size
+    /// plus a full `max_segment_bytes` of fresh appends, so a snapshot
+    /// larger than the bound cannot force a rewrite on every append.
+    rotate_at: u64,
     max_segment_bytes: u64,
+    /// Terminal jobs beyond this count are pruned at compaction.
+    retain_terminal: usize,
     /// Mirror of the journal state, for compaction snapshots.
     jobs: Vec<RecoveredJob>,
     index: HashMap<String, usize>,
@@ -250,6 +280,12 @@ pub struct WriteAheadLog {
 impl WriteAheadLog {
     /// The default rotation bound for the active segment.
     pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 1 << 20;
+
+    /// The default bound on terminal jobs kept through compaction.
+    /// Jobs pruned past it lose crash-surviving dedup/queryability —
+    /// a resubmission re-executes, which the deterministic seeds make
+    /// byte-identical, so the observable contract is preserved.
+    pub const DEFAULT_RETAIN_TERMINAL: usize = 1 << 16;
 
     /// Opens (creating if needed) the journal in `dir`, replays it, and
     /// compacts the recovered state into a fresh segment — a crash tears
@@ -273,7 +309,9 @@ impl WriteAheadLog {
                 .open(segment_path(dir, next_seq))?,
             active_seq: next_seq,
             active_bytes: 0,
+            rotate_at: max_segment_bytes.max(1),
             max_segment_bytes: max_segment_bytes.max(1),
+            retain_terminal: Self::DEFAULT_RETAIN_TERMINAL,
             jobs: recovery.jobs.clone(),
             index: recovery
                 .jobs
@@ -299,29 +337,72 @@ impl WriteAheadLog {
         self.active_seq
     }
 
-    /// Appends one record, fsyncs it, and rotates the segment if the
-    /// size bound is exceeded. When this returns, the record is durable.
+    /// Bounds the terminal jobs kept through compaction (oldest pruned
+    /// first; pending jobs are always kept). Takes effect at the next
+    /// rotation.
+    pub fn set_retain_terminal(&mut self, retain_terminal: usize) {
+        self.retain_terminal = retain_terminal.max(1);
+    }
+
+    /// Appends one record, fsyncs it, and rotates the segment once a
+    /// full size bound of fresh records has accumulated. When this
+    /// returns, the record is durable.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; on error the record must be treated as
-    /// not written (the daemon rejects the triggering request).
+    /// Refuses invariant-violating records (a conflicting terminal, a
+    /// dispatch/terminal for an unknown id) *before* any byte reaches
+    /// disk — a rejected record must leave no durable trace, or the
+    /// next restart would flag it. I/O errors are propagated; on an I/O
+    /// error the record's durability is unknown, so callers must retry
+    /// the identical record, never a different outcome for the same id.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.validate(record)?;
         let line = record.encode();
         write_record(&mut self.active, line.as_bytes())?;
         sync_file(&self.active)?;
         self.active_bytes += 8 + line.len() as u64;
-        self.apply(record)?;
-        if self.active_bytes > self.max_segment_bytes {
+        self.apply(record);
+        if self.active_bytes > self.rotate_at {
             self.rotate_to(self.active_seq + 1)?;
         }
         Ok(())
     }
 
-    /// Mirrors the record into the in-memory state (used for
-    /// compaction snapshots), enforcing the journal invariants as
-    /// programmer-error checks on the daemon.
-    fn apply(&mut self, record: &WalRecord) -> io::Result<()> {
+    /// Enforces the journal invariants as programmer-error checks on
+    /// the daemon, without touching disk or the mirror.
+    fn validate(&self, record: &WalRecord) -> io::Result<()> {
+        match record {
+            WalRecord::Accept(_) | WalRecord::Snapshot => Ok(()),
+            WalRecord::Dispatch { id, .. } => {
+                if self.index.contains_key(id) {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(format!("dispatch for unknown job {id:?}")))
+                }
+            }
+            WalRecord::Complete { id, outcome } => {
+                let job =
+                    self.index.get(id).map(|&i| &self.jobs[i]).ok_or_else(|| {
+                        io::Error::other(format!("complete for unknown job {id:?}"))
+                    })?;
+                match &job.outcome {
+                    // A retried append of the identical terminal (the
+                    // first attempt's error may still have left durable
+                    // bytes): allowed, recovery absorbs the duplicate.
+                    Some(existing) if existing == outcome => Ok(()),
+                    Some(_) => Err(io::Error::other(format!(
+                        "conflicting terminal record for job {id:?} (exactly-once violation)"
+                    ))),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Mirrors a validated record into the in-memory state (used for
+    /// compaction snapshots).
+    fn apply(&mut self, record: &WalRecord) {
         match record {
             WalRecord::Accept(spec) => {
                 if !self.index.contains_key(&spec.id) {
@@ -332,39 +413,56 @@ impl WriteAheadLog {
                         dispatches: 0,
                     });
                 }
-                Ok(())
             }
             WalRecord::Dispatch { id, .. } => {
-                let job = self
-                    .index
-                    .get(id)
-                    .map(|&i| &mut self.jobs[i])
-                    .ok_or_else(|| io::Error::other(format!("dispatch for unknown job {id:?}")))?;
-                job.dispatches += 1;
-                Ok(())
+                self.jobs[self.index[id]].dispatches += 1;
             }
             WalRecord::Complete { id, outcome } => {
-                let job = self
-                    .index
-                    .get(id)
-                    .map(|&i| &mut self.jobs[i])
-                    .ok_or_else(|| io::Error::other(format!("complete for unknown job {id:?}")))?;
-                if job.outcome.is_some() {
-                    return Err(io::Error::other(format!(
-                        "second terminal record for job {id:?} (exactly-once violation)"
-                    )));
+                let job = &mut self.jobs[self.index[id]];
+                if job.outcome.is_none() {
+                    job.outcome = Some(outcome.clone());
                 }
-                job.outcome = Some(outcome.clone());
-                Ok(())
             }
+            // Only written directly by `rotate_to`, never appended.
+            WalRecord::Snapshot => {}
         }
     }
 
-    /// Writes the full current state as segment `seq` (atomic replace +
-    /// rename + directory sync), switches appends to it, and deletes
-    /// every older segment.
+    /// Prunes the oldest terminal jobs beyond the retention bound (a
+    /// pending job is never pruned), rebuilding the id index.
+    fn prune_terminal(&mut self) {
+        let terminal = self.jobs.iter().filter(|j| j.outcome.is_some()).count();
+        if terminal <= self.retain_terminal {
+            return;
+        }
+        let mut drop = terminal - self.retain_terminal;
+        self.jobs.retain(|job| {
+            if drop > 0 && job.outcome.is_some() {
+                drop -= 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.index = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.spec.id.clone(), i))
+            .collect();
+    }
+
+    /// Writes the current state (after retention pruning) as segment
+    /// `seq` — a `snapshot` marker followed by one `accept` plus the
+    /// terminal per job, atomic replace + rename + directory sync —
+    /// switches appends to it, and deletes every older segment. The
+    /// leading marker makes the deletes safe: if a crash leaves old
+    /// segments beside the renamed snapshot, replay resets at the
+    /// marker instead of double-counting their terminal records.
     fn rotate_to(&mut self, seq: u64) -> io::Result<()> {
+        self.prune_terminal();
         let mut snapshot = Vec::new();
+        write_record(&mut snapshot, WalRecord::Snapshot.encode().as_bytes())?;
         for job in &self.jobs {
             write_record(
                 &mut snapshot,
@@ -390,6 +488,7 @@ impl WriteAheadLog {
         self.active = OpenOptions::new().append(true).open(&path)?;
         self.active_seq = seq;
         self.active_bytes = bytes;
+        self.rotate_at = bytes + self.max_segment_bytes;
         Ok(())
     }
 }
@@ -431,6 +530,7 @@ mod tests {
                 id: "j2".to_owned(),
                 outcome: JobOutcome::Failed("deadline exceeded".to_owned()),
             },
+            WalRecord::Snapshot,
         ];
         for record in records {
             let line = record.encode();
@@ -490,11 +590,12 @@ mod tests {
         assert_eq!(recovery.jobs.len(), 1);
         assert_eq!(recovery.jobs[0].spec.id, "kept");
         // The reopened journal compacted into a fresh segment: the torn
-        // bytes are gone from disk, not merely skipped.
+        // bytes are gone from disk, not merely skipped. The segment
+        // holds the snapshot marker plus the one surviving accept.
         let (_, active) = list_segments(&dir).unwrap().pop().unwrap();
         assert_eq!(active, segment_path(&dir, wal.active_seq()));
         let mut reader = BufReader::new(File::open(&active).unwrap());
-        assert_eq!(read_records(&mut reader).unwrap().len(), 1);
+        assert_eq!(read_records(&mut reader).unwrap().len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -523,7 +624,7 @@ mod tests {
     }
 
     #[test]
-    fn append_refuses_exactly_once_violations() {
+    fn append_absorbs_identical_terminals_and_refuses_conflicts() {
         let dir = tmp_dir("dup");
         let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
         wal.append(&WalRecord::Accept(spec("a"))).unwrap();
@@ -532,7 +633,15 @@ mod tests {
             outcome: JobOutcome::Done("1".to_owned()),
         };
         wal.append(&done).unwrap();
-        assert!(wal.append(&done).is_err());
+        // A retried append of the identical terminal is absorbed...
+        wal.append(&done).unwrap();
+        // ...but a conflicting outcome is an exactly-once violation.
+        assert!(wal
+            .append(&WalRecord::Complete {
+                id: "a".to_owned(),
+                outcome: JobOutcome::Failed("boom".to_owned()),
+            })
+            .is_err());
         assert!(wal
             .append(&WalRecord::Dispatch {
                 id: "ghost".to_owned(),
@@ -540,19 +649,27 @@ mod tests {
                 attempt: 0,
             })
             .is_err());
+        // The doubled identical record on disk recovers consistently.
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(
+            recovery.jobs[0].outcome,
+            Some(JobOutcome::Done("1".to_owned()))
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn recovery_flags_duplicate_terminals_in_the_journal() {
+    fn recovery_flags_conflicting_terminals_in_the_journal() {
         let dir = tmp_dir("audit");
         std::fs::create_dir_all(&dir).unwrap();
-        // Hand-write a journal that violates exactly-once.
+        // Hand-write a journal that violates exactly-once: conflicting
+        // terminal outcomes and an orphaned record.
         let mut bytes = Vec::new();
         for line in [
             "accept a - bell 2",
             "done a 1 1 0 0",
-            "done a 1 1 0 0",
+            "failed a boom",
             "done ghost 0 0 0 0",
         ] {
             write_record(&mut bytes, line.as_bytes()).unwrap();
@@ -562,6 +679,137 @@ mod tests {
         assert!(!recovery.is_consistent());
         assert_eq!(recovery.duplicate_terminals, vec!["a".to_owned()]);
         assert_eq!(recovery.orphaned, vec!["ghost".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_absorbs_identical_duplicate_terminals() {
+        let dir = tmp_dir("absorb");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A retried append of the same terminal leaves two identical
+        // records on disk; the audit must stay consistent.
+        let mut bytes = Vec::new();
+        for line in ["accept a - bell 2", "done a 1 1 0 0", "done a 1 1 0 0"] {
+            write_record(&mut bytes, line.as_bytes()).unwrap();
+        }
+        std::fs::write(segment_path(&dir, 1), bytes).unwrap();
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs.len(), 1);
+        assert_eq!(
+            recovery.jobs[0].outcome,
+            Some(JobOutcome::Done("1 1 0 0".to_owned()))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_rotation_leaves_a_recoverable_journal() {
+        let dir = tmp_dir("interrupted");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            wal.append(&WalRecord::Accept(spec("a"))).unwrap();
+            wal.append(&WalRecord::Complete {
+                id: "a".to_owned(),
+                outcome: JobOutcome::Done("1 1 0 0".to_owned()),
+            })
+            .unwrap();
+            wal.append(&WalRecord::Accept(spec("b"))).unwrap();
+        }
+        // Simulate `kill -9` between the snapshot rename and the
+        // old-segment unlinks: compact (reopen), then resurrect the
+        // pre-compaction segment beside the fresh snapshot.
+        let (_, old_path) = list_segments(&dir).unwrap().pop().unwrap();
+        let old_bytes = std::fs::read(&old_path).unwrap();
+        {
+            let _ = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        }
+        std::fs::write(&old_path, old_bytes).unwrap();
+        assert!(list_segments(&dir).unwrap().len() > 1);
+
+        // The audit replays the stale segment, then resets at the
+        // snapshot marker: no duplicate terminals, exact state.
+        let recovery = recover(&dir).unwrap();
+        assert!(
+            recovery.is_consistent(),
+            "duplicates {:?}, orphans {:?}",
+            recovery.duplicate_terminals,
+            recovery.orphaned
+        );
+        assert_eq!(recovery.jobs.len(), 2);
+        assert_eq!(
+            recovery.jobs[0].outcome,
+            Some(JobOutcome::Done("1 1 0 0".to_owned()))
+        );
+        assert_eq!(recovery.pending().len(), 1);
+
+        // And the service-facing open (which the daemon gates startup
+        // on) also succeeds and cleans up the stale segment.
+        let (_, recovery) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs.len(), 2);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_snapshot_does_not_rotate_on_every_append() {
+        let dir = tmp_dir("pacing");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 64).unwrap();
+        // Grow the compacted state far past the 64-byte bound.
+        for i in 0..20 {
+            wal.append(&WalRecord::Accept(spec(&format!("big-{i}"))))
+                .unwrap();
+            wal.append(&WalRecord::Complete {
+                id: format!("big-{i}"),
+                outcome: JobOutcome::Done("0 0 1 1".to_owned()),
+            })
+            .unwrap();
+        }
+        // Rotation is paced on bytes appended since the last snapshot,
+        // so small appends must not each trigger a full-history rewrite.
+        let before = wal.active_seq();
+        let appends = 10u64;
+        for i in 0..appends {
+            wal.append(&WalRecord::Accept(spec(&format!("t-{i}"))))
+                .unwrap();
+        }
+        let rotations = wal.active_seq() - before;
+        assert!(
+            rotations < appends,
+            "{rotations} rotations for {appends} appends"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_prunes_terminal_jobs_beyond_retention() {
+        let dir = tmp_dir("retain");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 64).unwrap();
+        wal.set_retain_terminal(2);
+        wal.append(&WalRecord::Accept(spec("keep-pending")))
+            .unwrap();
+        for i in 0..10 {
+            wal.append(&WalRecord::Accept(spec(&format!("t-{i}"))))
+                .unwrap();
+            wal.append(&WalRecord::Complete {
+                id: format!("t-{i}"),
+                outcome: JobOutcome::Done("0 0 1 1".to_owned()),
+            })
+            .unwrap();
+        }
+        // Every in-flight rotation pruned down to 2 terminal jobs; only
+        // the short tail appended after the last rotation rides on top.
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        let terminal = recovery.jobs.iter().filter(|j| j.outcome.is_some()).count();
+        assert!(terminal <= 5, "retention kept {terminal} terminal jobs");
+        // The newest terminal job and the pending job always survive.
+        assert!(recovery.jobs.iter().any(|j| j.spec.id == "t-9"));
+        assert!(recovery
+            .jobs
+            .iter()
+            .any(|j| j.spec.id == "keep-pending" && j.outcome.is_none()));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -192,7 +192,26 @@ impl LerOutcome {
 /// for valid configurations).
 pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
     let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
-    run_ler_stack::<StabilizerSim>(config, frame).map(|(outcome, _)| outcome)
+    run_ler_stack::<StabilizerSim>(config, frame, &|| false).map(|(outcome, _, _)| outcome)
+}
+
+/// [`run_ler`] with a cooperative cancellation check consulted between
+/// windows, so a deadline watcher (e.g. the shot service's supervisor
+/// `CancelToken`) can stop a long run promptly instead of waiting for
+/// the window loop to hit its target or cap.
+///
+/// # Errors
+///
+/// Returns [`ShotError::Cancelled`] when `cancelled` reports true, and
+/// wraps the [`run_ler`] error contract in [`ShotError::Core`].
+pub fn run_ler_cancellable(
+    config: &LerConfig,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<LerOutcome, ShotError> {
+    let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
+    let (outcome, _, stopped) =
+        run_ler_stack::<StabilizerSim>(config, frame, cancelled).map_err(ShotError::Core)?;
+    cancelled_outcome(outcome, stopped)
 }
 
 /// Runs the identical LER experiment on the cell-per-entry
@@ -210,7 +229,37 @@ pub fn run_ler(config: &LerConfig) -> Result<LerOutcome, CoreError> {
 #[cfg(feature = "reference")]
 pub fn run_ler_reference(config: &LerConfig) -> Result<LerOutcome, CoreError> {
     let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
-    run_ler_stack::<ReferenceTableau>(config, frame).map(|(outcome, _)| outcome)
+    run_ler_stack::<ReferenceTableau>(config, frame, &|| false).map(|(outcome, _, _)| outcome)
+}
+
+/// [`run_ler_reference`] with the cooperative cancellation check of
+/// [`run_ler_cancellable`].
+///
+/// # Errors
+///
+/// Same contract as [`run_ler_cancellable`].
+#[cfg(feature = "reference")]
+pub fn run_ler_reference_cancellable(
+    config: &LerConfig,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<LerOutcome, ShotError> {
+    let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
+    let (outcome, _, stopped) =
+        run_ler_stack::<ReferenceTableau>(config, frame, cancelled).map_err(ShotError::Core)?;
+    cancelled_outcome(outcome, stopped)
+}
+
+/// Maps a cancelled window loop to [`ShotError::Cancelled`]; a partial
+/// outcome is never returned, since its window count depends on when
+/// the cancellation landed rather than on the configuration.
+fn cancelled_outcome(outcome: LerOutcome, stopped: bool) -> Result<LerOutcome, ShotError> {
+    if stopped {
+        Err(ShotError::Cancelled {
+            reason: format!("ler run cancelled after {} windows", outcome.windows),
+        })
+    } else {
+        Ok(outcome)
+    }
 }
 
 /// Classical-fault configuration for [`run_ler_classical`]: the fault
@@ -437,7 +486,7 @@ pub fn run_ler_classical(
     classical.rates.validate()?;
     let mut frame = ProtectedPauliFrameLayer::with_config(classical.protection);
     frame.set_fault_plan(FaultPlan::new(classical.rates, classical.fault_seed)?);
-    let (ler, protection) = run_ler_stack::<StabilizerSim>(config, Some(frame))?;
+    let (ler, protection, _) = run_ler_stack::<StabilizerSim>(config, Some(frame), &|| false)?;
     let (protection, fault_events) = protection.unwrap_or_default();
     Ok(ClassicalLerOutcome {
         ler,
@@ -448,12 +497,14 @@ pub fn run_ler_classical(
 
 /// The shared experiment body. Returns the LER outcome plus, when the
 /// stack carried a protected frame layer, its protection counters and
-/// drained fault-event count.
+/// drained fault-event count, plus whether the window loop stopped on
+/// the cooperative cancellation check (consulted once per window).
 #[allow(clippy::type_complexity)]
 fn run_ler_stack<T: CliffordTableau>(
     config: &LerConfig,
     frame: Option<impl qpdo_core::Layer>,
-) -> Result<(LerOutcome, Option<(FrameProtectionStats, u64)>), CoreError> {
+    cancelled: &dyn Fn() -> bool,
+) -> Result<(LerOutcome, Option<(FrameProtectionStats, u64)>, bool), CoreError> {
     let below = CounterLayer::new();
     let below_counts = below.counters();
     let above = CounterLayer::new();
@@ -483,8 +534,13 @@ fn run_ler_stack<T: CliffordTableau>(
         .expect("freshly initialized state has a deterministic logical value");
     let mut windows = 0u64;
     let mut logical_errors = 0u64;
+    let mut stopped = false;
 
     while logical_errors < config.target_logical_errors && windows < config.max_windows {
+        if cancelled() {
+            stopped = true;
+            break;
+        }
         star.run_window(&mut stack)?;
         windows += 1;
         if !star.has_observable_error(&mut stack)? {
@@ -512,6 +568,7 @@ fn run_ler_stack<T: CliffordTableau>(
             injected: stack.error_counts().expect("error model installed"),
         },
         protection,
+        stopped,
     ))
 }
 
@@ -635,6 +692,31 @@ mod tests {
         config.max_windows = 40;
         let outcome = run_ler(&config).unwrap();
         assert!(outcome.windows <= 40);
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_run_when_never_cancelled() {
+        let config = quick(0.01, true, LogicalErrorKind::XL, 12);
+        let plain = run_ler(&config).unwrap();
+        let cancellable = run_ler_cancellable(&config, &|| false).unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn cancellation_stops_the_window_loop() {
+        let config = quick(0.01, true, LogicalErrorKind::XL, 13);
+        let err = run_ler_cancellable(&config, &|| true).unwrap_err();
+        assert!(matches!(err, ShotError::Cancelled { .. }), "{err}");
+        assert!(err.to_string().contains("after 0 windows"), "{err}");
+
+        // Mid-run: cancel once three windows have been admitted.
+        let windows = std::cell::Cell::new(0u64);
+        let err = run_ler_cancellable(&config, &|| {
+            windows.set(windows.get() + 1);
+            windows.get() > 3
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("after 3 windows"), "{err}");
     }
 
     #[test]
