@@ -16,6 +16,11 @@
 //! - `esm_round` — one Surface-17 ESM window on a warmed control stack.
 //! - `sc17_shot` — a full shot: build the stack, initialize `|0⟩_L`, run
 //!   one window, evaluate the observable-error gate.
+//! - `sc17_shot_sliced` — the same full-shot workload for 64 independent
+//!   trajectories through one shared word-packed tableau
+//!   ([`run_ler_sliced`]); `derived.sc17_sliced_amortized_ns` is its
+//!   median divided by the 64 lanes and
+//!   `derived.sc17_slicing_speedup` compares that against `sc17_shot`.
 //! - `frame_merge` — word-parallel merge of two 17-qubit Pauli frames.
 //!
 //! Flags: `--out DIR` (default `results`), `--samples N` (default 25),
@@ -27,12 +32,14 @@ use std::process::ExitCode;
 
 use qpdo_bench::harness::{measure_batched_ns, Stats};
 use qpdo_bench::json::Json;
+use qpdo_bench::supervisor::sliced_lane_seeds;
 use qpdo_core::{ChpCore, ControlStack, DepolarizingModel};
 use qpdo_pauli::{Pauli, PauliFrame};
 use qpdo_rng::rngs::StdRng;
 use qpdo_rng::{Rng, SeedableRng};
-use qpdo_stabilizer::{ReferenceTableau, StabilizerSim};
-use qpdo_surface17::{NinjaStar, StarLayout};
+use qpdo_stabilizer::{ReferenceTableau, StabilizerSim, LANES};
+use qpdo_surface17::experiment::{LerConfig, LogicalErrorKind};
+use qpdo_surface17::{run_ler_sliced, NinjaStar, StarLayout};
 
 const SCHEMA: &str = "qpdo-bench-stabilizer-v1";
 const N: usize = 17;
@@ -181,6 +188,7 @@ fn validate_report(doc: &Json) -> Result<(), String> {
         "rowsum_reference_n17",
         "esm_round",
         "sc17_shot",
+        "sc17_shot_sliced",
         "frame_merge",
     ];
     for name in required {
@@ -210,6 +218,15 @@ fn validate_report(doc: &Json) -> Result<(), String> {
         .get("rowsum_targets_n17")
         .and_then(Json::as_f64)
         .ok_or("missing derived.rowsum_targets_n17")?;
+    for field in ["sc17_sliced_amortized_ns", "sc17_slicing_speedup"] {
+        let v = derived
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing derived.{field}"))?;
+        if v <= 0.0 {
+            return Err(format!("derived.{field} must be positive"));
+        }
+    }
     Ok(())
 }
 
@@ -222,10 +239,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(err) = run(&args) {
+        eprintln!("bench_kernels: {err}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(args: &Args) -> Result<(), String> {
     let (samples, collapse_iters, window_iters, shot_iters, merge_iters) = if args.smoke {
         (3, 8, 1, 1, 64)
     } else {
         (args.samples, 256, 8, 4, 4096)
+    };
+    // A degenerate measurement (empty or non-finite samples) aborts the
+    // whole run; a placeholder median would poison future report diffs.
+    let measured = |name: &str, stats: Result<Stats, qpdo_bench::harness::HarnessError>| {
+        stats.map_err(|err| format!("kernel {name}: {err}"))
     };
 
     // -- rowsum kernels: identical collapse workload on both engines.
@@ -242,18 +272,24 @@ fn main() -> ExitCode {
             "engines disagree on the collapse workload"
         );
     }
-    let rowsum_packed = measure_batched_ns(
-        samples,
-        collapse_iters,
-        || packed_state.clone(),
-        |mut sim| sim.bench_collapse(q, false),
-    );
-    let rowsum_reference = measure_batched_ns(
-        samples,
-        collapse_iters,
-        || reference_state.clone(),
-        |mut sim| sim.bench_collapse(q, false),
-    );
+    let rowsum_packed = measured(
+        "rowsum_packed_n17",
+        measure_batched_ns(
+            samples,
+            collapse_iters,
+            || packed_state.clone(),
+            |mut sim| sim.bench_collapse(q, false),
+        ),
+    )?;
+    let rowsum_reference = measured(
+        "rowsum_reference_n17",
+        measure_batched_ns(
+            samples,
+            collapse_iters,
+            || reference_state.clone(),
+            |mut sim| sim.bench_collapse(q, false),
+        ),
+    )?;
     let speedup = rowsum_reference.median_ns / rowsum_packed.median_ns;
     println!(
         "rowsum n={N} q={q} targets={targets}: packed {:.1} ns, reference {:.1} ns, speedup {speedup:.2}x",
@@ -267,34 +303,75 @@ fn main() -> ExitCode {
     let mut star = NinjaStar::new(StarLayout::standard(0));
     star.initialize_zero(&mut stack).expect("initialization");
     star.run_window(&mut stack).expect("warmup window");
-    let esm_round = measure_batched_ns(
-        samples,
-        window_iters,
-        || (),
-        |()| star.run_window(&mut stack).expect("window runs"),
-    );
+    let esm_round = measured(
+        "esm_round",
+        measure_batched_ns(
+            samples,
+            window_iters,
+            || (),
+            |()| star.run_window(&mut stack).expect("window runs"),
+        ),
+    )?;
     println!("esm_round: {:.1} ns", esm_round.median_ns);
 
     // -- sc17_shot: stack construction + |0>_L + one window + gate.
     let mut shot_seed = args.seed;
-    let sc17_shot = measure_batched_ns(
-        samples,
-        shot_iters,
-        || {
-            shot_seed = shot_seed.wrapping_add(1);
-            shot_seed
-        },
-        |seed| {
-            let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
-            stack.set_error_model(DepolarizingModel::try_new(1e-3).expect("valid rate"));
-            stack.create_qubits(N).expect("17 qubits fit");
-            let mut star = NinjaStar::new(StarLayout::standard(0));
-            star.initialize_zero(&mut stack).expect("initialization");
-            star.run_window(&mut stack).expect("window runs");
-            star.has_observable_error(&mut stack).expect("gate runs")
-        },
-    );
+    let sc17_shot = measured(
+        "sc17_shot",
+        measure_batched_ns(
+            samples,
+            shot_iters,
+            || {
+                shot_seed = shot_seed.wrapping_add(1);
+                shot_seed
+            },
+            |seed| {
+                let mut stack = ControlStack::with_seed(ChpCore::new(), seed);
+                stack.set_error_model(DepolarizingModel::try_new(1e-3).expect("valid rate"));
+                stack.create_qubits(N).expect("17 qubits fit");
+                let mut star = NinjaStar::new(StarLayout::standard(0));
+                star.initialize_zero(&mut stack).expect("initialization");
+                star.run_window(&mut stack).expect("window runs");
+                star.has_observable_error(&mut stack).expect("gate runs")
+            },
+        ),
+    )?;
     println!("sc17_shot: {:.1} ns", sc17_shot.median_ns);
+
+    // -- sc17_shot_sliced: the same shot workload, 64 trajectories per
+    // call through one shared word-packed tableau. One window per lane
+    // (max_windows = 1) mirrors the scalar shot's build + init + window
+    // + observable-gate shape.
+    let sliced_config = LerConfig {
+        physical_error_rate: 1e-3,
+        kind: LogicalErrorKind::XL,
+        with_pauli_frame: false,
+        target_logical_errors: u64::MAX,
+        max_windows: 1,
+        seed: args.seed, // unused: each lane seeds from `sliced_lane_seeds`
+    };
+    let mut sliced_batch = 0u64;
+    let sc17_shot_sliced = measured(
+        "sc17_shot_sliced",
+        measure_batched_ns(
+            samples,
+            shot_iters,
+            || {
+                sliced_batch = sliced_batch.wrapping_add(1);
+                sliced_lane_seeds(args.seed, "bench", sliced_batch)
+            },
+            |lane_seeds| {
+                run_ler_sliced(&sliced_config, &lane_seeds, &|| false).expect("valid configuration")
+            },
+        ),
+    )?;
+    let sliced_amortized = sc17_shot_sliced.median_ns / LANES as f64;
+    let slicing_speedup = sc17_shot.median_ns / sliced_amortized;
+    println!(
+        "sc17_shot_sliced: {:.1} ns/call, {sliced_amortized:.1} ns amortized per lane \
+         ({slicing_speedup:.2}x vs sc17_shot)",
+        sc17_shot_sliced.median_ns
+    );
 
     // -- frame_merge: whole-register Pauli-frame merge.
     let mut pattern = PauliFrame::new(N);
@@ -307,12 +384,15 @@ fn main() -> ExitCode {
         }
     }
     let mut target_frame = PauliFrame::new(N);
-    let frame_merge = measure_batched_ns(
-        samples,
-        merge_iters,
-        || (),
-        |()| target_frame.merge(&pattern),
-    );
+    let frame_merge = measured(
+        "frame_merge",
+        measure_batched_ns(
+            samples,
+            merge_iters,
+            || (),
+            |()| target_frame.merge(&pattern),
+        ),
+    )?;
     println!("frame_merge: {:.1} ns", frame_merge.median_ns);
 
     let report = Json::object([
@@ -327,6 +407,7 @@ fn main() -> ExitCode {
                 kernel_entry("rowsum_reference_n17", &rowsum_reference),
                 kernel_entry("esm_round", &esm_round),
                 kernel_entry("sc17_shot", &sc17_shot),
+                kernel_entry("sc17_shot_sliced", &sc17_shot_sliced),
                 kernel_entry("frame_merge", &frame_merge),
             ]),
         ),
@@ -335,37 +416,34 @@ fn main() -> ExitCode {
             Json::object([
                 ("rowsum_speedup_n17", Json::from(speedup)),
                 ("rowsum_targets_n17", Json::from(targets)),
+                ("sc17_sliced_amortized_ns", Json::from(sliced_amortized)),
+                ("sc17_slicing_speedup", Json::from(slicing_speedup)),
             ]),
         ),
     ]);
 
-    if let Err(err) = validate_report(&report) {
-        eprintln!("bench_kernels: generated report fails its own schema: {err}");
-        return ExitCode::FAILURE;
-    }
-    if let Err(err) = std::fs::create_dir_all(&args.out) {
-        eprintln!("bench_kernels: cannot create {}: {err}", args.out.display());
-        return ExitCode::FAILURE;
-    }
+    validate_report(&report)
+        .map_err(|err| format!("generated report fails its own schema: {err}"))?;
+    // Checked emission: a non-finite ratio (e.g. a zero-median divisor)
+    // must abort here, not land in the report file.
+    let text = report
+        .try_pretty()
+        .map_err(|err| format!("generated report is not emittable: {err}"))?;
+    std::fs::create_dir_all(&args.out)
+        .map_err(|err| format!("cannot create {}: {err}", args.out.display()))?;
     let path = args.out.join("BENCH_stabilizer.json");
-    if let Err(err) = std::fs::write(&path, report.pretty()) {
-        eprintln!("bench_kernels: cannot write {}: {err}", path.display());
-        return ExitCode::FAILURE;
-    }
+    std::fs::write(&path, text).map_err(|err| format!("cannot write {}: {err}", path.display()))?;
     // Round-trip the on-disk bytes so the smoke gate checks what future
     // readers will actually parse.
-    let reread = std::fs::read_to_string(&path)
+    std::fs::read_to_string(&path)
         .map_err(|e| e.to_string())
         .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
-        .and_then(|doc| validate_report(&doc).map(|()| doc));
-    if let Err(err) = reread {
-        eprintln!("bench_kernels: {} fails validation: {err}", path.display());
-        return ExitCode::FAILURE;
-    }
+        .and_then(|doc| validate_report(&doc))
+        .map_err(|err| format!("{} fails validation: {err}", path.display()))?;
     println!(
         "wrote {} ({})",
         path.display(),
         if args.smoke { "smoke" } else { "full" }
     );
-    ExitCode::SUCCESS
+    Ok(())
 }

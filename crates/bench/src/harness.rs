@@ -139,7 +139,10 @@ impl Group<'_> {
         f(&mut bencher);
         self.harness.ran += 1;
         match bencher.result {
-            Some(stats) => println!("{full:<44} {stats}"),
+            Some(Ok(stats)) => println!("{full:<44} {stats}"),
+            // A degenerate measurement (e.g. `--samples 0`) is reported,
+            // not summarized — better a loud line than a NaN median.
+            Some(Err(err)) => println!("{full:<44} ERROR: {err}"),
             None if bencher.test_mode => println!("{full:<44} ok (test mode)"),
             None => println!("{full:<44} WARNING: benchmark body never iterated"),
         }
@@ -148,6 +151,44 @@ impl Group<'_> {
     /// Criterion-compatibility no-op (results print as they complete).
     pub fn finish(self) {}
 }
+
+/// A measurement that cannot be summarized into honest statistics.
+///
+/// Report writers must treat this as fatal rather than emitting a
+/// placeholder: a NaN or empty median silently poisons every future
+/// diff against `BENCH_*.json`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HarnessError {
+    /// No timed samples were collected (e.g. `--samples 0`, or the
+    /// warmup phase swallowed the entire budget).
+    NoSamples,
+    /// A sample batch ran zero iterations, so per-iteration time is
+    /// undefined.
+    NoIterations,
+    /// A sample produced a non-finite per-iteration time.
+    NonFiniteSample(f64),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::NoSamples => {
+                write!(f, "no timed samples were collected; nothing to summarize")
+            }
+            HarnessError::NoIterations => {
+                write!(
+                    f,
+                    "a sample ran zero iterations; per-iteration time is undefined"
+                )
+            }
+            HarnessError::NonFiniteSample(v) => {
+                write!(f, "a sample produced a non-finite per-iteration time ({v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
 
 /// Per-iteration timing statistics over the collected samples.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -195,7 +236,7 @@ pub struct Bencher {
     samples: usize,
     sample_time: Duration,
     test_mode: bool,
-    result: Option<Stats>,
+    result: Option<Result<Stats, HarnessError>>,
 }
 
 impl Bencher {
@@ -268,14 +309,25 @@ fn estimate_per_iter<O>(budget: Duration, f: &mut impl FnMut() -> O) -> Duration
 /// `bench_kernels`): times `routine` on fresh `setup()` inputs,
 /// `iters` per sample over `samples` samples, without the harness's
 /// CLI/printing wrapper. Only `routine` is timed.
+///
+/// # Errors
+///
+/// [`HarnessError::NoSamples`] / [`HarnessError::NoIterations`] when
+/// `samples` or `iters` is zero (previously clamped silently, which
+/// hid caller bugs), and [`HarnessError::NonFiniteSample`] if timing
+/// arithmetic ever yields a non-finite value.
 pub fn measure_batched_ns<I, O>(
     samples: usize,
     iters: usize,
     mut setup: impl FnMut() -> I,
     mut routine: impl FnMut(I) -> O,
-) -> Stats {
-    let samples = samples.max(1);
-    let iters = iters.max(1);
+) -> Result<Stats, HarnessError> {
+    if samples == 0 {
+        return Err(HarnessError::NoSamples);
+    }
+    if iters == 0 {
+        return Err(HarnessError::NoIterations);
+    }
     // Warmup: one untimed batch primes caches and branch predictors.
     for _ in 0..iters.min(64) {
         std::hint::black_box(routine(setup()));
@@ -292,13 +344,42 @@ pub fn measure_batched_ns<I, O>(
     summarize(per_iter_ns, iters)
 }
 
+/// Collapses externally collected per-iteration samples into [`Stats`].
+///
+/// The public face of the summary step, for report writers that time
+/// their own loops (e.g. whole-experiment medians) but must share the
+/// harness's degenerate-input handling.
+///
+/// # Errors
+///
+/// Same contract as the internal summary: [`HarnessError::NoSamples`]
+/// on empty input, [`HarnessError::NonFiniteSample`] on NaN/infinite
+/// samples.
+pub fn summarize_ns(per_iter_ns: Vec<f64>, iters: usize) -> Result<Stats, HarnessError> {
+    summarize(per_iter_ns, iters)
+}
+
 fn iters_for(sample_time: Duration, per_iter: Duration, cap: usize) -> usize {
     let per_iter_ns = per_iter.as_nanos().max(1);
     let target = (sample_time.as_nanos() / per_iter_ns) as usize;
     target.clamp(1, cap)
 }
 
-fn summarize(mut per_iter_ns: Vec<f64>, iters: usize) -> Stats {
+/// Collapses raw per-iteration samples into [`Stats`].
+///
+/// # Errors
+///
+/// [`HarnessError::NoSamples`] on an empty sample vector and
+/// [`HarnessError::NonFiniteSample`] when any sample is NaN or
+/// infinite — both degenerate cases used to panic (index out of
+/// bounds) or flow NaN medians straight into `BENCH_*.json`.
+fn summarize(mut per_iter_ns: Vec<f64>, iters: usize) -> Result<Stats, HarnessError> {
+    if per_iter_ns.is_empty() {
+        return Err(HarnessError::NoSamples);
+    }
+    if let Some(&bad) = per_iter_ns.iter().find(|v| !v.is_finite()) {
+        return Err(HarnessError::NonFiniteSample(bad));
+    }
     per_iter_ns.sort_by(f64::total_cmp);
     let mid = per_iter_ns.len() / 2;
     let median_ns = if per_iter_ns.len() % 2 == 1 {
@@ -306,13 +387,13 @@ fn summarize(mut per_iter_ns: Vec<f64>, iters: usize) -> Stats {
     } else {
         (per_iter_ns[mid - 1] + per_iter_ns[mid]) / 2.0
     };
-    Stats {
+    Ok(Stats {
         median_ns,
         min_ns: per_iter_ns[0],
-        max_ns: *per_iter_ns.last().expect("at least one sample"),
+        max_ns: *per_iter_ns.last().expect("non-empty by the guard above"),
         samples: per_iter_ns.len(),
         iters_per_sample: iters,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -321,12 +402,57 @@ mod tests {
 
     #[test]
     fn summarize_takes_median() {
-        let stats = summarize(vec![5.0, 1.0, 9.0], 10);
+        let stats = summarize(vec![5.0, 1.0, 9.0], 10).expect("three finite samples");
         assert_eq!(stats.median_ns, 5.0);
         assert_eq!(stats.min_ns, 1.0);
         assert_eq!(stats.max_ns, 9.0);
-        let even = summarize(vec![4.0, 2.0], 1);
+        let even = summarize(vec![4.0, 2.0], 1).expect("two finite samples");
         assert_eq!(even.median_ns, 3.0);
+    }
+
+    #[test]
+    fn summarize_rejects_empty_sample_vectors() {
+        // Used to panic with an index-out-of-bounds; now a clean error.
+        assert_eq!(summarize(vec![], 10), Err(HarnessError::NoSamples));
+        assert_eq!(summarize_ns(vec![], 1), Err(HarnessError::NoSamples));
+    }
+
+    #[test]
+    fn summarize_rejects_non_finite_samples() {
+        let err = summarize(vec![1.0, f64::NAN, 3.0], 4).unwrap_err();
+        assert!(matches!(err, HarnessError::NonFiniteSample(v) if v.is_nan()));
+        let err = summarize(vec![f64::INFINITY], 1).unwrap_err();
+        assert_eq!(err, HarnessError::NonFiniteSample(f64::INFINITY));
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn single_sample_median_is_that_sample() {
+        // A warmup phase that swallows all but one sample must still
+        // summarize to finite numbers, never NaN.
+        let stats = summarize(vec![42.5], 7).expect("one finite sample");
+        assert_eq!(stats.median_ns, 42.5);
+        assert_eq!(stats.min_ns, 42.5);
+        assert_eq!(stats.max_ns, 42.5);
+        assert_eq!(stats.samples, 1);
+        assert!(stats.median_ns.is_finite());
+    }
+
+    #[test]
+    fn measure_batched_ns_rejects_degenerate_requests() {
+        // Zero samples/iters were silently clamped to 1 before, hiding
+        // caller bugs; now they are explicit errors.
+        assert_eq!(
+            measure_batched_ns(0, 8, || (), |()| ()).unwrap_err(),
+            HarnessError::NoSamples
+        );
+        assert_eq!(
+            measure_batched_ns(3, 0, || (), |()| ()).unwrap_err(),
+            HarnessError::NoIterations
+        );
+        let stats = measure_batched_ns(3, 2, || (), |()| ()).expect("valid request");
+        assert_eq!(stats.samples, 3);
+        assert!(stats.median_ns.is_finite());
     }
 
     #[test]

@@ -134,12 +134,53 @@ impl Json {
 
     /// Pretty-prints with two-space indentation and a trailing newline —
     /// the canonical on-disk form of the repo's report files.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite number. Documents built from runtime
+    /// measurements should use [`try_pretty`](Json::try_pretty), which
+    /// turns that case into an error instead.
     #[must_use]
     pub fn pretty(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Checked emission: validates every number in the tree is finite
+    /// before printing, so a NaN median can never reach a report file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON path of the first non-finite number
+    /// (e.g. `` `kernels[3].median_ns` is not finite (NaN)``).
+    pub fn try_pretty(&self) -> Result<String, String> {
+        self.validate_finite()?;
+        Ok(self.pretty())
+    }
+
+    /// Walks the tree and reports the first non-finite number by path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending path and value.
+    pub fn validate_finite(&self) -> Result<(), String> {
+        self.validate_finite_at("$")
+    }
+
+    fn validate_finite_at(&self, path: &str) -> Result<(), String> {
+        match self {
+            Json::Num(v) if !v.is_finite() => Err(format!("`{path}` is not finite ({v})")),
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .try_for_each(|(i, item)| item.validate_finite_at(&format!("{path}[{i}]"))),
+            Json::Obj(pairs) => pairs
+                .iter()
+                .try_for_each(|(key, value)| value.validate_finite_at(&format!("{path}.{key}"))),
+            _ => Ok(()),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -530,6 +571,35 @@ mod tests {
         let doc = Json::from("line\nquote\" backslash\\ tab\t");
         let text = doc.pretty();
         assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn try_pretty_rejects_non_finite_numbers_by_path() {
+        let doc = Json::object([(
+            "kernels",
+            Json::array([
+                Json::object([("median_ns", Json::from(1.5))]),
+                Json::object([("median_ns", Json::from(f64::NAN))]),
+            ]),
+        )]);
+        let err = doc.try_pretty().unwrap_err();
+        assert!(
+            err.contains("$.kernels[1].median_ns"),
+            "error names the offending path: {err}"
+        );
+        assert_eq!(
+            Json::from(f64::INFINITY).validate_finite().unwrap_err(),
+            "`$` is not finite (inf)"
+        );
+    }
+
+    #[test]
+    fn try_pretty_accepts_finite_reports() {
+        let doc = Json::object([
+            ("schema", Json::from("demo-v1")),
+            ("values", Json::array([Json::from(1.0), Json::from(2.5)])),
+        ]);
+        assert_eq!(doc.try_pretty().unwrap(), doc.pretty());
     }
 
     #[test]

@@ -325,6 +325,30 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Lanes per shot-sliced batch (re-exported from the sliced simulator
+/// so batch arithmetic and the engine can never drift apart).
+pub use qpdo_stabilizer::LANES;
+
+/// Rounds a requested shot count up to a whole number of shot-sliced
+/// batches of [`LANES`] trajectories. Zero stays zero — an empty sweep
+/// point never fabricates work.
+#[must_use]
+pub fn round_up_to_lanes(shots: u64) -> u64 {
+    shots.div_ceil(LANES as u64) * LANES as u64
+}
+
+/// The per-lane seeds of shot-sliced batch `batch`: lane `k` gets the
+/// substream of scalar shot index `batch * LANES + k`, so a sliced
+/// batch covers exactly the shots `batch*64 .. batch*64+63` of the
+/// scalar numbering and every lane is byte-identical to the scalar
+/// shot it replaces. Retrying a batch reuses the same seeds
+/// (attempt `0` — sliced trajectories are deterministic, so retries
+/// after infrastructure failures must reproduce, not resample).
+#[must_use]
+pub fn sliced_lane_seeds(base: u64, point: &str, batch: u64) -> [u64; LANES] {
+    core::array::from_fn(|k| substream_seed(base, point, batch * LANES as u64 + k as u64, 0))
+}
+
 /// Domain separator so `attempt_seed` never collides with the payload
 /// seed of any attempt.
 const ATTEMPT_DOMAIN: u64 = 0xA77E_3137_5EED_0001;
@@ -1021,6 +1045,33 @@ mod tests {
         for other in others {
             assert_ne!(a, other);
         }
+    }
+
+    #[test]
+    fn lane_rounding_covers_exact_and_ragged_counts() {
+        assert_eq!(round_up_to_lanes(0), 0);
+        assert_eq!(round_up_to_lanes(1), 64);
+        assert_eq!(round_up_to_lanes(64), 64);
+        assert_eq!(round_up_to_lanes(65), 128);
+        assert_eq!(round_up_to_lanes(1000), 1024);
+    }
+
+    #[test]
+    fn sliced_lane_seeds_match_the_scalar_shot_numbering() {
+        // Lane k of batch b is scalar shot b*64+k: the sliced engine
+        // substitutes for scalar sweeps without renumbering anything.
+        let seeds = sliced_lane_seeds(2016, "p=1e-3", 3);
+        for (k, &seed) in seeds.iter().enumerate() {
+            assert_eq!(seed, substream_seed(2016, "p=1e-3", 3 * 64 + k as u64, 0));
+        }
+        // Deterministic across calls (retries reproduce), distinct
+        // across lanes and batches.
+        assert_eq!(seeds, sliced_lane_seeds(2016, "p=1e-3", 3));
+        let mut all: Vec<u64> = seeds.into_iter().collect();
+        all.extend(sliced_lane_seeds(2016, "p=1e-3", 4));
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 2 * LANES);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!    rejections while every accepted job still completes.
 //! 4. **Deadline** — a stalled execution blows a 100 ms job deadline
 //!    and fails terminally with `deadline exceeded`.
+//! 5. **Drain-deadline** — a graceful drain races the deadline watcher
+//!    across a stalled queue: exactly one terminal record lands per
+//!    job and the drain still completes.
 //!
 //! `--smoke` runs a reduced configuration; `--seed N` changes the
 //! deterministic workload. Exits non-zero on the first violated
@@ -467,6 +470,72 @@ fn deadline_drill(root: &Path, seed: u64) {
     daemon.drain();
 }
 
+/// Drill 5: graceful drain racing the deadline watcher — deadlines
+/// fire while the daemon drains a stalled queue. Exactly one terminal
+/// record per job must land (the serialized transition), and the drain
+/// must still complete instead of wedging on a conflicting append.
+fn drain_deadline_drill(root: &Path, seed: u64, jobs: usize) {
+    println!("== drain-deadline drill: {jobs} deadlined jobs drained mid-flight ==");
+    let wal_dir = fresh_dir(root, "drain-deadline-wal");
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "2", "--chaos-stall-ms", "250"]);
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| JobSpec {
+            id: format!("dd-{i}"),
+            // The 250 ms stall guarantees the watcher fires on every
+            // round the drain has to wait out.
+            deadline_ms: Some(150),
+            kind: JobKind::Bell { shots: 2 },
+        })
+        .collect();
+    let mut client = daemon.client();
+    for spec in &specs {
+        assert_eq!(
+            submit(&mut client, spec),
+            Response::Accepted(spec.id.clone())
+        );
+    }
+    // Drain immediately: every deadline expires while the queue drains.
+    daemon.drain();
+
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "drain/deadline race journaled duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert_eq!(recovery.jobs.len(), specs.len(), "accepted jobs survive");
+    assert!(
+        recovery.pending().is_empty(),
+        "drain returned with jobs still pending"
+    );
+    let mut expired = 0;
+    for job in &recovery.jobs {
+        match &job.outcome {
+            Some(JobOutcome::Failed(error)) => {
+                assert!(
+                    error.contains("deadline"),
+                    "{} failed with {error:?}, not its deadline",
+                    job.spec.id
+                );
+                expired += 1;
+            }
+            // A job that finished before its deadline fired keeps its
+            // completion — but only one terminal record either way.
+            Some(JobOutcome::Done(_)) => {}
+            None => unreachable!("pending() was empty"),
+        }
+    }
+    assert!(
+        expired >= 1,
+        "no deadline fired during the drain: the drill timing is broken"
+    );
+    println!(
+        "   drain completed, {expired}/{} deadlines enforced, one terminal each",
+        specs.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
@@ -496,6 +565,7 @@ fn main() {
     breaker_drill(&root, seed, if smoke { 4 } else { 6 });
     overload_drill(&root, seed, burst);
     deadline_drill(&root, seed);
+    drain_deadline_drill(&root, seed, if smoke { 4 } else { 8 });
 
     std::fs::remove_dir_all(&root).expect("clean drill root");
     println!("serve_chaos: all drills passed");

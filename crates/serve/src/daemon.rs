@@ -321,6 +321,16 @@ fn handle_submit(service: &Service, mut spec: JobSpec) -> Response {
         state.stats.duplicates += 1;
         return Response::Duplicate(spec.id);
     }
+    // A terminal job pruned by journal retention keeps its id in the
+    // pruned-id ledger: answer the resubmit deterministically instead
+    // of silently re-executing under an id that already completed.
+    if service.wal.lock().expect("wal lock").was_pruned(&spec.id) {
+        state.stats.duplicates += 1;
+        return Response::Rejected(format!(
+            "job {} already reached a terminal state; its result was pruned by journal retention",
+            spec.id
+        ));
+    }
     if state.draining || state.shutdown {
         return Response::Rejected("draining: not accepting new jobs".to_owned());
     }
@@ -659,12 +669,33 @@ fn complete(
 /// bytes did reach disk, the retry can only produce a byte-identical
 /// duplicate record — which recovery absorbs — never a conflicting
 /// terminal that would brick the next restart.
+///
+/// The terminal transition is serialized here, under the state lock:
+/// the first outcome to arrive wins, and any later one for the same id
+/// is dropped before it can touch the journal. This is what keeps a
+/// deadline firing mid-drain from double-reporting a job — the
+/// deadline path and the completion path may both compute a terminal,
+/// but exactly one terminal record ever lands.
 fn journal_complete(
     service: &Service,
     state: &mut ServiceState,
     id: &str,
     outcome: JobOutcome,
 ) -> bool {
+    {
+        let entry = state.jobs.get_mut(id).expect("completed job exists");
+        if matches!(entry.state, JobState::Done(_) | JobState::Failed(_)) {
+            // A terminal already won (and is already journaled).
+            return true;
+        }
+        if let Some(parked) = &entry.pending_outcome {
+            if *parked != outcome {
+                // A different terminal is parked awaiting its journal
+                // retry: it was first, so it wins; this one is dropped.
+                return true;
+            }
+        }
+    }
     let append = {
         let mut wal = service.wal.lock().expect("wal lock");
         wal.append(&WalRecord::Complete {

@@ -9,15 +9,15 @@
 //! byte-for-byte (the packed and reference stabilizer engines are
 //! differentially verified to agree bit-exactly).
 
-use qpdo_bench::supervisor::{substream_seed, CancelToken};
+use qpdo_bench::supervisor::{round_up_to_lanes, sliced_lane_seeds, substream_seed, CancelToken};
 use qpdo_core::testbench::random_circuit;
 use qpdo_core::{ChpCore, ControlStack, PauliFrameLayer, ShotError, SvCore};
 use qpdo_rng::rngs::StdRng;
 use qpdo_rng::SeedableRng;
-use qpdo_stabilizer::{CliffordTableau, StabilizerSim};
+use qpdo_stabilizer::{CliffordTableau, StabilizerSim, LANES};
 use qpdo_statevector::Complex;
-use qpdo_surface17::experiment::{run_ler_cancellable, LerConfig, LogicalErrorKind};
-use qpdo_surface17::{logical_cnot, NinjaStar, StarLayout};
+use qpdo_surface17::experiment::{run_ler_cancellable, LerConfig, LerOutcome, LogicalErrorKind};
+use qpdo_surface17::{logical_cnot, run_ler_sliced, NinjaStar, StarLayout};
 
 #[cfg(feature = "reference")]
 use qpdo_stabilizer::ReferenceTableau;
@@ -83,6 +83,25 @@ pub enum JobKind {
         /// Hard window cap.
         max_windows: u64,
     },
+    /// A shot-sliced ensemble of Surface-17 LER trajectories: `shots`
+    /// independent runs of the [`JobKind::Ler`] experiment, executed 64
+    /// per pass on the lane-sliced engine (`DESIGN.md` §10). `shots`
+    /// rounds up to a lane multiple at execution; the result is the
+    /// executed shot count followed by the summed ten-field record.
+    LerSliced {
+        /// Physical error rate of the depolarizing model.
+        per: f64,
+        /// Which logical error to watch for.
+        kind: LogicalErrorKind,
+        /// Whether the stack includes a (lane-masked) Pauli frame.
+        with_pf: bool,
+        /// Per-trajectory stop: this many logical errors.
+        target: u64,
+        /// Per-trajectory hard window cap.
+        max_windows: u64,
+        /// Trajectories to run (rounded up to a multiple of 64).
+        shots: u64,
+    },
     /// One random-circuit Pauli-frame verification (Section 5.2.2):
     /// framed state-vector execution must match the reference up to
     /// global phase. The result is the classically-tracked gate count.
@@ -120,6 +139,23 @@ impl JobKind {
                 };
                 format!(
                     "ler {per} {kind} {} {target} {max_windows}",
+                    u8::from(*with_pf)
+                )
+            }
+            JobKind::LerSliced {
+                per,
+                kind,
+                with_pf,
+                target,
+                max_windows,
+                shots,
+            } => {
+                let kind = match kind {
+                    LogicalErrorKind::XL => "XL",
+                    LogicalErrorKind::ZL => "ZL",
+                };
+                format!(
+                    "ler_sliced {per} {kind} {} {target} {max_windows} {shots}",
                     u8::from(*with_pf)
                 )
             }
@@ -165,6 +201,36 @@ impl JobKind {
                     max_windows,
                 })
             }
+            ["ler_sliced", per, kind, with_pf, target, max_windows, shots] => {
+                let kind = match *kind {
+                    "XL" => LogicalErrorKind::XL,
+                    "ZL" => LogicalErrorKind::ZL,
+                    _ => return Err(bad("ler_sliced")),
+                };
+                let per: f64 = per.parse().map_err(|_| bad("ler_sliced"))?;
+                if !(0.0..=1.0).contains(&per) {
+                    return Err(format!("ler_sliced rate {per} outside [0, 1]"));
+                }
+                let with_pf = match *with_pf {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad("ler_sliced")),
+                };
+                let target = target.parse().map_err(|_| bad("ler_sliced"))?;
+                let max_windows: u64 = max_windows.parse().map_err(|_| bad("ler_sliced"))?;
+                let shots: u64 = shots.parse().map_err(|_| bad("ler_sliced"))?;
+                if target == 0 || max_windows == 0 || shots == 0 {
+                    return Err(bad("ler_sliced"));
+                }
+                Ok(JobKind::LerSliced {
+                    per,
+                    kind,
+                    with_pf,
+                    target,
+                    max_windows,
+                    shots,
+                })
+            }
             ["rc", qubits, gates] => {
                 let qubits: usize = qubits.parse().map_err(|_| bad("rc"))?;
                 let gates: usize = gates.parse().map_err(|_| bad("rc"))?;
@@ -192,6 +258,9 @@ impl JobKind {
             JobKind::Ler { .. } | JobKind::Bell { .. } => &[Backend::Packed, Backend::Reference],
             #[cfg(not(feature = "reference"))]
             JobKind::Ler { .. } | JobKind::Bell { .. } => &[Backend::Packed],
+            // The lane-sliced engine lives on the packed word planes
+            // only; there is no reference twin to reroute to.
+            JobKind::LerSliced { .. } => &[Backend::Packed],
             JobKind::RandomCircuit { .. } => &[Backend::Statevector],
         }
     }
@@ -283,10 +352,9 @@ pub fn job_seed(base_seed: u64, id: &str) -> u64 {
 /// returning the whitespace-separated result record.
 ///
 /// Records by kind: `ler` → the ten-field [`LerOutcome`] record;
-/// `rc` → the classically-tracked gate count; `bell` → the four ket
-/// counts in `|00⟩ |01⟩ |10⟩ |11⟩` order.
-///
-/// [`LerOutcome`]: qpdo_surface17::experiment::LerOutcome
+/// `ler_sliced` → the executed shot count followed by the ten-field
+/// sum over all trajectories; `rc` → the classically-tracked gate
+/// count; `bell` → the four ket counts in `|00⟩ |01⟩ |10⟩ |11⟩` order.
 ///
 /// # Errors
 ///
@@ -333,6 +401,20 @@ pub fn execute(
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
             Ok(run_ler_reference_cancellable(&config, &|| cancel.is_cancelled())?.to_record())
         }
+        (
+            JobKind::LerSliced {
+                per,
+                kind,
+                with_pf,
+                target,
+                max_windows,
+                shots,
+            },
+            Backend::Packed,
+        ) => {
+            let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
+            sliced_ler_record(&config, *shots, seed, cancel)
+        }
         (JobKind::Bell { shots }, Backend::Packed) => {
             let counts = bell_counts::<StabilizerSim>(*shots, seed, cancel)?;
             Ok(format!(
@@ -371,6 +453,60 @@ fn ler_config(
         max_windows,
         seed,
     }
+}
+
+/// The `ler_sliced` workload: `shots` rounded up to a lane multiple,
+/// run 64 trajectories per pass on the sliced engine, summed into one
+/// `"<executed_shots> <ten-field record>"` line.
+///
+/// Lane `k` of batch `b` seeds from the supervisor substream
+/// `(job_seed, "lanes", b·64 + k)` — a pure function of
+/// `(base_seed, id, batch, lane)`, so crash recovery and journal-retry
+/// re-executions reproduce the record byte-for-byte, and each lane's
+/// trajectory equals the scalar [`run_ler_cancellable`] run with that
+/// lane's seed (the differential contract of `surface17::sliced`).
+fn sliced_ler_record(
+    config: &LerConfig,
+    shots: u64,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<String, ShotError> {
+    let executed = round_up_to_lanes(shots);
+    let batches = executed / LANES as u64;
+    let mut total = LerOutcome {
+        windows: 0,
+        logical_errors: 0,
+        ops_above_frame: 0,
+        slots_above_frame: 0,
+        ops_below_frame: 0,
+        slots_below_frame: 0,
+        injected: qpdo_core::ErrorCounts::default(),
+    };
+    for batch in 0..batches {
+        let lane_seeds = sliced_lane_seeds(seed, "lanes", batch);
+        let (outcomes, stopped) = run_ler_sliced(config, &lane_seeds, &|| cancel.is_cancelled())?;
+        if stopped {
+            return Err(ShotError::Cancelled {
+                reason: format!(
+                    "ler_sliced job cancelled after {}/{executed} shots",
+                    batch * LANES as u64
+                ),
+            });
+        }
+        for outcome in &outcomes {
+            total.windows += outcome.windows;
+            total.logical_errors += outcome.logical_errors;
+            total.ops_above_frame += outcome.ops_above_frame;
+            total.slots_above_frame += outcome.slots_above_frame;
+            total.ops_below_frame += outcome.ops_below_frame;
+            total.slots_below_frame += outcome.slots_below_frame;
+            total.injected.single_qubit += outcome.injected.single_qubit;
+            total.injected.two_qubit += outcome.injected.two_qubit;
+            total.injected.measurement += outcome.injected.measurement;
+            total.injected.idle += outcome.injected.idle;
+        }
+    }
+    Ok(format!("{executed} {}", total.to_record()))
 }
 
 /// The odd-Bell workload of Section 5.2.3, generic over the stabilizer
@@ -489,6 +625,14 @@ mod tests {
                 target: 1,
                 max_windows: 100,
             },
+            JobKind::LerSliced {
+                per: 0.008,
+                kind: LogicalErrorKind::XL,
+                with_pf: true,
+                target: 1,
+                max_windows: 250,
+                shots: 100,
+            },
             JobKind::RandomCircuit {
                 qubits: 4,
                 gates: 30,
@@ -512,6 +656,9 @@ mod tests {
             &["ler", "0.5", "YL", "1", "2", "3"][..],
             &["ler", "2.0", "XL", "1", "2", "3"],
             &["ler", "0.5", "XL", "1", "0", "3"],
+            &["ler_sliced", "0.5", "XL", "1", "2", "3", "0"],
+            &["ler_sliced", "1.5", "XL", "1", "2", "3", "64"],
+            &["ler_sliced", "0.5", "XL", "1", "0", "3", "64"],
             &["rc", "0", "10"],
             &["rc", "30", "10"],
             &["bell", "0"],
@@ -609,5 +756,91 @@ mod tests {
         // running LER job instead of stalling the round.
         let result = execute(&kind, Backend::Packed, 1, &cancel);
         assert!(matches!(result, Err(ShotError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn sliced_ler_job_sums_its_scalar_lane_twins() {
+        use qpdo_surface17::experiment::run_ler;
+
+        let cancel = CancelToken::new();
+        let seed = job_seed(2016, "sliced-agree");
+        let config = LerConfig {
+            physical_error_rate: 0.01,
+            kind: LogicalErrorKind::XL,
+            with_pauli_frame: true,
+            target_logical_errors: 1,
+            max_windows: 100,
+            seed,
+        };
+        let kind = JobKind::LerSliced {
+            per: config.physical_error_rate,
+            kind: config.kind,
+            with_pf: config.with_pauli_frame,
+            target: config.target_logical_errors,
+            max_windows: config.max_windows,
+            // Rounds up to one full 64-lane pass.
+            shots: 10,
+        };
+        let record = execute(&kind, Backend::Packed, seed, &cancel).unwrap();
+
+        let mut expected = LerOutcome {
+            windows: 0,
+            logical_errors: 0,
+            ops_above_frame: 0,
+            slots_above_frame: 0,
+            ops_below_frame: 0,
+            slots_below_frame: 0,
+            injected: qpdo_core::ErrorCounts::default(),
+        };
+        for lane_seed in sliced_lane_seeds(seed, "lanes", 0) {
+            let scalar = run_ler(&LerConfig {
+                seed: lane_seed,
+                ..config
+            })
+            .unwrap();
+            expected.windows += scalar.windows;
+            expected.logical_errors += scalar.logical_errors;
+            expected.ops_above_frame += scalar.ops_above_frame;
+            expected.slots_above_frame += scalar.slots_above_frame;
+            expected.ops_below_frame += scalar.ops_below_frame;
+            expected.slots_below_frame += scalar.slots_below_frame;
+            expected.injected.single_qubit += scalar.injected.single_qubit;
+            expected.injected.two_qubit += scalar.injected.two_qubit;
+            expected.injected.measurement += scalar.injected.measurement;
+            expected.injected.idle += scalar.injected.idle;
+        }
+        assert_eq!(record, format!("64 {}", expected.to_record()));
+    }
+
+    #[test]
+    fn cancelled_sliced_ler_job_reports_cancellation() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let kind = JobKind::LerSliced {
+            per: 0.005,
+            kind: LogicalErrorKind::ZL,
+            with_pf: false,
+            target: 50,
+            max_windows: 1_000_000,
+            shots: 640,
+        };
+        let result = execute(&kind, Backend::Packed, 1, &cancel);
+        assert!(matches!(result, Err(ShotError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn sliced_ler_runs_only_on_the_packed_backend() {
+        let cancel = CancelToken::new();
+        let kind = JobKind::LerSliced {
+            per: 0.005,
+            kind: LogicalErrorKind::XL,
+            with_pf: true,
+            target: 1,
+            max_windows: 10,
+            shots: 64,
+        };
+        assert_eq!(kind.backend_preference(), &[Backend::Packed]);
+        let result = execute(&kind, Backend::Reference, 1, &cancel);
+        assert!(matches!(result, Err(ShotError::PoolFailure(_))));
     }
 }

@@ -33,8 +33,18 @@
 //! the bound never forces a rewrite per append — and compaction prunes
 //! terminal jobs beyond a retention count to keep the snapshot (and the
 //! in-memory mirror) bounded for a long-lived daemon.
+//!
+//! **Pruned-id ledger:** pruning a terminal job must not reopen its id.
+//! Each compaction folds the dropped ids into a digest set (one 64-bit
+//! FNV-1a hash per id, 8 bytes instead of a full record) carried in the
+//! snapshot as `pruned` records, together with a high-water count of
+//! everything pruned so far. Re-accepting a pruned id is refused at
+//! [`WriteAheadLog::append`], so a resubmission after compaction is
+//! answered deterministically instead of silently re-executing — the
+//! re-execution would be byte-identical only while the binary and base
+//! seed never change, which retention must not assume.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader};
 use std::path::{Path, PathBuf};
@@ -77,6 +87,28 @@ pub enum WalRecord {
     /// this point belongs to older segments that the rotation meant to
     /// delete, and is superseded by the records that follow.
     Snapshot,
+    /// Digest ledger of terminal jobs dropped by retention pruning:
+    /// the cumulative pruned count plus a chunk of [`id_digest`] hashes.
+    /// Written only inside compacted snapshots, right after the marker.
+    Pruned {
+        /// Terminal jobs pruned since the journal began (high water).
+        count: u64,
+        /// One chunk of the pruned-id digest set.
+        hashes: Vec<u64>,
+    },
+}
+
+/// The 64-bit FNV-1a digest of a job id, the membership key of the
+/// pruned-id ledger. A colliding *new* id is (harmlessly) refused; a
+/// pruned id is never reopened, which is the invariant that matters.
+#[must_use]
+pub fn id_digest(id: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl WalRecord {
@@ -97,6 +129,13 @@ impl WalRecord {
                 outcome: JobOutcome::Failed(error),
             } => format!("failed {id} {error}"),
             WalRecord::Snapshot => "snapshot".to_owned(),
+            WalRecord::Pruned { count, hashes } => {
+                let mut line = format!("pruned {count}");
+                for hash in hashes {
+                    line.push_str(&format!(" {hash:016x}"));
+                }
+                line
+            }
         }
     }
 
@@ -121,6 +160,16 @@ impl WalRecord {
                 outcome: JobOutcome::Failed(error.join(" ")),
             }),
             ["snapshot"] => Ok(WalRecord::Snapshot),
+            ["pruned", count, hashes @ ..] => Ok(WalRecord::Pruned {
+                count: count
+                    .parse()
+                    .map_err(|_| format!("malformed pruned count {count:?}"))?,
+                hashes: hashes
+                    .iter()
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("malformed pruned digest in {line:?}"))?,
+            }),
             _ => Err(format!("unknown journal record {line:?}")),
         }
     }
@@ -148,6 +197,10 @@ pub struct Recovery {
     /// Dispatch/complete records whose id was never accepted — a
     /// write-ordering violation that must never happen.
     pub orphaned: Vec<String>,
+    /// Terminal jobs pruned by retention so far (high water).
+    pub pruned_count: u64,
+    /// Digest set of pruned job ids ([`id_digest`] per id).
+    pub pruned: HashSet<u64>,
 }
 
 impl Recovery {
@@ -161,6 +214,12 @@ impl Recovery {
     #[must_use]
     pub fn pending(&self) -> Vec<&RecoveredJob> {
         self.jobs.iter().filter(|j| j.outcome.is_none()).collect()
+    }
+
+    /// Whether `id` belongs to a terminal job pruned by retention.
+    #[must_use]
+    pub fn was_pruned(&self, id: &str) -> bool {
+        self.pruned.contains(&id_digest(id))
     }
 
     fn replay(&mut self, record: &WalRecord) {
@@ -198,10 +257,18 @@ impl Recovery {
             WalRecord::Snapshot => {
                 // A compacted segment starts here; whatever older
                 // segments a crash mid-rotation left behind is
-                // superseded by the snapshot contents that follow.
+                // superseded by the snapshot contents that follow
+                // (including its pruned-id ledger, rewritten in full
+                // right after this marker).
                 self.jobs.clear();
                 self.duplicate_terminals.clear();
                 self.orphaned.clear();
+                self.pruned_count = 0;
+                self.pruned.clear();
+            }
+            WalRecord::Pruned { count, hashes } => {
+                self.pruned_count = self.pruned_count.max(*count);
+                self.pruned.extend(hashes);
             }
         }
     }
@@ -275,6 +342,11 @@ pub struct WriteAheadLog {
     /// Mirror of the journal state, for compaction snapshots.
     jobs: Vec<RecoveredJob>,
     index: HashMap<String, usize>,
+    /// Digest set of every id pruned by retention (see [`id_digest`]):
+    /// carried through each snapshot so a pruned id is never reopened.
+    pruned: HashSet<u64>,
+    /// Terminal jobs pruned so far (high water, monotone).
+    pruned_count: u64,
 }
 
 impl WriteAheadLog {
@@ -282,9 +354,11 @@ impl WriteAheadLog {
     pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 1 << 20;
 
     /// The default bound on terminal jobs kept through compaction.
-    /// Jobs pruned past it lose crash-surviving dedup/queryability —
-    /// a resubmission re-executes, which the deterministic seeds make
-    /// byte-identical, so the observable contract is preserved.
+    /// Jobs pruned past it lose result queryability, but never their
+    /// id: the pruned-id ledger keeps an 8-byte digest per pruned job,
+    /// and [`append`](Self::append) refuses to re-accept a pruned id,
+    /// so a resubmission is answered deterministically instead of
+    /// silently re-executing.
     pub const DEFAULT_RETAIN_TERMINAL: usize = 1 << 16;
 
     /// Opens (creating if needed) the journal in `dir`, replays it, and
@@ -319,6 +393,8 @@ impl WriteAheadLog {
                 .enumerate()
                 .map(|(i, j)| (j.spec.id.clone(), i))
                 .collect(),
+            pruned: recovery.pruned.clone(),
+            pruned_count: recovery.pruned_count,
         };
         wal.rotate_to(next_seq)?;
         Ok((wal, recovery))
@@ -373,7 +449,17 @@ impl WriteAheadLog {
     /// the daemon, without touching disk or the mirror.
     fn validate(&self, record: &WalRecord) -> io::Result<()> {
         match record {
-            WalRecord::Accept(_) | WalRecord::Snapshot => Ok(()),
+            WalRecord::Accept(spec) => {
+                if self.pruned.contains(&id_digest(&spec.id)) {
+                    Err(io::Error::other(format!(
+                        "job {:?} already reached a terminal state (pruned by retention)",
+                        spec.id
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            WalRecord::Snapshot | WalRecord::Pruned { .. } => Ok(()),
             WalRecord::Dispatch { id, .. } => {
                 if self.index.contains_key(id) {
                     Ok(())
@@ -424,8 +510,22 @@ impl WriteAheadLog {
                 }
             }
             // Only written directly by `rotate_to`, never appended.
-            WalRecord::Snapshot => {}
+            WalRecord::Snapshot | WalRecord::Pruned { .. } => {}
         }
+    }
+
+    /// Whether `id` belongs to a terminal job pruned by retention. The
+    /// daemon consults this before journaling an accept, so resubmits
+    /// of a pruned id are answered deterministically.
+    #[must_use]
+    pub fn was_pruned(&self, id: &str) -> bool {
+        self.pruned.contains(&id_digest(id))
+    }
+
+    /// Terminal jobs pruned by retention since the journal began.
+    #[must_use]
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned_count
     }
 
     /// Prunes the oldest terminal jobs beyond the retention bound (a
@@ -436,9 +536,14 @@ impl WriteAheadLog {
             return;
         }
         let mut drop = terminal - self.retain_terminal;
+        let (pruned, pruned_count) = (&mut self.pruned, &mut self.pruned_count);
         self.jobs.retain(|job| {
             if drop > 0 && job.outcome.is_some() {
                 drop -= 1;
+                // The id's digest outlives the record: pruning loses
+                // the result, never the fact that the id is terminal.
+                pruned.insert(id_digest(&job.spec.id));
+                *pruned_count += 1;
                 false
             } else {
                 true
@@ -463,6 +568,20 @@ impl WriteAheadLog {
         self.prune_terminal();
         let mut snapshot = Vec::new();
         write_record(&mut snapshot, WalRecord::Snapshot.encode().as_bytes())?;
+        // The pruned-id ledger rides in every snapshot, right after the
+        // marker (which resets it on replay). Sorted, fixed-size chunks
+        // keep the snapshot bytes deterministic and the lines bounded.
+        if !self.pruned.is_empty() {
+            let mut hashes: Vec<u64> = self.pruned.iter().copied().collect();
+            hashes.sort_unstable();
+            for chunk in hashes.chunks(256) {
+                let record = WalRecord::Pruned {
+                    count: self.pruned_count,
+                    hashes: chunk.to_vec(),
+                };
+                write_record(&mut snapshot, record.encode().as_bytes())?;
+            }
+        }
         for job in &self.jobs {
             write_record(
                 &mut snapshot,
@@ -531,6 +650,10 @@ mod tests {
                 outcome: JobOutcome::Failed("deadline exceeded".to_owned()),
             },
             WalRecord::Snapshot,
+            WalRecord::Pruned {
+                count: 9,
+                hashes: vec![0, 1, u64::MAX, id_digest("j1")],
+            },
         ];
         for record in records {
             let line = record.encode();
@@ -810,6 +933,42 @@ mod tests {
             .jobs
             .iter()
             .any(|j| j.spec.id == "keep-pending" && j.outcome.is_none()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruned_ids_survive_compaction_and_refuse_reacceptance() {
+        let dir = tmp_dir("pruned");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 64).unwrap();
+            wal.set_retain_terminal(1);
+            for i in 0..8 {
+                wal.append(&WalRecord::Accept(spec(&format!("p-{i}"))))
+                    .unwrap();
+                wal.append(&WalRecord::Complete {
+                    id: format!("p-{i}"),
+                    outcome: JobOutcome::Done("0 0 1 1".to_owned()),
+                })
+                .unwrap();
+            }
+            assert!(wal.pruned_count() > 0, "retention never pruned");
+            assert!(wal.was_pruned("p-0"), "oldest terminal must be pruned");
+            assert!(!wal.was_pruned("p-7"), "newest terminal is retained");
+            // Re-accepting a pruned id is refused before any byte
+            // reaches disk — exactly-once survives retention.
+            let err = wal.append(&WalRecord::Accept(spec("p-0"))).unwrap_err();
+            assert!(err.to_string().contains("pruned"), "{err}");
+        }
+        // The ledger rides in the snapshot: a reopened journal still
+        // knows every pruned id and still refuses it.
+        let (mut wal, recovery) = WriteAheadLog::open(&dir, 64).unwrap();
+        assert!(recovery.is_consistent());
+        assert!(recovery.was_pruned("p-0"));
+        assert!(recovery.pruned_count > 0);
+        assert!(wal.was_pruned("p-0"));
+        assert!(wal.append(&WalRecord::Accept(spec("p-0"))).is_err());
+        // A genuinely fresh id is still welcome.
+        wal.append(&WalRecord::Accept(spec("fresh"))).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

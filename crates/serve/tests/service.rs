@@ -258,6 +258,116 @@ fn deadlines_cancel_stalled_jobs() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn sliced_ler_job_completes_end_to_end() {
+    let dir = fresh_dir("sliced");
+    let config = DaemonConfig::default();
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    let spec = JobSpec {
+        id: "sliced-1".to_owned(),
+        deadline_ms: None,
+        kind: JobKind::LerSliced {
+            per: 0.01,
+            kind: qpdo_surface17::experiment::LogicalErrorKind::XL,
+            with_pf: true,
+            target: 1,
+            max_windows: 60,
+            // Rounds up to one full 64-lane pass.
+            shots: 50,
+        },
+    };
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Accepted("sliced-1".to_owned())
+    );
+    let JobState::Done(record) = daemon.wait_terminal("sliced-1") else {
+        panic!("sliced-1 did not complete");
+    };
+    assert_eq!(record, golden(seed, &spec));
+    assert!(
+        record.starts_with("64 "),
+        "executed shots round up to a lane multiple: {record}"
+    );
+    daemon.drain();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pruned_terminal_resubmit_is_answered_not_reexecuted() {
+    let dir = fresh_dir("pruned-resubmit");
+    // Tiny segments + retention of 1 so completions compact the first
+    // job out of the journal almost immediately.
+    let config = DaemonConfig {
+        jobs: 1,
+        max_segment_bytes: 64,
+        retain_terminal: 1,
+        ..DaemonConfig::default()
+    };
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    // Submit → complete.
+    let first = bell("pruned-1", 2);
+    assert_eq!(
+        client.call(&Request::Submit(first.clone())).unwrap(),
+        Response::Accepted("pruned-1".to_owned())
+    );
+    let JobState::Done(_) = daemon.wait_terminal("pruned-1") else {
+        panic!("pruned-1 did not complete");
+    };
+
+    // Compact past retention: more completions than the journal keeps.
+    for i in 0..4 {
+        let spec = bell(&format!("filler-{i}"), 2);
+        assert_eq!(
+            client.call(&Request::Submit(spec.clone())).unwrap(),
+            Response::Accepted(spec.id.clone())
+        );
+        let JobState::Done(_) = daemon.wait_terminal(&spec.id) else {
+            panic!("{} did not complete", spec.id);
+        };
+    }
+    let stats = daemon.drain();
+    assert_eq!(stats.completed, 5);
+
+    // Restart on the compacted journal: the first job's record is gone,
+    // but its id must still be recognized — resubmission is answered
+    // deterministically, never silently re-executed.
+    let recovery = qpdo_serve::wal::recover(&dir).expect("journal audit");
+    assert!(recovery.is_consistent());
+    assert!(
+        recovery.was_pruned("pruned-1"),
+        "retention never pruned the first job; drill setup is broken"
+    );
+    assert!(!recovery.jobs.iter().any(|j| j.spec.id == "pruned-1"));
+    let recovered = recovery.jobs.len() as u64;
+
+    let daemon = TestDaemon::start(&dir, DaemonConfig::default());
+    let mut client = daemon.client();
+    match client.call(&Request::Submit(first)).unwrap() {
+        Response::Rejected(reason) => {
+            assert!(reason.contains("pruned"), "{reason:?}");
+            assert!(reason.contains("terminal"), "{reason:?}");
+        }
+        other => panic!("pruned resubmit answered {other:?}"),
+    }
+    let stats = daemon.drain();
+    assert_eq!(
+        stats.accepted, recovered,
+        "the pruned id must not re-enter (only journal-recovered jobs count)"
+    );
+    assert_eq!(stats.duplicates, 1, "the resubmit counts as a duplicate");
+
+    // Final audit: still consistent, the pruned ledger intact.
+    let recovery = qpdo_serve::wal::recover(&dir).expect("journal audit");
+    assert!(recovery.is_consistent());
+    assert!(recovery.was_pruned("pruned-1"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[cfg(feature = "reference")]
 #[test]
 fn tripped_breaker_reroutes_with_identical_results() {

@@ -47,11 +47,13 @@ use std::fmt;
 use qpdo_pauli::PauliString;
 use qpdo_rng::RngCore;
 
+mod sliced;
 mod tableau;
 
 #[cfg(feature = "reference")]
 mod reference;
 
+pub use sliced::{ShotSlicedSim, LANES};
 pub use tableau::StabilizerSim;
 
 #[cfg(feature = "reference")]

@@ -101,6 +101,12 @@ impl StabilizerSim {
         self.n
     }
 
+    /// Raw `(x, z, r)` bit-planes, for the shot-sliced lane oracle
+    /// ([`ShotSlicedSim::lane_eq`](crate::ShotSlicedSim::lane_eq)).
+    pub(crate) fn raw_planes(&self) -> (&[u64], &[u64], &[u64]) {
+        (&self.x, &self.z, &self.r)
+    }
+
     /// Extends the register with `k` fresh qubits in `|0⟩`.
     ///
     /// Existing stabilizers are untouched; the new qubits join as a

@@ -41,6 +41,7 @@ mod esm;
 pub mod experiment;
 mod layout;
 mod properties;
+pub mod sliced;
 mod star;
 mod two_qubit;
 
@@ -48,5 +49,6 @@ pub use decoder::{LutDecoder, SyndromeTracker, WindowDecision};
 pub use esm::{esm_ancillas, esm_circuit};
 pub use layout::{CheckKind, Plaquette, StarLayout};
 pub use properties::{DanceMode, LogicalState, Rotation, StarProperties};
+pub use sliced::run_ler_sliced;
 pub use star::{NinjaStar, WindowReport};
 pub use two_qubit::{logical_cnot, logical_cz, transversal_pairs};

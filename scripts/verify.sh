@@ -85,6 +85,14 @@ echo "== differential oracle: packed vs reference tableau (fixed seeds) =="
 # experiment binaries ship with). All seeds are fixed in the test.
 cargo test -q --offline --release -p qpdo-stabilizer --test differential
 
+echo "== sliced oracle: 64-lane engine vs scalar twins (release) =="
+# Shot-slicing soundness (DESIGN.md §10): every lane of the 64-lane
+# engine must be byte-identical to a scalar run seeded with that lane's
+# substream seed — at the tableau level and through the full SC17 LER
+# driver, with and without the Pauli-frame layer.
+cargo test -q --offline --release -p qpdo-stabilizer --test sliced_oracle
+cargo test -q --offline --release -p qpdo-surface17 --lib 'sliced::'
+
 echo "== supervisor smoke: exp_ler --test smoke --jobs 4 =="
 # End-to-end gate on the supervised execution engine (DESIGN.md §7):
 # jobs-independence, forced-panic + hang recovery, quarantine
@@ -99,6 +107,24 @@ echo "== kernel bench smoke: bench_kernels --smoke =="
 # BENCH_stabilizer.json to the throwaway directory, and validates the
 # report schema — both before writing and after re-reading from disk.
 ./target/release/bench_kernels --smoke --out "$smoke_out"
+
+echo "== checked-in report keys: results/BENCH_stabilizer.json =="
+# The committed report is the baseline every PR diffs against; a
+# regeneration that silently drops a kernel row or derived ratio would
+# erase the trajectory. Every known key must stay present.
+for key in \
+    '"schema": "qpdo-bench-stabilizer-v1"' \
+    '"name": "rowsum_packed_n17"' '"name": "rowsum_reference_n17"' \
+    '"name": "esm_round"' '"name": "sc17_shot"' \
+    '"name": "sc17_shot_sliced"' '"name": "frame_merge"' \
+    '"rowsum_speedup_n17"' '"rowsum_targets_n17"' \
+    '"sc17_sliced_amortized_ns"' '"sc17_slicing_speedup"'; do
+    if ! grep -qF "$key" results/BENCH_stabilizer.json; then
+        echo "error: results/BENCH_stabilizer.json lost key $key" >&2
+        exit 1
+    fi
+done
+echo "ok: all report keys present"
 
 echo "== crash-recovery gate: serve_chaos --smoke =="
 # The shot-service chaos drill (DESIGN.md §9.5): spawns qpdo_serve,
