@@ -1,0 +1,998 @@
+//! The router's binding journal (`DESIGN.md` §11.3).
+//!
+//! Fleet-wide exactly-once rests on one fact: **at any instant, at most
+//! one daemon may hold a given job id in its own journal.** The router
+//! enforces it by journaling every routing decision *before* acting on
+//! it, in the same CRC-framed fsync'd style as the daemon WAL
+//! ([`qpdo_serve::wal`]):
+//!
+//! - `member <name> <addr>` / `left <name>` — fleet membership. A
+//!   rejoin under the same name updates the address in place.
+//! - `route <id> <member> <deadline|-> <kind…>` — the binding, written
+//!   (and fsync'd) before the submit is forwarded to the member. A
+//!   later `route` for the same id is a *rebind*, legal only while the
+//!   previous member definitively never journaled the job.
+//! - `sent <id>` — a delivery attempt is about to transmit on an open
+//!   connection to the bound member. From here the attempt is
+//!   *ambiguous* until the member answers: a rebind is legal only on
+//!   the member's explicit refusal (which proves the job is not in its
+//!   WAL — daemons dedup-check before rejecting), never on a mere
+//!   connection failure, which cannot distinguish "never arrived" from
+//!   "arrived, then the member died".
+//! - `unroute <id>` — the binding was abandoned after definitive
+//!   non-delivery everywhere; the id is fresh again.
+//! - `acked <id>` — the bound member acknowledged the submit, i.e. the
+//!   job is in that member's WAL. From here the binding is sticky.
+//! - `done <id> <record…>` / `failed <id> <error…>` — the terminal
+//!   outcome relayed from the member, cached so clients can query the
+//!   router even after the member prunes or leaves.
+//!
+//! After a router crash, replaying the journal yields every bound job
+//! with its member and state: `routed`/`acked` jobs are *orphans* that
+//! the resolver re-resolves against their bound member — resubmission
+//! by job id is idempotent on the daemon side, so an orphan is finished
+//! exactly once, never double-executed.
+//!
+//! Rotation, compaction-on-open, the snapshot marker, terminal-job
+//! retention, and the pruned-id digest ledger all follow the daemon
+//! WAL design (`DESIGN.md` §9.3): a pruned id is never reopened, so a
+//! resubmission long after compaction is refused deterministically
+//! instead of silently re-hashed onto a possibly different member.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+use qpdo_bench::framing::{atomic_replace, read_records, sync_file, sync_parent_dir, write_record};
+use qpdo_serve::job::JobSpec;
+use qpdo_serve::wal::{id_digest, JobOutcome};
+
+/// Where a routed job stands, as reconstructed from the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouteState {
+    /// Bound to a member; no delivery attempt has transmitted yet.
+    Routed,
+    /// A delivery attempt transmitted to the bound member with an
+    /// unknown outcome: rebinding now requires the member's explicit
+    /// refusal as proof of non-delivery.
+    Sent,
+    /// The bound member journaled the job: the binding is sticky.
+    Acked,
+    /// Terminal outcome relayed from the bound member.
+    Terminal(JobOutcome),
+}
+
+impl RouteState {
+    /// Whether the job reached a terminal outcome.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, RouteState::Terminal(_))
+    }
+}
+
+/// One record in the router journal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouterRecord {
+    /// A member joined (or rejoined with a new address).
+    Member {
+        /// The member's stable fleet name (the ring key).
+        name: String,
+        /// The member's current `host:port` address.
+        addr: String,
+    },
+    /// A member left the fleet.
+    Left {
+        /// The member's name.
+        name: String,
+    },
+    /// A job was bound to a member (written before forwarding).
+    Route {
+        /// The full job spec (needed to resubmit after a restart).
+        spec: JobSpec,
+        /// The bound member's name.
+        member: String,
+    },
+    /// A delivery attempt is about to transmit to the bound member.
+    Sent {
+        /// The job id.
+        id: String,
+    },
+    /// A binding was abandoned after definitive non-delivery.
+    Unroute {
+        /// The job id, fresh again after this record.
+        id: String,
+    },
+    /// The bound member acknowledged the submit.
+    Acked {
+        /// The job id.
+        id: String,
+    },
+    /// The job's terminal outcome, relayed from the bound member.
+    Terminal {
+        /// The job id.
+        id: String,
+        /// The outcome.
+        outcome: JobOutcome,
+    },
+    /// First record of a compacted segment (see [`qpdo_serve::wal`]).
+    Snapshot,
+    /// Digest ledger of terminal jobs dropped by retention pruning.
+    Pruned {
+        /// Jobs pruned since the journal began (high water).
+        count: u64,
+        /// One chunk of the pruned-id digest set.
+        hashes: Vec<u64>,
+    },
+}
+
+impl RouterRecord {
+    fn encode(&self) -> String {
+        match self {
+            RouterRecord::Member { name, addr } => format!("member {name} {addr}"),
+            RouterRecord::Left { name } => format!("left {name}"),
+            RouterRecord::Route { spec, member } => {
+                format!("route {} {member} {}", spec.id, spec.encode_tail())
+            }
+            RouterRecord::Sent { id } => format!("sent {id}"),
+            RouterRecord::Unroute { id } => format!("unroute {id}"),
+            RouterRecord::Acked { id } => format!("acked {id}"),
+            RouterRecord::Terminal {
+                id,
+                outcome: JobOutcome::Done(record),
+            } => format!("done {id} {record}"),
+            RouterRecord::Terminal {
+                id,
+                outcome: JobOutcome::Failed(error),
+            } => format!("failed {id} {error}"),
+            RouterRecord::Snapshot => "snapshot".to_owned(),
+            RouterRecord::Pruned { count, hashes } => {
+                let mut line = format!("pruned {count}");
+                for hash in hashes {
+                    line.push_str(&format!(" {hash:016x}"));
+                }
+                line
+            }
+        }
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["member", name, addr] => Ok(RouterRecord::Member {
+                name: (*name).to_owned(),
+                addr: (*addr).to_owned(),
+            }),
+            ["left", name] => Ok(RouterRecord::Left {
+                name: (*name).to_owned(),
+            }),
+            ["route", id, member, tail @ ..] => {
+                let mut spec_tokens = vec![*id];
+                spec_tokens.extend_from_slice(tail);
+                Ok(RouterRecord::Route {
+                    spec: JobSpec::parse(&spec_tokens)?,
+                    member: (*member).to_owned(),
+                })
+            }
+            ["sent", id] => Ok(RouterRecord::Sent {
+                id: (*id).to_owned(),
+            }),
+            ["unroute", id] => Ok(RouterRecord::Unroute {
+                id: (*id).to_owned(),
+            }),
+            ["acked", id] => Ok(RouterRecord::Acked {
+                id: (*id).to_owned(),
+            }),
+            ["done", id, record @ ..] => Ok(RouterRecord::Terminal {
+                id: (*id).to_owned(),
+                outcome: JobOutcome::Done(record.join(" ")),
+            }),
+            ["failed", id, error @ ..] => Ok(RouterRecord::Terminal {
+                id: (*id).to_owned(),
+                outcome: JobOutcome::Failed(error.join(" ")),
+            }),
+            ["snapshot"] => Ok(RouterRecord::Snapshot),
+            ["pruned", count, hashes @ ..] => Ok(RouterRecord::Pruned {
+                count: count
+                    .parse()
+                    .map_err(|_| format!("malformed pruned count {count:?}"))?,
+                hashes: hashes
+                    .iter()
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("malformed pruned digest in {line:?}"))?,
+            }),
+            _ => Err(format!("unknown router journal record {line:?}")),
+        }
+    }
+}
+
+/// Validates a candidate member name (a ring key and wire token).
+///
+/// # Errors
+///
+/// Returns a human-readable reason for empty, oversized, or
+/// delimiter-containing names.
+pub fn validate_member_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("member name must not be empty".to_owned());
+    }
+    if name.len() > 64 {
+        return Err("member name longer than 64 bytes".to_owned());
+    }
+    if name.contains(|c: char| c.is_whitespace() || c == ',' || c == ':') {
+        return Err("member name must not contain whitespace, commas, or colons".to_owned());
+    }
+    Ok(())
+}
+
+/// One bound job as reconstructed from the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundJob {
+    /// The accepted spec.
+    pub spec: JobSpec,
+    /// The bound member's name.
+    pub member: String,
+    /// Where delivery stands.
+    pub state: RouteState,
+}
+
+/// What a router journal replay found.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RouterRecovery {
+    /// Fleet members in join order: `(name, addr)`.
+    pub members: Vec<(String, String)>,
+    /// Every bound job, in binding order.
+    pub jobs: Vec<BoundJob>,
+    /// Ids with conflicting terminal records — an exactly-once
+    /// violation that must never happen.
+    pub duplicate_terminals: Vec<String>,
+    /// Records whose id or member was never introduced — a
+    /// write-ordering violation that must never happen.
+    pub orphaned: Vec<String>,
+    /// Terminal jobs pruned by retention so far (high water).
+    pub pruned_count: u64,
+    /// Digest set of pruned job ids ([`id_digest`] per id).
+    pub pruned: HashSet<u64>,
+}
+
+impl RouterRecovery {
+    /// Whether the journal satisfies the exactly-once invariants.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.duplicate_terminals.is_empty() && self.orphaned.is_empty()
+    }
+
+    /// Jobs not yet terminal, in binding order: the orphans a restarted
+    /// router must re-resolve against their bound members.
+    #[must_use]
+    pub fn orphans(&self) -> Vec<&BoundJob> {
+        self.jobs
+            .iter()
+            .filter(|j| !j.state.is_terminal())
+            .collect()
+    }
+
+    /// Whether `id` belongs to a terminal job pruned by retention.
+    #[must_use]
+    pub fn was_pruned(&self, id: &str) -> bool {
+        self.pruned.contains(&id_digest(id))
+    }
+
+    fn replay(&mut self, record: &RouterRecord) {
+        match record {
+            RouterRecord::Member { name, addr } => {
+                match self.members.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, a)) => *a = addr.clone(),
+                    None => self.members.push((name.clone(), addr.clone())),
+                }
+            }
+            RouterRecord::Left { name } => {
+                if self.members.iter().any(|(n, _)| n == name) {
+                    self.members.retain(|(n, _)| n != name);
+                } else {
+                    self.orphaned.push(format!("left:{name}"));
+                }
+            }
+            RouterRecord::Route { spec, member } => {
+                match self.jobs.iter_mut().find(|j| j.spec.id == spec.id) {
+                    // A rebind supersedes the old binding and resets
+                    // delivery (it is only journaled while the previous
+                    // member definitively never journaled the job).
+                    Some(job) if matches!(job.state, RouteState::Routed | RouteState::Sent) => {
+                        job.member = member.clone();
+                        job.state = RouteState::Routed;
+                    }
+                    Some(job) => self.orphaned.push(format!("rebind-sticky:{}", job.spec.id)),
+                    None => self.jobs.push(BoundJob {
+                        spec: spec.clone(),
+                        member: member.clone(),
+                        state: RouteState::Routed,
+                    }),
+                }
+            }
+            RouterRecord::Sent { id } => match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
+                Some(job) if matches!(job.state, RouteState::Routed | RouteState::Sent) => {
+                    job.state = RouteState::Sent;
+                }
+                Some(_) => self.orphaned.push(format!("sent-after-sticky:{id}")),
+                None => self.orphaned.push(format!("sent:{id}")),
+            },
+            RouterRecord::Unroute { id } => match self.jobs.iter().position(|j| j.spec.id == *id) {
+                Some(i) if matches!(self.jobs[i].state, RouteState::Routed | RouteState::Sent) => {
+                    self.jobs.remove(i);
+                }
+                Some(_) => self.orphaned.push(format!("unroute-sticky:{id}")),
+                None => self.orphaned.push(format!("unroute:{id}")),
+            },
+            RouterRecord::Acked { id } => match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
+                Some(job) => {
+                    if matches!(job.state, RouteState::Routed | RouteState::Sent) {
+                        job.state = RouteState::Acked;
+                    }
+                }
+                None => self.orphaned.push(format!("acked:{id}")),
+            },
+            RouterRecord::Terminal { id, outcome } => {
+                match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
+                    Some(job) => match &job.state {
+                        RouteState::Terminal(existing) if existing == outcome => {}
+                        RouteState::Terminal(_) => self.duplicate_terminals.push(id.clone()),
+                        _ => job.state = RouteState::Terminal(outcome.clone()),
+                    },
+                    None => self.orphaned.push(format!("terminal:{id}")),
+                }
+            }
+            RouterRecord::Snapshot => {
+                self.members.clear();
+                self.jobs.clear();
+                self.duplicate_terminals.clear();
+                self.orphaned.clear();
+                self.pruned_count = 0;
+                self.pruned.clear();
+            }
+            RouterRecord::Pruned { count, hashes } => {
+                self.pruned_count = self.pruned_count.max(*count);
+                self.pruned.extend(hashes);
+            }
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("router-{seq:08}.log"))
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+            continue;
+        }
+        if let Some(seq) = name
+            .strip_prefix("router-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Replays every segment in `dir` without modifying anything — the
+/// read-only audit path (`router_chaos` uses it to cross-check the
+/// bindings against the daemon journals after a drill).
+///
+/// # Errors
+///
+/// Propagates I/O errors; torn tails are tolerated, not errors.
+pub fn recover(dir: &Path) -> io::Result<RouterRecovery> {
+    let mut recovery = RouterRecovery::default();
+    if !dir.exists() {
+        return Ok(recovery);
+    }
+    for (_, path) in list_segments(dir)? {
+        let mut reader = BufReader::new(File::open(&path)?);
+        for payload in read_records(&mut reader)? {
+            let line = String::from_utf8(payload).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 router journal")
+            })?;
+            let record = RouterRecord::parse(&line)
+                .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason))?;
+            recovery.replay(&record);
+        }
+    }
+    Ok(recovery)
+}
+
+/// The append side of the router journal.
+pub struct RouterJournal {
+    dir: PathBuf,
+    active: File,
+    active_seq: u64,
+    active_bytes: u64,
+    rotate_at: u64,
+    max_segment_bytes: u64,
+    retain_terminal: usize,
+    /// Mirror of the journal state, for compaction snapshots.
+    members: Vec<(String, String)>,
+    jobs: Vec<BoundJob>,
+    index: HashMap<String, usize>,
+    pruned: HashSet<u64>,
+    pruned_count: u64,
+}
+
+impl RouterJournal {
+    /// The default rotation bound for the active segment.
+    pub const DEFAULT_MAX_SEGMENT_BYTES: u64 = 1 << 20;
+
+    /// The default bound on terminal jobs kept through compaction.
+    pub const DEFAULT_RETAIN_TERMINAL: usize = 1 << 16;
+
+    /// Opens (creating if needed) the journal in `dir`, replays it, and
+    /// compacts the recovered state into a fresh segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and corrupt journal content.
+    pub fn open(dir: &Path, max_segment_bytes: u64) -> io::Result<(Self, RouterRecovery)> {
+        std::fs::create_dir_all(dir)?;
+        let recovery = recover(dir)?;
+        let next_seq = list_segments(dir)?.last().map_or(1, |(seq, _)| seq + 1);
+        let mut journal = RouterJournal {
+            dir: dir.to_path_buf(),
+            // Placeholder; rotate_to() below installs the real handle.
+            active: OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(segment_path(dir, next_seq))?,
+            active_seq: next_seq,
+            active_bytes: 0,
+            rotate_at: max_segment_bytes.max(1),
+            max_segment_bytes: max_segment_bytes.max(1),
+            retain_terminal: Self::DEFAULT_RETAIN_TERMINAL,
+            members: recovery.members.clone(),
+            jobs: recovery.jobs.clone(),
+            index: recovery
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| (j.spec.id.clone(), i))
+                .collect(),
+            pruned: recovery.pruned.clone(),
+            pruned_count: recovery.pruned_count,
+        };
+        journal.rotate_to(next_seq)?;
+        Ok((journal, recovery))
+    }
+
+    /// Bounds the terminal jobs kept through compaction. Takes effect
+    /// at the next rotation.
+    pub fn set_retain_terminal(&mut self, retain_terminal: usize) {
+        self.retain_terminal = retain_terminal.max(1);
+    }
+
+    /// Whether `id` belongs to a terminal job pruned by retention.
+    #[must_use]
+    pub fn was_pruned(&self, id: &str) -> bool {
+        self.pruned.contains(&id_digest(id))
+    }
+
+    /// Terminal jobs pruned by retention since the journal began.
+    #[must_use]
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned_count
+    }
+
+    /// Appends one record, fsyncs it, and rotates once a full size
+    /// bound of fresh records has accumulated. When this returns, the
+    /// record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Refuses invariant-violating records before any byte reaches
+    /// disk; I/O errors are propagated (callers must retry the
+    /// identical record, never a different outcome for the same id).
+    pub fn append(&mut self, record: &RouterRecord) -> io::Result<()> {
+        self.validate(record)?;
+        let line = record.encode();
+        write_record(&mut self.active, line.as_bytes())?;
+        sync_file(&self.active)?;
+        self.active_bytes += 8 + line.len() as u64;
+        self.apply(record);
+        if self.active_bytes > self.rotate_at {
+            self.rotate_to(self.active_seq + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Enforces the journal invariants as programmer-error checks on
+    /// the router, without touching disk or the mirror.
+    fn validate(&self, record: &RouterRecord) -> io::Result<()> {
+        let job_of = |id: &str| self.index.get(id).map(|&i| &self.jobs[i]);
+        match record {
+            RouterRecord::Member { name, addr } => {
+                validate_member_name(name).map_err(io::Error::other)?;
+                if addr.is_empty() || addr.contains(|c: char| c.is_whitespace() || c == ',') {
+                    return Err(io::Error::other(format!("malformed member addr {addr:?}")));
+                }
+                Ok(())
+            }
+            RouterRecord::Left { name } => {
+                if self.members.iter().any(|(n, _)| n == name) {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(format!(
+                        "left for unknown member {name:?}"
+                    )))
+                }
+            }
+            RouterRecord::Route { spec, member } => {
+                if !self.members.iter().any(|(n, _)| n == member) {
+                    return Err(io::Error::other(format!(
+                        "route to unknown member {member:?}"
+                    )));
+                }
+                match job_of(&spec.id) {
+                    None if self.pruned.contains(&id_digest(&spec.id)) => {
+                        Err(io::Error::other(format!(
+                            "job {:?} already reached a terminal state (pruned by retention)",
+                            spec.id
+                        )))
+                    }
+                    None => Ok(()),
+                    Some(job) if matches!(job.state, RouteState::Routed | RouteState::Sent) => {
+                        Ok(())
+                    }
+                    Some(job) => Err(io::Error::other(format!(
+                        "rebind of job {:?} after the binding went sticky ({:?})",
+                        spec.id, job.state
+                    ))),
+                }
+            }
+            RouterRecord::Sent { id } => match job_of(id) {
+                Some(job) if matches!(job.state, RouteState::Routed | RouteState::Sent) => Ok(()),
+                Some(_) => Err(io::Error::other(format!(
+                    "sent for already-confirmed job {id:?}"
+                ))),
+                None => Err(io::Error::other(format!("sent for unknown job {id:?}"))),
+            },
+            RouterRecord::Unroute { id } => match job_of(id) {
+                Some(job) if matches!(job.state, RouteState::Routed | RouteState::Sent) => Ok(()),
+                Some(_) => Err(io::Error::other(format!(
+                    "unroute of job {id:?} after the binding went sticky"
+                ))),
+                None => Err(io::Error::other(format!("unroute for unknown job {id:?}"))),
+            },
+            RouterRecord::Acked { id } => match job_of(id) {
+                Some(job) if !job.state.is_terminal() => Ok(()),
+                Some(_) => Err(io::Error::other(format!(
+                    "acked for already-terminal job {id:?}"
+                ))),
+                None => Err(io::Error::other(format!("acked for unknown job {id:?}"))),
+            },
+            RouterRecord::Terminal { id, outcome } => {
+                let job = job_of(id)
+                    .ok_or_else(|| io::Error::other(format!("terminal for unknown job {id:?}")))?;
+                match &job.state {
+                    // A retried append of the identical terminal is
+                    // absorbed, exactly like the daemon WAL.
+                    RouteState::Terminal(existing) if existing == outcome => Ok(()),
+                    RouteState::Terminal(_) => Err(io::Error::other(format!(
+                        "conflicting terminal record for job {id:?} (exactly-once violation)"
+                    ))),
+                    _ => Ok(()),
+                }
+            }
+            RouterRecord::Snapshot | RouterRecord::Pruned { .. } => Ok(()),
+        }
+    }
+
+    /// Mirrors a validated record into the in-memory state.
+    fn apply(&mut self, record: &RouterRecord) {
+        match record {
+            RouterRecord::Member { name, addr } => {
+                match self.members.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, a)) => *a = addr.clone(),
+                    None => self.members.push((name.clone(), addr.clone())),
+                }
+            }
+            RouterRecord::Left { name } => {
+                self.members.retain(|(n, _)| n != name);
+            }
+            RouterRecord::Route { spec, member } => match self.index.get(&spec.id) {
+                Some(&i) => {
+                    self.jobs[i].member = member.clone();
+                    self.jobs[i].state = RouteState::Routed;
+                }
+                None => {
+                    self.index.insert(spec.id.clone(), self.jobs.len());
+                    self.jobs.push(BoundJob {
+                        spec: spec.clone(),
+                        member: member.clone(),
+                        state: RouteState::Routed,
+                    });
+                }
+            },
+            RouterRecord::Sent { id } => {
+                self.jobs[self.index[id]].state = RouteState::Sent;
+            }
+            RouterRecord::Unroute { id } => {
+                if let Some(i) = self.index.remove(id) {
+                    self.jobs.remove(i);
+                    self.reindex();
+                }
+            }
+            RouterRecord::Acked { id } => {
+                let job = &mut self.jobs[self.index[id]];
+                if matches!(job.state, RouteState::Routed | RouteState::Sent) {
+                    job.state = RouteState::Acked;
+                }
+            }
+            RouterRecord::Terminal { id, outcome } => {
+                let job = &mut self.jobs[self.index[id]];
+                if !job.state.is_terminal() {
+                    job.state = RouteState::Terminal(outcome.clone());
+                }
+            }
+            // Only written directly by `rotate_to`, never appended.
+            RouterRecord::Snapshot | RouterRecord::Pruned { .. } => {}
+        }
+    }
+
+    fn reindex(&mut self) {
+        self.index = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.spec.id.clone(), i))
+            .collect();
+    }
+
+    /// Prunes the oldest terminal jobs beyond the retention bound (a
+    /// non-terminal job is never pruned).
+    fn prune_terminal(&mut self) {
+        let terminal = self.jobs.iter().filter(|j| j.state.is_terminal()).count();
+        if terminal <= self.retain_terminal {
+            return;
+        }
+        let mut drop = terminal - self.retain_terminal;
+        let (pruned, pruned_count) = (&mut self.pruned, &mut self.pruned_count);
+        self.jobs.retain(|job| {
+            if drop > 0 && job.state.is_terminal() {
+                drop -= 1;
+                pruned.insert(id_digest(&job.spec.id));
+                *pruned_count += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.reindex();
+    }
+
+    /// Writes the current state (after retention pruning) as segment
+    /// `seq`, switches appends to it, and deletes every older segment
+    /// (see [`qpdo_serve::wal`] for the crash-safety argument).
+    fn rotate_to(&mut self, seq: u64) -> io::Result<()> {
+        self.prune_terminal();
+        let mut snapshot = Vec::new();
+        write_record(&mut snapshot, RouterRecord::Snapshot.encode().as_bytes())?;
+        if !self.pruned.is_empty() {
+            let mut hashes: Vec<u64> = self.pruned.iter().copied().collect();
+            hashes.sort_unstable();
+            for chunk in hashes.chunks(256) {
+                let record = RouterRecord::Pruned {
+                    count: self.pruned_count,
+                    hashes: chunk.to_vec(),
+                };
+                write_record(&mut snapshot, record.encode().as_bytes())?;
+            }
+        }
+        for (name, addr) in &self.members {
+            let record = RouterRecord::Member {
+                name: name.clone(),
+                addr: addr.clone(),
+            };
+            write_record(&mut snapshot, record.encode().as_bytes())?;
+        }
+        for job in &self.jobs {
+            let route = RouterRecord::Route {
+                spec: job.spec.clone(),
+                member: job.member.clone(),
+            };
+            write_record(&mut snapshot, route.encode().as_bytes())?;
+            if matches!(job.state, RouteState::Sent) {
+                let sent = RouterRecord::Sent {
+                    id: job.spec.id.clone(),
+                };
+                write_record(&mut snapshot, sent.encode().as_bytes())?;
+            }
+            if matches!(job.state, RouteState::Acked | RouteState::Terminal(_)) {
+                let acked = RouterRecord::Acked {
+                    id: job.spec.id.clone(),
+                };
+                write_record(&mut snapshot, acked.encode().as_bytes())?;
+            }
+            if let RouteState::Terminal(outcome) = &job.state {
+                let terminal = RouterRecord::Terminal {
+                    id: job.spec.id.clone(),
+                    outcome: outcome.clone(),
+                };
+                write_record(&mut snapshot, terminal.encode().as_bytes())?;
+            }
+        }
+        let path = segment_path(&self.dir, seq);
+        let bytes = snapshot.len() as u64;
+        atomic_replace(&path, &snapshot)?;
+        for (old_seq, old_path) in list_segments(&self.dir)? {
+            if old_seq < seq {
+                std::fs::remove_file(old_path)?;
+            }
+        }
+        sync_parent_dir(&path)?;
+        self.active = OpenOptions::new().append(true).open(&path)?;
+        self.active_seq = seq;
+        self.active_bytes = bytes;
+        self.rotate_at = bytes + self.max_segment_bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_serve::job::JobKind;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qpdo-router-j-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_owned(),
+            deadline_ms: None,
+            kind: JobKind::Bell { shots: 2 },
+        }
+    }
+
+    fn member(name: &str, addr: &str) -> RouterRecord {
+        RouterRecord::Member {
+            name: name.to_owned(),
+            addr: addr.to_owned(),
+        }
+    }
+
+    fn route(id: &str, to: &str) -> RouterRecord {
+        RouterRecord::Route {
+            spec: spec(id),
+            member: to.to_owned(),
+        }
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        let records = vec![
+            member("d0", "127.0.0.1:4100"),
+            RouterRecord::Left {
+                name: "d0".to_owned(),
+            },
+            route("j1", "d0"),
+            RouterRecord::Sent {
+                id: "j1".to_owned(),
+            },
+            RouterRecord::Unroute {
+                id: "j1".to_owned(),
+            },
+            RouterRecord::Acked {
+                id: "j1".to_owned(),
+            },
+            RouterRecord::Terminal {
+                id: "j1".to_owned(),
+                outcome: JobOutcome::Done("1 2 3 4".to_owned()),
+            },
+            RouterRecord::Terminal {
+                id: "j2".to_owned(),
+                outcome: JobOutcome::Failed("deadline exceeded".to_owned()),
+            },
+            RouterRecord::Snapshot,
+            RouterRecord::Pruned {
+                count: 3,
+                hashes: vec![0, u64::MAX, id_digest("j1")],
+            },
+        ];
+        for record in records {
+            let line = record.encode();
+            assert_eq!(RouterRecord::parse(&line), Ok(record), "{line}");
+        }
+    }
+
+    #[test]
+    fn journal_survives_reopen_with_exact_state() {
+        let dir = tmp_dir("reopen");
+        {
+            let (mut j, recovery) = RouterJournal::open(&dir, 1 << 20).unwrap();
+            assert!(recovery.jobs.is_empty());
+            j.append(&member("d0", "127.0.0.1:4100")).unwrap();
+            j.append(&member("d1", "127.0.0.1:4101")).unwrap();
+            j.append(&route("a", "d0")).unwrap();
+            j.append(&route("b", "d1")).unwrap();
+            j.append(&RouterRecord::Acked { id: "a".to_owned() })
+                .unwrap();
+            j.append(&RouterRecord::Terminal {
+                id: "a".to_owned(),
+                outcome: JobOutcome::Done("0 1 1 0".to_owned()),
+            })
+            .unwrap();
+            j.append(&route("c", "d0")).unwrap();
+            j.append(&RouterRecord::Sent { id: "c".to_owned() })
+                .unwrap();
+            // d1 rejoins on a new address.
+            j.append(&member("d1", "127.0.0.1:4201")).unwrap();
+        }
+        let (_, recovery) = RouterJournal::open(&dir, 1 << 20).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(
+            recovery.members,
+            vec![
+                ("d0".to_owned(), "127.0.0.1:4100".to_owned()),
+                ("d1".to_owned(), "127.0.0.1:4201".to_owned()),
+            ]
+        );
+        assert_eq!(recovery.jobs.len(), 3);
+        assert_eq!(
+            recovery.jobs[0].state,
+            RouteState::Terminal(JobOutcome::Done("0 1 1 0".to_owned()))
+        );
+        assert_eq!(recovery.jobs[1].state, RouteState::Routed);
+        assert_eq!(recovery.jobs[2].state, RouteState::Sent);
+        assert_eq!(recovery.orphans().len(), 2);
+        assert_eq!(recovery.orphans()[0].spec.id, "b");
+        assert_eq!(recovery.orphans()[0].member, "d1");
+        assert_eq!(recovery.orphans()[1].spec.id, "c");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebind_is_legal_only_before_the_binding_goes_sticky() {
+        let dir = tmp_dir("rebind");
+        let (mut j, _) = RouterJournal::open(&dir, 1 << 20).unwrap();
+        j.append(&member("d0", "a:1")).unwrap();
+        j.append(&member("d1", "a:2")).unwrap();
+        j.append(&route("x", "d0")).unwrap();
+        // Definitive non-delivery: rebinding a routed job is legal.
+        j.append(&route("x", "d1")).unwrap();
+        // Transmission attempted: rebind stays legal only because the
+        // router asserts the member explicitly refused.
+        j.append(&RouterRecord::Sent { id: "x".to_owned() })
+            .unwrap();
+        j.append(&route("x", "d0")).unwrap();
+        j.append(&RouterRecord::Sent { id: "x".to_owned() })
+            .unwrap();
+        j.append(&RouterRecord::Acked { id: "x".to_owned() })
+            .unwrap();
+        // Sticky: the member journaled the job; a rebind now could
+        // double-execute, so the journal refuses it.
+        let err = j.append(&route("x", "d1")).unwrap_err();
+        assert!(err.to_string().contains("sticky"), "{err}");
+        let err = j
+            .append(&RouterRecord::Unroute { id: "x".to_owned() })
+            .unwrap_err();
+        assert!(err.to_string().contains("sticky"), "{err}");
+        assert!(j
+            .append(&RouterRecord::Sent { id: "x".to_owned() })
+            .is_err());
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs[0].member, "d0");
+        assert_eq!(recovery.jobs[0].state, RouteState::Acked);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unroute_makes_an_id_fresh_again() {
+        let dir = tmp_dir("unroute");
+        let (mut j, _) = RouterJournal::open(&dir, 1 << 20).unwrap();
+        j.append(&member("d0", "a:1")).unwrap();
+        j.append(&route("x", "d0")).unwrap();
+        // Unroute is legal from `sent` too: it is only journaled after
+        // every candidate explicitly refused the job.
+        j.append(&RouterRecord::Sent { id: "x".to_owned() })
+            .unwrap();
+        j.append(&RouterRecord::Unroute { id: "x".to_owned() })
+            .unwrap();
+        // The id is fresh: a new route is a new binding, not a rebind.
+        j.append(&route("x", "d0")).unwrap();
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs.len(), 1);
+        assert_eq!(recovery.jobs[0].state, RouteState::Routed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn terminal_conflicts_are_refused_and_flagged() {
+        let dir = tmp_dir("conflict");
+        let (mut j, _) = RouterJournal::open(&dir, 1 << 20).unwrap();
+        j.append(&member("d0", "a:1")).unwrap();
+        j.append(&route("x", "d0")).unwrap();
+        let done = RouterRecord::Terminal {
+            id: "x".to_owned(),
+            outcome: JobOutcome::Done("1".to_owned()),
+        };
+        j.append(&done).unwrap();
+        // Identical retried append: absorbed.
+        j.append(&done).unwrap();
+        // Conflicting outcome: refused.
+        assert!(j
+            .append(&RouterRecord::Terminal {
+                id: "x".to_owned(),
+                outcome: JobOutcome::Failed("boom".to_owned()),
+            })
+            .is_err());
+        // Orphan records are refused too.
+        assert!(j
+            .append(&RouterRecord::Acked {
+                id: "ghost".to_owned()
+            })
+            .is_err());
+        assert!(j.append(&route("y", "nobody")).is_err());
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_prunes_terminals_and_keeps_the_pruned_ledger() {
+        let dir = tmp_dir("prune");
+        {
+            let (mut j, _) = RouterJournal::open(&dir, 64).unwrap();
+            j.set_retain_terminal(1);
+            j.append(&member("d0", "a:1")).unwrap();
+            for i in 0..8 {
+                let id = format!("p-{i}");
+                j.append(&route(&id, "d0")).unwrap();
+                j.append(&RouterRecord::Acked { id: id.clone() }).unwrap();
+                j.append(&RouterRecord::Terminal {
+                    id,
+                    outcome: JobOutcome::Done("0 0 1 1".to_owned()),
+                })
+                .unwrap();
+            }
+            assert!(j.pruned_count() > 0, "retention never pruned");
+            assert!(j.was_pruned("p-0"));
+            // A pruned id is never reopened.
+            let err = j.append(&route("p-0", "d0")).unwrap_err();
+            assert!(err.to_string().contains("pruned"), "{err}");
+        }
+        let (mut j, recovery) = RouterJournal::open(&dir, 64).unwrap();
+        assert!(recovery.is_consistent());
+        assert!(recovery.was_pruned("p-0"));
+        assert!(j.was_pruned("p-0"));
+        assert!(j.append(&route("p-0", "d0")).is_err());
+        j.append(&route("fresh", "d0")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn member_names_are_validated() {
+        let dir = tmp_dir("names");
+        let (mut j, _) = RouterJournal::open(&dir, 1 << 20).unwrap();
+        assert!(j.append(&member("has space", "a:1")).is_err());
+        assert!(j.append(&member("has:colon", "a:1")).is_err());
+        assert!(j.append(&member("", "a:1")).is_err());
+        assert!(j.append(&member("ok-name", "bad addr")).is_err());
+        assert!(j.append(&member("ok-name", "a:1")).is_ok());
+        assert!(validate_member_name("d0").is_ok());
+        assert!(validate_member_name("a,b").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fleet mode for the QPDO shot service (`DESIGN.md` §11).
+//!
+//! A single `qpdo_serve` daemon (PR 5/6) is crash-safe but is still a
+//! single point of failure. `qpdo_router` fronts a *fleet* of daemons
+//! and makes one daemon's death a non-event:
+//!
+//! - **Consistent-hash routing** ([`ring`]): job ids map to members
+//!   through a 64-point-per-member hash ring, so a membership change
+//!   moves only the hash ranges adjacent to the changed member.
+//! - **Health-checked failover**: a prober thread drives one
+//!   [`qpdo_serve::breaker::CircuitBreaker`] per member off the
+//!   existing `health` query; a dead or degraded member is ejected
+//!   from admission and its hash range falls to the next live members
+//!   on the ring.
+//! - **Fleet-wide exactly-once** ([`journal`], [`router`]): every job
+//!   is bound to exactly one member in a fsync'd router journal
+//!   *before* the submit is forwarded (WAL-before-forward), the
+//!   binding is sticky once the member has journaled the job, and
+//!   rebinds happen only on *definitive* non-delivery (connection
+//!   refused, admission shed). Exactly one daemon ever executes a job
+//!   id, so per-daemon exactly-once (the PR 5/6 WAL) compounds into
+//!   the fleet-wide guarantee. A router restart replays the journal
+//!   and re-resolves orphans by idempotent job-id resubmission instead
+//!   of double-executing.
+//!
+//! The wire protocol ([`protocol`]) is the serve protocol plus the
+//! admin verbs `join`, `leave`, and `fleet`. `bin/qpdo_router` is the
+//! router daemon, `bin/router_chaos` the adversarial drill that
+//! SIGKILLs random daemons (and the router itself) mid-load and audits
+//! every daemon journal afterwards.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod protocol;
+pub mod ring;
+pub mod router;

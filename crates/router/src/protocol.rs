@@ -1,0 +1,414 @@
+//! The router wire protocol (`DESIGN.md` §11.2).
+//!
+//! A router speaks the full shot-service protocol
+//! ([`qpdo_serve::protocol`]) — `submit`, `query`, `health`, `drain` —
+//! so existing clients work unchanged against a fleet, plus three
+//! admin verbs:
+//!
+//! - `join <name> <addr>` → `joined <name>` — add a member (or move an
+//!   existing member to a new address, e.g. after a restart on an
+//!   ephemeral port).
+//! - `leave <name>` → `left <name>` — remove an idle member; refused
+//!   while the member still owns in-flight jobs.
+//! - `fleet` → `fleet <snapshot>` — the fleet-wide health snapshot
+//!   with per-member breaker states and bound-job counts.
+//!
+//! Framing is identical to the serve protocol: one CRC-framed UTF-8
+//! line per message.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use qpdo_serve::breaker::BreakerState;
+use qpdo_serve::protocol::{recv_line, send_line, Request, Response};
+
+/// A client-to-router message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouterRequest {
+    /// Any plain shot-service request, routed or relayed by the fleet.
+    Core(Request),
+    /// Add a member (or update an existing member's address).
+    Join {
+        /// The member's stable fleet name (the ring key).
+        name: String,
+        /// The member's `host:port` address.
+        addr: String,
+    },
+    /// Remove an idle member.
+    Leave {
+        /// The member's name.
+        name: String,
+    },
+    /// Ask for the fleet snapshot.
+    Fleet,
+}
+
+impl RouterRequest {
+    /// The wire line for this request.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            RouterRequest::Core(request) => request.encode(),
+            RouterRequest::Join { name, addr } => format!("join {name} {addr}"),
+            RouterRequest::Leave { name } => format!("leave {name}"),
+            RouterRequest::Fleet => "fleet".to_owned(),
+        }
+    }
+
+    /// Parses one wire line (admin verbs first, then the serve verbs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on malformed input (sent back to
+    /// the client as a `rejected` response).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["join", name, addr] => Ok(RouterRequest::Join {
+                name: (*name).to_owned(),
+                addr: (*addr).to_owned(),
+            }),
+            ["leave", name] => Ok(RouterRequest::Leave {
+                name: (*name).to_owned(),
+            }),
+            ["fleet"] => Ok(RouterRequest::Fleet),
+            _ => Request::parse(line).map(RouterRequest::Core),
+        }
+    }
+}
+
+/// One member's health as seen by the router's prober.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberHealth {
+    /// The member's fleet name.
+    pub name: String,
+    /// The member's address.
+    pub addr: String,
+    /// The router-side breaker state for this member.
+    pub breaker: BreakerState,
+    /// Non-terminal jobs currently bound to this member.
+    pub bound: u64,
+}
+
+impl MemberHealth {
+    fn encode(&self) -> String {
+        // The address goes last because it contains colons itself.
+        format!(
+            "{}:{}:{}:{}",
+            self.name,
+            self.breaker.name(),
+            self.bound,
+            self.addr
+        )
+    }
+
+    fn parse(entry: &str) -> Result<Self, String> {
+        let bad = || format!("malformed member entry {entry:?}");
+        let mut parts = entry.splitn(4, ':');
+        let name = parts.next().ok_or_else(bad)?;
+        let breaker = match parts.next().ok_or_else(bad)? {
+            "closed" => BreakerState::Closed,
+            "open" => BreakerState::Open,
+            "half-open" => BreakerState::HalfOpen,
+            _ => return Err(bad()),
+        };
+        let bound = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let addr = parts.next().ok_or_else(bad)?;
+        if name.is_empty() || addr.is_empty() {
+            return Err(bad());
+        }
+        Ok(MemberHealth {
+            name: name.to_owned(),
+            addr: addr.to_owned(),
+            breaker,
+            bound,
+        })
+    }
+}
+
+/// A point-in-time snapshot of the whole fleet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Whether the router still accepts new jobs.
+    pub accepting: bool,
+    /// Jobs bound but not yet terminal, fleet-wide.
+    pub inflight: u64,
+    /// Jobs ever bound to a member (including recovered bindings).
+    pub routed: u64,
+    /// Jobs whose bound member confirmed the submission.
+    pub acked: u64,
+    /// Jobs finished successfully, fleet-wide.
+    pub completed: u64,
+    /// Jobs terminally failed, fleet-wide.
+    pub failed: u64,
+    /// Submissions shed by the router (fleet dead, inflight cap, drain).
+    pub shed: u64,
+    /// Submissions deduplicated against an existing binding.
+    pub duplicates: u64,
+    /// Bindings moved to a failover candidate after definitive
+    /// non-delivery.
+    pub rebinds: u64,
+    /// Per-member health, in join order.
+    pub members: Vec<MemberHealth>,
+}
+
+impl FleetSnapshot {
+    fn encode(&self) -> String {
+        let members: Vec<String> = self.members.iter().map(MemberHealth::encode).collect();
+        format!(
+            "fleet {} inflight={} routed={} acked={} completed={} failed={} shed={} \
+             duplicates={} rebinds={} members={}",
+            if self.accepting { "ok" } else { "draining" },
+            self.inflight,
+            self.routed,
+            self.acked,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.duplicates,
+            self.rebinds,
+            if members.is_empty() {
+                "-".to_owned()
+            } else {
+                members.join(",")
+            }
+        )
+    }
+
+    fn parse(tokens: &[&str]) -> Result<Self, String> {
+        let bad = || format!("malformed fleet snapshot: {tokens:?}");
+        let [mode, fields @ ..] = tokens else {
+            return Err(bad());
+        };
+        let accepting = match *mode {
+            "ok" => true,
+            "draining" => false,
+            _ => return Err(bad()),
+        };
+        let mut snapshot = FleetSnapshot {
+            accepting,
+            inflight: 0,
+            routed: 0,
+            acked: 0,
+            completed: 0,
+            failed: 0,
+            shed: 0,
+            duplicates: 0,
+            rebinds: 0,
+            members: Vec::new(),
+        };
+        for field in fields {
+            let (key, value) = field.split_once('=').ok_or_else(bad)?;
+            match key {
+                "inflight" => snapshot.inflight = value.parse().map_err(|_| bad())?,
+                "routed" => snapshot.routed = value.parse().map_err(|_| bad())?,
+                "acked" => snapshot.acked = value.parse().map_err(|_| bad())?,
+                "completed" => snapshot.completed = value.parse().map_err(|_| bad())?,
+                "failed" => snapshot.failed = value.parse().map_err(|_| bad())?,
+                "shed" => snapshot.shed = value.parse().map_err(|_| bad())?,
+                "duplicates" => snapshot.duplicates = value.parse().map_err(|_| bad())?,
+                "rebinds" => snapshot.rebinds = value.parse().map_err(|_| bad())?,
+                "members" if value == "-" => {}
+                "members" => {
+                    for entry in value.split(',') {
+                        snapshot.members.push(MemberHealth::parse(entry)?);
+                    }
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+/// A router-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouterResponse {
+    /// Any plain shot-service response, from the router or a member.
+    Core(Response),
+    /// The member was added (or its address updated).
+    Joined(String),
+    /// The member was removed.
+    Left(String),
+    /// The fleet snapshot.
+    Fleet(Box<FleetSnapshot>),
+}
+
+impl RouterResponse {
+    /// The wire line for this response.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            RouterResponse::Core(response) => response.encode(),
+            RouterResponse::Joined(name) => format!("joined {name}"),
+            RouterResponse::Left(name) => format!("left {name}"),
+            RouterResponse::Fleet(snapshot) => snapshot.encode(),
+        }
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on malformed input.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["joined", name] => Ok(RouterResponse::Joined((*name).to_owned())),
+            ["left", name] => Ok(RouterResponse::Left((*name).to_owned())),
+            ["fleet", rest @ ..] => {
+                Ok(RouterResponse::Fleet(Box::new(FleetSnapshot::parse(rest)?)))
+            }
+            _ => Response::parse(line).map(RouterResponse::Core),
+        }
+    }
+}
+
+/// A blocking request/response client for the router.
+pub struct RouterClient {
+    stream: TcpStream,
+}
+
+impl RouterClient {
+    /// Connects with the given I/O timeout applied to reads and writes
+    /// (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and socket-option errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Option<Duration>) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(RouterClient { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the router hangs up mid-exchange,
+    /// `InvalidData` for malformed responses, otherwise the underlying
+    /// socket error.
+    pub fn call(&mut self, request: &RouterRequest) -> io::Result<RouterResponse> {
+        send_line(&mut self.stream, &request.encode())?;
+        match recv_line(&mut self.stream)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "router hung up before responding",
+            )),
+            Some(line) => RouterResponse::parse(&line)
+                .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_serve::job::{JobKind, JobSpec};
+    use qpdo_serve::protocol::JobState;
+
+    #[test]
+    fn admin_requests_round_trip() {
+        let requests = vec![
+            RouterRequest::Join {
+                name: "d0".to_owned(),
+                addr: "127.0.0.1:4100".to_owned(),
+            },
+            RouterRequest::Leave {
+                name: "d0".to_owned(),
+            },
+            RouterRequest::Fleet,
+            RouterRequest::Core(Request::Submit(JobSpec {
+                id: "bell-1".to_owned(),
+                deadline_ms: Some(500),
+                kind: JobKind::Bell { shots: 4 },
+            })),
+            RouterRequest::Core(Request::Query("bell-1".to_owned())),
+            RouterRequest::Core(Request::Health),
+            RouterRequest::Core(Request::Drain),
+        ];
+        for request in requests {
+            let line = request.encode();
+            assert_eq!(RouterRequest::parse(&line), Ok(request), "{line}");
+        }
+        assert!(RouterRequest::parse("join only-a-name").is_err());
+        assert!(RouterRequest::parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn fleet_snapshot_round_trips() {
+        let snapshot = FleetSnapshot {
+            accepting: false,
+            inflight: 3,
+            routed: 40,
+            acked: 39,
+            completed: 30,
+            failed: 2,
+            shed: 5,
+            duplicates: 7,
+            rebinds: 4,
+            members: vec![
+                MemberHealth {
+                    name: "d0".to_owned(),
+                    addr: "127.0.0.1:4100".to_owned(),
+                    breaker: BreakerState::Closed,
+                    bound: 2,
+                },
+                MemberHealth {
+                    name: "d1".to_owned(),
+                    addr: "[::1]:4101".to_owned(),
+                    breaker: BreakerState::Open,
+                    bound: 0,
+                },
+                MemberHealth {
+                    name: "d2".to_owned(),
+                    addr: "127.0.0.1:4102".to_owned(),
+                    breaker: BreakerState::HalfOpen,
+                    bound: 1,
+                },
+            ],
+        };
+        let responses = vec![
+            RouterResponse::Joined("d9".to_owned()),
+            RouterResponse::Left("d9".to_owned()),
+            RouterResponse::Fleet(Box::new(snapshot)),
+            RouterResponse::Fleet(Box::new(FleetSnapshot {
+                accepting: true,
+                inflight: 0,
+                routed: 0,
+                acked: 0,
+                completed: 0,
+                failed: 0,
+                shed: 0,
+                duplicates: 0,
+                rebinds: 0,
+                members: Vec::new(),
+            })),
+            RouterResponse::Core(Response::Accepted("bell-1".to_owned())),
+            RouterResponse::Core(Response::State(
+                "bell-1".to_owned(),
+                JobState::Done("0 1 1 0".to_owned()),
+            )),
+        ];
+        for response in responses {
+            let line = response.encode();
+            assert_eq!(RouterResponse::parse(&line), Ok(response), "{line}");
+        }
+        assert!(RouterResponse::parse("fleet nonsense").is_err());
+        assert!(RouterResponse::parse("fleet ok members=bad-entry").is_err());
+    }
+
+    #[test]
+    fn member_addresses_with_colons_survive() {
+        let entry = MemberHealth {
+            name: "d1".to_owned(),
+            addr: "[::1]:4101".to_owned(),
+            breaker: BreakerState::HalfOpen,
+            bound: 9,
+        };
+        assert_eq!(MemberHealth::parse(&entry.encode()), Ok(entry));
+    }
+}

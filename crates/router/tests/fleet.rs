@@ -1,0 +1,488 @@
+//! In-process integration tests for the fleet router: real TCP
+//! listeners, real `qpdo_serve::daemon::serve` threads behind a real
+//! [`qpdo_router::router::run`] thread, and the framed router protocol
+//! in between. Process-level drills (SIGKILL of members and the
+//! router) live in the `router_chaos` binary; these tests cover the
+//! same invariants where a process boundary is not required.
+
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use qpdo_bench::supervisor::CancelToken;
+use qpdo_router::journal::{RouterJournal, RouterRecord};
+use qpdo_router::protocol::{RouterClient, RouterRequest, RouterResponse};
+use qpdo_router::router::{run, RouterConfig, RouterStats};
+use qpdo_serve::daemon::{serve, DaemonConfig, ServeStats};
+use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
+use qpdo_serve::protocol::{JobState, Request, Response};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpdo-fleet-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale test dir");
+    }
+    dir
+}
+
+/// A fast-probing router config so tests never wait on defaults.
+fn test_config() -> RouterConfig {
+    RouterConfig {
+        probe_interval: Duration::from_millis(30),
+        resolve_interval: Duration::from_millis(30),
+        breaker_cooloff: Duration::from_millis(150),
+        ..RouterConfig::default()
+    }
+}
+
+struct TestDaemon {
+    name: String,
+    addr: SocketAddr,
+    handle: JoinHandle<std::io::Result<ServeStats>>,
+}
+
+impl TestDaemon {
+    fn start(name: &str, wal_dir: &Path, config: DaemonConfig) -> TestDaemon {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind daemon listener");
+        let addr = listener.local_addr().expect("daemon address");
+        let wal_dir = wal_dir.to_path_buf();
+        let handle = thread::spawn(move || serve(listener, &wal_dir, config));
+        TestDaemon {
+            name: name.to_owned(),
+            addr,
+            handle,
+        }
+    }
+
+    fn drain(self) -> ServeStats {
+        let mut client =
+            qpdo_serve::protocol::Client::connect(self.addr, Some(TIMEOUT)).expect("connect");
+        assert_eq!(
+            client.call(&Request::Drain).expect("drain call"),
+            Response::Drained
+        );
+        self.handle
+            .join()
+            .expect("serve thread panicked")
+            .expect("serve returned an error")
+    }
+}
+
+struct TestRouter {
+    addr: SocketAddr,
+    handle: JoinHandle<std::io::Result<RouterStats>>,
+}
+
+impl TestRouter {
+    fn start(
+        journal_dir: &Path,
+        backends: &[(String, SocketAddr)],
+        config: RouterConfig,
+    ) -> TestRouter {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind router listener");
+        let addr = listener.local_addr().expect("router address");
+        let journal_dir = journal_dir.to_path_buf();
+        let backends: Vec<(String, String)> = backends
+            .iter()
+            .map(|(name, addr)| (name.clone(), addr.to_string()))
+            .collect();
+        let handle = thread::spawn(move || run(listener, &journal_dir, &backends, config));
+        TestRouter { addr, handle }
+    }
+
+    fn client(&self) -> RouterClient {
+        RouterClient::connect(self.addr, Some(TIMEOUT)).expect("connect to test router")
+    }
+
+    fn submit(&self, spec: &JobSpec) -> Response {
+        match self
+            .client()
+            .call(&RouterRequest::Core(Request::Submit(spec.clone())))
+            .expect("submit call")
+        {
+            RouterResponse::Core(response) => response,
+            other => panic!("submit answered {other:?}"),
+        }
+    }
+
+    fn wait_terminal(&self, id: &str) -> JobState {
+        let deadline = Instant::now() + TIMEOUT;
+        let mut client = self.client();
+        loop {
+            match client
+                .call(&RouterRequest::Core(Request::Query(id.to_owned())))
+                .expect("query call")
+            {
+                RouterResponse::Core(Response::State(
+                    _,
+                    state @ (JobState::Done(_) | JobState::Failed(_)),
+                )) => return state,
+                RouterResponse::Core(Response::State(..)) => {}
+                other => panic!("query {id} answered {other:?}"),
+            }
+            assert!(Instant::now() < deadline, "job {id} never became terminal");
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn drain(self) -> RouterStats {
+        let response = self
+            .client()
+            .call(&RouterRequest::Core(Request::Drain))
+            .expect("drain call");
+        assert_eq!(response, RouterResponse::Core(Response::Drained));
+        self.handle
+            .join()
+            .expect("router thread panicked")
+            .expect("router returned an error")
+    }
+}
+
+fn bell(id: &str, shots: u64) -> JobSpec {
+    JobSpec {
+        id: id.to_owned(),
+        deadline_ms: None,
+        kind: JobKind::Bell { shots },
+    }
+}
+
+fn golden(seed: u64, spec: &JobSpec) -> String {
+    execute(
+        &spec.kind,
+        spec.kind.backend_preference()[0],
+        job_seed(seed, &spec.id),
+        &CancelToken::new(),
+    )
+    .expect("golden execution")
+}
+
+/// Three daemons sharing a base seed behind one router.
+fn fleet(
+    tag: &str,
+    daemons: usize,
+    config: DaemonConfig,
+) -> (Vec<TestDaemon>, TestRouter, PathBuf) {
+    let members: Vec<TestDaemon> = (0..daemons)
+        .map(|i| {
+            TestDaemon::start(
+                &format!("d{i}"),
+                &fresh_dir(&format!("{tag}-d{i}")),
+                config.clone(),
+            )
+        })
+        .collect();
+    let journal_dir = fresh_dir(&format!("{tag}-router"));
+    let backends: Vec<(String, SocketAddr)> =
+        members.iter().map(|m| (m.name.clone(), m.addr)).collect();
+    let router = TestRouter::start(&journal_dir, &backends, test_config());
+    (members, router, journal_dir)
+}
+
+#[test]
+fn submit_routes_queries_relay_and_resubmits_deduplicate() {
+    let config = DaemonConfig::default();
+    let seed = config.base_seed;
+    let (members, router, journal_dir) = fleet("roundtrip", 3, config);
+
+    let specs: Vec<JobSpec> = (0..9).map(|i| bell(&format!("rt-{i}"), 4)).collect();
+    for spec in &specs {
+        assert_eq!(router.submit(spec), Response::Accepted(spec.id.clone()));
+    }
+    for spec in &specs {
+        assert_eq!(
+            router.submit(spec),
+            Response::Duplicate(spec.id.clone()),
+            "an id is a fleet-wide idempotency key"
+        );
+    }
+    for spec in &specs {
+        let JobState::Done(record) = router.wait_terminal(&spec.id) else {
+            panic!("{} did not complete", spec.id);
+        };
+        assert_eq!(record, golden(seed, spec));
+    }
+
+    // Unknown ids are answered, not relayed into the void.
+    match router
+        .client()
+        .call(&RouterRequest::Core(Request::Query("no-such".to_owned())))
+        .unwrap()
+    {
+        RouterResponse::Core(Response::Rejected(reason)) => {
+            assert!(reason.contains("unknown job"), "{reason:?}");
+        }
+        other => panic!("unknown-id query answered {other:?}"),
+    }
+
+    // The fleet verb exposes per-member health and routing counters.
+    match router.client().call(&RouterRequest::Fleet).unwrap() {
+        RouterResponse::Fleet(snapshot) => {
+            assert!(snapshot.accepting);
+            assert_eq!(snapshot.members.len(), 3);
+            assert_eq!(snapshot.routed, 9);
+            assert_eq!(snapshot.acked, 9);
+            assert_eq!(snapshot.duplicates, 9);
+            let names: HashSet<&str> = snapshot.members.iter().map(|m| m.name.as_str()).collect();
+            assert_eq!(names, HashSet::from(["d0", "d1", "d2"]));
+        }
+        other => panic!("fleet request answered {other:?}"),
+    }
+
+    // The synthesized health snapshot keeps plain shot-service clients
+    // working against the router unchanged.
+    match router
+        .client()
+        .call(&RouterRequest::Core(Request::Health))
+        .unwrap()
+    {
+        RouterResponse::Core(Response::Health(health)) => {
+            assert!(health.accepting);
+            assert_eq!(health.accepted, 9);
+        }
+        other => panic!("health request answered {other:?}"),
+    }
+
+    let stats = router.drain();
+    assert_eq!(stats.routed, 9);
+    assert_eq!(stats.acked, 9);
+    assert_eq!(stats.completed, 9);
+    assert_eq!(stats.duplicates, 9);
+
+    // Every job landed on exactly one member.
+    let mut held = 0;
+    for member in members {
+        held += member.drain().accepted;
+    }
+    assert_eq!(held, 9, "each job must be held by exactly one member");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn journaled_bindings_resolve_without_a_resubmit() {
+    // Hand-build the journal a crashed router would leave behind: a
+    // member record and a binding that was routed but never delivered.
+    // The rebuilt router must push the job to its bound member and
+    // drive it to completion with no client involvement.
+    let config = DaemonConfig::default();
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start("d0", &fresh_dir("orphan-d0"), config);
+    let journal_dir = fresh_dir("orphan-router");
+
+    let routed = bell("orphan-1", 3);
+    let sent = bell("orphan-2", 3);
+    {
+        let (mut journal, _) =
+            RouterJournal::open(&journal_dir, RouterJournal::DEFAULT_MAX_SEGMENT_BYTES).unwrap();
+        journal
+            .append(&RouterRecord::Member {
+                name: "d0".to_owned(),
+                addr: daemon.addr.to_string(),
+            })
+            .unwrap();
+        journal
+            .append(&RouterRecord::Route {
+                spec: routed.clone(),
+                member: "d0".to_owned(),
+            })
+            .unwrap();
+        journal
+            .append(&RouterRecord::Route {
+                spec: sent.clone(),
+                member: "d0".to_owned(),
+            })
+            .unwrap();
+        // A binding that died mid-transmission: parked on its member.
+        journal
+            .append(&RouterRecord::Sent {
+                id: sent.id.clone(),
+            })
+            .unwrap();
+    }
+
+    // No --backend seeds: the journal alone rebuilds the fleet.
+    let router = TestRouter::start(&journal_dir, &[], test_config());
+    for spec in [&routed, &sent] {
+        let JobState::Done(record) = router.wait_terminal(&spec.id) else {
+            panic!("{} was never resolved", spec.id);
+        };
+        assert_eq!(record, golden(seed, spec));
+        assert_eq!(
+            router.submit(spec),
+            Response::Duplicate(spec.id.clone()),
+            "a recovered binding is already acked fleet-wide"
+        );
+    }
+
+    let stats = router.drain();
+    assert_eq!(stats.completed, 2);
+    let stats = daemon.drain();
+    assert_eq!(stats.accepted, 2, "both bindings landed on the member");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn join_and_leave_rebalance_a_live_fleet() {
+    let config = DaemonConfig::default();
+    let seed = config.base_seed;
+    let (mut members, router, journal_dir) = fleet("joinleave", 1, config.clone());
+
+    // A second member joins live.
+    let d1 = TestDaemon::start("d1", &fresh_dir("joinleave-d1"), config);
+    match router
+        .client()
+        .call(&RouterRequest::Join {
+            name: "d1".to_owned(),
+            addr: d1.addr.to_string(),
+        })
+        .unwrap()
+    {
+        RouterResponse::Joined(name) => assert_eq!(name, "d1"),
+        other => panic!("join answered {other:?}"),
+    }
+    members.push(d1);
+
+    // Bad admin requests are answered, not crashed on.
+    match router
+        .client()
+        .call(&RouterRequest::Leave {
+            name: "ghost".to_owned(),
+        })
+        .unwrap()
+    {
+        RouterResponse::Core(Response::Rejected(reason)) => {
+            assert!(reason.contains("unknown member"), "{reason:?}");
+        }
+        other => panic!("leave of a ghost answered {other:?}"),
+    }
+    match router
+        .client()
+        .call(&RouterRequest::Join {
+            name: "bad name".to_owned(),
+            addr: "127.0.0.1:1".to_owned(),
+        })
+        .unwrap()
+    {
+        RouterResponse::Core(Response::Rejected(_)) => {}
+        other => panic!("join with a bad name answered {other:?}"),
+    }
+
+    let specs: Vec<JobSpec> = (0..8).map(|i| bell(&format!("jl-{i}"), 3)).collect();
+    for spec in &specs {
+        assert_eq!(router.submit(spec), Response::Accepted(spec.id.clone()));
+    }
+    for spec in &specs {
+        let JobState::Done(record) = router.wait_terminal(&spec.id) else {
+            panic!("{} did not complete", spec.id);
+        };
+        assert_eq!(record, golden(seed, spec));
+    }
+
+    // With every binding terminal, d1 may leave; its ranges fall back.
+    match router
+        .client()
+        .call(&RouterRequest::Leave {
+            name: "d1".to_owned(),
+        })
+        .unwrap()
+    {
+        RouterResponse::Left(name) => assert_eq!(name, "d1"),
+        other => panic!("leave answered {other:?}"),
+    }
+    match router.client().call(&RouterRequest::Fleet).unwrap() {
+        RouterResponse::Fleet(snapshot) => assert_eq!(snapshot.members.len(), 1),
+        other => panic!("fleet request answered {other:?}"),
+    }
+    let post = bell("jl-post", 3);
+    assert_eq!(router.submit(&post), Response::Accepted(post.id.clone()));
+    let JobState::Done(record) = router.wait_terminal(&post.id) else {
+        panic!("post-leave job did not complete");
+    };
+    assert_eq!(record, golden(seed, &post));
+
+    router.drain();
+    for member in members {
+        member.drain();
+    }
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn admission_control_sheds_past_max_inflight() {
+    let config = DaemonConfig {
+        jobs: 1,
+        chaos_stall: Duration::from_millis(300),
+        ..DaemonConfig::default()
+    };
+    let seed = config.base_seed;
+    let daemons: Vec<TestDaemon> = (0..2)
+        .map(|i| {
+            TestDaemon::start(
+                &format!("d{i}"),
+                &fresh_dir(&format!("shed-d{i}")),
+                config.clone(),
+            )
+        })
+        .collect();
+    let journal_dir = fresh_dir("shed-router");
+    let backends: Vec<(String, SocketAddr)> =
+        daemons.iter().map(|m| (m.name.clone(), m.addr)).collect();
+    let router = TestRouter::start(
+        &journal_dir,
+        &backends,
+        RouterConfig {
+            max_inflight: 2,
+            ..test_config()
+        },
+    );
+
+    let mut accepted = Vec::new();
+    let mut shed = 0;
+    for i in 0..6 {
+        let spec = bell(&format!("shed-{i}"), 2);
+        match router.submit(&spec) {
+            Response::Accepted(_) => accepted.push(spec),
+            Response::Rejected(reason) => {
+                assert!(reason.contains("overloaded"), "{reason:?}");
+                shed += 1;
+            }
+            other => panic!("burst submit answered {other:?}"),
+        }
+    }
+    assert!(
+        shed >= 1,
+        "a 2-job inflight cap must shed part of a 6 burst"
+    );
+    assert!(!accepted.is_empty(), "some of the burst must be admitted");
+    for spec in &accepted {
+        let JobState::Done(record) = router.wait_terminal(&spec.id) else {
+            panic!("{} did not complete", spec.id);
+        };
+        assert_eq!(record, golden(seed, spec));
+    }
+    let stats = router.drain();
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.completed, accepted.len() as u64);
+    for daemon in daemons {
+        daemon.drain();
+    }
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+#[test]
+fn an_empty_fleet_rejects_rather_than_hangs() {
+    let journal_dir = fresh_dir("empty-router");
+    let router = TestRouter::start(&journal_dir, &[], test_config());
+    match router.submit(&bell("nowhere-1", 2)) {
+        Response::Rejected(reason) => {
+            assert!(reason.contains("no live fleet member"), "{reason:?}");
+        }
+        other => panic!("empty-fleet submit answered {other:?}"),
+    }
+    let stats = router.drain();
+    assert_eq!(stats.shed, 1);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

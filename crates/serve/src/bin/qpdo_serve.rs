@@ -14,6 +14,7 @@
 //! qpdo_serve --wal-dir results/wal [--port N] [shared harness flags]
 //!     [--max-job-attempts N] [--breaker-threshold N]
 //!     [--breaker-cooloff-ms N] [--retain-terminal N]
+//!     [--max-conns N] [--io-timeout-ms N]
 //!     [--chaos-backend-fail BACKEND:N] [--chaos-stall-ms N]
 //! ```
 
@@ -35,6 +36,8 @@ usage: qpdo_serve --wal-dir DIR [options]
   --breaker-threshold N     consecutive failures that trip a backend breaker (default 3)
   --breaker-cooloff-ms N    breaker cooloff before the half-open probe (default 500)
   --retain-terminal N       terminal jobs kept through journal compaction (default 65536)
+  --max-conns N             concurrent client connections before shedding (default 256)
+  --io-timeout-ms N         read/write timeout on client streams, 0 = none (default 30000)
   --chaos-backend-fail B:N  fault injection: first N executions on backend B fail
   --chaos-stall-ms N        fault injection: stall every execution N ms
 plus the shared harness flags:
@@ -109,6 +112,15 @@ fn main() {
                 let v = flag_value(&mut args, i, "--retain-terminal");
                 config.retain_terminal =
                     parse_ms("--retain-terminal", &v, false).min(usize::MAX as u64) as usize;
+            }
+            "--max-conns" => {
+                let v = flag_value(&mut args, i, "--max-conns");
+                config.max_conns =
+                    parse_ms("--max-conns", &v, false).min(usize::MAX as u64) as usize;
+            }
+            "--io-timeout-ms" => {
+                let v = flag_value(&mut args, i, "--io-timeout-ms");
+                config.io_timeout = Duration::from_millis(parse_ms("--io-timeout-ms", &v, true));
             }
             "--chaos-backend-fail" => {
                 let v = flag_value(&mut args, i, "--chaos-backend-fail");

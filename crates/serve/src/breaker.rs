@@ -197,6 +197,71 @@ mod tests {
     }
 
     #[test]
+    fn racing_allows_admit_at_most_one_probe() {
+        // The prober and the routing path may both ask `allow` after
+        // the cooloff; only the first caller wins the probe slot, no
+        // matter how many ask or how late they ask.
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let ready = t0 + Duration::from_millis(100);
+        let admitted = (0..10)
+            .filter(|i| b.allow(ready + Duration::from_millis(i * 50)))
+            .count();
+        assert_eq!(admitted, 1, "exactly one probe may be in flight");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Still exactly one after the outcome restarts the cycle.
+        b.record_failure(ready);
+        let ready = ready + Duration::from_millis(100);
+        let admitted = (0..10)
+            .filter(|i| b.allow(ready + Duration::from_millis(i * 50)))
+            .count();
+        assert_eq!(admitted, 1, "a re-trip must not leak extra probes");
+    }
+
+    #[test]
+    fn failed_probes_re_trip_with_a_full_cooloff_instead_of_flapping() {
+        // A backend that stays dead gets exactly one probe per cooloff
+        // window: N windows → N probes and N re-trips, never a burst.
+        let mut b = breaker();
+        let mut now = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(now);
+        }
+        assert_eq!(b.trips(), 1);
+        for cycle in 0..5u64 {
+            // Nothing flows before the window, even asked repeatedly.
+            for i in 0..4 {
+                assert!(
+                    !b.allow(now + Duration::from_millis(i * 25 + 24)),
+                    "cycle {cycle}: allowed before the cooloff elapsed"
+                );
+            }
+            now += Duration::from_millis(100);
+            assert!(b.allow(now), "cycle {cycle}: the probe slot must open");
+            b.record_failure(now);
+            assert_eq!(b.state(), BreakerState::Open);
+            assert_eq!(b.trips(), cycle + 2, "one trip per failed probe");
+        }
+        // The backend finally recovers: one good probe closes it and
+        // resets the failure streak, so re-tripping takes a full
+        // threshold again rather than a single post-recovery blip.
+        now += Duration::from_millis(100);
+        assert!(b.allow(now));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "the streak must restart from zero after a recovery"
+        );
+    }
+
+    #[test]
     fn state_names_are_stable() {
         assert_eq!(BreakerState::Closed.name(), "closed");
         assert_eq!(BreakerState::Open.name(), "open");

@@ -1,7 +1,10 @@
 //! The shot-service daemon (`DESIGN.md` §9).
 //!
 //! Threading model: the caller's thread runs the TCP accept loop; each
-//! connection gets a handler thread speaking the framed protocol; one
+//! connection gets a handler thread speaking the framed protocol
+//! (bounded by [`DaemonConfig::max_conns`] — connections over the cap
+//! are rejected as overloaded — and reaped by
+//! [`DaemonConfig::io_timeout`] when a client wedges); one
 //! dispatcher thread drains the admission queue in rounds, executing
 //! each round on the supervised worker pool
 //! ([`qpdo_bench::supervisor`]) with panic isolation and per-batch
@@ -23,6 +26,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -64,6 +68,14 @@ pub struct DaemonConfig {
     /// are pruned (they lose crash-surviving dedup, but deterministic
     /// seeds keep any re-execution byte-identical).
     pub retain_terminal: usize,
+    /// Bound on concurrent client connections; accepts beyond it are
+    /// answered with an `overloaded` rejection and closed instead of
+    /// spawning an unbounded handler thread each.
+    pub max_conns: usize,
+    /// Read/write timeout on accepted client streams
+    /// ([`Duration::ZERO`] disables it): a stalled or vanished client
+    /// releases its handler thread instead of pinning it forever.
+    pub io_timeout: Duration,
     /// Fault injection: the first `n` executions on this backend fail.
     pub chaos_backend_fail: Option<(Backend, u32)>,
     /// Fault injection: every execution stalls this long first (widens
@@ -84,6 +96,8 @@ impl Default for DaemonConfig {
             breaker_cooloff: Duration::from_millis(500),
             max_segment_bytes: WriteAheadLog::DEFAULT_MAX_SEGMENT_BYTES,
             retain_terminal: WriteAheadLog::DEFAULT_RETAIN_TERMINAL,
+            max_conns: 256,
+            io_timeout: Duration::from_secs(30),
             chaos_backend_fail: None,
             chaos_stall: Duration::ZERO,
         }
@@ -256,14 +270,25 @@ pub fn serve(
     };
 
     let local_addr = listener.local_addr()?;
+    let conns = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if service.state.lock().expect("state lock").shutdown {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Bounded concurrency: past the cap a connection is answered
+        // with an `overloaded` rejection and closed, never left to
+        // spawn an unbounded handler thread.
+        if conns.fetch_add(1, Ordering::AcqRel) >= service.config.max_conns {
+            conns.fetch_sub(1, Ordering::AcqRel);
+            shed_connection(&service, stream);
+            continue;
+        }
         let service = Arc::clone(&service);
+        let conns = Arc::clone(&conns);
         thread::spawn(move || {
             let _ = handle_connection(&service, stream);
+            conns.fetch_sub(1, Ordering::AcqRel);
         });
     }
     // `drain` sets `shutdown` and pokes the listener via `local_addr`,
@@ -275,11 +300,41 @@ pub fn serve(
     Ok(stats)
 }
 
+/// Best-effort `overloaded` rejection for a connection over the cap;
+/// the short write timeout keeps a hostile peer from stalling the
+/// accept loop's thread.
+fn shed_connection(service: &Service, mut stream: TcpStream) {
+    service.state.lock().expect("state lock").stats.shed += 1;
+    let error = ShotError::Overloaded {
+        queue_depth: service.config.max_conns,
+    };
+    let reply = Response::Rejected(error.to_string());
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = send_line(&mut stream, &reply.encode());
+}
+
 fn handle_connection(service: &Service, mut stream: TcpStream) -> io::Result<()> {
+    // Server-side stream timeouts: a client that stops reading or
+    // writing mid-exchange times out instead of holding its handler
+    // thread (and a connection slot) forever.
+    if !service.config.io_timeout.is_zero() {
+        stream.set_read_timeout(Some(service.config.io_timeout))?;
+        stream.set_write_timeout(Some(service.config.io_timeout))?;
+    }
     loop {
         let line = match recv_line(&mut stream) {
             Ok(None) => return Ok(()),
             Ok(Some(line)) => line,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // An idle or wedged client hit the stream timeout:
+                // close quietly and release the slot.
+                return Ok(());
+            }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Corrupt frame: answer once, then hang up (resync is
                 // impossible mid-stream).

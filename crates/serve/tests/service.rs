@@ -296,6 +296,77 @@ fn sliced_ler_job_completes_end_to_end() {
 }
 
 #[test]
+fn connections_over_the_cap_are_shed_and_slots_recycle() {
+    let dir = fresh_dir("conncap");
+    let config = DaemonConfig {
+        max_conns: 2,
+        ..DaemonConfig::default()
+    };
+    let daemon = TestDaemon::start(&dir, config);
+
+    // Two idle connections pin both slots (their handler threads sit
+    // in recv); the third is answered `overloaded` instead of getting
+    // an unbounded handler thread of its own.
+    let held: Vec<Client> = (0..2).map(|_| daemon.client()).collect();
+    let mut third = daemon.client();
+    match third.call(&Request::Health) {
+        Ok(Response::Rejected(reason)) => {
+            assert!(reason.contains("overloaded"), "{reason:?}");
+        }
+        other => panic!("over-cap connection answered {other:?}"),
+    }
+
+    // Releasing a held connection frees its slot (the handler exits on
+    // EOF and decrements the counter shortly after the close).
+    drop(held);
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let mut retry = daemon.client();
+        match retry.call(&Request::Health) {
+            Ok(Response::Health(health)) => {
+                assert!(health.accepting);
+                break;
+            }
+            Ok(Response::Rejected(_)) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("recycled slot answered {other:?}"),
+        }
+    }
+
+    let stats = daemon.drain();
+    assert!(stats.shed >= 1, "the over-cap connection counts as shed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn idle_connections_hit_the_server_side_timeout() {
+    let dir = fresh_dir("iotimeout");
+    let config = DaemonConfig {
+        io_timeout: Duration::from_millis(100),
+        ..DaemonConfig::default()
+    };
+    let daemon = TestDaemon::start(&dir, config);
+
+    // A client that goes quiet past the timeout loses its stream …
+    let mut idle = daemon.client();
+    thread::sleep(Duration::from_millis(400));
+    assert!(
+        idle.call(&Request::Health).is_err(),
+        "the server must have closed the idle stream"
+    );
+
+    // … while the daemon itself stays healthy for new connections.
+    let mut fresh = daemon.client();
+    match fresh.call(&Request::Health).unwrap() {
+        Response::Health(health) => assert!(health.accepting),
+        other => panic!("health after a timeout answered {other:?}"),
+    }
+    daemon.drain();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn pruned_terminal_resubmit_is_answered_not_reexecuted() {
     let dir = fresh_dir("pruned-resubmit");
     // Tiny segments + retention of 1 so completions compact the first

@@ -135,4 +135,21 @@ echo "== crash-recovery gate: serve_chaos --smoke =="
 # recovery, overload shedding, and deadline enforcement.
 ./target/release/serve_chaos --smoke
 
+echo "== fleet gate: cargo test -p qpdo-router =="
+# In-process fleet coverage (DESIGN.md §11): ring spread/rebalance,
+# binding-journal replay and compaction, protocol round-trips, and the
+# router service end-to-end over real sockets (routing, query relay,
+# fleet-wide dedup, orphan re-resolution, join/leave, admission shed).
+cargo test -q --offline -p qpdo-router
+
+echo "== fleet crash gate: router_chaos --smoke =="
+# The fleet chaos drill (DESIGN.md §11.4): a 3-member fleet behind
+# qpdo_router; SIGKILL a member mid-wave (canaries must keep landing,
+# the member rejoins on its journal), SIGKILL the router mid-flight
+# (the rebuilt router must deduplicate every acked id), live
+# join/leave, and a cross-fleet audit that every acked job has exactly
+# one result in exactly one member journal, byte-identical to the
+# unfaulted execution.
+./target/release/router_chaos --smoke
+
 echo "verify: OK"
