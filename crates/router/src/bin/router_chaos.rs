@@ -41,7 +41,7 @@ use qpdo_router::journal::{recover as recover_bindings, RouteState};
 use qpdo_router::protocol::{FleetSnapshot, RouterClient, RouterRequest, RouterResponse};
 use qpdo_router::ring::HashRing;
 use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
-use qpdo_serve::protocol::{Client, JobState, Request, Response};
+use qpdo_serve::protocol::{Client, JobState, RejectCode, Request, Response};
 use qpdo_serve::wal::{recover as recover_wal, JobOutcome};
 use qpdo_surface17::experiment::LogicalErrorKind;
 
@@ -531,8 +531,9 @@ fn fleet_crash_drill(root: &Path, seed: u64, kills: usize, wave_size: usize) {
                     }
                     // An attempt that died after transmission parks
                     // rather than risking a duplicate — allowed, rare.
-                    Response::Rejected(reason) => assert!(
-                        reason.contains("unavailable"),
+                    Response::Rejected(reason) => assert_eq!(
+                        reason.code,
+                        RejectCode::Unavailable,
                         "canary {} rejected with {reason:?}",
                         spec.id
                     ),
@@ -736,7 +737,7 @@ fn join_leave_drill(root: &Path, seed: u64, wave_size: usize) {
         name: "d3".to_owned(),
     }) {
         Ok(RouterResponse::Core(Response::Rejected(reason))) => assert!(
-            reason.contains("in-flight"),
+            reason.detail.contains("in-flight"),
             "mid-flight leave rejected with {reason:?}"
         ),
         other => panic!("mid-flight leave of d3 answered {other:?}"),

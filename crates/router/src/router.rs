@@ -24,13 +24,19 @@
 //!    the submit line is transmitted. From here the attempt is
 //!    ambiguous until the member answers.
 //! 3. Rebinding to the next candidate is legal only on proof of
-//!    non-delivery: a connection that never opened while the binding
-//!    was still in `routed`, or the member's *explicit* refusal
-//!    (daemons dedup-check before rejecting, so a refusal proves the
-//!    id is not in their WAL). An ambiguous failure — timeout or EOF
-//!    after `sent` — parks the job on its bound member: the resolver
-//!    retries the same member forever, and a restarted member answers
-//!    `duplicate` from its own WAL if the attempt had landed.
+//!    non-delivery, decided from the rejection's [`RejectCode`], never
+//!    its free text. Post-dedup codes (`overloaded`, `draining`) are
+//!    issued by daemons only after checking the id against their WAL,
+//!    so they prove the id is not held and permit rebinding even from
+//!    `sent`. Every other rejection — the connection-level `busy` shed
+//!    answers before reading the request, so no dedup check ran —
+//!    proves only that *this* attempt was not admitted: it permits
+//!    rebinding only while the binding never reached `sent`, exactly
+//!    like a connection that never opened. An ambiguous failure —
+//!    timeout or EOF after `sent`, or any rejection without post-dedup
+//!    proof once `sent` — parks the job on its bound member: the
+//!    resolver retries the same member forever, and a restarted member
+//!    answers `duplicate` from its own WAL if the attempt had landed.
 //! 4. The client hears `accepted` only after the member acked and the
 //!    router journaled `acked`; from there the binding is sticky.
 //!
@@ -54,7 +60,7 @@ use qpdo_core::ShotError;
 use qpdo_serve::breaker::{BreakerState, CircuitBreaker};
 use qpdo_serve::job::JobSpec;
 use qpdo_serve::protocol::{
-    recv_line, send_line, Client, HealthSnapshot, JobState, Request, Response,
+    recv_line, send_line, Client, HealthSnapshot, JobState, RejectCode, Request, Response,
 };
 use qpdo_serve::wal::JobOutcome;
 
@@ -81,7 +87,7 @@ pub struct RouterConfig {
     /// Bound on non-terminal bindings; submissions beyond it are shed.
     pub max_inflight: usize,
     /// Bound on concurrent client connections; connections beyond it
-    /// are refused with an overload rejection.
+    /// are refused with a `busy` rejection.
     pub max_conns: usize,
     /// Journal segment size bound before rotation.
     pub max_segment_bytes: u64,
@@ -360,7 +366,10 @@ fn shed_connection(service: &RouterService, stream: TcpStream) {
         state.stats.shed += 1;
     }
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let reply = Response::Rejected(
+    // `busy`, not `overloaded`: the request was never read, so this
+    // rejection carries no dedup proof (mirrors the daemon's shed).
+    let reply = Response::rejected(
+        RejectCode::Busy,
         ShotError::Overloaded {
             queue_depth: service.config.max_conns,
         }
@@ -376,7 +385,8 @@ fn handle_connection(service: &Arc<RouterService>, mut stream: TcpStream) -> io:
             Ok(None) => return Ok(()),
             Ok(Some(line)) => line,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let reply = Response::Rejected(format!("malformed frame: {e}"));
+                let reply =
+                    Response::rejected(RejectCode::Malformed, format!("malformed frame: {e}"));
                 let _ = send_line(&mut stream, &reply.encode());
                 return Ok(());
             }
@@ -392,7 +402,7 @@ fn handle_connection(service: &Arc<RouterService>, mut stream: TcpStream) -> io:
             Err(e) => return Err(e),
         };
         let response = match RouterRequest::parse(&line) {
-            Err(reason) => RouterResponse::Core(Response::Rejected(reason)),
+            Err(reason) => RouterResponse::Core(Response::rejected(RejectCode::Malformed, reason)),
             Ok(RouterRequest::Core(Request::Submit(spec))) => {
                 RouterResponse::Core(handle_submit(service, spec))
             }
@@ -440,20 +450,24 @@ fn handle_submit(service: &RouterService, spec: JobSpec) -> Response {
     }
     if service.lock_journal().was_pruned(&spec.id) {
         state.stats.duplicates += 1;
-        return Response::Rejected(format!(
-            "job {} already reached a terminal state; its result was pruned by journal retention",
-            spec.id
-        ));
+        return Response::rejected(
+            RejectCode::Pruned,
+            format!(
+                "job {} already reached a terminal state; \
+                 its result was pruned by journal retention",
+                spec.id
+            ),
+        );
     }
     if state.draining || state.shutdown {
-        return Response::Rejected("draining: not accepting new jobs".to_owned());
+        return Response::rejected(RejectCode::Draining, "draining: not accepting new jobs");
     }
     if state.inflight >= service.config.max_inflight {
         state.stats.shed += 1;
         let error = ShotError::Overloaded {
             queue_depth: state.inflight,
         };
-        return Response::Rejected(error.to_string());
+        return Response::rejected(RejectCode::Overloaded, error.to_string());
     }
     let live = state.live_members();
     let first = state
@@ -463,7 +477,7 @@ fn handle_submit(service: &RouterService, spec: JobSpec) -> Response {
         .find(|name| live.contains(name));
     let Some(member) = first else {
         state.stats.shed += 1;
-        return Response::Rejected("unavailable: no live fleet member".to_owned());
+        return Response::rejected(RejectCode::Unavailable, "unavailable: no live fleet member");
     };
     // WAL-before-forward: the binding is durable before any byte goes
     // to the member or the client. Holding the state lock across the
@@ -474,7 +488,7 @@ fn handle_submit(service: &RouterService, spec: JobSpec) -> Response {
             spec: spec.clone(),
             member: member.clone(),
         }) {
-            return Response::Rejected(format!("journal write failed: {e}"));
+            return Response::rejected(RejectCode::Journal, format!("journal write failed: {e}"));
         }
     }
     state.stats.routed += 1;
@@ -527,7 +541,12 @@ fn deliver_inner(service: &RouterService, id: &str, unroute_on_exhaustion: bool)
         let member = {
             let state = service.lock_state();
             match state.jobs.get(id) {
-                None => return Response::Rejected(format!("unknown job {id:?}")),
+                None => {
+                    return Response::rejected(
+                        RejectCode::UnknownJob,
+                        format!("unknown job {id:?}"),
+                    )
+                }
                 Some(job) => match &job.state {
                     RouteState::Routed | RouteState::Sent => job.member.clone(),
                     RouteState::Acked => return Response::Accepted(id.to_owned()),
@@ -540,10 +559,13 @@ fn deliver_inner(service: &RouterService, id: &str, unroute_on_exhaustion: bool)
             Attempt::Confirmed => return Response::Accepted(id.to_owned()),
             Attempt::Settled(response) | Attempt::Terminated(response) => return response,
             Attempt::Parked(reason) => {
-                return Response::Rejected(format!(
-                    "unavailable: delivery to {member} unconfirmed ({reason}); \
-                     job parked — query to track, or resubmit to retry"
-                ));
+                return Response::rejected(
+                    RejectCode::Unavailable,
+                    format!(
+                        "unavailable: delivery to {member} unconfirmed ({reason}); \
+                         job parked — query to track, or resubmit to retry"
+                    ),
+                );
             }
             Attempt::Refused(reason) => {
                 if !advance_binding(service, id, &member, &tried) {
@@ -569,6 +591,10 @@ fn deliver_inner(service: &RouterService, id: &str, unroute_on_exhaustion: bool)
                     state.jobs.remove(id);
                     state.inflight -= 1;
                     state.stats.shed += 1;
+                    // This may be the last non-terminal binding: wake
+                    // any drain blocked on `inflight`, as every other
+                    // inflight-decrementing path does.
+                    service.wake.notify_all();
                 }
                 Err(e) => {
                     eprintln!("warning: journal unroute failed for {id}: {e}");
@@ -576,9 +602,10 @@ fn deliver_inner(service: &RouterService, id: &str, unroute_on_exhaustion: bool)
             }
         }
     }
-    Response::Rejected(format!(
-        "unavailable: every live fleet member refused the job (last: {last_refusal})"
-    ))
+    Response::rejected(
+        RejectCode::Unavailable,
+        format!("unavailable: every live fleet member refused the job (last: {last_refusal})"),
+    )
 }
 
 /// One delivery attempt to `member`, with the `sent` journal discipline
@@ -588,7 +615,10 @@ fn attempt(service: &RouterService, id: &str, member: &str) -> Attempt {
     let (spec, addr, transmitted) = {
         let state = service.lock_state();
         let Some(job) = state.jobs.get(id) else {
-            return Attempt::Settled(Response::Rejected(format!("unknown job {id:?}")));
+            return Attempt::Settled(Response::rejected(
+                RejectCode::UnknownJob,
+                format!("unknown job {id:?}"),
+            ));
         };
         if job.member != member {
             return Attempt::Settled(Response::Duplicate(id.to_owned()));
@@ -621,7 +651,10 @@ fn attempt(service: &RouterService, id: &str, member: &str) -> Attempt {
     {
         let mut state = service.lock_state();
         let Some(job) = state.jobs.get_mut(id) else {
-            return Attempt::Settled(Response::Rejected(format!("unknown job {id:?}")));
+            return Attempt::Settled(Response::rejected(
+                RejectCode::UnknownJob,
+                format!("unknown job {id:?}"),
+            ));
         };
         if job.state == RouteState::Routed {
             let sent = {
@@ -641,23 +674,67 @@ fn attempt(service: &RouterService, id: &str, member: &str) -> Attempt {
             mark_acked(service, id);
             Attempt::Confirmed
         }
-        // The daemon's own journal failed mid-admission: the accept
-        // record may or may not have reached its disk. Ambiguous.
-        Ok(Response::Rejected(reason)) if reason.contains("journal write failed") => {
-            Attempt::Parked(reason)
+        Ok(Response::Rejected(rejection)) => {
+            match classify_rejection(rejection.code, transmitted) {
+                RejectionClass::Parked => Attempt::Parked(rejection.to_string()),
+                RejectionClass::Refused => Attempt::Refused(rejection.to_string()),
+                // The daemon pruned this id as anciently terminal: it
+                // did run, exactly once, but the result is gone.
+                // Record that truthfully.
+                RejectionClass::Terminated => {
+                    let outcome = JobOutcome::Failed(format!("member {member}: {rejection}"));
+                    record_terminal(service, id, outcome);
+                    Attempt::Terminated(Response::Rejected(rejection))
+                }
+            }
         }
-        // The daemon pruned this id as anciently terminal: it did run,
-        // exactly once, but the result is gone. Record that truthfully.
-        Ok(Response::Rejected(reason)) if reason.contains("pruned by journal retention") => {
-            let outcome = JobOutcome::Failed(format!("member {member}: {reason}"));
-            record_terminal(service, id, outcome);
-            Attempt::Terminated(Response::Rejected(reason))
-        }
-        // An explicit refusal (overloaded, draining, malformed) proves
-        // the id is not in the daemon's WAL: daemons dedup-check first.
-        Ok(Response::Rejected(reason)) => Attempt::Refused(reason),
         Ok(other) => Attempt::Parked(format!("unexpected response {:?}", other.encode())),
         Err(e) => Attempt::Parked(e.to_string()),
+    }
+}
+
+/// What a rejected submit constrains the binding to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RejectionClass {
+    /// Ambiguous or attempt-local: the binding stays on its member.
+    Parked,
+    /// Proof of non-delivery: rebinding to the next candidate is safe.
+    Refused,
+    /// The id is anciently terminal on this member: record and stop.
+    Terminated,
+}
+
+/// Classifies a member's submit rejection from its [`RejectCode`] —
+/// never from the free-text detail. `transmitted` is whether any
+/// earlier attempt to the *current* member reached `sent`.
+///
+/// Post-dedup codes (`overloaded`, `draining`) are issued by daemons
+/// only after checking the id against their journal, so they prove the
+/// id is not held — rebinding is safe even from `sent`. A `journal`
+/// rejection means the member's accept record may or may not have hit
+/// its disk, and an `other` rejection has unprovable semantics (it may
+/// be a journal failure worded by a pre-code peer): both are always
+/// ambiguous. The remaining codes — `busy` is sent by the
+/// connection-level shed before the request is even read, `malformed`
+/// before admission — prove only that *this* attempt was not admitted;
+/// after an earlier transmitted attempt the id may still sit in the
+/// member's WAL, so the binding must park (mirroring the
+/// connect-failure rule).
+fn classify_rejection(code: RejectCode, transmitted: bool) -> RejectionClass {
+    match code {
+        RejectCode::Overloaded | RejectCode::Draining => RejectionClass::Refused,
+        RejectCode::Pruned => RejectionClass::Terminated,
+        RejectCode::Journal | RejectCode::Other => RejectionClass::Parked,
+        RejectCode::Busy
+        | RejectCode::UnknownJob
+        | RejectCode::Malformed
+        | RejectCode::Unavailable => {
+            if transmitted {
+                RejectionClass::Parked
+            } else {
+                RejectionClass::Refused
+            }
+        }
     }
 }
 
@@ -778,12 +855,15 @@ fn handle_query(service: &RouterService, id: &str) -> Response {
         match state.jobs.get(id) {
             None => {
                 if service.lock_journal().was_pruned(id) {
-                    return Response::Rejected(format!(
-                        "job {id} already reached a terminal state; \
-                         its result was pruned by journal retention"
-                    ));
+                    return Response::rejected(
+                        RejectCode::Pruned,
+                        format!(
+                            "job {id} already reached a terminal state; \
+                             its result was pruned by journal retention"
+                        ),
+                    );
                 }
-                return Response::Rejected(format!("unknown job {id:?}"));
+                return Response::rejected(RejectCode::UnknownJob, format!("unknown job {id:?}"));
             }
             Some(job) => match &job.state {
                 RouteState::Terminal(JobOutcome::Done(record)) => {
@@ -819,10 +899,10 @@ fn handle_query(service: &RouterService, id: &str) -> Response {
             Response::State(id.to_owned(), JobState::Failed(error))
         }
         Ok(Response::State(_, live)) => Response::State(id.to_owned(), live),
-        Ok(Response::Rejected(reason)) if reason.contains("pruned by journal retention") => {
-            let outcome = JobOutcome::Failed(format!("member {member}: {reason}"));
+        Ok(Response::Rejected(rejection)) if rejection.code == RejectCode::Pruned => {
+            let outcome = JobOutcome::Failed(format!("member {member}: {rejection}"));
             record_terminal(service, id, outcome);
-            Response::Rejected(reason)
+            Response::Rejected(rejection)
         }
         // "unknown job" = not delivered yet; errors = member down. The
         // binding still stands, so report the router's own view.
@@ -835,7 +915,7 @@ fn handle_query(service: &RouterService, id: &str) -> Response {
 /// the ring — keyed by name — moves nothing).
 fn handle_join(service: &RouterService, name: &str, addr: &str) -> RouterResponse {
     if let Err(reason) = validate_member_name(name) {
-        return RouterResponse::Core(Response::Rejected(reason));
+        return RouterResponse::Core(Response::rejected(RejectCode::Malformed, reason));
     }
     let mut state = service.lock_state();
     let appended = {
@@ -846,7 +926,10 @@ fn handle_join(service: &RouterService, name: &str, addr: &str) -> RouterRespons
         })
     };
     if let Err(e) = appended {
-        return RouterResponse::Core(Response::Rejected(format!("journal write failed: {e}")));
+        return RouterResponse::Core(Response::rejected(
+            RejectCode::Journal,
+            format!("journal write failed: {e}"),
+        ));
     }
     let fresh_breaker = CircuitBreaker::new(
         service.config.breaker_threshold,
@@ -881,13 +964,17 @@ fn handle_join(service: &RouterService, name: &str, addr: &str) -> RouterRespons
 fn handle_leave(service: &RouterService, name: &str) -> RouterResponse {
     let mut state = service.lock_state();
     if !state.members.contains_key(name) {
-        return RouterResponse::Core(Response::Rejected(format!("unknown member {name:?}")));
+        return RouterResponse::Core(Response::rejected(
+            RejectCode::Other,
+            format!("unknown member {name:?}"),
+        ));
     }
     let bound = state.bound_count(name);
     if bound > 0 {
-        return RouterResponse::Core(Response::Rejected(format!(
-            "member {name} still owns {bound} in-flight jobs; drain them first"
-        )));
+        return RouterResponse::Core(Response::rejected(
+            RejectCode::Other,
+            format!("member {name} still owns {bound} in-flight jobs; drain them first"),
+        ));
     }
     let appended = {
         let mut journal = service.lock_journal();
@@ -896,7 +983,10 @@ fn handle_leave(service: &RouterService, name: &str) -> RouterResponse {
         })
     };
     if let Err(e) = appended {
-        return RouterResponse::Core(Response::Rejected(format!("journal write failed: {e}")));
+        return RouterResponse::Core(Response::rejected(
+            RejectCode::Journal,
+            format!("journal write failed: {e}"),
+        ));
     }
     state.members.remove(name);
     state.order.retain(|n| n != name);
@@ -1134,16 +1224,83 @@ fn poll_member(service: &RouterService, id: &str, member: &str, addr: &str) {
             record_terminal(service, id, JobOutcome::Failed(error));
         }
         Ok(Response::State(_, _)) => {}
-        Ok(Response::Rejected(reason)) if reason.contains("pruned by journal retention") => {
-            let outcome = JobOutcome::Failed(format!("member {member}: {reason}"));
+        Ok(Response::Rejected(rejection)) if rejection.code == RejectCode::Pruned => {
+            let outcome = JobOutcome::Failed(format!("member {member}: {rejection}"));
             record_terminal(service, id, outcome);
         }
-        Ok(Response::Rejected(reason)) if reason.contains("unknown job") => {
+        Ok(Response::Rejected(rejection)) if rejection.code == RejectCode::UnknownJob => {
             // An acked job the member does not know means its WAL was
             // lost — exactly-once can no longer be proven for this id.
-            eprintln!("warning: member {member} lost acked job {id} ({reason}); leaving it bound");
+            eprintln!(
+                "warning: member {member} lost acked job {id} ({rejection}); leaving it bound"
+            );
         }
         // Slow or freshly-dead member: the next pass retries.
         _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exactly-once hinge: only post-dedup codes may move a
+    /// binding off a member that an earlier attempt already
+    /// transmitted to. A connection-level `busy` shed runs no dedup
+    /// check, so treating it as a refusal after `sent` would let the
+    /// job run on both the old member (via WAL recovery) and the new.
+    #[test]
+    fn pre_dedup_rejections_park_once_transmitted() {
+        for code in [
+            RejectCode::Busy,
+            RejectCode::Malformed,
+            RejectCode::UnknownJob,
+            RejectCode::Unavailable,
+        ] {
+            assert_eq!(
+                classify_rejection(code, true),
+                RejectionClass::Parked,
+                "{code:?} after sent must park"
+            );
+            assert_eq!(
+                classify_rejection(code, false),
+                RejectionClass::Refused,
+                "{code:?} before any transmission proves non-delivery"
+            );
+        }
+    }
+
+    #[test]
+    fn post_dedup_refusals_rebind_even_after_sent() {
+        for code in [RejectCode::Overloaded, RejectCode::Draining] {
+            for transmitted in [false, true] {
+                assert_eq!(
+                    classify_rejection(code, transmitted),
+                    RejectionClass::Refused,
+                    "{code:?} proves the id is not in the member's WAL"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguous_and_terminal_codes_ignore_transmission_state() {
+        for transmitted in [false, true] {
+            // A failed member-side journal append may still have
+            // reached its disk; unknown free-text reasons prove
+            // nothing either way.
+            assert_eq!(
+                classify_rejection(RejectCode::Journal, transmitted),
+                RejectionClass::Parked
+            );
+            assert_eq!(
+                classify_rejection(RejectCode::Other, transmitted),
+                RejectionClass::Parked
+            );
+            assert_eq!(
+                classify_rejection(RejectCode::Pruned, transmitted),
+                RejectionClass::Terminated
+            );
+        }
     }
 }

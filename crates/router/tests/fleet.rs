@@ -17,7 +17,7 @@ use qpdo_router::protocol::{RouterClient, RouterRequest, RouterResponse};
 use qpdo_router::router::{run, RouterConfig, RouterStats};
 use qpdo_serve::daemon::{serve, DaemonConfig, ServeStats};
 use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
-use qpdo_serve::protocol::{JobState, Request, Response};
+use qpdo_serve::protocol::{JobState, RejectCode, Request, Response};
 
 const TIMEOUT: Duration = Duration::from_secs(60);
 
@@ -213,7 +213,7 @@ fn submit_routes_queries_relay_and_resubmits_deduplicate() {
         .unwrap()
     {
         RouterResponse::Core(Response::Rejected(reason)) => {
-            assert!(reason.contains("unknown job"), "{reason:?}");
+            assert_eq!(reason.code, RejectCode::UnknownJob, "{reason:?}");
         }
         other => panic!("unknown-id query answered {other:?}"),
     }
@@ -354,7 +354,7 @@ fn join_and_leave_rebalance_a_live_fleet() {
         .unwrap()
     {
         RouterResponse::Core(Response::Rejected(reason)) => {
-            assert!(reason.contains("unknown member"), "{reason:?}");
+            assert!(reason.detail.contains("unknown member"), "{reason:?}");
         }
         other => panic!("leave of a ghost answered {other:?}"),
     }
@@ -446,7 +446,7 @@ fn admission_control_sheds_past_max_inflight() {
         match router.submit(&spec) {
             Response::Accepted(_) => accepted.push(spec),
             Response::Rejected(reason) => {
-                assert!(reason.contains("overloaded"), "{reason:?}");
+                assert_eq!(reason.code, RejectCode::Overloaded, "{reason:?}");
                 shed += 1;
             }
             other => panic!("burst submit answered {other:?}"),
@@ -478,7 +478,8 @@ fn an_empty_fleet_rejects_rather_than_hangs() {
     let router = TestRouter::start(&journal_dir, &[], test_config());
     match router.submit(&bell("nowhere-1", 2)) {
         Response::Rejected(reason) => {
-            assert!(reason.contains("no live fleet member"), "{reason:?}");
+            assert_eq!(reason.code, RejectCode::Unavailable, "{reason:?}");
+            assert!(reason.detail.contains("no live fleet member"), "{reason:?}");
         }
         other => panic!("empty-fleet submit answered {other:?}"),
     }

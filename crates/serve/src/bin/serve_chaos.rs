@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use qpdo_bench::supervisor::CancelToken;
 use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
-use qpdo_serve::protocol::{Client, JobState, Request, Response};
+use qpdo_serve::protocol::{Client, JobState, RejectCode, Request, Response};
 use qpdo_serve::wal::{recover, JobOutcome};
 use qpdo_surface17::experiment::LogicalErrorKind;
 
@@ -414,9 +414,10 @@ fn overload_drill(root: &Path, seed: u64, burst: usize) {
             match submit(&mut client, &spec) {
                 Response::Accepted(_) => accepted.push(spec),
                 Response::Rejected(reason) => {
-                    assert!(
-                        reason.contains("overloaded"),
-                        "shed rejection must say overloaded, said {reason:?}"
+                    assert_eq!(
+                        reason.code,
+                        RejectCode::Overloaded,
+                        "shed rejection must carry the overloaded code, said {reason:?}"
                     );
                     shed += 1;
                 }

@@ -3,7 +3,7 @@
 //! Threading model: the caller's thread runs the TCP accept loop; each
 //! connection gets a handler thread speaking the framed protocol
 //! (bounded by [`DaemonConfig::max_conns`] — connections over the cap
-//! are rejected as overloaded — and reaped by
+//! are rejected with a `busy` code — and reaped by
 //! [`DaemonConfig::io_timeout`] when a client wedges); one
 //! dispatcher thread drains the admission queue in rounds, executing
 //! each round on the supervised worker pool
@@ -39,7 +39,9 @@ use qpdo_core::ShotError;
 
 use crate::breaker::CircuitBreaker;
 use crate::job::{execute, Backend, JobKind, JobSpec};
-use crate::protocol::{recv_line, send_line, HealthSnapshot, JobState, Request, Response};
+use crate::protocol::{
+    recv_line, send_line, HealthSnapshot, JobState, RejectCode, Request, Response,
+};
 use crate::wal::{JobOutcome, WalRecord, WriteAheadLog};
 
 /// Daemon tuning knobs.
@@ -69,8 +71,8 @@ pub struct DaemonConfig {
     /// seeds keep any re-execution byte-identical).
     pub retain_terminal: usize,
     /// Bound on concurrent client connections; accepts beyond it are
-    /// answered with an `overloaded` rejection and closed instead of
-    /// spawning an unbounded handler thread each.
+    /// answered with a `busy` rejection and closed instead of spawning
+    /// an unbounded handler thread each.
     pub max_conns: usize,
     /// Read/write timeout on accepted client streams
     /// ([`Duration::ZERO`] disables it): a stalled or vanished client
@@ -277,7 +279,7 @@ pub fn serve(
         }
         let Ok(stream) = stream else { continue };
         // Bounded concurrency: past the cap a connection is answered
-        // with an `overloaded` rejection and closed, never left to
+        // with a `busy` rejection and closed, never left to
         // spawn an unbounded handler thread.
         if conns.fetch_add(1, Ordering::AcqRel) >= service.config.max_conns {
             conns.fetch_sub(1, Ordering::AcqRel);
@@ -300,7 +302,7 @@ pub fn serve(
     Ok(stats)
 }
 
-/// Best-effort `overloaded` rejection for a connection over the cap;
+/// Best-effort `busy` rejection for a connection over the cap;
 /// the short write timeout keeps a hostile peer from stalling the
 /// accept loop's thread.
 fn shed_connection(service: &Service, mut stream: TcpStream) {
@@ -308,7 +310,11 @@ fn shed_connection(service: &Service, mut stream: TcpStream) {
     let error = ShotError::Overloaded {
         queue_depth: service.config.max_conns,
     };
-    let reply = Response::Rejected(error.to_string());
+    // `busy`, never `overloaded`: this shed happens before any request
+    // is read, so no dedup check ran — the code must not claim the
+    // post-dedup proof that `overloaded` carries (the router would
+    // otherwise treat it as license to fail a sent job over).
+    let reply = Response::rejected(RejectCode::Busy, error.to_string());
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = send_line(&mut stream, &reply.encode());
 }
@@ -338,14 +344,15 @@ fn handle_connection(service: &Service, mut stream: TcpStream) -> io::Result<()>
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Corrupt frame: answer once, then hang up (resync is
                 // impossible mid-stream).
-                let reply = Response::Rejected(format!("malformed frame: {e}"));
+                let reply =
+                    Response::rejected(RejectCode::Malformed, format!("malformed frame: {e}"));
                 let _ = send_line(&mut stream, &reply.encode());
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
         let response = match Request::parse(&line) {
-            Err(reason) => Response::Rejected(reason),
+            Err(reason) => Response::rejected(RejectCode::Malformed, reason),
             Ok(Request::Submit(spec)) => handle_submit(service, spec),
             Ok(Request::Query(id)) => handle_query(service, &id),
             Ok(Request::Health) => {
@@ -381,20 +388,28 @@ fn handle_submit(service: &Service, mut spec: JobSpec) -> Response {
     // of silently re-executing under an id that already completed.
     if service.wal.lock().expect("wal lock").was_pruned(&spec.id) {
         state.stats.duplicates += 1;
-        return Response::Rejected(format!(
-            "job {} already reached a terminal state; its result was pruned by journal retention",
-            spec.id
-        ));
+        return Response::rejected(
+            RejectCode::Pruned,
+            format!(
+                "job {} already reached a terminal state; \
+                 its result was pruned by journal retention",
+                spec.id
+            ),
+        );
     }
+    // The codes below are load-bearing for the fleet router: they sit
+    // AFTER the dedup checks above, so `draining` and `overloaded` are
+    // post-dedup proof that the id is not held here. A new rejection
+    // added above the dedup checks must use a non-post-dedup code.
     if state.draining || state.shutdown {
-        return Response::Rejected("draining: not accepting new jobs".to_owned());
+        return Response::rejected(RejectCode::Draining, "draining: not accepting new jobs");
     }
     if state.queue.len() >= service.config.queue_depth {
         state.stats.shed += 1;
         let error = ShotError::Overloaded {
             queue_depth: state.queue.len(),
         };
-        return Response::Rejected(error.to_string());
+        return Response::rejected(RejectCode::Overloaded, error.to_string());
     }
     // WAL-before-ack: the accept record is durable before the client
     // hears `accepted` and before the dispatcher can see the job.
@@ -403,7 +418,7 @@ fn handle_submit(service: &Service, mut spec: JobSpec) -> Response {
     {
         let mut wal = service.wal.lock().expect("wal lock");
         if let Err(e) = wal.append(&WalRecord::Accept(spec.clone())) {
-            return Response::Rejected(format!("journal write failed: {e}"));
+            return Response::rejected(RejectCode::Journal, format!("journal write failed: {e}"));
         }
     }
     state.stats.accepted += 1;
@@ -426,7 +441,7 @@ fn handle_query(service: &Service, id: &str) -> Response {
     let state = service.state.lock().expect("state lock");
     match state.jobs.get(id) {
         Some(entry) => Response::State(id.to_owned(), entry.state.clone()),
-        None => Response::Rejected(format!("unknown job {id:?}")),
+        None => Response::rejected(RejectCode::UnknownJob, format!("unknown job {id:?}")),
     }
 }
 

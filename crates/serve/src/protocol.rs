@@ -9,9 +9,15 @@
 //! Requests: `submit <id> <deadline_ms|-> <kind…>`, `query <id>`,
 //! `health`, `drain`.
 //!
-//! Responses: `accepted <id>`, `duplicate <id>`, `rejected <reason…>`,
-//! `state <id> queued|running`, `done <id> <record…>`,
-//! `failed <id> <error…>`, `health <snapshot>`, `drained`.
+//! Responses: `accepted <id>`, `duplicate <id>`,
+//! `rejected <code> <detail…>`, `state <id> queued|running`,
+//! `done <id> <record…>`, `failed <id> <error…>`, `health <snapshot>`,
+//! `drained`. Rejections carry a stable machine-readable [`RejectCode`]
+//! ahead of the free-text detail: the fleet router keys safety-critical
+//! delivery decisions on the code (`DESIGN.md` §11.3), never on the
+//! wording of the detail. A `rejected` line whose first token is not a
+//! known code parses as [`RejectCode::Other`] with the whole remainder
+//! as detail, so pre-code peers remain readable.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -61,6 +67,110 @@ impl Request {
             ["health"] => Ok(Request::Health),
             ["drain"] => Ok(Request::Drain),
             _ => Err(format!("unknown request {line:?}")),
+        }
+    }
+}
+
+/// Machine-readable classification of a `rejected` response.
+///
+/// The code is part of the wire contract, not a display hint: the
+/// fleet router decides whether a rejected submit is *proof the id is
+/// not held by the member* (safe to fail over) or merely *proof this
+/// attempt was not admitted* (must stay parked) from the code alone.
+///
+/// Codes marked **post-dedup** are only ever issued after the daemon
+/// checked the submitted id against its journal state (live jobs map
+/// plus pruned-id ledger), so receiving one proves the id is not in
+/// that daemon's WAL. All other codes carry no such proof — `busy` in
+/// particular is sent by the connection-level shed before any request
+/// line is read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectCode {
+    /// Connection-level shed: the peer was over its connection cap and
+    /// answered before reading the request (no dedup check ran).
+    Busy,
+    /// Admission-control shed: queue or in-flight cap (**post-dedup**).
+    Overloaded,
+    /// Draining: not accepting new jobs (**post-dedup**).
+    Draining,
+    /// A journal append failed mid-admission: whether the record
+    /// reached disk is ambiguous.
+    Journal,
+    /// The id already reached a terminal state whose record was pruned
+    /// by journal retention (**post-dedup**).
+    Pruned,
+    /// A query for an id this service has never accepted.
+    UnknownJob,
+    /// Unparseable request line or torn frame (no dedup check ran).
+    Malformed,
+    /// No backend or fleet member can take the request.
+    Unavailable,
+    /// Anything else, including free-text reasons from pre-code peers.
+    Other,
+}
+
+impl RejectCode {
+    /// The stable wire token for this code.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectCode::Busy => "busy",
+            RejectCode::Overloaded => "overloaded",
+            RejectCode::Draining => "draining",
+            RejectCode::Journal => "journal",
+            RejectCode::Pruned => "pruned",
+            RejectCode::UnknownJob => "unknown-job",
+            RejectCode::Malformed => "malformed",
+            RejectCode::Unavailable => "unavailable",
+            RejectCode::Other => "other",
+        }
+    }
+
+    /// Parses a wire token; `None` for unknown tokens (the caller
+    /// falls back to [`RejectCode::Other`]).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        Some(match token {
+            "busy" => RejectCode::Busy,
+            "overloaded" => RejectCode::Overloaded,
+            "draining" => RejectCode::Draining,
+            "journal" => RejectCode::Journal,
+            "pruned" => RejectCode::Pruned,
+            "unknown-job" => RejectCode::UnknownJob,
+            "malformed" => RejectCode::Malformed,
+            "unavailable" => RejectCode::Unavailable,
+            "other" => RejectCode::Other,
+            _ => return None,
+        })
+    }
+}
+
+/// A coded rejection: the stable [`RejectCode`] plus human-readable
+/// detail text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The machine-readable classification.
+    pub code: RejectCode,
+    /// The human-readable explanation (never interpreted by peers).
+    pub detail: String,
+}
+
+impl Rejection {
+    /// Builds a rejection from a code and detail text.
+    pub fn new(code: RejectCode, detail: impl Into<String>) -> Self {
+        Rejection {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "{}", self.code.name())
+        } else {
+            write!(f, "{}", self.detail)
         }
     }
 }
@@ -190,7 +300,7 @@ pub enum Response {
     /// The id is already known; submission was idempotently absorbed.
     Duplicate(String),
     /// The request was refused (overload, drain, malformed input).
-    Rejected(String),
+    Rejected(Rejection),
     /// A queried job's current state.
     State(String, JobState),
     /// The health snapshot.
@@ -200,13 +310,23 @@ pub enum Response {
 }
 
 impl Response {
+    /// Builds a coded rejection response.
+    pub fn rejected(code: RejectCode, detail: impl Into<String>) -> Response {
+        Response::Rejected(Rejection::new(code, detail))
+    }
+
     /// The wire line for this response.
     #[must_use]
     pub fn encode(&self) -> String {
         match self {
             Response::Accepted(id) => format!("accepted {id}"),
             Response::Duplicate(id) => format!("duplicate {id}"),
-            Response::Rejected(reason) => format!("rejected {reason}"),
+            Response::Rejected(rejection) if rejection.detail.is_empty() => {
+                format!("rejected {}", rejection.code.name())
+            }
+            Response::Rejected(rejection) => {
+                format!("rejected {} {}", rejection.code.name(), rejection.detail)
+            }
             Response::State(id, JobState::Queued) => format!("state {id} queued"),
             Response::State(id, JobState::Running) => format!("state {id} running"),
             Response::State(id, JobState::Done(record)) => format!("done {id} {record}"),
@@ -226,7 +346,16 @@ impl Response {
         match tokens.as_slice() {
             ["accepted", id] => Ok(Response::Accepted((*id).to_owned())),
             ["duplicate", id] => Ok(Response::Duplicate((*id).to_owned())),
-            ["rejected", reason @ ..] => Ok(Response::Rejected(reason.join(" "))),
+            ["rejected", code, detail @ ..] if RejectCode::parse(code).is_some() => {
+                Ok(Response::Rejected(Rejection {
+                    code: RejectCode::parse(code).expect("guard checked"),
+                    detail: detail.join(" "),
+                }))
+            }
+            // Pre-code peers send free text; keep it readable as Other.
+            ["rejected", reason @ ..] => {
+                Ok(Response::rejected(RejectCode::Other, reason.join(" ")))
+            }
             ["state", id, "queued"] => Ok(Response::State((*id).to_owned(), JobState::Queued)),
             ["state", id, "running"] => Ok(Response::State((*id).to_owned(), JobState::Running)),
             ["done", id, record @ ..] => Ok(Response::State(
@@ -368,7 +497,11 @@ mod tests {
         let responses = vec![
             Response::Accepted("a".to_owned()),
             Response::Duplicate("a".to_owned()),
-            Response::Rejected("overloaded: admission queue full (8 jobs queued)".to_owned()),
+            Response::rejected(
+                RejectCode::Overloaded,
+                "admission queue full (8 jobs queued)",
+            ),
+            Response::rejected(RejectCode::Busy, ""),
             Response::State("a".to_owned(), JobState::Queued),
             Response::State("a".to_owned(), JobState::Running),
             Response::State("a".to_owned(), JobState::Done("1 2 3 4".to_owned())),
@@ -383,6 +516,34 @@ mod tests {
             let line = response.encode();
             assert_eq!(Response::parse(&line), Ok(response), "{line}");
         }
+    }
+
+    #[test]
+    fn reject_codes_round_trip_and_legacy_text_parses_as_other() {
+        for code in [
+            RejectCode::Busy,
+            RejectCode::Overloaded,
+            RejectCode::Draining,
+            RejectCode::Journal,
+            RejectCode::Pruned,
+            RejectCode::UnknownJob,
+            RejectCode::Malformed,
+            RejectCode::Unavailable,
+            RejectCode::Other,
+        ] {
+            assert_eq!(RejectCode::parse(code.name()), Some(code));
+            let response = Response::rejected(code, "some detail text");
+            assert_eq!(Response::parse(&response.encode()), Ok(response));
+        }
+        // A free-text rejection from a peer predating codes stays
+        // readable and classifies conservatively.
+        assert_eq!(
+            Response::parse("rejected something went wrong"),
+            Ok(Response::rejected(
+                RejectCode::Other,
+                "something went wrong"
+            ))
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use qpdo_bench::supervisor::CancelToken;
 use qpdo_serve::daemon::{serve, DaemonConfig, ServeStats};
 use qpdo_serve::job::{execute, job_seed, Backend, JobKind, JobSpec};
-use qpdo_serve::protocol::{Client, JobState, Request, Response};
+use qpdo_serve::protocol::{Client, JobState, RejectCode, Request, Response};
 use qpdo_serve::wal::{JobOutcome, WalRecord, WriteAheadLog};
 
 const TIMEOUT: Duration = Duration::from_secs(60);
@@ -113,7 +113,7 @@ fn submit_query_duplicate_and_drain() {
         .call(&Request::Query("no-such-job".to_owned()))
         .unwrap()
     {
-        Response::Rejected(reason) => assert!(reason.contains("unknown job")),
+        Response::Rejected(reason) => assert_eq!(reason.code, RejectCode::UnknownJob),
         other => panic!("unknown-id query answered {other:?}"),
     }
 
@@ -211,7 +211,7 @@ fn overload_sheds_when_the_queue_is_full() {
         match client.call(&Request::Submit(spec.clone())).unwrap() {
             Response::Accepted(_) => accepted.push(spec),
             Response::Rejected(reason) => {
-                assert!(reason.contains("overloaded"), "{reason:?}");
+                assert_eq!(reason.code, RejectCode::Overloaded, "{reason:?}");
                 shed += 1;
             }
             other => panic!("burst submit answered {other:?}"),
@@ -311,7 +311,11 @@ fn connections_over_the_cap_are_shed_and_slots_recycle() {
     let mut third = daemon.client();
     match third.call(&Request::Health) {
         Ok(Response::Rejected(reason)) => {
-            assert!(reason.contains("overloaded"), "{reason:?}");
+            // The connection-level shed must answer `busy`, never the
+            // post-dedup `overloaded`: no request was read, so no
+            // dedup check ran (the router's failover keys on this).
+            assert_eq!(reason.code, RejectCode::Busy, "{reason:?}");
+            assert!(reason.detail.contains("overloaded"), "{reason:?}");
         }
         other => panic!("over-cap connection answered {other:?}"),
     }
@@ -420,8 +424,8 @@ fn pruned_terminal_resubmit_is_answered_not_reexecuted() {
     let mut client = daemon.client();
     match client.call(&Request::Submit(first)).unwrap() {
         Response::Rejected(reason) => {
-            assert!(reason.contains("pruned"), "{reason:?}");
-            assert!(reason.contains("terminal"), "{reason:?}");
+            assert_eq!(reason.code, RejectCode::Pruned, "{reason:?}");
+            assert!(reason.detail.contains("terminal"), "{reason:?}");
         }
         other => panic!("pruned resubmit answered {other:?}"),
     }
