@@ -57,11 +57,14 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use qpdo_core::ShotError;
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
 use qpdo_serve::breaker::{BreakerState, CircuitBreaker};
 use qpdo_serve::job::JobSpec;
 use qpdo_serve::protocol::{
     recv_line, send_line, Client, HealthSnapshot, JobState, RejectCode, Request, Response,
 };
+use qpdo_serve::wal::id_digest;
 use qpdo_serve::wal::JobOutcome;
 
 use crate::journal::{validate_member_name, RouteState, RouterJournal, RouterRecord};
@@ -93,6 +96,18 @@ pub struct RouterConfig {
     pub max_segment_bytes: u64,
     /// Terminal bindings retained through journal compaction.
     pub retain_terminal: usize,
+    /// Extra candidate walks a synchronous submit takes, with backoff,
+    /// before conceding `unavailable` — so a member mid-restart (every
+    /// connect refused, nothing transmitted) gets a re-delivery window
+    /// instead of an instant shed.
+    pub submit_retries: u32,
+    /// First retry backoff; doubles per retry (capped exponential).
+    pub retry_base: Duration,
+    /// Backoff ceiling.
+    pub retry_cap: Duration,
+    /// Seed for the per-job retry jitter (keeps a burst of refused
+    /// submits from re-walking in lockstep).
+    pub seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -108,6 +123,10 @@ impl Default for RouterConfig {
             max_conns: 256,
             max_segment_bytes: RouterJournal::DEFAULT_MAX_SEGMENT_BYTES,
             retain_terminal: RouterJournal::DEFAULT_RETAIN_TERMINAL,
+            submit_retries: 3,
+            retry_base: Duration::from_millis(50),
+            retry_cap: Duration::from_millis(500),
+            seed: 2016,
         }
     }
 }
@@ -536,42 +555,61 @@ fn deliver(service: &RouterService, id: &str, unroute_on_exhaustion: bool) -> Re
 }
 
 fn deliver_inner(service: &RouterService, id: &str, unroute_on_exhaustion: bool) -> Response {
-    let mut tried: HashSet<String> = HashSet::new();
-    let last_refusal = loop {
-        let member = {
-            let state = service.lock_state();
-            match state.jobs.get(id) {
-                None => {
-                    return Response::rejected(
-                        RejectCode::UnknownJob,
-                        format!("unknown job {id:?}"),
-                    )
+    let mut retry: u32 = 0;
+    let last_refusal = 'retries: loop {
+        // One full candidate walk. `tried` resets per walk: a member
+        // that refused the previous walk (say, mid-restart with its
+        // port closed) deserves another attempt after the backoff.
+        let mut tried: HashSet<String> = HashSet::new();
+        let exhausted = loop {
+            let member = {
+                let state = service.lock_state();
+                match state.jobs.get(id) {
+                    None => {
+                        return Response::rejected(
+                            RejectCode::UnknownJob,
+                            format!("unknown job {id:?}"),
+                        )
+                    }
+                    Some(job) => match &job.state {
+                        RouteState::Routed | RouteState::Sent => job.member.clone(),
+                        RouteState::Acked => return Response::Accepted(id.to_owned()),
+                        RouteState::Terminal(_) => return Response::Duplicate(id.to_owned()),
+                    },
                 }
-                Some(job) => match &job.state {
-                    RouteState::Routed | RouteState::Sent => job.member.clone(),
-                    RouteState::Acked => return Response::Accepted(id.to_owned()),
-                    RouteState::Terminal(_) => return Response::Duplicate(id.to_owned()),
-                },
+            };
+            tried.insert(member.clone());
+            match attempt(service, id, &member) {
+                Attempt::Confirmed => return Response::Accepted(id.to_owned()),
+                Attempt::Settled(response) | Attempt::Terminated(response) => return response,
+                Attempt::Parked(reason) => {
+                    return Response::rejected(
+                        RejectCode::Unavailable,
+                        format!(
+                            "unavailable: delivery to {member} unconfirmed ({reason}); \
+                         job parked — query to track, or resubmit to retry"
+                        ),
+                    );
+                }
+                Attempt::Refused(reason) => {
+                    if !advance_binding(service, id, &member, &tried) {
+                        break reason;
+                    }
+                }
             }
         };
-        tried.insert(member.clone());
-        match attempt(service, id, &member) {
-            Attempt::Confirmed => return Response::Accepted(id.to_owned()),
-            Attempt::Settled(response) | Attempt::Terminated(response) => return response,
-            Attempt::Parked(reason) => {
-                return Response::rejected(
-                    RejectCode::Unavailable,
-                    format!(
-                        "unavailable: delivery to {member} unconfirmed ({reason}); \
-                         job parked — query to track, or resubmit to retry"
-                    ),
-                );
-            }
-            Attempt::Refused(reason) => {
-                if !advance_binding(service, id, &member, &tried) {
-                    break reason;
-                }
-            }
+        // This walk exhausted its candidates on proven non-delivery.
+        // The synchronous submit path backs off and re-walks before
+        // conceding (capped exponential + seeded jitter); the resolver
+        // parks instead — its own interval is already a retry loop.
+        if !unroute_on_exhaustion || retry >= service.config.submit_retries {
+            break 'retries exhausted;
+        }
+        let pause = retry_backoff(&service.config, id, retry);
+        retry += 1;
+        thread::sleep(pause);
+        if service.lock_state().shutdown {
+            break 'retries exhausted;
         }
     };
     // Every live candidate gave proof of non-delivery.
@@ -606,6 +644,20 @@ fn deliver_inner(service: &RouterService, id: &str, unroute_on_exhaustion: bool)
         RejectCode::Unavailable,
         format!("unavailable: every live fleet member refused the job (last: {last_refusal})"),
     )
+}
+
+/// Backoff before retry number `retry` (0-based) of a submit's
+/// candidate walk: capped exponential on
+/// [`RouterConfig::retry_base`], scaled by a deterministic per-job
+/// jitter factor in `[0.5, 1.5)` so a burst of refused submissions
+/// de-synchronizes instead of re-walking in lockstep.
+fn retry_backoff(config: &RouterConfig, id: &str, retry: u32) -> Duration {
+    let doubled = config
+        .retry_base
+        .saturating_mul(1u32.checked_shl(retry.min(20)).unwrap_or(u32::MAX));
+    let capped = doubled.min(config.retry_cap);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ id_digest(id) ^ u64::from(retry));
+    capped.mul_f64(rng.gen_range(0.5..1.5))
 }
 
 /// One delivery attempt to `member`, with the `sent` journal discipline
@@ -708,10 +760,12 @@ enum RejectionClass {
 /// never from the free-text detail. `transmitted` is whether any
 /// earlier attempt to the *current* member reached `sent`.
 ///
-/// Post-dedup codes (`overloaded`, `draining`) are issued by daemons
-/// only after checking the id against their journal, so they prove the
-/// id is not held — rebinding is safe even from `sent`. A `journal`
-/// rejection means the member's accept record may or may not have hit
+/// Post-dedup codes (`overloaded`, `draining`, `degraded`) are issued
+/// by daemons only after checking the id against their journal (the
+/// degraded daemon's in-memory mirror is intact — only *new* appends
+/// fail), so they prove the id is not held — rebinding is safe even
+/// from `sent`. A `journal` rejection means the member's accept record
+/// may or may not have hit
 /// its disk, and an `other` rejection has unprovable semantics (it may
 /// be a journal failure worded by a pre-code peer): both are always
 /// ambiguous. The remaining codes — `busy` is sent by the
@@ -722,7 +776,9 @@ enum RejectionClass {
 /// connect-failure rule).
 fn classify_rejection(code: RejectCode, transmitted: bool) -> RejectionClass {
     match code {
-        RejectCode::Overloaded | RejectCode::Draining => RejectionClass::Refused,
+        RejectCode::Overloaded | RejectCode::Draining | RejectCode::Degraded => {
+            RejectionClass::Refused
+        }
         RejectCode::Pruned => RejectionClass::Terminated,
         RejectCode::Journal | RejectCode::Other => RejectionClass::Parked,
         RejectCode::Busy
@@ -1272,7 +1328,11 @@ mod tests {
 
     #[test]
     fn post_dedup_refusals_rebind_even_after_sent() {
-        for code in [RejectCode::Overloaded, RejectCode::Draining] {
+        for code in [
+            RejectCode::Overloaded,
+            RejectCode::Draining,
+            RejectCode::Degraded,
+        ] {
             for transmitted in [false, true] {
                 assert_eq!(
                     classify_rejection(code, transmitted),
@@ -1302,5 +1362,29 @@ mod tests {
                 RejectionClass::Terminated
             );
         }
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_deterministic_and_jittered() {
+        let config = RouterConfig::default();
+        for retry in 0..8 {
+            let pause = retry_backoff(&config, "job-a", retry);
+            // Deterministic: same (seed, id, retry) → same pause.
+            assert_eq!(pause, retry_backoff(&config, "job-a", retry));
+            // Jitter stays within [0.5, 1.5) of the capped exponential.
+            let nominal = config
+                .retry_base
+                .saturating_mul(1 << retry)
+                .min(config.retry_cap);
+            assert!(pause >= nominal.mul_f64(0.5), "retry {retry}: {pause:?}");
+            assert!(pause < nominal.mul_f64(1.5), "retry {retry}: {pause:?}");
+        }
+        // The cap binds: deep retries stop growing.
+        assert!(retry_backoff(&config, "job-a", 30) <= config.retry_cap.mul_f64(1.5));
+        // Different jobs de-synchronize.
+        assert_ne!(
+            retry_backoff(&config, "job-a", 0),
+            retry_backoff(&config, "job-b", 0)
+        );
     }
 }

@@ -487,3 +487,60 @@ fn an_empty_fleet_rejects_rather_than_hangs() {
     assert_eq!(stats.shed, 1);
     let _ = std::fs::remove_dir_all(&journal_dir);
 }
+
+/// Satellite (PR 8): a member whose port refuses connections — nothing
+/// ever transmitted — used to shed the submit as `unavailable` after a
+/// single instant candidate walk. The capped-backoff retry re-walks
+/// instead, bridging a member restart window.
+#[test]
+fn submit_retries_bridge_a_member_restart_window() {
+    // Reserve a port, then close it: every connect is refused until
+    // the daemon binds it again below.
+    let placeholder = TcpListener::bind("127.0.0.1:0").expect("reserve member port");
+    let member_addr = placeholder.local_addr().expect("member address");
+    drop(placeholder);
+
+    let journal_dir = fresh_dir("retry-router");
+    let mut config = test_config();
+    config.submit_retries = 8;
+    config.retry_base = Duration::from_millis(40);
+    config.retry_cap = Duration::from_millis(120);
+    let router = TestRouter::start(&journal_dir, &[("d0".to_owned(), member_addr)], config);
+
+    let daemon_config = DaemonConfig::default();
+    let seed = daemon_config.base_seed;
+    let wal_dir = fresh_dir("retry-d0");
+    let daemon: JoinHandle<std::io::Result<ServeStats>> = thread::spawn(move || {
+        // Come up mid-retry: the submit's first walk(s) get connection
+        // refusals on a binding that never reached `sent`.
+        thread::sleep(Duration::from_millis(100));
+        let listener = TcpListener::bind(member_addr).expect("rebind the member port");
+        serve(listener, &wal_dir, daemon_config)
+    });
+
+    let spec = bell("retry-0", 4);
+    assert_eq!(
+        router.submit(&spec),
+        Response::Accepted(spec.id.clone()),
+        "the backoff walk should bridge the restart window instead of shedding"
+    );
+    assert_eq!(
+        router.wait_terminal(&spec.id),
+        JobState::Done(golden(seed, &spec))
+    );
+
+    let stats = router.drain();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.shed, 0, "no shed: the retry absorbed the refusals");
+    let mut member =
+        qpdo_serve::protocol::Client::connect(member_addr, Some(TIMEOUT)).expect("connect member");
+    assert_eq!(
+        member.call(&Request::Drain).expect("drain member"),
+        Response::Drained
+    );
+    daemon
+        .join()
+        .expect("daemon thread panicked")
+        .expect("daemon returned an error");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

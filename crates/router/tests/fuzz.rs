@@ -1,0 +1,181 @@
+//! Seeded fuzz for the router wire protocol
+//! ([`qpdo_router::protocol`], `DESIGN.md` §12.4): the admin-verb
+//! parsers and the fleet-snapshot grammar on top of the serve line
+//! protocol. Deterministic by seed; the contract under fuzz is **no
+//! panic, typed errors, valid lines keep round-tripping**.
+
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
+use qpdo_router::protocol::{FleetSnapshot, MemberHealth, RouterRequest, RouterResponse};
+use qpdo_serve::breaker::BreakerState;
+
+const SEED: u64 = 0x0F_1EE7_F055;
+
+/// Router vocabulary plus serve verbs and near-miss junk: the router
+/// parsers fall through to the serve parsers, so both grammars get
+/// exercised from one dictionary.
+const DICT: &[&str] = &[
+    "join",
+    "leave",
+    "fleet",
+    "joined",
+    "left",
+    "submit",
+    "query",
+    "health",
+    "drain",
+    "rejected",
+    "accepted",
+    "ok",
+    "draining",
+    "members=",
+    "members=-",
+    "inflight=",
+    "routed=3",
+    "acked=x",
+    "d0",
+    "127.0.0.1:4100",
+    "[::1]:4101",
+    "d0:closed:2:127.0.0.1:4100",
+    "d1:open:0:",
+    "a:b:c",
+    ":::",
+    "closed",
+    "open",
+    "half-open",
+    "bound=",
+    "=",
+    ",",
+    "-",
+    "0",
+    "7",
+    "99999999999999999999",
+    "bell",
+    "\u{2603}",
+];
+
+fn random_line(rng: &mut StdRng) -> String {
+    let tokens = rng.gen_range(0..8usize);
+    let mut line = String::new();
+    for i in 0..tokens {
+        if i > 0 {
+            line.push(' ');
+        }
+        if rng.gen_bool(0.7) {
+            line.push_str(DICT[rng.gen_range(0..DICT.len())]);
+        } else {
+            for _ in 0..rng.gen_range(1..6usize) {
+                line.push(char::from_u32(rng.gen_range(1..0xd7ff_u32)).unwrap_or('?'));
+            }
+        }
+    }
+    line
+}
+
+/// 20k seeded dictionary-guided lines through both router parsers:
+/// never a panic, only `Ok` or a typed `Err`.
+#[test]
+fn router_parsers_never_panic_on_random_lines() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for case in 0..20_000 {
+        let line = random_line(&mut rng);
+        let request = std::panic::catch_unwind(|| RouterRequest::parse(&line).map(|_| ()));
+        let response = std::panic::catch_unwind(|| RouterResponse::parse(&line).map(|_| ()));
+        assert!(
+            request.is_ok() && response.is_ok(),
+            "case {case} (seed {SEED:#x}): parser panicked on {line:?}"
+        );
+    }
+}
+
+/// Every prefix of every valid router line parses without panicking,
+/// and the untruncated lines still parse after the gauntlet.
+#[test]
+fn valid_router_lines_survive_truncation_at_every_boundary() {
+    let requests = [
+        "join d0 127.0.0.1:4100",
+        "join d1 [::1]:4101",
+        "leave d0",
+        "fleet",
+        "submit bell-1 - bell 4",
+    ];
+    let responses = [
+        "joined d0",
+        "left d0",
+        "fleet ok inflight=0 routed=0 acked=0 completed=0 failed=0 shed=0 duplicates=0 \
+         rebinds=0 members=-",
+        "fleet draining inflight=3 routed=40 acked=39 completed=30 failed=2 shed=5 \
+         duplicates=7 rebinds=4 members=d0:closed:2:127.0.0.1:4100,d1:half-open:0:[::1]:4101",
+        "rejected unavailable fleet has no live member",
+    ];
+    for line in requests.iter().chain(responses.iter()) {
+        for cut in 0..=line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = RouterRequest::parse(&line[..cut]);
+            let _ = RouterResponse::parse(&line[..cut]);
+        }
+    }
+    for line in requests {
+        assert!(RouterRequest::parse(line).is_ok(), "{line:?}");
+    }
+    for line in responses {
+        assert!(RouterResponse::parse(line).is_ok(), "{line:?}");
+    }
+}
+
+/// Random seeded fleet snapshots round-trip through encode/parse, and
+/// a single random in-place mutation of the encoded line parses to
+/// `Ok` or a typed `Err` — never a panic, never a torn snapshot that
+/// silently differs from its line.
+#[test]
+fn fleet_snapshots_round_trip_and_survive_mutation() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    for round in 0..2_000 {
+        let members: Vec<MemberHealth> = (0..rng.gen_range(0..4usize))
+            .map(|m| MemberHealth {
+                name: format!("d{m}"),
+                addr: format!("127.0.0.1:{}", 4100 + m),
+                breaker: match rng.gen_range(0..3u32) {
+                    0 => BreakerState::Closed,
+                    1 => BreakerState::Open,
+                    _ => BreakerState::HalfOpen,
+                },
+                bound: rng.gen_range(0..100u64),
+            })
+            .collect();
+        let snapshot = FleetSnapshot {
+            accepting: rng.gen_bool(0.5),
+            inflight: rng.gen_range(0..1000),
+            routed: rng.gen_range(0..1000),
+            acked: rng.gen_range(0..1000),
+            completed: rng.gen_range(0..1000),
+            failed: rng.gen_range(0..1000),
+            shed: rng.gen_range(0..1000),
+            duplicates: rng.gen_range(0..1000),
+            rebinds: rng.gen_range(0..1000),
+            members,
+        };
+        let response = RouterResponse::Fleet(Box::new(snapshot));
+        let line = response.encode();
+        assert_eq!(
+            RouterResponse::parse(&line),
+            Ok(response.clone()),
+            "round {round} (seed {:#x}): snapshot does not round-trip",
+            SEED ^ 1
+        );
+
+        // One random mutation: replace a byte with random ASCII.
+        let mut mutated = line.into_bytes();
+        let at = rng.gen_range(0..mutated.len());
+        mutated[at] = rng.gen_range(0x20..0x7f_u8);
+        let mutated = String::from_utf8(mutated).expect("ascii mutation stays utf-8");
+        let parsed = std::panic::catch_unwind(|| RouterResponse::parse(&mutated).map(|_| ()));
+        assert!(
+            parsed.is_ok(),
+            "round {round} (seed {:#x}): parser panicked on {mutated:?}",
+            SEED ^ 1
+        );
+    }
+}

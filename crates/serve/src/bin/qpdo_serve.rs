@@ -12,10 +12,13 @@
 //!
 //! ```text
 //! qpdo_serve --wal-dir results/wal [--port N] [shared harness flags]
+//!     [--io-model event|threaded] [--commit-batch N]
+//!     [--commit-interval-us N] [--max-inflight-bytes N]
 //!     [--max-job-attempts N] [--breaker-threshold N]
 //!     [--breaker-cooloff-ms N] [--retain-terminal N]
 //!     [--max-conns N] [--io-timeout-ms N]
 //!     [--chaos-backend-fail BACKEND:N] [--chaos-stall-ms N]
+//!     [--chaos-fsync-fail N]
 //! ```
 
 use std::io::Write as _;
@@ -25,7 +28,7 @@ use std::process::exit;
 use std::time::Duration;
 
 use qpdo_bench::{HarnessArgs, ParseError, MAX_MS_FLAG, USAGE};
-use qpdo_serve::daemon::{serve, DaemonConfig};
+use qpdo_serve::daemon::{serve, DaemonConfig, IoModel};
 use qpdo_serve::job::Backend;
 
 const SERVE_USAGE: &str = "\
@@ -37,9 +40,14 @@ usage: qpdo_serve --wal-dir DIR [options]
   --breaker-cooloff-ms N    breaker cooloff before the half-open probe (default 500)
   --retain-terminal N       terminal jobs kept through journal compaction (default 65536)
   --max-conns N             concurrent client connections before shedding (default 256)
-  --io-timeout-ms N         read/write timeout on client streams, 0 = none (default 30000)
+  --io-timeout-ms N         read/write deadline on client streams, 0 = none (default 30000)
+  --io-model MODEL          connection handling: event (default) or threaded
+  --commit-batch N          max journal records folded into one fsync (default 64)
+  --commit-interval-us N    wait for commit-batch stragglers, 0 = sync now (default 200)
+  --max-inflight-bytes N    event loop read-pause threshold, bytes (default 1048576)
   --chaos-backend-fail B:N  fault injection: first N executions on backend B fail
   --chaos-stall-ms N        fault injection: stall every execution N ms
+  --chaos-fsync-fail N      fault injection: journal fsync fails after N successes
 plus the shared harness flags:
 ";
 
@@ -121,6 +129,35 @@ fn main() {
             "--io-timeout-ms" => {
                 let v = flag_value(&mut args, i, "--io-timeout-ms");
                 config.io_timeout = Duration::from_millis(parse_ms("--io-timeout-ms", &v, true));
+            }
+            "--io-model" => {
+                let v = flag_value(&mut args, i, "--io-model");
+                config.io_model = match v.as_str() {
+                    "event" => IoModel::Event,
+                    "threaded" => IoModel::Threaded,
+                    _ => {
+                        eprintln!("error: --io-model expects event or threaded, got {v:?}");
+                        usage_exit(2);
+                    }
+                };
+            }
+            "--commit-batch" => {
+                let v = flag_value(&mut args, i, "--commit-batch");
+                config.commit_batch =
+                    parse_ms("--commit-batch", &v, false).min(usize::MAX as u64) as usize;
+            }
+            "--commit-interval-us" => {
+                let v = flag_value(&mut args, i, "--commit-interval-us");
+                config.commit_interval_us = parse_ms("--commit-interval-us", &v, true);
+            }
+            "--max-inflight-bytes" => {
+                let v = flag_value(&mut args, i, "--max-inflight-bytes");
+                config.max_inflight_bytes =
+                    parse_ms("--max-inflight-bytes", &v, false).min(usize::MAX as u64) as usize;
+            }
+            "--chaos-fsync-fail" => {
+                let v = flag_value(&mut args, i, "--chaos-fsync-fail");
+                config.chaos_fsync_fail = Some(parse_ms("--chaos-fsync-fail", &v, true));
             }
             "--chaos-backend-fail" => {
                 let v = flag_value(&mut args, i, "--chaos-backend-fail");

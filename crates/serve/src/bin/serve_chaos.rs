@@ -19,16 +19,35 @@
 //! 5. **Drain-deadline** — a graceful drain races the deadline watcher
 //!    across a stalled queue: exactly one terminal record lands per
 //!    job and the drain still completes.
+//! 6. **Group-commit crash** — SIGKILL lands while the commit thread
+//!    is folding concurrent submissions into shared fsync batches
+//!    (`--commit-batch 32 --commit-interval-us 2000`); every acked id
+//!    must survive the torn journal — WAL-before-ack holds across
+//!    batching, not just per-record fsync.
+//! 7. **Overload wave** — concurrent client waves against a depth-3
+//!    queue on the event loop: sheds carry the typed `overloaded`
+//!    code, health answers mid-wave, accepted jobs finish golden.
+//! 8. **Mid-frame stall** — a slowloris client parks half a frame and
+//!    goes silent; the read deadline reaps it while live traffic on
+//!    the same loop completes unharmed.
+//! 9. **Fsync failure** — injected journal fsync failures latch the
+//!    daemon into a refuse-new-work degraded state (typed `journal` /
+//!    `degraded` rejections, health stops advertising `accepting`);
+//!    a restart without the fault completes every acked job golden.
 //!
 //! `--smoke` runs a reduced configuration; `--seed N` changes the
 //! deterministic workload. Exits non-zero on the first violated
 //! invariant.
 
-use std::io::{BufRead, BufReader};
-use std::net::SocketAddr;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use qpdo_bench::framing::write_record;
 
 use qpdo_bench::supervisor::CancelToken;
 use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
@@ -537,6 +556,422 @@ fn drain_deadline_drill(root: &Path, seed: u64, jobs: usize) {
     );
 }
 
+/// Drill 6: SIGKILL during group commit. Eight submitter threads keep
+/// the commit thread folding many records per fsync (batch 32, 2 ms
+/// straggler window) when the kill lands, so acks in flight at death
+/// were granted by *batched* syncs. Every acked id must still be in
+/// the torn journal: the WAL-before-ack invariant has to survive
+/// batching, not just the fsync-per-record discipline it replaced.
+fn group_commit_crash_drill(root: &Path, seed: u64, jobs: usize) {
+    println!("== group-commit crash drill: {jobs} jobs, SIGKILL mid-batch ==");
+    let wal_dir = fresh_dir(root, "group-commit-wal");
+    let mut daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "2",
+            "--queue-depth",
+            "4096",
+            "--chaos-stall-ms",
+            "100",
+            "--commit-batch",
+            "32",
+            "--commit-interval-us",
+            "2000",
+        ],
+    );
+    let addr = daemon.addr;
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| job(&format!("gc-{i}"), JobKind::Bell { shots: 4 }))
+        .collect();
+    let acked: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let threads = 8usize.min(jobs.max(1));
+    std::thread::scope(|scope| {
+        for chunk in specs.chunks(specs.len().div_ceil(threads)) {
+            let acked = &acked;
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr, Some(CLIENT_TIMEOUT)) else {
+                    return; // the daemon died before we connected
+                };
+                for spec in chunk {
+                    match client.call(&Request::Submit(spec.clone())) {
+                        Ok(Response::Accepted(id)) => {
+                            acked.lock().expect("acked lock").push(id);
+                        }
+                        Ok(other) => panic!("group-commit submit answered {other:?}"),
+                        Err(_) => return, // the daemon died under us
+                    }
+                }
+            });
+        }
+        // Let the batches start flowing, then kill mid-stream.
+        std::thread::sleep(Duration::from_millis(30));
+        daemon.kill();
+    });
+    let acked = acked.into_inner().expect("acked lock");
+    assert!(
+        !acked.is_empty(),
+        "no submission was acked before the kill: the drill timing is broken"
+    );
+
+    let recovery = recover(&wal_dir).expect("torn journal still readable");
+    assert!(
+        recovery.is_consistent(),
+        "torn journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    for id in &acked {
+        assert!(
+            recovery.jobs.iter().any(|j| j.spec.id == *id),
+            "{id} was acked through a group commit but is missing from the torn journal"
+        );
+    }
+    println!(
+        "   {} of {} acked before the kill, every ack durable",
+        acked.len(),
+        specs.len()
+    );
+
+    let daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "2",
+            "--queue-depth",
+            "4096",
+            "--commit-batch",
+            "32",
+            "--commit-interval-us",
+            "2000",
+        ],
+    );
+    let acked_set: HashSet<&String> = acked.iter().collect();
+    let mut client = daemon.client();
+    for spec in &specs {
+        let response = submit(&mut client, spec);
+        if acked_set.contains(&spec.id) {
+            assert_eq!(
+                response,
+                Response::Duplicate(spec.id.clone()),
+                "{} was acked before the kill, so resubmission must deduplicate",
+                spec.id
+            );
+        } else {
+            // An unacked submission may still have reached the journal
+            // (written and synced, killed before the reply flushed).
+            assert!(
+                matches!(response, Response::Accepted(_) | Response::Duplicate(_)),
+                "{} resubmission answered {response:?}",
+                spec.id
+            );
+        }
+    }
+    for spec in &specs {
+        match wait_terminal(&daemon, &spec.id) {
+            JobState::Done(record) => assert_eq!(
+                record,
+                golden(seed, spec),
+                "{} must match the unfaulted execution byte-for-byte",
+                spec.id
+            ),
+            JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+            _ => unreachable!(),
+        }
+    }
+    daemon.drain();
+
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert_eq!(recovery.jobs.len(), specs.len(), "journal job count");
+    assert!(recovery.pending().is_empty(), "no job may stay pending");
+    println!("   exactly-once verified for all {} jobs", specs.len());
+}
+
+/// Drill 7: overload waves against the event loop. Several client
+/// threads hammer a depth-3 queue at once; the loop must answer every
+/// one of them (typed `overloaded` sheds, never a stall), keep
+/// answering health queries mid-wave, and finish every accepted job
+/// golden.
+fn overload_wave_drill(root: &Path, seed: u64, waves: usize, clients: usize) {
+    println!("== overload wave drill: {waves} wave(s) x {clients} concurrent clients ==");
+    let wal_dir = fresh_dir(root, "overload-wave-wal");
+    let daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "1",
+            "--queue-depth",
+            "3",
+            "--chaos-stall-ms",
+            "150",
+        ],
+    );
+    let addr = daemon.addr;
+    let accepted: Mutex<Vec<JobSpec>> = Mutex::new(Vec::new());
+    let shed = std::sync::atomic::AtomicUsize::new(0);
+    for wave in 0..waves {
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let accepted = &accepted;
+                let shed = &shed;
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr, Some(CLIENT_TIMEOUT)).expect("wave client connects");
+                    for i in 0..4 {
+                        let spec = job(&format!("wave-{wave}-{c}-{i}"), JobKind::Bell { shots: 2 });
+                        match client
+                            .call(&Request::Submit(spec.clone()))
+                            .expect("wave submit")
+                        {
+                            Response::Accepted(_) => {
+                                accepted.lock().expect("accepted lock").push(spec);
+                            }
+                            Response::Rejected(reason) => {
+                                assert_eq!(
+                                    reason.code,
+                                    RejectCode::Overloaded,
+                                    "wave shed must carry the overloaded code, said {reason:?}"
+                                );
+                                shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            other => panic!("wave submit answered {other:?}"),
+                        }
+                    }
+                });
+            }
+            // The loop must keep answering control traffic mid-wave.
+            let mut health_client =
+                Client::connect(addr, Some(CLIENT_TIMEOUT)).expect("health client connects");
+            let Response::Health(health) = health_client
+                .call(&Request::Health)
+                .expect("health mid-wave")
+            else {
+                panic!("health request must answer with a snapshot");
+            };
+            assert!(health.accepting, "daemon must stay accepting mid-wave");
+        });
+        // Let the single worker make headway so the next wave is also
+        // partially admitted, not shed wholesale.
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let accepted = accepted.into_inner().expect("accepted lock");
+    let shed = shed.into_inner();
+    assert!(
+        shed >= 1,
+        "a depth-3 queue must shed part of {waves} wave(s) of {clients} clients"
+    );
+    assert!(!accepted.is_empty(), "some of each wave must be admitted");
+    for spec in &accepted {
+        match wait_terminal(&daemon, &spec.id) {
+            JobState::Done(record) => assert_eq!(record, golden(seed, spec)),
+            JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+            _ => unreachable!(),
+        }
+    }
+    daemon.drain();
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert_eq!(recovery.jobs.len(), accepted.len(), "journal job count");
+    println!(
+        "   {} accepted, {shed} shed across {waves} wave(s), all accepted completed",
+        accepted.len()
+    );
+}
+
+/// Drill 8: a slowloris client sends half a frame and goes silent. The
+/// per-connection read deadline must reap it — without it the stalled
+/// parse state would pin its buffer forever — while a live client on
+/// the same event loop completes a job unharmed.
+fn stall_drill(root: &Path, seed: u64) {
+    println!("== mid-frame stall drill: slowloris vs a 300 ms read deadline ==");
+    let wal_dir = fresh_dir(root, "stall-wal");
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1", "--io-timeout-ms", "300"]);
+
+    // Park half a valid frame on the wire and never send the rest.
+    let mut framed = Vec::new();
+    write_record(&mut framed, b"health").expect("frame a health line");
+    let mut stalled = TcpStream::connect(daemon.addr).expect("slowloris connects");
+    stalled
+        .write_all(&framed[..framed.len() / 2])
+        .expect("send half a frame");
+
+    // Live traffic on the same loop is unaffected by the parked parse.
+    let spec = job("stall-live", JobKind::Bell { shots: 4 });
+    let mut client = daemon.client();
+    assert_eq!(
+        submit(&mut client, &spec),
+        Response::Accepted(spec.id.clone())
+    );
+    match wait_terminal(&daemon, &spec.id) {
+        JobState::Done(record) => assert_eq!(record, golden(seed, &spec)),
+        JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+        _ => unreachable!(),
+    }
+
+    // The read deadline must close the stalled connection; a server
+    // that never reaps half-open peers hangs here until the drill's
+    // own deadline calls it out.
+    stalled
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("read timeout");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut buf = [0u8; 16];
+    loop {
+        match stalled.read(&mut buf) {
+            Ok(0) => break, // clean close: reaped
+            Ok(n) => panic!("server answered {n} bytes to half a frame"),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "stalled connection never reaped by the io deadline"
+                );
+            }
+            Err(_) => break, // reset: also reaped
+        }
+    }
+    println!("   slowloris reaped, live traffic completed");
+    daemon.drain();
+}
+
+/// Drill 9: injected fsync failures. After the fault fires the daemon
+/// must refuse new work with typed `journal` (the ambiguous in-batch
+/// record) and `degraded` rejections and stop advertising `accepting`;
+/// a restart without the fault completes every previously-acked job
+/// golden and accepts fresh work again.
+fn fsync_failure_drill(root: &Path, seed: u64) {
+    println!("== fsync failure drill: degraded latch and clean recovery ==");
+    let wal_dir = fresh_dir(root, "fsync-wal");
+    let mut daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "1",
+            "--chaos-stall-ms",
+            "50",
+            "--chaos-fsync-fail",
+            "3",
+        ],
+    );
+    let mut client = daemon.client();
+    let mut acked: Vec<JobSpec> = Vec::new();
+    let mut ambiguous: Vec<JobSpec> = Vec::new();
+    let mut degraded_rejections = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut i = 0;
+    while degraded_rejections == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "daemon never degraded despite --chaos-fsync-fail 3"
+        );
+        let spec = job(&format!("fs-{i}"), JobKind::Bell { shots: 2 });
+        i += 1;
+        match submit(&mut client, &spec) {
+            Response::Accepted(_) => acked.push(spec),
+            Response::Rejected(reason) => match reason.code {
+                // The record sharing the failed batch: durability
+                // unknown, parked as ambiguous.
+                RejectCode::Journal => ambiguous.push(spec),
+                RejectCode::Degraded => degraded_rejections += 1,
+                other => panic!("degrading daemon rejected fs-{} with {other:?}", i - 1),
+            },
+            other => panic!("submit answered {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        !acked.is_empty(),
+        "the first submit must be acked before the injected fsync failure"
+    );
+    // Degraded is sticky and visible: health stops advertising
+    // `accepting`, and further submissions keep bouncing.
+    let Response::Health(health) = client.call(&Request::Health).expect("health call") else {
+        panic!("health request must answer with a snapshot");
+    };
+    assert!(
+        !health.accepting,
+        "a degraded daemon must not advertise accepting"
+    );
+    let probe = job("fs-probe", JobKind::Bell { shots: 2 });
+    match submit(&mut client, &probe) {
+        Response::Rejected(reason) => assert_eq!(
+            reason.code,
+            RejectCode::Degraded,
+            "post-latch submit must carry the degraded code, said {reason:?}"
+        ),
+        other => panic!("degraded daemon answered a fresh submit with {other:?}"),
+    }
+    println!(
+        "   degraded after {} ack(s), {} ambiguous, typed rejections observed",
+        acked.len(),
+        ambiguous.len()
+    );
+    daemon.kill();
+
+    // Restart without the fault: acked jobs are durable and complete
+    // golden; ambiguous ones resolve from whatever actually hit disk.
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1"]);
+    let mut client = daemon.client();
+    for spec in &acked {
+        assert_eq!(
+            submit(&mut client, spec),
+            Response::Duplicate(spec.id.clone()),
+            "{} was acked before degradation, so resubmission must deduplicate",
+            spec.id
+        );
+    }
+    for spec in &ambiguous {
+        let response = submit(&mut client, spec);
+        assert!(
+            matches!(response, Response::Accepted(_) | Response::Duplicate(_)),
+            "{} resubmission answered {response:?}",
+            spec.id
+        );
+    }
+    let fresh = job("fs-fresh", JobKind::Bell { shots: 2 });
+    assert_eq!(
+        submit(&mut client, &fresh),
+        Response::Accepted(fresh.id.clone()),
+        "a recovered daemon must accept fresh work"
+    );
+    for spec in acked.iter().chain(ambiguous.iter()).chain([&fresh]) {
+        match wait_terminal(&daemon, &spec.id) {
+            JobState::Done(record) => assert_eq!(
+                record,
+                golden(seed, spec),
+                "{} must match the unfaulted execution byte-for-byte",
+                spec.id
+            ),
+            JobState::Failed(error) => panic!("{} failed: {error}", spec.id),
+            _ => unreachable!(),
+        }
+    }
+    daemon.drain();
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert!(recovery.pending().is_empty(), "no job may stay pending");
+    println!("   recovered: acked jobs golden, fresh work accepted");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
@@ -567,6 +1002,10 @@ fn main() {
     overload_drill(&root, seed, burst);
     deadline_drill(&root, seed);
     drain_deadline_drill(&root, seed, if smoke { 4 } else { 8 });
+    group_commit_crash_drill(&root, seed, if smoke { 48 } else { 96 });
+    overload_wave_drill(&root, seed, if smoke { 2 } else { 3 }, 8);
+    stall_drill(&root, seed);
+    fsync_failure_drill(&root, seed);
 
     std::fs::remove_dir_all(&root).expect("clean drill root");
     println!("serve_chaos: all drills passed");

@@ -1,18 +1,33 @@
-//! The shot-service daemon (`DESIGN.md` §9).
+//! The shot-service daemon (`DESIGN.md` §9, §12).
 //!
-//! Threading model: the caller's thread runs the TCP accept loop; each
-//! connection gets a handler thread speaking the framed protocol
-//! (bounded by [`DaemonConfig::max_conns`] — connections over the cap
-//! are rejected with a `busy` code — and reaped by
-//! [`DaemonConfig::io_timeout`] when a client wedges); one
-//! dispatcher thread drains the admission queue in rounds, executing
-//! each round on the supervised worker pool
+//! Two I/O models share one service core ([`ServiceState`] + the
+//! group-committed journal):
+//!
+//! - [`IoModel::Event`] (default): a single nonblocking event loop
+//!   ([`crate::eventloop`]) multiplexes every connection — readiness
+//!   scans, per-connection frame state machines, read/write deadlines,
+//!   byte-budget backpressure. Submissions journal asynchronously: the
+//!   connection parks on a commit token and the ack is written only
+//!   after the batch fsync completes.
+//! - [`IoModel::Threaded`]: the legacy thread-per-connection model,
+//!   kept as the `loadgen` A/B baseline. Handlers block on
+//!   [`GroupCommit::append_sync`] instead, so both models share the
+//!   same WAL-before-ack pipeline (with `--commit-batch 1
+//!   --commit-interval-us 0` it degenerates to fsync-per-record).
+//!
+//! One dispatcher thread drains the admission queue in rounds,
+//! executing each round on the supervised worker pool
 //! ([`qpdo_bench::supervisor`]) with panic isolation and per-batch
 //! watchdogs. All state lives in one mutex-protected [`ServiceState`]
-//! signalled by a condvar; the journal has its own lock and is always
-//! written (and fsync'd) *before* the state change it records becomes
-//! observable — WAL-before-ack for admissions, WAL-before-result for
-//! completions.
+//! signalled by a condvar; the journal is owned by the commit thread
+//! ([`crate::commit`]) and every record is durable *before* the state
+//! change it records becomes observable — WAL-before-ack for
+//! admissions, WAL-before-result for completions. A failed commit
+//! latches the daemon degraded: fresh submissions are refused with the
+//! post-dedup `degraded` code, ids whose accept append failed
+//! mid-commit stay ambiguous (`journal`, which routers park), and a
+//! drain stops immediately instead of waiting for terminals that can
+//! no longer land.
 //!
 //! Routing: each job kind declares a backend preference order; the
 //! dispatcher picks the first backend whose circuit breaker admits the
@@ -22,7 +37,7 @@
 //! through the supervisor's [`CancelToken`] and fails the job
 //! terminally.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
@@ -38,11 +53,23 @@ use qpdo_bench::supervisor::{
 use qpdo_core::ShotError;
 
 use crate::breaker::CircuitBreaker;
+use crate::commit::{CommitError, GroupCommit};
+use crate::eventloop;
 use crate::job::{execute, Backend, JobKind, JobSpec};
 use crate::protocol::{
     recv_line, send_line, HealthSnapshot, JobState, RejectCode, Request, Response,
 };
 use crate::wal::{JobOutcome, WalRecord, WriteAheadLog};
+
+/// Which connection-handling architecture the daemon runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoModel {
+    /// Single-threaded nonblocking event loop (the default).
+    #[default]
+    Event,
+    /// Thread-per-connection with blocking I/O (benchmark baseline).
+    Threaded,
+}
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -74,10 +101,26 @@ pub struct DaemonConfig {
     /// answered with a `busy` rejection and closed instead of spawning
     /// an unbounded handler thread each.
     pub max_conns: usize,
-    /// Read/write timeout on accepted client streams
-    /// ([`Duration::ZERO`] disables it): a stalled or vanished client
-    /// releases its handler thread instead of pinning it forever.
+    /// Read/write deadline on accepted client streams
+    /// ([`Duration::ZERO`] disables it): a stalled, mid-frame, or
+    /// vanished client is reaped instead of pinning its connection
+    /// slot forever.
     pub io_timeout: Duration,
+    /// Connection-handling architecture (see [`IoModel`]).
+    pub io_model: IoModel,
+    /// Most records the commit thread folds into one fsync.
+    pub commit_batch: usize,
+    /// How long (µs) an under-full commit batch waits for stragglers
+    /// before syncing anyway (0 = commit immediately).
+    pub commit_interval_us: u64,
+    /// Event loop only: total buffered bytes (unparsed input + pending
+    /// output across all connections) above which reads pause, pushing
+    /// backpressure into the peers' TCP windows instead of growing
+    /// without bound.
+    pub max_inflight_bytes: usize,
+    /// Fault injection: the journal's active-segment fsync fails after
+    /// this many have succeeded, forcing the degraded latch.
+    pub chaos_fsync_fail: Option<u64>,
     /// Fault injection: the first `n` executions on this backend fail.
     pub chaos_backend_fail: Option<(Backend, u32)>,
     /// Fault injection: every execution stalls this long first (widens
@@ -100,6 +143,11 @@ impl Default for DaemonConfig {
             retain_terminal: WriteAheadLog::DEFAULT_RETAIN_TERMINAL,
             max_conns: 256,
             io_timeout: Duration::from_secs(30),
+            io_model: IoModel::Event,
+            commit_batch: 64,
+            commit_interval_us: 200,
+            max_inflight_bytes: 1 << 20,
+            chaos_fsync_fail: None,
             chaos_backend_fail: None,
             chaos_stall: Duration::ZERO,
         }
@@ -143,21 +191,30 @@ impl JobEntry {
     }
 }
 
-struct ServiceState {
+pub(crate) struct ServiceState {
     jobs: HashMap<String, JobEntry>,
     queue: VecDeque<String>,
     running: usize,
-    draining: bool,
-    shutdown: bool,
-    stats: ServeStats,
+    pub(crate) draining: bool,
+    pub(crate) shutdown: bool,
+    pub(crate) stats: ServeStats,
     breakers: [CircuitBreaker; 3],
     chaos_backend_fail: Option<(Backend, u32)>,
+    /// Ids reserved by submissions whose accept record is in flight to
+    /// the commit thread. They hold queue capacity (so backpressure
+    /// counts them) and block a concurrent same-id submission, and a
+    /// drain waits for them to resolve.
+    pending_accepts: HashSet<String>,
+    /// Ids whose accept append failed mid-commit: durability unknown
+    /// forever, so resubmits are answered `journal` (routers park)
+    /// rather than re-admitted or refused with a rebind-safe code.
+    ambiguous: HashSet<String>,
 }
 
 impl ServiceState {
-    fn health(&self) -> HealthSnapshot {
+    pub(crate) fn health(&self, degraded: bool) -> HealthSnapshot {
         HealthSnapshot {
-            accepting: !self.draining && !self.shutdown,
+            accepting: !self.draining && !self.shutdown && !degraded,
             queued: self.queue.len(),
             running: self.running,
             accepted: self.stats.accepted,
@@ -174,13 +231,21 @@ impl ServiceState {
             ],
         }
     }
+
+    /// Whether every admission the drain must wait out has resolved
+    /// (commit-parked submissions count: each will either enqueue a job
+    /// or answer a rejection, and the drain decision needs to see it).
+    pub(crate) fn drained(&self, degraded: bool) -> bool {
+        self.pending_accepts.is_empty()
+            && (degraded || (self.queue.is_empty() && self.running == 0))
+    }
 }
 
-struct Service {
-    state: Mutex<ServiceState>,
-    wake: Condvar,
-    wal: Mutex<WriteAheadLog>,
-    config: DaemonConfig,
+pub(crate) struct Service {
+    pub(crate) state: Mutex<ServiceState>,
+    pub(crate) wake: Condvar,
+    pub(crate) commit: GroupCommit,
+    pub(crate) config: DaemonConfig,
 }
 
 /// Runs the daemon on an already-bound listener until a client drains
@@ -203,6 +268,7 @@ pub fn serve(
 ) -> io::Result<ServeStats> {
     let (mut wal, recovery) = WriteAheadLog::open(wal_dir, config.max_segment_bytes)?;
     wal.set_retain_terminal(config.retain_terminal);
+    wal.set_fail_sync_after(config.chaos_fsync_fail);
     if !recovery.is_consistent() {
         return Err(io::Error::other(format!(
             "journal violates exactly-once: duplicate terminals {:?}, orphaned {:?}",
@@ -250,6 +316,11 @@ pub fn serve(
     }
 
     let breaker = || CircuitBreaker::new(config.breaker_threshold, config.breaker_cooloff);
+    let commit = GroupCommit::spawn(
+        wal,
+        config.commit_batch,
+        Duration::from_micros(config.commit_interval_us),
+    );
     let service = Arc::new(Service {
         state: Mutex::new(ServiceState {
             jobs,
@@ -260,9 +331,11 @@ pub fn serve(
             stats,
             breakers: [breaker(), breaker(), breaker()],
             chaos_backend_fail: config.chaos_backend_fail,
+            pending_accepts: HashSet::new(),
+            ambiguous: HashSet::new(),
         }),
         wake: Condvar::new(),
-        wal: Mutex::new(wal),
+        commit,
         config,
     });
 
@@ -271,6 +344,18 @@ pub fn serve(
         thread::spawn(move || dispatch_loop(&service))
     };
 
+    match service.config.io_model {
+        IoModel::Event => eventloop::run(&listener, &service)?,
+        IoModel::Threaded => run_threaded(&listener, &service)?,
+    }
+
+    dispatcher.join().expect("dispatcher thread panicked");
+    let stats = service.state.lock().expect("state lock").stats;
+    Ok(stats)
+}
+
+/// The legacy accept loop: one blocking handler thread per connection.
+fn run_threaded(listener: &TcpListener, service: &Arc<Service>) -> io::Result<()> {
     let local_addr = listener.local_addr()?;
     let conns = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
@@ -280,13 +365,13 @@ pub fn serve(
         let Ok(stream) = stream else { continue };
         // Bounded concurrency: past the cap a connection is answered
         // with a `busy` rejection and closed, never left to
-        // spawn an unbounded handler thread.
+        // spawn an unbounded handler thread each.
         if conns.fetch_add(1, Ordering::AcqRel) >= service.config.max_conns {
             conns.fetch_sub(1, Ordering::AcqRel);
-            shed_connection(&service, stream);
+            shed_connection(service, stream);
             continue;
         }
-        let service = Arc::clone(&service);
+        let service = Arc::clone(service);
         let conns = Arc::clone(&conns);
         thread::spawn(move || {
             let _ = handle_connection(&service, stream);
@@ -296,16 +381,13 @@ pub fn serve(
     // `drain` sets `shutdown` and pokes the listener via `local_addr`,
     // which is what broke the loop above.
     let _ = local_addr;
-
-    dispatcher.join().expect("dispatcher thread panicked");
-    let stats = service.state.lock().expect("state lock").stats;
-    Ok(stats)
+    Ok(())
 }
 
 /// Best-effort `busy` rejection for a connection over the cap;
 /// the short write timeout keeps a hostile peer from stalling the
 /// accept loop's thread.
-fn shed_connection(service: &Service, mut stream: TcpStream) {
+pub(crate) fn shed_connection(service: &Service, mut stream: TcpStream) {
     service.state.lock().expect("state lock").stats.shed += 1;
     let error = ShotError::Overloaded {
         queue_depth: service.config.max_conns,
@@ -315,6 +397,7 @@ fn shed_connection(service: &Service, mut stream: TcpStream) {
     // post-dedup proof that `overloaded` carries (the router would
     // otherwise treat it as license to fail a sent job over).
     let reply = Response::rejected(RejectCode::Busy, error.to_string());
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = send_line(&mut stream, &reply.encode());
 }
@@ -356,8 +439,9 @@ fn handle_connection(service: &Service, mut stream: TcpStream) -> io::Result<()>
             Ok(Request::Submit(spec)) => handle_submit(service, spec),
             Ok(Request::Query(id)) => handle_query(service, &id),
             Ok(Request::Health) => {
+                let degraded = service.commit.is_degraded();
                 let state = service.state.lock().expect("state lock");
-                Response::Health(Box::new(state.health()))
+                Response::Health(Box::new(state.health(degraded)))
             }
             Ok(Request::Drain) => {
                 handle_drain(service);
@@ -374,70 +458,169 @@ fn handle_connection(service: &Service, mut stream: TcpStream) -> io::Result<()>
     }
 }
 
-fn handle_submit(service: &Service, mut spec: JobSpec) -> Response {
+/// How a submission left [`submit_begin`].
+pub(crate) enum SubmitAdmission {
+    /// Answered without touching the journal.
+    Reply(Response),
+    /// Admission checks passed and the id is reserved: the caller must
+    /// append `Accept(spec)` through the commit thread and route the
+    /// result through [`submit_finish`] — on *every* path, or the
+    /// reservation leaks and a drain waits forever.
+    Reserved(JobSpec),
+}
+
+/// Admission checks for one submission, up to (but not including) the
+/// journal append. Shared by both I/O models so the rejection-code
+/// ordering stays identical.
+pub(crate) fn submit_begin(service: &Service, mut spec: JobSpec) -> SubmitAdmission {
     if spec.deadline_ms.is_none() {
         spec.deadline_ms = service.config.default_deadline_ms;
     }
+    let degraded = service.commit.is_degraded();
     let mut state = service.state.lock().expect("state lock");
     if state.jobs.contains_key(&spec.id) {
         state.stats.duplicates += 1;
-        return Response::Duplicate(spec.id);
+        return SubmitAdmission::Reply(Response::Duplicate(spec.id));
+    }
+    if state.pending_accepts.contains(&spec.id) {
+        // A same-id submission is mid-commit on another connection.
+        // `busy` is deliberately pre-dedup: its outcome is unknown, so
+        // the router must not take this as proof the id is not here.
+        return SubmitAdmission::Reply(Response::rejected(
+            RejectCode::Busy,
+            format!("a submission of job {} is already in flight", spec.id),
+        ));
+    }
+    if state.ambiguous.contains(&spec.id) {
+        // An earlier accept append failed mid-commit; its bytes may or
+        // may not be on disk. Only `journal` (park) is safe.
+        return SubmitAdmission::Reply(Response::rejected(
+            RejectCode::Journal,
+            format!(
+                "an earlier submission of job {} failed to journal; durability unknown",
+                spec.id
+            ),
+        ));
     }
     // A terminal job pruned by journal retention keeps its id in the
     // pruned-id ledger: answer the resubmit deterministically instead
     // of silently re-executing under an id that already completed.
-    if service.wal.lock().expect("wal lock").was_pruned(&spec.id) {
+    if service.commit.was_pruned(&spec.id) {
         state.stats.duplicates += 1;
-        return Response::rejected(
+        return SubmitAdmission::Reply(Response::rejected(
             RejectCode::Pruned,
             format!(
                 "job {} already reached a terminal state; \
                  its result was pruned by journal retention",
                 spec.id
             ),
-        );
+        ));
     }
     // The codes below are load-bearing for the fleet router: they sit
-    // AFTER the dedup checks above, so `draining` and `overloaded` are
-    // post-dedup proof that the id is not held here. A new rejection
-    // added above the dedup checks must use a non-post-dedup code.
+    // AFTER the dedup checks above, so `draining`, `degraded` and
+    // `overloaded` are post-dedup proof that the id is not held here.
+    // A new rejection added above the dedup checks must use a
+    // non-post-dedup code.
     if state.draining || state.shutdown {
-        return Response::rejected(RejectCode::Draining, "draining: not accepting new jobs");
+        return SubmitAdmission::Reply(Response::rejected(
+            RejectCode::Draining,
+            "draining: not accepting new jobs",
+        ));
     }
-    if state.queue.len() >= service.config.queue_depth {
+    if degraded {
+        return SubmitAdmission::Reply(Response::rejected(
+            RejectCode::Degraded,
+            "journal degraded: a commit fsync failed; restart the daemon",
+        ));
+    }
+    if state.queue.len() + state.pending_accepts.len() >= service.config.queue_depth {
         state.stats.shed += 1;
         let error = ShotError::Overloaded {
             queue_depth: state.queue.len(),
         };
-        return Response::rejected(RejectCode::Overloaded, error.to_string());
+        return SubmitAdmission::Reply(Response::rejected(
+            RejectCode::Overloaded,
+            error.to_string(),
+        ));
     }
-    // WAL-before-ack: the accept record is durable before the client
-    // hears `accepted` and before the dispatcher can see the job.
-    // Holding the state lock across the fsync serializes admissions,
-    // which is exactly the ordering the journal must reflect.
-    {
-        let mut wal = service.wal.lock().expect("wal lock");
-        if let Err(e) = wal.append(&WalRecord::Accept(spec.clone())) {
-            return Response::rejected(RejectCode::Journal, format!("journal write failed: {e}"));
-        }
-    }
-    state.stats.accepted += 1;
-    state.jobs.insert(
-        spec.id.clone(),
-        JobEntry {
-            spec: spec.clone(),
-            state: JobState::Queued,
-            attempts: 0,
-            accepted_at: Instant::now(),
-            pending_outcome: None,
-        },
-    );
-    state.queue.push_back(spec.id.clone());
-    service.wake.notify_all();
-    Response::Accepted(spec.id)
+    // Reserve the id (holding queue capacity) and journal off-lock:
+    // WAL-before-ack no longer serializes admissions behind one fsync —
+    // the commit thread batches every reservation in flight.
+    state.pending_accepts.insert(spec.id.clone());
+    SubmitAdmission::Reserved(spec)
 }
 
-fn handle_query(service: &Service, id: &str) -> Response {
+/// Folds a commit result back into the state and produces the reply.
+/// Must be called exactly once per [`SubmitAdmission::Reserved`].
+pub(crate) fn submit_finish(
+    service: &Service,
+    spec: &JobSpec,
+    result: Result<(), CommitError>,
+) -> Response {
+    let mut state = service.state.lock().expect("state lock");
+    state.pending_accepts.remove(&spec.id);
+    let response = match result {
+        Ok(()) => {
+            state.stats.accepted += 1;
+            state.jobs.insert(
+                spec.id.clone(),
+                JobEntry {
+                    spec: spec.clone(),
+                    state: JobState::Queued,
+                    attempts: 0,
+                    accepted_at: Instant::now(),
+                    pending_outcome: None,
+                },
+            );
+            state.queue.push_back(spec.id.clone());
+            Response::Accepted(spec.id.clone())
+        }
+        Err(CommitError::Rejected(_)) => {
+            // Validation refused the accept before any byte was
+            // written. The only validation an accept can fail is the
+            // pruned-ledger check (a prune raced the admission), which
+            // has a deterministic answer.
+            state.stats.duplicates += 1;
+            Response::rejected(
+                RejectCode::Pruned,
+                format!(
+                    "job {} already reached a terminal state; \
+                     its result was pruned by journal retention",
+                    spec.id
+                ),
+            )
+        }
+        Err(CommitError::Unsynced(detail)) => {
+            // The append died mid-commit: its bytes may be durable.
+            // Latch the id ambiguous and answer `journal` (park).
+            state.ambiguous.insert(spec.id.clone());
+            Response::rejected(
+                RejectCode::Journal,
+                format!("journal write failed: {detail}"),
+            )
+        }
+        Err(CommitError::Degraded(detail)) => {
+            // Provably never written: the rebind-safe post-dedup code.
+            Response::rejected(RejectCode::Degraded, detail)
+        }
+    };
+    // Dispatcher (new work) and drain waiters (a reservation resolved)
+    // both need the wake.
+    service.wake.notify_all();
+    response
+}
+
+fn handle_submit(service: &Service, spec: JobSpec) -> Response {
+    match submit_begin(service, spec) {
+        SubmitAdmission::Reply(response) => response,
+        SubmitAdmission::Reserved(spec) => {
+            let result = service.commit.append_sync(WalRecord::Accept(spec.clone()));
+            submit_finish(service, &spec, result)
+        }
+    }
+}
+
+pub(crate) fn handle_query(service: &Service, id: &str) -> Response {
     let state = service.state.lock().expect("state lock");
     match state.jobs.get(id) {
         Some(entry) => Response::State(id.to_owned(), entry.state.clone()),
@@ -449,8 +632,15 @@ fn handle_drain(service: &Service) {
     let mut state = service.state.lock().expect("state lock");
     state.draining = true;
     service.wake.notify_all();
-    while !state.queue.is_empty() || state.running > 0 {
-        state = service.wake.wait(state).expect("state lock");
+    // The degraded latch can flip while we wait (stranding queued jobs
+    // whose terminals can no longer journal), so re-check on a timeout
+    // instead of trusting wakeups alone.
+    while !state.drained(service.commit.is_degraded()) {
+        let (s, _) = service
+            .wake
+            .wait_timeout(state, Duration::from_millis(50))
+            .expect("state lock");
+        state = s;
     }
     state.shutdown = true;
     service.wake.notify_all();
@@ -549,17 +739,14 @@ fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
         entry.state = JobState::Running;
         let attempt = entry.attempts;
         let kind = entry.spec.kind;
-        {
-            let mut wal = service.wal.lock().expect("wal lock");
-            // A lost dispatch record only loses routing trace, never
-            // correctness: keep going.
-            if let Err(e) = wal.append(&WalRecord::Dispatch {
-                id: id.clone(),
-                backend,
-                attempt,
-            }) {
-                eprintln!("warning: journal dispatch record failed for {id}: {e}");
-            }
+        // A lost dispatch record only loses routing trace, never
+        // correctness: keep going.
+        if let Err(e) = service.commit.append_sync(WalRecord::Dispatch {
+            id: id.clone(),
+            backend,
+            attempt,
+        }) {
+            eprintln!("warning: journal dispatch record failed for {id}: {e}");
         }
         round.push(RoundJob {
             id,
@@ -766,13 +953,10 @@ fn journal_complete(
             }
         }
     }
-    let append = {
-        let mut wal = service.wal.lock().expect("wal lock");
-        wal.append(&WalRecord::Complete {
-            id: id.to_owned(),
-            outcome: outcome.clone(),
-        })
-    };
+    let append = service.commit.append_sync(WalRecord::Complete {
+        id: id.to_owned(),
+        outcome: outcome.clone(),
+    });
     if let Err(e) = append {
         eprintln!("warning: journal complete record failed for {id}: {e}");
         let entry = state.jobs.get_mut(id).expect("completed job exists");

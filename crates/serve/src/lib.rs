@@ -10,11 +10,21 @@
 //!   at any instant loses at most the jobs never acknowledged; every
 //!   acknowledged job is re-executed on restart onto a byte-identical
 //!   result (deterministic substream seeding), exactly once.
+//! - **Group commit** ([`commit`]): appends are batched by a dedicated
+//!   commit thread — many records per fsync, acked only after the
+//!   batch syncs. A failed fsync latches the daemon into a degraded
+//!   refuse-new-work state instead of ever acking unsynced bytes.
 //! - **Admission control** ([`daemon`]): a bounded queue sheds load
 //!   with an explicit `overloaded` rejection instead of collapsing;
 //!   per-job deadlines cancel cooperatively through the supervised
 //!   worker pool; a drain request stops admission and waits the queue
 //!   dry.
+//! - **Nonblocking event loop** ([`eventloop`]): the default I/O model
+//!   multiplexes hundreds of connections on one thread with
+//!   per-connection state machines ([`frame`]), read/write deadlines
+//!   that reap slowloris peers, and byte-budget backpressure. The
+//!   legacy thread-per-connection model survives as
+//!   `--io-model threaded` for A/B benchmarking (`loadgen`).
 //! - **Circuit breakers** ([`breaker`]): per-backend failure tracking
 //!   routes jobs around a sick backend (packed ↔ reference tableau for
 //!   stabilizer jobs) and restores it through a half-open probe.
@@ -28,7 +38,10 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod commit;
 pub mod daemon;
+pub mod eventloop;
+pub mod frame;
 pub mod job;
 pub mod protocol;
 pub mod wal;

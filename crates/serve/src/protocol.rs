@@ -96,6 +96,11 @@ pub enum RejectCode {
     /// A journal append failed mid-admission: whether the record
     /// reached disk is ambiguous.
     Journal,
+    /// The journal can no longer make new records durable (a commit
+    /// fsync failed): the daemon refuses new work until restarted
+    /// (**post-dedup** — the dedup check ran against the intact
+    /// in-memory mirror before this was issued).
+    Degraded,
     /// The id already reached a terminal state whose record was pruned
     /// by journal retention (**post-dedup**).
     Pruned,
@@ -118,6 +123,7 @@ impl RejectCode {
             RejectCode::Overloaded => "overloaded",
             RejectCode::Draining => "draining",
             RejectCode::Journal => "journal",
+            RejectCode::Degraded => "degraded",
             RejectCode::Pruned => "pruned",
             RejectCode::UnknownJob => "unknown-job",
             RejectCode::Malformed => "malformed",
@@ -135,6 +141,7 @@ impl RejectCode {
             "overloaded" => RejectCode::Overloaded,
             "draining" => RejectCode::Draining,
             "journal" => RejectCode::Journal,
+            "degraded" => RejectCode::Degraded,
             "pruned" => RejectCode::Pruned,
             "unknown-job" => RejectCode::UnknownJob,
             "malformed" => RejectCode::Malformed,
@@ -525,6 +532,7 @@ mod tests {
             RejectCode::Overloaded,
             RejectCode::Draining,
             RejectCode::Journal,
+            RejectCode::Degraded,
             RejectCode::Pruned,
             RejectCode::UnknownJob,
             RejectCode::Malformed,

@@ -339,6 +339,13 @@ pub struct WriteAheadLog {
     max_segment_bytes: u64,
     /// Terminal jobs beyond this count are pruned at compaction.
     retain_terminal: usize,
+    /// Fault injection: fsyncs of the active segment fail once this
+    /// many have succeeded (`None` = never). Rotation syncs are exempt
+    /// so the failure mode under test is "the commit fsync fails", not
+    /// "the disk is gone entirely".
+    fail_sync_after: Option<u64>,
+    /// Active-segment fsyncs performed so far (for the injection).
+    syncs: u64,
     /// Mirror of the journal state, for compaction snapshots.
     jobs: Vec<RecoveredJob>,
     index: HashMap<String, usize>,
@@ -386,6 +393,8 @@ impl WriteAheadLog {
             rotate_at: max_segment_bytes.max(1),
             max_segment_bytes: max_segment_bytes.max(1),
             retain_terminal: Self::DEFAULT_RETAIN_TERMINAL,
+            fail_sync_after: None,
+            syncs: 0,
             jobs: recovery.jobs.clone(),
             index: recovery
                 .jobs
@@ -422,7 +431,10 @@ impl WriteAheadLog {
 
     /// Appends one record, fsyncs it, and rotates the segment once a
     /// full size bound of fresh records has accumulated. When this
-    /// returns, the record is durable.
+    /// returns, the record is durable. This is
+    /// [`write_unsynced`](Self::write_unsynced) + [`sync`](Self::sync)
+    /// — the group-commit thread calls the halves directly to batch
+    /// many records per fsync.
     ///
     /// # Errors
     ///
@@ -433,21 +445,71 @@ impl WriteAheadLog {
     /// error the record's durability is unknown, so callers must retry
     /// the identical record, never a different outcome for the same id.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.write_unsynced(record)?;
+        self.sync()
+    }
+
+    /// Validates and writes one record to the active segment **without
+    /// syncing**: the record is not durable (and must not be acked)
+    /// until a following [`sync`](Self::sync) returns `Ok`. The
+    /// bytes-since-compaction counter that paces rotation advances here,
+    /// per record — never per fsync batch — so group-committed batches
+    /// cannot starve compaction.
+    ///
+    /// # Errors
+    ///
+    /// Same validation contract as [`append`](Self::append); a write
+    /// error leaves durability of the partial frame unknown (the CRC
+    /// framing drops it as a torn tail on recovery).
+    pub fn write_unsynced(&mut self, record: &WalRecord) -> io::Result<()> {
         self.validate(record)?;
         let line = record.encode();
         write_record(&mut self.active, line.as_bytes())?;
-        sync_file(&self.active)?;
         self.active_bytes += 8 + line.len() as u64;
         self.apply(record);
+        Ok(())
+    }
+
+    /// Fsyncs the active segment — every record written since the last
+    /// sync becomes durable at once — then rotates if a full size bound
+    /// of fresh records has accumulated since the last compaction.
+    ///
+    /// # Errors
+    ///
+    /// A sync failure means durability of every unsynced record is
+    /// unknown: the caller must stop acking (degraded mode), because a
+    /// retry that succeeds cannot prove the earlier bytes landed in
+    /// order.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.syncs += 1;
+        if self.fail_sync_after.is_some_and(|after| self.syncs > after) {
+            return Err(io::Error::other(
+                "injected fsync failure (--chaos-fsync-fail)",
+            ));
+        }
+        sync_file(&self.active)?;
         if self.active_bytes > self.rotate_at {
             self.rotate_to(self.active_seq + 1)?;
         }
         Ok(())
     }
 
+    /// Fault injection: active-segment fsyncs fail once `after` have
+    /// succeeded (`None` disables). Rotation is exempt.
+    pub fn set_fail_sync_after(&mut self, after: Option<u64>) {
+        self.fail_sync_after = after;
+    }
+
     /// Enforces the journal invariants as programmer-error checks on
-    /// the daemon, without touching disk or the mirror.
-    fn validate(&self, record: &WalRecord) -> io::Result<()> {
+    /// the daemon, without touching disk or the mirror. Public so the
+    /// group-commit thread can distinguish a *rejected* record (refused
+    /// before any byte reaches disk, per-record error) from an *I/O*
+    /// failure mid-batch (durability unknown, daemon must degrade).
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated invariant.
+    pub fn validate(&self, record: &WalRecord) -> io::Result<()> {
         match record {
             WalRecord::Accept(spec) => {
                 if self.pruned.contains(&id_digest(&spec.id)) {
@@ -902,6 +964,81 @@ mod tests {
             rotations < appends,
             "{rotations} rotations for {appends} appends"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_pacing_advances_per_record_not_per_fsync_batch() {
+        // Regression: with group commit, many records share one fsync.
+        // If the bytes-since-compaction counter advanced per sync
+        // instead of per record, a large batch would count as one tiny
+        // append and rotation (with its retention pruning) would
+        // effectively never fire under batched load.
+        let dir = tmp_dir("batch-pacing");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 256).unwrap();
+        let first_seq = wal.active_seq();
+        let before = wal.active_bytes;
+        // One group-committed batch far larger than the segment bound.
+        for i in 0..24 {
+            wal.write_unsynced(&WalRecord::Accept(spec(&format!("gc-{i}"))))
+                .unwrap();
+        }
+        let appended = wal.active_bytes - before;
+        assert!(
+            appended > 24 * 8,
+            "pacing counter must advance per record ({appended} bytes for 24 records)"
+        );
+        assert_eq!(wal.active_seq(), first_seq, "rotation waits for sync");
+        wal.sync().unwrap();
+        assert!(
+            wal.active_seq() > first_seq,
+            "a batch past the bound must rotate at its commit sync"
+        );
+        // And the rotated journal replays the whole batch.
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(recovery.jobs.len(), 24);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_records_are_not_durable_until_sync() {
+        let dir = tmp_dir("unsynced");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        wal.append(&WalRecord::Accept(spec("durable"))).unwrap();
+        wal.write_unsynced(&WalRecord::Accept(spec("buffered")))
+            .unwrap();
+        // The buffered record sits in the OS page cache at best; the
+        // mirror already sees it (validation state), but a crash now may
+        // lose it — which is exactly why acks wait for sync(). What we
+        // can assert without a crash: sync() makes it replayable.
+        wal.sync().unwrap();
+        let recovery = recover(&dir).unwrap();
+        assert_eq!(recovery.jobs.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fsync_failure_fails_sync_but_not_validation() {
+        let dir = tmp_dir("fsync-fail");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        wal.set_fail_sync_after(Some(wal.syncs + 1));
+        wal.append(&WalRecord::Accept(spec("ok-1"))).unwrap();
+        // The injection budget is spent: the next commit sync fails...
+        wal.write_unsynced(&WalRecord::Accept(spec("doomed")))
+            .unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("injected fsync failure"), "{err}");
+        // ...and keeps failing (a daemon must degrade, not flap).
+        assert!(wal.sync().is_err());
+        // Validation is unaffected: rejects still classify correctly.
+        assert!(wal.validate(&WalRecord::Accept(spec("fresh"))).is_ok());
+        assert!(wal
+            .validate(&WalRecord::Complete {
+                id: "ghost".to_owned(),
+                outcome: JobOutcome::Done("1".to_owned()),
+            })
+            .is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

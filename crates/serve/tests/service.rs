@@ -443,6 +443,143 @@ fn pruned_terminal_resubmit_is_answered_not_reexecuted() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn drain_completes_inflight_and_rejects_new_with_draining() {
+    let dir = fresh_dir("drain-semantics");
+    let config = DaemonConfig {
+        jobs: 1,
+        chaos_stall: Duration::from_millis(300),
+        ..DaemonConfig::default()
+    };
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    // Three in-flight jobs: one running into its stall, two queued.
+    let inflight: Vec<JobSpec> = (0..3).map(|i| bell(&format!("infl-{i}"), 2)).collect();
+    for spec in &inflight {
+        assert_eq!(
+            client.call(&Request::Submit(spec.clone())).unwrap(),
+            Response::Accepted(spec.id.clone())
+        );
+    }
+
+    // The drain waiter blocks on its own connection while the queue
+    // finishes; the daemon keeps serving everyone else meanwhile.
+    let addr = daemon.addr;
+    let drainer = thread::spawn(move || {
+        let mut drain_client = Client::connect(addr, Some(TIMEOUT)).expect("drain connection");
+        drain_client.call(&Request::Drain).expect("drain call")
+    });
+    // Give the drain frame time to flip the state.
+    thread::sleep(Duration::from_millis(100));
+
+    // New work is refused with the typed post-dedup `draining` code …
+    match client
+        .call(&Request::Submit(bell("late-comer", 2)))
+        .unwrap()
+    {
+        Response::Rejected(reason) => assert_eq!(reason.code, RejectCode::Draining, "{reason:?}"),
+        other => panic!("submit during drain answered {other:?}"),
+    }
+    // … resubmitting an in-flight id still deduplicates (dedup runs
+    // before the draining check — the router's rebind safety rides on
+    // this order) …
+    assert_eq!(
+        client.call(&Request::Submit(inflight[0].clone())).unwrap(),
+        Response::Duplicate(inflight[0].id.clone())
+    );
+    // … and queries keep answering mid-drain.
+    match client
+        .call(&Request::Query(inflight[2].id.clone()))
+        .unwrap()
+    {
+        Response::State(..) => {}
+        other => panic!("query during drain answered {other:?}"),
+    }
+
+    assert_eq!(
+        drainer.join().expect("drain thread"),
+        Response::Drained,
+        "the drain waiter must be answered after the queue empties"
+    );
+    let stats = daemon
+        .handle
+        .join()
+        .expect("serve thread panicked")
+        .expect("serve returned an error");
+    assert_eq!(stats.accepted, 3, "the late submission must not slip in");
+    assert_eq!(stats.completed, 3, "drain must complete all in-flight jobs");
+    let recovery = qpdo_serve::wal::recover(&dir).expect("journal audit");
+    assert!(recovery.is_consistent());
+    assert!(recovery.pending().is_empty(), "drain left pending jobs");
+    for spec in &inflight {
+        let journaled = recovery
+            .jobs
+            .iter()
+            .find(|j| j.spec.id == spec.id)
+            .unwrap_or_else(|| panic!("{} missing from journal", spec.id));
+        assert_eq!(
+            journaled.outcome,
+            Some(JobOutcome::Done(golden(seed, spec))),
+            "{} must complete golden through the drain",
+            spec.id
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_drain_waiter_is_answered_exactly_once() {
+    let dir = fresh_dir("drain-waiters");
+    let config = DaemonConfig {
+        jobs: 1,
+        chaos_stall: Duration::from_millis(200),
+        ..DaemonConfig::default()
+    };
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+    for i in 0..2 {
+        let spec = bell(&format!("dw-{i}"), 2);
+        assert_eq!(
+            client.call(&Request::Submit(spec.clone())).unwrap(),
+            Response::Accepted(spec.id)
+        );
+    }
+
+    // Four concurrent drain waiters on four connections: each must get
+    // exactly one `drained` reply when the queue empties — `call`
+    // fails loudly on both zero replies (EOF) and a second frame left
+    // in the stream (the next read would see it).
+    let addr = daemon.addr;
+    let waiters: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut drain_client =
+                    Client::connect(addr, Some(TIMEOUT)).expect("drain connection");
+                let response = drain_client.call(&Request::Drain).expect("drain call");
+                // The stream must close cleanly after the single reply:
+                // a duplicate wake would surface as a second frame, a
+                // lost wake as this call hanging until the timeout.
+                let followup = drain_client.call(&Request::Health);
+                (response, followup.is_err())
+            })
+        })
+        .collect();
+    for waiter in waiters {
+        let (response, closed_after) = waiter.join().expect("drain waiter");
+        assert_eq!(response, Response::Drained);
+        assert!(closed_after, "the stream must close after the drain reply");
+    }
+    let stats = daemon
+        .handle
+        .join()
+        .expect("serve thread panicked")
+        .expect("serve returned an error");
+    assert_eq!(stats.completed, 2, "drain completed the in-flight jobs");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[cfg(feature = "reference")]
 #[test]
 fn tripped_breaker_reroutes_with_identical_results() {

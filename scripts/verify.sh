@@ -127,13 +127,44 @@ done
 echo "ok: all report keys present"
 
 echo "== crash-recovery gate: serve_chaos --smoke =="
-# The shot-service chaos drill (DESIGN.md §9.5): spawns qpdo_serve,
-# SIGKILLs it with jobs in flight, restarts on the same journal, and
-# asserts exactly-once completion with results byte-identical to an
-# unfaulted execution of the same seeds — then trips a circuit breaker
-# with injected backend failures and checks reroute + half-open
-# recovery, overload shedding, and deadline enforcement.
+# The shot-service chaos drill (DESIGN.md §9.5, §12): spawns
+# qpdo_serve, SIGKILLs it with jobs in flight (including mid
+# group-commit batch), restarts on the same journal, and asserts
+# exactly-once completion with results byte-identical to an unfaulted
+# execution of the same seeds — then trips a circuit breaker with
+# injected backend failures and checks reroute + half-open recovery,
+# overload shedding and waves, deadline enforcement, slowloris
+# reaping, and the injected-fsync-failure degraded latch with clean
+# restart recovery.
 ./target/release/serve_chaos --smoke
+
+echo "== serving load gate: loadgen --smoke =="
+# The serving-core load generator (DESIGN.md §12.5): drives the
+# threaded baseline and the event loop at 4x the connections over the
+# real wire protocol with open-loop seeded arrivals, writes
+# BENCH_serve.json to the throwaway directory, and validates the
+# report schema before writing and after re-reading from disk.
+./target/release/loadgen --smoke --out "$smoke_out"
+for key in \
+    '"schema": "qpdo-bench-serve-v1"' \
+    '"name": "threaded_baseline"' '"name": "event_4x"' \
+    '"throughput_rps"' '"p50_us"' '"p99_us"' '"p999_us"' '"shed_rate"' \
+    '"conn_ratio"' '"event_p99_not_worse"'; do
+    if ! grep -qF "$key" "$smoke_out/BENCH_serve.json"; then
+        echo "error: BENCH_serve.json missing key $key" >&2
+        exit 1
+    fi
+done
+# Nonzero throughput on both scenarios: a loadgen that measured nothing
+# must not pass the gate.
+awk -F': ' '
+    /"throughput_rps"/ { rows += 1; if ($2 + 0 <= 0) bad = 1 }
+    END { exit (rows == 2 && !bad) ? 0 : 1 }
+' "$smoke_out/BENCH_serve.json" || {
+    echo "error: BENCH_serve.json must report nonzero throughput for both scenarios" >&2
+    exit 1
+}
+echo "ok: BENCH_serve.json schema-valid with nonzero throughput"
 
 echo "== fleet gate: cargo test -p qpdo-router =="
 # In-process fleet coverage (DESIGN.md §11): ring spread/rebalance,
