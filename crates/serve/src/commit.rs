@@ -267,7 +267,17 @@ fn commit_loop(shared: &Shared, batch_max: usize, interval: Duration) {
         // admissions keep queueing behind the in-flight batch.
         let mut results: Vec<Result<(), CommitError>> = Vec::with_capacity(batch.len());
         let mut failed: Option<String> = None;
-        {
+        if shared.degraded.load(Ordering::Acquire) {
+            // A record enqueued between its enqueue-side degraded check
+            // and the latch flipping survives the failing iteration's
+            // pending-queue drain; it lands here on a later pass. The
+            // journal is degraded, so nothing of it may be written.
+            let message = "journal degraded: a commit fsync failed; restart the daemon".to_owned();
+            for _ in &batch {
+                results.push(Err(CommitError::Degraded(message.clone())));
+            }
+            failed = Some(message);
+        } else {
             let mut wal = shared.wal.lock().expect("wal lock");
             let mut wrote = false;
             for pending in &batch {
@@ -296,17 +306,23 @@ fn commit_loop(shared: &Shared, batch_max: usize, interval: Duration) {
                     }
                 }
             }
-            if failed.is_none() && wrote {
+            // Sync whatever reached the segment — including the prefix
+            // written before a mid-batch write failure. Those waiters'
+            // Ok results stand only if their bytes actually sync; the
+            // degraded latch guarantees no later batch would ever flush
+            // them. If this sync fails too, every written record's
+            // durability is unknown.
+            if wrote {
                 if let Err(e) = wal.sync() {
                     let message = format!("journal sync failed: {e}");
-                    // Every record written this batch has unknown
-                    // durability now.
                     for result in &mut results {
                         if result.is_ok() {
                             *result = Err(CommitError::Unsynced(message.clone()));
                         }
                     }
-                    failed = Some(message);
+                    if failed.is_none() {
+                        failed = Some(message);
+                    }
                 }
             }
         }
@@ -478,6 +494,97 @@ mod tests {
         // ...and the journal keeps serving.
         assert!(!commit.is_degraded());
         commit.append_sync(WalRecord::Accept(spec("r-1"))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_batch_write_failure_never_acks_unsynced_bytes() {
+        let dir = tmp_dir("write-fail");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        wal.set_fail_write_after(Some(1));
+        let commit = GroupCommit::spawn(wal, 8, Duration::from_millis(200));
+        // Three appends back-to-back: however the commit thread batches
+        // them, the second write fails. The written prefix (w-0) must
+        // only keep its Ok if its bytes are synced — a mid-batch write
+        // failure must not skip the prefix fsync and ack anyway.
+        let mut tokens = Vec::new();
+        for i in 0..3 {
+            match commit.append_async(WalRecord::Accept(spec(&format!("w-{i}")))) {
+                Ok(token) => tokens.push((token, format!("w-{i}"))),
+                // The degraded latch can flip before a later enqueue.
+                Err(e) => assert!(matches!(e, CommitError::Degraded(_)), "{e:?}"),
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut done = Vec::new();
+        while done.len() < tokens.len() {
+            done.extend(commit.take_completions());
+            assert!(std::time::Instant::now() < deadline, "completions late");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(commit.is_degraded());
+        // w-0's write and prefix sync both succeed: durable, acked.
+        let first = done.iter().find(|c| c.token == tokens[0].0).unwrap();
+        assert!(first.result.is_ok(), "{:?}", first.result);
+        // w-1's write failed: ambiguous forever, never Ok.
+        if let Some((token, _)) = tokens.get(1) {
+            let second = done.iter().find(|c| c.token == *token).unwrap();
+            assert!(
+                matches!(second.result, Err(CommitError::Unsynced(_))),
+                "{:?}",
+                second.result
+            );
+        }
+        drop(commit);
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        // The WAL-before-ack invariant: every Ok'd record is on disk.
+        for (token, id) in &tokens {
+            let acked = done.iter().any(|c| c.token == *token && c.result.is_ok());
+            if acked {
+                assert!(
+                    recovery.jobs.iter().any(|j| j.spec.id == *id),
+                    "acked {id} lost"
+                );
+            }
+        }
+        assert!(recovery.jobs.iter().any(|j| j.spec.id == "w-0"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failure_with_failing_prefix_sync_downgrades_every_ack() {
+        let dir = tmp_dir("write-sync-fail");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        wal.set_fail_write_after(Some(1));
+        wal.set_fail_sync_after(Some(0));
+        let commit = GroupCommit::spawn(wal, 8, Duration::from_millis(200));
+        let mut tokens = Vec::new();
+        for i in 0..3 {
+            match commit.append_async(WalRecord::Accept(spec(&format!("x-{i}")))) {
+                Ok(token) => tokens.push(token),
+                Err(e) => assert!(matches!(e, CommitError::Degraded(_)), "{e:?}"),
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut done = Vec::new();
+        while done.len() < tokens.len() {
+            done.extend(commit.take_completions());
+            assert!(std::time::Instant::now() < deadline, "completions late");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(commit.is_degraded());
+        // The prefix sync failed too: nothing may be acked, and the
+        // written-but-unsynced prefix is Unsynced, not Ok.
+        for completion in &done {
+            assert!(completion.result.is_err(), "{completion:?}");
+        }
+        let first = done.iter().find(|c| c.token == tokens[0]).unwrap();
+        assert!(
+            matches!(first.result, Err(CommitError::Unsynced(_))),
+            "{:?}",
+            first.result
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

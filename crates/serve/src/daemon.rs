@@ -209,6 +209,12 @@ pub(crate) struct ServiceState {
     /// forever, so resubmits are answered `journal` (routers park)
     /// rather than re-admitted or refused with a rebind-safe code.
     ambiguous: HashSet<String>,
+    /// Ids whose terminal record is being journaled off the state lock
+    /// (the dispatcher drops the lock across the group-commit wait so
+    /// admissions and queries keep flowing). The claim serializes the
+    /// terminal transition — first claim wins — and a drain waits for
+    /// these to resolve exactly like in-flight accepts.
+    pending_terminals: HashSet<String>,
 }
 
 impl ServiceState {
@@ -237,6 +243,7 @@ impl ServiceState {
     /// or answer a rejection, and the drain decision needs to see it).
     pub(crate) fn drained(&self, degraded: bool) -> bool {
         self.pending_accepts.is_empty()
+            && self.pending_terminals.is_empty()
             && (degraded || (self.queue.is_empty() && self.running == 0))
     }
 }
@@ -333,6 +340,7 @@ pub fn serve(
             chaos_backend_fail: config.chaos_backend_fail,
             pending_accepts: HashSet::new(),
             ambiguous: HashSet::new(),
+            pending_terminals: HashSet::new(),
         }),
         wake: Condvar::new(),
         commit,
@@ -651,12 +659,13 @@ struct RoundJob {
     id: String,
     kind: JobKind,
     backend: Backend,
+    attempt: u32,
     deadline: Option<Instant>,
 }
 
 fn dispatch_loop(service: &Service) {
     loop {
-        let round = {
+        let (round, terminals) = {
             let mut state = service.state.lock().expect("state lock");
             loop {
                 if state.shutdown {
@@ -669,7 +678,17 @@ fn dispatch_loop(service: &Service) {
             }
             pick_round(service, &mut state)
         };
+        // Deadline expiries and parked journal retries claimed by
+        // pick_round: append their terminal records here, off the
+        // state lock, so admissions and queries keep flowing through a
+        // full group-commit cycle.
+        let had_terminals = !terminals.is_empty();
+        let journal_ok = journal_terminals(service, terminals);
         if round.is_empty() {
+            if had_terminals && journal_ok {
+                // The pass made durable progress; look again at once.
+                continue;
+            }
             // Jobs are queued but undispatchable — every eligible
             // breaker is open, or a journal append is failing: wait
             // out (a fraction of) the cooloff instead of spinning.
@@ -682,20 +701,37 @@ fn dispatch_loop(service: &Service) {
             let _ = service.wake.wait_timeout(state, wait).expect("state lock");
             continue;
         }
+        // Dispatch trace records journal off the state lock too: a
+        // lost one only loses routing trace, never correctness.
+        for job in &round {
+            if let Err(e) = service.commit.append_sync(WalRecord::Dispatch {
+                id: job.id.clone(),
+                backend: job.backend,
+                attempt: job.attempt,
+            }) {
+                eprintln!(
+                    "warning: journal dispatch record failed for {}: {e}",
+                    job.id
+                );
+            }
+        }
         run_round(service, round);
     }
 }
 
-/// Pops up to a pool-sized round of dispatchable jobs, journaling the
-/// dispatch and choosing a backend for each. Jobs past their deadline
-/// fail terminally here; jobs with every backend's breaker open stay
-/// queued (in order) for a later round. A failing journal append stops
-/// the pass (the affected job goes back to the queue front) so a
-/// persistent WAL error degrades into dispatcher backoff instead of
-/// spinning on the same job while holding the state lock.
-fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
+/// Pops up to a pool-sized round of dispatchable jobs, choosing a
+/// backend for each. Jobs past their deadline are claimed as terminal
+/// (the caller journals them off-lock); jobs with every backend's
+/// breaker open stay queued (in order) for a later round. No journal
+/// I/O happens here — the state lock is held, and a group-commit wait
+/// under it would block every admission, query, and health check.
+fn pick_round(
+    service: &Service,
+    state: &mut ServiceState,
+) -> (Vec<RoundJob>, Vec<(String, JobOutcome)>) {
     let now = Instant::now();
     let mut round = Vec::new();
+    let mut terminals = Vec::new();
     let mut requeue = VecDeque::new();
     while round.len() < service.config.jobs.max(1) {
         let Some(id) = state.queue.pop_front() else {
@@ -705,21 +741,16 @@ fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
         // A journal-retry job: the result is already computed, only its
         // terminal record is missing. Retry the identical append.
         if let Some(outcome) = entry.pending_outcome.clone() {
-            if !journal_complete(service, state, &id, outcome) {
-                break;
+            if terminal_begin(state, &id, &outcome) {
+                terminals.push((id, outcome));
             }
             continue;
         }
         let deadline = entry.deadline();
         if deadline.is_some_and(|d| d <= now) {
-            if !complete(
-                service,
-                state,
-                &id,
-                Err("deadline exceeded".to_owned()),
-                None,
-            ) {
-                break;
+            let outcome = JobOutcome::Failed("deadline exceeded".to_owned());
+            if terminal_begin(state, &id, &outcome) {
+                terminals.push((id, outcome));
             }
             continue;
         }
@@ -739,19 +770,11 @@ fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
         entry.state = JobState::Running;
         let attempt = entry.attempts;
         let kind = entry.spec.kind;
-        // A lost dispatch record only loses routing trace, never
-        // correctness: keep going.
-        if let Err(e) = service.commit.append_sync(WalRecord::Dispatch {
-            id: id.clone(),
-            backend,
-            attempt,
-        }) {
-            eprintln!("warning: journal dispatch record failed for {id}: {e}");
-        }
         round.push(RoundJob {
             id,
             kind,
             backend,
+            attempt,
             deadline,
         });
     }
@@ -760,7 +783,7 @@ fn pick_round(service: &Service, state: &mut ServiceState) -> Vec<RoundJob> {
         state.queue.push_front(id);
     }
     state.running = round.len();
-    round
+    (round, terminals)
 }
 
 /// Executes one round on the supervised pool and folds the results back
@@ -844,13 +867,21 @@ fn run_round(service: &Service, round: Vec<RoundJob>) {
         .into_iter()
         .map(|q| (q.task, q.error))
         .collect();
+    // Fold results back in two phases: decide and claim every terminal
+    // under the state lock, then journal the claimed records with the
+    // lock dropped (group commit can take a full straggler interval +
+    // fsync, and admissions must not stall behind it).
+    let mut terminals: Vec<(String, JobOutcome)> = Vec::new();
     let mut state = service.state.lock().expect("state lock");
     state.chaos_backend_fail = remaining_chaos;
     for (task, job) in round.into_iter().enumerate() {
         match report.results.get(task).and_then(Option::as_ref) {
             Some(record) => {
                 state.breakers[job.backend.index()].record_success();
-                complete(service, &mut state, &job.id, Ok(record.clone()), None);
+                let outcome = JobOutcome::Done(record.clone());
+                if terminal_begin(&mut state, &job.id, &outcome) {
+                    terminals.push((job.id, outcome));
+                }
             }
             None => {
                 let error = quarantined
@@ -865,28 +896,32 @@ fn run_round(service: &Service, round: Vec<RoundJob>) {
                     continue;
                 }
                 if cancelled || expired {
-                    complete(
-                        service,
-                        &mut state,
-                        &job.id,
-                        Err("deadline exceeded".to_owned()),
-                        None,
-                    );
+                    let outcome = JobOutcome::Failed("deadline exceeded".to_owned());
+                    if terminal_begin(&mut state, &job.id, &outcome) {
+                        terminals.push((job.id, outcome));
+                    }
                     continue;
                 }
                 state.breakers[job.backend.index()].record_failure(now);
                 let entry = state.jobs.get_mut(&job.id).expect("round job exists");
                 entry.attempts += 1;
                 if entry.attempts >= service.config.max_job_attempts {
-                    let attempts = entry.attempts;
-                    complete(service, &mut state, &job.id, Err(error), Some(attempts));
+                    let outcome =
+                        JobOutcome::Failed(format!("{error} (after {} attempts)", entry.attempts));
+                    if terminal_begin(&mut state, &job.id, &outcome) {
+                        terminals.push((job.id, outcome));
+                    }
                 } else {
                     requeue_front(&mut state, &job.id);
                 }
             }
         }
     }
+    // `running` drops before the terminals land, but a drain still
+    // waits: the claims sit in `pending_terminals` until finished.
     state.running = 0;
+    drop(state);
+    let _ = journal_terminals(service, terminals);
     service.wake.notify_all();
 }
 
@@ -896,67 +931,88 @@ fn requeue_front(state: &mut ServiceState, id: &str) {
     state.queue.push_front(id.to_owned());
 }
 
-/// Journals and records a terminal outcome (WAL-before-result).
-/// Returns whether the record became durable; on failure the outcome is
-/// parked on the entry and the job requeued for a journal retry.
-fn complete(
-    service: &Service,
-    state: &mut ServiceState,
-    id: &str,
-    result: Result<String, String>,
-    attempts: Option<u32>,
-) -> bool {
-    let outcome = match result {
-        Ok(record) => JobOutcome::Done(record),
-        Err(error) => {
-            let error = match attempts {
-                Some(n) => format!("{error} (after {n} attempts)"),
-                None => error,
-            };
-            JobOutcome::Failed(error)
+/// Claims the terminal transition for `id` under the state lock.
+///
+/// The terminal transition is serialized here: the first outcome to
+/// claim wins — whether it is already journaled, parked awaiting a
+/// journal retry, or in flight to the commit thread — and any later,
+/// different one for the same id is dropped before it can touch the
+/// journal. This is what keeps a deadline firing mid-drain from
+/// double-reporting a job — the deadline path and the completion path
+/// may both compute a terminal, but exactly one terminal record ever
+/// lands.
+///
+/// Returns whether the caller now owns journaling this outcome: it
+/// must append the record (off the state lock) and route the result
+/// through [`terminal_finish`] exactly once, or the claim leaks and a
+/// drain waits on it forever.
+fn terminal_begin(state: &mut ServiceState, id: &str, outcome: &JobOutcome) -> bool {
+    if state.pending_terminals.contains(id) {
+        // An identical append is already in flight (a journal retry
+        // claimed it this pass); don't double-journal.
+        return false;
+    }
+    let entry = state.jobs.get(id).expect("terminal job exists");
+    if matches!(entry.state, JobState::Done(_) | JobState::Failed(_)) {
+        // A terminal already won (and is already journaled).
+        return false;
+    }
+    if let Some(parked) = &entry.pending_outcome {
+        if parked != outcome {
+            // A different terminal is parked awaiting its journal
+            // retry: it was first, so it wins; this one is dropped.
+            return false;
         }
-    };
-    journal_complete(service, state, id, outcome)
+    }
+    state.pending_terminals.insert(id.to_owned());
+    true
 }
 
-/// Appends the terminal record and, once durable, makes the result
-/// queryable. If the append fails, the computed outcome is parked on
-/// the entry and the job requeued: the dispatcher retries the *same*
-/// append rather than re-executing, so even when the failed write's
-/// bytes did reach disk, the retry can only produce a byte-identical
-/// duplicate record — which recovery absorbs — never a conflicting
-/// terminal that would brick the next restart.
-///
-/// The terminal transition is serialized here, under the state lock:
-/// the first outcome to arrive wins, and any later one for the same id
-/// is dropped before it can touch the journal. This is what keeps a
-/// deadline firing mid-drain from double-reporting a job — the
-/// deadline path and the completion path may both compute a terminal,
-/// but exactly one terminal record ever lands.
-fn journal_complete(
-    service: &Service,
+/// Appends every claimed terminal record (no lock held across the
+/// group-commit waits), then folds the results back in. Returns
+/// whether every append landed — `false` tells the dispatcher to back
+/// off instead of spinning on a failing journal.
+fn journal_terminals(service: &Service, terminals: Vec<(String, JobOutcome)>) -> bool {
+    if terminals.is_empty() {
+        return true;
+    }
+    let appends: Vec<_> = terminals
+        .into_iter()
+        .map(|(id, outcome)| {
+            let append = service.commit.append_sync(WalRecord::Complete {
+                id: id.clone(),
+                outcome: outcome.clone(),
+            });
+            (id, outcome, append)
+        })
+        .collect();
+    let mut all_ok = true;
+    let mut state = service.state.lock().expect("state lock");
+    for (id, outcome, append) in appends {
+        all_ok &= terminal_finish(&mut state, &id, outcome, append);
+    }
+    drop(state);
+    // Query waiters (result now visible) and drain waiters (a claim
+    // resolved) both need the wake.
+    service.wake.notify_all();
+    all_ok
+}
+
+/// Releases a [`terminal_begin`] claim with its append result: once
+/// durable the result becomes queryable (WAL-before-result). If the
+/// append failed, the computed outcome is parked on the entry and the
+/// job requeued: the dispatcher retries the *same* append rather than
+/// re-executing, so even when the failed write's bytes did reach disk,
+/// the retry can only produce a byte-identical duplicate record —
+/// which recovery absorbs — never a conflicting terminal that would
+/// brick the next restart.
+fn terminal_finish(
     state: &mut ServiceState,
     id: &str,
     outcome: JobOutcome,
+    append: Result<(), CommitError>,
 ) -> bool {
-    {
-        let entry = state.jobs.get_mut(id).expect("completed job exists");
-        if matches!(entry.state, JobState::Done(_) | JobState::Failed(_)) {
-            // A terminal already won (and is already journaled).
-            return true;
-        }
-        if let Some(parked) = &entry.pending_outcome {
-            if *parked != outcome {
-                // A different terminal is parked awaiting its journal
-                // retry: it was first, so it wins; this one is dropped.
-                return true;
-            }
-        }
-    }
-    let append = service.commit.append_sync(WalRecord::Complete {
-        id: id.to_owned(),
-        outcome: outcome.clone(),
-    });
+    state.pending_terminals.remove(id);
     if let Err(e) = append {
         eprintln!("warning: journal complete record failed for {id}: {e}");
         let entry = state.jobs.get_mut(id).expect("completed job exists");

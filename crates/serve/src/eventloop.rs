@@ -148,6 +148,9 @@ pub(crate) fn run(listener: &TcpListener, service: &Arc<Service>) -> io::Result<
 
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_conn: u64 = 0;
+    // Rotates the per-pass service order so read-budget exhaustion
+    // never starves the same connections every pass.
+    let mut service_offset: usize = 0;
     // Commit token → (connection, spec): kept past connection death so
     // the reservation still resolves.
     let mut inflight: HashMap<u64, (u64, JobSpec)> = HashMap::new();
@@ -210,17 +213,33 @@ pub(crate) fn run(listener: &TcpListener, service: &Arc<Service>) -> io::Result<
             .min(service.config.max_inflight_bytes);
 
         // 4. Service every connection: read, execute frames, stage and
-        // write replies, then apply close/reap rules.
+        // write replies, then apply close/reap rules. The order rotates
+        // each pass, and each connection's reads are capped at a fair
+        // share of the pass budget (floored at one chunk), so a single
+        // fast-writing peer cannot drain the whole global budget and
+        // starve whoever happens to be iterated after it.
         let mut dead: Vec<u64> = Vec::new();
-        let ids: Vec<u64> = conns.keys().copied().collect();
+        let mut ids: Vec<u64> = conns.keys().copied().collect();
+        ids.sort_unstable();
+        if !ids.is_empty() {
+            service_offset %= ids.len();
+            ids.rotate_left(service_offset);
+            service_offset = service_offset.wrapping_add(1);
+        }
+        let fair_share = read_budget
+            .checked_div(ids.len())
+            .unwrap_or(0)
+            .max(READ_CHUNK);
         for id in ids {
             let conn = conns.get_mut(&id).expect("listed connection exists");
             let mut broken = false;
 
-            // Read until WouldBlock, EOF, or budget exhaustion.
+            // Read until WouldBlock, EOF, or budget exhaustion — the
+            // connection's fair share first, the global budget second.
             if !conn.closing && !conn.read_closed {
                 let mut chunk = [0u8; READ_CHUNK];
-                while read_budget > 0 {
+                let mut conn_budget = fair_share.min(read_budget);
+                while conn_budget > 0 {
                     match conn.stream.read(&mut chunk) {
                         Ok(0) => {
                             conn.read_closed = true;
@@ -230,6 +249,7 @@ pub(crate) fn run(listener: &TcpListener, service: &Arc<Service>) -> io::Result<
                             progress = true;
                             conn.last_activity = now;
                             conn.inbuf.extend(&chunk[..n]);
+                            conn_budget = conn_budget.saturating_sub(n);
                             read_budget = read_budget.saturating_sub(n);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

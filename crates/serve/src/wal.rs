@@ -346,6 +346,12 @@ pub struct WriteAheadLog {
     fail_sync_after: Option<u64>,
     /// Active-segment fsyncs performed so far (for the injection).
     syncs: u64,
+    /// Fault injection: record writes fail once this many have
+    /// succeeded (`None` = never), before any byte reaches the segment
+    /// — exercising the mid-batch write-failure path in group commit.
+    fail_write_after: Option<u64>,
+    /// Record writes performed so far (for the injection).
+    writes: u64,
     /// Mirror of the journal state, for compaction snapshots.
     jobs: Vec<RecoveredJob>,
     index: HashMap<String, usize>,
@@ -395,6 +401,8 @@ impl WriteAheadLog {
             retain_terminal: Self::DEFAULT_RETAIN_TERMINAL,
             fail_sync_after: None,
             syncs: 0,
+            fail_write_after: None,
+            writes: 0,
             jobs: recovery.jobs.clone(),
             index: recovery
                 .jobs
@@ -463,6 +471,13 @@ impl WriteAheadLog {
     /// framing drops it as a torn tail on recovery).
     pub fn write_unsynced(&mut self, record: &WalRecord) -> io::Result<()> {
         self.validate(record)?;
+        self.writes += 1;
+        if self
+            .fail_write_after
+            .is_some_and(|after| self.writes > after)
+        {
+            return Err(io::Error::other("injected write failure"));
+        }
         let line = record.encode();
         write_record(&mut self.active, line.as_bytes())?;
         self.active_bytes += 8 + line.len() as u64;
@@ -498,6 +513,12 @@ impl WriteAheadLog {
     /// succeeded (`None` disables). Rotation is exempt.
     pub fn set_fail_sync_after(&mut self, after: Option<u64>) {
         self.fail_sync_after = after;
+    }
+
+    /// Fault injection: record writes fail (before any byte reaches the
+    /// segment) once `after` have succeeded (`None` disables).
+    pub fn set_fail_write_after(&mut self, after: Option<u64>) {
+        self.fail_write_after = after;
     }
 
     /// Enforces the journal invariants as programmer-error checks on
