@@ -1,19 +1,159 @@
-//! X1: the future-work extension of Chapter 6 — LER with and without a
-//! Pauli frame for distances beyond 3, using the generic rotated surface
-//! code and the matching decoder.
+//! X1/R3: distance scaling of the logical error rate, d = 3…13.
 //!
-//! Expected shape: below threshold the LER drops steeply with distance;
-//! the Pauli frame's time-slot saving shrinks as `1/((d−1)·8 + 1)`
-//! (Eq 5.12); and the with/without-frame LERs remain statistically
-//! indistinguishable at every distance.
+//! Phase 1 (the headline, `results/distance_scaling.csv`): a
+//! code-capacity Monte-Carlo sweep of the union-find-decoded rotated
+//! surface code over a physical-error-rate grid that straddles
+//! threshold. Every (d, p) point runs [`run_ler_surface`]: 64-lane
+//! packed syndrome extraction through the real ESM circuit, one
+//! union-find decode per lane (the exact matcher below `EXACT_LIMIT`
+//! defects), failure counted against the crossing logical operator.
+//! Successive-distance LER curves cross at threshold; the harness
+//! interpolates each crossing with [`curve_crossing`] and reports the
+//! median as the threshold estimate.
+//!
+//! Phase 2 (`results/distance_frame.csv`, skipped in `--smoke`): the
+//! Chapter-6 future-work extension — circuit-level LER with and without
+//! a Pauli frame for d > 3, with the Eq 5.12 slot-saving bound.
+//!
+//! `--smoke` runs a d = 3 vs 5 sweep at a single below-threshold p and
+//! asserts that the LER falls with distance — the physically meaningful
+//! invariant `scripts/verify.sh` gates on.
 
-use qpdo_bench::{render_table, sci, HarnessArgs};
+use qpdo_bench::{curve_crossing, render_table, sci, HarnessArgs};
 use qpdo_core::arch::WindowSchedule;
 use qpdo_stats::{independent_t_test, Summary};
-use qpdo_surface::experiment::{run_distance_ler, DistanceLerConfig, DistanceLerOutcome};
+use qpdo_surface::experiment::{
+    run_distance_ler, run_ler_surface, DistanceLerConfig, DistanceLerOutcome, SurfaceLerConfig,
+};
+use qpdo_surface::CheckKind;
 
 fn main() {
     let args = HarnessArgs::parse();
+    run_scaling_sweep(&args);
+    if !args.smoke() {
+        run_frame_comparison(&args);
+    }
+}
+
+/// Phase 1: union-find LER curves over the (d, p) grid and the
+/// crossing-point threshold estimate.
+fn run_scaling_sweep(args: &HarnessArgs) {
+    let (distances, pers, shots): (&[usize], &[f64], u64) = if args.smoke() {
+        (&[3, 5], &[0.05], 4_096)
+    } else if args.full {
+        (
+            &[3, 5, 7, 9, 11, 13],
+            &[0.04, 0.06, 0.08, 0.10, 0.12, 0.14],
+            20_000,
+        )
+    } else {
+        (&[3, 5, 7], &[0.04, 0.08, 0.12], 8_000)
+    };
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    // Per-distance (p, LER) curves for the crossing estimate.
+    let mut curves: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+    for &d in distances {
+        let mut curve = Vec::new();
+        for (pi, &p) in pers.iter().enumerate() {
+            let config = SurfaceLerConfig {
+                distance: d,
+                physical_error_rate: p,
+                error: CheckKind::X,
+                shots,
+                seed: args.seed + 1_000 * d as u64 + pi as u64,
+            };
+            let outcome = run_ler_surface(&config).expect("surface LER sweep point");
+            let ler = outcome.ler();
+            rows.push(vec![
+                d.to_string(),
+                sci(p),
+                outcome.shots.to_string(),
+                outcome.failures.to_string(),
+                sci(ler),
+            ]);
+            csv_rows.push(format!(
+                "{d},{p},{},{},{},{ler}",
+                outcome.shots, outcome.failures, outcome.defects
+            ));
+            curve.push((p, ler));
+            if args.smoke() {
+                assert!(
+                    outcome.defects > 0,
+                    "smoke: d={d} p={p} saw no defects — the syndrome path is dead"
+                );
+            }
+            eprintln!("  d={d} p={} done", sci(p));
+        }
+        curves.push((d, curve));
+    }
+    print!(
+        "{}",
+        render_table(
+            "distance scaling: union-find LER, code-capacity X errors",
+            &["d", "p", "shots", "failures", "LER"],
+            &rows,
+        )
+    );
+    args.write_csv(
+        "distance_scaling.csv",
+        "distance,per,shots,failures,defects,ler",
+        &csv_rows,
+    );
+
+    // Threshold: where successive-distance curves cross. Below it the
+    // larger code wins; above it the larger code loses faster.
+    let mut crossings = Vec::new();
+    for pair in curves.windows(2) {
+        let (d_low, ref a) = pair[0];
+        let (d_high, ref b) = pair[1];
+        match curve_crossing(a, b) {
+            Some(p_th) => {
+                println!("threshold crossing d={d_low} vs d={d_high}: p ~= {p_th:.4}");
+                crossings.push(p_th);
+            }
+            None => println!("threshold crossing d={d_low} vs d={d_high}: not bracketed by grid"),
+        }
+    }
+    if crossings.is_empty() {
+        println!("threshold estimate: n/a (no curve pair crossed inside the grid)");
+    } else {
+        crossings.sort_by(f64::total_cmp);
+        let median = crossings[crossings.len() / 2];
+        println!(
+            "threshold estimate (median of {} crossings): p_th ~= {median:.4}",
+            crossings.len()
+        );
+    }
+
+    if args.smoke() {
+        // The gate: below threshold, distance must help. The smoke p
+        // (0.05) sits well under the ~0.10 crossing, so d = 5 must beat
+        // d = 3 with margin at 4 096 shots.
+        let ler_at = |want: usize| {
+            curves
+                .iter()
+                .find(|(d, _)| *d == want)
+                .map(|(_, c)| c[0].1)
+                .expect("smoke distance present")
+        };
+        let (l3, l5) = (ler_at(3), ler_at(5));
+        assert!(
+            l5 < l3,
+            "smoke: LER did not fall with distance below threshold (d3 {l3} vs d5 {l5})"
+        );
+        assert!(
+            l3 > 0.0,
+            "smoke: d=3 saw no failures — p too low to gate on"
+        );
+        println!("smoke OK: LER falls with distance below threshold ({l3:.4} -> {l5:.4})");
+    }
+}
+
+/// Phase 2: LER with and without a Pauli frame (circuit-level noise),
+/// the original Chapter-6 extension, now in `distance_frame.csv`.
+fn run_frame_comparison(args: &HarnessArgs) {
     let (distances, pers, reps, target, max_windows): (&[usize], &[f64], usize, u64, u64) =
         if args.full {
             (&[3, 5, 7], &[5e-4, 1e-3, 2e-3], 6, 20, 400_000)
@@ -100,7 +240,7 @@ fn main() {
         )
     );
     args.write_csv(
-        "distance_scaling.csv",
+        "distance_frame.csv",
         "distance,per,ler_no_pf,ler_pf,slots_saved_pct,bound_pct",
         &csv_rows,
     );

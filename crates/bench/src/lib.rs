@@ -168,6 +168,9 @@ impl HarnessArgs {
                     Some(mode) => args.test_mode = Some(mode),
                     None => return invalid("--test needs a mode"),
                 },
+                // Alias for `--test smoke`, matching the bench binaries'
+                // spelling so verify.sh gates read uniformly.
+                "--smoke" => args.test_mode = Some("smoke".to_owned()),
                 "--jobs" => {
                     args.jobs = parse_value(iter.next(), "--jobs", "a positive integer")?;
                     if args.jobs == 0 {
@@ -298,6 +301,7 @@ usage: <experiment> [options]
   --out DIR          output directory for CSV series (default results/)
   --seed N           base RNG seed (default 2016)
   --test MODE        run a self-check mode (e.g. smoke)
+  --smoke            alias for --test smoke
   --jobs N           supervised worker threads (default: machine parallelism)
   --batch-shots N    shots per supervised batch (default 16)
   --watchdog-ms N    per-batch watchdog deadline in ms (default 30000)
@@ -401,6 +405,45 @@ pub fn pseudo_threshold(points: &[(f64, f64)]) -> Option<f64> {
             // Interpolate ln(y/x) = 0 in ln(x).
             let t = f1 / (f1 - f2);
             return Some((x1.ln() + t * (x2.ln() - x1.ln())).exp());
+        }
+    }
+    None
+}
+
+/// Estimates where two sampled curves `a(x)` and `b(x)` cross, by linear
+/// interpolation of `ln(a) − ln(b)` in `x` over their shared sample
+/// points. Returns `None` when the curves never cross on the grid (or
+/// share fewer than two positive points).
+///
+/// This is the distance-scaling threshold estimator: below threshold the
+/// larger code's LER curve runs below the smaller code's, above it the
+/// order flips, and the crossing point of successive distances estimates
+/// the threshold.
+#[must_use]
+pub fn curve_crossing(a: &[(f64, f64)], b: &[(f64, f64)]) -> Option<f64> {
+    // Shared x grid with positive y on both curves.
+    let mut shared: Vec<(f64, f64, f64)> = a
+        .iter()
+        .filter_map(|&(x, ya)| {
+            let yb = b
+                .iter()
+                .find(|(xb, _)| (xb - x).abs() < 1e-12 * x.abs().max(1e-300))?
+                .1;
+            (ya > 0.0 && yb > 0.0).then_some((x, ya, yb))
+        })
+        .collect();
+    shared.sort_by(|p, q| p.0.total_cmp(&q.0));
+    for pair in shared.windows(2) {
+        let (x1, ya1, yb1) = pair[0];
+        let (x2, ya2, yb2) = pair[1];
+        let f1 = (ya1 / yb1).ln();
+        let f2 = (ya2 / yb2).ln();
+        if f1 == 0.0 {
+            return Some(x1);
+        }
+        if f1 < 0.0 && f2 >= 0.0 || f1 > 0.0 && f2 <= 0.0 {
+            let t = f1 / (f1 - f2);
+            return Some(x1 + t * (x2 - x1));
         }
     }
     None
@@ -556,5 +599,25 @@ mod tests {
     fn quick_undoes_full() {
         let args = HarnessArgs::try_parse_from(["--full", "--quick"]).unwrap();
         assert!(!args.full);
+    }
+
+    #[test]
+    fn smoke_alias_sets_test_mode() {
+        let args = HarnessArgs::try_parse_from(["--smoke"]).unwrap();
+        assert!(args.smoke());
+        assert_eq!(args.test_mode.as_deref(), Some("smoke"));
+    }
+
+    #[test]
+    fn curve_crossing_finds_the_flip() {
+        // a = 10·p², b = 100·p³: equal at p = 0.1.
+        let grid = [0.02, 0.05, 0.08, 0.12, 0.15];
+        let a: Vec<(f64, f64)> = grid.iter().map(|&p| (p, 10.0 * p * p)).collect();
+        let b: Vec<(f64, f64)> = grid.iter().map(|&p| (p, 100.0 * p * p * p)).collect();
+        let crossing = curve_crossing(&a, &b).unwrap();
+        assert!((crossing - 0.1).abs() < 0.01, "crossing = {crossing}");
+        // Curves that never flip order have no crossing.
+        let lo: Vec<(f64, f64)> = grid.iter().map(|&p| (p, 0.1 * p)).collect();
+        assert!(curve_crossing(&a, &lo).is_none());
     }
 }

@@ -150,6 +150,16 @@ fn bell(id: &str, shots: u64) -> JobSpec {
     }
 }
 
+/// A compute-heavy generic-distance surface-code LER job (the
+/// union-find-decoded kind), small enough for a test fleet.
+fn surface(id: &str, d: usize, per: f64, shots: u64) -> JobSpec {
+    JobSpec {
+        id: id.to_owned(),
+        deadline_ms: None,
+        kind: JobKind::LerSurface { d, per, shots },
+    }
+}
+
 fn golden(seed: u64, spec: &JobSpec) -> String {
     execute(
         &spec.kind,
@@ -188,7 +198,17 @@ fn submit_routes_queries_relay_and_resubmits_deduplicate() {
     let seed = config.base_seed;
     let (members, router, journal_dir) = fleet("roundtrip", 3, config);
 
-    let specs: Vec<JobSpec> = (0..9).map(|i| bell(&format!("rt-{i}"), 4)).collect();
+    // A mixed workload: every third job is the compute-heavy
+    // union-find-decoded surface kind, the rest are Bell histograms.
+    let specs: Vec<JobSpec> = (0..9)
+        .map(|i| {
+            if i % 3 == 0 {
+                surface(&format!("rt-{i}"), 5, 0.08, 128)
+            } else {
+                bell(&format!("rt-{i}"), 4)
+            }
+        })
+        .collect();
     for spec in &specs {
         assert_eq!(router.submit(spec), Response::Accepted(spec.id.clone()));
     }

@@ -51,6 +51,8 @@ const DICT: &[&str] = &[
     "7",
     "99999999999999999999",
     "bell",
+    "ler_surface",
+    "13",
     "\u{2603}",
 ];
 

@@ -16,6 +16,8 @@ use qpdo_rng::rngs::StdRng;
 use qpdo_rng::SeedableRng;
 use qpdo_stabilizer::{CliffordTableau, StabilizerSim, LANES};
 use qpdo_statevector::Complex;
+use qpdo_surface::experiment::{run_ler_surface_cancellable, SurfaceLerConfig};
+use qpdo_surface::CheckKind;
 use qpdo_surface17::experiment::{run_ler_cancellable, LerConfig, LerOutcome, LogicalErrorKind};
 use qpdo_surface17::{logical_cnot, run_ler_sliced, NinjaStar, StarLayout};
 
@@ -26,6 +28,16 @@ use qpdo_surface17::experiment::run_ler_reference_cancellable;
 
 /// The longest job id the service accepts.
 pub const MAX_JOB_ID_LEN: usize = 128;
+
+/// The most shots a single `ler_surface` job may request. One decode
+/// per shot at d = 13 makes this the service's heaviest compute-bound
+/// kind; bigger sweeps should be split across jobs so deadlines,
+/// cancellation, and fleet rebalancing stay responsive.
+pub const MAX_SURFACE_SHOTS: u64 = 1 << 20;
+
+/// The largest code distance a `ler_surface` job may request — the top
+/// of the distance-scaling workload (`exp_distance_scaling`).
+pub const MAX_SURFACE_DISTANCE: usize = 13;
 
 /// An execution backend a job can be routed to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +123,20 @@ pub enum JobKind {
         /// Gates in the random circuit.
         gates: usize,
     },
+    /// A code-capacity LER point on the generic rotated surface code
+    /// (`DESIGN.md` §13): `shots` Monte-Carlo shots of Bernoulli `X`
+    /// errors at rate `per`, syndromes extracted through the packed
+    /// 64-lane sliced engine and decoded by the union-find decoder
+    /// (exact matching below its defect limit). The result is
+    /// `<shots> <failures> <defects>`.
+    LerSurface {
+        /// Code distance (odd, `3..=MAX_SURFACE_DISTANCE`).
+        d: usize,
+        /// Per-data-qubit, per-shot error probability.
+        per: f64,
+        /// Monte-Carlo shots (at most [`MAX_SURFACE_SHOTS`]).
+        shots: u64,
+    },
     /// An odd-Bell-state histogram (Section 5.2.3): logical
     /// `(|01⟩+|10⟩)/√2` on two ninja stars, measured `shots` times
     /// with a Pauli-frame layer. The result is the four ket counts.
@@ -159,6 +185,7 @@ impl JobKind {
                     u8::from(*with_pf)
                 )
             }
+            JobKind::LerSurface { d, per, shots } => format!("ler_surface {d} {per} {shots}"),
             JobKind::RandomCircuit { qubits, gates } => format!("rc {qubits} {gates}"),
             JobKind::Bell { shots } => format!("bell {shots}"),
         }
@@ -231,6 +258,25 @@ impl JobKind {
                     shots,
                 })
             }
+            ["ler_surface", d, per, shots] => {
+                let d: usize = d.parse().map_err(|_| bad("ler_surface"))?;
+                if !(3..=MAX_SURFACE_DISTANCE).contains(&d) || d.is_multiple_of(2) {
+                    return Err(format!(
+                        "ler_surface distance {d} outside odd 3..={MAX_SURFACE_DISTANCE}"
+                    ));
+                }
+                let per: f64 = per.parse().map_err(|_| bad("ler_surface"))?;
+                if !(0.0..=1.0).contains(&per) {
+                    return Err(format!("ler_surface rate {per} outside [0, 1]"));
+                }
+                let shots: u64 = shots.parse().map_err(|_| bad("ler_surface"))?;
+                if shots == 0 || shots > MAX_SURFACE_SHOTS {
+                    return Err(format!(
+                        "ler_surface shots {shots} outside 1..={MAX_SURFACE_SHOTS}"
+                    ));
+                }
+                Ok(JobKind::LerSurface { d, per, shots })
+            }
             ["rc", qubits, gates] => {
                 let qubits: usize = qubits.parse().map_err(|_| bad("rc"))?;
                 let gates: usize = gates.parse().map_err(|_| bad("rc"))?;
@@ -260,7 +306,7 @@ impl JobKind {
             JobKind::Ler { .. } | JobKind::Bell { .. } => &[Backend::Packed],
             // The lane-sliced engine lives on the packed word planes
             // only; there is no reference twin to reroute to.
-            JobKind::LerSliced { .. } => &[Backend::Packed],
+            JobKind::LerSliced { .. } | JobKind::LerSurface { .. } => &[Backend::Packed],
             JobKind::RandomCircuit { .. } => &[Backend::Statevector],
         }
     }
@@ -353,8 +399,9 @@ pub fn job_seed(base_seed: u64, id: &str) -> u64 {
 ///
 /// Records by kind: `ler` → the ten-field [`LerOutcome`] record;
 /// `ler_sliced` → the executed shot count followed by the ten-field
-/// sum over all trajectories; `rc` → the classically-tracked gate
-/// count; `bell` → the four ket counts in `|00⟩ |01⟩ |10⟩ |11⟩` order.
+/// sum over all trajectories; `ler_surface` → `<shots> <failures>
+/// <defects>`; `rc` → the classically-tracked gate count; `bell` → the
+/// four ket counts in `|00⟩ |01⟩ |10⟩ |11⟩` order.
 ///
 /// # Errors
 ///
@@ -414,6 +461,29 @@ pub fn execute(
         ) => {
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
             sliced_ler_record(&config, *shots, seed, cancel)
+        }
+        (JobKind::LerSurface { d, per, shots }, Backend::Packed) => {
+            let config = SurfaceLerConfig {
+                distance: *d,
+                physical_error_rate: *per,
+                error: CheckKind::X,
+                shots: *shots,
+                seed,
+            };
+            let (outcome, stopped) =
+                run_ler_surface_cancellable(&config, &|| cancel.is_cancelled())?;
+            if stopped {
+                return Err(ShotError::Cancelled {
+                    reason: format!(
+                        "ler_surface job cancelled after {}/{shots} shots",
+                        outcome.shots
+                    ),
+                });
+            }
+            Ok(format!(
+                "{} {} {}",
+                outcome.shots, outcome.failures, outcome.defects
+            ))
         }
         (JobKind::Bell { shots }, Backend::Packed) => {
             let counts = bell_counts::<StabilizerSim>(*shots, seed, cancel)?;
@@ -633,6 +703,11 @@ mod tests {
                 max_windows: 250,
                 shots: 100,
             },
+            JobKind::LerSurface {
+                d: 9,
+                per: 0.05,
+                shots: 1_000,
+            },
             JobKind::RandomCircuit {
                 qubits: 4,
                 gates: 30,
@@ -659,6 +734,12 @@ mod tests {
             &["ler_sliced", "0.5", "XL", "1", "2", "3", "0"],
             &["ler_sliced", "1.5", "XL", "1", "2", "3", "64"],
             &["ler_sliced", "0.5", "XL", "1", "0", "3", "64"],
+            &["ler_surface", "4", "0.05", "100"],
+            &["ler_surface", "15", "0.05", "100"],
+            &["ler_surface", "1", "0.05", "100"],
+            &["ler_surface", "5", "1.5", "100"],
+            &["ler_surface", "5", "0.05", "0"],
+            &["ler_surface", "5", "0.05", "1048577"],
             &["rc", "0", "10"],
             &["rc", "30", "10"],
             &["bell", "0"],
@@ -826,6 +907,58 @@ mod tests {
         };
         let result = execute(&kind, Backend::Packed, 1, &cancel);
         assert!(matches!(result, Err(ShotError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn surface_ler_job_is_deterministic_and_reports_real_work() {
+        let cancel = CancelToken::new();
+        let seed = job_seed(2016, "surface-det");
+        let kind = JobKind::LerSurface {
+            d: 3,
+            per: 0.1,
+            shots: 256,
+        };
+        let first = execute(&kind, Backend::Packed, seed, &cancel).unwrap();
+        let second = execute(&kind, Backend::Packed, seed, &cancel).unwrap();
+        // Crash recovery / journal retry must reproduce the record
+        // byte-for-byte from (base_seed, id) alone.
+        assert_eq!(first, second);
+        let fields: Vec<u64> = first
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(fields[0], 256, "all requested shots counted: {first}");
+        assert!(fields[2] > 0, "p = 0.1 must fire checks: {first}");
+    }
+
+    #[test]
+    fn cancelled_surface_ler_job_reports_cancellation() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let kind = JobKind::LerSurface {
+            d: 13,
+            per: 0.05,
+            shots: MAX_SURFACE_SHOTS,
+        };
+        // The batch loop consults the token, so even the heaviest
+        // surface job stops without running its million shots.
+        let result = execute(&kind, Backend::Packed, 1, &cancel);
+        assert!(matches!(result, Err(ShotError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn surface_ler_runs_only_on_the_packed_backend() {
+        let cancel = CancelToken::new();
+        let kind = JobKind::LerSurface {
+            d: 5,
+            per: 0.05,
+            shots: 64,
+        };
+        assert_eq!(kind.backend_preference(), &[Backend::Packed]);
+        for backend in [Backend::Reference, Backend::Statevector] {
+            let result = execute(&kind, backend, 1, &cancel);
+            assert!(matches!(result, Err(ShotError::PoolFailure(_))));
+        }
     }
 
     #[test]

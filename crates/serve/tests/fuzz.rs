@@ -40,6 +40,7 @@ const DICT: &[&str] = &[
     "other",
     "bell",
     "ler",
+    "ler_surface",
     "rc",
     "XL",
     "ZL",

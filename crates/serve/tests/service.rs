@@ -296,6 +296,43 @@ fn sliced_ler_job_completes_end_to_end() {
 }
 
 #[test]
+fn surface_ler_job_completes_end_to_end() {
+    let dir = fresh_dir("surface");
+    let config = DaemonConfig::default();
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    let spec = JobSpec {
+        id: "surface-1".to_owned(),
+        deadline_ms: None,
+        kind: JobKind::LerSurface {
+            d: 5,
+            per: 0.08,
+            shots: 192,
+        },
+    };
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Accepted("surface-1".to_owned())
+    );
+    let JobState::Done(record) = daemon.wait_terminal("surface-1") else {
+        panic!("surface-1 did not complete");
+    };
+    // Service-path record equals direct execution under the job-seed
+    // policy, and the decoder actually saw syndromes.
+    assert_eq!(record, golden(seed, &spec));
+    let fields: Vec<u64> = record
+        .split_whitespace()
+        .map(|t| t.parse().expect("numeric record field"))
+        .collect();
+    assert_eq!(fields[0], 192, "all requested shots counted: {record}");
+    assert!(fields[2] > 0, "p = 0.08 must fire checks: {record}");
+    daemon.drain();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn connections_over_the_cap_are_shed_and_slots_recycle() {
     let dir = fresh_dir("conncap");
     let config = DaemonConfig {

@@ -7,7 +7,10 @@
 //! objective the Blossom algorithm optimizes (the decoder family the
 //! paper cites for larger codes); for the sparse defect sets that
 //! dominate below threshold the bitmask dynamic program here is exact,
-//! and a greedy pass handles pathological dense syndromes.
+//! and dense syndromes hand off to the near-linear
+//! [`UnionFindDecoder`]. The legacy greedy nearest-pair pass survives as
+//! [`MatchingDecoder::decode_greedy`], pinned by regression tests as the
+//! baseline the union-find path replaced.
 //!
 //! Geometry: X errors flip Z checks, whose plaquette coordinates step
 //! diagonally (`±1, ±1`) per data-qubit error, and whose chains may
@@ -15,11 +18,11 @@
 //! terminate on the left/right boundaries. Both cases reduce to the same
 //! metric with the roles of rows and columns swapped.
 
-use crate::{CheckKind, RotatedSurfaceCode};
+use crate::{CheckKind, RotatedSurfaceCode, UnionFindDecoder};
 
 /// Above this many defects the exact bitmask matching would blow up;
-/// fall back to greedy nearest-pair matching.
-const EXACT_LIMIT: usize = 12;
+/// hand the syndrome to the union-find decoder.
+pub(crate) const EXACT_LIMIT: usize = 12;
 
 /// A minimum-weight matching decoder for one check family of a
 /// [`RotatedSurfaceCode`].
@@ -46,6 +49,8 @@ pub struct MatchingDecoder {
     /// Plaquette coordinates of the detecting checks, in
     /// `checks_of(detecting_kind)` order (the syndrome order).
     check_coords: Vec<(usize, usize)>,
+    /// Handles syndromes too dense for the exact bitmask DP.
+    uf: UnionFindDecoder,
 }
 
 impl MatchingDecoder {
@@ -60,6 +65,7 @@ impl MatchingDecoder {
             d: code.distance(),
             error_kind,
             check_coords: code.checks_of(detecting).map(|ch| ch.coords).collect(),
+            uf: UnionFindDecoder::new(code, error_kind),
         }
     }
 
@@ -71,6 +77,11 @@ impl MatchingDecoder {
 
     /// Decodes a syndrome (one flag per detecting check, in
     /// `checks_of` order) into the data qubits of a correction.
+    ///
+    /// Up to [`EXACT_LIMIT`] defects the pairing is exact minimum-weight
+    /// (this is the small-d oracle the union-find decoder is gated
+    /// against); denser syndromes go to the near-linear
+    /// [`UnionFindDecoder`], which has no defect-count cap.
     ///
     /// # Panics
     ///
@@ -91,14 +102,47 @@ impl MatchingDecoder {
         if defects.is_empty() {
             return Vec::new();
         }
-        let pairing = if defects.len() <= EXACT_LIMIT {
-            self.exact_pairing(&defects)
-        } else {
-            self.greedy_pairing(&defects)
-        };
+        if defects.len() > EXACT_LIMIT {
+            return self.uf.decode(syndrome);
+        }
+        let pairing = self.exact_pairing(&defects);
+        self.chains_of(&defects, &pairing)
+    }
+
+    /// Decodes with the legacy greedy nearest-pair fallback — the path
+    /// dense syndromes took before the union-find decoder replaced it.
+    /// Retained (and pinned by regression tests) as the baseline the
+    /// default path is measured against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the code.
+    #[must_use]
+    pub fn decode_greedy(&self, syndrome: &[bool]) -> Vec<usize> {
+        assert_eq!(
+            syndrome.len(),
+            self.check_coords.len(),
+            "syndrome length mismatch"
+        );
+        let defects: Vec<(usize, usize)> = syndrome
+            .iter()
+            .zip(&self.check_coords)
+            .filter(|(fired, _)| **fired)
+            .map(|(_, &coords)| coords)
+            .collect();
+        if defects.is_empty() {
+            return Vec::new();
+        }
+        let pairing = self.greedy_pairing(&defects);
+        self.chains_of(&defects, &pairing)
+    }
+
+    /// Materializes a pairing into correction chains, cancelling
+    /// overlapping qubits.
+    fn chains_of(&self, defects: &[(usize, usize)], pairing: &[Pairing]) -> Vec<usize> {
         let mut correction = Vec::new();
         for assignment in pairing {
-            match assignment {
+            match *assignment {
                 Pairing::Together(a, b) => {
                     correction.extend(self.chain_between(defects[a], defects[b]));
                 }
@@ -429,8 +473,10 @@ mod tests {
     }
 
     #[test]
-    fn dense_syndromes_hit_greedy_path() {
-        // Flip enough qubits that more than EXACT_LIMIT defects fire.
+    fn dense_syndromes_hit_union_find_path() {
+        // Flip enough qubits that more than EXACT_LIMIT defects fire;
+        // decode() must still clear the syndrome via the union-find
+        // hand-off.
         let mut rng = StdRng::seed_from_u64(88);
         let code = RotatedSurfaceCode::new(9);
         for _ in 0..20 {
@@ -438,6 +484,40 @@ mod tests {
                 .map(|_| rng.gen_range(0..code.num_data_qubits()))
                 .collect();
             assert!(syndrome_matches(&code, CheckKind::X, &errors));
+        }
+    }
+
+    #[test]
+    fn dense_default_path_matches_union_find_exactly() {
+        // Above EXACT_LIMIT the default path *is* the union-find
+        // decoder, byte-for-byte.
+        let mut rng = StdRng::seed_from_u64(89);
+        let code = RotatedSurfaceCode::new(9);
+        let matching = MatchingDecoder::new(&code, CheckKind::X);
+        let uf = crate::UnionFindDecoder::new(&code, CheckKind::X);
+        for _ in 0..20 {
+            let errors: Vec<usize> = (0..25)
+                .map(|_| rng.gen_range(0..code.num_data_qubits()))
+                .collect();
+            let syndrome = code.syndrome_of(&errors, CheckKind::X);
+            if syndrome.iter().filter(|s| **s).count() > EXACT_LIMIT {
+                assert_eq!(matching.decode(&syndrome), uf.decode(&syndrome));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_fallback_still_annihilates_dense_syndromes() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let code = RotatedSurfaceCode::new(9);
+        let decoder = MatchingDecoder::new(&code, CheckKind::X);
+        for _ in 0..20 {
+            let errors: Vec<usize> = (0..25)
+                .map(|_| rng.gen_range(0..code.num_data_qubits()))
+                .collect();
+            let syndrome = code.syndrome_of(&errors, CheckKind::X);
+            let correction = decoder.decode_greedy(&syndrome);
+            assert_eq!(code.syndrome_of(&correction, CheckKind::X), syndrome);
         }
     }
 

@@ -1,20 +1,32 @@
-//! The distance-scaling LER experiment — the ablation the paper's
-//! Chapter 6 calls for: does a Pauli frame change the logical error rate
-//! for `d > 3`?
+//! The distance-scaling LER experiments.
 //!
-//! The protocol follows Listing 5.7 with the natural `d`-generalizations:
-//! each window runs `d − 1` ESM rounds; per-check majority voting over
-//! the rounds filters measurement errors; the matching decoder corrects
-//! the voted syndrome; and the correction goes through the stack — where
-//! a Pauli-frame layer absorbs it without touching the qubits.
+//! Two drivers live here:
+//!
+//! - [`run_distance_ler`] — the circuit-level ablation the paper's
+//!   Chapter 6 calls for (does a Pauli frame change the logical error
+//!   rate for `d > 3`?). The protocol follows Listing 5.7 with the
+//!   natural `d`-generalizations: each window runs `d − 1` ESM rounds;
+//!   stable two-round syndrome patterns decode through the matching
+//!   decoder; the correction goes through the stack — where a
+//!   Pauli-frame layer absorbs it without touching the qubits.
+//! - [`run_ler_surface`] — the code-capacity Monte-Carlo sweep behind
+//!   the d = 3…13 threshold workload: 64 shots per word on
+//!   [`ShotSlicedSim`], i.i.d. data errors injected through per-lane
+//!   masks, syndromes extracted by executing the real ESM circuit on the
+//!   sliced engine (packed syndrome planes read straight off the ancilla
+//!   measurement words), every lane decoded by the union-find decoder,
+//!   and logical failures read as one `expectation` lane word.
 
 use qpdo_core::{
     ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts, PauliFrameLayer,
 };
 use qpdo_pauli::{Pauli, PauliString};
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
+use qpdo_stabilizer::{ShotSlicedSim, LANES};
 
-use crate::{CheckKind, MatchingDecoder, RotatedSurfaceCode};
-use qpdo_circuit::{Circuit, Gate, Operation, TimeSlot};
+use crate::{CheckKind, MatchingDecoder, RotatedSurfaceCode, UnionFindDecoder};
+use qpdo_circuit::{Circuit, Gate, Operation, OperationKind, TimeSlot};
 
 /// Configuration of a distance-scaling LER run (always watches for
 /// logical X errors on `|0⟩_L`, the representative case).
@@ -261,6 +273,251 @@ fn correction_slot(x_corrections: &[usize], z_corrections: &[usize]) -> Option<T
     Some(slot)
 }
 
+/// Configuration of a code-capacity LER sweep point decoded by the
+/// union-find decoder on the 64-lane shot-sliced engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurfaceLerConfig {
+    /// Code distance (odd, ≥ 3).
+    pub distance: usize,
+    /// Per-data-qubit, per-shot error probability.
+    pub physical_error_rate: f64,
+    /// The injected error kind: `X` errors are detected by Z checks and
+    /// threaten `Z_L`, and vice versa.
+    pub error: CheckKind,
+    /// Monte-Carlo shots (rounded up to whole 64-lane words internally;
+    /// failures are only counted on the first `shots` lanes).
+    pub shots: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The result of a code-capacity LER sweep point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SurfaceLerOutcome {
+    /// Shots counted.
+    pub shots: u64,
+    /// Shots whose decoded correction produced a logical fault.
+    pub failures: u64,
+    /// Total defects decoded across all counted shots (a nonzero-sample
+    /// witness for gates: at p > 0 a sweep that saw no defects measured
+    /// nothing).
+    pub defects: u64,
+}
+
+impl SurfaceLerOutcome {
+    /// The logical error rate `failures / shots`.
+    #[must_use]
+    pub fn ler(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+}
+
+/// Runs one code-capacity LER point: 64-lane error injection, real ESM
+/// syndrome extraction on [`ShotSlicedSim`], union-find decoding of every
+/// lane, and a packed logical-failure readout.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] unless
+/// `physical_error_rate ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics unless the distance is odd and ≥ 3.
+pub fn run_ler_surface(config: &SurfaceLerConfig) -> Result<SurfaceLerOutcome, CoreError> {
+    let (outcome, _stopped) = run_ler_surface_cancellable(config, &|| false)?;
+    Ok(outcome)
+}
+
+/// [`run_ler_surface`] with a cooperative cancellation hook, polled once
+/// per 64-shot batch. Returns the partial outcome and whether the run
+/// stopped early.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] unless
+/// `physical_error_rate ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics unless the distance is odd and ≥ 3.
+pub fn run_ler_surface_cancellable(
+    config: &SurfaceLerConfig,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<(SurfaceLerOutcome, bool), CoreError> {
+    let p = config.physical_error_rate;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CoreError::InvalidProbability {
+            value: format!("{p}"),
+            context: "surface LER physical error rate",
+        });
+    }
+    let code = RotatedSurfaceCode::new(config.distance);
+    let decoder = UnionFindDecoder::new(&code, config.error);
+    let detecting = match config.error {
+        CheckKind::X => CheckKind::Z,
+        CheckKind::Z => CheckKind::X,
+    };
+    // X errors flip Z checks and threaten Z_L (its support crosses
+    // their termination boundary); dually for Z errors.
+    let observable = match config.error {
+        CheckKind::X => code.logical_z_string(),
+        CheckKind::Z => code.logical_x_string(),
+    };
+    let ancillas: Vec<usize> = code.checks_of(detecting).map(|ch| ch.ancilla).collect();
+    let esm = code.esm_circuit();
+
+    let mut shots = 0u64;
+    let mut failures = 0u64;
+    let mut defects = 0u64;
+    let batches = config.shots.div_ceil(LANES as u64);
+    let mut stopped = false;
+    for batch in 0..batches {
+        if cancelled() {
+            stopped = true;
+            break;
+        }
+        let lanes = (config.shots - batch * LANES as u64).min(LANES as u64);
+        let mask = if lanes == LANES as u64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        // One independent substream per batch: results for a prefix of
+        // shots are unchanged when the total grows.
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ (batch + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let mut sim = ShotSlicedSim::new(code.num_qubits());
+        if config.error == CheckKind::Z {
+            // Z errors are watched on |+…+⟩ so X_L starts deterministic.
+            for q in 0..code.num_data_qubits() {
+                sim.h(q);
+            }
+        }
+        // Inject i.i.d. errors on the data qubits, one lane word each.
+        let mut err = vec![0u64; code.num_data_qubits()];
+        for (q, word) in err.iter_mut().enumerate() {
+            for lane in 0..LANES {
+                if rng.gen_bool(p) {
+                    *word |= 1 << lane;
+                }
+            }
+            match config.error {
+                CheckKind::X => sim.x_masked(q, *word),
+                CheckKind::Z => sim.z_masked(q, *word),
+            }
+        }
+        // Execute the real ESM round on the sliced engine; the detecting
+        // checks' ancilla measurement words are the packed syndromes.
+        // (The opposite family measures randomly — first-round gauge
+        // fixing — which cannot disturb the commuting observable.)
+        let mut meas = vec![0u64; code.num_qubits()];
+        run_circuit_sliced(&mut sim, &esm, &mut rng, &mut meas);
+        #[cfg(debug_assertions)]
+        for (i, ch) in code.checks_of(detecting).enumerate() {
+            let expect = ch.support.iter().fold(0u64, |acc, &q| acc ^ err[q]);
+            debug_assert_eq!(
+                meas[ch.ancilla], expect,
+                "packed syndrome plane disagrees with check supports (check {i})"
+            );
+        }
+        // Decode each lane and accumulate the correction planes.
+        let mut corr = vec![0u64; code.num_data_qubits()];
+        let mut syndrome = vec![false; ancillas.len()];
+        for lane in 0..LANES {
+            for (s, &anc) in syndrome.iter_mut().zip(&ancillas) {
+                *s = (meas[anc] >> lane) & 1 == 1;
+            }
+            for q in decoder.decode(&syndrome) {
+                corr[q] |= 1 << lane;
+            }
+        }
+        for (q, &word) in corr.iter().enumerate() {
+            if word != 0 {
+                match config.error {
+                    CheckKind::X => sim.x_masked(q, word),
+                    CheckKind::Z => sim.z_masked(q, word),
+                }
+            }
+        }
+        // The observable commutes with every ESM measurement, so it
+        // stays deterministic: the lane word *is* the failure word.
+        let fail_word = sim
+            .expectation(&observable)
+            .expect("logical observable stays deterministic through ESM + correction");
+        // Cross-check against pure classical bookkeeping: a lane fails
+        // iff error ⊕ correction overlaps the logical support oddly.
+        #[cfg(debug_assertions)]
+        {
+            let classical = match config.error {
+                CheckKind::X => code.logical_z_support(),
+                CheckKind::Z => code.logical_x_support(),
+            }
+            .iter()
+            .fold(0u64, |acc, &q| acc ^ err[q] ^ corr[q]);
+            debug_assert_eq!(
+                fail_word, classical,
+                "sim and classical failure words differ"
+            );
+        }
+        shots += lanes;
+        failures += u64::from((fail_word & mask).count_ones());
+        for &anc in &ancillas {
+            defects += u64::from((meas[anc] & mask).count_ones());
+        }
+    }
+    Ok((
+        SurfaceLerOutcome {
+            shots,
+            failures,
+            defects,
+        },
+        stopped,
+    ))
+}
+
+/// Executes a Clifford circuit directly on the sliced engine, recording
+/// the last measurement lane word per qubit. Random prep/measure branches
+/// draw from `rng` per lane, in deterministic order.
+fn run_circuit_sliced(
+    sim: &mut ShotSlicedSim,
+    circuit: &Circuit,
+    rng: &mut StdRng,
+    meas: &mut [u64],
+) {
+    for slot in circuit.slots() {
+        for op in slot {
+            let q = op.qubits();
+            match op.kind() {
+                OperationKind::Prep => sim.reset_with(q[0], |_| rng.gen::<bool>()),
+                OperationKind::Measure => {
+                    meas[q[0]] = sim.measure_with(q[0], |_| rng.gen::<bool>())
+                }
+                OperationKind::Gate(gate) => match gate {
+                    Gate::I => {}
+                    Gate::X => sim.x(q[0]),
+                    Gate::Y => sim.y(q[0]),
+                    Gate::Z => sim.z(q[0]),
+                    Gate::H => sim.h(q[0]),
+                    Gate::S => sim.s(q[0]),
+                    Gate::Sdg => sim.sdg(q[0]),
+                    Gate::Cnot => sim.cnot(q[0], q[1]),
+                    Gate::Cz => sim.cz(q[0], q[1]),
+                    Gate::Swap => sim.swap(q[0], q[1]),
+                    Gate::T | Gate::Tdg | Gate::Toffoli => {
+                        unreachable!("ESM schedules are Clifford-only")
+                    }
+                },
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +576,76 @@ mod tests {
                 "d={d}: saving {saving} above the per-cycle bound"
             );
         }
+    }
+
+    fn surface(d: usize, p: f64, kind: CheckKind, shots: u64, seed: u64) -> SurfaceLerConfig {
+        SurfaceLerConfig {
+            distance: d,
+            physical_error_rate: p,
+            error: kind,
+            shots,
+            seed,
+        }
+    }
+
+    #[test]
+    fn sliced_runs_are_clean_at_p_zero() {
+        for kind in [CheckKind::X, CheckKind::Z] {
+            let outcome = run_ler_surface(&surface(5, 0.0, kind, 130, 7)).unwrap();
+            assert_eq!(outcome.shots, 130);
+            assert_eq!(outcome.failures, 0);
+            assert_eq!(outcome.defects, 0);
+        }
+    }
+
+    #[test]
+    fn sliced_runs_fail_above_threshold() {
+        // p = 0.3 is far above any surface-code threshold: failures must
+        // appear, and plenty of defects must have been decoded.
+        let outcome = run_ler_surface(&surface(3, 0.3, CheckKind::X, 640, 11)).unwrap();
+        assert!(outcome.failures > 0, "no failures at p=0.3");
+        assert!(outcome.defects > 100, "defect sampling too thin");
+    }
+
+    #[test]
+    fn sliced_runs_are_seed_deterministic_and_prefix_stable() {
+        let a = run_ler_surface(&surface(5, 0.08, CheckKind::X, 512, 42)).unwrap();
+        let b = run_ler_surface(&surface(5, 0.08, CheckKind::X, 512, 42)).unwrap();
+        assert_eq!(a, b);
+        let c = run_ler_surface(&surface(5, 0.08, CheckKind::X, 512, 43)).unwrap();
+        assert_ne!(a, c, "different seeds produced identical outcomes");
+        // Per-batch substreams: growing the shot count must not change
+        // the failures attributed to the common prefix of whole batches.
+        let big = run_ler_surface(&surface(5, 0.08, CheckKind::X, 1024, 42)).unwrap();
+        assert!(big.failures >= a.failures);
+    }
+
+    #[test]
+    fn sliced_runs_reject_bad_probability() {
+        assert!(run_ler_surface(&surface(3, 1.5, CheckKind::X, 64, 1)).is_err());
+        assert!(run_ler_surface(&surface(3, -0.1, CheckKind::X, 64, 1)).is_err());
+    }
+
+    #[test]
+    fn sliced_cancellation_stops_between_batches() {
+        let config = surface(3, 0.05, CheckKind::X, 6400, 3);
+        let (outcome, stopped) = run_ler_surface_cancellable(&config, &|| true).unwrap();
+        assert!(stopped);
+        assert_eq!(outcome.shots, 0);
+    }
+
+    #[test]
+    fn sliced_ler_decreases_with_distance_below_threshold() {
+        // The defining property of a working decoder: below threshold,
+        // bigger codes fail less. p = 0.05 is well under the ~10%
+        // code-capacity threshold.
+        let small = run_ler_surface(&surface(3, 0.05, CheckKind::X, 4096, 5)).unwrap();
+        let large = run_ler_surface(&surface(5, 0.05, CheckKind::X, 4096, 5)).unwrap();
+        assert!(
+            large.ler() < small.ler(),
+            "d=5 LER {} not below d=3 LER {}",
+            large.ler(),
+            small.ler()
+        );
     }
 }

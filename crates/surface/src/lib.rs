@@ -9,13 +9,19 @@
 //!   any odd distance `d ≥ 3`: `d²` data qubits, `d² − 1` weight-2/4
 //!   checks, the conflict-free 8-slot ESM schedule generalizing
 //!   Table 5.8, and the logical operators.
-//! - [`MatchingDecoder`] — a minimum-weight defect-matching decoder
-//!   (exact for the sparse syndromes that dominate below threshold,
-//!   greedy beyond), standing in for the Blossom algorithm the paper
-//!   cites for larger codes.
-//! - [`experiment`] — the distance-scaling LER driver with `d − 1`
-//!   syndrome rounds per window and majority-vote filtering of
-//!   measurement errors, with and without a Pauli frame.
+//! - [`MatchingDecoder`] — a minimum-weight defect-matching decoder,
+//!   exact for the sparse syndromes that dominate below threshold,
+//!   standing in for the Blossom algorithm the paper cites for larger
+//!   codes; dense syndromes hand off to the union-find decoder.
+//! - [`UnionFindDecoder`] — the Delfosse–Nickerson union-find decoder:
+//!   near-linear cluster growth + peeling, decoding any odd distance at
+//!   any defect density. Not minimum-weight; its logical failure rate is
+//!   gated against the matching oracle by `tests/uf_oracle.rs`.
+//! - [`experiment`] — the distance-scaling LER drivers: the circuit-level
+//!   Pauli-frame comparison with `d − 1` syndrome rounds per window
+//!   ([`experiment::run_distance_ler`]), and the 64-lane shot-sliced
+//!   code-capacity sweep behind the d = 3…13 threshold workload
+//!   ([`experiment::run_ler_surface`]).
 //!
 //! At `d = 3` the code reproduces exactly the SC17 stabilizers of
 //! Table 2.1 (checked in tests), so the extension is a strict superset of
@@ -38,6 +44,8 @@
 mod code;
 mod decoder;
 pub mod experiment;
+mod uf;
 
 pub use code::{Check, CheckKind, RotatedSurfaceCode};
 pub use decoder::MatchingDecoder;
+pub use uf::UnionFindDecoder;

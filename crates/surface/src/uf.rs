@@ -1,0 +1,441 @@
+//! Union-find decoding for generic-distance rotated surface codes.
+//!
+//! The Delfosse–Nickerson union-find decoder replaces matching with a
+//! near-linear-time cluster construction: every defect seeds a cluster on
+//! the check graph; odd clusters grow outward by half an edge per round;
+//! clusters merge (weighted union with path-halving find) when growing
+//! edges meet; a cluster stops growing once it is *neutral* — even defect
+//! parity, or touching a boundary vertex that can absorb one defect.
+//! When every cluster is neutral, the fully-grown edges form an erasure
+//! that provably supports a valid correction, extracted by peeling a
+//! spanning forest leaf-by-leaf.
+//!
+//! The check graph here is derived purely from the check supports, with
+//! no geometric assumptions: each data qubit is an edge between the (one
+//! or two) detecting checks whose support contains it; qubits seen by a
+//! single detecting check become edges to fresh virtual boundary
+//! vertices. Because [`RotatedSurfaceCode::syndrome_of`] is defined by
+//! exactly those supports, any peeled edge set annihilates its syndrome
+//! by construction.
+//!
+//! Union-find is **not** minimum-weight: its corrections can be longer
+//! than the matching decoder's, but the decoded coset — and hence the
+//! logical failure rate — is what matters, and that is compared against
+//! [`MatchingDecoder`](crate::MatchingDecoder) by the differential oracle
+//! in `tests/uf_oracle.rs`.
+
+use crate::{CheckKind, RotatedSurfaceCode};
+
+/// A union-find decoder for one check family of a [`RotatedSurfaceCode`].
+///
+/// Unlike the exact matcher, cost is near-linear in the syndrome size, so
+/// it decodes any odd distance with any defect density — it is the
+/// default path above `MatchingDecoder`'s exact limit.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_surface::{CheckKind, RotatedSurfaceCode, UnionFindDecoder};
+///
+/// let code = RotatedSurfaceCode::new(13);
+/// let decoder = UnionFindDecoder::new(&code, CheckKind::X);
+/// let errors: Vec<usize> = (0..code.num_data_qubits()).step_by(7).collect();
+/// let syndrome = code.syndrome_of(&errors, CheckKind::X);
+/// let correction = decoder.decode(&syndrome);
+/// assert_eq!(code.syndrome_of(&correction, CheckKind::X), syndrome);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFindDecoder {
+    /// Number of detecting checks == syndrome length. Check vertices are
+    /// `0..num_checks` in `checks_of` (syndrome) order; virtual boundary
+    /// vertices follow.
+    num_checks: usize,
+    /// Check vertices plus one virtual vertex per boundary entry point.
+    num_nodes: usize,
+    /// `(vertex_a, vertex_b, data_qubit)` — exactly one edge per data
+    /// qubit of the code.
+    edges: Vec<(u32, u32, u32)>,
+    /// Vertex → incident edge ids.
+    adj: Vec<Vec<u32>>,
+}
+
+impl UnionFindDecoder {
+    /// A decoder correcting errors of `error_kind` on `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a data qubit is not covered by one or two detecting
+    /// checks — impossible for a well-formed rotated surface code
+    /// (invariant checked at construction, not per decode).
+    #[must_use]
+    pub fn new(code: &RotatedSurfaceCode, error_kind: CheckKind) -> Self {
+        let detecting = match error_kind {
+            CheckKind::X => CheckKind::Z,
+            CheckKind::Z => CheckKind::X,
+        };
+        // data qubit -> detecting checks whose support contains it.
+        let mut owners: Vec<Vec<u32>> = vec![Vec::new(); code.num_data_qubits()];
+        let mut num_checks = 0;
+        for (i, ch) in code.checks_of(detecting).enumerate() {
+            num_checks += 1;
+            for &q in &ch.support {
+                owners[q].push(i as u32);
+            }
+        }
+        let mut edges = Vec::with_capacity(code.num_data_qubits());
+        let mut num_nodes = num_checks;
+        for (q, own) in owners.iter().enumerate() {
+            match own.as_slice() {
+                // Interior qubit: an edge between its two checks.
+                [a, b] => edges.push((*a, *b, q as u32)),
+                // Boundary qubit: an edge to a fresh virtual vertex, so
+                // chains may terminate there.
+                [a] => {
+                    let virt = num_nodes as u32;
+                    num_nodes += 1;
+                    edges.push((*a, virt, q as u32));
+                }
+                _ => panic!("data qubit {q} covered by {} detecting checks", own.len()),
+            }
+        }
+        let mut adj = vec![Vec::new(); num_nodes];
+        for (e, &(a, b, _)) in edges.iter().enumerate() {
+            adj[a as usize].push(e as u32);
+            adj[b as usize].push(e as u32);
+        }
+        UnionFindDecoder {
+            num_checks,
+            num_nodes,
+            edges,
+            adj,
+        }
+    }
+
+    /// The number of syndrome bits the decoder expects.
+    #[must_use]
+    pub fn syndrome_len(&self) -> usize {
+        self.num_checks
+    }
+
+    /// Decodes a syndrome (one flag per detecting check, in `checks_of`
+    /// order) into the sorted data qubits of a correction whose syndrome
+    /// equals the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the code.
+    #[must_use]
+    pub fn decode(&self, syndrome: &[bool]) -> Vec<usize> {
+        assert_eq!(syndrome.len(), self.num_checks, "syndrome length mismatch");
+        if syndrome.iter().all(|s| !s) {
+            return Vec::new();
+        }
+        let mut clusters = Clusters::new(self, syndrome);
+        clusters.grow();
+        clusters.peel(syndrome)
+    }
+}
+
+/// Per-decode cluster state: a union-find forest over the graph vertices
+/// with per-root parity/boundary bookkeeping, plus per-edge growth.
+struct Clusters<'a> {
+    dec: &'a UnionFindDecoder,
+    parent: Vec<u32>,
+    /// Vertices in the tree (for weighted union), valid at roots.
+    size: Vec<u32>,
+    /// Odd number of defects in the cluster, valid at roots.
+    odd: Vec<bool>,
+    /// Cluster contains a virtual boundary vertex, valid at roots.
+    boundary: Vec<bool>,
+    /// Frontier edge lists, valid at roots. May contain edges that have
+    /// since become internal; those are dropped lazily when popped.
+    frontier: Vec<Vec<u32>>,
+    /// Half-edge growth per edge, saturating at 2 (= fully grown).
+    growth: Vec<u8>,
+}
+
+impl<'a> Clusters<'a> {
+    fn new(dec: &'a UnionFindDecoder, syndrome: &[bool]) -> Self {
+        let n = dec.num_nodes;
+        // Every vertex carries its full incident-edge list: merged
+        // clusters then own every edge crossing their boundary (internal
+        // edges are dropped lazily), so growth can expand through
+        // absorbed non-defect vertices.
+        let frontier = dec.adj.clone();
+        Clusters {
+            dec,
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            odd: syndrome
+                .iter()
+                .copied()
+                .chain(std::iter::repeat(false))
+                .take(n)
+                .collect(),
+            boundary: (0..n).map(|v| v >= dec.num_checks).collect(),
+            frontier,
+            growth: vec![0; dec.edges.len()],
+        }
+    }
+
+    /// Path-halving find.
+    fn find(&mut self, v: u32) -> u32 {
+        let mut v = v;
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand;
+            v = grand;
+        }
+        v
+    }
+
+    /// Weighted union of two distinct roots; returns the surviving root.
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        debug_assert_ne!(a, b);
+        let (root, child) = if self.size[a as usize] >= self.size[b as usize] {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.parent[child as usize] = root;
+        self.size[root as usize] += self.size[child as usize];
+        let child_odd = self.odd[child as usize];
+        self.odd[root as usize] ^= child_odd;
+        self.boundary[root as usize] |= self.boundary[child as usize];
+        let mut moved = std::mem::take(&mut self.frontier[child as usize]);
+        self.frontier[root as usize].append(&mut moved);
+        root
+    }
+
+    /// A cluster keeps growing while it holds an odd number of defects
+    /// and no boundary vertex to absorb the spare one.
+    fn is_active(&self, root: u32) -> bool {
+        self.odd[root as usize] && !self.boundary[root as usize]
+    }
+
+    /// Grows active clusters by half an edge per round until every
+    /// cluster is neutral.
+    fn grow(&mut self) {
+        // Any cluster reaches a boundary vertex within the graph
+        // diameter, so 2·|E| + 2 half-edge rounds always suffice.
+        for _round in 0..2 * self.dec.edges.len() + 2 {
+            let seeds: Vec<u32> = (0..self.dec.num_nodes as u32)
+                .filter(|&v| self.parent[v as usize] == v && self.is_active(v))
+                .collect();
+            if seeds.is_empty() {
+                return;
+            }
+            for seed in seeds {
+                // A merge earlier in the round may have absorbed or
+                // neutralized this cluster.
+                let root = self.find(seed);
+                if !self.is_active(root) {
+                    continue;
+                }
+                self.grow_cluster(root);
+            }
+        }
+        unreachable!("union-find growth failed to neutralize all clusters");
+    }
+
+    /// Advances every frontier edge of one cluster by half a step.
+    fn grow_cluster(&mut self, root: u32) {
+        let list = std::mem::take(&mut self.frontier[root as usize]);
+        let mut keep = Vec::with_capacity(list.len());
+        for e in list {
+            let (a, b, _) = self.dec.edges[e as usize];
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                // Became internal; completing it would only add a cycle.
+                continue;
+            }
+            self.growth[e as usize] += 1;
+            if self.growth[e as usize] >= 2 {
+                self.union(ra, rb);
+            } else {
+                keep.push(e);
+            }
+        }
+        let root = self.find(root);
+        self.frontier[root as usize].extend(keep);
+    }
+
+    /// Extracts a correction from the fully-grown edges by peeling a
+    /// spanning forest: leaves carrying a defect contribute their tree
+    /// edge and hand the defect to their parent; a boundary root absorbs
+    /// whatever remains.
+    fn peel(self, syndrome: &[bool]) -> Vec<usize> {
+        let dec = self.dec;
+        // Erasure adjacency: fully-grown edges only.
+        let mut grown_adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); dec.num_nodes];
+        for (e, &(a, b, _)) in dec.edges.iter().enumerate() {
+            if self.growth[e] >= 2 {
+                grown_adj[a as usize].push((b, e as u32));
+                grown_adj[b as usize].push((a, e as u32));
+            }
+        }
+        let mut defect = vec![false; dec.num_nodes];
+        defect[..dec.num_checks].copy_from_slice(syndrome);
+        let mut visited = vec![false; dec.num_nodes];
+        let mut parent = vec![u32::MAX; dec.num_nodes];
+        let mut parent_edge = vec![u32::MAX; dec.num_nodes];
+        let mut correction = Vec::new();
+
+        for v in 0..dec.num_checks as u32 {
+            if !defect[v as usize] || visited[v as usize] {
+                continue;
+            }
+            // Pass 1: collect the erasure component, preferring a
+            // boundary vertex as the peeling root so it can absorb an
+            // odd defect.
+            let mut comp = vec![v];
+            visited[v as usize] = true;
+            let mut head = 0;
+            while head < comp.len() {
+                let u = comp[head];
+                head += 1;
+                for &(w, _) in &grown_adj[u as usize] {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        comp.push(w);
+                    }
+                }
+            }
+            let root = comp
+                .iter()
+                .copied()
+                .find(|&u| u >= dec.num_checks as u32)
+                .unwrap_or(v);
+            // Pass 2: BFS spanning tree from the root; BFS order puts
+            // parents before children, so the reverse order peels
+            // leaves first.
+            for &u in &comp {
+                parent[u as usize] = u32::MAX;
+            }
+            parent[root as usize] = root;
+            let mut order = vec![root];
+            let mut head = 0;
+            while head < order.len() {
+                let u = order[head];
+                head += 1;
+                for &(w, e) in &grown_adj[u as usize] {
+                    if parent[w as usize] == u32::MAX {
+                        parent[w as usize] = u;
+                        parent_edge[w as usize] = e;
+                        order.push(w);
+                    }
+                }
+            }
+            for &u in order.iter().skip(1).rev() {
+                if defect[u as usize] {
+                    correction.push(dec.edges[parent_edge[u as usize] as usize].2 as usize);
+                    defect[u as usize] = false;
+                    defect[parent[u as usize] as usize] ^= true;
+                }
+            }
+            // A residual defect at the root is legal only on a boundary
+            // vertex (the virtual vertex "absorbs" it — the chain ends
+            // on the open boundary).
+            debug_assert!(
+                !defect[root as usize] || root >= dec.num_checks as u32,
+                "unpaired defect survived peeling"
+            );
+        }
+        correction.sort_unstable();
+        correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpdo_rng::rngs::StdRng;
+    use qpdo_rng::{Rng, SeedableRng};
+
+    #[test]
+    fn graph_has_one_edge_per_data_qubit() {
+        for d in [3, 5, 7, 9, 11, 13] {
+            let code = RotatedSurfaceCode::new(d);
+            for kind in [CheckKind::X, CheckKind::Z] {
+                let dec = UnionFindDecoder::new(&code, kind);
+                assert_eq!(dec.edges.len(), code.num_data_qubits(), "d={d} {kind:?}");
+                let mut qubits: Vec<u32> = dec.edges.iter().map(|&(_, _, q)| q).collect();
+                qubits.sort_unstable();
+                let expected: Vec<u32> = (0..code.num_data_qubits() as u32).collect();
+                assert_eq!(qubits, expected, "d={d} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_syndrome_decodes_to_nothing() {
+        let code = RotatedSurfaceCode::new(7);
+        let dec = UnionFindDecoder::new(&code, CheckKind::X);
+        assert!(dec.decode(&vec![false; dec.syndrome_len()]).is_empty());
+    }
+
+    #[test]
+    fn single_errors_fully_corrected_without_logical_fault() {
+        for d in [3, 5, 7] {
+            let code = RotatedSurfaceCode::new(d);
+            for kind in [CheckKind::X, CheckKind::Z] {
+                let dec = UnionFindDecoder::new(&code, kind);
+                let logical = match kind {
+                    CheckKind::X => code.logical_z_support(),
+                    CheckKind::Z => code.logical_x_support(),
+                };
+                for q in 0..code.num_data_qubits() {
+                    let syndrome = code.syndrome_of(&[q], kind);
+                    let correction = dec.decode(&syndrome);
+                    assert_eq!(
+                        code.syndrome_of(&correction, kind),
+                        syndrome,
+                        "d={d} {kind:?} error on {q}"
+                    );
+                    let mut combined = correction;
+                    combined.push(q);
+                    let overlap = combined.iter().filter(|x| logical.contains(x)).count();
+                    assert_eq!(overlap % 2, 0, "d={d} {kind:?} error on {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_syndromes_always_annihilated() {
+        let mut rng = StdRng::seed_from_u64(1009);
+        for d in [3, 5, 9, 13] {
+            let code = RotatedSurfaceCode::new(d);
+            for kind in [CheckKind::X, CheckKind::Z] {
+                let dec = UnionFindDecoder::new(&code, kind);
+                for _ in 0..100 {
+                    let weight = rng.gen_range(0..=code.num_data_qubits() / 2);
+                    let errors: Vec<usize> = (0..weight)
+                        .map(|_| rng.gen_range(0..code.num_data_qubits()))
+                        .collect();
+                    let syndrome = code.syndrome_of(&errors, kind);
+                    let correction = dec.decode(&syndrome);
+                    assert_eq!(
+                        code.syndrome_of(&correction, kind),
+                        syndrome,
+                        "d={d} {kind:?} errors {errors:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_all_checks_fired_terminates() {
+        for d in [3, 7, 13] {
+            let code = RotatedSurfaceCode::new(d);
+            for kind in [CheckKind::X, CheckKind::Z] {
+                let dec = UnionFindDecoder::new(&code, kind);
+                let syndrome = vec![true; dec.syndrome_len()];
+                let correction = dec.decode(&syndrome);
+                assert_eq!(code.syndrome_of(&correction, kind), syndrome, "d={d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Differential oracle: the union-find decoder vs the exact matching
+//! decoder (DESIGN.md §13).
+//!
+//! Union-find is *not* minimum-weight, so corrections are not compared
+//! qubit-for-qubit — the decoders may legitimately pick different chains
+//! of different weights. What must agree is the *decoded coset*, and the
+//! observable consequence of the coset is the logical failure rate. The
+//! oracle therefore drives ≥ 10k seeded error patterns per (d, kind)
+//! point through both decoders at d = 3, 5 (where `MatchingDecoder` is
+//! exact for every syndrome that occurs) and requires:
+//!
+//! 1. every union-find correction annihilates its syndrome, and
+//! 2. the union-find logical-failure rate is within a few binomial
+//!    standard deviations of the exact decoder's.
+
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
+use qpdo_surface::{CheckKind, MatchingDecoder, RotatedSurfaceCode, UnionFindDecoder};
+
+const TRIALS: usize = 10_000;
+
+/// Bernoulli(p) error pattern over the data qubits — no duplicates, so
+/// GF(2) bookkeeping is by plain set parity.
+fn sample_errors(code: &RotatedSurfaceCode, p: f64, rng: &mut StdRng) -> Vec<usize> {
+    (0..code.num_data_qubits())
+        .filter(|_| rng.gen_bool(p))
+        .collect()
+}
+
+/// Whether error ⊕ correction implements the crossing logical operator.
+fn logical_fault(logical: &[usize], errors: &[usize], correction: &[usize]) -> bool {
+    let overlap = |qs: &[usize]| qs.iter().filter(|q| logical.contains(q)).count();
+    (overlap(errors) + overlap(correction)) % 2 == 1
+}
+
+fn run_oracle(d: usize, kind: CheckKind, p: f64, seed: u64) {
+    let code = RotatedSurfaceCode::new(d);
+    let uf = UnionFindDecoder::new(&code, kind);
+    let matching = MatchingDecoder::new(&code, kind);
+    let logical = match kind {
+        CheckKind::X => code.logical_z_support(),
+        CheckKind::Z => code.logical_x_support(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut uf_failures = 0usize;
+    let mut matching_failures = 0usize;
+    for trial in 0..TRIALS {
+        let errors = sample_errors(&code, p, &mut rng);
+        let syndrome = code.syndrome_of(&errors, kind);
+
+        let uf_corr = uf.decode(&syndrome);
+        assert_eq!(
+            code.syndrome_of(&uf_corr, kind),
+            syndrome,
+            "d={d} {kind:?} trial {trial}: union-find left a residual syndrome for {errors:?}"
+        );
+        let matching_corr = matching.decode(&syndrome);
+        assert_eq!(
+            code.syndrome_of(&matching_corr, kind),
+            syndrome,
+            "d={d} {kind:?} trial {trial}: matching left a residual syndrome"
+        );
+
+        uf_failures += usize::from(logical_fault(&logical, &errors, &uf_corr));
+        matching_failures += usize::from(logical_fault(&logical, &errors, &matching_corr));
+    }
+
+    let f_uf = uf_failures as f64 / TRIALS as f64;
+    let f_m = matching_failures as f64 / TRIALS as f64;
+    // Binomial standard deviation of the rate difference, upper-bounded
+    // by treating the samples as independent (they share error patterns,
+    // which only shrinks the true variance).
+    let sigma = (f_uf * (1.0 - f_uf) / TRIALS as f64 + f_m * (1.0 - f_m) / TRIALS as f64).sqrt();
+    let tolerance = 5.0 * sigma + 0.01;
+    assert!(
+        (f_uf - f_m).abs() <= tolerance,
+        "d={d} {kind:?} p={p}: union-find failure rate {f_uf} vs matching {f_m} \
+         (tolerance {tolerance:.4})"
+    );
+    // Both decoders must actually be exercised: a p with no failures at
+    // all would make the comparison vacuous.
+    assert!(
+        matching_failures > 0,
+        "d={d} {kind:?} p={p}: oracle saw no failures — raise p"
+    );
+}
+
+#[test]
+fn uf_matches_matching_failure_rate_d3_x() {
+    run_oracle(3, CheckKind::X, 0.08, 0xA11CE);
+}
+
+#[test]
+fn uf_matches_matching_failure_rate_d3_z() {
+    run_oracle(3, CheckKind::Z, 0.08, 0xB0B);
+}
+
+#[test]
+fn uf_matches_matching_failure_rate_d5_x() {
+    run_oracle(5, CheckKind::X, 0.08, 0xC14E5);
+}
+
+#[test]
+fn uf_matches_matching_failure_rate_d5_z() {
+    run_oracle(5, CheckKind::Z, 0.08, 0xD0E);
+}

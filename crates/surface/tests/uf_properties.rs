@@ -1,0 +1,131 @@
+//! Property tests for the union-find decoder's invariants at every
+//! distance the scaling workload sweeps (d = 3…13).
+//!
+//! The invariants (DESIGN.md §13):
+//!
+//! - `decode(syndrome_of(E))` returns a correction with *exactly* the
+//!   input syndrome, for every error pattern — including dense ones
+//!   whose defect count is far past the matcher's `EXACT_LIMIT`.
+//! - the empty syndrome decodes to the empty correction,
+//! - a single-defect syndrome pairs to the *correct* boundary: the
+//!   correction's logical-overlap parity equals the exact matcher's
+//!   (which provably takes the nearest boundary).
+
+use qpdo_rng::rngs::StdRng;
+use qpdo_rng::{Rng, SeedableRng};
+use qpdo_surface::{CheckKind, MatchingDecoder, RotatedSurfaceCode, UnionFindDecoder};
+
+const DISTANCES: [usize; 6] = [3, 5, 7, 9, 11, 13];
+
+#[test]
+fn empty_syndrome_decodes_to_empty_correction() {
+    for d in DISTANCES {
+        let code = RotatedSurfaceCode::new(d);
+        for kind in [CheckKind::X, CheckKind::Z] {
+            let dec = UnionFindDecoder::new(&code, kind);
+            assert_eq!(dec.syndrome_len(), (d * d - 1) / 2, "d={d} {kind:?}");
+            assert!(
+                dec.decode(&vec![false; dec.syndrome_len()]).is_empty(),
+                "d={d} {kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_error_syndromes_are_annihilated_at_every_distance() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for d in DISTANCES {
+        let code = RotatedSurfaceCode::new(d);
+        for kind in [CheckKind::X, CheckKind::Z] {
+            let dec = UnionFindDecoder::new(&code, kind);
+            for trial in 0..200 {
+                // Sweep the density from sparse to heavily saturated.
+                let p = f64::from(trial % 10).mul_add(0.05, 0.02);
+                let errors: Vec<usize> = (0..code.num_data_qubits())
+                    .filter(|_| rng.gen_bool(p))
+                    .collect();
+                let syndrome = code.syndrome_of(&errors, kind);
+                let correction = dec.decode(&syndrome);
+                assert_eq!(
+                    code.syndrome_of(&correction, kind),
+                    syndrome,
+                    "d={d} {kind:?} trial {trial} p={p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_syndromes_past_exact_limit_are_annihilated() {
+    // Force defect counts that the exact matcher could never take
+    // (> 12), all the way up to every check fired at d = 13.
+    let mut rng = StdRng::seed_from_u64(31337);
+    for d in [7, 9, 11, 13] {
+        let code = RotatedSurfaceCode::new(d);
+        for kind in [CheckKind::X, CheckKind::Z] {
+            let dec = UnionFindDecoder::new(&code, kind);
+            for _ in 0..50 {
+                let mut syndrome = vec![false; dec.syndrome_len()];
+                // At least 13 fired checks, arbitrary subsets beyond.
+                let defects = rng.gen_range(13..=dec.syndrome_len());
+                while syndrome.iter().filter(|s| **s).count() < defects {
+                    let i = rng.gen_range(0..syndrome.len());
+                    syndrome[i] = true;
+                }
+                let correction = dec.decode(&syndrome);
+                assert_eq!(
+                    code.syndrome_of(&correction, kind),
+                    syndrome,
+                    "d={d} {kind:?}"
+                );
+            }
+            // The fully saturated syndrome.
+            let syndrome = vec![true; dec.syndrome_len()];
+            let correction = dec.decode(&syndrome);
+            assert_eq!(
+                code.syndrome_of(&correction, kind),
+                syndrome,
+                "d={d} {kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_defect_syndromes_pair_to_the_correct_boundary() {
+    // One fired check must be matched to the *nearest* terminating
+    // boundary. The witness is homological: the union-find chain and the
+    // exact matcher's minimum-weight chain must have equal overlap
+    // parity with the crossing logical operator (chains to opposite
+    // boundaries differ by a logical and would disagree).
+    for d in DISTANCES {
+        let code = RotatedSurfaceCode::new(d);
+        for kind in [CheckKind::X, CheckKind::Z] {
+            let uf = UnionFindDecoder::new(&code, kind);
+            let matching = MatchingDecoder::new(&code, kind);
+            let logical = match kind {
+                CheckKind::X => code.logical_z_support(),
+                CheckKind::Z => code.logical_x_support(),
+            };
+            let parity = |qs: &[usize]| qs.iter().filter(|q| logical.contains(q)).count() % 2;
+            for i in 0..uf.syndrome_len() {
+                let mut syndrome = vec![false; uf.syndrome_len()];
+                syndrome[i] = true;
+                let uf_corr = uf.decode(&syndrome);
+                assert_eq!(
+                    code.syndrome_of(&uf_corr, kind),
+                    syndrome,
+                    "d={d} {kind:?} defect {i}"
+                );
+                let matching_corr = matching.decode(&syndrome);
+                assert_eq!(
+                    parity(&uf_corr),
+                    parity(&matching_corr),
+                    "d={d} {kind:?} defect {i}: union-find went to the wrong boundary"
+                );
+            }
+        }
+    }
+}

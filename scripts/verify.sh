@@ -93,13 +93,34 @@ echo "== sliced oracle: 64-lane engine vs scalar twins (release) =="
 cargo test -q --offline --release -p qpdo-stabilizer --test sliced_oracle
 cargo test -q --offline --release -p qpdo-surface17 --lib 'sliced::'
 
+# Throwaway output directory for every smoke artifact below.
+smoke_out=$(mktemp -d)
+trap 'rm -rf "$smoke_out"' EXIT
+
+echo "== decoder oracle: union-find vs exact matching (release) =="
+# Decoder soundness (DESIGN.md §13): the union-find decoder must
+# annihilate every syndrome at d = 3…13 (property tests), match the
+# exact matcher's logical-failure rate at d = 3, 5 over 10k seeded
+# trials per point (differential oracle), and the exact path must stay
+# byte-stable against its golden KAT. Release mode: the same codegen
+# the experiment binaries ship with.
+cargo test -q --offline --release -p qpdo-surface
+
+echo "== distance-scaling smoke: exp_distance_scaling --smoke =="
+# The d = 3 vs 5 union-find sweep at a below-threshold error rate: the
+# binary itself asserts the LER falls with distance and that the
+# syndrome-extraction path produced defects.
+./target/release/exp_distance_scaling --smoke --out "$smoke_out"
+test -f "$smoke_out/distance_scaling.csv" || {
+    echo "error: exp_distance_scaling --smoke wrote no distance_scaling.csv" >&2
+    exit 1
+}
+
 echo "== supervisor smoke: exp_ler --test smoke --jobs 4 =="
 # End-to-end gate on the supervised execution engine (DESIGN.md §7):
 # jobs-independence, forced-panic + hang recovery, quarantine
 # completion, and the cross-backend redundancy vote. Uses the release
-# binary built above; output goes to a throwaway directory.
-smoke_out=$(mktemp -d)
-trap 'rm -rf "$smoke_out"' EXIT
+# binary built above; output goes to the throwaway directory.
 ./target/release/exp_ler --test smoke --jobs 4 --out "$smoke_out"
 
 echo "== kernel bench smoke: bench_kernels --smoke =="
@@ -125,6 +146,35 @@ for key in \
     fi
 done
 echo "ok: all report keys present"
+
+echo "== decoder bench smoke: bench_decoder --smoke =="
+# Smoke-runs the decoder-latency benchmark (tiny sample counts), writes
+# BENCH_decoder.json to the throwaway directory, and validates the
+# schema before writing and after re-reading from disk. The key greps
+# below guard the committed baseline the same way as the stabilizer
+# report.
+./target/release/bench_decoder --smoke --out "$smoke_out"
+for report in "$smoke_out/BENCH_decoder.json" results/BENCH_decoder.json; do
+    for key in \
+        '"schema": "qpdo-bench-decoder-v1"' \
+        '"name": "uf_decode_d3_p05"' '"name": "uf_decode_d5_p05"' \
+        '"name": "matching_exact_d3_p05"' \
+        '"uf_over_exact_d3_p05"' '"uf_scaling_dmax_over_d3_p05"'; do
+        if ! grep -qF "$key" "$report"; then
+            echo "error: $report lost key $key" >&2
+            exit 1
+        fi
+    done
+    # Nonzero medians: a decoder bench that timed nothing must not pass.
+    awk -F': ' '
+        /"median_ns"/ { rows += 1; if ($2 + 0 <= 0) bad = 1 }
+        END { exit (rows >= 3 && !bad) ? 0 : 1 }
+    ' "$report" || {
+        echo "error: $report must report positive decode medians" >&2
+        exit 1
+    }
+done
+echo "ok: BENCH_decoder.json schema-valid with positive medians"
 
 echo "== crash-recovery gate: serve_chaos --smoke =="
 # The shot-service chaos drill (DESIGN.md §9.5, §12): spawns
