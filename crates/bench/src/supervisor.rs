@@ -177,6 +177,16 @@ pub struct QuarantineRecord {
     pub attempts: u32,
     /// The last error observed.
     pub error: String,
+    /// Whether the last error was a typed [`ShotError::Cancelled`] —
+    /// the run's [`CancelToken`] (or a per-batch cancellation) stopped
+    /// the batch, as opposed to a genuine failure. Set at quarantine
+    /// time from the error variant, never by matching message text, so
+    /// consumers (the daemon's requeue-vs-fail decision) stay correct
+    /// even when an error message happens to contain "cancelled".
+    /// Runtime-only: not persisted in `quarantine.csv` (a CSV replay
+    /// resubmits regardless of cause), so [`parse_row`](Self::parse_row)
+    /// always yields `false`.
+    pub cancelled: bool,
 }
 
 impl QuarantineRecord {
@@ -216,6 +226,7 @@ impl QuarantineRecord {
             task,
             attempts,
             error,
+            cancelled: false,
         })
     }
 }
@@ -873,7 +884,8 @@ impl<T: Send + 'static> Supervisor<T> {
         }
         let next = attempt + 1;
         if next >= self.config.max_attempts {
-            self.quarantine(task, next, error.to_string());
+            let cancelled = matches!(error, ShotError::Cancelled { .. });
+            self.quarantine(task, next, error.to_string(), cancelled);
         } else {
             self.issued[task] = next;
             self.stats.retries += 1;
@@ -898,12 +910,12 @@ impl<T: Send + 'static> Supervisor<T> {
             if !self.resolved[task] {
                 self.stats.cancelled += 1;
                 let attempts = self.issued[task];
-                self.quarantine(task, attempts, reason.clone());
+                self.quarantine(task, attempts, reason.clone(), true);
             }
         }
     }
 
-    fn quarantine(&mut self, task: usize, attempts: u32, error: String) {
+    fn quarantine(&mut self, task: usize, attempts: u32, error: String, cancelled: bool) {
         if self.resolved[task] {
             return;
         }
@@ -914,6 +926,7 @@ impl<T: Send + 'static> Supervisor<T> {
             task,
             attempts,
             error,
+            cancelled,
         });
     }
 
@@ -961,7 +974,7 @@ impl<T: Send + 'static> Supervisor<T> {
             let mut attempt = start;
             loop {
                 if attempt >= self.config.max_attempts {
-                    self.quarantine(task, attempt, "retry budget exhausted".to_owned());
+                    self.quarantine(task, attempt, "retry budget exhausted".to_owned(), false);
                     break;
                 }
                 let pending = Pending {
@@ -993,7 +1006,8 @@ impl<T: Send + 'static> Supervisor<T> {
                         }
                         attempt += 1;
                         if attempt >= self.config.max_attempts {
-                            self.quarantine(task, attempt, error.to_string());
+                            let cancelled = matches!(error, ShotError::Cancelled { .. });
+                            self.quarantine(task, attempt, error.to_string(), cancelled);
                             break;
                         }
                         self.stats.retries += 1;
@@ -1190,8 +1204,32 @@ mod tests {
         );
         assert!(report.stats.cancelled > 0);
         for q in &report.quarantined {
+            assert!(q.cancelled, "not typed as cancelled: {q:?}");
             assert!(q.error.contains("cancelled"), "{}", q.error);
         }
+    }
+
+    #[test]
+    fn quarantine_cancellation_flag_is_typed_not_textual() {
+        // An error whose *message* merely mentions cancellation must not
+        // classify as cancelled — only the typed variant may. This is
+        // the regression the daemon's requeue-vs-fail decision rests on
+        // (it used to substring-match the message).
+        let report: SupervisorReport<()> = run_supervised(&config(1), specs(1), |_| {
+            Err(ShotError::PoolFailure(
+                "backend reported: upstream cancelled the lease".to_owned(),
+            ))
+        });
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(!report.quarantined[0].cancelled, "textual match leaked in");
+
+        let report: SupervisorReport<()> = run_supervised(&config(1), specs(1), |_| {
+            Err(ShotError::Cancelled {
+                reason: "stopped by test".to_owned(),
+            })
+        });
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].cancelled, "typed variant not flagged");
     }
 
     #[test]
@@ -1216,10 +1254,7 @@ mod tests {
         assert!(token.is_cancelled());
         assert!(report.stats.cancelled > 0, "no batch was cancelled");
         assert!(
-            report
-                .quarantined
-                .iter()
-                .all(|q| q.error.contains("cancelled")),
+            report.quarantined.iter().all(|q| q.cancelled),
             "{:?}",
             report.quarantined
         );
@@ -1237,6 +1272,7 @@ mod tests {
             task: 14,
             attempts: 3,
             error: "worker panic: chaos, injected\nboom".to_owned(),
+            cancelled: false,
         };
         let row = record.to_row();
         let parsed = QuarantineRecord::parse_row(&row).unwrap();
@@ -1264,12 +1300,14 @@ mod tests {
                 task: 0,
                 attempts: 3,
                 error: "watchdog timeout: batch exceeded 50 ms".to_owned(),
+                cancelled: false,
             },
             QuarantineRecord {
                 key: "b-r1".to_owned(),
                 task: 5,
                 attempts: 2,
                 error: "worker panic: chaos".to_owned(),
+                cancelled: false,
             },
         ];
         let mut text = format!("{QUARANTINE_HEADER}\n");
@@ -1292,6 +1330,7 @@ mod tests {
                 task: 0,
                 attempts: 3,
                 error: "a, b\nc".to_owned(),
+                cancelled: false,
             }],
             divergences: Vec::new(),
             stats: SupervisorStats::default(),

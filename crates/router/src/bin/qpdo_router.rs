@@ -176,12 +176,13 @@ fn main() {
     match run(listener, &journal_dir, &backends, config) {
         Ok(stats) => {
             println!(
-                "drained: routed={} acked={} completed={} failed={} shed={} duplicates={} \
-                 rebinds={}",
+                "drained: routed={} acked={} completed={} failed={} partials={} shed={} \
+                 duplicates={} rebinds={}",
                 stats.routed,
                 stats.acked,
                 stats.completed,
                 stats.failed,
+                stats.partials,
                 stats.shed,
                 stats.duplicates,
                 stats.rebinds

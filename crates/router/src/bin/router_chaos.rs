@@ -275,7 +275,7 @@ fn wait_terminal(router: &Router, id: &str) -> JobState {
         match client.call(&RouterRequest::Core(Request::Query(id.to_owned()))) {
             Ok(RouterResponse::Core(Response::State(
                 _,
-                state @ (JobState::Done(_) | JobState::Failed(_)),
+                state @ (JobState::Done(_) | JobState::Failed(_) | JobState::Partial(_)),
             ))) => return state,
             Ok(RouterResponse::Core(Response::State(..))) => {}
             Ok(other) => panic!("query {id} answered {other:?}"),

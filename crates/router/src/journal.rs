@@ -145,6 +145,10 @@ impl RouterRecord {
                 id,
                 outcome: JobOutcome::Failed(error),
             } => format!("failed {id} {error}"),
+            RouterRecord::Terminal {
+                id,
+                outcome: JobOutcome::Partial(detail),
+            } => format!("partial {id} {detail}"),
             RouterRecord::Snapshot => "snapshot".to_owned(),
             RouterRecord::Pruned { count, hashes } => {
                 let mut line = format!("pruned {count}");
@@ -190,6 +194,10 @@ impl RouterRecord {
             ["failed", id, error @ ..] => Ok(RouterRecord::Terminal {
                 id: (*id).to_owned(),
                 outcome: JobOutcome::Failed(error.join(" ")),
+            }),
+            ["partial", id, detail @ ..] => Ok(RouterRecord::Terminal {
+                id: (*id).to_owned(),
+                outcome: JobOutcome::Partial(detail.join(" ")),
             }),
             ["snapshot"] => Ok(RouterRecord::Snapshot),
             ["pruned", count, hashes @ ..] => Ok(RouterRecord::Pruned {
@@ -802,6 +810,10 @@ mod tests {
             RouterRecord::Terminal {
                 id: "j2".to_owned(),
                 outcome: JobOutcome::Failed("deadline exceeded".to_owned()),
+            },
+            RouterRecord::Terminal {
+                id: "j3".to_owned(),
+                outcome: JobOutcome::Partial("128 4096 3 0.000244 0.002135".to_owned()),
             },
             RouterRecord::Snapshot,
             RouterRecord::Pruned {

@@ -142,6 +142,9 @@ pub struct FleetSnapshot {
     pub completed: u64,
     /// Jobs terminally failed, fleet-wide.
     pub failed: u64,
+    /// Jobs that delivered an anytime `Partial` result at their
+    /// deadline, fleet-wide (a delivered terminal, like `completed`).
+    pub partials: u64,
     /// Submissions shed by the router (fleet dead, inflight cap, drain).
     pub shed: u64,
     /// Submissions deduplicated against an existing binding.
@@ -157,7 +160,7 @@ impl FleetSnapshot {
     fn encode(&self) -> String {
         let members: Vec<String> = self.members.iter().map(MemberHealth::encode).collect();
         format!(
-            "fleet {} inflight={} routed={} acked={} completed={} failed={} shed={} \
+            "fleet {} inflight={} routed={} acked={} completed={} failed={} partials={} shed={} \
              duplicates={} rebinds={} members={}",
             if self.accepting { "ok" } else { "draining" },
             self.inflight,
@@ -165,6 +168,7 @@ impl FleetSnapshot {
             self.acked,
             self.completed,
             self.failed,
+            self.partials,
             self.shed,
             self.duplicates,
             self.rebinds,
@@ -193,6 +197,7 @@ impl FleetSnapshot {
             acked: 0,
             completed: 0,
             failed: 0,
+            partials: 0,
             shed: 0,
             duplicates: 0,
             rebinds: 0,
@@ -206,6 +211,7 @@ impl FleetSnapshot {
                 "acked" => snapshot.acked = value.parse().map_err(|_| bad())?,
                 "completed" => snapshot.completed = value.parse().map_err(|_| bad())?,
                 "failed" => snapshot.failed = value.parse().map_err(|_| bad())?,
+                "partials" => snapshot.partials = value.parse().map_err(|_| bad())?,
                 "shed" => snapshot.shed = value.parse().map_err(|_| bad())?,
                 "duplicates" => snapshot.duplicates = value.parse().map_err(|_| bad())?,
                 "rebinds" => snapshot.rebinds = value.parse().map_err(|_| bad())?,
@@ -347,6 +353,7 @@ mod tests {
             acked: 39,
             completed: 30,
             failed: 2,
+            partials: 1,
             shed: 5,
             duplicates: 7,
             rebinds: 4,
@@ -382,6 +389,7 @@ mod tests {
                 acked: 0,
                 completed: 0,
                 failed: 0,
+                partials: 0,
                 shed: 0,
                 duplicates: 0,
                 rebinds: 0,

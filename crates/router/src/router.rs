@@ -142,6 +142,10 @@ pub struct RouterStats {
     pub completed: u64,
     /// Jobs terminally failed, fleet-wide.
     pub failed: u64,
+    /// Jobs that delivered an anytime `Partial` result at their
+    /// deadline, fleet-wide. A partial is a delivered terminal: it
+    /// counts toward exactly-once accounting like `completed`.
+    pub partials: u64,
     /// Submissions shed (no live member, inflight cap, drain,
     /// connection cap).
     pub shed: u64,
@@ -302,6 +306,10 @@ pub fn run(
                 stats.acked += 1;
                 stats.failed += 1;
             }
+            RouteState::Terminal(JobOutcome::Partial(_)) => {
+                stats.acked += 1;
+                stats.partials += 1;
+            }
         }
         jobs.insert(
             job.spec.id.clone(),
@@ -427,6 +435,9 @@ fn handle_connection(service: &Arc<RouterService>, mut stream: TcpStream) -> io:
             }
             Ok(RouterRequest::Core(Request::Query(id))) => {
                 RouterResponse::Core(handle_query(service, &id))
+            }
+            Ok(RouterRequest::Core(Request::Progress(id))) => {
+                RouterResponse::Core(handle_progress(service, &id))
             }
             Ok(RouterRequest::Core(Request::Health)) => {
                 RouterResponse::Core(Response::Health(Box::new(synthesize_health(service))))
@@ -896,6 +907,7 @@ fn record_terminal(service: &RouterService, id: &str, outcome: JobOutcome) {
     match &outcome {
         JobOutcome::Done(_) => state.stats.completed += 1,
         JobOutcome::Failed(_) => state.stats.failed += 1,
+        JobOutcome::Partial(_) => state.stats.partials += 1,
     }
     state.jobs.get_mut(id).expect("job exists").state = RouteState::Terminal(outcome);
     state.inflight -= 1;
@@ -928,6 +940,9 @@ fn handle_query(service: &RouterService, id: &str) -> Response {
                 RouteState::Terminal(JobOutcome::Failed(error)) => {
                     return Response::State(id.to_owned(), JobState::Failed(error.clone()))
                 }
+                RouteState::Terminal(JobOutcome::Partial(detail)) => {
+                    return Response::State(id.to_owned(), JobState::Partial(detail.clone()))
+                }
                 in_flight => {
                     let fallback = if *in_flight == RouteState::Acked {
                         JobState::Running
@@ -954,6 +969,12 @@ fn handle_query(service: &RouterService, id: &str) -> Response {
             record_terminal(service, id, JobOutcome::Failed(error.clone()));
             Response::State(id.to_owned(), JobState::Failed(error))
         }
+        Ok(Response::State(_, JobState::Partial(detail))) => {
+            // An anytime partial is a delivered terminal: cache it so
+            // the result survives the member pruning or leaving.
+            record_terminal(service, id, JobOutcome::Partial(detail.clone()));
+            Response::State(id.to_owned(), JobState::Partial(detail))
+        }
         Ok(Response::State(_, live)) => Response::State(id.to_owned(), live),
         Ok(Response::Rejected(rejection)) if rejection.code == RejectCode::Pruned => {
             let outcome = JobOutcome::Failed(format!("member {member}: {rejection}"));
@@ -963,6 +984,57 @@ fn handle_query(service: &RouterService, id: &str) -> Response {
         // "unknown job" = not delivered yet; errors = member down. The
         // binding still stands, so report the router's own view.
         _ => Response::State(id.to_owned(), fallback),
+    }
+}
+
+/// Relays a `progress` query to the bound member. Terminal outcomes
+/// answer from the router's own journal (mirroring `query`); a job the
+/// member has not seen yet — or an unreachable member — reports zero
+/// completed shots rather than an error, since the binding stands.
+fn handle_progress(service: &RouterService, id: &str) -> Response {
+    let zeros = |id: &str| Response::Progress {
+        id: id.to_owned(),
+        batches: 0,
+        shots: 0,
+        failures: 0,
+    };
+    let addr = {
+        let state = service.lock_state();
+        match state.jobs.get(id) {
+            None => {
+                if service.lock_journal().was_pruned(id) {
+                    return Response::rejected(
+                        RejectCode::Pruned,
+                        format!(
+                            "job {id} already reached a terminal state; \
+                             its result was pruned by journal retention"
+                        ),
+                    );
+                }
+                return Response::rejected(RejectCode::UnknownJob, format!("unknown job {id:?}"));
+            }
+            Some(job) => match &job.state {
+                RouteState::Terminal(JobOutcome::Done(record)) => {
+                    return Response::State(id.to_owned(), JobState::Done(record.clone()))
+                }
+                RouteState::Terminal(JobOutcome::Failed(error)) => {
+                    return Response::State(id.to_owned(), JobState::Failed(error.clone()))
+                }
+                RouteState::Terminal(JobOutcome::Partial(detail)) => {
+                    return Response::State(id.to_owned(), JobState::Partial(detail.clone()))
+                }
+                _ => state.members.get(&job.member).map(|m| m.addr.clone()),
+            },
+        }
+    };
+    let Some(addr) = addr else {
+        return zeros(id);
+    };
+    let relayed = Client::connect(addr.as_str(), service.member_timeout())
+        .and_then(|mut client| client.call(&Request::Progress(id.to_owned())));
+    match relayed {
+        Ok(response @ (Response::Progress { .. } | Response::State(..))) => response,
+        _ => zeros(id),
     }
 }
 
@@ -1072,6 +1144,11 @@ fn synthesize_health(service: &RouterService) -> HealthSnapshot {
         accepted: state.stats.routed,
         completed: state.stats.completed,
         failed: state.stats.failed,
+        partials: state.stats.partials,
+        // Routers relay shot sweeps, never execute them: no batches of
+        // their own, and nothing to checkpoint.
+        batches: 0,
+        checkpointing: false,
         shed: state.stats.shed,
         duplicates: state.stats.duplicates,
         breaker_trips: state.members.values().map(|m| m.breaker.trips()).sum(),
@@ -1102,6 +1179,7 @@ fn fleet_snapshot(service: &RouterService) -> FleetSnapshot {
         acked: state.stats.acked,
         completed: state.stats.completed,
         failed: state.stats.failed,
+        partials: state.stats.partials,
         shed: state.stats.shed,
         duplicates: state.stats.duplicates,
         rebinds: state.stats.rebinds,
@@ -1278,6 +1356,9 @@ fn poll_member(service: &RouterService, id: &str, member: &str, addr: &str) {
         }
         Ok(Response::State(_, JobState::Failed(error))) => {
             record_terminal(service, id, JobOutcome::Failed(error));
+        }
+        Ok(Response::State(_, JobState::Partial(detail))) => {
+            record_terminal(service, id, JobOutcome::Partial(detail));
         }
         Ok(Response::State(_, _)) => {}
         Ok(Response::Rejected(rejection)) if rejection.code == RejectCode::Pruned => {

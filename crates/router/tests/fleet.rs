@@ -12,12 +12,13 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use qpdo_bench::supervisor::CancelToken;
-use qpdo_router::journal::{RouterJournal, RouterRecord};
+use qpdo_router::journal::{recover as recover_bindings, RouteState, RouterJournal, RouterRecord};
 use qpdo_router::protocol::{RouterClient, RouterRequest, RouterResponse};
 use qpdo_router::router::{run, RouterConfig, RouterStats};
 use qpdo_serve::daemon::{serve, DaemonConfig, ServeStats};
 use qpdo_serve::job::{execute, job_seed, JobKind, JobSpec};
 use qpdo_serve::protocol::{JobState, RejectCode, Request, Response};
+use qpdo_serve::wal::JobOutcome;
 
 const TIMEOUT: Duration = Duration::from_secs(60);
 
@@ -119,7 +120,7 @@ impl TestRouter {
             {
                 RouterResponse::Core(Response::State(
                     _,
-                    state @ (JobState::Done(_) | JobState::Failed(_)),
+                    state @ (JobState::Done(_) | JobState::Failed(_) | JobState::Partial(_)),
                 )) => return state,
                 RouterResponse::Core(Response::State(..)) => {}
                 other => panic!("query {id} answered {other:?}"),
@@ -505,6 +506,119 @@ fn an_empty_fleet_rejects_rather_than_hangs() {
     }
     let stats = router.drain();
     assert_eq!(stats.shed, 1);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+/// Tentpole (PR 10): a deadline that lands mid-sweep delivers an
+/// anytime `partial` terminal through the router instead of a bare
+/// failure. The fleet treats the partial exactly like `done` for
+/// exactly-once accounting — one terminal binding in the router
+/// journal, one `partials` tick fleet-wide — and the `progress` verb
+/// relays live completed-batch counts from the bound member while the
+/// sweep is still running.
+#[test]
+fn deadline_partial_is_a_delivered_terminal_fleet_wide() {
+    let config = DaemonConfig::default();
+    let (members, router, journal_dir) = fleet("partial", 1, config);
+
+    // A surface sweep far too large for its deadline: the member must
+    // stop at expiry and deliver the completed prefix as a partial.
+    let mut spec = surface("partial-1", 11, 0.05, 1_000_000);
+    spec.deadline_ms = Some(600);
+    assert_eq!(router.submit(&spec), Response::Accepted(spec.id.clone()));
+
+    // Live progress relays from the bound member mid-run.
+    let mut saw_live_progress = false;
+    let mut client = router.client();
+    let poll_deadline = Instant::now() + TIMEOUT;
+    while Instant::now() < poll_deadline {
+        match client
+            .call(&RouterRequest::Core(Request::Progress(spec.id.clone())))
+            .expect("progress call")
+        {
+            RouterResponse::Core(Response::Progress { batches, shots, .. }) => {
+                if batches > 0 {
+                    assert!(shots > 0, "a completed batch carries shots");
+                    saw_live_progress = true;
+                    break;
+                }
+            }
+            // Already terminal: the sweep outran the poll loop.
+            RouterResponse::Core(Response::State(..)) => break,
+            other => panic!("progress answered {other:?}"),
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        saw_live_progress,
+        "never observed live progress before the deadline"
+    );
+
+    let state = router.wait_terminal(&spec.id);
+    let JobState::Partial(detail) = state else {
+        panic!("deadline sweep ended as {state:?}, expected a partial");
+    };
+    // detail = "{shots} {target} {failures} {ci_lo} {ci_hi}"
+    let fields: Vec<&str> = detail.split_whitespace().collect();
+    assert_eq!(fields.len(), 5, "partial detail {detail:?}");
+    let shots: u64 = fields[0].parse().expect("completed shots");
+    let target: u64 = fields[1].parse().expect("target shots");
+    let failures: u64 = fields[2].parse().expect("failures");
+    let lo: f64 = fields[3].parse().expect("ci low");
+    let hi: f64 = fields[4].parse().expect("ci high");
+    assert!(shots > 0, "a partial must carry completed work: {detail}");
+    assert!(shots < target, "{detail}");
+    assert!(failures <= shots, "{detail}");
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "the Wilson interval must be a sane probability range: {detail}"
+    );
+
+    // After the terminal, `progress` answers with the cached state.
+    match client
+        .call(&RouterRequest::Core(Request::Progress(spec.id.clone())))
+        .expect("post-terminal progress call")
+    {
+        RouterResponse::Core(Response::State(_, JobState::Partial(cached))) => {
+            assert_eq!(cached, detail);
+        }
+        other => panic!("post-terminal progress answered {other:?}"),
+    }
+
+    // Fleet-wide accounting: the partial is a delivered terminal.
+    match router.client().call(&RouterRequest::Fleet).unwrap() {
+        RouterResponse::Fleet(snapshot) => {
+            assert_eq!(snapshot.partials, 1);
+            assert_eq!(snapshot.completed, 0);
+        }
+        other => panic!("fleet request answered {other:?}"),
+    }
+
+    let stats = router.drain();
+    assert_eq!(stats.partials, 1);
+    assert_eq!(stats.completed, 0);
+    for member in members {
+        assert_eq!(member.drain().partials, 1);
+    }
+
+    // Exactly-once audit: the router journal holds exactly one
+    // terminal binding for the job, and it is the partial.
+    let bindings = recover_bindings(&journal_dir).expect("router journal readable");
+    assert!(
+        bindings.is_consistent(),
+        "router journal: duplicate terminals {:?}",
+        bindings.duplicate_terminals
+    );
+    let terminals: Vec<_> = bindings
+        .jobs
+        .iter()
+        .filter(|j| j.spec.id == spec.id)
+        .collect();
+    assert_eq!(terminals.len(), 1, "exactly one binding for the job");
+    match &terminals[0].state {
+        RouteState::Terminal(JobOutcome::Partial(journaled)) => assert_eq!(journaled, &detail),
+        other => panic!("binding for {} is {other:?}", spec.id),
+    }
     let _ = std::fs::remove_dir_all(&journal_dir);
 }
 

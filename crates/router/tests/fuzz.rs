@@ -53,6 +53,9 @@ const DICT: &[&str] = &[
     "bell",
     "ler_surface",
     "13",
+    "progress",
+    "partial",
+    "partials=",
     "\u{2603}",
 ];
 
@@ -106,8 +109,9 @@ fn valid_router_lines_survive_truncation_at_every_boundary() {
         "left d0",
         "fleet ok inflight=0 routed=0 acked=0 completed=0 failed=0 shed=0 duplicates=0 \
          rebinds=0 members=-",
-        "fleet draining inflight=3 routed=40 acked=39 completed=30 failed=2 shed=5 \
-         duplicates=7 rebinds=4 members=d0:closed:2:127.0.0.1:4100,d1:half-open:0:[::1]:4101",
+        "fleet draining inflight=3 routed=40 acked=39 completed=30 failed=2 partials=1 \
+         shed=5 duplicates=7 rebinds=4 \
+         members=d0:closed:2:127.0.0.1:4100,d1:half-open:0:[::1]:4101",
         "rejected unavailable fleet has no live member",
     ];
     for line in requests.iter().chain(responses.iter()) {
@@ -154,6 +158,7 @@ fn fleet_snapshots_round_trip_and_survive_mutation() {
             acked: rng.gen_range(0..1000),
             completed: rng.gen_range(0..1000),
             failed: rng.gen_range(0..1000),
+            partials: rng.gen_range(0..1000),
             shed: rng.gen_range(0..1000),
             duplicates: rng.gen_range(0..1000),
             rebinds: rng.gen_range(0..1000),

@@ -17,8 +17,10 @@
 //!     [--max-job-attempts N] [--breaker-threshold N]
 //!     [--breaker-cooloff-ms N] [--retain-terminal N]
 //!     [--max-conns N] [--io-timeout-ms N]
+//!     [--progress-batches N]
 //!     [--chaos-backend-fail BACKEND:N] [--chaos-stall-ms N]
-//!     [--chaos-fsync-fail N]
+//!     [--chaos-fsync-fail N] [--chaos-progress-fail N]
+//!     [--chaos-corrupt-checkpoint]
 //! ```
 
 use std::io::Write as _;
@@ -45,9 +47,12 @@ usage: qpdo_serve --wal-dir DIR [options]
   --commit-batch N          max journal records folded into one fsync (default 64)
   --commit-interval-us N    wait for commit-batch stragglers, 0 = sync now (default 200)
   --max-inflight-bytes N    event loop read-pause threshold, bytes (default 1048576)
+  --progress-batches N      journal a resume checkpoint every N sweep batches, 0 = off (default 8)
   --chaos-backend-fail B:N  fault injection: first N executions on backend B fail
   --chaos-stall-ms N        fault injection: stall every execution N ms
   --chaos-fsync-fail N      fault injection: journal fsync fails after N successes
+  --chaos-progress-fail N   fault injection: progress appends fail (ENOSPC) after N successes
+  --chaos-corrupt-checkpoint  fault injection: corrupt every other journaled checkpoint
 plus the shared harness flags:
 ";
 
@@ -155,9 +160,21 @@ fn main() {
                 config.max_inflight_bytes =
                     parse_ms("--max-inflight-bytes", &v, false).min(usize::MAX as u64) as usize;
             }
+            "--progress-batches" => {
+                let v = flag_value(&mut args, i, "--progress-batches");
+                config.progress_batches = parse_ms("--progress-batches", &v, true);
+            }
             "--chaos-fsync-fail" => {
                 let v = flag_value(&mut args, i, "--chaos-fsync-fail");
                 config.chaos_fsync_fail = Some(parse_ms("--chaos-fsync-fail", &v, true));
+            }
+            "--chaos-progress-fail" => {
+                let v = flag_value(&mut args, i, "--chaos-progress-fail");
+                config.chaos_progress_fail = Some(parse_ms("--chaos-progress-fail", &v, true));
+            }
+            "--chaos-corrupt-checkpoint" => {
+                args.remove(i);
+                config.chaos_corrupt_checkpoint = true;
             }
             "--chaos-backend-fail" => {
                 let v = flag_value(&mut args, i, "--chaos-backend-fail");
@@ -221,13 +238,16 @@ fn main() {
     match serve(listener, &wal_dir, config) {
         Ok(stats) => {
             println!(
-                "drained: accepted={} completed={} failed={} shed={} duplicates={} reroutes={}",
+                "drained: accepted={} completed={} failed={} partials={} shed={} \
+                 duplicates={} reroutes={} batches={}",
                 stats.accepted,
                 stats.completed,
                 stats.failed,
+                stats.partials,
                 stats.shed,
                 stats.duplicates,
-                stats.reroutes
+                stats.reroutes,
+                stats.batches
             );
         }
         Err(e) => {

@@ -34,6 +34,19 @@
 //!    daemon into a refuse-new-work degraded state (typed `journal` /
 //!    `degraded` rejections, health stops advertising `accepting`);
 //!    a restart without the fault completes every acked job golden.
+//! 10. **Resume** — SIGKILL mid shot-sweep; the restarted daemon
+//!     resumes from the last durable checkpoint, re-executes strictly
+//!     fewer batches than a scratch run (proven by the execution
+//!     counter), and the final record is byte-identical to the
+//!     unfaulted golden execution.
+//! 11. **Anytime partial** — a deadline landing mid-sweep yields a
+//!     typed `partial` terminal carrying the completed shots and a
+//!     Wilson interval instead of a bare failure; the `progress` verb
+//!     reports live batch counts before and the cached partial after.
+//! 12. **Checkpoint faults** — injected ENOSPC on progress appends
+//!     degrades checkpointing to off (health flag) while jobs keep
+//!     completing golden; injected checkpoint corruption is dropped at
+//!     replay in favour of the previous valid checkpoint.
 //!
 //! `--smoke` runs a reduced configuration; `--seed N` changes the
 //! deterministic workload. Exits non-zero on the first violated
@@ -154,7 +167,10 @@ fn wait_terminal(daemon: &Daemon, id: &str) -> JobState {
     let mut client = daemon.client();
     loop {
         match client.call(&Request::Query(id.to_owned())) {
-            Ok(Response::State(_, state @ (JobState::Done(_) | JobState::Failed(_)))) => {
+            Ok(Response::State(
+                _,
+                state @ (JobState::Done(_) | JobState::Failed(_) | JobState::Partial(_)),
+            )) => {
                 return state;
             }
             Ok(Response::State(..)) => {}
@@ -543,6 +559,14 @@ fn drain_deadline_drill(root: &Path, seed: u64, jobs: usize) {
             // A job that finished before its deadline fired keeps its
             // completion — but only one terminal record either way.
             Some(JobOutcome::Done(_)) => {}
+            // Bell jobs never checkpoint, so an anytime partial here
+            // would mean the daemon invented progress from nothing.
+            Some(JobOutcome::Partial(detail)) => {
+                panic!(
+                    "{} journaled a partial ({detail}) without progress",
+                    job.spec.id
+                )
+            }
             None => unreachable!("pending() was empty"),
         }
     }
@@ -972,6 +996,362 @@ fn fsync_failure_drill(root: &Path, seed: u64) {
     println!("   recovered: acked jobs golden, fresh work accepted");
 }
 
+/// Polls the `progress` verb until the job reports at least `batches`
+/// completed batches, panicking if the job goes terminal first (the
+/// drill workload was sized too small for its machine).
+fn wait_batches(client: &mut Client, id: &str, batches: u64) -> u64 {
+    let deadline = Instant::now() + TERMINAL_TIMEOUT;
+    loop {
+        match client
+            .call(&Request::Progress(id.to_owned()))
+            .expect("progress call")
+        {
+            Response::Progress {
+                batches: done,
+                shots,
+                ..
+            } => {
+                if done >= batches {
+                    assert!(shots > 0, "{id}: completed batches must carry shots");
+                    return done;
+                }
+            }
+            Response::State(_, state) => {
+                panic!("{id} went terminal ({state:?}) before {batches} batches; grow the workload")
+            }
+            other => panic!("progress {id} answered {other:?}"),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{id} never reached {batches} batches"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn health(client: &mut Client) -> qpdo_serve::protocol::HealthSnapshot {
+    match client.call(&Request::Health).expect("health call") {
+        Response::Health(health) => *health,
+        other => panic!("health request answered {other:?}"),
+    }
+}
+
+/// Drill 10: SIGKILL mid shot-sweep, resume from the durable
+/// checkpoint. The restarted daemon must finish the job byte-identical
+/// to an unfaulted scratch run while re-executing strictly fewer
+/// batches — exactly the suffix past the checkpoint, proven by the
+/// `batches` execution counter in its health snapshot.
+fn resume_drill(root: &Path, seed: u64, d: usize, shots: u64, kill_after: u64) {
+    println!(
+        "== resume drill: SIGKILL a d={d} sweep of {shots} shots at >={kill_after} batches =="
+    );
+    let wal_dir = fresh_dir(root, "resume-wal");
+    let total_batches = shots.div_ceil(64);
+    assert!(kill_after < total_batches, "drill must kill mid-sweep");
+    let mut daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1", "--progress-batches", "4"]);
+    let spec = job(
+        "resume-1",
+        JobKind::LerSurface {
+            d,
+            per: 0.05,
+            shots,
+        },
+    );
+    let mut client = daemon.client();
+    assert_eq!(
+        submit(&mut client, &spec),
+        Response::Accepted(spec.id.clone())
+    );
+    let observed = wait_batches(&mut client, &spec.id, kill_after);
+    daemon.kill();
+
+    // Offline audit of the torn journal: the sweep is pending with a
+    // plausible durable checkpoint strictly inside the run.
+    let recovery = recover(&wal_dir).expect("torn journal still readable");
+    assert!(
+        recovery.is_consistent(),
+        "torn journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    let resumable = recovery.resumable();
+    assert!(
+        resumable.iter().any(|(j, _)| j.spec.id == spec.id),
+        "the killed sweep must be reported resumable, got {:?}",
+        resumable
+            .iter()
+            .map(|(j, _)| &j.spec.id)
+            .collect::<Vec<_>>()
+    );
+    let ckpt = recovery
+        .jobs
+        .iter()
+        .find(|j| j.spec.id == spec.id)
+        .expect("killed sweep in the journal")
+        .checkpoint
+        .clone()
+        .expect("a durable checkpoint survived the kill");
+    assert!(ckpt.plausible(), "recovered checkpoint {ckpt:?}");
+    assert!(
+        ckpt.batches >= 4 && ckpt.batches < total_batches,
+        "checkpoint at {} of {total_batches} batches",
+        ckpt.batches
+    );
+    println!(
+        "   killed at >={observed} batches, durable checkpoint at {} of {total_batches}",
+        ckpt.batches
+    );
+
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1", "--progress-batches", "4"]);
+    match wait_terminal(&daemon, &spec.id) {
+        JobState::Done(record) => assert_eq!(
+            record,
+            golden(seed, &spec),
+            "the resumed run must be byte-identical to an unfaulted scratch run"
+        ),
+        other => panic!("resumed sweep ended as {other:?}"),
+    }
+    // The execution counter proves the checkpoint saved work: the
+    // restarted daemon ran exactly the unfinished suffix, never the
+    // whole sweep again.
+    let mut client = daemon.client();
+    let snapshot = health(&mut client);
+    assert_eq!(
+        snapshot.batches,
+        total_batches - ckpt.batches,
+        "resume must re-execute exactly the batches past the checkpoint"
+    );
+    assert!(
+        snapshot.batches < total_batches,
+        "resume re-executed the whole sweep from scratch"
+    );
+    daemon.drain();
+
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert!(recovery.pending().is_empty(), "no job may stay pending");
+    println!(
+        "   resumed: {} of {total_batches} batches re-executed, result golden",
+        total_batches - ckpt.batches
+    );
+}
+
+/// Drill 11: a deadline landing mid-sweep ends the job as a typed
+/// anytime `partial` — completed shots, target, failures, and a Wilson
+/// interval — instead of a bare `deadline exceeded` failure. The
+/// `progress` verb answers live batch counts while the sweep runs and
+/// the cached partial after it lands.
+fn partial_drill(root: &Path, seed: u64) {
+    println!("== anytime partial drill: 600 ms deadline against a ~1M-shot sweep ==");
+    let wal_dir = fresh_dir(root, "partial-wal");
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1"]);
+    let spec = JobSpec {
+        id: "anytime-1".to_owned(),
+        deadline_ms: Some(600),
+        kind: JobKind::LerSurface {
+            d: 11,
+            per: 0.05,
+            shots: 1_000_000,
+        },
+    };
+    let mut client = daemon.client();
+    assert_eq!(
+        submit(&mut client, &spec),
+        Response::Accepted(spec.id.clone())
+    );
+    wait_batches(&mut client, &spec.id, 1);
+
+    let JobState::Partial(detail) = wait_terminal(&daemon, &spec.id) else {
+        panic!("deadlined sweep must end as an anytime partial");
+    };
+    // detail = "{shots} {target} {failures} {ci_lo} {ci_hi}"
+    let fields: Vec<&str> = detail.split_whitespace().collect();
+    assert_eq!(fields.len(), 5, "partial detail {detail:?}");
+    let done_shots: u64 = fields[0].parse().expect("completed shots");
+    let target: u64 = fields[1].parse().expect("target shots");
+    let failures: u64 = fields[2].parse().expect("failures");
+    let lo: f64 = fields[3].parse().expect("ci low");
+    let hi: f64 = fields[4].parse().expect("ci high");
+    assert!(
+        done_shots > 0,
+        "a partial must carry completed work: {detail}"
+    );
+    assert_eq!(target, 1_000_000, "{detail}");
+    assert!(done_shots < target, "{detail}");
+    assert!(failures <= done_shots, "{detail}");
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "the Wilson interval must be a sane probability range: {detail}"
+    );
+
+    // After the terminal, `progress` answers with the cached partial.
+    match client
+        .call(&Request::Progress(spec.id.clone()))
+        .expect("post-terminal progress call")
+    {
+        Response::State(_, JobState::Partial(cached)) => assert_eq!(cached, detail),
+        other => panic!("post-terminal progress answered {other:?}"),
+    }
+    let snapshot = health(&mut client);
+    assert_eq!(snapshot.partials, 1, "health must count the partial");
+    daemon.drain();
+
+    let recovery = recover(&wal_dir).expect("journal readable after drain");
+    assert!(
+        recovery.is_consistent(),
+        "journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    assert!(recovery.pending().is_empty(), "no job may stay pending");
+    match &recovery.jobs[0].outcome {
+        Some(JobOutcome::Partial(journaled)) => assert_eq!(journaled, &detail),
+        other => panic!("partial journaled as {other:?}"),
+    }
+    println!("   partial delivered: {done_shots} of {target} shots, CI [{lo}, {hi}]");
+}
+
+/// Drill 12: checkpoint-path fault injection.
+///
+/// Part A: progress appends start failing (injected ENOSPC) after two
+/// successes. Checkpointing must degrade to off — visible in health —
+/// while the running job and fresh submissions keep completing golden:
+/// losing checkpoint durability must never take down execution.
+///
+/// Part B: every other journaled checkpoint is corrupted in flight.
+/// After a SIGKILL, replay must drop the implausible records and fall
+/// back to the newest valid checkpoint, and the resumed run must still
+/// finish byte-identical to scratch.
+fn checkpoint_fault_drill(root: &Path, seed: u64, d: usize, shots: u64, kill_after: u64) {
+    println!("== checkpoint fault drill: ENOSPC degrade, then corrupt-checkpoint fallback ==");
+    let wal_dir = fresh_dir(root, "ckpt-enospc-wal");
+    let daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "1",
+            "--progress-batches",
+            "4",
+            "--chaos-progress-fail",
+            "2",
+        ],
+    );
+    let spec = job(
+        "enospc-1",
+        JobKind::LerSurface {
+            d: 9,
+            per: 0.05,
+            shots: 16384,
+        },
+    );
+    let mut client = daemon.client();
+    assert_eq!(
+        submit(&mut client, &spec),
+        Response::Accepted(spec.id.clone())
+    );
+    match wait_terminal(&daemon, &spec.id) {
+        JobState::Done(record) => assert_eq!(
+            record,
+            golden(seed, &spec),
+            "a job must survive losing its checkpoint stream"
+        ),
+        other => panic!("{} ended as {other:?}", spec.id),
+    }
+    let snapshot = health(&mut client);
+    assert!(
+        !snapshot.checkpointing,
+        "a failed progress append must degrade checkpointing to off"
+    );
+    assert!(
+        snapshot.accepting,
+        "checkpoint degradation is advisory: the daemon must keep accepting"
+    );
+    let fresh = job("enospc-fresh", JobKind::Bell { shots: 4 });
+    assert_eq!(
+        submit(&mut client, &fresh),
+        Response::Accepted(fresh.id.clone())
+    );
+    match wait_terminal(&daemon, &fresh.id) {
+        JobState::Done(record) => assert_eq!(record, golden(seed, &fresh)),
+        other => panic!("{} ended as {other:?}", fresh.id),
+    }
+    daemon.drain();
+    println!("   ENOSPC: checkpointing off, execution unharmed");
+
+    // Part B: corrupted checkpoints are dropped at replay.
+    let wal_dir = fresh_dir(root, "ckpt-corrupt-wal");
+    let mut daemon = Daemon::spawn(
+        &wal_dir,
+        seed,
+        &[
+            "--jobs",
+            "1",
+            "--progress-batches",
+            "4",
+            "--chaos-corrupt-checkpoint",
+        ],
+    );
+    let spec = job(
+        "corrupt-1",
+        JobKind::LerSurface {
+            d,
+            per: 0.05,
+            shots,
+        },
+    );
+    let mut client = daemon.client();
+    assert_eq!(
+        submit(&mut client, &spec),
+        Response::Accepted(spec.id.clone())
+    );
+    wait_batches(&mut client, &spec.id, kill_after);
+    daemon.kill();
+
+    let recovery = recover(&wal_dir).expect("torn journal still readable");
+    assert!(
+        recovery.is_consistent(),
+        "torn journal audit: duplicates {:?}, orphans {:?}",
+        recovery.duplicate_terminals,
+        recovery.orphaned
+    );
+    let ckpt = recovery
+        .jobs
+        .iter()
+        .find(|j| j.spec.id == spec.id)
+        .expect("killed sweep in the journal")
+        .checkpoint
+        .clone()
+        .expect("a valid checkpoint must survive the corrupted stream");
+    // Every other append was corrupted (failures > shots); replay must
+    // have fallen back to a plausible one, never surfaced the garbage.
+    assert!(
+        ckpt.plausible(),
+        "replay surfaced an implausible checkpoint: {ckpt:?}"
+    );
+    println!(
+        "   corruption: replay fell back to the valid checkpoint at batch {}",
+        ckpt.batches
+    );
+
+    let daemon = Daemon::spawn(&wal_dir, seed, &["--jobs", "1", "--progress-batches", "4"]);
+    match wait_terminal(&daemon, &spec.id) {
+        JobState::Done(record) => assert_eq!(
+            record,
+            golden(seed, &spec),
+            "resume from the fallback checkpoint must still be byte-identical"
+        ),
+        other => panic!("resumed sweep ended as {other:?}"),
+    }
+    daemon.drain();
+    println!("   corruption: resumed golden from the fallback checkpoint");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
@@ -1006,6 +1386,18 @@ fn main() {
     overload_wave_drill(&root, seed, if smoke { 2 } else { 3 }, 8);
     stall_drill(&root, seed);
     fsync_failure_drill(&root, seed);
+    // Shot-sweep sizes tuned so the kill lands mid-run on slow and
+    // fast machines alike: the kill waits on observed batch counts,
+    // not wall-clock guesses.
+    if smoke {
+        resume_drill(&root, seed, 9, 16384, 32);
+        partial_drill(&root, seed);
+        checkpoint_fault_drill(&root, seed, 9, 16384, 32);
+    } else {
+        resume_drill(&root, seed, 11, 65536, 256);
+        partial_drill(&root, seed);
+        checkpoint_fault_drill(&root, seed, 11, 65536, 64);
+    }
 
     std::fs::remove_dir_all(&root).expect("clean drill root");
     println!("serve_chaos: all drills passed");

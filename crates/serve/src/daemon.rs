@@ -41,7 +41,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -55,11 +55,11 @@ use qpdo_core::ShotError;
 use crate::breaker::CircuitBreaker;
 use crate::commit::{CommitError, GroupCommit};
 use crate::eventloop;
-use crate::job::{execute, Backend, JobKind, JobSpec};
+use crate::job::{execute_tracked, partial_detail, Backend, Execution, JobKind, JobSpec};
 use crate::protocol::{
     recv_line, send_line, HealthSnapshot, JobState, RejectCode, Request, Response,
 };
-use crate::wal::{JobOutcome, WalRecord, WriteAheadLog};
+use crate::wal::{Checkpoint, JobOutcome, WalRecord, WriteAheadLog};
 
 /// Which connection-handling architecture the daemon runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -118,6 +118,12 @@ pub struct DaemonConfig {
     /// backpressure into the peers' TCP windows instead of growing
     /// without bound.
     pub max_inflight_bytes: usize,
+    /// Journal a `progress` checkpoint every this many completed
+    /// batches of a resumable shot sweep (0 disables checkpointing).
+    /// Checkpoints are advisory — they bound re-execution after a
+    /// crash, never correctness — so pacing them trades WAL traffic
+    /// against recovery compute.
+    pub progress_batches: u64,
     /// Fault injection: the journal's active-segment fsync fails after
     /// this many have succeeded, forcing the degraded latch.
     pub chaos_fsync_fail: Option<u64>,
@@ -126,6 +132,15 @@ pub struct DaemonConfig {
     /// Fault injection: every execution stalls this long first (widens
     /// the kill window for crash drills).
     pub chaos_stall: Duration,
+    /// Fault injection: progress appends fail (as if the disk ran out
+    /// of space) after this many succeeded. Checkpointing degrades to
+    /// off — visible as `checkpoint=off` in health — while the job
+    /// itself keeps running to its normal terminal.
+    pub chaos_progress_fail: Option<u64>,
+    /// Fault injection: every other journaled checkpoint is corrupted
+    /// (failures > shots), exercising replay's plausibility gate and
+    /// the fall-back-to-previous-checkpoint path.
+    pub chaos_corrupt_checkpoint: bool,
 }
 
 impl Default for DaemonConfig {
@@ -147,9 +162,12 @@ impl Default for DaemonConfig {
             commit_batch: 64,
             commit_interval_us: 200,
             max_inflight_bytes: 1 << 20,
+            progress_batches: 8,
             chaos_fsync_fail: None,
             chaos_backend_fail: None,
             chaos_stall: Duration::ZERO,
+            chaos_progress_fail: None,
+            chaos_corrupt_checkpoint: false,
         }
     }
 }
@@ -163,12 +181,18 @@ pub struct ServeStats {
     pub completed: u64,
     /// Jobs terminally failed.
     pub failed: u64,
+    /// Jobs that delivered an anytime `Partial` result at deadline.
+    pub partials: u64,
     /// Submissions shed by admission control.
     pub shed: u64,
     /// Submissions absorbed as duplicates.
     pub duplicates: u64,
     /// Jobs routed to a non-preferred backend.
     pub reroutes: u64,
+    /// Shot-sweep batches executed by this process (resumed work starts
+    /// past its checkpoint, so a resumed run reports strictly fewer
+    /// batches than a scratch run — the crash drill's oracle).
+    pub batches: u64,
 }
 
 struct JobEntry {
@@ -181,6 +205,12 @@ struct JobEntry {
     /// re-executing, so the worst case on disk is a byte-identical
     /// duplicate record (which recovery absorbs), never a conflict.
     pending_outcome: Option<JobOutcome>,
+    /// The newest checkpoint of this job's shot sweep: updated live by
+    /// the executing worker after every batch (what the `progress`
+    /// query reports), seeded from the journal at recovery (what a
+    /// resumed dispatch starts from), and the prefix a deadline expiry
+    /// turns into a `Partial` instead of discarding.
+    progress: Option<Checkpoint>,
 }
 
 impl JobEntry {
@@ -200,6 +230,9 @@ pub(crate) struct ServiceState {
     pub(crate) stats: ServeStats,
     breakers: [CircuitBreaker; 3],
     chaos_backend_fail: Option<(Backend, u32)>,
+    /// Remaining progress appends before the injected ENOSPC fires
+    /// (`None` = no injection).
+    chaos_progress_fail: Option<u64>,
     /// Ids reserved by submissions whose accept record is in flight to
     /// the commit thread. They hold queue capacity (so backpressure
     /// counts them) and block a concurrent same-id submission, and a
@@ -218,7 +251,7 @@ pub(crate) struct ServiceState {
 }
 
 impl ServiceState {
-    pub(crate) fn health(&self, degraded: bool) -> HealthSnapshot {
+    pub(crate) fn health(&self, degraded: bool, checkpointing: bool) -> HealthSnapshot {
         HealthSnapshot {
             accepting: !self.draining && !self.shutdown && !degraded,
             queued: self.queue.len(),
@@ -226,6 +259,9 @@ impl ServiceState {
             accepted: self.stats.accepted,
             completed: self.stats.completed,
             failed: self.stats.failed,
+            partials: self.stats.partials,
+            batches: self.stats.batches,
+            checkpointing,
             shed: self.stats.shed,
             duplicates: self.stats.duplicates,
             breaker_trips: self.breakers.iter().map(CircuitBreaker::trips).sum(),
@@ -253,6 +289,23 @@ pub(crate) struct Service {
     pub(crate) wake: Condvar,
     pub(crate) commit: GroupCommit,
     pub(crate) config: DaemonConfig,
+    /// Whether progress checkpoints are still being journaled. Starts
+    /// true when `progress_batches > 0`; a failed progress append (real
+    /// or injected) flips it off for the daemon's lifetime — the
+    /// degraded-but-running mode `checkpoint=off` reports in health.
+    /// Checkpoints are advisory, so unlike the journal's degraded
+    /// latch, losing them never stops admissions or executions.
+    pub(crate) checkpointing: AtomicBool,
+    /// Progress appends attempted, driving the every-other-record
+    /// corruption injection.
+    progress_appends: AtomicU64,
+}
+
+impl Service {
+    /// Whether health should advertise live checkpointing.
+    pub(crate) fn checkpointing_on(&self) -> bool {
+        self.checkpointing.load(Ordering::Acquire)
+    }
 }
 
 /// Runs the daemon on an already-bound listener until a client drains
@@ -298,6 +351,10 @@ pub fn serve(
                 stats.failed += 1;
                 JobState::Failed(error.clone())
             }
+            Some(JobOutcome::Partial(detail)) => {
+                stats.partials += 1;
+                JobState::Partial(detail.clone())
+            }
             None => {
                 queue.push_back(job.spec.id.clone());
                 JobState::Queued
@@ -311,14 +368,18 @@ pub fn serve(
                 attempts: 0,
                 accepted_at: now,
                 pending_outcome: None,
+                // Pending jobs resume from their newest durable
+                // checkpoint; terminal jobs keep theirs only as history.
+                progress: job.checkpoint.clone(),
             },
         );
     }
     if !recovery.jobs.is_empty() {
         eprintln!(
-            "recovered {} journaled jobs ({} pending re-execution)",
+            "recovered {} journaled jobs ({} pending re-execution, {} resumable)",
             recovery.jobs.len(),
-            queue.len()
+            queue.len(),
+            recovery.resumable().len()
         );
     }
 
@@ -338,12 +399,15 @@ pub fn serve(
             stats,
             breakers: [breaker(), breaker(), breaker()],
             chaos_backend_fail: config.chaos_backend_fail,
+            chaos_progress_fail: config.chaos_progress_fail,
             pending_accepts: HashSet::new(),
             ambiguous: HashSet::new(),
             pending_terminals: HashSet::new(),
         }),
         wake: Condvar::new(),
         commit,
+        checkpointing: AtomicBool::new(config.progress_batches > 0),
+        progress_appends: AtomicU64::new(0),
         config,
     });
 
@@ -446,10 +510,12 @@ fn handle_connection(service: &Service, mut stream: TcpStream) -> io::Result<()>
             Err(reason) => Response::rejected(RejectCode::Malformed, reason),
             Ok(Request::Submit(spec)) => handle_submit(service, spec),
             Ok(Request::Query(id)) => handle_query(service, &id),
+            Ok(Request::Progress(id)) => handle_progress(service, &id),
             Ok(Request::Health) => {
                 let degraded = service.commit.is_degraded();
+                let checkpointing = service.checkpointing_on();
                 let state = service.state.lock().expect("state lock");
-                Response::Health(Box::new(state.health(degraded)))
+                Response::Health(Box::new(state.health(degraded, checkpointing)))
             }
             Ok(Request::Drain) => {
                 handle_drain(service);
@@ -578,6 +644,7 @@ pub(crate) fn submit_finish(
                     attempts: 0,
                     accepted_at: Instant::now(),
                     pending_outcome: None,
+                    progress: None,
                 },
             );
             state.queue.push_back(spec.id.clone());
@@ -636,6 +703,33 @@ pub(crate) fn handle_query(service: &Service, id: &str) -> Response {
     }
 }
 
+/// Live completed-shot counts for a job mid-flight. A terminal job
+/// answers with its terminal state instead (the checkpoint is history
+/// at that point); a known job with no checkpoint yet reports zeros.
+pub(crate) fn handle_progress(service: &Service, id: &str) -> Response {
+    let state = service.state.lock().expect("state lock");
+    match state.jobs.get(id) {
+        Some(entry) => match (&entry.state, &entry.progress) {
+            (JobState::Done(_) | JobState::Failed(_) | JobState::Partial(_), _) => {
+                Response::State(id.to_owned(), entry.state.clone())
+            }
+            (_, Some(cp)) => Response::Progress {
+                id: id.to_owned(),
+                batches: cp.batches,
+                shots: cp.shots,
+                failures: cp.failures,
+            },
+            (_, None) => Response::Progress {
+                id: id.to_owned(),
+                batches: 0,
+                shots: 0,
+                failures: 0,
+            },
+        },
+        None => Response::rejected(RejectCode::UnknownJob, format!("unknown job {id:?}")),
+    }
+}
+
 fn handle_drain(service: &Service) {
     let mut state = service.state.lock().expect("state lock");
     state.draining = true;
@@ -661,9 +755,25 @@ struct RoundJob {
     backend: Backend,
     attempt: u32,
     deadline: Option<Instant>,
+    /// The checkpoint this dispatch resumes from, if the kind supports
+    /// resumption and a prior run (this process or a crashed one) left
+    /// one behind.
+    resume: Option<Checkpoint>,
 }
 
-fn dispatch_loop(service: &Service) {
+/// The anytime terminal for a job whose deadline expired: a `Partial`
+/// carrying the completed prefix when a checkpoint with real shots
+/// exists, otherwise the classic failure. Used by both the pre-dispatch
+/// expiry path and the cancelled-round fold-back so the two paths can
+/// never disagree.
+fn deadline_outcome(entry: &JobEntry) -> JobOutcome {
+    match &entry.progress {
+        Some(cp) if cp.shots > 0 => JobOutcome::Partial(partial_detail(&entry.spec.kind, cp)),
+        _ => JobOutcome::Failed("deadline exceeded".to_owned()),
+    }
+}
+
+fn dispatch_loop(service: &Arc<Service>) {
     loop {
         let (round, terminals) = {
             let mut state = service.state.lock().expect("state lock");
@@ -748,7 +858,7 @@ fn pick_round(
         }
         let deadline = entry.deadline();
         if deadline.is_some_and(|d| d <= now) {
-            let outcome = JobOutcome::Failed("deadline exceeded".to_owned());
+            let outcome = deadline_outcome(entry);
             if terminal_begin(state, &id, &outcome) {
                 terminals.push((id, outcome));
             }
@@ -770,12 +880,17 @@ fn pick_round(
         entry.state = JobState::Running;
         let attempt = entry.attempts;
         let kind = entry.spec.kind;
+        let resume = entry
+            .progress
+            .clone()
+            .filter(|_| entry.spec.kind.resumable());
         round.push(RoundJob {
             id,
             kind,
             backend,
             attempt,
             deadline,
+            resume,
         });
     }
     // Breaker-blocked jobs go back to the front, preserving order.
@@ -786,9 +901,63 @@ fn pick_round(
     (round, terminals)
 }
 
+/// Journals one progress checkpoint through the group commit (off the
+/// state lock — the fsync wait paces the executing worker, not the
+/// admission path). Injections run first: the ENOSPC counter fails the
+/// append as if the disk filled, and the corruption flag mangles every
+/// other record so replay's plausibility gate has something to reject.
+/// Any append failure flips checkpointing off for good; the job itself
+/// keeps running — checkpoints bound recovery compute, not correctness.
+fn journal_progress(service: &Service, id: &str, checkpoint: &Checkpoint) {
+    let enospc = {
+        let mut state = service.state.lock().expect("state lock");
+        match state.chaos_progress_fail.as_mut() {
+            Some(0) => true,
+            Some(remaining) => {
+                *remaining -= 1;
+                false
+            }
+            None => false,
+        }
+    };
+    if enospc {
+        service.checkpointing.store(false, Ordering::Release);
+        eprintln!(
+            "warning: progress append for {id} failed (injected ENOSPC); \
+             checkpointing disabled, job continues"
+        );
+        return;
+    }
+    let mut checkpoint = checkpoint.clone();
+    if service.config.chaos_corrupt_checkpoint
+        && service.progress_appends.fetch_add(1, Ordering::AcqRel) % 2 == 1
+    {
+        // An implausible record (more failures than shots): replay must
+        // discard it and fall back to the previous checkpoint.
+        checkpoint.failures = checkpoint.shots + 1;
+    }
+    let record = WalRecord::Progress {
+        id: id.to_owned(),
+        checkpoint,
+    };
+    match service.commit.append_sync(record) {
+        Ok(()) => {}
+        Err(CommitError::Rejected(detail)) => {
+            eprintln!("warning: progress record for {id} rejected: {detail}");
+        }
+        Err(e) => {
+            service.checkpointing.store(false, Ordering::Release);
+            eprintln!(
+                "warning: progress append for {id} failed ({e}); \
+                 checkpointing disabled, job continues"
+            );
+        }
+    }
+}
+
 /// Executes one round on the supervised pool and folds the results back
 /// into the service state.
-fn run_round(service: &Service, round: Vec<RoundJob>) {
+fn run_round(service: &Arc<Service>, round: Vec<RoundJob>) {
     let specs: Vec<BatchSpec> = round
         .iter()
         .map(|job| BatchSpec {
@@ -830,18 +999,23 @@ fn run_round(service: &Service, round: Vec<RoundJob>) {
     let chaos = Arc::new(Mutex::new(
         service.state.lock().expect("state lock").chaos_backend_fail,
     ));
-    let tasks: Vec<(JobKind, Backend)> = round.iter().map(|j| (j.kind, j.backend)).collect();
+    let tasks: Vec<(String, JobKind, Backend, Option<Checkpoint>)> = round
+        .iter()
+        .map(|j| (j.id.clone(), j.kind, j.backend, j.resume.clone()))
+        .collect();
     let job = {
         let chaos = Arc::clone(&chaos);
+        let service = Arc::clone(service);
+        let journal_every = service.config.progress_batches;
         move |ctx: &BatchCtx| -> Result<String, ShotError> {
-            let (kind, backend) = tasks[ctx.task];
+            let (id, kind, backend, resume) = &tasks[ctx.task];
             if !stall.is_zero() {
                 thread::sleep(stall);
             }
             {
                 let mut chaos = chaos.lock().expect("chaos lock");
                 if let Some((sick, remaining)) = chaos.as_mut() {
-                    if *sick == backend && *remaining > 0 {
+                    if *sick == *backend && *remaining > 0 {
                         *remaining -= 1;
                         return Err(ShotError::PoolFailure(format!(
                             "injected backend failure on {}",
@@ -850,7 +1024,47 @@ fn run_round(service: &Service, round: Vec<RoundJob>) {
                     }
                 }
             }
-            execute(&kind, backend, ctx.seed, &ctx.cancel)
+            // Per-batch sink: publish the checkpoint live (the
+            // `progress` query and the deadline's `Partial` both read
+            // `entry.progress`), then journal every `progress_batches`
+            // batches so a crash resumes from a bounded distance back.
+            let mut on_batch = |cp: &Checkpoint| {
+                {
+                    let mut state = service.state.lock().expect("state lock");
+                    state.stats.batches += 1;
+                    if let Some(entry) = state.jobs.get_mut(id) {
+                        entry.progress = Some(cp.clone());
+                    }
+                }
+                if journal_every > 0
+                    && cp.batches.is_multiple_of(journal_every)
+                    && service.checkpointing_on()
+                {
+                    journal_progress(&service, id, cp);
+                }
+            };
+            match execute_tracked(
+                kind,
+                *backend,
+                ctx.seed,
+                &ctx.cancel,
+                resume.as_ref(),
+                &mut on_batch,
+            )? {
+                Execution::Done(record) => Ok(record),
+                Execution::Stopped { checkpoint, reason } => {
+                    // Keep the final prefix visible even for kinds that
+                    // checkpoint only at the stop itself (scalar LER):
+                    // the deadline fold-back turns it into a `Partial`.
+                    if let Some(cp) = checkpoint {
+                        let mut state = service.state.lock().expect("state lock");
+                        if let Some(entry) = state.jobs.get_mut(id) {
+                            entry.progress = Some(cp);
+                        }
+                    }
+                    Err(ShotError::Cancelled { reason })
+                }
+            }
         }
     };
     let report = run_supervised_cancellable(&supervisor_config, specs, job, None, cancel);
@@ -862,10 +1076,10 @@ fn run_round(service: &Service, round: Vec<RoundJob>) {
     let remaining_chaos = *chaos.lock().expect("chaos lock");
 
     let now = Instant::now();
-    let mut quarantined: HashMap<usize, String> = report
+    let mut quarantined: HashMap<usize, (String, bool)> = report
         .quarantined
         .into_iter()
-        .map(|q| (q.task, q.error))
+        .map(|q| (q.task, (q.error, q.cancelled)))
         .collect();
     // Fold results back in two phases: decide and claim every terminal
     // under the state lock, then journal the claimed records with the
@@ -884,19 +1098,24 @@ fn run_round(service: &Service, round: Vec<RoundJob>) {
                 }
             }
             None => {
-                let error = quarantined
+                // The supervisor types cancellation at quarantine time
+                // (from the `ShotError::Cancelled` variant, never the
+                // message text), so a backend error that merely
+                // *mentions* cancellation cannot masquerade as one.
+                let (error, cancelled) = quarantined
                     .remove(&task)
-                    .unwrap_or_else(|| "worker pool lost the job".to_owned());
-                let cancelled = error.contains("cancelled");
+                    .unwrap_or_else(|| ("worker pool lost the job".to_owned(), false));
                 let expired = job.deadline.is_some_and(|d| d <= now);
                 if cancelled && !expired {
                     // Collateral cancellation from another job's
-                    // deadline: not a backend failure, just requeue.
+                    // deadline: not a backend failure, just requeue
+                    // (the checkpoint it published resumes it).
                     requeue_front(&mut state, &job.id);
                     continue;
                 }
                 if cancelled || expired {
-                    let outcome = JobOutcome::Failed("deadline exceeded".to_owned());
+                    let entry = state.jobs.get(&job.id).expect("round job exists");
+                    let outcome = deadline_outcome(entry);
                     if terminal_begin(&mut state, &job.id, &outcome) {
                         terminals.push((job.id, outcome));
                     }
@@ -953,7 +1172,10 @@ fn terminal_begin(state: &mut ServiceState, id: &str, outcome: &JobOutcome) -> b
         return false;
     }
     let entry = state.jobs.get(id).expect("terminal job exists");
-    if matches!(entry.state, JobState::Done(_) | JobState::Failed(_)) {
+    if matches!(
+        entry.state,
+        JobState::Done(_) | JobState::Failed(_) | JobState::Partial(_)
+    ) {
         // A terminal already won (and is already journaled).
         return false;
     }
@@ -1030,6 +1252,10 @@ fn terminal_finish(
         JobOutcome::Failed(error) => {
             entry.state = JobState::Failed(error);
             state.stats.failed += 1;
+        }
+        JobOutcome::Partial(detail) => {
+            entry.state = JobState::Partial(detail);
+            state.stats.partials += 1;
         }
     }
     true

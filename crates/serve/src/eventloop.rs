@@ -46,7 +46,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::daemon::{
-    handle_query, shed_connection, submit_begin, submit_finish, Service, SubmitAdmission,
+    handle_progress, handle_query, shed_connection, submit_begin, submit_finish, Service,
+    SubmitAdmission,
 };
 use crate::frame::{encode_frame, FrameBuf};
 use crate::job::JobSpec;
@@ -411,10 +412,12 @@ fn handle_frame(
             }
         },
         Ok(Request::Query(id)) => conn.push_reply(&handle_query(service, &id)),
+        Ok(Request::Progress(id)) => conn.push_reply(&handle_progress(service, &id)),
         Ok(Request::Health) => {
             let degraded = service.commit.is_degraded();
+            let checkpointing = service.checkpointing_on();
             let state = service.state.lock().expect("state lock");
-            let snapshot = state.health(degraded);
+            let snapshot = state.health(degraded, checkpointing);
             drop(state);
             conn.push_reply(&Response::Health(Box::new(snapshot)));
         }

@@ -16,10 +16,13 @@ use qpdo_rng::rngs::StdRng;
 use qpdo_rng::SeedableRng;
 use qpdo_stabilizer::{CliffordTableau, StabilizerSim, LANES};
 use qpdo_statevector::Complex;
-use qpdo_surface::experiment::{run_ler_surface_cancellable, SurfaceLerConfig};
+use qpdo_stats::wilson_interval;
+use qpdo_surface::experiment::{run_ler_surface_resumable, SurfaceLerConfig, SurfaceProgress};
 use qpdo_surface::CheckKind;
-use qpdo_surface17::experiment::{run_ler_cancellable, LerConfig, LerOutcome, LogicalErrorKind};
+use qpdo_surface17::experiment::{run_ler_partial, LerConfig, LerOutcome, LogicalErrorKind};
 use qpdo_surface17::{logical_cnot, run_ler_sliced, NinjaStar, StarLayout};
+
+use crate::wal::Checkpoint;
 
 #[cfg(feature = "reference")]
 use qpdo_stabilizer::ReferenceTableau;
@@ -296,6 +299,29 @@ impl JobKind {
         }
     }
 
+    /// Total shots (or windows) this job would complete uninterrupted —
+    /// the denominator a `Partial` outcome reports its completed prefix
+    /// against.
+    #[must_use]
+    pub fn shot_target(&self) -> u64 {
+        match self {
+            JobKind::Ler { max_windows, .. } => *max_windows,
+            JobKind::LerSliced { shots, .. } => round_up_to_lanes(*shots),
+            JobKind::LerSurface { shots, .. } | JobKind::Bell { shots } => *shots,
+            JobKind::RandomCircuit { .. } => 1,
+        }
+    }
+
+    /// Whether a durable [`Checkpoint`] of this kind can seed a resumed
+    /// execution that is byte-identical to a scratch run. True exactly
+    /// for the batch-seeded 64-lane sweeps: each batch draws from its
+    /// own deterministic RNG substream, so replaying the remaining
+    /// batches on top of checkpointed counters reproduces the full run.
+    #[must_use]
+    pub fn resumable(&self) -> bool {
+        matches!(self, JobKind::LerSliced { .. } | JobKind::LerSurface { .. })
+    }
+
     /// The backends this kind can run on, in routing-preference order.
     #[must_use]
     pub fn backend_preference(&self) -> &'static [Backend] {
@@ -394,6 +420,25 @@ pub fn job_seed(base_seed: u64, id: &str) -> u64 {
     substream_seed(base_seed, id, 0, 0)
 }
 
+/// How a tracked execution ([`execute_tracked`]) ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Execution {
+    /// The job ran to completion: the whitespace-separated wire record.
+    Done(String),
+    /// Cooperative cancellation stopped the job early.
+    Stopped {
+        /// The accumulated prefix, when the kind tracks one (`None`
+        /// when the cancellation landed before any progress, or the
+        /// kind is atomic). For [resumable](JobKind::resumable) kinds
+        /// this equals the last checkpoint reported to `on_batch`.
+        checkpoint: Option<Checkpoint>,
+        /// The human-readable stop reason, byte-identical to the
+        /// [`ShotError::Cancelled`] message [`execute`] raises for the
+        /// same stop.
+        reason: String,
+    },
+}
+
 /// Executes a job on a specific backend with a specific payload seed,
 /// returning the whitespace-separated result record.
 ///
@@ -407,13 +452,44 @@ pub fn job_seed(base_seed: u64, id: &str) -> u64 {
 ///
 /// Returns [`ShotError::PoolFailure`] when the backend cannot run the
 /// kind (e.g. a 17-qubit LER point on the state-vector engine), a
-/// divergence for failed verifications, or the underlying stack error.
+/// divergence for failed verifications, [`ShotError::Cancelled`] when
+/// the token stopped the run, or the underlying stack error.
 pub fn execute(
     kind: &JobKind,
     backend: Backend,
     seed: u64,
     cancel: &CancelToken,
 ) -> Result<String, ShotError> {
+    match execute_tracked(kind, backend, seed, cancel, None, &mut |_| {})? {
+        Execution::Done(record) => Ok(record),
+        Execution::Stopped { reason, .. } => Err(ShotError::Cancelled { reason }),
+    }
+}
+
+/// [`execute`] with checkpoint plumbing: `resume` seeds a shot sweep
+/// with a previously durable [`Checkpoint`] (skipping its completed
+/// batches — byte-identical to scratch because every batch draws from
+/// its own deterministic substream), and `on_batch` observes the
+/// accumulated checkpoint after every completed batch (the daemon's
+/// progress sink journals a paced subset of these). Kinds that are not
+/// [resumable](JobKind::resumable) ignore `resume` and never call
+/// `on_batch`; a cancelled `ler` run still surfaces its completed
+/// window prefix through [`Execution::Stopped`] so a deadline can turn
+/// it into an anytime `Partial` rather than discarding the compute.
+///
+/// # Errors
+///
+/// Same contract as [`execute`], except cooperative cancellation is
+/// *not* an error for kinds that track progress — it returns
+/// [`Execution::Stopped`] carrying the usable prefix.
+pub fn execute_tracked(
+    kind: &JobKind,
+    backend: Backend,
+    seed: u64,
+    cancel: &CancelToken,
+    resume: Option<&Checkpoint>,
+    on_batch: &mut dyn FnMut(&Checkpoint),
+) -> Result<Execution, ShotError> {
     let unsupported = || {
         Err(ShotError::PoolFailure(format!(
             "backend {} cannot run this job kind",
@@ -432,7 +508,23 @@ pub fn execute(
             Backend::Packed,
         ) => {
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
-            Ok(run_ler_cancellable(&config, &|| cancel.is_cancelled())?.to_record())
+            let (outcome, stopped) = run_ler_partial(&config, &|| cancel.is_cancelled())?;
+            if stopped {
+                // Windows are the scalar run's shot unit: one window per
+                // "batch", so the checkpoint stays plausible (shots ≤
+                // batches·64) without pretending the run is resumable.
+                let checkpoint = (outcome.windows > 0).then(|| Checkpoint {
+                    batches: outcome.windows,
+                    shots: outcome.windows,
+                    failures: outcome.logical_errors,
+                    counters: Vec::new(),
+                });
+                return Ok(Execution::Stopped {
+                    checkpoint,
+                    reason: format!("ler run cancelled after {} windows", outcome.windows),
+                });
+            }
+            Ok(Execution::Done(outcome.to_record()))
         }
         #[cfg(feature = "reference")]
         (
@@ -446,7 +538,9 @@ pub fn execute(
             Backend::Reference,
         ) => {
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
-            Ok(run_ler_reference_cancellable(&config, &|| cancel.is_cancelled())?.to_record())
+            Ok(Execution::Done(
+                run_ler_reference_cancellable(&config, &|| cancel.is_cancelled())?.to_record(),
+            ))
         }
         (
             JobKind::LerSliced {
@@ -460,7 +554,7 @@ pub fn execute(
             Backend::Packed,
         ) => {
             let config = ler_config(*per, *kind, *with_pf, *target, *max_windows, seed);
-            sliced_ler_record(&config, *shots, seed, cancel)
+            sliced_ler_tracked(&config, *shots, seed, cancel, resume, on_batch)
         }
         (JobKind::LerSurface { d, per, shots }, Backend::Packed) => {
             let config = SurfaceLerConfig {
@@ -470,41 +564,81 @@ pub fn execute(
                 shots: *shots,
                 seed,
             };
-            let (outcome, stopped) =
-                run_ler_surface_cancellable(&config, &|| cancel.is_cancelled())?;
+            // `counters[0]` carries the kind-specific defect total; a
+            // checkpoint without it (foreign or truncated) resumes the
+            // defect count from zero, which only skews the historical
+            // counter, never the failure estimate.
+            let surface_resume = resume.map(|c| SurfaceProgress {
+                batches: c.batches,
+                shots: c.shots,
+                failures: c.failures,
+                defects: c.counters.first().copied().unwrap_or(0),
+            });
+            let mut last = resume.cloned();
+            let (outcome, stopped) = run_ler_surface_resumable(
+                &config,
+                surface_resume.as_ref(),
+                &|| cancel.is_cancelled(),
+                &mut |p| {
+                    let checkpoint = Checkpoint {
+                        batches: p.batches,
+                        shots: p.shots,
+                        failures: p.failures,
+                        counters: vec![p.defects],
+                    };
+                    on_batch(&checkpoint);
+                    last = Some(checkpoint);
+                },
+            )?;
             if stopped {
-                return Err(ShotError::Cancelled {
+                return Ok(Execution::Stopped {
+                    checkpoint: last,
                     reason: format!(
                         "ler_surface job cancelled after {}/{shots} shots",
                         outcome.shots
                     ),
                 });
             }
-            Ok(format!(
+            Ok(Execution::Done(format!(
                 "{} {} {}",
                 outcome.shots, outcome.failures, outcome.defects
-            ))
+            )))
         }
         (JobKind::Bell { shots }, Backend::Packed) => {
             let counts = bell_counts::<StabilizerSim>(*shots, seed, cancel)?;
-            Ok(format!(
+            Ok(Execution::Done(format!(
                 "{} {} {} {}",
                 counts[0], counts[1], counts[2], counts[3]
-            ))
+            )))
         }
         #[cfg(feature = "reference")]
         (JobKind::Bell { shots }, Backend::Reference) => {
             let counts = bell_counts::<ReferenceTableau>(*shots, seed, cancel)?;
-            Ok(format!(
+            Ok(Execution::Done(format!(
                 "{} {} {} {}",
                 counts[0], counts[1], counts[2], counts[3]
-            ))
+            )))
         }
-        (JobKind::RandomCircuit { qubits, gates }, Backend::Statevector) => {
-            random_circuit_record(*qubits, *gates, seed)
-        }
+        (JobKind::RandomCircuit { qubits, gates }, Backend::Statevector) => Ok(Execution::Done(
+            random_circuit_record(*qubits, *gates, seed)?,
+        )),
         _ => unsupported(),
     }
+}
+
+/// The wire detail of a `Partial` outcome:
+/// `<shots> <target> <failures> <ci_lo> <ci_hi>` — the completed-shot
+/// prefix, the uninterrupted total it was heading for, the failures
+/// observed, and the 95% Wilson score interval on the failure rate.
+#[must_use]
+pub fn partial_detail(kind: &JobKind, checkpoint: &Checkpoint) -> String {
+    let (lo, hi) = wilson_interval(checkpoint.failures, checkpoint.shots, 1.96);
+    format!(
+        "{} {} {} {lo:.6} {hi:.6}",
+        checkpoint.shots,
+        kind.shot_target(),
+        checkpoint.failures
+    )
 }
 
 fn ler_config(
@@ -532,31 +666,65 @@ fn ler_config(
 /// Lane `k` of batch `b` seeds from the supervisor substream
 /// `(job_seed, "lanes", b·64 + k)` — a pure function of
 /// `(base_seed, id, batch, lane)`, so crash recovery and journal-retry
-/// re-executions reproduce the record byte-for-byte, and each lane's
-/// trajectory equals the scalar [`run_ler_cancellable`] run with that
-/// lane's seed (the differential contract of `surface17::sliced`).
-fn sliced_ler_record(
+/// re-executions reproduce the record byte-for-byte, each lane's
+/// trajectory equals the scalar run with that lane's seed (the
+/// differential contract of `surface17::sliced`), and resuming from a
+/// checkpoint's batch count replays exactly the remaining batches.
+///
+/// The checkpoint's kind-specific `counters` hold the running ten-field
+/// [`LerOutcome`] sum in record order; a checkpoint without all ten
+/// (foreign or truncated) is ignored and the sweep restarts from
+/// scratch rather than resuming onto corrupt counters.
+fn sliced_ler_tracked(
     config: &LerConfig,
     shots: u64,
     seed: u64,
     cancel: &CancelToken,
-) -> Result<String, ShotError> {
+    resume: Option<&Checkpoint>,
+    on_batch: &mut dyn FnMut(&Checkpoint),
+) -> Result<Execution, ShotError> {
     let executed = round_up_to_lanes(shots);
     let batches = executed / LANES as u64;
-    let mut total = LerOutcome {
-        windows: 0,
-        logical_errors: 0,
-        ops_above_frame: 0,
-        slots_above_frame: 0,
-        ops_below_frame: 0,
-        slots_below_frame: 0,
-        injected: qpdo_core::ErrorCounts::default(),
+    let resume = resume.filter(|c| c.counters.len() == 10 && c.batches <= batches);
+    let mut total = match resume {
+        Some(c) => LerOutcome {
+            windows: c.counters[0],
+            logical_errors: c.counters[1],
+            ops_above_frame: c.counters[2],
+            slots_above_frame: c.counters[3],
+            ops_below_frame: c.counters[4],
+            slots_below_frame: c.counters[5],
+            injected: qpdo_core::ErrorCounts {
+                single_qubit: c.counters[6],
+                two_qubit: c.counters[7],
+                measurement: c.counters[8],
+                idle: c.counters[9],
+            },
+        },
+        None => LerOutcome {
+            windows: 0,
+            logical_errors: 0,
+            ops_above_frame: 0,
+            slots_above_frame: 0,
+            ops_below_frame: 0,
+            slots_below_frame: 0,
+            injected: qpdo_core::ErrorCounts::default(),
+        },
     };
-    for batch in 0..batches {
+    let start = resume.map_or(0, |c| c.batches);
+    // The checkpoint's `failures` counts failed *trajectories* (at
+    // least one logical error), not summed logical errors — a
+    // multi-error target could push the sum past the shot count and
+    // trip the replay plausibility gate; the per-shot count is also
+    // what the Partial estimator's Wilson interval is about.
+    let mut failed_shots = resume.map_or(0, |c| c.failures);
+    let mut last = resume.cloned();
+    for batch in start..batches {
         let lane_seeds = sliced_lane_seeds(seed, "lanes", batch);
         let (outcomes, stopped) = run_ler_sliced(config, &lane_seeds, &|| cancel.is_cancelled())?;
         if stopped {
-            return Err(ShotError::Cancelled {
+            return Ok(Execution::Stopped {
+                checkpoint: last,
                 reason: format!(
                     "ler_sliced job cancelled after {}/{executed} shots",
                     batch * LANES as u64
@@ -564,6 +732,7 @@ fn sliced_ler_record(
             });
         }
         for outcome in &outcomes {
+            failed_shots += u64::from(outcome.logical_errors > 0);
             total.windows += outcome.windows;
             total.logical_errors += outcome.logical_errors;
             total.ops_above_frame += outcome.ops_above_frame;
@@ -575,8 +744,27 @@ fn sliced_ler_record(
             total.injected.measurement += outcome.injected.measurement;
             total.injected.idle += outcome.injected.idle;
         }
+        let checkpoint = Checkpoint {
+            batches: batch + 1,
+            shots: (batch + 1) * LANES as u64,
+            failures: failed_shots,
+            counters: vec![
+                total.windows,
+                total.logical_errors,
+                total.ops_above_frame,
+                total.slots_above_frame,
+                total.ops_below_frame,
+                total.slots_below_frame,
+                total.injected.single_qubit,
+                total.injected.two_qubit,
+                total.injected.measurement,
+                total.injected.idle,
+            ],
+        };
+        on_batch(&checkpoint);
+        last = Some(checkpoint);
     }
-    Ok(format!("{executed} {}", total.to_record()))
+    Ok(Execution::Done(format!("{executed} {}", total.to_record())))
 }
 
 /// The odd-Bell workload of Section 5.2.3, generic over the stabilizer

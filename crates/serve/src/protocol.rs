@@ -7,11 +7,15 @@
 //! implementation is also a journal reader.
 //!
 //! Requests: `submit <id> <deadline_ms|-> <kind…>`, `query <id>`,
-//! `health`, `drain`.
+//! `progress <id>`, `health`, `drain`.
 //!
 //! Responses: `accepted <id>`, `duplicate <id>`,
 //! `rejected <code> <detail…>`, `state <id> queued|running`,
-//! `done <id> <record…>`, `failed <id> <error…>`, `health <snapshot>`,
+//! `done <id> <record…>`, `failed <id> <error…>`,
+//! `partial <id> <shots> <target> <failures> <ci_lo> <ci_hi>` (the
+//! anytime terminal of a deadline-expired shot sweep),
+//! `progress <id> <batches> <shots> <failures>` (live checkpoint of a
+//! known job), `health <snapshot>`,
 //! `drained`. Rejections carry a stable machine-readable [`RejectCode`]
 //! ahead of the free-text detail: the fleet router keys safety-critical
 //! delivery decisions on the code (`DESIGN.md` §11.3), never on the
@@ -35,6 +39,9 @@ pub enum Request {
     Submit(JobSpec),
     /// Ask for the state or result of a job.
     Query(String),
+    /// Ask for a job's live execution progress (completed batches and
+    /// shot counters); terminal jobs answer with their terminal state.
+    Progress(String),
     /// Ask for the service health snapshot.
     Health,
     /// Stop admission, wait for the queue to dry, then shut down.
@@ -48,6 +55,7 @@ impl Request {
         match self {
             Request::Submit(spec) => format!("submit {} {}", spec.id, spec.encode_tail()),
             Request::Query(id) => format!("query {id}"),
+            Request::Progress(id) => format!("progress {id}"),
             Request::Health => "health".to_owned(),
             Request::Drain => "drain".to_owned(),
         }
@@ -64,6 +72,7 @@ impl Request {
         match tokens.as_slice() {
             ["submit", rest @ ..] => Ok(Request::Submit(JobSpec::parse(rest)?)),
             ["query", id] => Ok(Request::Query((*id).to_owned())),
+            ["progress", id] => Ok(Request::Progress((*id).to_owned())),
             ["health"] => Ok(Request::Health),
             ["drain"] => Ok(Request::Drain),
             _ => Err(format!("unknown request {line:?}")),
@@ -193,6 +202,11 @@ pub enum JobState {
     Done(String),
     /// Terminally failed; the error description.
     Failed(String),
+    /// Terminal anytime-partial result of a deadline-expired shot
+    /// sweep: `<shots> <target> <failures> <ci_lo> <ci_hi>` — the
+    /// completed prefix's estimator with its Wilson interval. Delivered
+    /// and terminal like `Done`.
+    Partial(String),
 }
 
 /// A point-in-time health snapshot of the daemon.
@@ -218,6 +232,17 @@ pub struct HealthSnapshot {
     pub breaker_trips: u64,
     /// Jobs routed to a non-preferred backend by an open breaker.
     pub reroutes: u64,
+    /// Jobs ended with an anytime-partial terminal at deadline expiry.
+    pub partials: u64,
+    /// Shot-sweep batches executed by the worker pool since startup —
+    /// the execution counter the resume drill compares against a
+    /// scratch run to prove checkpoints actually saved work.
+    pub batches: u64,
+    /// Whether progress checkpointing is active. Degrades to `false`
+    /// when a progress append fails (e.g. injected ENOSPC): jobs keep
+    /// running, but a crash would replay them from their last durable
+    /// checkpoint, not from the batches executed since.
+    pub checkpointing: bool,
     /// Per-backend breaker states, in [`Backend::ALL`] order.
     pub breakers: [BreakerState; 3],
 }
@@ -230,7 +255,8 @@ impl HealthSnapshot {
             .collect();
         format!(
             "health {} queued={} running={} accepted={} completed={} failed={} shed={} \
-             duplicates={} breaker_trips={} reroutes={} breakers={}",
+             duplicates={} breaker_trips={} reroutes={} partials={} batches={} checkpoint={} \
+             breakers={}",
             if self.accepting { "ok" } else { "draining" },
             self.queued,
             self.running,
@@ -241,6 +267,9 @@ impl HealthSnapshot {
             self.duplicates,
             self.breaker_trips,
             self.reroutes,
+            self.partials,
+            self.batches,
+            if self.checkpointing { "on" } else { "off" },
             breakers.join(",")
         )
     }
@@ -266,6 +295,9 @@ impl HealthSnapshot {
             duplicates: 0,
             breaker_trips: 0,
             reroutes: 0,
+            partials: 0,
+            batches: 0,
+            checkpointing: true,
             breakers: [BreakerState::Closed; 3],
         };
         for field in fields {
@@ -280,6 +312,15 @@ impl HealthSnapshot {
                 "duplicates" => snapshot.duplicates = value.parse().map_err(|_| bad())?,
                 "breaker_trips" => snapshot.breaker_trips = value.parse().map_err(|_| bad())?,
                 "reroutes" => snapshot.reroutes = value.parse().map_err(|_| bad())?,
+                "partials" => snapshot.partials = value.parse().map_err(|_| bad())?,
+                "batches" => snapshot.batches = value.parse().map_err(|_| bad())?,
+                "checkpoint" => {
+                    snapshot.checkpointing = match value {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(bad()),
+                    }
+                }
                 "breakers" => {
                     for entry in value.split(',') {
                         let (name, state) = entry.split_once(':').ok_or_else(bad)?;
@@ -310,6 +351,19 @@ pub enum Response {
     Rejected(Rejection),
     /// A queried job's current state.
     State(String, JobState),
+    /// A known job's live execution progress: completed whole batches
+    /// and the shot counters accumulated over them (all zero before the
+    /// first completed batch, or for kinds that do not checkpoint).
+    Progress {
+        /// The job id.
+        id: String,
+        /// Completed whole batches.
+        batches: u64,
+        /// Shots counted over those batches.
+        shots: u64,
+        /// Failures among those shots.
+        failures: u64,
+    },
     /// The health snapshot.
     Health(Box<HealthSnapshot>),
     /// Drain finished: the queue is dry and the daemon is exiting.
@@ -338,6 +392,13 @@ impl Response {
             Response::State(id, JobState::Running) => format!("state {id} running"),
             Response::State(id, JobState::Done(record)) => format!("done {id} {record}"),
             Response::State(id, JobState::Failed(error)) => format!("failed {id} {error}"),
+            Response::State(id, JobState::Partial(detail)) => format!("partial {id} {detail}"),
+            Response::Progress {
+                id,
+                batches,
+                shots,
+                failures,
+            } => format!("progress {id} {batches} {shots} {failures}"),
             Response::Health(snapshot) => snapshot.encode(),
             Response::Drained => "drained".to_owned(),
         }
@@ -373,6 +434,23 @@ impl Response {
                 (*id).to_owned(),
                 JobState::Failed(error.join(" ")),
             )),
+            ["partial", id, detail @ ..] => Ok(Response::State(
+                (*id).to_owned(),
+                JobState::Partial(detail.join(" ")),
+            )),
+            ["progress", id, batches, shots, failures] => {
+                let field = |token: &str| {
+                    token
+                        .parse::<u64>()
+                        .map_err(|_| format!("malformed progress field {token:?}"))
+                };
+                Ok(Response::Progress {
+                    id: (*id).to_owned(),
+                    batches: field(batches)?,
+                    shots: field(shots)?,
+                    failures: field(failures)?,
+                })
+            }
             ["health", rest @ ..] => Ok(Response::Health(Box::new(HealthSnapshot::parse(rest)?))),
             ["drained"] => Ok(Response::Drained),
             _ => Err(format!("unknown response {line:?}")),
@@ -474,6 +552,7 @@ mod tests {
     fn requests_round_trip() {
         let mut requests: Vec<Request> = specs().into_iter().map(Request::Submit).collect();
         requests.push(Request::Query("ler-1".to_owned()));
+        requests.push(Request::Progress("ler-1".to_owned()));
         requests.push(Request::Health);
         requests.push(Request::Drain);
         for request in requests {
@@ -495,6 +574,9 @@ mod tests {
             duplicates: 2,
             breaker_trips: 1,
             reroutes: 5,
+            partials: 3,
+            batches: 417,
+            checkpointing: false,
             breakers: [
                 BreakerState::Open,
                 BreakerState::Closed,
@@ -516,6 +598,16 @@ mod tests {
                 "a".to_owned(),
                 JobState::Failed("deadline exceeded".to_owned()),
             ),
+            Response::State(
+                "a".to_owned(),
+                JobState::Partial("1024 20000 13 0.0069 0.0215".to_owned()),
+            ),
+            Response::Progress {
+                id: "a".to_owned(),
+                batches: 16,
+                shots: 1024,
+                failures: 13,
+            },
             Response::Health(Box::new(snapshot)),
             Response::Drained,
         ];
@@ -560,9 +652,12 @@ mod tests {
         assert!(Request::parse("submit").is_err());
         assert!(Request::parse("submit id - teleport 1").is_err());
         assert!(Request::parse("frobnicate").is_err());
+        assert!(Request::parse("progress").is_err());
         assert!(Response::parse("").is_err());
         assert!(Response::parse("health nonsense").is_err());
         assert!(Response::parse("state id dancing").is_err());
+        assert!(Response::parse("progress id 1 2 x").is_err());
+        assert!(Response::parse("health ok checkpoint=maybe").is_err());
     }
 
     #[test]

@@ -7,18 +7,31 @@
 //! - `accept <id> <deadline_ms|-> <kind…>` — written before the client
 //!   sees `accepted`; the job is now durable.
 //! - `dispatch <id> <backend> <attempt>` — informational routing trace.
-//! - `done <id> <record…>` / `failed <id> <error…>` — written before
-//!   the in-memory result becomes queryable; the job is now terminal.
+//! - `progress <id> <batches> <shots> <failures> <counters…>` — a
+//!   checkpoint of a running shot sweep, group-committed every N batches
+//!   (`DESIGN.md` §14). Purely an optimization record: losing one costs
+//!   re-execution, never correctness.
+//! - `done <id> <record…>` / `failed <id> <error…>` /
+//!   `partial <id> <detail…>` — written before the in-memory result
+//!   becomes queryable; the job is now terminal. `partial` is the
+//!   anytime terminal a deadline expiry produces from the completed
+//!   prefix of a shot sweep.
 //!
 //! **Recovery invariant:** after any crash, replaying the segments
 //! yields every acknowledged job exactly once, with its terminal
 //! outcome if one was journaled. Jobs without a terminal record are
 //! re-queued; their deterministic seeds make re-execution byte-identical,
-//! so recovery is exactly-once by construction. A torn tail (the frame
-//! being written when the process died) is dropped by the CRC framing;
-//! everything before it is intact. A byte-identical duplicate terminal
-//! record is absorbed (it is a retried append of the same outcome, not
-//! a second execution); only *conflicting* terminals are flagged.
+//! so recovery is exactly-once by construction — and a surviving
+//! `progress` checkpoint lets the re-queued job resume after its last
+//! durable batch instead of from scratch, with the identical bytes
+//! (per-batch RNG substreams; see `qpdo-surface`'s resume oracle). A
+//! torn tail (the frame being written when the process died) is dropped
+//! by the CRC framing; everything before it is intact. A CRC-valid but
+//! semantically implausible or non-monotone `progress` record is
+//! dropped at replay — the job falls back to its previous checkpoint,
+//! then to scratch. A byte-identical duplicate terminal record is
+//! absorbed (it is a retried append of the same outcome, not a second
+//! execution); only *conflicting* terminals are flagged.
 //!
 //! **Rotation:** [`WriteAheadLog::open`] always compacts the recovered
 //! state into a fresh segment (atomic write + rename + directory sync)
@@ -60,6 +73,45 @@ pub enum JobOutcome {
     Done(String),
     /// The terminal error description.
     Failed(String),
+    /// An anytime partial result: the job hit its deadline after
+    /// completing a nonzero prefix of a shot sweep, and the detail
+    /// carries `<shots> <target> <failures> <ci_lo> <ci_hi>` — the
+    /// completed-shot estimator with its Wilson confidence interval.
+    /// Delivered, terminal, and exactly-once like `Done`.
+    Partial(String),
+}
+
+/// A durable checkpoint of a running shot sweep: how many whole batches
+/// completed and the counters accumulated over exactly those batches.
+/// The first three counters are common to every checkpointed kind; the
+/// kind-specific remainder (`ler_surface`: defects; `ler_sliced`: the
+/// ten `LerOutcome` fields) rides in `counters`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Completed whole batches.
+    pub batches: u64,
+    /// Shots (or windows) counted over those batches.
+    pub shots: u64,
+    /// Failures among those shots.
+    pub failures: u64,
+    /// Kind-specific extra counters, replayed verbatim.
+    pub counters: Vec<u64>,
+}
+
+impl Checkpoint {
+    /// Semantic plausibility, enforced at replay rather than append so
+    /// that CRC-valid but corrupt records (torn page, bit rot, injected
+    /// corruption) are *dropped* — falling back to the previous
+    /// checkpoint — instead of poisoning recovery. Both checkpointed
+    /// kinds are 64-lane sweeps, so a batch never yields more than 64
+    /// shots, and failures can never exceed shots.
+    #[must_use]
+    pub fn plausible(&self) -> bool {
+        self.batches > 0
+            && self.shots > 0
+            && self.shots <= self.batches.saturating_mul(64)
+            && self.failures <= self.shots
+    }
 }
 
 /// One journal record.
@@ -82,6 +134,13 @@ pub enum WalRecord {
         id: String,
         /// The terminal result.
         outcome: JobOutcome,
+    },
+    /// A checkpoint of a running shot sweep (see [`Checkpoint`]).
+    Progress {
+        /// The job id.
+        id: String,
+        /// The accumulated position.
+        checkpoint: Checkpoint,
     },
     /// First record of a compacted segment: everything replayed before
     /// this point belongs to older segments that the rotation meant to
@@ -128,6 +187,20 @@ impl WalRecord {
                 id,
                 outcome: JobOutcome::Failed(error),
             } => format!("failed {id} {error}"),
+            WalRecord::Complete {
+                id,
+                outcome: JobOutcome::Partial(detail),
+            } => format!("partial {id} {detail}"),
+            WalRecord::Progress { id, checkpoint } => {
+                let mut line = format!(
+                    "progress {id} {} {} {}",
+                    checkpoint.batches, checkpoint.shots, checkpoint.failures
+                );
+                for counter in &checkpoint.counters {
+                    line.push_str(&format!(" {counter}"));
+                }
+                line
+            }
             WalRecord::Snapshot => "snapshot".to_owned(),
             WalRecord::Pruned { count, hashes } => {
                 let mut line = format!("pruned {count}");
@@ -159,6 +232,29 @@ impl WalRecord {
                 id: (*id).to_owned(),
                 outcome: JobOutcome::Failed(error.join(" ")),
             }),
+            ["partial", id, detail @ ..] => Ok(WalRecord::Complete {
+                id: (*id).to_owned(),
+                outcome: JobOutcome::Partial(detail.join(" ")),
+            }),
+            ["progress", id, batches, shots, failures, counters @ ..] => {
+                let field = |name: &str, token: &str| {
+                    token
+                        .parse::<u64>()
+                        .map_err(|_| format!("malformed progress {name} {token:?}"))
+                };
+                Ok(WalRecord::Progress {
+                    id: (*id).to_owned(),
+                    checkpoint: Checkpoint {
+                        batches: field("batches", batches)?,
+                        shots: field("shots", shots)?,
+                        failures: field("failures", failures)?,
+                        counters: counters
+                            .iter()
+                            .map(|c| field("counter", c))
+                            .collect::<Result<_, _>>()?,
+                    },
+                })
+            }
             ["snapshot"] => Ok(WalRecord::Snapshot),
             ["pruned", count, hashes @ ..] => Ok(WalRecord::Pruned {
                 count: count
@@ -184,6 +280,10 @@ pub struct RecoveredJob {
     pub outcome: Option<JobOutcome>,
     /// Dispatch records seen (how often the job reached a worker).
     pub dispatches: u32,
+    /// The newest plausible progress checkpoint, when one survived. A
+    /// pending job with a checkpoint resumes after its recorded batches
+    /// instead of from scratch; for a terminal job this is historical.
+    pub checkpoint: Option<Checkpoint>,
 }
 
 /// What a journal replay found.
@@ -216,6 +316,18 @@ impl Recovery {
         self.jobs.iter().filter(|j| j.outcome.is_none()).collect()
     }
 
+    /// Pending jobs that carry a durable checkpoint — the offline-audit
+    /// view of what a restarted daemon will resume mid-sweep rather than
+    /// re-execute from scratch, with the checkpoint's batch/shot stats.
+    #[must_use]
+    pub fn resumable(&self) -> Vec<(&RecoveredJob, &Checkpoint)> {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome.is_none())
+            .filter_map(|j| j.checkpoint.as_ref().map(|c| (j, c)))
+            .collect()
+    }
+
     /// Whether `id` belongs to a terminal job pruned by retention.
     #[must_use]
     pub fn was_pruned(&self, id: &str) -> bool {
@@ -232,12 +344,19 @@ impl Recovery {
                         spec: spec.clone(),
                         outcome: None,
                         dispatches: 0,
+                        checkpoint: None,
                     });
                 }
             }
             WalRecord::Dispatch { id, .. } => {
                 match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
                     Some(job) => job.dispatches += 1,
+                    None => self.orphaned.push(id.clone()),
+                }
+            }
+            WalRecord::Progress { id, checkpoint } => {
+                match self.jobs.iter_mut().find(|j| j.spec.id == *id) {
+                    Some(job) => apply_progress(job, checkpoint),
                     None => self.orphaned.push(id.clone()),
                 }
             }
@@ -271,6 +390,22 @@ impl Recovery {
                 self.pruned.extend(hashes);
             }
         }
+    }
+}
+
+/// The one rule for folding a progress record into a job, shared by
+/// replay and the append-side mirror: a checkpoint must be semantically
+/// plausible and strictly advance the job's batch count, and it never
+/// touches a terminal job (the terminal supersedes any checkpoint). A
+/// record failing the rule is dropped — the job keeps its previous
+/// checkpoint, the fallback path corruption injection exercises.
+fn apply_progress(job: &mut RecoveredJob, checkpoint: &Checkpoint) {
+    if job.outcome.is_some() || !checkpoint.plausible() {
+        return;
+    }
+    let current = job.checkpoint.as_ref().map_or(0, |c| c.batches);
+    if checkpoint.batches > current {
+        job.checkpoint = Some(checkpoint.clone());
     }
 }
 
@@ -550,6 +685,19 @@ impl WriteAheadLog {
                     Err(io::Error::other(format!("dispatch for unknown job {id:?}")))
                 }
             }
+            WalRecord::Progress { id, .. } => {
+                let job =
+                    self.index.get(id).map(|&i| &self.jobs[i]).ok_or_else(|| {
+                        io::Error::other(format!("progress for unknown job {id:?}"))
+                    })?;
+                if job.outcome.is_some() {
+                    Err(io::Error::other(format!(
+                        "progress for terminal job {id:?}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
             WalRecord::Complete { id, outcome } => {
                 let job =
                     self.index.get(id).map(|&i| &self.jobs[i]).ok_or_else(|| {
@@ -580,11 +728,15 @@ impl WriteAheadLog {
                         spec: spec.clone(),
                         outcome: None,
                         dispatches: 0,
+                        checkpoint: None,
                     });
                 }
             }
             WalRecord::Dispatch { id, .. } => {
                 self.jobs[self.index[id]].dispatches += 1;
+            }
+            WalRecord::Progress { id, checkpoint } => {
+                apply_progress(&mut self.jobs[self.index[id]], checkpoint);
             }
             WalRecord::Complete { id, outcome } => {
                 let job = &mut self.jobs[self.index[id]];
@@ -642,7 +794,8 @@ impl WriteAheadLog {
 
     /// Writes the current state (after retention pruning) as segment
     /// `seq` — a `snapshot` marker followed by one `accept` plus the
-    /// terminal per job, atomic replace + rename + directory sync —
+    /// terminal (or, for a pending job, its newest checkpoint) per job,
+    /// atomic replace + rename + directory sync —
     /// switches appends to it, and deletes every older segment. The
     /// leading marker makes the deletes safe: if a crash leaves old
     /// segments beside the renamed snapshot, replay resets at the
@@ -670,12 +823,27 @@ impl WriteAheadLog {
                 &mut snapshot,
                 WalRecord::Accept(job.spec.clone()).encode().as_bytes(),
             )?;
-            if let Some(outcome) = &job.outcome {
-                let record = WalRecord::Complete {
-                    id: job.spec.id.clone(),
-                    outcome: outcome.clone(),
-                };
-                write_record(&mut snapshot, record.encode().as_bytes())?;
+            match (&job.outcome, &job.checkpoint) {
+                (Some(outcome), _) => {
+                    // A terminal supersedes any checkpoint: only the
+                    // terminal is carried forward.
+                    let record = WalRecord::Complete {
+                        id: job.spec.id.clone(),
+                        outcome: outcome.clone(),
+                    };
+                    write_record(&mut snapshot, record.encode().as_bytes())?;
+                }
+                (None, Some(checkpoint)) => {
+                    // A pending job keeps exactly its newest checkpoint,
+                    // so compaction bounds progress history to one
+                    // record per resumable job.
+                    let record = WalRecord::Progress {
+                        id: job.spec.id.clone(),
+                        checkpoint: checkpoint.clone(),
+                    };
+                    write_record(&mut snapshot, record.encode().as_bytes())?;
+                }
+                (None, None) => {}
             }
         }
         let path = segment_path(&self.dir, seq);
@@ -732,6 +900,28 @@ mod tests {
                 id: "j2".to_owned(),
                 outcome: JobOutcome::Failed("deadline exceeded".to_owned()),
             },
+            WalRecord::Complete {
+                id: "j3".to_owned(),
+                outcome: JobOutcome::Partial("1024 20000 13 0.0003 0.0011".to_owned()),
+            },
+            WalRecord::Progress {
+                id: "j1".to_owned(),
+                checkpoint: Checkpoint {
+                    batches: 32,
+                    shots: 2048,
+                    failures: 5,
+                    counters: vec![117, 0, u64::MAX],
+                },
+            },
+            WalRecord::Progress {
+                id: "j4".to_owned(),
+                checkpoint: Checkpoint {
+                    batches: 1,
+                    shots: 64,
+                    failures: 0,
+                    counters: Vec::new(),
+                },
+            },
             WalRecord::Snapshot,
             WalRecord::Pruned {
                 count: 9,
@@ -742,6 +932,217 @@ mod tests {
             let line = record.encode();
             assert_eq!(WalRecord::parse(&line), Ok(record), "{line}");
         }
+    }
+
+    fn progress(id: &str, batches: u64, shots: u64, failures: u64) -> WalRecord {
+        WalRecord::Progress {
+            id: id.to_owned(),
+            checkpoint: Checkpoint {
+                batches,
+                shots,
+                failures,
+                counters: vec![batches * 3],
+            },
+        }
+    }
+
+    #[test]
+    fn progress_interleaves_with_terminals_and_newest_wins() {
+        let dir = tmp_dir("progress");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            wal.append(&WalRecord::Accept(spec("resumes"))).unwrap();
+            wal.append(&WalRecord::Accept(spec("finishes"))).unwrap();
+            wal.append(&progress("resumes", 8, 512, 1)).unwrap();
+            wal.append(&progress("finishes", 4, 256, 0)).unwrap();
+            wal.append(&progress("resumes", 16, 1024, 2)).unwrap();
+            wal.append(&WalRecord::Complete {
+                id: "finishes".to_owned(),
+                outcome: JobOutcome::Done("512 3 99".to_owned()),
+            })
+            .unwrap();
+        }
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        // The audit reports exactly the pending job as resumable, with
+        // its newest checkpoint's stats.
+        let resumable = recovery.resumable();
+        assert_eq!(resumable.len(), 1);
+        let (job, checkpoint) = resumable[0];
+        assert_eq!(job.spec.id, "resumes");
+        assert_eq!(
+            checkpoint,
+            &Checkpoint {
+                batches: 16,
+                shots: 1024,
+                failures: 2,
+                counters: vec![48],
+            }
+        );
+        // The finished job's checkpoint is superseded by its terminal.
+        let finished = recovery
+            .jobs
+            .iter()
+            .find(|j| j.spec.id == "finishes")
+            .unwrap();
+        assert!(finished.outcome.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_progress_tail_falls_back_to_previous_checkpoint() {
+        let dir = tmp_dir("torn-progress");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            wal.append(&WalRecord::Accept(spec("job"))).unwrap();
+            wal.append(&progress("job", 8, 512, 1)).unwrap();
+            wal.append(&progress("job", 16, 1024, 2)).unwrap();
+        }
+        // Tear the newest progress frame mid-payload, as a crash during
+        // the checkpoint write would.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        let resumable = recovery.resumable();
+        assert_eq!(resumable.len(), 1);
+        assert_eq!(resumable[0].1.batches, 8, "fell back past the torn tail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn implausible_progress_is_dropped_not_applied() {
+        let dir = tmp_dir("implausible");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        for line in [
+            "accept job - bell 2",
+            "progress job 8 512 1 24",
+            // CRC-valid but semantically corrupt checkpoints, every
+            // plausibility clause: failures > shots, shots > 64/batch,
+            // zero batches, and a *stale* (non-monotone) batch count.
+            "progress job 16 1024 2000 48",
+            "progress job 16 999999 2 48",
+            "progress job 0 0 0",
+            "progress job 4 256 0 12",
+        ] {
+            write_record(&mut bytes, line.as_bytes()).unwrap();
+        }
+        std::fs::write(segment_path(&dir, 1), bytes).unwrap();
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        let resumable = recovery.resumable();
+        assert_eq!(resumable.len(), 1);
+        assert_eq!(
+            resumable[0].1,
+            &Checkpoint {
+                batches: 8,
+                shots: 512,
+                failures: 1,
+                counters: vec![24],
+            },
+            "corrupt or stale checkpoints must not supersede the good one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_progress_is_flagged() {
+        let dir = tmp_dir("orphan-progress");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        for line in ["accept job - bell 2", "progress ghost 8 512 1"] {
+            write_record(&mut bytes, line.as_bytes()).unwrap();
+        }
+        std::fs::write(segment_path(&dir, 1), bytes).unwrap();
+        let recovery = recover(&dir).unwrap();
+        assert!(!recovery.is_consistent());
+        assert_eq!(recovery.orphaned, vec!["ghost".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_keeps_only_the_newest_checkpoint_per_pending_job() {
+        let dir = tmp_dir("compact-progress");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+            wal.append(&WalRecord::Accept(spec("job"))).unwrap();
+            for k in 1..=20u64 {
+                wal.append(&progress("job", k, k * 64, k / 4)).unwrap();
+            }
+        }
+        // Reopen compacts: the fresh segment must hold the snapshot
+        // marker, the accept, and exactly one progress record — the
+        // newest.
+        let (wal, recovery) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(recovery.resumable().len(), 1);
+        assert_eq!(recovery.resumable()[0].1.batches, 20);
+        let (_, active) = list_segments(&dir).unwrap().pop().unwrap();
+        assert_eq!(active, segment_path(&dir, wal.active_seq()));
+        let mut reader = BufReader::new(File::open(&active).unwrap());
+        let lines: Vec<String> = read_records(&mut reader)
+            .unwrap()
+            .into_iter()
+            .map(|p| String::from_utf8(p).unwrap())
+            .collect();
+        let progress_lines: Vec<&String> =
+            lines.iter().filter(|l| l.starts_with("progress")).collect();
+        assert_eq!(progress_lines.len(), 1, "segment: {lines:?}");
+        assert!(progress_lines[0].starts_with("progress job 20 1280 5"));
+        // And the compacted checkpoint replays on the next reopen too.
+        drop(wal);
+        let (_, recovery) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(recovery.resumable().len(), 1);
+        assert_eq!(recovery.resumable()[0].1.batches, 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_for_unknown_or_terminal_jobs_is_refused_at_append() {
+        let dir = tmp_dir("progress-validate");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        assert!(wal.append(&progress("ghost", 1, 64, 0)).is_err());
+        wal.append(&WalRecord::Accept(spec("done-job"))).unwrap();
+        wal.append(&WalRecord::Complete {
+            id: "done-job".to_owned(),
+            outcome: JobOutcome::Done("1".to_owned()),
+        })
+        .unwrap();
+        let err = wal.append(&progress("done-job", 1, 64, 0)).unwrap_err();
+        assert!(err.to_string().contains("terminal"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_outcomes_are_terminal_and_exactly_once() {
+        let dir = tmp_dir("partial");
+        let (mut wal, _) = WriteAheadLog::open(&dir, 1 << 20).unwrap();
+        wal.append(&WalRecord::Accept(spec("anytime"))).unwrap();
+        let partial = WalRecord::Complete {
+            id: "anytime".to_owned(),
+            outcome: JobOutcome::Partial("512 20000 3 0.0012 0.0171".to_owned()),
+        };
+        wal.append(&partial).unwrap();
+        // Identical retry absorbed; conflicting terminal refused.
+        wal.append(&partial).unwrap();
+        assert!(wal
+            .append(&WalRecord::Complete {
+                id: "anytime".to_owned(),
+                outcome: JobOutcome::Done("1 2 3".to_owned()),
+            })
+            .is_err());
+        let recovery = recover(&dir).unwrap();
+        assert!(recovery.is_consistent());
+        assert_eq!(
+            recovery.jobs[0].outcome,
+            Some(JobOutcome::Partial("512 20000 3 0.0012 0.0171".to_owned()))
+        );
+        assert!(recovery.pending().is_empty(), "partial is terminal");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

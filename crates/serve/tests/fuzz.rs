@@ -57,8 +57,15 @@ const DICT: &[&str] = &[
     "ok",
     "queued",
     "running",
+    "partial",
+    "progress",
     "queued=",
     "breakers=",
+    "partials=",
+    "batches=",
+    "checkpoint=",
+    "checkpoint=on",
+    "checkpoint=off",
     "a,b",
     ":",
     "=",
@@ -119,8 +126,12 @@ fn valid_lines_survive_truncation_at_every_boundary() {
         "state bell-1 queued",
         "done bell-1 0 1 1 0",
         "failed bell-1 deadline exceeded",
+        "partial sweep-1 11264 1000000 148 0.011114 0.015319",
+        "progress sweep-1",
+        "progress sweep-1 176 11264 148",
         "health ok queued=1 running=2 accepted=3 completed=1 failed=0 shed=4 duplicates=0 \
-         breaker_trips=1 reroutes=1 breakers=packed:closed,reference:open,statevector:half-open",
+         breaker_trips=1 reroutes=1 partials=1 batches=176 checkpoint=on \
+         breakers=packed:closed,reference:open,statevector:half-open",
         "drained",
     ];
     for line in lines {

@@ -52,7 +52,10 @@ impl TestDaemon {
                 .call(&Request::Query(id.to_owned()))
                 .expect("query call")
             {
-                Response::State(_, state @ (JobState::Done(_) | JobState::Failed(_))) => {
+                Response::State(
+                    _,
+                    state @ (JobState::Done(_) | JobState::Failed(_) | JobState::Partial(_)),
+                ) => {
                     return state;
                 }
                 Response::State(..) => {}
@@ -658,5 +661,240 @@ fn tripped_breaker_reroutes_with_identical_results() {
     let stats = daemon.drain();
     assert_eq!(stats.completed, 1);
     assert!(stats.reroutes >= 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Tentpole (PR 10): a deadline landing mid shot-sweep ends the job as
+/// a typed anytime `partial` — completed shots, target, failures, and
+/// a Wilson interval — while the `progress` verb answers live batch
+/// counts before the terminal and the cached partial after it.
+#[test]
+fn deadline_mid_sweep_delivers_an_anytime_partial() {
+    let dir = fresh_dir("partial");
+    let config = DaemonConfig {
+        jobs: 1,
+        ..DaemonConfig::default()
+    };
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    // Far too many shots for the deadline: expiry is guaranteed.
+    let spec = JobSpec {
+        id: "anytime-1".to_owned(),
+        deadline_ms: Some(500),
+        kind: JobKind::LerSurface {
+            d: 11,
+            per: 0.05,
+            shots: 1_000_000,
+        },
+    };
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Accepted(spec.id.clone())
+    );
+
+    // The progress verb reports live completed-batch counts mid-run.
+    let poll_deadline = Instant::now() + TIMEOUT;
+    loop {
+        match client
+            .call(&Request::Progress(spec.id.clone()))
+            .expect("progress call")
+        {
+            Response::Progress { batches, shots, .. } => {
+                if batches > 0 {
+                    assert!(shots > 0, "completed batches must carry shots");
+                    break;
+                }
+            }
+            Response::State(_, state) => panic!("job went terminal early: {state:?}"),
+            other => panic!("progress answered {other:?}"),
+        }
+        assert!(
+            Instant::now() < poll_deadline,
+            "no progress before deadline"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    let JobState::Partial(detail) = daemon.wait_terminal(&spec.id) else {
+        panic!("deadlined sweep must end as a partial");
+    };
+    let fields: Vec<&str> = detail.split_whitespace().collect();
+    assert_eq!(fields.len(), 5, "partial detail {detail:?}");
+    let done_shots: u64 = fields[0].parse().expect("completed shots");
+    let target: u64 = fields[1].parse().expect("target shots");
+    let failures: u64 = fields[2].parse().expect("failures");
+    let lo: f64 = fields[3].parse().expect("ci low");
+    let hi: f64 = fields[4].parse().expect("ci high");
+    assert!(done_shots > 0 && done_shots < target, "{detail}");
+    assert_eq!(target, 1_000_000);
+    assert!(failures <= done_shots, "{detail}");
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "{detail}"
+    );
+
+    // Post-terminal, progress answers with the cached partial state.
+    match client
+        .call(&Request::Progress(spec.id.clone()))
+        .expect("post-terminal progress")
+    {
+        Response::State(_, JobState::Partial(cached)) => assert_eq!(cached, detail),
+        other => panic!("post-terminal progress answered {other:?}"),
+    }
+    let Response::Health(health) = client.call(&Request::Health).unwrap() else {
+        panic!("no health snapshot");
+    };
+    assert_eq!(health.partials, 1);
+
+    let stats = daemon.drain();
+    assert_eq!(stats.partials, 1);
+    assert_eq!(stats.completed, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Tentpole (PR 10): a daemon started on a journal holding an accepted
+/// sweep plus a progress checkpoint resumes after the checkpointed
+/// batches instead of from scratch — the result is byte-identical to
+/// an unfaulted full run, and the `batches` execution counter proves
+/// only the unfinished suffix was re-executed.
+#[test]
+fn restart_resumes_a_checkpointed_sweep_from_its_durable_prefix() {
+    use qpdo_serve::job::execute_tracked;
+    use qpdo_serve::wal::{Checkpoint, WriteAheadLog};
+
+    let dir = fresh_dir("resume");
+    let config = DaemonConfig {
+        jobs: 1,
+        ..DaemonConfig::default()
+    };
+    let seed = config.base_seed;
+    let spec = JobSpec {
+        id: "resume-1".to_owned(),
+        deadline_ms: None,
+        kind: JobKind::LerSurface {
+            d: 9,
+            per: 0.05,
+            shots: 16384,
+        },
+    };
+    let total_batches = 16384_u64.div_ceil(64);
+
+    // Produce a genuine mid-run checkpoint: run the sweep in-process
+    // and cancel after five batches.
+    let cancel = CancelToken::new();
+    let mut checkpoint: Option<Checkpoint> = None;
+    let mut on_batch = |cp: &Checkpoint| {
+        if cp.batches == 5 {
+            cancel.cancel();
+        }
+        checkpoint = Some(cp.clone());
+    };
+    let execution = execute_tracked(
+        &spec.kind,
+        Backend::Packed,
+        job_seed(seed, &spec.id),
+        &cancel,
+        None,
+        &mut on_batch,
+    )
+    .expect("tracked prefix execution");
+    assert!(
+        matches!(execution, qpdo_serve::job::Execution::Stopped { .. }),
+        "the cancel must stop the sweep mid-run"
+    );
+    let checkpoint = checkpoint.expect("five batches were reported");
+    assert_eq!(checkpoint.batches, 5);
+
+    // Hand-build the journal a crashed daemon would leave behind.
+    {
+        let (mut wal, _) =
+            WriteAheadLog::open(&dir, WriteAheadLog::DEFAULT_MAX_SEGMENT_BYTES).unwrap();
+        wal.append(&WalRecord::Accept(spec.clone())).unwrap();
+        wal.append(&WalRecord::Progress {
+            id: spec.id.clone(),
+            checkpoint: checkpoint.clone(),
+        })
+        .unwrap();
+    }
+
+    let daemon = TestDaemon::start(&dir, config);
+    let JobState::Done(record) = daemon.wait_terminal(&spec.id) else {
+        panic!("checkpointed sweep did not complete after restart");
+    };
+    assert_eq!(
+        record,
+        golden(seed, &spec),
+        "resume must be byte-identical to an unfaulted scratch run"
+    );
+
+    let stats = daemon.drain();
+    assert_eq!(
+        stats.batches,
+        total_batches - checkpoint.batches,
+        "only the suffix past the checkpoint may re-execute"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Tentpole (PR 10): a failed progress append (injected ENOSPC on the
+/// very first checkpoint) degrades checkpointing to off — visible in
+/// health — without touching execution: the running sweep and fresh
+/// submissions keep completing golden.
+#[test]
+fn failed_progress_append_degrades_checkpointing_not_execution() {
+    let dir = fresh_dir("ckpt-enospc");
+    let config = DaemonConfig {
+        jobs: 1,
+        progress_batches: 2,
+        chaos_progress_fail: Some(0),
+        ..DaemonConfig::default()
+    };
+    let seed = config.base_seed;
+    let daemon = TestDaemon::start(&dir, config);
+    let mut client = daemon.client();
+
+    let spec = JobSpec {
+        id: "enospc-1".to_owned(),
+        deadline_ms: None,
+        kind: JobKind::LerSurface {
+            d: 5,
+            per: 0.08,
+            shots: 4096,
+        },
+    };
+    assert_eq!(
+        client.call(&Request::Submit(spec.clone())).unwrap(),
+        Response::Accepted(spec.id.clone())
+    );
+    let JobState::Done(record) = daemon.wait_terminal(&spec.id) else {
+        panic!("sweep must survive losing its checkpoint stream");
+    };
+    assert_eq!(record, golden(seed, &spec));
+
+    let Response::Health(health) = client.call(&Request::Health).unwrap() else {
+        panic!("no health snapshot");
+    };
+    assert!(
+        !health.checkpointing,
+        "a failed progress append must flip checkpointing off"
+    );
+    assert!(
+        health.accepting,
+        "checkpoint degradation is advisory, not a refusal to work"
+    );
+
+    let fresh = bell("enospc-fresh", 4);
+    assert_eq!(
+        client.call(&Request::Submit(fresh.clone())).unwrap(),
+        Response::Accepted(fresh.id.clone())
+    );
+    let JobState::Done(record) = daemon.wait_terminal(&fresh.id) else {
+        panic!("fresh job did not complete");
+    };
+    assert_eq!(record, golden(seed, &fresh));
+
+    let stats = daemon.drain();
+    assert_eq!(stats.completed, 2);
     std::fs::remove_dir_all(&dir).unwrap();
 }

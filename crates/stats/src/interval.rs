@@ -1,0 +1,102 @@
+//! Binomial proportion confidence intervals.
+//!
+//! The serving layer's anytime-partial results (`DESIGN.md` §14) report
+//! a logical-error-rate estimate over whatever prefix of a Monte-Carlo
+//! sweep completed before the deadline. A point estimate alone is
+//! misleading at small counts, so the partial record carries a Wilson
+//! score interval: unlike the Wald interval it never escapes `[0, 1]`,
+//! stays sensible at zero observed failures, and needs nothing beyond
+//! arithmetic — no special functions, no tables.
+
+/// The two-sided Wilson score interval for a binomial proportion.
+///
+/// `successes` of `trials` events observed; `z` is the standard-normal
+/// quantile for the desired coverage (1.96 ≈ 95 %). Returns
+/// `(lower, upper)` with `0 ≤ lower ≤ p̂ ≤ upper ≤ 1`.
+///
+/// Returns `(0.0, 1.0)` — the vacuous interval — for zero trials, and
+/// clamps `successes` to `trials` so corrupt counters cannot produce an
+/// interval outside the unit range.
+///
+/// # Example
+///
+/// ```
+/// use qpdo_stats::wilson_interval;
+///
+/// let (lo, hi) = wilson_interval(3, 1000, 1.96);
+/// assert!(lo > 0.0 && lo < 0.003 && hi > 0.003 && hi < 0.02);
+/// ```
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes.min(trials) as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    let lower = ((center - margin) / denom).clamp(0.0, 1.0);
+    let upper = ((center + margin) / denom).clamp(0.0, 1.0);
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Z95: f64 = 1.96;
+
+    #[test]
+    fn zero_trials_is_vacuous() {
+        assert_eq!(wilson_interval(0, 0, Z95), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        for &(k, n) in &[(0u64, 10u64), (1, 10), (5, 10), (10, 10), (3, 20_000)] {
+            let (lo, hi) = wilson_interval(k, n, Z95);
+            let p = k as f64 / n as f64;
+            assert!(lo <= p && p <= hi, "({k}, {n}): [{lo}, {hi}] vs {p}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn zero_failures_still_has_positive_upper_bound() {
+        let (lo, hi) = wilson_interval(0, 100, Z95);
+        assert_eq!(lo, 0.0);
+        // Rule-of-three ballpark: 3/n ≈ 0.03; Wilson lands near 0.037.
+        assert!(hi > 0.01 && hi < 0.06, "upper {hi}");
+    }
+
+    #[test]
+    fn all_failures_is_mirrored() {
+        let (lo0, hi0) = wilson_interval(0, 50, Z95);
+        let (lo1, hi1) = wilson_interval(50, 50, Z95);
+        assert!((lo1 - (1.0 - hi0)).abs() < 1e-12);
+        assert!((hi1 - (1.0 - lo0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_95pct() {
+        // k=10, n=100: Wilson 95 % interval ≈ [0.0552, 0.1744].
+        let (lo, hi) = wilson_interval(10, 100, Z95);
+        assert!((lo - 0.05522).abs() < 5e-4, "lower {lo}");
+        assert!((hi - 0.17436).abs() < 5e-4, "upper {hi}");
+    }
+
+    #[test]
+    fn tightens_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(5, 100, Z95);
+        let (lo2, hi2) = wilson_interval(500, 10_000, Z95);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn corrupt_successes_above_trials_are_clamped() {
+        let (lo, hi) = wilson_interval(u64::MAX, 10, Z95);
+        assert!(lo <= 1.0 && hi <= 1.0 && lo <= hi);
+    }
+}

@@ -9,6 +9,8 @@
 //!   of Figs 5.21–5.24, with exact two-tailed p-values computed through
 //!   the regularized incomplete beta function.
 //! - [`Histogram`] — the measurement-outcome histograms of Fig 5.7.
+//! - [`wilson_interval`] — the binomial confidence interval attached to
+//!   anytime-partial shot-sweep results by the serving layer.
 //!
 //! # Example
 //!
@@ -28,10 +30,12 @@
 
 mod descriptive;
 mod histogram;
+mod interval;
 mod special;
 mod ttest;
 
 pub use descriptive::Summary;
 pub use histogram::Histogram;
+pub use interval::wilson_interval;
 pub use special::{ln_gamma, regularized_incomplete_beta};
 pub use ttest::{independent_t_test, paired_t_test, student_t_two_tailed_p, TTest, TTestError};

@@ -17,6 +17,9 @@
 //!   measurement words), every lane decoded by the union-find decoder,
 //!   and logical failures read as one `expectation` lane word.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use qpdo_core::{
     ChpCore, ControlStack, CoreError, CounterLayer, DepolarizingModel, ErrorCounts, PauliFrameLayer,
 };
@@ -349,6 +352,63 @@ pub fn run_ler_surface_cancellable(
     config: &SurfaceLerConfig,
     cancelled: &dyn Fn() -> bool,
 ) -> Result<(SurfaceLerOutcome, bool), CoreError> {
+    run_ler_surface_resumable(config, None, cancelled, &mut |_| {})
+}
+
+/// A durable position inside a [`run_ler_surface_resumable`] sweep: the
+/// number of completed whole 64-shot batches and the counters accumulated
+/// over exactly those batches.
+///
+/// Because every batch draws from its own RNG substream, a checkpoint
+/// plus the sweep config fully determines the rest of the run — resuming
+/// from any recorded `SurfaceProgress` reproduces the uninterrupted
+/// outcome bit for bit (see `tests/resume_oracle.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SurfaceProgress {
+    /// Completed whole batches.
+    pub batches: u64,
+    /// Shots counted over those batches.
+    pub shots: u64,
+    /// Logical failures among those shots.
+    pub failures: u64,
+    /// Defects decoded across those shots.
+    pub defects: u64,
+}
+
+thread_local! {
+    // One warm decoder per (distance, error kind) per worker thread: the
+    // union-find scratch arrays inside survive across decode calls *and*
+    // across jobs hitting the same sweep point, so the serving path pays
+    // decoder construction and steady-state allocation once per worker
+    // (ROADMAP: decoder throughput on the serving path). The decoder is
+    // taken out of the map for the duration of a run and put back after,
+    // so the cache is never borrowed across user code.
+    static DECODER_CACHE: RefCell<HashMap<(usize, CheckKind), UnionFindDecoder>> =
+        RefCell::new(HashMap::new());
+}
+
+/// [`run_ler_surface_cancellable`] that can start from a previously
+/// recorded [`SurfaceProgress`] checkpoint and reports a checkpoint after
+/// every completed batch through `on_batch`.
+///
+/// `resume` restarts the sweep after `resume.batches` whole batches with
+/// the recorded counters; `None` runs from scratch. A checkpoint at or
+/// past the final batch returns the recorded counters untouched.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProbability`] unless
+/// `physical_error_rate ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics unless the distance is odd and ≥ 3.
+pub fn run_ler_surface_resumable(
+    config: &SurfaceLerConfig,
+    resume: Option<&SurfaceProgress>,
+    cancelled: &dyn Fn() -> bool,
+    on_batch: &mut dyn FnMut(&SurfaceProgress),
+) -> Result<(SurfaceLerOutcome, bool), CoreError> {
     let p = config.physical_error_rate;
     if !(0.0..=1.0).contains(&p) {
         return Err(CoreError::InvalidProbability {
@@ -357,7 +417,12 @@ pub fn run_ler_surface_cancellable(
         });
     }
     let code = RotatedSurfaceCode::new(config.distance);
-    let decoder = UnionFindDecoder::new(&code, config.error);
+    let decoder = DECODER_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .remove(&(config.distance, config.error))
+            .unwrap_or_else(|| UnionFindDecoder::new(&code, config.error))
+    });
     let detecting = match config.error {
         CheckKind::X => CheckKind::Z,
         CheckKind::Z => CheckKind::X,
@@ -371,12 +436,19 @@ pub fn run_ler_surface_cancellable(
     let ancillas: Vec<usize> = code.checks_of(detecting).map(|ch| ch.ancilla).collect();
     let esm = code.esm_circuit();
 
-    let mut shots = 0u64;
-    let mut failures = 0u64;
-    let mut defects = 0u64;
     let batches = config.shots.div_ceil(LANES as u64);
+    let start = resume.map_or(0, |r| r.batches.min(batches));
+    let mut shots = resume.map_or(0, |r| r.shots);
+    let mut failures = resume.map_or(0, |r| r.failures);
+    let mut defects = resume.map_or(0, |r| r.defects);
     let mut stopped = false;
-    for batch in 0..batches {
+    // Per-batch working buffers, allocated once and reused.
+    let mut err = vec![0u64; code.num_data_qubits()];
+    let mut meas = vec![0u64; code.num_qubits()];
+    let mut corr = vec![0u64; code.num_data_qubits()];
+    let mut syndrome = vec![false; ancillas.len()];
+    let mut correction = Vec::new();
+    for batch in start..batches {
         if cancelled() {
             stopped = true;
             break;
@@ -388,7 +460,8 @@ pub fn run_ler_surface_cancellable(
             (1u64 << lanes) - 1
         };
         // One independent substream per batch: results for a prefix of
-        // shots are unchanged when the total grows.
+        // shots are unchanged when the total grows, and a resumed run
+        // replays exactly the batches a scratch run would have.
         let mut rng =
             StdRng::seed_from_u64(config.seed ^ (batch + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
@@ -400,7 +473,7 @@ pub fn run_ler_surface_cancellable(
             }
         }
         // Inject i.i.d. errors on the data qubits, one lane word each.
-        let mut err = vec![0u64; code.num_data_qubits()];
+        err.fill(0);
         for (q, word) in err.iter_mut().enumerate() {
             for lane in 0..LANES {
                 if rng.gen_bool(p) {
@@ -416,7 +489,7 @@ pub fn run_ler_surface_cancellable(
         // checks' ancilla measurement words are the packed syndromes.
         // (The opposite family measures randomly — first-round gauge
         // fixing — which cannot disturb the commuting observable.)
-        let mut meas = vec![0u64; code.num_qubits()];
+        meas.fill(0);
         run_circuit_sliced(&mut sim, &esm, &mut rng, &mut meas);
         #[cfg(debug_assertions)]
         for (i, ch) in code.checks_of(detecting).enumerate() {
@@ -427,13 +500,13 @@ pub fn run_ler_surface_cancellable(
             );
         }
         // Decode each lane and accumulate the correction planes.
-        let mut corr = vec![0u64; code.num_data_qubits()];
-        let mut syndrome = vec![false; ancillas.len()];
+        corr.fill(0);
         for lane in 0..LANES {
             for (s, &anc) in syndrome.iter_mut().zip(&ancillas) {
                 *s = (meas[anc] >> lane) & 1 == 1;
             }
-            for q in decoder.decode(&syndrome) {
+            decoder.decode_into(&syndrome, &mut correction);
+            for &q in &correction {
                 corr[q] |= 1 << lane;
             }
         }
@@ -470,7 +543,18 @@ pub fn run_ler_surface_cancellable(
         for &anc in &ancillas {
             defects += u64::from((meas[anc] & mask).count_ones());
         }
+        on_batch(&SurfaceProgress {
+            batches: batch + 1,
+            shots,
+            failures,
+            defects,
+        });
     }
+    DECODER_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .insert((config.distance, config.error), decoder);
+    });
     Ok((
         SurfaceLerOutcome {
             shots,
@@ -632,6 +716,45 @@ mod tests {
         let (outcome, stopped) = run_ler_surface_cancellable(&config, &|| true).unwrap();
         assert!(stopped);
         assert_eq!(outcome.shots, 0);
+    }
+
+    #[test]
+    fn resume_from_midpoint_matches_scratch() {
+        let config = surface(3, 0.08, CheckKind::X, 520, 9);
+        let scratch = run_ler_surface(&config).unwrap();
+        let mut checkpoints = Vec::new();
+        run_ler_surface_resumable(&config, None, &|| false, &mut |p| checkpoints.push(*p)).unwrap();
+        assert_eq!(checkpoints.len(), 9, "520 shots is 9 batches");
+        let mid = checkpoints[4];
+        let mut replayed = 0u64;
+        let (outcome, stopped) =
+            run_ler_surface_resumable(&config, Some(&mid), &|| false, &mut |_| replayed += 1)
+                .unwrap();
+        assert!(!stopped);
+        assert_eq!(outcome, scratch, "resumed run diverged from scratch");
+        assert_eq!(
+            replayed, 4,
+            "resume re-executed already-checkpointed batches"
+        );
+    }
+
+    #[test]
+    fn resume_at_or_past_the_end_returns_the_checkpoint() {
+        let config = surface(3, 0.08, CheckKind::X, 128, 5);
+        let scratch = run_ler_surface(&config).unwrap();
+        let done = SurfaceProgress {
+            batches: 99,
+            shots: scratch.shots,
+            failures: scratch.failures,
+            defects: scratch.defects,
+        };
+        let (outcome, stopped) =
+            run_ler_surface_resumable(&config, Some(&done), &|| false, &mut |_| {
+                panic!("no batch should run")
+            })
+            .unwrap();
+        assert!(!stopped);
+        assert_eq!(outcome, scratch);
     }
 
     #[test]

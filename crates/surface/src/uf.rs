@@ -23,6 +23,20 @@
 //! logical failure rate — is what matters, and that is compared against
 //! [`MatchingDecoder`](crate::MatchingDecoder) by the differential oracle
 //! in `tests/uf_oracle.rs`.
+//!
+//! ## Scratch reuse
+//!
+//! Decoding a 64-lane batch calls the decoder 64 times on the same
+//! graph; the serving path decodes hundreds of batches per job. The
+//! per-decode cluster state (union-find forest, frontier lists, growth
+//! counters, peeling scratch) therefore lives *inside* the decoder,
+//! behind a [`RefCell`], and is reset — never reallocated — on each
+//! call. A warmed decoder runs [`UnionFindDecoder::decode_into`]
+//! without touching the heap (pinned by `tests/uf_alloc.rs`), which is
+//! where the `uf_decode_*` latency wins in `results/BENCH_decoder.json`
+//! come from.
+
+use std::cell::RefCell;
 
 use crate::{CheckKind, RotatedSurfaceCode};
 
@@ -31,6 +45,13 @@ use crate::{CheckKind, RotatedSurfaceCode};
 /// Unlike the exact matcher, cost is near-linear in the syndrome size, so
 /// it decodes any odd distance with any defect density — it is the
 /// default path above `MatchingDecoder`'s exact limit.
+///
+/// The decoder owns its decode scratch (see the module docs), so one
+/// instance should be reused across as many `decode` calls as possible;
+/// [`crate::run_ler_surface`] keeps one per `(d, kind)` per worker
+/// thread for exactly this reason. The scratch sits behind a
+/// [`RefCell`], which makes the decoder cheap to call through a shared
+/// reference but not `Sync` — give each worker its own clone.
 ///
 /// # Example
 ///
@@ -57,6 +78,9 @@ pub struct UnionFindDecoder {
     edges: Vec<(u32, u32, u32)>,
     /// Vertex → incident edge ids.
     adj: Vec<Vec<u32>>,
+    /// Per-decode cluster/peeling state, reset (not reallocated) each
+    /// call.
+    scratch: RefCell<Scratch>,
 }
 
 impl UnionFindDecoder {
@@ -108,6 +132,7 @@ impl UnionFindDecoder {
             num_nodes,
             edges,
             adj,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -121,25 +146,50 @@ impl UnionFindDecoder {
     /// order) into the sorted data qubits of a correction whose syndrome
     /// equals the input.
     ///
+    /// Allocates only the returned vector; hot paths that can reuse an
+    /// output buffer should call [`UnionFindDecoder::decode_into`].
+    ///
     /// # Panics
     ///
     /// Panics if the syndrome length does not match the code.
     #[must_use]
     pub fn decode(&self, syndrome: &[bool]) -> Vec<usize> {
+        let mut correction = Vec::new();
+        self.decode_into(syndrome, &mut correction);
+        correction
+    }
+
+    /// [`UnionFindDecoder::decode`] into a caller-owned buffer, clearing
+    /// it first. With a warmed decoder and a warmed buffer this performs
+    /// no heap allocation at all (pinned by `tests/uf_alloc.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the code.
+    pub fn decode_into(&self, syndrome: &[bool], correction: &mut Vec<usize>) {
         assert_eq!(syndrome.len(), self.num_checks, "syndrome length mismatch");
+        correction.clear();
         if syndrome.iter().all(|s| !s) {
-            return Vec::new();
+            return;
         }
-        let mut clusters = Clusters::new(self, syndrome);
+        let mut scratch = self.scratch.borrow_mut();
+        let mut clusters = Clusters {
+            dec: self,
+            s: &mut scratch,
+        };
+        clusters.reset(syndrome);
         clusters.grow();
-        clusters.peel(syndrome)
+        clusters.peel(syndrome, correction);
     }
 }
 
 /// Per-decode cluster state: a union-find forest over the graph vertices
-/// with per-root parity/boundary bookkeeping, plus per-edge growth.
-struct Clusters<'a> {
-    dec: &'a UnionFindDecoder,
+/// with per-root parity/boundary bookkeeping, per-edge growth, and the
+/// peeling workspace. Lives inside the decoder and is reset — with every
+/// buffer's capacity retained — on each call, so a warmed decoder never
+/// reallocates it.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
     parent: Vec<u32>,
     /// Vertices in the tree (for weighted union), valid at roots.
     size: Vec<u32>,
@@ -152,38 +202,75 @@ struct Clusters<'a> {
     frontier: Vec<Vec<u32>>,
     /// Half-edge growth per edge, saturating at 2 (= fully grown).
     growth: Vec<u8>,
+    /// Growth-round seeds (active roots at the start of the round).
+    seeds: Vec<u32>,
+    /// The frontier list being grown, swapped out of its slot so merges
+    /// can append to live frontier slots mid-iteration.
+    work: Vec<u32>,
+    /// Frontier edges surviving a growth round.
+    keep: Vec<u32>,
+    /// Peeling: erasure adjacency over fully-grown edges only.
+    grown_adj: Vec<Vec<(u32, u32)>>,
+    /// Peeling: live defect flags, consumed leaf-by-leaf.
+    defect: Vec<bool>,
+    /// Peeling: vertices already assigned to an erasure component.
+    visited: Vec<bool>,
+    /// Peeling: spanning-forest parent per vertex.
+    peel_parent: Vec<u32>,
+    /// Peeling: tree edge to the parent.
+    peel_edge: Vec<u32>,
+    /// Peeling: the current erasure component (pass-1 BFS order).
+    comp: Vec<u32>,
+    /// Peeling: spanning-tree BFS order (parents before children).
+    order: Vec<u32>,
 }
 
-impl<'a> Clusters<'a> {
-    fn new(dec: &'a UnionFindDecoder, syndrome: &[bool]) -> Self {
-        let n = dec.num_nodes;
-        // Every vertex carries its full incident-edge list: merged
-        // clusters then own every edge crossing their boundary (internal
-        // edges are dropped lazily), so growth can expand through
-        // absorbed non-defect vertices.
-        let frontier = dec.adj.clone();
-        Clusters {
-            dec,
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            odd: syndrome
+/// A borrow of the decoder graph plus its scratch for one decode call.
+struct Clusters<'a> {
+    dec: &'a UnionFindDecoder,
+    s: &'a mut Scratch,
+}
+
+impl Clusters<'_> {
+    /// Resets the scratch to the initial cluster state for `syndrome`.
+    /// Every vertex carries its full incident-edge list: merged clusters
+    /// then own every edge crossing their boundary (internal edges are
+    /// dropped lazily), so growth can expand through absorbed non-defect
+    /// vertices.
+    fn reset(&mut self, syndrome: &[bool]) {
+        let n = self.dec.num_nodes;
+        let s = &mut *self.s;
+        s.parent.clear();
+        s.parent.extend(0..n as u32);
+        s.size.clear();
+        s.size.resize(n, 1);
+        s.odd.clear();
+        s.odd.extend(
+            syndrome
                 .iter()
                 .copied()
                 .chain(std::iter::repeat(false))
-                .take(n)
-                .collect(),
-            boundary: (0..n).map(|v| v >= dec.num_checks).collect(),
-            frontier,
-            growth: vec![0; dec.edges.len()],
+                .take(n),
+        );
+        s.boundary.clear();
+        s.boundary.extend((0..n).map(|v| v >= self.dec.num_checks));
+        s.growth.clear();
+        s.growth.resize(self.dec.edges.len(), 0);
+        if s.frontier.len() < n {
+            s.frontier.resize_with(n, Vec::new);
+        }
+        for (slot, adj) in s.frontier.iter_mut().zip(&self.dec.adj) {
+            slot.clear();
+            slot.extend_from_slice(adj);
         }
     }
 
     /// Path-halving find.
     fn find(&mut self, v: u32) -> u32 {
         let mut v = v;
-        while self.parent[v as usize] != v {
-            let grand = self.parent[self.parent[v as usize] as usize];
-            self.parent[v as usize] = grand;
+        while self.s.parent[v as usize] != v {
+            let grand = self.s.parent[self.s.parent[v as usize] as usize];
+            self.s.parent[v as usize] = grand;
             v = grand;
         }
         v
@@ -192,25 +279,33 @@ impl<'a> Clusters<'a> {
     /// Weighted union of two distinct roots; returns the surviving root.
     fn union(&mut self, a: u32, b: u32) -> u32 {
         debug_assert_ne!(a, b);
-        let (root, child) = if self.size[a as usize] >= self.size[b as usize] {
+        let s = &mut *self.s;
+        let (root, child) = if s.size[a as usize] >= s.size[b as usize] {
             (a, b)
         } else {
             (b, a)
         };
-        self.parent[child as usize] = root;
-        self.size[root as usize] += self.size[child as usize];
-        let child_odd = self.odd[child as usize];
-        self.odd[root as usize] ^= child_odd;
-        self.boundary[root as usize] |= self.boundary[child as usize];
-        let mut moved = std::mem::take(&mut self.frontier[child as usize]);
-        self.frontier[root as usize].append(&mut moved);
+        s.parent[child as usize] = root;
+        s.size[root as usize] += s.size[child as usize];
+        let child_odd = s.odd[child as usize];
+        s.odd[root as usize] ^= child_odd;
+        s.boundary[root as usize] |= s.boundary[child as usize];
+        // Copy-and-clear instead of moving the child's buffer: every
+        // frontier buffer stays in its home slot, so slot capacities
+        // ratchet to their per-slot high-water mark and a single warmed
+        // pass decodes with zero allocations (tests/uf_alloc.rs).
+        let moved = std::mem::take(&mut s.frontier[child as usize]);
+        s.frontier[root as usize].extend_from_slice(&moved);
+        let mut moved = moved;
+        moved.clear();
+        s.frontier[child as usize] = moved;
         root
     }
 
     /// A cluster keeps growing while it holds an odd number of defects
     /// and no boundary vertex to absorb the spare one.
     fn is_active(&self, root: u32) -> bool {
-        self.odd[root as usize] && !self.boundary[root as usize]
+        self.s.odd[root as usize] && !self.s.boundary[root as usize]
     }
 
     /// Grows active clusters by half an edge per round until every
@@ -219,13 +314,17 @@ impl<'a> Clusters<'a> {
         // Any cluster reaches a boundary vertex within the graph
         // diameter, so 2·|E| + 2 half-edge rounds always suffice.
         for _round in 0..2 * self.dec.edges.len() + 2 {
-            let seeds: Vec<u32> = (0..self.dec.num_nodes as u32)
-                .filter(|&v| self.parent[v as usize] == v && self.is_active(v))
-                .collect();
+            let mut seeds = std::mem::take(&mut self.s.seeds);
+            seeds.clear();
+            seeds.extend(
+                (0..self.dec.num_nodes as u32)
+                    .filter(|&v| self.s.parent[v as usize] == v && self.is_active(v)),
+            );
             if seeds.is_empty() {
+                self.s.seeds = seeds;
                 return;
             }
-            for seed in seeds {
+            for &seed in &seeds {
                 // A merge earlier in the round may have absorbed or
                 // neutralized this cluster.
                 let root = self.find(seed);
@@ -234,15 +333,26 @@ impl<'a> Clusters<'a> {
                 }
                 self.grow_cluster(root);
             }
+            self.s.seeds = seeds;
         }
         unreachable!("union-find growth failed to neutralize all clusters");
     }
 
     /// Advances every frontier edge of one cluster by half a step.
     fn grow_cluster(&mut self, root: u32) {
-        let list = std::mem::take(&mut self.frontier[root as usize]);
-        let mut keep = Vec::with_capacity(list.len());
-        for e in list {
+        // Copy the list into the workspace and clear the slot in place
+        // (never move buffers between slots): merges during the loop may
+        // append to the slot, and home-slot buffers are what lets the
+        // warmed decoder run allocation-free.
+        {
+            let s = &mut *self.s;
+            s.work.clear();
+            s.work.extend_from_slice(&s.frontier[root as usize]);
+            s.frontier[root as usize].clear();
+        }
+        self.s.keep.clear();
+        for i in 0..self.s.work.len() {
+            let e = self.s.work[i];
             let (a, b, _) = self.dec.edges[e as usize];
             let ra = self.find(a);
             let rb = self.find(b);
@@ -250,59 +360,74 @@ impl<'a> Clusters<'a> {
                 // Became internal; completing it would only add a cycle.
                 continue;
             }
-            self.growth[e as usize] += 1;
-            if self.growth[e as usize] >= 2 {
+            self.s.growth[e as usize] += 1;
+            if self.s.growth[e as usize] >= 2 {
                 self.union(ra, rb);
             } else {
-                keep.push(e);
+                self.s.keep.push(e);
             }
         }
+        self.s.work.clear();
         let root = self.find(root);
-        self.frontier[root as usize].extend(keep);
+        let s = &mut *self.s;
+        s.frontier[root as usize].extend_from_slice(&s.keep);
     }
 
     /// Extracts a correction from the fully-grown edges by peeling a
     /// spanning forest: leaves carrying a defect contribute their tree
     /// edge and hand the defect to their parent; a boundary root absorbs
     /// whatever remains.
-    fn peel(self, syndrome: &[bool]) -> Vec<usize> {
+    fn peel(self, syndrome: &[bool], correction: &mut Vec<usize>) {
         let dec = self.dec;
+        let s = self.s;
+        let n = dec.num_nodes;
         // Erasure adjacency: fully-grown edges only.
-        let mut grown_adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); dec.num_nodes];
+        if s.grown_adj.len() < n {
+            s.grown_adj.resize_with(n, Vec::new);
+        }
+        for slot in s.grown_adj.iter_mut().take(n) {
+            slot.clear();
+        }
         for (e, &(a, b, _)) in dec.edges.iter().enumerate() {
-            if self.growth[e] >= 2 {
-                grown_adj[a as usize].push((b, e as u32));
-                grown_adj[b as usize].push((a, e as u32));
+            if s.growth[e] >= 2 {
+                s.grown_adj[a as usize].push((b, e as u32));
+                s.grown_adj[b as usize].push((a, e as u32));
             }
         }
-        let mut defect = vec![false; dec.num_nodes];
-        defect[..dec.num_checks].copy_from_slice(syndrome);
-        let mut visited = vec![false; dec.num_nodes];
-        let mut parent = vec![u32::MAX; dec.num_nodes];
-        let mut parent_edge = vec![u32::MAX; dec.num_nodes];
-        let mut correction = Vec::new();
+        s.defect.clear();
+        s.defect.resize(n, false);
+        s.defect[..dec.num_checks].copy_from_slice(syndrome);
+        s.visited.clear();
+        s.visited.resize(n, false);
+        s.peel_parent.clear();
+        s.peel_parent.resize(n, u32::MAX);
+        s.peel_edge.clear();
+        s.peel_edge.resize(n, u32::MAX);
 
         for v in 0..dec.num_checks as u32 {
-            if !defect[v as usize] || visited[v as usize] {
+            if !s.defect[v as usize] || s.visited[v as usize] {
                 continue;
             }
             // Pass 1: collect the erasure component, preferring a
             // boundary vertex as the peeling root so it can absorb an
             // odd defect.
-            let mut comp = vec![v];
-            visited[v as usize] = true;
+            s.comp.clear();
+            s.comp.push(v);
+            s.visited[v as usize] = true;
             let mut head = 0;
-            while head < comp.len() {
-                let u = comp[head];
+            while head < s.comp.len() {
+                let u = s.comp[head];
                 head += 1;
-                for &(w, _) in &grown_adj[u as usize] {
-                    if !visited[w as usize] {
-                        visited[w as usize] = true;
-                        comp.push(w);
+                for i in 0..s.grown_adj[u as usize].len() {
+                    let (w, _) = s.grown_adj[u as usize][i];
+                    if !s.visited[w as usize] {
+                        s.visited[w as usize] = true;
+                        s.comp.push(w);
                     }
                 }
             }
-            let root = comp
+            let root = s
+                .comp
                 .iter()
                 .copied()
                 .find(|&u| u >= dec.num_checks as u32)
@@ -310,40 +435,42 @@ impl<'a> Clusters<'a> {
             // Pass 2: BFS spanning tree from the root; BFS order puts
             // parents before children, so the reverse order peels
             // leaves first.
-            for &u in &comp {
-                parent[u as usize] = u32::MAX;
+            for i in 0..s.comp.len() {
+                let u = s.comp[i];
+                s.peel_parent[u as usize] = u32::MAX;
             }
-            parent[root as usize] = root;
-            let mut order = vec![root];
+            s.peel_parent[root as usize] = root;
+            s.order.clear();
+            s.order.push(root);
             let mut head = 0;
-            while head < order.len() {
-                let u = order[head];
+            while head < s.order.len() {
+                let u = s.order[head];
                 head += 1;
-                for &(w, e) in &grown_adj[u as usize] {
-                    if parent[w as usize] == u32::MAX {
-                        parent[w as usize] = u;
-                        parent_edge[w as usize] = e;
-                        order.push(w);
+                for i in 0..s.grown_adj[u as usize].len() {
+                    let (w, e) = s.grown_adj[u as usize][i];
+                    if s.peel_parent[w as usize] == u32::MAX {
+                        s.peel_parent[w as usize] = u;
+                        s.peel_edge[w as usize] = e;
+                        s.order.push(w);
                     }
                 }
             }
-            for &u in order.iter().skip(1).rev() {
-                if defect[u as usize] {
-                    correction.push(dec.edges[parent_edge[u as usize] as usize].2 as usize);
-                    defect[u as usize] = false;
-                    defect[parent[u as usize] as usize] ^= true;
+            for &u in s.order.iter().skip(1).rev() {
+                if s.defect[u as usize] {
+                    correction.push(dec.edges[s.peel_edge[u as usize] as usize].2 as usize);
+                    s.defect[u as usize] = false;
+                    s.defect[s.peel_parent[u as usize] as usize] ^= true;
                 }
             }
             // A residual defect at the root is legal only on a boundary
             // vertex (the virtual vertex "absorbs" it — the chain ends
             // on the open boundary).
             debug_assert!(
-                !defect[root as usize] || root >= dec.num_checks as u32,
+                !s.defect[root as usize] || root >= dec.num_checks as u32,
                 "unpaired defect survived peeling"
             );
         }
         correction.sort_unstable();
-        correction
     }
 }
 
@@ -437,5 +564,38 @@ mod tests {
                 assert_eq!(code.syndrome_of(&correction, kind), syndrome, "d={d}");
             }
         }
+    }
+
+    /// Scratch reuse must be invisible: a fresh decoder and a heavily
+    /// reused one produce identical corrections on identical syndromes,
+    /// in any interleaving.
+    #[test]
+    fn reused_scratch_matches_fresh_decoder() {
+        let mut rng = StdRng::seed_from_u64(2027);
+        for d in [3, 7, 13] {
+            let code = RotatedSurfaceCode::new(d);
+            let reused = UnionFindDecoder::new(&code, CheckKind::X);
+            let mut out = Vec::new();
+            for round in 0..50 {
+                let weight = rng.gen_range(0..=code.num_data_qubits());
+                let errors: Vec<usize> = (0..weight)
+                    .map(|_| rng.gen_range(0..code.num_data_qubits()))
+                    .collect();
+                let syndrome = code.syndrome_of(&errors, CheckKind::X);
+                let fresh = UnionFindDecoder::new(&code, CheckKind::X);
+                reused.decode_into(&syndrome, &mut out);
+                assert_eq!(out, fresh.decode(&syndrome), "d={d} round {round}");
+            }
+        }
+    }
+
+    /// `decode_into` clears whatever the caller left in the buffer.
+    #[test]
+    fn decode_into_clears_the_buffer() {
+        let code = RotatedSurfaceCode::new(5);
+        let dec = UnionFindDecoder::new(&code, CheckKind::Z);
+        let mut out = vec![7usize, 8, 9];
+        dec.decode_into(&vec![false; dec.syndrome_len()], &mut out);
+        assert!(out.is_empty());
     }
 }

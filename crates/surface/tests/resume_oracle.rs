@@ -1,0 +1,114 @@
+//! Resume-vs-scratch identity oracle for the checkpointed surface sweep.
+//!
+//! The serving layer's crash-resume story (DESIGN.md §14) rests on one
+//! property: resuming `run_ler_surface_resumable` from *any* recorded
+//! [`SurfaceProgress`] checkpoint and running the remaining batches must
+//! reproduce the uninterrupted outcome bit for bit. Per-batch RNG
+//! substreams make that true by construction; this oracle pins it by
+//! replaying a sweep from every checkpoint offset, for both error kinds
+//! and a ragged tail batch, and asserting byte-identical wire records.
+
+use qpdo_surface::experiment::{
+    run_ler_surface, run_ler_surface_resumable, SurfaceLerConfig, SurfaceProgress,
+};
+use qpdo_surface::CheckKind;
+
+fn sweep(kind: CheckKind, shots: u64, seed: u64) -> SurfaceLerConfig {
+    SurfaceLerConfig {
+        distance: 5,
+        physical_error_rate: 0.08,
+        error: kind,
+        shots,
+        seed,
+    }
+}
+
+/// The wire record the daemon publishes for a surface sweep; byte
+/// identity of resumed results is asserted on this exact encoding.
+fn record(outcome: &qpdo_surface::experiment::SurfaceLerOutcome) -> String {
+    format!("{} {} {}", outcome.shots, outcome.failures, outcome.defects)
+}
+
+#[test]
+fn resume_from_every_checkpoint_matches_scratch() {
+    // 330 shots → 6 batches with a 10-lane ragged tail.
+    for kind in [CheckKind::X, CheckKind::Z] {
+        let config = sweep(kind, 330, 0xC0FFEE);
+        let scratch = run_ler_surface(&config).unwrap();
+        assert!(scratch.defects > 0, "workload too thin to be a real oracle");
+
+        let mut checkpoints = Vec::new();
+        let (full, stopped) =
+            run_ler_surface_resumable(&config, None, &|| false, &mut |p| checkpoints.push(*p))
+                .unwrap();
+        assert!(!stopped);
+        assert_eq!(full, scratch);
+        assert_eq!(checkpoints.len(), 6);
+
+        for (i, checkpoint) in checkpoints.iter().enumerate() {
+            let mut replayed = 0u64;
+            let (resumed, stopped) =
+                run_ler_surface_resumable(&config, Some(checkpoint), &|| false, &mut |_| {
+                    replayed += 1;
+                })
+                .unwrap();
+            assert!(!stopped);
+            assert_eq!(
+                record(&resumed),
+                record(&scratch),
+                "{kind:?}: resume from checkpoint {i} diverged from scratch"
+            );
+            assert_eq!(
+                replayed,
+                5 - i as u64,
+                "{kind:?}: resume from checkpoint {i} re-executed completed batches"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoints_are_monotonic_and_consistent() {
+    let config = sweep(CheckKind::X, 640, 7);
+    let mut checkpoints: Vec<SurfaceProgress> = Vec::new();
+    run_ler_surface_resumable(&config, None, &|| false, &mut |p| checkpoints.push(*p)).unwrap();
+    assert_eq!(checkpoints.len(), 10);
+    for (i, p) in checkpoints.iter().enumerate() {
+        assert_eq!(p.batches, i as u64 + 1);
+        assert_eq!(p.shots, p.batches * 64, "whole batches count 64 shots each");
+        assert!(p.failures <= p.shots);
+    }
+    for pair in checkpoints.windows(2) {
+        assert!(pair[1].shots > pair[0].shots);
+        assert!(pair[1].failures >= pair[0].failures);
+        assert!(pair[1].defects >= pair[0].defects);
+    }
+}
+
+#[test]
+fn cancellation_mid_sweep_leaves_a_resumable_checkpoint() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let config = sweep(CheckKind::X, 640, 21);
+    let scratch = run_ler_surface(&config).unwrap();
+
+    // Cancel after three completed batches, as a deadline or SIGKILL
+    // window would; the last on_batch checkpoint must resume cleanly.
+    let polls = AtomicU64::new(0);
+    let mut last = SurfaceProgress::default();
+    let (partial, stopped) = run_ler_surface_resumable(
+        &config,
+        None,
+        &|| polls.fetch_add(1, Ordering::Relaxed) >= 3,
+        &mut |p| last = *p,
+    )
+    .unwrap();
+    assert!(stopped);
+    assert_eq!(last.batches, 3);
+    assert_eq!(partial.shots, last.shots);
+
+    let (resumed, stopped) =
+        run_ler_surface_resumable(&config, Some(&last), &|| false, &mut |_| {}).unwrap();
+    assert!(!stopped);
+    assert_eq!(record(&resumed), record(&scratch));
+}

@@ -208,10 +208,32 @@ pub fn run_ler_cancellable(
     config: &LerConfig,
     cancelled: &dyn Fn() -> bool,
 ) -> Result<LerOutcome, ShotError> {
+    let (outcome, stopped) = run_ler_partial(config, cancelled)?;
+    cancelled_outcome(outcome, stopped)
+}
+
+/// [`run_ler_cancellable`] that surfaces the counters accumulated up to a
+/// cancellation instead of discarding them: returns the (possibly
+/// partial) outcome plus whether the window loop stopped early.
+///
+/// The partial window count depends on *when* the cancellation landed,
+/// so callers must treat a stopped outcome as an anytime estimate, never
+/// as the record of the configured experiment — the serving layer turns
+/// it into a typed `Partial` result carrying a confidence interval
+/// rather than a `done` record.
+///
+/// # Errors
+///
+/// Wraps the [`run_ler`] error contract in [`ShotError::Core`]; early
+/// cancellation is *not* an error here.
+pub fn run_ler_partial(
+    config: &LerConfig,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<(LerOutcome, bool), ShotError> {
     let frame: Option<PauliFrameLayer> = config.with_pauli_frame.then(PauliFrameLayer::new);
     let (outcome, _, stopped) =
         run_ler_stack::<StabilizerSim>(config, frame, cancelled).map_err(ShotError::Core)?;
-    cancelled_outcome(outcome, stopped)
+    Ok((outcome, stopped))
 }
 
 /// Runs the identical LER experiment on the cell-per-entry

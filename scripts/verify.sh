@@ -97,13 +97,16 @@ cargo test -q --offline --release -p qpdo-surface17 --lib 'sliced::'
 smoke_out=$(mktemp -d)
 trap 'rm -rf "$smoke_out"' EXIT
 
-echo "== decoder oracle: union-find vs exact matching (release) =="
+echo "== decoder + resume oracles: qpdo-surface (release) =="
 # Decoder soundness (DESIGN.md §13): the union-find decoder must
 # annihilate every syndrome at d = 3…13 (property tests), match the
 # exact matcher's logical-failure rate at d = 3, 5 over 10k seeded
 # trials per point (differential oracle), and the exact path must stay
-# byte-stable against its golden KAT. Release mode: the same codegen
-# the experiment binaries ship with.
+# byte-stable against its golden KAT. Resume soundness (DESIGN.md
+# §14): resuming a sweep from every per-batch checkpoint must be
+# byte-identical to the scratch run and re-execute strictly fewer
+# batches (the resume-vs-scratch oracle). Release mode: the same
+# codegen the experiment binaries ship with.
 cargo test -q --offline --release -p qpdo-surface
 
 echo "== distance-scaling smoke: exp_distance_scaling --smoke =="
@@ -185,7 +188,14 @@ echo "== crash-recovery gate: serve_chaos --smoke =="
 # injected backend failures and checks reroute + half-open recovery,
 # overload shedding and waves, deadline enforcement, slowloris
 # reaping, and the injected-fsync-failure degraded latch with clean
-# restart recovery.
+# restart recovery. The checkpoint drills (DESIGN.md §14) then SIGKILL
+# a sweep past a durable checkpoint and require the restart to resume
+# from it byte-identically with strictly fewer batches re-executed,
+# expire a deadline mid-sweep into an anytime `partial` terminal with
+# a valid Wilson CI, and inject checkpoint-path faults (ENOSPC on
+# progress appends degrades checkpointing off without harming the job;
+# corrupt checkpoint records are dropped at replay in favor of the
+# previous durable one).
 ./target/release/serve_chaos --smoke
 
 echo "== serving load gate: loadgen --smoke =="
@@ -220,7 +230,8 @@ echo "== fleet gate: cargo test -p qpdo-router =="
 # In-process fleet coverage (DESIGN.md §11): ring spread/rebalance,
 # binding-journal replay and compaction, protocol round-trips, and the
 # router service end-to-end over real sockets (routing, query relay,
-# fleet-wide dedup, orphan re-resolution, join/leave, admission shed).
+# fleet-wide dedup, orphan re-resolution, join/leave, admission shed,
+# and anytime-partial terminals delivered and journaled fleet-wide).
 cargo test -q --offline -p qpdo-router
 
 echo "== fleet crash gate: router_chaos --smoke =="
